@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadTextsPlain(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "corpus.txt")
+	if err := os.WriteFile(path, []byte("bitcoin trading signals\n\ncrypto wallet profit\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	texts, err := loadTexts(path, false, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(texts) != 2 {
+		t.Fatalf("loaded %d texts, want 2 (blank lines skipped)", len(texts))
+	}
+}
+
+func TestLoadTextsJSONLFiltered(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tweets.jsonl")
+	data := `{"id":1,"lang":"en","text":"bitcoin now","platform":1,"group_code":"a"}
+{"id":2,"lang":"ja","text":"ゲーム","platform":2,"group_code":"b"}
+{"id":3,"lang":"en","text":"crypto later","platform":2,"group_code":"c"}
+`
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	texts, err := loadTexts(path, true, "en", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(texts) != 2 {
+		t.Fatalf("lang filter: %d texts, want 2", len(texts))
+	}
+	texts, err = loadTexts(path, true, "en", "Discord")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(texts) != 1 || texts[0] != "crypto later" {
+		t.Fatalf("platform filter wrong: %v", texts)
+	}
+}
+
+func TestLoadTextsMissingFile(t *testing.T) {
+	if _, err := loadTexts("/no/such/file", false, "", ""); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

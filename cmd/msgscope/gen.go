@@ -1,0 +1,115 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"msgscope/internal/platform"
+	"msgscope/internal/simworld"
+	"msgscope/internal/store"
+)
+
+// genGroup is the ground-truth group dump record.
+type genGroup struct {
+	Platform     string    `json:"platform"`
+	Code         string    `json:"code"`
+	URL          string    `json:"url"`
+	Title        string    `json:"title"`
+	Lang         string    `json:"lang"`
+	Topic        string    `json:"topic"`
+	CreatedAt    time.Time `json:"created_at"`
+	FirstShareAt time.Time `json:"first_share_at"`
+	RevokedAt    time.Time `json:"revoked_at,omitempty"`
+	IsChannel    bool      `json:"is_channel,omitempty"`
+	BaseMembers  int       `json:"base_members"`
+	Channels     int       `json:"channels"`
+}
+
+// genTweet is the ground-truth tweet dump record.
+type genTweet struct {
+	ID        uint64    `json:"id"`
+	AuthorID  string    `json:"author_id"`
+	CreatedAt time.Time `json:"created_at"`
+	Lang      string    `json:"lang"`
+	Text      string    `json:"text"`
+	GroupCode string    `json:"group_code"`
+	Platform  string    `json:"platform"`
+}
+
+// runGen generates a world and dumps its ground truth as JSONL — useful for
+// feeding the standalone analysis tools (e.g. ldatopics) or inspecting what
+// the collection pipeline is measured against.
+func runGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 42, "simulation seed")
+	scale := fs.Float64("scale", 0.01, "workload scale")
+	out := fs.String("out", "", "output directory (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("gen: -out is required")
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	world := simworld.New(simworld.DefaultConfig(*seed, *scale))
+
+	var groups []genGroup
+	for _, p := range platform.All {
+		for _, g := range world.Groups[p] {
+			groups = append(groups, genGroup{
+				Platform:     p.String(),
+				Code:         g.Code,
+				URL:          g.URL,
+				Title:        g.Title,
+				Lang:         g.Lang,
+				Topic:        g.Topic.Label,
+				CreatedAt:    g.CreatedAt,
+				FirstShareAt: g.FirstShareAt,
+				RevokedAt:    g.RevokedAt,
+				IsChannel:    g.IsChannel,
+				BaseMembers:  g.BaseMembers,
+				Channels:     g.Channels,
+			})
+		}
+	}
+	if err := writeJSONL(filepath.Join(*out, "world_groups.jsonl"), groups); err != nil {
+		return err
+	}
+
+	var tweets []genTweet
+	for _, day := range world.TweetsByDay {
+		for _, tw := range day {
+			tweets = append(tweets, genTweet{
+				ID:        tw.ID,
+				AuthorID:  tw.AuthorID,
+				CreatedAt: tw.CreatedAt,
+				Lang:      tw.Lang,
+				Text:      tw.Text,
+				GroupCode: tw.Group.Code,
+				Platform:  tw.Group.Platform.String(),
+			})
+		}
+	}
+	if err := writeJSONL(filepath.Join(*out, "world_tweets.jsonl"), tweets); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d groups and %d tweets to %s\n", len(groups), len(tweets), *out)
+	return nil
+}
+
+func writeJSONL[T any](path string, items []T) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := store.WriteJSONL(f, items); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,134 @@
+// Command msgscope runs the simulated reproduction of "Demystifying the
+// Messaging Platforms' Ecosystem Through the Lens of Twitter" (IMC 2020).
+//
+// Usage:
+//
+//	msgscope run    [-seed N] [-scale F] [-days N] [-out DIR] [-exp id,...]
+//	msgscope report [-seed N] [-scale F] -exp table2,fig1,...  (alias of run)
+//	msgscope list
+//
+// `run` executes the full 38-day methodology — discovery via the simulated
+// Twitter APIs, daily monitoring, joining, message collection — then prints
+// the requested tables/figures (default: all) and optionally saves the
+// dataset as JSONL under -out.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"msgscope"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "msgscope:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("missing subcommand")
+	}
+	switch args[0] {
+	case "list":
+		fmt.Println("experiments:", strings.Join(msgscope.Experiments(), " "))
+		return nil
+	case "run", "report":
+		return runStudy(args[1:])
+	case "serve":
+		return runServe(args[1:])
+	case "gen":
+		return runGen(args[1:])
+	case "-h", "--help", "help":
+		usage()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  msgscope run    [-seed N] [-scale F] [-days N] [-out DIR] [-exp id,...] [-summary]
+  msgscope report [-seed N] [-scale F] -exp table2,fig1,...
+  msgscope serve  [-seed N] [-scale F] [-speedup X] [-addr HOST:PORT]
+  msgscope gen    [-seed N] [-scale F] -out DIR
+  msgscope list`)
+}
+
+func runStudy(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 42, "simulation seed")
+	scale := fs.Float64("scale", 0.02, "workload scale (1.0 = paper scale)")
+	days := fs.Int("days", 38, "collection window in days")
+	out := fs.String("out", "", "directory to save the JSONL dataset (optional)")
+	exp := fs.String("exp", "", "comma-separated experiment IDs (default: all)")
+	summary := fs.Bool("summary", true, "print pipeline summary")
+	maxMsgs := fs.Int("max-messages", 0, "cap messages collected per joined group (0 = unlimited)")
+	joinWA := fs.Int("join-wa", 0, "WhatsApp groups to join (0 = scaled paper default)")
+	joinTG := fs.Int("join-tg", 0, "Telegram groups to join (0 = scaled paper default)")
+	joinDC := fs.Int("join-dc", 0, "Discord servers to join (0 = scaled paper default)")
+	text := fs.Bool("text", false, "collect message bodies (needed for the toxicity experiment)")
+	topics := fs.String("topics", "", "comma-separated title keywords for focused collection")
+	csvDir := fs.String("csv", "", "directory to write per-figure CSV data (optional)")
+	svgDir := fs.String("svg", "", "directory to render per-figure SVG charts (optional)")
+	socialSrc := fs.Bool("social", false, "enable the secondary discovery source (crosssource experiment)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := msgscope.Options{
+		Seed:                *seed,
+		Scale:               *scale,
+		Days:                *days,
+		MaxMessagesPerGroup: *maxMsgs,
+		JoinWhatsApp:        *joinWA,
+		JoinTelegram:        *joinTG,
+		JoinDiscord:         *joinDC,
+		GenerateMessageText: *text,
+		SocialDiscovery:     *socialSrc,
+	}
+	if *topics != "" {
+		opts.TopicKeywords = strings.Split(*topics, ",")
+	}
+	res, err := msgscope.Run(context.Background(), opts)
+	if err != nil {
+		return err
+	}
+	if *summary {
+		fmt.Println(res.Summary())
+	}
+	if *exp == "" {
+		fmt.Print(res.RenderAll())
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			fmt.Println(res.Render(strings.TrimSpace(id)))
+		}
+	}
+	if *out != "" {
+		if err := res.SaveDataset(*out); err != nil {
+			return fmt.Errorf("saving dataset: %w", err)
+		}
+		fmt.Println("dataset saved to", *out)
+	}
+	if *csvDir != "" {
+		if err := res.SaveFigureCSVs(*csvDir); err != nil {
+			return fmt.Errorf("saving figure CSVs: %w", err)
+		}
+		fmt.Println("figure CSVs saved to", *csvDir)
+	}
+	if *svgDir != "" {
+		if err := res.SaveFigureSVGs(*svgDir); err != nil {
+			return fmt.Errorf("rendering figure SVGs: %w", err)
+		}
+		fmt.Println("figure SVGs rendered to", *svgDir)
+	}
+	return nil
+}

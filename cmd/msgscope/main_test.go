@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunUnknownSubcommand(t *testing.T) {
+	if err := run([]string{"bogus"}); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+	if err := run(nil); err == nil {
+		t.Fatal("missing subcommand accepted")
+	}
+}
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunStudySmall(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{"run", "-seed", "4", "-scale", "0.002", "-days", "4",
+		"-exp", "table2,fig6", "-out", filepath.Join(dir, "ds")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "ds", "tweets.jsonl")); err != nil {
+		t.Fatalf("dataset not saved: %v", err)
+	}
+}
+
+func TestRunStudyBadExperiment(t *testing.T) {
+	// Unknown experiment IDs are reported inline, not as an error.
+	if err := run([]string{"run", "-scale", "0.002", "-days", "2", "-exp", "nope"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunGen(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"gen", "-seed", "2", "-scale", "0.002", "-out", dir}); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"world_groups.jsonl", "world_tweets.jsonl"} {
+		st, err := os.Stat(filepath.Join(dir, f))
+		if err != nil || st.Size() == 0 {
+			t.Fatalf("%s missing or empty: %v", f, err)
+		}
+	}
+}
+
+func TestRunGenRequiresOut(t *testing.T) {
+	if err := run([]string{"gen"}); err == nil {
+		t.Fatal("gen without -out accepted")
+	}
+}

@@ -1,0 +1,79 @@
+// Lifecycle: track how group URLs discovered on Twitter live and die — the
+// paper's Figures 5 and 6. Prints per-platform revocation shares, an ASCII
+// sparkline of daily discoveries, and the most ephemeral groups.
+//
+//	go run ./examples/lifecycle
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sort"
+
+	"msgscope"
+)
+
+func main() {
+	res, err := msgscope.Run(context.Background(), msgscope.Options{
+		Seed:  7,
+		Scale: 0.01,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, p := range msgscope.Platforms() {
+		series, err := res.Discovery(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-9s new URLs/day: %s\n", p, sparkline(series))
+	}
+	fmt.Println()
+	fmt.Println(res.Render("fig5"))
+	fmt.Println(res.Render("fig6"))
+
+	// The most ephemeral platform: Discord invites auto-expire.
+	groups, err := res.Groups("Discord")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var revoked int
+	for _, g := range groups {
+		if g.Revoked {
+			revoked++
+		}
+	}
+	fmt.Printf("Discord: %d of %d discovered invites revoked during the window\n",
+		revoked, len(groups))
+
+	// Longest-lived revoked groups.
+	sort.Slice(groups, func(i, j int) bool { return groups[i].LifetimeDays > groups[j].LifetimeDays })
+	fmt.Println("longest-lived revoked Discord invites:")
+	shown := 0
+	for _, g := range groups {
+		if !g.Revoked || shown >= 5 {
+			continue
+		}
+		fmt.Printf("  %s lived %.0f days, %d members, shared in %d tweets\n",
+			g.URL, g.LifetimeDays, g.Members, g.TweetCount)
+		shown++
+	}
+}
+
+var blocks = []rune(" ▁▂▃▄▅▆▇█")
+
+func sparkline(pts []msgscope.DiscoveryPoint) string {
+	max := 1
+	for _, p := range pts {
+		if p.New > max {
+			max = p.New
+		}
+	}
+	out := make([]rune, len(pts))
+	for i, p := range pts {
+		out[i] = blocks[p.New*(len(blocks)-1)/max]
+	}
+	return string(out)
+}

@@ -1,0 +1,58 @@
+// Privacy audit: reproduce the paper's Section 6 — which platforms leak
+// personally identifiable information, and how much. WhatsApp exposes every
+// member's (and even non-joined groups' creators') phone numbers, Telegram
+// only opt-in phones (~0.7%), and Discord linked third-party accounts for
+// ~30% of users (Tables 4 and 5).
+//
+//	go run ./examples/privacy-audit
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+
+	"msgscope"
+)
+
+func main() {
+	res, err := msgscope.Run(context.Background(), msgscope.Options{
+		Seed:  1337,
+		Scale: 0.01,
+		// Join more Telegram rooms than the scaled default so the rare
+		// 0.68% phone opt-ins become visible.
+		JoinWhatsApp: 10,
+		JoinTelegram: 12,
+		JoinDiscord:  8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== PII exposure per platform (Table 4) ==")
+	for _, e := range res.PII() {
+		fmt.Printf("%-9s: %d members + %d creators observed\n",
+			e.Platform, e.MembersSeen, e.CreatorsSeen)
+		switch {
+		case e.PhonesExposed > 0:
+			fmt.Printf("           phone numbers exposed for %d users (%.2f%%)\n",
+				e.PhonesExposed, e.PhoneShare*100)
+		case e.LinkedExposed > 0:
+			fmt.Printf("           linked accounts exposed for %d users (%.2f%%)\n",
+				e.LinkedExposed, e.LinkedShare*100)
+		default:
+			fmt.Println("           no phone or account linkage observed")
+		}
+	}
+
+	fmt.Println()
+	fmt.Println("== Discord linked accounts (Table 5) ==")
+	for _, l := range res.LinkedAccounts() {
+		bar := strings.Repeat("#", int(l.Share*100))
+		fmt.Printf("%-18s %5d (%5.2f%%) %s\n", l.Platform, l.Users, l.Share*100, bar)
+	}
+
+	fmt.Println()
+	fmt.Println(res.Render("table4"))
+}

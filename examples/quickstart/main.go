@@ -1,0 +1,26 @@
+// Quickstart: run the full 38-day study at small scale and print the
+// dataset overview (Table 2) plus the discovery headline (Figure 1).
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"msgscope"
+)
+
+func main() {
+	res, err := msgscope.Run(context.Background(), msgscope.Options{
+		Seed:  42,
+		Scale: 0.01, // 1% of the paper's volumes: finishes in seconds
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Summary())
+	fmt.Println(res.Render("table2"))
+	fmt.Println(res.Render("fig1"))
+}

@@ -1,0 +1,42 @@
+// Topic modeling: rediscover what the shared groups are about from the
+// tweets alone, as the paper does with LDA for Table 3 — cryptocurrency and
+// money-making schemes on WhatsApp, sex and channel ads on Telegram, gaming
+// and hentai on Discord.
+//
+//	go run ./examples/topic-modeling
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+
+	"msgscope"
+)
+
+func main() {
+	res, err := msgscope.Run(context.Background(), msgscope.Options{
+		Seed:  99,
+		Scale: 0.02,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const k, iterations = 8, 150
+	for _, p := range msgscope.Platforms() {
+		topics, err := res.Topics(p, k, iterations)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("== %s: %d LDA topics over English tweets ==\n", p, k)
+		for i, t := range topics {
+			if i >= 5 {
+				break
+			}
+			fmt.Printf("  %4.1f%%  %s\n", t.Share*100, strings.Join(t.Words, ", "))
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,47 @@
+// Toxicity scan: the paper's Section 8 future work — collect message
+// bodies from joined groups and score them for toxic content (here with a
+// lexicon scorer standing in for Google's Perspective API). Focused
+// collection narrows the join sample to groups whose titles match chosen
+// keywords, another future-work item.
+//
+//	go run ./examples/toxicity-scan
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"msgscope"
+)
+
+func main() {
+	// Broad sample first: every platform's baseline toxicity.
+	broad, err := msgscope.Run(context.Background(), msgscope.Options{
+		Seed:                5,
+		Scale:               0.008,
+		GenerateMessageText: true,
+		MaxMessagesPerGroup: 3000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== Broad sample ==")
+	fmt.Println(broad.Render("toxicity"))
+
+	// Focused collection: only groups advertising adult content, where
+	// the lexicon should fire far more often.
+	focused, err := msgscope.Run(context.Background(), msgscope.Options{
+		Seed:                5,
+		Scale:               0.008,
+		GenerateMessageText: true,
+		MaxMessagesPerGroup: 3000,
+		TopicKeywords:       []string{"girls", "hentai", "nude", "fuck", "pussy", "boobs"},
+		JoinWhatsApp:        5, JoinTelegram: 8, JoinDiscord: 8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== Focused sample (adult-content group titles) ==")
+	fmt.Println(focused.Render("toxicity"))
+}

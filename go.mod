@@ -1,0 +1,3 @@
+module msgscope
+
+go 1.23

@@ -1,0 +1,5 @@
+package langid
+
+import "math/rand/v2"
+
+func testRand() *rand.Rand { return rand.New(rand.NewPCG(11, 13)) }

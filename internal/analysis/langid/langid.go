@@ -1,0 +1,109 @@
+// Package langid is a character n-gram language classifier. The paper uses
+// the lang field Twitter's API provides; this package exists to cross-check
+// that field (and to keep the analysis self-contained when a corpus has no
+// language metadata). Profiles are trained at startup from the same
+// per-language lexicons the generator uses, via trigram frequency ranks
+// (Cavnar & Trenkle 1994, simplified to cosine over trigram counts).
+package langid
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"msgscope/internal/textgen"
+)
+
+// Classifier scores text against per-language trigram profiles.
+type Classifier struct {
+	langs    []string
+	profiles []map[string]float64 // normalized trigram weights
+}
+
+// New trains a classifier over the generator's languages.
+func New() *Classifier {
+	c := &Classifier{}
+	for _, lang := range textgen.Languages() {
+		if lang == "und" {
+			continue
+		}
+		prof := trigramProfile(strings.Join(sampleText(lang), " "))
+		if len(prof) == 0 {
+			continue
+		}
+		c.langs = append(c.langs, lang)
+		c.profiles = append(c.profiles, prof)
+	}
+	return c
+}
+
+// sampleText returns training text for a language: its lexicon words.
+func sampleText(lang string) []string {
+	return textgen.LexiconWords(lang)
+}
+
+// trigramProfile computes L2-normalized trigram counts.
+func trigramProfile(text string) map[string]float64 {
+	counts := map[string]float64{}
+	runes := []rune(" " + strings.ToLower(text) + " ")
+	for i := 0; i+3 <= len(runes); i++ {
+		counts[string(runes[i:i+3])]++
+	}
+	var norm float64
+	for _, v := range counts {
+		norm += v * v
+	}
+	norm = math.Sqrt(norm)
+	if norm == 0 {
+		return nil
+	}
+	for k := range counts {
+		counts[k] /= norm
+	}
+	return counts
+}
+
+// Classify returns the best-scoring language and its cosine similarity.
+// Texts with no signal (too short, unknown script) return ("und", 0).
+func (c *Classifier) Classify(text string) (string, float64) {
+	// Strip URLs and mentions; they are language-neutral.
+	var parts []string
+	for _, f := range strings.Fields(text) {
+		if strings.HasPrefix(f, "http://") || strings.HasPrefix(f, "https://") ||
+			strings.HasPrefix(f, "@") || strings.HasPrefix(f, "#") {
+			continue
+		}
+		parts = append(parts, f)
+	}
+	prof := trigramProfile(strings.Join(parts, " "))
+	if len(prof) == 0 {
+		return "und", 0
+	}
+	bestLang, bestScore := "und", 0.0
+	for i, lp := range c.profiles {
+		var dot float64
+		// Iterate the smaller profile.
+		a, b := prof, lp
+		if len(b) < len(a) {
+			a, b = b, a
+		}
+		for k, v := range a {
+			dot += v * b[k]
+		}
+		if dot > bestScore {
+			bestScore = dot
+			bestLang = c.langs[i]
+		}
+	}
+	if bestScore < 0.05 {
+		return "und", bestScore
+	}
+	return bestLang, bestScore
+}
+
+// Languages returns the trained language codes, sorted.
+func (c *Classifier) Languages() []string {
+	out := append([]string(nil), c.langs...)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,86 @@
+package langid
+
+import (
+	"strings"
+	"testing"
+
+	"msgscope/internal/textgen"
+)
+
+func TestClassifyLexiconText(t *testing.T) {
+	c := New()
+	cases := map[string]string{
+		"en": "the people will make good time with other work first",
+		"es": "que para los una por con las del este como pero",
+		"pt": "que não uma com para mais como quando muito também",
+		"ja": "です ます こと これ 参加 募集 サーバー ゲーム 一緒",
+		"ar": "في من على إلى عن مع هذا هذه التي الذي",
+		"ru": "это как его она они что все так уже группа",
+		"tr": "bir bu için ile çok daha gibi kadar ama sonra",
+	}
+	for want, text := range cases {
+		got, score := c.Classify(text)
+		if got != want {
+			t.Errorf("Classify(%s text) = %s (%.3f), want %s", want, got, score, want)
+		}
+	}
+}
+
+func TestClassifyIgnoresURLsAndMentions(t *testing.T) {
+	c := New()
+	got, _ := c.Classify("@user1 https://t.me/xyz です ます 参加 サーバー #tag")
+	if got != "ja" {
+		t.Fatalf("got %s, want ja", got)
+	}
+}
+
+func TestClassifyEmptyIsUnd(t *testing.T) {
+	c := New()
+	for _, text := range []string{"", "https://t.me/x", "@a @b", "  "} {
+		got, score := c.Classify(text)
+		if got != "und" || score != 0 {
+			t.Errorf("Classify(%q) = %s/%.3f, want und/0", text, got, score)
+		}
+	}
+}
+
+func TestClassifyGeneratedTweets(t *testing.T) {
+	// End-to-end against the generator: language stamped on the tweet
+	// should usually match the classifier's verdict for scripts with
+	// distinctive trigrams.
+	gen := textgen.New(testRand())
+	c := New()
+	correct, total := 0, 0
+	for _, lang := range []string{"en", "ja", "ar", "ru", "tr"} {
+		for i := 0; i < 30; i++ {
+			text := gen.Tweet(textgen.TweetSpec{
+				Lang:  lang,
+				Topic: textgen.ControlTopics()[0],
+			})
+			got, _ := c.Classify(text)
+			total++
+			if got == lang {
+				correct++
+			}
+		}
+	}
+	if acc := float64(correct) / float64(total); acc < 0.55 {
+		t.Fatalf("classifier accuracy %.2f on generated tweets, want >= 0.55", acc)
+	}
+}
+
+func TestLanguagesSorted(t *testing.T) {
+	c := New()
+	langs := c.Languages()
+	if len(langs) < 8 {
+		t.Fatalf("trained only %d languages", len(langs))
+	}
+	if !strings.Contains(strings.Join(langs, ","), "en") {
+		t.Fatal("English profile missing")
+	}
+	for i := 1; i < len(langs); i++ {
+		if langs[i] < langs[i-1] {
+			t.Fatal("Languages() not sorted")
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package lda
+
+import (
+	"math"
+
+	"msgscope/internal/analysis/textproc"
+)
+
+// Coherence computes the UMass topic-coherence score of topic k over its
+// top-n words (Mimno et al. 2011): the average of log((D(wi,wj)+1)/D(wj))
+// over ordered word pairs, where D counts document (co-)occurrences in the
+// training corpus. Scores are negative; closer to zero means the topic's
+// top words genuinely co-occur, i.e. the topic is interpretable rather than
+// an artifact of the sampler. Used by tests and the LDA-K ablation to
+// compare topic quality across K.
+func (m *Model) Coherence(c *textproc.Corpus, k, n int) float64 {
+	words := m.TopWords(k, n)
+	if len(words) < 2 {
+		return 0
+	}
+	ids := make([]int, 0, len(words))
+	for _, w := range words {
+		if id, ok := c.Vocab.Lookup(w); ok {
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) < 2 {
+		return 0
+	}
+
+	// Document-frequency and co-document-frequency over the top words.
+	df := make(map[int]int, len(ids))
+	codf := make(map[[2]int]int)
+	want := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		want[id] = true
+	}
+	for _, doc := range c.Docs {
+		present := map[int]bool{}
+		for _, w := range doc {
+			if want[w] {
+				present[w] = true
+			}
+		}
+		for w := range present {
+			df[w]++
+		}
+		for i := 0; i < len(ids); i++ {
+			for j := i + 1; j < len(ids); j++ {
+				if present[ids[i]] && present[ids[j]] {
+					codf[[2]int{ids[i], ids[j]}]++
+				}
+			}
+		}
+	}
+
+	var score float64
+	var pairs int
+	for i := 1; i < len(ids); i++ {
+		for j := 0; j < i; j++ {
+			dj := df[ids[j]]
+			if dj == 0 {
+				continue
+			}
+			co := codf[[2]int{ids[j], ids[i]}] + codf[[2]int{ids[i], ids[j]}]
+			score += math.Log(float64(co+1) / float64(dj))
+			pairs++
+		}
+	}
+	if pairs == 0 {
+		return 0
+	}
+	return score / float64(pairs)
+}
+
+// MeanCoherence averages Coherence over all topics.
+func (m *Model) MeanCoherence(c *textproc.Corpus, topN int) float64 {
+	if m.cfg.Topics == 0 {
+		return 0
+	}
+	var sum float64
+	for k := 0; k < m.cfg.Topics; k++ {
+		sum += m.Coherence(c, k, topN)
+	}
+	return sum / float64(m.cfg.Topics)
+}

@@ -1,0 +1,335 @@
+// Package stats implements the descriptive statistics the paper's figures
+// are built from: empirical CDFs, quantiles, histograms, per-day time
+// series, and concentration measures (top-k contribution shares).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// ECDF is an empirical cumulative distribution function over float64
+// samples. The zero value is empty; add samples with Add or build one with
+// NewECDF.
+type ECDF struct {
+	sorted bool
+	xs     []float64
+}
+
+// NewECDF builds an ECDF from the given samples (copied).
+func NewECDF(samples []float64) *ECDF {
+	e := &ECDF{xs: append([]float64(nil), samples...)}
+	e.sort()
+	return e
+}
+
+// Add appends one sample.
+func (e *ECDF) Add(x float64) {
+	e.xs = append(e.xs, x)
+	e.sorted = false
+}
+
+// AddInt appends one integer sample.
+func (e *ECDF) AddInt(x int) { e.Add(float64(x)) }
+
+func (e *ECDF) sort() {
+	if !e.sorted {
+		sort.Float64s(e.xs)
+		e.sorted = true
+	}
+}
+
+// N returns the number of samples.
+func (e *ECDF) N() int { return len(e.xs) }
+
+// P returns the empirical P(X <= x), i.e. the CDF evaluated at x.
+// It returns 0 for an empty ECDF.
+func (e *ECDF) P(x float64) float64 {
+	if len(e.xs) == 0 {
+		return 0
+	}
+	e.sort()
+	// Count of samples <= x.
+	i := sort.SearchFloat64s(e.xs, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(e.xs))
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) using the nearest-rank
+// method. It panics on an empty ECDF or out-of-range q.
+func (e *ECDF) Quantile(q float64) float64 {
+	if len(e.xs) == 0 {
+		panic("stats: quantile of empty ECDF")
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %v out of range", q))
+	}
+	e.sort()
+	if q == 0 {
+		return e.xs[0]
+	}
+	i := int(math.Ceil(q*float64(len(e.xs)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(e.xs) {
+		i = len(e.xs) - 1
+	}
+	return e.xs[i]
+}
+
+// Median is Quantile(0.5).
+func (e *ECDF) Median() float64 { return e.Quantile(0.5) }
+
+// Min returns the smallest sample; panics if empty.
+func (e *ECDF) Min() float64 {
+	e.sort()
+	return e.xs[0]
+}
+
+// Max returns the largest sample; panics if empty.
+func (e *ECDF) Max() float64 {
+	e.sort()
+	return e.xs[len(e.xs)-1]
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty ECDF.
+func (e *ECDF) Mean() float64 {
+	if len(e.xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range e.xs {
+		s += x
+	}
+	return s / float64(len(e.xs))
+}
+
+// Points returns up to n evenly spaced (x, P(X<=x)) points suitable for
+// plotting the CDF curve, always including the extremes.
+func (e *ECDF) Points(n int) []Point {
+	if len(e.xs) == 0 || n <= 0 {
+		return nil
+	}
+	e.sort()
+	if n > len(e.xs) {
+		n = len(e.xs)
+	}
+	pts := make([]Point, 0, n)
+	for i := 0; i < n; i++ {
+		// Sample rank evenly from first to last.
+		idx := i * (len(e.xs) - 1) / max(1, n-1)
+		x := e.xs[idx]
+		pts = append(pts, Point{X: x, Y: float64(idx+1) / float64(len(e.xs))})
+	}
+	return pts
+}
+
+// Point is one (x, y) pair of a rendered curve.
+type Point struct{ X, Y float64 }
+
+// Render returns a compact textual CDF summary of the form
+// "p10=.. p25=.. p50=.. p75=.. p90=.. p99=.." used by the report package.
+func (e *ECDF) Render() string {
+	if e.N() == 0 {
+		return "(empty)"
+	}
+	qs := []float64{0.10, 0.25, 0.50, 0.75, 0.90, 0.99}
+	parts := make([]string, 0, len(qs))
+	for _, q := range qs {
+		parts = append(parts, fmt.Sprintf("p%02.0f=%.4g", q*100, e.Quantile(q)))
+	}
+	return strings.Join(parts, " ")
+}
+
+// TopShare returns the fraction of the total mass contributed by the top
+// `frac` proportion of samples (e.g. frac=0.01 gives the paper's "top 1% of
+// members account for X% of messages"). It returns 0 for empty input.
+func TopShare(samples []float64, frac float64) float64 {
+	if len(samples) == 0 || frac <= 0 {
+		return 0
+	}
+	xs := append([]float64(nil), samples...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(xs)))
+	k := int(math.Ceil(frac * float64(len(xs))))
+	if k < 1 {
+		k = 1
+	}
+	if k > len(xs) {
+		k = len(xs)
+	}
+	var top, total float64
+	for i, x := range xs {
+		total += x
+		if i < k {
+			top += x
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return top / total
+}
+
+// Gini returns the Gini coefficient of the samples (0 = perfectly equal,
+// →1 = maximally concentrated). Negative samples are not supported.
+func Gini(samples []float64) float64 {
+	n := len(samples)
+	if n == 0 {
+		return 0
+	}
+	xs := append([]float64(nil), samples...)
+	sort.Float64s(xs)
+	var cum, total float64
+	for i, x := range xs {
+		cum += x * float64(i+1)
+		total += x
+	}
+	if total == 0 {
+		return 0
+	}
+	return (2*cum)/(float64(n)*total) - float64(n+1)/float64(n)
+}
+
+// KS computes the two-sample Kolmogorov-Smirnov statistic between the two
+// ECDFs: the maximum vertical distance between the empirical CDFs. 0 means
+// identical distributions, 1 disjoint supports. Used to quantify how close
+// a measured distribution tracks its calibration target.
+func KS(a, b *ECDF) float64 {
+	if a.N() == 0 || b.N() == 0 {
+		return 1
+	}
+	a.sort()
+	b.sort()
+	var d float64
+	i, j := 0, 0
+	for i < len(a.xs) && j < len(b.xs) {
+		var x float64
+		if a.xs[i] <= b.xs[j] {
+			x = a.xs[i]
+			i++
+		} else {
+			x = b.xs[j]
+			j++
+		}
+		// Advance past duplicates of x in both samples.
+		for i < len(a.xs) && a.xs[i] <= x {
+			i++
+		}
+		for j < len(b.xs) && b.xs[j] <= x {
+			j++
+		}
+		fa := float64(i) / float64(len(a.xs))
+		fb := float64(j) / float64(len(b.xs))
+		if diff := math.Abs(fa - fb); diff > d {
+			d = diff
+		}
+	}
+	return d
+}
+
+// Series is a per-day counter, indexed by zero-based study day.
+type Series struct {
+	days []float64
+}
+
+// NewSeries returns a Series with capacity for n days.
+func NewSeries(n int) *Series { return &Series{days: make([]float64, n)} }
+
+// Inc adds v to the counter of the given day, growing as needed; negative
+// days are ignored (events before the study window).
+func (s *Series) Inc(day int, v float64) {
+	if day < 0 {
+		return
+	}
+	for day >= len(s.days) {
+		s.days = append(s.days, 0)
+	}
+	s.days[day] += v
+}
+
+// Len returns the number of tracked days.
+func (s *Series) Len() int { return len(s.days) }
+
+// At returns the counter for the given day (0 if out of range).
+func (s *Series) At(day int) float64 {
+	if day < 0 || day >= len(s.days) {
+		return 0
+	}
+	return s.days[day]
+}
+
+// Values returns the underlying per-day values (not a copy).
+func (s *Series) Values() []float64 { return s.days }
+
+// Median returns the median per-day value, or 0 if the series is empty.
+func (s *Series) Median() float64 {
+	if len(s.days) == 0 {
+		return 0
+	}
+	return NewECDF(s.days).Median()
+}
+
+// Total returns the sum over all days.
+func (s *Series) Total() float64 {
+	var t float64
+	for _, v := range s.days {
+		t += v
+	}
+	return t
+}
+
+// Histogram counts string-keyed occurrences and reports shares.
+type Histogram struct {
+	counts map[string]int
+	total  int
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{counts: map[string]int{}} }
+
+// Inc increments key by one.
+func (h *Histogram) Inc(key string) { h.IncBy(key, 1) }
+
+// IncBy increments key by n.
+func (h *Histogram) IncBy(key string, n int) {
+	h.counts[key] += n
+	h.total += n
+}
+
+// Count returns the count for key.
+func (h *Histogram) Count(key string) int { return h.counts[key] }
+
+// Total returns the total count across keys.
+func (h *Histogram) Total() int { return h.total }
+
+// Share returns the fraction of the total carried by key (0 if empty).
+func (h *Histogram) Share(key string) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.counts[key]) / float64(h.total)
+}
+
+// Sorted returns (key, count) pairs sorted by descending count, ties broken
+// by key for determinism.
+func (h *Histogram) Sorted() []KV {
+	out := make([]KV, 0, len(h.counts))
+	for k, v := range h.counts {
+		out = append(out, KV{k, v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].V != out[j].V {
+			return out[i].V > out[j].V
+		}
+		return out[i].K < out[j].K
+	})
+	return out
+}
+
+// KV is one histogram entry.
+type KV struct {
+	K string
+	V int
+}

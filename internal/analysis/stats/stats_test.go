@@ -1,0 +1,254 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestECDFBasics(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 3, 4})
+	if e.N() != 4 {
+		t.Fatalf("N=%d", e.N())
+	}
+	if got := e.P(2); got != 0.5 {
+		t.Fatalf("P(2)=%v, want 0.5", got)
+	}
+	if got := e.P(0.5); got != 0 {
+		t.Fatalf("P(0.5)=%v, want 0", got)
+	}
+	if got := e.P(4); got != 1 {
+		t.Fatalf("P(4)=%v, want 1", got)
+	}
+	if e.Median() != 2 {
+		t.Fatalf("median=%v", e.Median())
+	}
+	if e.Min() != 1 || e.Max() != 4 {
+		t.Fatalf("min/max wrong: %v %v", e.Min(), e.Max())
+	}
+	if e.Mean() != 2.5 {
+		t.Fatalf("mean=%v", e.Mean())
+	}
+}
+
+func TestECDFMonotoneProperty(t *testing.T) {
+	f := func(xs []float64, a, b float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		for i := range xs {
+			if math.IsNaN(xs[i]) || math.IsInf(xs[i], 0) {
+				xs[i] = 0
+			}
+		}
+		e := NewECDF(xs)
+		if a > b {
+			a, b = b, a
+		}
+		return e.P(a) <= e.P(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestECDFQuantileIsSample(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = rng.Float64() * 100
+	}
+	e := NewECDF(xs)
+	sort.Float64s(xs)
+	for _, q := range []float64{0, 0.1, 0.5, 0.9, 1} {
+		v := e.Quantile(q)
+		found := false
+		for _, x := range xs {
+			if x == v {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("quantile %v = %v is not a sample", q, v)
+		}
+	}
+	// Quantiles are monotone in q.
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := e.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile not monotone at q=%v", q)
+		}
+		prev = v
+	}
+}
+
+func TestECDFQuantilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty quantile should panic")
+		}
+	}()
+	(&ECDF{}).Quantile(0.5)
+}
+
+func TestECDFAddThenQuery(t *testing.T) {
+	var e ECDF
+	for i := 1; i <= 10; i++ {
+		e.AddInt(i)
+	}
+	if e.P(5) != 0.5 {
+		t.Fatalf("P(5)=%v", e.P(5))
+	}
+	e.AddInt(0) // adding after query must re-sort
+	if e.Min() != 0 {
+		t.Fatal("min after late add wrong")
+	}
+}
+
+func TestECDFPoints(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 3, 4, 5})
+	pts := e.Points(3)
+	if len(pts) != 3 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	if pts[0].X != 1 || pts[len(pts)-1].X != 5 {
+		t.Fatalf("points do not span extremes: %+v", pts)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Y < pts[i-1].Y {
+			t.Fatal("points not monotone")
+		}
+	}
+}
+
+func TestTopShare(t *testing.T) {
+	// 100 users: one posts 900, the rest 1 each.
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = 1
+	}
+	xs[42] = 901
+	got := TopShare(xs, 0.01)
+	if math.Abs(got-0.901) > 1e-9 {
+		t.Fatalf("TopShare=%v, want 0.901", got)
+	}
+	if TopShare(nil, 0.01) != 0 {
+		t.Fatal("empty TopShare should be 0")
+	}
+	if TopShare(xs, 1) != 1 {
+		t.Fatal("TopShare(all) should be 1")
+	}
+}
+
+func TestGini(t *testing.T) {
+	equal := []float64{5, 5, 5, 5}
+	if g := Gini(equal); math.Abs(g) > 1e-9 {
+		t.Fatalf("Gini(equal)=%v", g)
+	}
+	concentrated := append(make([]float64, 99), 100)
+	if g := Gini(concentrated); g < 0.9 {
+		t.Fatalf("Gini(concentrated)=%v, want near 1", g)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries(3)
+	s.Inc(0, 2)
+	s.Inc(2, 5)
+	s.Inc(5, 1)  // grows
+	s.Inc(-1, 9) // ignored
+	if s.Len() != 6 {
+		t.Fatalf("len=%d", s.Len())
+	}
+	if s.At(2) != 5 || s.At(99) != 0 {
+		t.Fatal("At wrong")
+	}
+	if s.Total() != 8 {
+		t.Fatalf("total=%v", s.Total())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram()
+	h.Inc("a")
+	h.IncBy("b", 3)
+	if h.Share("b") != 0.75 {
+		t.Fatalf("share=%v", h.Share("b"))
+	}
+	sorted := h.Sorted()
+	if sorted[0].K != "b" || sorted[0].V != 3 {
+		t.Fatalf("sorted=%v", sorted)
+	}
+	if h.Total() != 4 || h.Count("a") != 1 {
+		t.Fatal("counts wrong")
+	}
+}
+
+func TestHistogramTieBreak(t *testing.T) {
+	h := NewHistogram()
+	h.Inc("z")
+	h.Inc("a")
+	sorted := h.Sorted()
+	if sorted[0].K != "a" {
+		t.Fatal("ties should sort by key")
+	}
+}
+
+func TestKSIdenticalAndDisjoint(t *testing.T) {
+	a := NewECDF([]float64{1, 2, 3, 4, 5})
+	b := NewECDF([]float64{1, 2, 3, 4, 5})
+	if d := KS(a, b); d != 0 {
+		t.Fatalf("KS(identical) = %v", d)
+	}
+	c := NewECDF([]float64{100, 200, 300})
+	if d := KS(a, c); d != 1 {
+		t.Fatalf("KS(disjoint) = %v", d)
+	}
+}
+
+func TestKSSymmetricAndBounded(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	xs := make([]float64, 400)
+	ys := make([]float64, 300)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	for i := range ys {
+		ys[i] = rng.NormFloat64() + 0.5
+	}
+	a, b := NewECDF(xs), NewECDF(ys)
+	d1, d2 := KS(a, b), KS(b, a)
+	if math.Abs(d1-d2) > 1e-12 {
+		t.Fatalf("KS not symmetric: %v vs %v", d1, d2)
+	}
+	if d1 <= 0 || d1 >= 1 {
+		t.Fatalf("KS out of (0,1): %v", d1)
+	}
+	// Shifted normals by 0.5 sigma: KS should be noticeable but far from 1.
+	if d1 < 0.08 || d1 > 0.45 {
+		t.Fatalf("KS(shifted normals) = %v, implausible", d1)
+	}
+}
+
+func TestKSSameDistributionSmall(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	xs := make([]float64, 1000)
+	ys := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+	}
+	if d := KS(NewECDF(xs), NewECDF(ys)); d > 0.09 {
+		t.Fatalf("KS(same uniform) = %v, want small", d)
+	}
+}
+
+func TestKSEmpty(t *testing.T) {
+	if d := KS(NewECDF(nil), NewECDF([]float64{1})); d != 1 {
+		t.Fatalf("KS with empty sample = %v, want 1", d)
+	}
+}

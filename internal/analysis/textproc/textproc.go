@@ -1,0 +1,119 @@
+// Package textproc prepares tweet text for topic modeling the way the
+// paper does before LDA: tokenization, lowercasing, URL/mention/punctuation
+// stripping, and English stopword removal.
+package textproc
+
+import (
+	"strings"
+	"unicode"
+
+	"msgscope/internal/textgen"
+)
+
+// Tokenizer splits and normalizes text.
+type Tokenizer struct {
+	stop map[string]struct{}
+}
+
+// NewTokenizer returns a tokenizer with the default English stopword list.
+func NewTokenizer() *Tokenizer {
+	stop := map[string]struct{}{}
+	for _, w := range textgen.Stopwords() {
+		stop[w] = struct{}{}
+	}
+	return &Tokenizer{stop: stop}
+}
+
+// Tokens normalizes text into content tokens: lowercased words with URLs,
+// mentions, hashtag markers, numbers, and stopwords removed.
+func (t *Tokenizer) Tokens(text string) []string {
+	var out []string
+	for _, raw := range strings.Fields(text) {
+		if strings.HasPrefix(raw, "http://") || strings.HasPrefix(raw, "https://") {
+			continue
+		}
+		if strings.HasPrefix(raw, "@") {
+			continue
+		}
+		w := strings.TrimFunc(strings.ToLower(raw), func(r rune) bool {
+			return !unicode.IsLetter(r) && !unicode.IsNumber(r)
+		})
+		w = strings.TrimPrefix(w, "#")
+		if w == "" || len(w) < 2 {
+			continue
+		}
+		if isNumeric(w) {
+			continue
+		}
+		if _, isStop := t.stop[w]; isStop {
+			continue
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+func isNumeric(s string) bool {
+	for _, r := range s {
+		if !unicode.IsNumber(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// Vocab maps tokens to dense integer IDs.
+type Vocab struct {
+	byToken map[string]int
+	tokens  []string
+}
+
+// NewVocab returns an empty vocabulary.
+func NewVocab() *Vocab { return &Vocab{byToken: map[string]int{}} }
+
+// ID interns a token, assigning a new ID on first sight.
+func (v *Vocab) ID(token string) int {
+	if id, ok := v.byToken[token]; ok {
+		return id
+	}
+	id := len(v.tokens)
+	v.byToken[token] = id
+	v.tokens = append(v.tokens, token)
+	return id
+}
+
+// Lookup returns the ID of a known token.
+func (v *Vocab) Lookup(token string) (int, bool) {
+	id, ok := v.byToken[token]
+	return id, ok
+}
+
+// Token returns the token for an ID.
+func (v *Vocab) Token(id int) string { return v.tokens[id] }
+
+// Size returns the vocabulary size.
+func (v *Vocab) Size() int { return len(v.tokens) }
+
+// Corpus is a set of tokenized documents encoded against one vocabulary.
+type Corpus struct {
+	Vocab *Vocab
+	Docs  [][]int // token IDs per document
+}
+
+// NewCorpus builds a corpus from raw texts using the tokenizer, dropping
+// documents that end up empty.
+func NewCorpus(t *Tokenizer, texts []string) *Corpus {
+	c := &Corpus{Vocab: NewVocab()}
+	for _, text := range texts {
+		toks := t.Tokens(text)
+		if len(toks) == 0 {
+			continue
+		}
+		doc := make([]int, len(toks))
+		for i, tok := range toks {
+			doc[i] = c.Vocab.ID(tok)
+		}
+		c.Docs = append(c.Docs, doc)
+	}
+	return c
+}

@@ -1,0 +1,91 @@
+package textproc
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestTokensNormalization(t *testing.T) {
+	tok := NewTokenizer()
+	got := tok.Tokens("Join FREE bitcoin! https://t.me/x @user #crypto now... 123")
+	want := []string{"join", "free", "bitcoin", "crypto"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tokens = %v, want %v", got, want)
+	}
+}
+
+func TestTokensDropStopwords(t *testing.T) {
+	tok := NewTokenizer()
+	got := tok.Tokens("the and a is was trading")
+	if !reflect.DeepEqual(got, []string{"trading"}) {
+		t.Fatalf("Tokens = %v", got)
+	}
+}
+
+func TestTokensDropShortAndNumeric(t *testing.T) {
+	tok := NewTokenizer()
+	if got := tok.Tokens("x 42 7e bb"); !reflect.DeepEqual(got, []string{"7e", "bb"}) {
+		t.Fatalf("Tokens = %v", got)
+	}
+}
+
+func TestTokensUnicode(t *testing.T) {
+	tok := NewTokenizer()
+	got := tok.Tokens("قناة جديدة")
+	if len(got) != 2 {
+		t.Fatalf("Arabic tokens = %v", got)
+	}
+}
+
+func TestVocabInterning(t *testing.T) {
+	v := NewVocab()
+	a := v.ID("alpha")
+	b := v.ID("beta")
+	if a == b {
+		t.Fatal("distinct tokens share an ID")
+	}
+	if v.ID("alpha") != a {
+		t.Fatal("re-interning changed the ID")
+	}
+	if v.Token(a) != "alpha" {
+		t.Fatal("Token lookup wrong")
+	}
+	if id, ok := v.Lookup("beta"); !ok || id != b {
+		t.Fatal("Lookup wrong")
+	}
+	if _, ok := v.Lookup("gamma"); ok {
+		t.Fatal("Lookup found unknown token")
+	}
+	if v.Size() != 2 {
+		t.Fatalf("Size=%d", v.Size())
+	}
+}
+
+func TestNewCorpusDropsEmptyDocs(t *testing.T) {
+	tok := NewTokenizer()
+	c := NewCorpus(tok, []string{
+		"bitcoin trading signals",
+		"the and a",         // all stopwords -> dropped
+		"https://t.me/x @u", // no content tokens -> dropped
+		"crypto bitcoin",
+	})
+	if len(c.Docs) != 2 {
+		t.Fatalf("corpus has %d docs, want 2", len(c.Docs))
+	}
+	// Shared vocabulary: "bitcoin" has the same ID in both docs.
+	id, ok := c.Vocab.Lookup("bitcoin")
+	if !ok {
+		t.Fatal("bitcoin not in vocab")
+	}
+	found := 0
+	for _, doc := range c.Docs {
+		for _, w := range doc {
+			if w == id {
+				found++
+			}
+		}
+	}
+	if found != 2 {
+		t.Fatalf("bitcoin appears %d times, want 2", found)
+	}
+}

@@ -1,0 +1,67 @@
+// Package toxicity is a self-contained stand-in for Google's Perspective
+// API, which the paper names as future work for assessing toxic content in
+// messaging-platform groups. It scores text with a weighted lexicon plus
+// mild contextual boosts — crude next to a learned model, but it exercises
+// the same pipeline: score every collected message, aggregate per group and
+// per platform.
+package toxicity
+
+import (
+	"math"
+	"strings"
+	"unicode"
+)
+
+// lexicon maps lowercase tokens to severity weights in (0, 1].
+var lexicon = map[string]float64{
+	// Sexual/explicit (the paper's Telegram sex topics, Discord hentai).
+	"fuck": 0.9, "pussy": 0.9, "cum": 0.85, "boobs": 0.7, "nude": 0.6,
+	"sex": 0.5, "porn": 0.7, "hentai": 0.6, "nsfw": 0.5, "xxx": 0.6,
+	"onlyfans": 0.4, "girls": 0.15, "girl": 0.1, "waifu": 0.2,
+	// Harassment/profanity.
+	"bitch": 0.8, "asshole": 0.8, "idiot": 0.5, "stupid": 0.35,
+	"loser": 0.4, "trash": 0.3, "hate": 0.4, "kill": 0.55, "die": 0.4,
+	// Scam-adjacent aggression markers.
+	"scam": 0.3, "fraud": 0.3,
+}
+
+// Scorer scores text toxicity in [0, 1].
+type Scorer struct {
+	weights map[string]float64
+}
+
+// NewScorer returns a scorer with the default lexicon.
+func NewScorer() *Scorer { return &Scorer{weights: lexicon} }
+
+// Score returns a toxicity estimate for the text: a saturating sum of
+// lexicon hits normalized by length, so one slur in a long message scores
+// lower than a string of them in a short one.
+func (s *Scorer) Score(text string) float64 {
+	var hit float64
+	n := 0
+	for _, raw := range strings.FieldsFunc(strings.ToLower(text), func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsNumber(r)
+	}) {
+		n++
+		if w, ok := s.weights[raw]; ok {
+			hit += w
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	// Saturating normalization: score -> hit / (hit + sqrt(len)).
+	den := hit + math.Sqrt(float64(n))
+	if den == 0 {
+		return 0
+	}
+	score := hit / den
+	if score > 1 {
+		score = 1
+	}
+	return score
+}
+
+// Toxic reports whether the text clears the default threshold (0.30,
+// roughly Perspective's common moderation cut).
+func (s *Scorer) Toxic(text string) bool { return s.Score(text) >= 0.30 }

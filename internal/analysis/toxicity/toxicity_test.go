@@ -1,0 +1,53 @@
+package toxicity
+
+import "testing"
+
+func TestScoreOrdering(t *testing.T) {
+	s := NewScorer()
+	clean := s.Score("join our group for forex trading signals today")
+	mild := s.Score("this stupid market is trash today")
+	explicit := s.Score("fuck pussy cum nude porn")
+	if !(clean < mild && mild < explicit) {
+		t.Fatalf("ordering violated: clean=%.3f mild=%.3f explicit=%.3f", clean, mild, explicit)
+	}
+	if clean != 0 {
+		t.Fatalf("clean text scored %v", clean)
+	}
+}
+
+func TestScoreBounds(t *testing.T) {
+	s := NewScorer()
+	for _, text := range []string{"", "   ", "hello world", "fuck fuck fuck fuck fuck"} {
+		v := s.Score(text)
+		if v < 0 || v > 1 {
+			t.Fatalf("Score(%q) = %v out of [0,1]", text, v)
+		}
+	}
+}
+
+func TestLengthNormalization(t *testing.T) {
+	s := NewScorer()
+	short := s.Score("fuck this")
+	long := s.Score("fuck this but here are another twenty perfectly ordinary words " +
+		"that dilute the single profanity in a very long message about gaming")
+	if long >= short {
+		t.Fatalf("long diluted message (%.3f) should score below short one (%.3f)", long, short)
+	}
+}
+
+func TestToxicThreshold(t *testing.T) {
+	s := NewScorer()
+	if s.Toxic("have a lovely day everyone") {
+		t.Fatal("benign text flagged toxic")
+	}
+	if !s.Toxic("fuck pussy cum") {
+		t.Fatal("explicit text not flagged")
+	}
+}
+
+func TestCaseAndPunctuationInsensitive(t *testing.T) {
+	s := NewScorer()
+	if s.Score("FUCK!") == 0 {
+		t.Fatal("case/punctuation defeated the lexicon")
+	}
+}

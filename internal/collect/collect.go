@@ -1,0 +1,245 @@
+// Package collect implements the discovery pipeline of Section 3.1: hourly
+// Search API queries for the six URL patterns, a continuous filtered
+// stream, and the 1% sample stream as the control dataset. Results from
+// both APIs are merged and deduplicated into the store; each API alone is
+// incomplete (the service simulates index misses and stream drops), which
+// is why the paper merges them.
+package collect
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"msgscope/internal/social"
+	"msgscope/internal/store"
+	"msgscope/internal/twitter"
+	"msgscope/internal/urlpat"
+)
+
+// Stats counts collection-side events.
+type Stats struct {
+	SearchTweets  int // tweets returned by search (pre-dedup)
+	StreamTweets  int // tweets delivered by the filter stream
+	ControlTweets int
+	RateLimitHits int
+	NoURLTweets   int // matched the pattern text but carried no invite URL
+	NewGroups     int
+	SocialPosts   int // posts ingested from the secondary network
+	SocialNew     int // groups first discovered via the secondary network
+}
+
+// Collector drives discovery against one Twitter client.
+type Collector struct {
+	Store  *store.Store
+	Client *twitter.Client
+	// Social, when set, is polled alongside the Twitter sources — the
+	// future-work second discovery source.
+	Social *social.Client
+	// MaxPagesPerQuery bounds search pagination per hourly query.
+	MaxPagesPerQuery int
+
+	mu       sync.Mutex
+	stats    Stats
+	sinceID  map[string]uint64
+	socialID uint64 // feed cursor
+
+	filter *twitter.Stream
+	sample *twitter.Stream
+}
+
+// New returns a Collector writing into st.
+func New(st *store.Store, client *twitter.Client) *Collector {
+	return &Collector{
+		Store:            st,
+		Client:           client,
+		MaxPagesPerQuery: 50,
+		sinceID:          map[string]uint64{},
+	}
+}
+
+// Open connects the filter stream (tracking all six patterns) and the 1%
+// sample stream.
+func (c *Collector) Open(ctx context.Context) error {
+	f, err := c.Client.OpenFilterStream(ctx, urlpat.TrackTerms())
+	if err != nil {
+		return fmt.Errorf("collect: opening filter stream: %w", err)
+	}
+	s, err := c.Client.OpenSampleStream(ctx)
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("collect: opening sample stream: %w", err)
+	}
+	c.filter, c.sample = f, s
+	return nil
+}
+
+// Close tears down the streams.
+func (c *Collector) Close() {
+	if c.filter != nil {
+		c.filter.Close()
+	}
+	if c.sample != nil {
+		c.sample.Close()
+	}
+}
+
+// FilterStream exposes the filter stream (for driver quiescing).
+func (c *Collector) FilterStream() *twitter.Stream { return c.filter }
+
+// SampleStream exposes the sample stream (for driver quiescing).
+func (c *Collector) SampleStream() *twitter.Stream { return c.sample }
+
+// HourlySearch runs one round of Search API queries, one per URL pattern,
+// with since_id cursors so each round only pulls new tweets. Rate-limit
+// errors are counted, not fatal: the seven-day search window means the next
+// round recovers anything missed.
+func (c *Collector) HourlySearch(ctx context.Context) error {
+	for _, term := range urlpat.TrackTerms() {
+		c.mu.Lock()
+		since := c.sinceID[term]
+		c.mu.Unlock()
+		statuses, err := c.Client.Search(ctx, term, since, c.MaxPagesPerQuery)
+		if err != nil {
+			if errors.Is(err, twitter.ErrRateLimited) {
+				c.mu.Lock()
+				c.stats.RateLimitHits++
+				c.mu.Unlock()
+			} else {
+				return fmt.Errorf("collect: search %q: %w", term, err)
+			}
+		}
+		maxID := since
+		for _, st := range statuses {
+			if st.ID > maxID {
+				maxID = st.ID
+			}
+			c.ingest(st, store.SourceSearch)
+			c.mu.Lock()
+			c.stats.SearchTweets++
+			c.mu.Unlock()
+		}
+		c.mu.Lock()
+		if maxID > c.sinceID[term] {
+			c.sinceID[term] = maxID
+		}
+		c.mu.Unlock()
+	}
+	return nil
+}
+
+// DrainStreams ingests everything buffered on both streams.
+func (c *Collector) DrainStreams() {
+	if c.filter != nil {
+		for _, st := range c.filter.Drain() {
+			c.ingest(st, store.SourceStream)
+			c.mu.Lock()
+			c.stats.StreamTweets++
+			c.mu.Unlock()
+		}
+	}
+	if c.sample != nil {
+		for _, st := range c.sample.Drain() {
+			c.Store.AddControl(store.ControlRecord{
+				ID:        st.ID,
+				UserID:    st.UserID,
+				CreatedAt: st.CreatedAt,
+				Lang:      st.Lang,
+				Hashtags:  st.Hashtags,
+				Mentions:  st.Mentions,
+				Retweet:   st.IsRetweet,
+			})
+			c.mu.Lock()
+			c.stats.ControlTweets++
+			c.mu.Unlock()
+		}
+	}
+}
+
+// ingest extracts the group URL from a status and merges it into the store.
+func (c *Collector) ingest(st twitter.Status, src store.TweetSource) {
+	urls := urlpat.Extract(st.Text)
+	if len(urls) == 0 {
+		c.mu.Lock()
+		c.stats.NoURLTweets++
+		c.mu.Unlock()
+		return
+	}
+	gu := urls[0]
+	rec := store.TweetRecord{
+		ID:        st.ID,
+		UserID:    st.UserID,
+		CreatedAt: st.CreatedAt,
+		Lang:      st.Lang,
+		Hashtags:  st.Hashtags,
+		Mentions:  st.Mentions,
+		Retweet:   st.IsRetweet,
+		Text:      st.Text,
+		Platform:  gu.Platform,
+		GroupCode: gu.Code,
+		Source:    src,
+	}
+	if c.Store.AddTweet(rec) {
+		c.Store.SetCanonical(gu.Platform, gu.Code, gu.Canonical)
+		c.mu.Lock()
+		c.stats.NewGroups++
+		c.mu.Unlock()
+	}
+}
+
+// PollSocial drains the secondary network's feed since the last cursor.
+// No-op when no social client is configured.
+func (c *Collector) PollSocial(ctx context.Context) error {
+	if c.Social == nil {
+		return nil
+	}
+	c.mu.Lock()
+	since := c.socialID
+	c.mu.Unlock()
+	posts, cursor, err := c.Social.Poll(ctx, since)
+	if err != nil {
+		return fmt.Errorf("collect: polling social feed: %w", err)
+	}
+	for _, p := range posts {
+		urls := urlpat.Extract(p.Text)
+		if len(urls) == 0 {
+			c.mu.Lock()
+			c.stats.NoURLTweets++
+			c.mu.Unlock()
+			continue
+		}
+		gu := urls[0]
+		isNew := c.Store.AddPost(store.PostRecord{
+			ID:        p.ID,
+			Author:    p.Author,
+			CreatedAt: p.CreatedAt,
+			Text:      p.Text,
+			Platform:  gu.Platform,
+			GroupCode: gu.Code,
+		})
+		c.mu.Lock()
+		c.stats.SocialPosts++
+		if isNew {
+			c.stats.SocialNew++
+			c.stats.NewGroups++
+		}
+		c.mu.Unlock()
+		if isNew {
+			c.Store.SetCanonical(gu.Platform, gu.Code, gu.Canonical)
+		}
+	}
+	c.mu.Lock()
+	if cursor > c.socialID {
+		c.socialID = cursor
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// Stats returns a snapshot of collection counters.
+func (c *Collector) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}

@@ -1,0 +1,213 @@
+package collect
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"msgscope/internal/simclock"
+	"msgscope/internal/simworld"
+	"msgscope/internal/social"
+	"msgscope/internal/store"
+	"msgscope/internal/twitter"
+)
+
+type fixture struct {
+	world *simworld.World
+	clock *simclock.Sim
+	svc   *twitter.Service
+	col   *Collector
+	st    *store.Store
+}
+
+func newFixture(t *testing.T, cfg twitter.ServiceConfig) *fixture {
+	t.Helper()
+	w := simworld.New(simworld.DefaultConfig(9, 0.01))
+	clock := simclock.New(w.Cfg.Start)
+	svc := twitter.NewService(w, clock, cfg)
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(srv.Close)
+	st := store.New()
+	col := New(st, twitter.NewClient(srv.URL))
+	t.Cleanup(col.Close)
+	return &fixture{world: w, clock: clock, svc: svc, col: col, st: st}
+}
+
+func perfect() twitter.ServiceConfig {
+	cfg := twitter.DefaultServiceConfig()
+	cfg.SearchMissP = 0
+	cfg.StreamDropP = 0
+	return cfg
+}
+
+// runDays drives the collector the way the study does: hourly searches,
+// then a daily stream drain.
+func (f *fixture) runDays(t *testing.T, days int) {
+	t.Helper()
+	ctx := context.Background()
+	if err := f.col.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < days; d++ {
+		for h := 0; h < 24; h++ {
+			f.clock.Advance(time.Hour)
+			f.svc.PublishUpTo(f.clock.Now())
+			if err := f.col.HourlySearch(ctx); err != nil {
+				t.Fatal(err)
+			}
+		}
+		f.quiesce(t)
+		f.col.DrainStreams()
+	}
+}
+
+func (f *fixture) quiesce(t *testing.T) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for _, s := range []*twitter.Stream{f.col.FilterStream(), f.col.SampleStream()} {
+		for s.Received() < f.svc.QueuedFor(s.SubID()) {
+			if time.Now().After(deadline) {
+				t.Fatal("stream quiesce timeout")
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+func TestPerfectAPIsCollectEverything(t *testing.T) {
+	f := newFixture(t, perfect())
+	f.runDays(t, 2)
+	published, control := f.svc.PublishedCounts()
+	if got := len(f.st.Tweets()); got != published {
+		t.Fatalf("collected %d tweets, world published %d", got, published)
+	}
+	if got := len(f.st.Control()); got != control {
+		t.Fatalf("collected %d control tweets, world published %d", got, control)
+	}
+	stats := f.col.Stats()
+	if stats.NoURLTweets != 0 {
+		t.Fatalf("%d pattern matches without URLs", stats.NoURLTweets)
+	}
+}
+
+func TestLossyAPIsStillMergeWell(t *testing.T) {
+	cfg := perfect()
+	cfg.SearchMissP = 0.12
+	cfg.StreamDropP = 0.12
+	f := newFixture(t, cfg)
+	f.runDays(t, 2)
+	published, _ := f.svc.PublishedCounts()
+	got := len(f.st.Tweets())
+	// Each source alone misses ~10%; merged should miss ~1%.
+	if float64(got) < 0.95*float64(published) {
+		t.Fatalf("merged recall %d/%d too low", got, published)
+	}
+	// And each source alone really is lossy.
+	var searchOnly, streamOnly int
+	for _, tw := range f.st.Tweets() {
+		if tw.Source == store.SourceSearch {
+			searchOnly++
+		}
+		if tw.Source == store.SourceStream {
+			streamOnly++
+		}
+	}
+	if searchOnly == 0 || streamOnly == 0 {
+		t.Fatalf("no single-source tweets (search-only=%d stream-only=%d); merge untested",
+			searchOnly, streamOnly)
+	}
+}
+
+func TestDiscoveryCountsGroups(t *testing.T) {
+	f := newFixture(t, perfect())
+	f.runDays(t, 1)
+	stats := f.col.Stats()
+	groups := len(f.st.Groups())
+	if groups == 0 || stats.NewGroups != groups {
+		t.Fatalf("NewGroups=%d, store has %d groups", stats.NewGroups, groups)
+	}
+	for _, g := range f.st.Groups() {
+		if g.Canonical == "" {
+			t.Fatalf("group %s has no canonical URL", g.Code)
+		}
+		if g.Tweets == 0 {
+			t.Fatalf("group %s has no tweets", g.Code)
+		}
+	}
+}
+
+func TestIngestSkipsURLlessMatches(t *testing.T) {
+	f := newFixture(t, perfect())
+	f.col.ingest(twitter.Status{
+		ID:   1,
+		Text: "talking about t.me without a link",
+	}, store.SourceSearch)
+	if got := f.col.Stats().NoURLTweets; got != 1 {
+		t.Fatalf("NoURLTweets=%d, want 1", got)
+	}
+	if len(f.st.Tweets()) != 0 {
+		t.Fatal("URL-less status stored")
+	}
+}
+
+func TestRateLimitedSearchIsCountedNotFatal(t *testing.T) {
+	cfg := perfect()
+	cfg.SearchRateLimit = 2
+	cfg.SearchRateWindow = 15 * time.Minute
+	f := newFixture(t, cfg)
+	ctx := context.Background()
+	f.clock.Advance(24 * time.Hour)
+	f.svc.PublishUpTo(f.clock.Now())
+	if err := f.col.HourlySearch(ctx); err != nil {
+		t.Fatalf("rate limit should not be fatal: %v", err)
+	}
+	if f.col.Stats().RateLimitHits == 0 {
+		t.Fatal("rate-limit hits not counted")
+	}
+}
+
+func TestPollSocialDiscoversGroups(t *testing.T) {
+	f := newFixture(t, perfect())
+	socialSrv := httptest.NewServer(social.NewService(f.world, f.clock).Handler())
+	t.Cleanup(socialSrv.Close)
+	f.col.Social = social.NewClient(socialSrv.URL)
+
+	ctx := context.Background()
+	f.clock.Advance(4 * 24 * time.Hour)
+	f.svc.PublishUpTo(f.clock.Now())
+	if err := f.col.PollSocial(ctx); err != nil {
+		t.Fatal(err)
+	}
+	stats := f.col.Stats()
+	if stats.SocialPosts == 0 || stats.SocialNew == 0 {
+		t.Fatalf("social polling found nothing: %+v", stats)
+	}
+	if len(f.st.Posts()) != stats.SocialPosts {
+		t.Fatalf("posts stored %d != polled %d", len(f.st.Posts()), stats.SocialPosts)
+	}
+	// Re-polling immediately adds nothing (cursor).
+	if err := f.col.PollSocial(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.col.Stats().SocialPosts; got != stats.SocialPosts {
+		t.Fatalf("re-poll ingested %d more posts", got-stats.SocialPosts)
+	}
+	// Social-only groups must be discoverable only via the feed.
+	socialOnly := 0
+	for _, g := range f.st.Groups() {
+		if g.SeenSocial && !g.SeenTwitter {
+			socialOnly++
+		}
+	}
+	if socialOnly == 0 {
+		t.Fatal("no social-only discoveries")
+	}
+}
+
+func TestPollSocialWithoutClientIsNoop(t *testing.T) {
+	f := newFixture(t, perfect())
+	if err := f.col.PollSocial(context.Background()); err != nil {
+		t.Fatalf("nil social client: %v", err)
+	}
+}

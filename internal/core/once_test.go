@@ -1,0 +1,11 @@
+package core
+
+import "sync"
+
+// Shared small-study fixture: the end-to-end run is the expensive part, so
+// every test in this package reuses one run.
+var (
+	smallOnce  sync.Once
+	smallStudy *Study
+	smallErr   error
+)

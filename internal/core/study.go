@@ -1,0 +1,298 @@
+// Package core orchestrates the full 38-day methodology end-to-end over
+// real HTTP: it stands up the simulated Twitter and messaging-platform
+// services on loopback listeners, drives the virtual clock hour by hour,
+// runs hourly searches and continuous streams (Section 3.1), the daily
+// metadata sweeps (Section 3.2), the join phase with message collection
+// (Section 3.3), and hands the resulting dataset to the report package.
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"time"
+
+	"msgscope/internal/collect"
+	"msgscope/internal/join"
+	"msgscope/internal/monitor"
+	"msgscope/internal/platform/discord"
+	"msgscope/internal/platform/telegram"
+	"msgscope/internal/platform/whatsapp"
+	"msgscope/internal/report"
+	"msgscope/internal/simclock"
+	"msgscope/internal/simworld"
+	"msgscope/internal/social"
+	"msgscope/internal/store"
+	"msgscope/internal/twitter"
+)
+
+// Config parameterizes one study run.
+type Config struct {
+	// Seed drives the entire simulation deterministically.
+	Seed uint64
+	// Scale multiplies workload volumes (1.0 = paper scale). The default
+	// join targets (paper: 416/100/100) scale with it too unless Join is
+	// set explicitly.
+	Scale float64
+	// Days is the collection window (default 38).
+	Days int
+	// JoinDay is the study day on which the join phase runs (default 2;
+	// groups must first be discovered).
+	JoinDay int
+	// Join overrides the per-platform join targets; zero means scaled
+	// paper defaults.
+	Join join.Targets
+	// SearchEveryHours is the Search API polling cadence (paper: 1).
+	SearchEveryHours int
+	// MaxMessagesPerGroup bounds per-group history collection
+	// (0 = unlimited).
+	MaxMessagesPerGroup int
+	// GenerateMessageText makes in-group messages carry bodies.
+	GenerateMessageText bool
+	// Twitter tunes the simulated API's imperfections; zero value means
+	// twitter.DefaultServiceConfig.
+	Twitter *twitter.ServiceConfig
+	// World overrides the full world configuration; nil means the
+	// paper-calibrated simworld.DefaultConfig(Seed, Scale).
+	World *simworld.Config
+	// MonitorWorkers sets daily-sweep parallelism (default 16).
+	MonitorWorkers int
+	// MonitorEveryDays sets the metadata probe cadence in days (default
+	// 1, i.e. daily, as in the paper). The probe-cadence ablation sweeps
+	// this: sparser probing inflates the dead-at-first-observation share.
+	MonitorEveryDays int
+	// JoinTitleKeywords restricts the join sample to groups whose
+	// monitored title matches a keyword — the paper's future-work focused
+	// collection (e.g. only COVID or politics groups).
+	JoinTitleKeywords []string
+	// EnableSocialDiscovery turns on the future-work second discovery
+	// source: a secondary social network's public feed is polled hourly
+	// alongside the Twitter APIs.
+	EnableSocialDiscovery bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale <= 0 {
+		c.Scale = 0.02
+	}
+	if c.Days <= 0 {
+		c.Days = 38
+	}
+	if c.JoinDay <= 0 {
+		c.JoinDay = 2
+	}
+	if c.SearchEveryHours <= 0 {
+		c.SearchEveryHours = 1
+	}
+	if c.Join == (join.Targets{}) {
+		c.Join = join.Targets{
+			WhatsApp: scaleTarget(416, c.Scale),
+			Telegram: scaleTarget(100, c.Scale),
+			Discord:  scaleTarget(100, c.Scale),
+		}
+	}
+	if c.MonitorWorkers <= 0 {
+		c.MonitorWorkers = 16
+	}
+	if c.MonitorEveryDays <= 0 {
+		c.MonitorEveryDays = 1
+	}
+	return c
+}
+
+func scaleTarget(full int, scale float64) int {
+	n := int(math.Round(float64(full) * scale))
+	if n < 3 {
+		n = 3
+	}
+	return n
+}
+
+// Study is one fully wired simulation run.
+type Study struct {
+	Cfg   Config
+	World *simworld.World
+	Clock *simclock.Sim
+	Store *store.Store
+
+	TwitterSvc *twitter.Service
+
+	servers   []*httptest.Server
+	collector *collect.Collector
+	monitor   *monitor.Monitor
+	joiner    *join.Joiner
+
+	ran bool
+}
+
+// NewStudy builds the world, starts the services on loopback HTTP, and
+// wires the pipeline. Call Run, then Dataset; Close when done.
+func NewStudy(cfg Config) (*Study, error) {
+	cfg = cfg.withDefaults()
+	wcfg := simworld.DefaultConfig(cfg.Seed, cfg.Scale)
+	if cfg.World != nil {
+		wcfg = *cfg.World
+	}
+	wcfg.Days = cfg.Days
+	wcfg.GenerateMessageText = cfg.GenerateMessageText
+
+	world := simworld.New(wcfg)
+	clock := simclock.New(wcfg.Start)
+	st := store.New()
+
+	tcfg := twitter.DefaultServiceConfig()
+	if cfg.Twitter != nil {
+		tcfg = *cfg.Twitter
+	}
+	twSvc := twitter.NewService(world, clock, tcfg)
+	waSvc := whatsapp.NewService(world, clock)
+	tgSvc := telegram.NewService(world, clock, telegram.DefaultServiceConfig())
+	dcSvc := discord.NewService(world, clock, discord.DefaultServiceConfig())
+
+	s := &Study{
+		Cfg:        cfg,
+		World:      world,
+		Clock:      clock,
+		Store:      st,
+		TwitterSvc: twSvc,
+	}
+	twSrv := httptest.NewServer(twSvc.Handler())
+	waSrv := httptest.NewServer(waSvc.Handler())
+	tgSrv := httptest.NewServer(tgSvc.Handler())
+	dcSrv := httptest.NewServer(dcSvc.Handler())
+	s.servers = []*httptest.Server{twSrv, waSrv, tgSrv, dcSrv}
+
+	s.collector = collect.New(st, twitter.NewClient(twSrv.URL))
+	if cfg.EnableSocialDiscovery {
+		socialSrv := httptest.NewServer(social.NewService(world, clock).Handler())
+		s.servers = append(s.servers, socialSrv)
+		s.collector.Social = social.NewClient(socialSrv.URL)
+	}
+
+	waMonitorClient := whatsapp.NewClient(waSrv.URL, "monitor")
+	tgMonitorClient := telegram.NewClient(tgSrv.URL, "monitor")
+	dcMonitorClient := discord.NewClient(dcSrv.URL, "monitor")
+	s.monitor = monitor.New(st, waMonitorClient, tgMonitorClient, dcMonitorClient)
+	s.monitor.Workers = cfg.MonitorWorkers
+
+	// WhatsApp join accounts: one per ~240 groups ("phones and SIM
+	// cards").
+	nAccounts := cfg.Join.WhatsApp/240 + 1
+	waClients := make([]*whatsapp.Client, nAccounts)
+	for i := range waClients {
+		waClients[i] = whatsapp.NewClient(waSrv.URL, fmt.Sprintf("join-%d", i))
+	}
+	s.joiner = join.New(st, waClients,
+		telegram.NewClient(tgSrv.URL, "join-tg"),
+		discord.NewClient(dcSrv.URL, "join-dc"),
+		clock, cfg.Seed)
+	s.joiner.MaxMessagesPerGroup = cfg.MaxMessagesPerGroup
+	s.joiner.TitleKeywords = cfg.JoinTitleKeywords
+	return s, nil
+}
+
+// Close shuts the services down.
+func (s *Study) Close() {
+	if s.collector != nil {
+		s.collector.Close()
+	}
+	for _, srv := range s.servers {
+		srv.Close()
+	}
+}
+
+// Run executes the whole study: discovery, daily monitoring, joining, and
+// message collection.
+func (s *Study) Run(ctx context.Context) error {
+	if s.ran {
+		return fmt.Errorf("core: study already ran")
+	}
+	s.ran = true
+	if err := s.collector.Open(ctx); err != nil {
+		return err
+	}
+	for day := 0; day < s.Cfg.Days; day++ {
+		if err := s.runDay(ctx, day); err != nil {
+			return fmt.Errorf("core: day %d: %w", day, err)
+		}
+	}
+	// Final message collection over the joined groups.
+	if err := s.joiner.CollectMessages(ctx); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (s *Study) runDay(ctx context.Context, day int) error {
+	for hour := 1; hour <= 24; hour++ {
+		s.Clock.Advance(time.Hour)
+		s.TwitterSvc.PublishUpTo(s.Clock.Now())
+		if hour%s.Cfg.SearchEveryHours == 0 {
+			if err := s.collector.HourlySearch(ctx); err != nil {
+				return err
+			}
+			if err := s.collector.PollSocial(ctx); err != nil {
+				return err
+			}
+		}
+	}
+	if err := s.quiesceStreams(); err != nil {
+		return err
+	}
+	s.collector.DrainStreams()
+
+	if (day+1)%s.Cfg.MonitorEveryDays == 0 {
+		if err := s.monitor.DailySweep(ctx, s.Clock.Now()); err != nil {
+			return err
+		}
+	}
+	if day == s.Cfg.JoinDay {
+		if err := s.joiner.SelectAndJoin(ctx, s.Cfg.Join); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// quiesceStreams waits (in wall time) until the streaming clients have
+// consumed everything the service enqueued for them — the virtual clock
+// advances in bursts, so the driver must let the real goroutines catch up
+// before draining.
+func (s *Study) quiesceStreams() error {
+	deadline := time.Now().Add(30 * time.Second)
+	for _, st := range []*twitter.Stream{s.collector.FilterStream(), s.collector.SampleStream()} {
+		if st == nil {
+			continue
+		}
+		for {
+			queued := s.TwitterSvc.QueuedFor(st.SubID())
+			if st.Received() >= queued {
+				break
+			}
+			if err := st.Err(); err != nil {
+				return fmt.Errorf("core: stream error: %w", err)
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("core: stream quiesce timeout: received %d of %d",
+					st.Received(), queued)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	return nil
+}
+
+// Dataset returns the collected dataset for the report package.
+func (s *Study) Dataset() report.Dataset {
+	return report.Dataset{Store: s.Store, Start: s.World.Cfg.Start, Days: s.Cfg.Days}
+}
+
+// CollectorStats exposes discovery counters.
+func (s *Study) CollectorStats() collect.Stats { return s.collector.Stats() }
+
+// MonitorStats exposes daily-sweep counters.
+func (s *Study) MonitorStats() monitor.Stats { return s.monitor.Stats() }
+
+// JoinStats exposes join-phase counters.
+func (s *Study) JoinStats() join.Stats { return s.joiner.Stats() }

@@ -1,0 +1,34 @@
+package dist
+
+import "math"
+
+// ZipfWithMean builds a Zipf sampler over [1, n] whose expected value is as
+// close as possible to target, by bisecting on the exponent. The mean of a
+// bounded Zipf is strictly decreasing in the exponent, so bisection
+// converges. target must lie in (1, (n+1)/2]; values outside are clamped to
+// the achievable range.
+func ZipfWithMean(target float64, n int) *Zipf {
+	if n < 1 {
+		panic("dist: ZipfWithMean needs n >= 1")
+	}
+	lo, hi := -2.0, 8.0 // exponent range; negative favors large values
+	for iter := 0; iter < 60; iter++ {
+		mid := (lo + hi) / 2
+		if zipfMean(mid, n) > target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return NewZipf((lo+hi)/2, n)
+}
+
+func zipfMean(s float64, n int) float64 {
+	var norm, mean float64
+	for k := 1; k <= n; k++ {
+		p := math.Pow(float64(k), -s)
+		norm += p
+		mean += float64(k) * p
+	}
+	return mean / norm
+}

@@ -1,0 +1,116 @@
+// Package ids provides deterministic identifier generation for the
+// simulated ecosystem: base62 invite codes, Twitter- and Discord-style
+// snowflake IDs (which encode creation timestamps, a property the Discord
+// crawler exploits to recover guild creation dates), and forkable seeded
+// random number generators so every subsystem draws from an independent but
+// reproducible stream.
+package ids
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strings"
+	"time"
+)
+
+const base62Alphabet = "0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz"
+
+// Base62 encodes n as a base62 string (empty input 0 encodes to "0").
+func Base62(n uint64) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [11]byte // 62^11 > 2^64
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = base62Alphabet[n%62]
+		n /= 62
+	}
+	return string(buf[i:])
+}
+
+// ParseBase62 decodes a base62 string produced by Base62.
+func ParseBase62(s string) (uint64, error) {
+	if s == "" {
+		return 0, fmt.Errorf("ids: empty base62 string")
+	}
+	var n uint64
+	for _, c := range []byte(s) {
+		d := strings.IndexByte(base62Alphabet, c)
+		if d < 0 {
+			return 0, fmt.Errorf("ids: invalid base62 byte %q", c)
+		}
+		nn := n*62 + uint64(d)
+		if nn < n {
+			return 0, fmt.Errorf("ids: base62 overflow in %q", s)
+		}
+		n = nn
+	}
+	return n, nil
+}
+
+// Code returns a fixed-length invite-code-like token (alphanumeric,
+// case-sensitive) drawn from rng. WhatsApp invite IDs are ~22 chars,
+// Discord codes 8-10, Telegram joinchat hashes ~16.
+func Code(rng *rand.Rand, n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = base62Alphabet[rng.IntN(62)]
+	}
+	return string(b)
+}
+
+// Snowflake epochs, in milliseconds since the Unix epoch.
+const (
+	TwitterEpochMS = 1288834974657 // 2010-11-04T01:42:54.657Z
+	DiscordEpochMS = 1420070400000 // 2015-01-01T00:00:00.000Z
+)
+
+// Snowflake packs a timestamp and a sequence number into a 64-bit ID using
+// the Twitter/Discord layout: 42 bits of milliseconds-since-epoch, then 22
+// low bits (worker+process+sequence, collapsed here into one counter).
+func Snowflake(epochMS int64, t time.Time, seq uint32) uint64 {
+	ms := t.UnixMilli() - epochMS
+	if ms < 0 {
+		ms = 0
+	}
+	return uint64(ms)<<22 | uint64(seq&0x3FFFFF)
+}
+
+// SnowflakeTime recovers the timestamp embedded in a snowflake ID.
+func SnowflakeTime(epochMS int64, id uint64) time.Time {
+	ms := int64(id>>22) + epochMS
+	return time.UnixMilli(ms).UTC()
+}
+
+// Sequence hands out monotonically increasing snowflakes for one epoch. It
+// is not safe for concurrent use; the world generator is single-threaded.
+type Sequence struct {
+	epochMS int64
+	seq     uint32
+}
+
+// NewSequence returns a Sequence for the given epoch.
+func NewSequence(epochMS int64) *Sequence { return &Sequence{epochMS: epochMS} }
+
+// Next returns a fresh snowflake for time t.
+func (s *Sequence) Next(t time.Time) uint64 {
+	s.seq++
+	return Snowflake(s.epochMS, t, s.seq)
+}
+
+// Fork derives an independent deterministic RNG from a parent seed and a
+// label. Subsystems each fork their own stream so that adding draws in one
+// subsystem does not perturb any other.
+func Fork(seed uint64, label string) *rand.Rand {
+	// FNV-1a over the label, mixed with the seed.
+	const offset64 = 14695981039346656037
+	const prime64 = 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= prime64
+	}
+	return rand.New(rand.NewPCG(seed, h))
+}

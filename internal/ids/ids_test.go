@@ -1,0 +1,116 @@
+package ids
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestBase62RoundTrip(t *testing.T) {
+	cases := []uint64{0, 1, 61, 62, 12345, 1<<32 - 1, 1<<63 + 17, ^uint64(0)}
+	for _, n := range cases {
+		s := Base62(n)
+		got, err := ParseBase62(s)
+		if err != nil {
+			t.Fatalf("ParseBase62(%q): %v", s, err)
+		}
+		if got != n {
+			t.Fatalf("round trip %d -> %q -> %d", n, s, got)
+		}
+	}
+}
+
+func TestBase62RoundTripProperty(t *testing.T) {
+	f := func(n uint64) bool {
+		got, err := ParseBase62(Base62(n))
+		return err == nil && got == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseBase62Invalid(t *testing.T) {
+	for _, s := range []string{"", "abc-def", "hello world", "!!"} {
+		if _, err := ParseBase62(s); err == nil {
+			t.Errorf("ParseBase62(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestParseBase62Overflow(t *testing.T) {
+	if _, err := ParseBase62("zzzzzzzzzzzzzzzz"); err == nil {
+		t.Error("16 z's should overflow uint64")
+	}
+}
+
+func TestCodeLengthAndCharset(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for _, n := range []int{1, 8, 22} {
+		c := Code(rng, n)
+		if len(c) != n {
+			t.Fatalf("Code length %d, want %d", len(c), n)
+		}
+		for i := 0; i < len(c); i++ {
+			b := c[i]
+			if !(b >= '0' && b <= '9' || b >= 'A' && b <= 'Z' || b >= 'a' && b <= 'z') {
+				t.Fatalf("Code byte %q outside base62 alphabet", b)
+			}
+		}
+	}
+}
+
+func TestSnowflakeTimeRoundTrip(t *testing.T) {
+	at := time.Date(2020, 4, 20, 12, 34, 56, 789e6, time.UTC)
+	for _, epoch := range []int64{TwitterEpochMS, DiscordEpochMS} {
+		id := Snowflake(epoch, at, 42)
+		got := SnowflakeTime(epoch, id)
+		if !got.Equal(at.Truncate(time.Millisecond)) {
+			t.Fatalf("epoch %d: got %v want %v", epoch, got, at)
+		}
+	}
+}
+
+func TestSnowflakeMonotonicInTime(t *testing.T) {
+	a := Snowflake(DiscordEpochMS, time.UnixMilli(DiscordEpochMS+1000), 5)
+	b := Snowflake(DiscordEpochMS, time.UnixMilli(DiscordEpochMS+2000), 1)
+	if a >= b {
+		t.Fatalf("later timestamp should dominate sequence: %d >= %d", a, b)
+	}
+}
+
+func TestSnowflakePreEpochClamps(t *testing.T) {
+	id := Snowflake(DiscordEpochMS, time.UnixMilli(0), 7)
+	if id>>22 != 0 {
+		t.Fatalf("pre-epoch time should clamp to 0, got ms=%d", id>>22)
+	}
+}
+
+func TestSequenceDistinct(t *testing.T) {
+	seq := NewSequence(TwitterEpochMS)
+	at := time.Date(2020, 4, 10, 0, 0, 0, 0, time.UTC)
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		id := seq.Next(at)
+		if seen[id] {
+			t.Fatalf("duplicate snowflake %d at i=%d", id, i)
+		}
+		seen[id] = true
+	}
+}
+
+func TestForkIndependentStreams(t *testing.T) {
+	a1 := Fork(9, "a").Uint64()
+	a2 := Fork(9, "a").Uint64()
+	b := Fork(9, "b").Uint64()
+	if a1 != a2 {
+		t.Fatal("same label should reproduce the stream")
+	}
+	if a1 == b {
+		t.Fatal("different labels should give different streams")
+	}
+	if Fork(10, "a").Uint64() == a1 {
+		t.Fatal("different seeds should give different streams")
+	}
+}

@@ -1,0 +1,195 @@
+package join
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"msgscope/internal/platform"
+	"msgscope/internal/platform/discord"
+	"msgscope/internal/platform/telegram"
+	"msgscope/internal/store"
+)
+
+// CollectMessages gathers in-group data for every joined group: WhatsApp
+// messages since the join (the platform exposes nothing earlier), Telegram
+// and Discord full history since group creation. Message authors are
+// recorded as observed users; on Discord, profiles of users who posted are
+// fetched to capture linked accounts.
+func (j *Joiner) CollectMessages(ctx context.Context) error {
+	for _, g := range j.joined[platform.WhatsApp] {
+		if err := j.collectWhatsApp(ctx, g); err != nil {
+			return fmt.Errorf("join: collecting WhatsApp %s: %w", g.Code, err)
+		}
+	}
+	for _, g := range j.joined[platform.Telegram] {
+		if err := j.collectTelegram(ctx, g); err != nil {
+			return fmt.Errorf("join: collecting Telegram %s: %w", g.Code, err)
+		}
+	}
+	for _, g := range j.joined[platform.Discord] {
+		if err := j.collectDiscord(ctx, g); err != nil {
+			return fmt.Errorf("join: collecting Discord %s: %w", g.Code, err)
+		}
+	}
+	return nil
+}
+
+// waClientFor finds the account that joined the group (any member account
+// can sync; the joiner only ever joins with one).
+func (j *Joiner) waClientFor(ctx context.Context, code string) (int, error) {
+	for i, c := range j.WAClients {
+		if _, err := c.Info(ctx, code); err == nil {
+			return i, nil
+		}
+	}
+	return 0, errors.New("no member account for group")
+}
+
+func (j *Joiner) collectWhatsApp(ctx context.Context, g *store.GroupRecord) error {
+	ci, err := j.waClientFor(ctx, g.Code)
+	if err != nil {
+		return err
+	}
+	msgs, err := j.WAClients[ci].Messages(ctx, g.Code, time.Time{})
+	if err != nil {
+		return err
+	}
+	if j.MaxMessagesPerGroup > 0 && len(msgs) > j.MaxMessagesPerGroup {
+		msgs = msgs[:j.MaxMessagesPerGroup]
+	}
+	for _, m := range msgs {
+		j.Store.AddMessage(store.MessageRecord{
+			Platform:  platform.WhatsApp,
+			GroupCode: g.Code,
+			AuthorKey: store.PhoneKey(m.AuthorPhone),
+			SentAt:    m.SentAt,
+			Type:      parseType(m.Type),
+			Text:      m.Text,
+		})
+		j.Store.UpsertUser(store.UserRecord{
+			Platform:  platform.WhatsApp,
+			Key:       store.PhoneKey(m.AuthorPhone),
+			PhoneHash: store.HashPhone(m.AuthorPhone),
+		})
+		j.stats.MessagesRead++
+	}
+	return nil
+}
+
+func (j *Joiner) collectTelegram(ctx context.Context, g *store.GroupRecord) error {
+	pager := j.TG.HistoryPager(g.Code)
+	count := 0
+	for !pager.Done() {
+		var page []telegram.Message
+		err := j.tgCall(func() error {
+			var err error
+			page, err = pager.Next(ctx)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		for _, m := range page {
+			j.Store.AddMessage(store.MessageRecord{
+				Platform:  platform.Telegram,
+				GroupCode: g.Code,
+				AuthorKey: m.FromID,
+				SentAt:    m.SentAt,
+				Type:      parseType(m.Type),
+				Text:      m.Text,
+			})
+			j.Store.UpsertUser(store.UserRecord{Platform: platform.Telegram, Key: m.FromID})
+			j.stats.MessagesRead++
+			count++
+		}
+		if j.MaxMessagesPerGroup > 0 && count >= j.MaxMessagesPerGroup {
+			break
+		}
+	}
+	return nil
+}
+
+func (j *Joiner) collectDiscord(ctx context.Context, g *store.GroupRecord) error {
+	// Re-resolve the guild and channels from the invite.
+	var inv discord.Invite
+	if err := j.dcCall(func() error {
+		var err error
+		inv, err = j.DC.ProbeInvite(ctx, g.Code)
+		return err
+	}); err != nil {
+		if errors.Is(err, discord.ErrUnknownInvite) {
+			// Invite died after we joined; we are still a member, but the
+			// simulation keys access by invite, so skip its history.
+			return nil
+		}
+		return err
+	}
+	chs, err := j.dcChannels(ctx, inv.GuildID)
+	if err != nil {
+		return err
+	}
+	authors := map[uint64]struct{}{}
+	count := 0
+	for _, ch := range chs {
+		pager := j.DC.MessagePager(ch.ID)
+		for !pager.Done() {
+			var page []discord.Message
+			err := j.dcCall(func() error {
+				var err error
+				page, err = pager.Next(ctx)
+				return err
+			})
+			if err != nil {
+				return err
+			}
+			for _, m := range page {
+				j.Store.AddMessage(store.MessageRecord{
+					Platform:  platform.Discord,
+					GroupCode: g.Code,
+					AuthorKey: m.AuthorID,
+					SentAt:    m.SentAt,
+					Type:      parseType(m.Type),
+					Text:      m.Content,
+				})
+				authors[m.AuthorID] = struct{}{}
+				j.stats.MessagesRead++
+				count++
+			}
+			if j.MaxMessagesPerGroup > 0 && count >= j.MaxMessagesPerGroup {
+				break
+			}
+		}
+		if j.MaxMessagesPerGroup > 0 && count >= j.MaxMessagesPerGroup {
+			break
+		}
+	}
+	// Profile fetches: users who posted at least one message (Section 6).
+	for aid := range authors {
+		var prof discord.Profile
+		err := j.dcCall(func() error {
+			var err error
+			prof, err = j.DC.UserProfile(ctx, aid)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		j.Store.UpsertUser(store.UserRecord{
+			Platform: platform.Discord,
+			Key:      aid,
+			Linked:   prof.Linked,
+		})
+	}
+	return nil
+}
+
+func parseType(s string) platform.MessageType {
+	for _, t := range platform.MessageTypes {
+		if t.String() == s {
+			return t
+		}
+	}
+	return platform.Service
+}

@@ -1,0 +1,361 @@
+// Package join implements Section 3.3: joining a uniform random sample of
+// discovered groups and collecting in-group data, under each platform's
+// real constraints — WhatsApp's per-account group caps (hence multiple
+// accounts), message history only from the join time, Telegram's FLOOD_WAIT
+// rate limits and hideable member lists, and Discord's 100-guild cap with
+// full history since creation across every channel.
+package join
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"strings"
+	"time"
+
+	"msgscope/internal/ids"
+	"msgscope/internal/platform"
+	"msgscope/internal/platform/discord"
+	"msgscope/internal/platform/telegram"
+	"msgscope/internal/platform/whatsapp"
+	"msgscope/internal/simclock"
+	"msgscope/internal/store"
+)
+
+// Targets sets how many groups to join per platform (paper: 416 WhatsApp,
+// 100 Telegram, 100 Discord).
+type Targets struct {
+	WhatsApp int
+	Telegram int
+	Discord  int
+}
+
+// Stats counts join-phase events.
+type Stats struct {
+	Attempted    int
+	Joined       int
+	DeadInvites  int
+	FloodWaits   int
+	HiddenLists  int
+	MessagesRead int
+}
+
+// Joiner drives the join phase.
+type Joiner struct {
+	Store *store.Store
+	// WAClients is the WhatsApp account pool; each account can join only
+	// ~250 groups before being banned, so several accounts ("SIM cards")
+	// cover larger samples.
+	WAClients []*whatsapp.Client
+	TG        *telegram.Client
+	DC        *discord.Client
+	// Clock lets the joiner wait out FLOOD_WAITs by advancing virtual
+	// time, standing in for the real study's wall-clock waits.
+	Clock *simclock.Sim
+	// Seed drives the uniform random group sampling.
+	Seed uint64
+	// MaxMessagesPerGroup bounds history collection (0 = unlimited).
+	MaxMessagesPerGroup int
+	// MaxFloodRetries bounds waits per API call before giving up on a
+	// group.
+	MaxFloodRetries int
+	// TitleKeywords, when non-empty, restricts the join sample to groups
+	// whose monitored title contains one of the keywords
+	// (case-insensitive) — the paper's future-work "focused data
+	// collection within groups related to specific topics".
+	TitleKeywords []string
+
+	waCursor  int // joins on the current WhatsApp account
+	waAccount int
+
+	joined map[platform.Platform][]*store.GroupRecord
+	stats  Stats
+}
+
+// New returns a Joiner.
+func New(st *store.Store, wa []*whatsapp.Client, tg *telegram.Client, dc *discord.Client,
+	clock *simclock.Sim, seed uint64) *Joiner {
+	return &Joiner{
+		Store:           st,
+		WAClients:       wa,
+		TG:              tg,
+		DC:              dc,
+		Clock:           clock,
+		Seed:            seed,
+		MaxFloodRetries: 200,
+		joined:          map[platform.Platform][]*store.GroupRecord{},
+	}
+}
+
+// Joined returns the groups joined on a platform.
+func (j *Joiner) Joined(p platform.Platform) []*store.GroupRecord { return j.joined[p] }
+
+// Stats returns the join-phase counters.
+func (j *Joiner) Stats() Stats { return j.stats }
+
+// SelectAndJoin samples discovered groups uniformly at random per platform
+// and joins them until each target is met or candidates run out (dead
+// invites are skipped, mirroring the paper's random sampling of *public,
+// accessible* groups).
+func (j *Joiner) SelectAndJoin(ctx context.Context, t Targets) error {
+	rng := ids.Fork(j.Seed, "join")
+	for _, p := range platform.All {
+		target := map[platform.Platform]int{
+			platform.WhatsApp: t.WhatsApp,
+			platform.Telegram: t.Telegram,
+			platform.Discord:  t.Discord,
+		}[p]
+		if target <= 0 {
+			continue
+		}
+		candidates := j.filterByTitle(j.Store.GroupsOf(p))
+		shuffle(rng, candidates)
+		for _, g := range candidates {
+			if len(j.joined[p]) >= target {
+				break
+			}
+			j.stats.Attempted++
+			ok, err := j.joinOne(ctx, g)
+			if err != nil {
+				return fmt.Errorf("join: %v %s: %w", p, g.Code, err)
+			}
+			if ok {
+				j.joined[p] = append(j.joined[p], g)
+				j.stats.Joined++
+			}
+		}
+	}
+	return nil
+}
+
+func shuffle(rng *rand.Rand, gs []*store.GroupRecord) {
+	rng.Shuffle(len(gs), func(a, b int) { gs[a], gs[b] = gs[b], gs[a] })
+}
+
+// filterByTitle keeps groups whose last observed title matches one of the
+// configured keywords; with no keywords it returns the input unchanged.
+func (j *Joiner) filterByTitle(gs []*store.GroupRecord) []*store.GroupRecord {
+	if len(j.TitleKeywords) == 0 {
+		return gs
+	}
+	var out []*store.GroupRecord
+	for _, g := range gs {
+		title := ""
+		for _, o := range g.Observations {
+			if o.Title != "" {
+				title = o.Title
+			}
+		}
+		low := strings.ToLower(title)
+		for _, kw := range j.TitleKeywords {
+			if kw != "" && strings.Contains(low, strings.ToLower(kw)) {
+				out = append(out, g)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// joinOne attempts one join, returning ok=false for recoverable skips
+// (revoked invites, caps) and an error only for unexpected failures.
+func (j *Joiner) joinOne(ctx context.Context, g *store.GroupRecord) (bool, error) {
+	switch g.Platform {
+	case platform.WhatsApp:
+		return j.joinWhatsApp(ctx, g)
+	case platform.Telegram:
+		return j.joinTelegram(ctx, g)
+	case platform.Discord:
+		return j.joinDiscord(ctx, g)
+	}
+	return false, fmt.Errorf("unknown platform %v", g.Platform)
+}
+
+// waClient returns the active WhatsApp account, rotating before the ban
+// threshold.
+func (j *Joiner) waClient() *whatsapp.Client {
+	if j.waCursor >= 240 && j.waAccount < len(j.WAClients)-1 {
+		j.waAccount++
+		j.waCursor = 0
+	}
+	return j.WAClients[j.waAccount]
+}
+
+func (j *Joiner) joinWhatsApp(ctx context.Context, g *store.GroupRecord) (bool, error) {
+	if len(j.WAClients) == 0 {
+		return false, errors.New("no WhatsApp accounts")
+	}
+	c := j.waClient()
+	joinedAt, err := c.Join(ctx, g.Code)
+	switch {
+	case errors.Is(err, whatsapp.ErrRevoked), errors.Is(err, whatsapp.ErrNotFound):
+		j.stats.DeadInvites++
+		return false, nil
+	case errors.Is(err, whatsapp.ErrBanned):
+		// Account exhausted; rotate and retry once.
+		if j.waAccount >= len(j.WAClients)-1 {
+			return false, nil
+		}
+		j.waAccount++
+		j.waCursor = 0
+		return j.joinWhatsApp(ctx, g)
+	case err != nil:
+		return false, err
+	}
+	j.waCursor++
+	info, err := c.Info(ctx, g.Code)
+	if err != nil {
+		return false, err
+	}
+	members, err := c.Members(ctx, g.Code)
+	if err != nil {
+		return false, err
+	}
+	j.Store.MarkJoined(g.Platform, g.Code, func(rec *store.GroupRecord) {
+		rec.JoinedAt = joinedAt
+		rec.CreatedAt = info.CreatedAt
+		rec.MemberCount = len(members)
+		rec.Channels = 1
+	})
+	for _, m := range members {
+		j.Store.UpsertUser(store.UserRecord{
+			Platform:  platform.WhatsApp,
+			Key:       store.PhoneKey(m.Phone),
+			PhoneHash: store.HashPhone(m.Phone),
+			Country:   m.Country,
+		})
+	}
+	return true, nil
+}
+
+// floodWait advances virtual time to wait out a Telegram FLOOD_WAIT.
+func (j *Joiner) floodWait() {
+	j.stats.FloodWaits++
+	j.Clock.Advance(31 * time.Second)
+}
+
+// tgCall runs fn, waiting out FLOOD_WAITs up to the retry budget.
+func (j *Joiner) tgCall(fn func() error) error {
+	for attempt := 0; ; attempt++ {
+		err := fn()
+		if !errors.Is(err, telegram.ErrFloodWait) {
+			return err
+		}
+		if attempt >= j.MaxFloodRetries {
+			return err
+		}
+		j.floodWait()
+	}
+}
+
+func (j *Joiner) joinTelegram(ctx context.Context, g *store.GroupRecord) (bool, error) {
+	var joinedAt time.Time
+	err := j.tgCall(func() error {
+		var err error
+		joinedAt, err = j.TG.Join(ctx, g.Code)
+		return err
+	})
+	switch {
+	case errors.Is(err, telegram.ErrExpired), errors.Is(err, telegram.ErrNotFound):
+		j.stats.DeadInvites++
+		return false, nil
+	case err != nil:
+		return false, err
+	}
+	var info telegram.ChatInfo
+	if err := j.tgCall(func() error {
+		var err error
+		info, err = j.TG.Info(ctx, g.Code)
+		return err
+	}); err != nil {
+		return false, err
+	}
+	j.Store.MarkJoined(g.Platform, g.Code, func(rec *store.GroupRecord) {
+		rec.JoinedAt = joinedAt
+		rec.CreatedAt = info.CreatedAt
+		rec.IsChannel = info.IsChannel
+		rec.HiddenMembers = info.HiddenMembers
+		rec.MemberCount = info.Members
+		rec.Channels = 1
+		rec.CreatorKey = fmt.Sprintf("tg-creator-%d", info.CreatorID)
+	})
+	// Member lists are available only where admins did not hide them
+	// (24 of 100 joined rooms in the paper).
+	var parts []telegram.Participant
+	err = j.tgCall(func() error {
+		var err error
+		parts, err = j.TG.Participants(ctx, g.Code)
+		return err
+	})
+	switch {
+	case errors.Is(err, telegram.ErrHiddenList):
+		j.stats.HiddenLists++
+	case err != nil:
+		return false, err
+	default:
+		for _, p := range parts {
+			u := store.UserRecord{Platform: platform.Telegram, Key: p.ID}
+			if p.Phone != "" {
+				u.PhoneHash = store.HashPhone(p.Phone)
+			}
+			j.Store.UpsertUser(u)
+		}
+	}
+	return true, nil
+}
+
+func (j *Joiner) joinDiscord(ctx context.Context, g *store.GroupRecord) (bool, error) {
+	var inv discord.Invite
+	err := j.dcCall(func() error {
+		var err error
+		inv, err = j.DC.Join(ctx, g.Code)
+		return err
+	})
+	switch {
+	case errors.Is(err, discord.ErrUnknownInvite):
+		j.stats.DeadInvites++
+		return false, nil
+	case errors.Is(err, discord.ErrGuildCap):
+		// The hard 100-guild limit: no more Discord joins possible.
+		return false, nil
+	case err != nil:
+		return false, err
+	}
+	chs, err := j.dcChannels(ctx, inv.GuildID)
+	if err != nil {
+		return false, err
+	}
+	j.Store.MarkJoined(g.Platform, g.Code, func(rec *store.GroupRecord) {
+		rec.JoinedAt = j.Clock.Now()
+		rec.CreatedAt = inv.CreatedAt
+		rec.Channels = len(chs)
+		rec.MemberCount = inv.Members
+	})
+	return true, nil
+}
+
+// dcCall runs fn, waiting out Discord 429s by advancing virtual time.
+func (j *Joiner) dcCall(fn func() error) error {
+	for attempt := 0; ; attempt++ {
+		err := fn()
+		if !errors.Is(err, discord.ErrRateLimited) {
+			return err
+		}
+		if attempt >= j.MaxFloodRetries {
+			return err
+		}
+		j.stats.FloodWaits++
+		j.Clock.Advance(2 * time.Second)
+	}
+}
+
+func (j *Joiner) dcChannels(ctx context.Context, guildID uint64) ([]discord.Channel, error) {
+	var chs []discord.Channel
+	err := j.dcCall(func() error {
+		var err error
+		chs, err = j.DC.Channels(ctx, guildID)
+		return err
+	})
+	return chs, err
+}

@@ -1,0 +1,215 @@
+// Package monitor implements the daily metadata crawler of Section 3.2:
+// every discovered group URL is probed once per day — WhatsApp via its
+// landing page, Telegram via its web preview, Discord via the public invite
+// endpoint — recording title, member counts, online counts, creator
+// details, and alive/revoked status. Probing of a URL starts at its
+// discovery and stops once it is observed revoked.
+package monitor
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"msgscope/internal/platform"
+	"msgscope/internal/platform/discord"
+	"msgscope/internal/platform/telegram"
+	"msgscope/internal/platform/whatsapp"
+	"msgscope/internal/store"
+)
+
+// Stats counts monitoring events.
+type Stats struct {
+	Probes        int
+	AliveProbes   int
+	RevokedProbes int
+	Errors        int
+}
+
+// Monitor drives the daily probes.
+type Monitor struct {
+	Store *store.Store
+	WA    *whatsapp.Client
+	TG    *telegram.Client
+	DC    *discord.Client
+	// Workers is the probe parallelism (the daily sweep touches every
+	// live URL).
+	Workers int
+
+	mu    sync.Mutex
+	dead  map[string]bool // platform/code -> observed revoked
+	stats Stats
+}
+
+// New returns a Monitor writing observations into st.
+func New(st *store.Store, wa *whatsapp.Client, tg *telegram.Client, dc *discord.Client) *Monitor {
+	return &Monitor{Store: st, WA: wa, TG: tg, DC: dc, Workers: 16, dead: map[string]bool{}}
+}
+
+// DailySweep probes every discovered, not-yet-revoked group URL once.
+func (m *Monitor) DailySweep(ctx context.Context, now time.Time) error {
+	groups := m.Store.Groups()
+	type job struct {
+		p    platform.Platform
+		code string
+	}
+	var jobs []job
+	m.mu.Lock()
+	for _, g := range groups {
+		key := g.Platform.String() + "/" + g.Code
+		if !m.dead[key] {
+			jobs = append(jobs, job{g.Platform, g.Code})
+		}
+	}
+	m.mu.Unlock()
+
+	workers := m.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	ch := make(chan job)
+	var wg sync.WaitGroup
+	var firstErr error
+	var errMu sync.Mutex
+	var failed int64
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				if err := m.probe(ctx, j.p, j.code, now); err != nil {
+					// A single flaky probe must not abort the sweep: the
+					// group simply has no observation today and is probed
+					// again tomorrow. Only systematic failure is fatal.
+					atomic.AddInt64(&failed, 1)
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+				}
+			}
+		}()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+	if n := atomic.LoadInt64(&failed); n > 0 && n*2 >= int64(len(jobs)) {
+		return fmt.Errorf("monitor: %d of %d probes failed: %w", n, len(jobs), firstErr)
+	}
+	return nil
+}
+
+// probe performs one platform-specific metadata fetch.
+func (m *Monitor) probe(ctx context.Context, p platform.Platform, code string, now time.Time) error {
+	var obs store.Observation
+	obs.At = now
+	var err error
+	switch p {
+	case platform.WhatsApp:
+		err = m.probeWhatsApp(ctx, code, &obs)
+	case platform.Telegram:
+		err = m.probeTelegram(ctx, code, &obs)
+	case platform.Discord:
+		err = m.probeDiscord(ctx, code, &obs)
+	default:
+		return fmt.Errorf("monitor: unknown platform %v", p)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats.Probes++
+	if err != nil {
+		m.stats.Errors++
+		return err
+	}
+	if obs.Alive {
+		m.stats.AliveProbes++
+	} else {
+		m.stats.RevokedProbes++
+		m.dead[p.String()+"/"+code] = true
+	}
+	m.Store.AddObservation(p, code, obs)
+	return nil
+}
+
+func (m *Monitor) probeWhatsApp(ctx context.Context, code string, obs *store.Observation) error {
+	l, err := m.WA.ProbeInvite(ctx, code)
+	if errors.Is(err, whatsapp.ErrNotFound) {
+		obs.Alive = false
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	obs.Alive = l.Alive
+	if !l.Alive {
+		return nil
+	}
+	obs.Title = l.Title
+	obs.Members = l.Members
+	obs.CreatorCountry = l.CreatorCountry
+	if l.CreatorPhone != "" {
+		// Only the hash is stored (ethics: Section 3.4); the creator is
+		// also recorded as an observed user whose phone leaked.
+		obs.CreatorPhoneH = store.HashPhone(l.CreatorPhone)
+		obs.CreatorKey = obs.CreatorPhoneH
+		m.Store.UpsertUser(store.UserRecord{
+			Platform:  platform.WhatsApp,
+			Key:       store.PhoneKey(l.CreatorPhone),
+			PhoneHash: obs.CreatorPhoneH,
+			Country:   l.CreatorCountry,
+			Creator:   true,
+		})
+	}
+	return nil
+}
+
+func (m *Monitor) probeTelegram(ctx context.Context, code string, obs *store.Observation) error {
+	pv, err := m.TG.ProbePreview(ctx, code)
+	if errors.Is(err, telegram.ErrNotFound) {
+		obs.Alive = false
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	obs.Alive = pv.Alive
+	if !pv.Alive {
+		return nil
+	}
+	obs.Title = pv.Title
+	obs.Members = pv.Members
+	obs.Online = pv.Online
+	obs.IsChannel = pv.IsChannel
+	return nil
+}
+
+func (m *Monitor) probeDiscord(ctx context.Context, code string, obs *store.Observation) error {
+	inv, err := m.DC.ProbeInvite(ctx, code)
+	if errors.Is(err, discord.ErrUnknownInvite) {
+		obs.Alive = false
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	obs.Alive = true
+	obs.Title = inv.GuildName
+	obs.Members = inv.Members
+	obs.Online = inv.Online
+	obs.CreatedAt = inv.CreatedAt
+	obs.CreatorKey = inv.InviterID
+	return nil
+}
+
+// Stats returns a snapshot of the counters.
+func (m *Monitor) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}

@@ -1,0 +1,253 @@
+package monitor
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"msgscope/internal/platform"
+	"msgscope/internal/platform/discord"
+	"msgscope/internal/platform/telegram"
+	"msgscope/internal/platform/whatsapp"
+	"msgscope/internal/simclock"
+	"msgscope/internal/simworld"
+	"msgscope/internal/store"
+)
+
+type fixture struct {
+	world *simworld.World
+	clock *simclock.Sim
+	st    *store.Store
+	mon   *Monitor
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	w := simworld.New(simworld.DefaultConfig(12, 0.004))
+	clock := simclock.New(w.Cfg.Start)
+	waSrv := httptest.NewServer(whatsapp.NewService(w, clock).Handler())
+	tgSrv := httptest.NewServer(telegram.NewService(w, clock, telegram.DefaultServiceConfig()).Handler())
+	dcSrv := httptest.NewServer(discord.NewService(w, clock, discord.DefaultServiceConfig()).Handler())
+	t.Cleanup(waSrv.Close)
+	t.Cleanup(tgSrv.Close)
+	t.Cleanup(dcSrv.Close)
+	st := store.New()
+	mon := New(st,
+		whatsapp.NewClient(waSrv.URL, "mon"),
+		telegram.NewClient(tgSrv.URL, "mon"),
+		discord.NewClient(dcSrv.URL, "mon"))
+	return &fixture{world: w, clock: clock, st: st, mon: mon}
+}
+
+// discoverDay registers all groups first shared on the given day, as the
+// collector would have.
+func (f *fixture) discoverDay(day int) {
+	for _, p := range platform.All {
+		for _, g := range f.world.Groups[p] {
+			d := int(g.FirstShareAt.Sub(f.world.Cfg.Start) / (24 * time.Hour))
+			if d == day {
+				f.st.AddTweet(store.TweetRecord{
+					ID:        g.GuildID + uint64(day)<<40 + uint64(len(g.Code)) + hash(g.Code),
+					CreatedAt: g.FirstShareAt, Platform: p, GroupCode: g.Code,
+					Source: store.SourceStream,
+				})
+			}
+		}
+	}
+}
+
+func hash(s string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 1099511628211
+	}
+	return h
+}
+
+func TestDailySweepRecordsObservations(t *testing.T) {
+	f := newFixture(t)
+	ctx := context.Background()
+	for day := 0; day < 3; day++ {
+		f.discoverDay(day)
+		f.clock.Advance(24 * time.Hour)
+		if err := f.mon.DailySweep(ctx, f.clock.Now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var withObs, total int
+	for _, g := range f.st.Groups() {
+		total++
+		if len(g.Observations) == 0 {
+			t.Fatalf("group %v/%s has no observations", g.Platform, g.Code)
+		}
+		withObs++
+		// Observation contents per platform.
+		for _, o := range g.Observations {
+			if !o.Alive {
+				continue
+			}
+			if o.Title == "" {
+				t.Fatalf("alive observation without title: %v/%s", g.Platform, g.Code)
+			}
+			if o.Members <= 0 {
+				t.Fatalf("alive observation without members: %v/%s", g.Platform, g.Code)
+			}
+			switch g.Platform {
+			case platform.WhatsApp:
+				if o.CreatorPhoneH == "" || o.CreatorCountry == "" {
+					t.Fatalf("WhatsApp observation missing creator PII: %+v", o)
+				}
+			case platform.Discord:
+				if o.CreatedAt.IsZero() {
+					t.Fatalf("Discord observation missing snowflake creation date")
+				}
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no groups discovered")
+	}
+	stats := f.mon.Stats()
+	if stats.Probes == 0 || stats.AliveProbes == 0 {
+		t.Fatalf("stats empty: %+v", stats)
+	}
+}
+
+func TestProbingStopsAfterRevocation(t *testing.T) {
+	f := newFixture(t)
+	ctx := context.Background()
+	for day := 0; day < 6; day++ {
+		f.discoverDay(day)
+		f.clock.Advance(24 * time.Hour)
+		if err := f.mon.DailySweep(ctx, f.clock.Now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sawDead := false
+	for _, g := range f.st.Groups() {
+		deadAt := -1
+		for i, o := range g.Observations {
+			if !o.Alive {
+				deadAt = i
+				break
+			}
+		}
+		if deadAt >= 0 {
+			sawDead = true
+			if deadAt != len(g.Observations)-1 {
+				t.Fatalf("group %v/%s observed after revocation", g.Platform, g.Code)
+			}
+		}
+	}
+	if !sawDead {
+		t.Fatal("no revocations observed in 6 days (fixture too small?)")
+	}
+}
+
+func TestCreatorPIIRecordedWithoutJoining(t *testing.T) {
+	f := newFixture(t)
+	ctx := context.Background()
+	f.discoverDay(0)
+	f.clock.Advance(24 * time.Hour)
+	if err := f.mon.DailySweep(ctx, f.clock.Now()); err != nil {
+		t.Fatal(err)
+	}
+	creators := 0
+	for _, u := range f.st.Users() {
+		if u.Platform == platform.WhatsApp && u.Creator {
+			creators++
+			if u.PhoneHash == "" {
+				t.Fatal("creator without phone hash")
+			}
+			if u.Country == "" {
+				t.Fatal("creator without country")
+			}
+		}
+	}
+	if creators == 0 {
+		t.Fatal("no WhatsApp creators observed from landing pages")
+	}
+	// Phone hashes, never raw numbers, are stored.
+	for _, u := range f.st.Users() {
+		if len(u.PhoneHash) != 0 && len(u.PhoneHash) != 64 {
+			t.Fatalf("suspicious phone hash %q", u.PhoneHash)
+		}
+	}
+}
+
+func TestSweepIsIdempotentPerDay(t *testing.T) {
+	f := newFixture(t)
+	ctx := context.Background()
+	f.discoverDay(0)
+	f.clock.Advance(24 * time.Hour)
+	if err := f.mon.DailySweep(ctx, f.clock.Now()); err != nil {
+		t.Fatal(err)
+	}
+	obs1 := countObs(f.st)
+	// Re-sweeping at the same instant adds one more observation per live
+	// group (the monitor does not dedupe by day; the driver calls it once
+	// per day).
+	if err := f.mon.DailySweep(ctx, f.clock.Now()); err != nil {
+		t.Fatal(err)
+	}
+	obs2 := countObs(f.st)
+	if obs2 <= obs1 {
+		t.Fatalf("second sweep added nothing: %d -> %d", obs1, obs2)
+	}
+}
+
+func countObs(st *store.Store) int {
+	n := 0
+	for _, g := range st.Groups() {
+		n += len(g.Observations)
+	}
+	return n
+}
+
+// TestSweepToleratesPartialFailures kills one platform's service: its
+// probes fail, but the sweep continues and still records the other
+// platforms' observations.
+func TestSweepToleratesPartialFailures(t *testing.T) {
+	f := newFixture(t)
+	// Point the Telegram client at a dead endpoint.
+	f.mon.TG = telegram.NewClient("http://127.0.0.1:1", "mon")
+	f.discoverDay(0)
+	f.clock.Advance(24 * time.Hour)
+	if err := f.mon.DailySweep(context.Background(), f.clock.Now()); err != nil {
+		t.Fatalf("partial failure aborted the sweep: %v", err)
+	}
+	if f.mon.Stats().Errors == 0 {
+		t.Fatal("no errors recorded for the dead platform")
+	}
+	obsWA := 0
+	for _, g := range f.st.Groups() {
+		if g.Platform == platform.WhatsApp && len(g.Observations) > 0 {
+			obsWA++
+		}
+	}
+	if obsWA == 0 {
+		t.Fatal("healthy platforms yielded no observations")
+	}
+	// Telegram groups have no observation today but stay probeable.
+	for _, g := range f.st.Groups() {
+		if g.Platform == platform.Telegram && len(g.Observations) != 0 {
+			t.Fatal("dead platform produced observations")
+		}
+	}
+}
+
+// TestSweepFailsOnSystematicFailure verifies that when most probes fail,
+// the error is surfaced instead of silently recording an empty day.
+func TestSweepFailsOnSystematicFailure(t *testing.T) {
+	f := newFixture(t)
+	dead := "http://127.0.0.1:1"
+	f.mon.WA = whatsapp.NewClient(dead, "mon")
+	f.mon.TG = telegram.NewClient(dead, "mon")
+	f.mon.DC = discord.NewClient(dead, "mon")
+	f.discoverDay(0)
+	f.clock.Advance(24 * time.Hour)
+	if err := f.mon.DailySweep(context.Background(), f.clock.Now()); err == nil {
+		t.Fatal("all-probes-failed sweep reported success")
+	}
+}

@@ -1,0 +1,296 @@
+package discord
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"msgscope/internal/ids"
+)
+
+// Sentinel errors.
+var (
+	ErrUnknownInvite = errors.New("discord: unknown invite")    // expired or revoked
+	ErrGuildCap      = errors.New("discord: guild cap reached") // 100 guilds per account
+	ErrBotForbidden  = errors.New("discord: bots cannot join")  // bot join restriction
+	ErrMissingAccess = errors.New("discord: missing access")    // not a member
+	ErrRateLimited   = errors.New("discord: rate limited")
+)
+
+// Invite is the metadata of one invite, fetchable without joining.
+type Invite struct {
+	Code      string
+	GuildID   uint64
+	GuildName string
+	Members   int // approximate_member_count
+	Online    int // approximate_presence_count
+	InviterID string
+	CreatedAt time.Time // decoded from the guild snowflake
+}
+
+// Client drives the REST API for one account.
+type Client struct {
+	BaseURL string
+	Account string
+	HTTP    *http.Client
+}
+
+// NewClient returns a client bound to an account. Prefix the account name
+// with "bot:" to act as a bot application (which may not join guilds).
+func NewClient(baseURL, account string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/"), Account: account, HTTP: &http.Client{}}
+}
+
+func (c *Client) do(ctx context.Context, method, path string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("X-DC-Account", c.Account)
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		if v == nil {
+			io.Copy(io.Discard, resp.Body)
+			return nil
+		}
+		return json.NewDecoder(resp.Body).Decode(v)
+	}
+	var e struct {
+		Message string `json:"message"`
+		Code    int    `json:"code"`
+	}
+	json.NewDecoder(resp.Body).Decode(&e)
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests:
+		return ErrRateLimited
+	case e.Code == 10006:
+		return ErrUnknownInvite
+	case e.Code == 30001:
+		return ErrGuildCap
+	case e.Code == 20001:
+		return ErrBotForbidden
+	case e.Code == 50001:
+		return ErrMissingAccess
+	default:
+		return fmt.Errorf("discord: status %d code %d: %s", resp.StatusCode, e.Code, e.Message)
+	}
+}
+
+type inviteJSON struct {
+	Code  string `json:"code"`
+	Guild struct {
+		ID   string `json:"id"`
+		Name string `json:"name"`
+	} `json:"guild"`
+	Inviter struct {
+		ID string `json:"id"`
+	} `json:"inviter"`
+	Members int `json:"approximate_member_count"`
+	Online  int `json:"approximate_presence_count"`
+}
+
+func decodeInvite(j inviteJSON) (Invite, error) {
+	gid, err := strconv.ParseUint(j.Guild.ID, 10, 64)
+	if err != nil {
+		return Invite{}, fmt.Errorf("discord: bad guild id %q", j.Guild.ID)
+	}
+	return Invite{
+		Code:      j.Code,
+		GuildID:   gid,
+		GuildName: j.Guild.Name,
+		Members:   j.Members,
+		Online:    j.Online,
+		InviterID: j.Inviter.ID,
+		CreatedAt: ids.SnowflakeTime(ids.DiscordEpochMS, gid),
+	}, nil
+}
+
+// ProbeInvite fetches invite metadata (with counts) without joining.
+func (c *Client) ProbeInvite(ctx context.Context, code string) (Invite, error) {
+	var j inviteJSON
+	if err := c.do(ctx, http.MethodGet, "/api/v9/invites/"+url.PathEscape(code)+"?with_counts=true", &j); err != nil {
+		return Invite{}, err
+	}
+	return decodeInvite(j)
+}
+
+// Join accepts an invite, joining its guild.
+func (c *Client) Join(ctx context.Context, code string) (Invite, error) {
+	var j inviteJSON
+	if err := c.do(ctx, http.MethodPost, "/api/v9/invites/"+url.PathEscape(code), &j); err != nil {
+		return Invite{}, err
+	}
+	gid, err := strconv.ParseUint(j.Guild.ID, 10, 64)
+	if err != nil {
+		return Invite{}, fmt.Errorf("discord: bad guild id %q", j.Guild.ID)
+	}
+	return Invite{Code: j.Code, GuildID: gid, GuildName: j.Guild.Name,
+		CreatedAt: ids.SnowflakeTime(ids.DiscordEpochMS, gid)}, nil
+}
+
+// Channel is one guild text channel.
+type Channel struct {
+	ID   uint64
+	Name string
+}
+
+// Channels lists a joined guild's channels.
+func (c *Client) Channels(ctx context.Context, guildID uint64) ([]Channel, error) {
+	var out []struct {
+		ID   string `json:"id"`
+		Name string `json:"name"`
+	}
+	if err := c.do(ctx, http.MethodGet, "/api/v9/guilds/"+strconv.FormatUint(guildID, 10)+"/channels", &out); err != nil {
+		return nil, err
+	}
+	chs := make([]Channel, len(out))
+	for i, ch := range out {
+		id, err := strconv.ParseUint(ch.ID, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("discord: bad channel id %q", ch.ID)
+		}
+		chs[i] = Channel{ID: id, Name: ch.Name}
+	}
+	return chs, nil
+}
+
+// Message is one channel message.
+type Message struct {
+	ID       uint64
+	AuthorID uint64
+	Author   string
+	SentAt   time.Time
+	Type     string
+	Content  string
+}
+
+// MessagePager walks a channel's history backwards via the `before`
+// snowflake cursor. The cursor survives rate-limit errors, so the caller
+// can wait and call Next again without losing position.
+type MessagePager struct {
+	c      *Client
+	chID   uint64
+	before uint64
+	done   bool
+}
+
+// MessagePager returns a pager over the channel's full history.
+func (c *Client) MessagePager(channelID uint64) *MessagePager {
+	return &MessagePager{c: c, chID: channelID}
+}
+
+// Done reports whether the history is exhausted.
+func (p *MessagePager) Done() bool { return p.done }
+
+// Next fetches one page (newest remaining first).
+func (p *MessagePager) Next(ctx context.Context) ([]Message, error) {
+	if p.done {
+		return nil, nil
+	}
+	path := "/api/v9/channels/" + strconv.FormatUint(p.chID, 10) + "/messages?limit=100"
+	if p.before != 0 {
+		path += "&before=" + strconv.FormatUint(p.before, 10)
+	}
+	var page []struct {
+		ID     string `json:"id"`
+		Author struct {
+			ID       string `json:"id"`
+			Username string `json:"username"`
+		} `json:"author"`
+		Timestamp string `json:"timestamp"`
+		MsgType   string `json:"x_type"`
+		Content   string `json:"content"`
+	}
+	if err := p.c.do(ctx, http.MethodGet, path, &page); err != nil {
+		return nil, err
+	}
+	out := make([]Message, 0, len(page))
+	for _, m := range page {
+		id, err := strconv.ParseUint(m.ID, 10, 64)
+		if err != nil {
+			return out, fmt.Errorf("discord: bad message id %q", m.ID)
+		}
+		aid, err := strconv.ParseUint(m.Author.ID, 10, 64)
+		if err != nil {
+			return out, fmt.Errorf("discord: bad author id %q", m.Author.ID)
+		}
+		at, err := time.Parse(time.RFC3339Nano, m.Timestamp)
+		if err != nil {
+			return out, fmt.Errorf("discord: bad timestamp %q", m.Timestamp)
+		}
+		out = append(out, Message{
+			ID:       id,
+			AuthorID: aid,
+			Author:   m.Author.Username,
+			SentAt:   at.UTC(),
+			Type:     m.MsgType,
+			Content:  m.Content,
+		})
+		p.before = id
+	}
+	if len(page) < 100 {
+		p.done = true
+	}
+	return out, nil
+}
+
+// Messages pages backwards through a channel's entire history, up to
+// maxMessages (0 = unlimited).
+func (c *Client) Messages(ctx context.Context, channelID uint64, maxMessages int) ([]Message, error) {
+	var out []Message
+	p := c.MessagePager(channelID)
+	for !p.Done() {
+		page, err := p.Next(ctx)
+		if err != nil {
+			return out, err
+		}
+		for _, m := range page {
+			out = append(out, m)
+			if maxMessages > 0 && len(out) >= maxMessages {
+				return out, nil
+			}
+		}
+	}
+	return out, nil
+}
+
+// Profile is a user profile with connected accounts.
+type Profile struct {
+	UserID   uint64
+	Username string
+	Linked   []string // connected platform names
+}
+
+// UserProfile fetches a user's profile; the connected_accounts list is the
+// linked-account exposure of Table 5.
+func (c *Client) UserProfile(ctx context.Context, userID uint64) (Profile, error) {
+	var out struct {
+		User struct {
+			ID       string `json:"id"`
+			Username string `json:"username"`
+		} `json:"user"`
+		Connected []struct {
+			Type string `json:"type"`
+		} `json:"connected_accounts"`
+	}
+	if err := c.do(ctx, http.MethodGet, "/api/v9/users/"+strconv.FormatUint(userID, 10)+"/profile", &out); err != nil {
+		return Profile{}, err
+	}
+	p := Profile{Username: out.User.Username}
+	p.UserID, _ = strconv.ParseUint(out.User.ID, 10, 64)
+	for _, c := range out.Connected {
+		p.Linked = append(p.Linked, c.Type)
+	}
+	return p, nil
+}

@@ -1,0 +1,371 @@
+// Package discord simulates the Discord REST API surfaces the study used:
+// the invite endpoint (metadata with approximate member/presence counts,
+// readable without joining; expired invites 404 with code 10006), guild
+// joining under the 100-guild account cap (bots may not join by
+// themselves), channel listings, paginated message history, and user
+// profiles exposing connected accounts — the linked-account PII channel of
+// Table 5. Guild creation dates are recoverable from snowflake IDs, which
+// is exactly how the crawler obtains them.
+package discord
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"msgscope/internal/ids"
+	"msgscope/internal/platform"
+	"msgscope/internal/simclock"
+	"msgscope/internal/simworld"
+)
+
+// ServiceConfig tunes rate limiting.
+type ServiceConfig struct {
+	Budget int // requests per Window per account
+	Window time.Duration
+}
+
+// DefaultServiceConfig approximates Discord's per-route buckets with one
+// coarse per-account bucket.
+func DefaultServiceConfig() ServiceConfig {
+	return ServiceConfig{Budget: 240, Window: time.Minute}
+}
+
+// Service simulates the Discord REST API.
+type Service struct {
+	cfg   ServiceConfig
+	world *simworld.World
+	clock simclock.Clock
+
+	mu       sync.Mutex
+	accounts map[string]*account
+	channels map[uint64]channelRef // channel id -> (group, index)
+	userIdx  map[uint64]int        // user id -> pool index
+	guilds   map[uint64]*simworld.Group
+}
+
+type channelRef struct {
+	group *simworld.Group
+	idx   int
+}
+
+type account struct {
+	joined     map[string]time.Time // invite code -> join time
+	budget     float64
+	lastRefill time.Time
+}
+
+// NewService builds the service over the world.
+func NewService(world *simworld.World, clock simclock.Clock, cfg ServiceConfig) *Service {
+	s := &Service{
+		cfg:      cfg,
+		world:    world,
+		clock:    clock,
+		accounts: map[string]*account{},
+		channels: map[uint64]channelRef{},
+		userIdx:  map[uint64]int{},
+		guilds:   map[uint64]*simworld.Group{},
+	}
+	for _, g := range world.Groups[platform.Discord] {
+		s.guilds[g.GuildID] = g
+	}
+	return s
+}
+
+// Handler returns the HTTP mux (API v9 paths; account via X-DC-Account).
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/v9/invites/{code}", s.handleInvite)
+	mux.HandleFunc("POST /api/v9/invites/{code}", s.handleJoin)
+	mux.HandleFunc("GET /api/v9/guilds/{gid}/channels", s.handleChannels)
+	mux.HandleFunc("GET /api/v9/channels/{cid}/messages", s.handleMessages)
+	mux.HandleFunc("GET /api/v9/users/{uid}/profile", s.handleProfile)
+	return mux
+}
+
+func (s *Service) group(code string) *simworld.Group {
+	return s.world.GroupByCode(platform.Discord, code)
+}
+
+func apiError(w http.ResponseWriter, status, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]any{"message": msg, "code": code})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// rateLimit authenticates (if authed is true) and charges the bucket; it
+// reports whether the request may proceed.
+func (s *Service) rateLimit(w http.ResponseWriter, r *http.Request) (*account, bool) {
+	name := r.Header.Get("X-DC-Account")
+	if name == "" {
+		apiError(w, http.StatusUnauthorized, 0, "401: Unauthorized")
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.accounts[name]
+	if !ok {
+		a = &account{
+			joined:     map[string]time.Time{},
+			budget:     float64(s.cfg.Budget),
+			lastRefill: s.clock.Now(),
+		}
+		s.accounts[name] = a
+	}
+	now := s.clock.Now()
+	if el := now.Sub(a.lastRefill); el > 0 {
+		a.budget += float64(s.cfg.Budget) * float64(el) / float64(s.cfg.Window)
+		if a.budget > float64(s.cfg.Budget) {
+			a.budget = float64(s.cfg.Budget)
+		}
+		a.lastRefill = now
+	}
+	if a.budget < 1 {
+		w.Header().Set("X-RateLimit-Remaining", "0")
+		w.Header().Set("X-RateLimit-Reset-After", "1.5")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTooManyRequests)
+		json.NewEncoder(w).Encode(map[string]any{"message": "You are being rate limited.", "retry_after": 1.5, "global": false})
+		return nil, false
+	}
+	a.budget--
+	w.Header().Set("X-RateLimit-Remaining", strconv.Itoa(int(a.budget)))
+	return a, true
+}
+
+// handleInvite serves invite metadata without requiring membership — the
+// endpoint is public (no account, no rate bucket), which is what made the
+// paper's daily probing of 227K invites feasible. Expired invites return
+// 404 with Discord's "Unknown Invite" code 10006.
+func (s *Service) handleInvite(w http.ResponseWriter, r *http.Request) {
+	code := r.PathValue("code")
+	g := s.group(code)
+	now := s.clock.Now()
+	if g == nil || !s.world.AliveAt(g, now) {
+		apiError(w, http.StatusNotFound, 10006, "Unknown Invite")
+		return
+	}
+	resp := map[string]any{
+		"code": code,
+		"guild": map[string]any{
+			"id":   strconv.FormatUint(g.GuildID, 10),
+			"name": g.Title,
+		},
+		"inviter": map[string]any{
+			"id":       strconv.Itoa(g.CreatorIdx + 1),
+			"username": fmt.Sprintf("creator%d", g.CreatorIdx),
+		},
+	}
+	if r.URL.Query().Get("with_counts") == "true" {
+		resp["approximate_member_count"] = s.world.MembersAt(g, now)
+		resp["approximate_presence_count"] = s.world.OnlineAt(g, now)
+	}
+	writeJSON(w, resp)
+}
+
+// handleJoin accepts an invite. Bot accounts (names with a "bot:" prefix)
+// may not join on their own — the restriction that forced the study to use
+// a regular user account.
+func (s *Service) handleJoin(w http.ResponseWriter, r *http.Request) {
+	a, ok := s.rateLimit(w, r)
+	if !ok {
+		return
+	}
+	name := r.Header.Get("X-DC-Account")
+	if len(name) >= 4 && name[:4] == "bot:" {
+		apiError(w, http.StatusForbidden, 20001, "Bots cannot use this endpoint")
+		return
+	}
+	code := r.PathValue("code")
+	g := s.group(code)
+	now := s.clock.Now()
+	if g == nil || !s.world.AliveAt(g, now) {
+		apiError(w, http.StatusNotFound, 10006, "Unknown Invite")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := a.joined[code]; !dup && len(a.joined) >= 100 {
+		apiError(w, http.StatusBadRequest, 30001, "Maximum number of guilds reached (100)")
+		return
+	}
+	a.joined[code] = now
+	writeJSON(w, map[string]any{
+		"code":  code,
+		"guild": map[string]any{"id": strconv.FormatUint(g.GuildID, 10), "name": g.Title},
+	})
+}
+
+func (s *Service) memberOfGuild(a *account, g *simworld.Group) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := a.joined[g.Code]
+	return ok
+}
+
+// channelID derives a stable channel snowflake and registers it.
+func (s *Service) channelID(g *simworld.Group, idx int) uint64 {
+	cid := ids.Snowflake(ids.DiscordEpochMS, g.CreatedAt.Add(time.Duration(idx)*time.Minute),
+		uint32(g.GuildID&0x3FF)<<8|uint32(idx))
+	s.mu.Lock()
+	s.channels[cid] = channelRef{group: g, idx: idx}
+	s.mu.Unlock()
+	return cid
+}
+
+func (s *Service) handleChannels(w http.ResponseWriter, r *http.Request) {
+	a, ok := s.rateLimit(w, r)
+	if !ok {
+		return
+	}
+	gid, err := strconv.ParseUint(r.PathValue("gid"), 10, 64)
+	if err != nil {
+		apiError(w, http.StatusBadRequest, 50035, "Invalid Form Body")
+		return
+	}
+	s.mu.Lock()
+	g := s.guilds[gid]
+	s.mu.Unlock()
+	if g == nil {
+		apiError(w, http.StatusNotFound, 10004, "Unknown Guild")
+		return
+	}
+	if !s.memberOfGuild(a, g) {
+		apiError(w, http.StatusForbidden, 50001, "Missing Access")
+		return
+	}
+	out := make([]map[string]any, g.Channels)
+	for i := 0; i < g.Channels; i++ {
+		out[i] = map[string]any{
+			"id":   strconv.FormatUint(s.channelID(g, i), 10),
+			"name": fmt.Sprintf("general-%d", i),
+			"type": 0, // GUILD_TEXT
+		}
+	}
+	writeJSON(w, out)
+}
+
+// handleMessages pages a channel's history newest-first via the `before`
+// snowflake cursor, exactly like GET /channels/{id}/messages.
+func (s *Service) handleMessages(w http.ResponseWriter, r *http.Request) {
+	a, ok := s.rateLimit(w, r)
+	if !ok {
+		return
+	}
+	cid, err := strconv.ParseUint(r.PathValue("cid"), 10, 64)
+	if err != nil {
+		apiError(w, http.StatusBadRequest, 50035, "Invalid Form Body")
+		return
+	}
+	s.mu.Lock()
+	ref, found := s.channels[cid]
+	s.mu.Unlock()
+	if !found {
+		apiError(w, http.StatusNotFound, 10003, "Unknown Channel")
+		return
+	}
+	g := ref.group
+	if !s.memberOfGuild(a, g) {
+		apiError(w, http.StatusForbidden, 50001, "Missing Access")
+		return
+	}
+	limit := 50
+	if v := r.URL.Query().Get("limit"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			limit = min(n, 100)
+		}
+	}
+	until := s.clock.Now()
+	if v := r.URL.Query().Get("before"); v != "" {
+		id, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			apiError(w, http.StatusBadRequest, 50035, "Invalid Form Body")
+			return
+		}
+		until = ids.SnowflakeTime(ids.DiscordEpochMS, id)
+	}
+
+	// Walk backwards day by day until the page fills.
+	type msgOut struct {
+		ID        string `json:"id"`
+		Author    author `json:"author"`
+		Timestamp string `json:"timestamp"`
+		MsgType   string `json:"x_type"` // attachment class, simplified
+		Content   string `json:"content,omitempty"`
+	}
+	var page []msgOut
+	cursor := until
+	for len(page) < limit && cursor.After(g.CreatedAt) {
+		from := cursor.Add(-24 * time.Hour)
+		if from.Before(g.CreatedAt) {
+			from = g.CreatedAt
+		}
+		msgs := s.world.Messages(g, from, cursor)
+		for i := len(msgs) - 1; i >= 0 && len(page) < limit; i-- {
+			m := msgs[i]
+			if m.Channel != ref.idx {
+				continue
+			}
+			u := s.world.UserByIdx(platform.Discord, m.AuthorIdx)
+			s.mu.Lock()
+			s.userIdx[u.ID] = m.AuthorIdx
+			s.mu.Unlock()
+			// The world's Seq uniquely identifies a message within its
+			// millisecond, so snowflakes are collision-free and stable
+			// across paginated fetches.
+			mid := ids.Snowflake(ids.DiscordEpochMS, m.SentAt, m.Seq)
+			page = append(page, msgOut{
+				ID:        strconv.FormatUint(mid, 10),
+				Author:    author{ID: strconv.FormatUint(u.ID, 10), Username: u.Name},
+				Timestamp: m.SentAt.Format(time.RFC3339Nano),
+				MsgType:   m.Type.String(),
+				Content:   m.Text,
+			})
+		}
+		cursor = from
+	}
+	writeJSON(w, page)
+}
+
+type author struct {
+	ID       string `json:"id"`
+	Username string `json:"username"`
+}
+
+// handleProfile exposes a user's profile with connected accounts — the PII
+// leak of Table 5. Only users previously observed (e.g. as message authors)
+// resolve; others 404.
+func (s *Service) handleProfile(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.rateLimit(w, r); !ok {
+		return
+	}
+	uid, err := strconv.ParseUint(r.PathValue("uid"), 10, 64)
+	if err != nil {
+		apiError(w, http.StatusBadRequest, 50035, "Invalid Form Body")
+		return
+	}
+	s.mu.Lock()
+	idx, found := s.userIdx[uid]
+	s.mu.Unlock()
+	if !found {
+		apiError(w, http.StatusNotFound, 10013, "Unknown User")
+		return
+	}
+	u := s.world.UserByIdx(platform.Discord, idx)
+	conns := make([]map[string]string, len(u.Linked))
+	for i, l := range u.Linked {
+		conns[i] = map[string]string{"type": l, "name": u.Name}
+	}
+	writeJSON(w, map[string]any{
+		"user":               map[string]string{"id": strconv.FormatUint(u.ID, 10), "username": u.Name},
+		"connected_accounts": conns,
+	})
+}

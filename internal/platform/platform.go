@@ -1,0 +1,178 @@
+// Package platform defines the vocabulary shared across the three messaging
+// platforms the study covers: platform identities, message types, and the
+// static characteristics table (the paper's Table 1).
+package platform
+
+import "fmt"
+
+// Platform identifies one of the three messaging platforms.
+type Platform int
+
+// The three platforms, in the paper's presentation order.
+const (
+	WhatsApp Platform = iota
+	Telegram
+	Discord
+)
+
+// All lists the platforms in presentation order.
+var All = []Platform{WhatsApp, Telegram, Discord}
+
+// String returns the display name.
+func (p Platform) String() string {
+	switch p {
+	case WhatsApp:
+		return "WhatsApp"
+	case Telegram:
+		return "Telegram"
+	case Discord:
+		return "Discord"
+	default:
+		return fmt.Sprintf("Platform(%d)", int(p))
+	}
+}
+
+// ParsePlatform maps a case-sensitive display name back to a Platform.
+func ParsePlatform(s string) (Platform, error) {
+	switch s {
+	case "WhatsApp":
+		return WhatsApp, nil
+	case "Telegram":
+		return Telegram, nil
+	case "Discord":
+		return Discord, nil
+	}
+	return 0, fmt.Errorf("platform: unknown platform %q", s)
+}
+
+// MessageType classifies in-group messages (Figure 8).
+type MessageType int
+
+// Message types across all platforms. Service covers Telegram's
+// join/leave/edit notices (the paper's "other" slice).
+const (
+	Text MessageType = iota
+	Image
+	Video
+	Audio
+	Sticker
+	Document
+	Contact
+	Location
+	Service
+)
+
+// MessageTypes lists all message types in presentation order.
+var MessageTypes = []MessageType{Text, Image, Video, Audio, Sticker, Document, Contact, Location, Service}
+
+// String returns the display name.
+func (t MessageType) String() string {
+	switch t {
+	case Text:
+		return "text"
+	case Image:
+		return "image"
+	case Video:
+		return "video"
+	case Audio:
+		return "audio"
+	case Sticker:
+		return "sticker"
+	case Document:
+		return "document"
+	case Contact:
+		return "contact"
+	case Location:
+		return "location"
+	case Service:
+		return "other"
+	default:
+		return fmt.Sprintf("MessageType(%d)", int(t))
+	}
+}
+
+// Characteristic is one row of Table 1 for a single platform.
+type Characteristic struct {
+	InitialRelease     string
+	UserBase           string
+	Clients            string
+	Registration       string
+	PublicChatOptions  string
+	MaxMembers         string
+	ContentTypes       string
+	DataCollectionAPI  string
+	MessageForwarding  string
+	EndToEndEncryption string
+}
+
+// Characteristics returns the paper's Table 1, keyed by platform.
+func Characteristics() map[Platform]Characteristic {
+	return map[Platform]Characteristic{
+		WhatsApp: {
+			InitialRelease:     "January 2009",
+			UserBase:           "2 Billion",
+			Clients:            "Mobile, Desktop, Web",
+			Registration:       "Phone",
+			PublicChatOptions:  "Groups",
+			MaxMembers:         "256",
+			ContentTypes:       "Text, Sticker, Image, Video, Audio, Location, Document, Contact",
+			DataCollectionAPI:  "No (only Business API)",
+			MessageForwarding:  "Yes (up to 5 groups)",
+			EndToEndEncryption: "Yes",
+		},
+		Telegram: {
+			InitialRelease:     "August 2013",
+			UserBase:           "400 Million",
+			Clients:            "Mobile, Desktop, Web",
+			Registration:       "Phone",
+			PublicChatOptions:  "Groups and Channels",
+			MaxMembers:         "200,000 for groups (unlimited for channels)",
+			ContentTypes:       "Text, Sticker, Image, Video, Audio, Location, Document, Contact",
+			DataCollectionAPI:  "Yes",
+			MessageForwarding:  "Yes",
+			EndToEndEncryption: "Only for \"secret\" chats",
+		},
+		Discord: {
+			InitialRelease:     "May 2015",
+			UserBase:           "250 Million",
+			Clients:            "Mobile, Desktop, Web",
+			Registration:       "Email",
+			PublicChatOptions:  "Server",
+			MaxMembers:         "250,000 (500,000 for verified servers)",
+			ContentTypes:       "Text, Sticker, Image, Video, Audio, Location, Document, Contact",
+			DataCollectionAPI:  "Yes",
+			MessageForwarding:  "Only available via link and only for members",
+			EndToEndEncryption: "No",
+		},
+	}
+}
+
+// Limits captures the per-platform operational constraints the collection
+// pipeline must respect.
+type Limits struct {
+	// MaxGroupMembers is the hard cap on members per public group
+	// (WhatsApp 257 per the paper's text; Telegram groups 200k; Discord
+	// default 250k).
+	MaxGroupMembers int
+	// MaxJoinedGroups is how many groups a single collection account can
+	// join before being banned or blocked (WA ~250-300, DC 100; TG is
+	// rate- rather than count-limited, modeled as a high cap).
+	MaxJoinedGroups int
+	// HistoryFromJoin reports whether a joining member only sees messages
+	// posted after the join (true for WhatsApp).
+	HistoryFromJoin bool
+}
+
+// LimitsFor returns the operational limits of a platform.
+func LimitsFor(p Platform) Limits {
+	switch p {
+	case WhatsApp:
+		return Limits{MaxGroupMembers: 257, MaxJoinedGroups: 250, HistoryFromJoin: true}
+	case Telegram:
+		return Limits{MaxGroupMembers: 200000, MaxJoinedGroups: 500, HistoryFromJoin: false}
+	case Discord:
+		return Limits{MaxGroupMembers: 250000, MaxJoinedGroups: 100, HistoryFromJoin: false}
+	default:
+		panic(fmt.Sprintf("platform: no limits for %v", p))
+	}
+}

@@ -1,0 +1,54 @@
+package platform
+
+import "testing"
+
+func TestStringRoundTrip(t *testing.T) {
+	for _, p := range All {
+		got, err := ParsePlatform(p.String())
+		if err != nil || got != p {
+			t.Fatalf("round trip %v failed: %v %v", p, got, err)
+		}
+	}
+	if _, err := ParsePlatform("MySpace"); err == nil {
+		t.Fatal("unknown platform parsed")
+	}
+}
+
+func TestMessageTypeStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for _, mt := range MessageTypes {
+		s := mt.String()
+		if s == "" || seen[s] {
+			t.Fatalf("message type %d has empty or duplicate name %q", mt, s)
+		}
+		seen[s] = true
+	}
+	if Service.String() != "other" {
+		t.Fatalf("Service renders as %q, want \"other\" (the paper's label)", Service.String())
+	}
+}
+
+func TestCharacteristicsComplete(t *testing.T) {
+	chars := Characteristics()
+	for _, p := range All {
+		c, ok := chars[p]
+		if !ok {
+			t.Fatalf("no characteristics for %v", p)
+		}
+		if c.InitialRelease == "" || c.UserBase == "" || c.MaxMembers == "" {
+			t.Fatalf("incomplete characteristics for %v: %+v", p, c)
+		}
+	}
+}
+
+func TestLimits(t *testing.T) {
+	if l := LimitsFor(WhatsApp); l.MaxGroupMembers != 257 || !l.HistoryFromJoin {
+		t.Fatalf("WhatsApp limits wrong: %+v", l)
+	}
+	if l := LimitsFor(Discord); l.MaxJoinedGroups != 100 || l.HistoryFromJoin {
+		t.Fatalf("Discord limits wrong: %+v", l)
+	}
+	if l := LimitsFor(Telegram); l.MaxGroupMembers != 200000 {
+		t.Fatalf("Telegram limits wrong: %+v", l)
+	}
+}

@@ -1,0 +1,340 @@
+package telegram
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Preview is the metadata scraped from a t.me web page without joining:
+// title, member/online counts, and whether the chat is a channel.
+type Preview struct {
+	Alive     bool
+	Title     string
+	Members   int
+	Online    int
+	IsChannel bool
+}
+
+// Sentinel errors.
+var (
+	ErrExpired    = errors.New("telegram: invite expired or chat deleted")
+	ErrNotFound   = errors.New("telegram: not found")
+	ErrHiddenList = errors.New("telegram: member list hidden by admins")
+	ErrNotMember  = errors.New("telegram: not a member")
+	ErrFloodWait  = errors.New("telegram: FLOOD_WAIT")
+)
+
+// Client scrapes web previews and drives the API for one account.
+type Client struct {
+	BaseURL string
+	Account string
+	HTTP    *http.Client
+	// FloodRetries is how many times an API call retries after a
+	// FLOOD_WAIT before giving up (each retry re-checks the budget; with
+	// a virtual clock the driver advances time between tries).
+	FloodRetries int
+}
+
+// NewClient returns a client bound to an account name.
+func NewClient(baseURL, account string) *Client {
+	return &Client{
+		BaseURL:      strings.TrimRight(baseURL, "/"),
+		Account:      account,
+		HTTP:         &http.Client{},
+		FloodRetries: 0,
+	}
+}
+
+// ProbePreview fetches and scrapes the public web preview.
+func (c *Client) ProbePreview(ctx context.Context, code string) (Preview, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/web/"+code, nil)
+	if err != nil {
+		return Preview{}, err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return Preview{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		io.Copy(io.Discard, resp.Body)
+		return Preview{}, ErrNotFound
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return Preview{}, err
+	}
+	return scrapePreview(string(body))
+}
+
+func scrapePreview(page string) (Preview, error) {
+	if strings.Contains(page, "tgme_page_invalid") {
+		return Preview{Alive: false}, nil
+	}
+	p := Preview{Alive: true}
+	title, ok := htmlAttr(page, `property="og:title"`, "content")
+	if !ok {
+		return Preview{}, fmt.Errorf("telegram: preview missing title")
+	}
+	p.Title = title
+	if v, ok := htmlAttr(page, `class="tgme_page"`, "data-kind"); ok {
+		p.IsChannel = v == "channel"
+	}
+	if v, ok := htmlAttr(page, `class="tgme_page"`, "data-members"); ok {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return Preview{}, fmt.Errorf("telegram: bad member count %q", v)
+		}
+		p.Members = n
+	}
+	if v, ok := htmlAttr(page, `class="tgme_page"`, "data-online"); ok {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return Preview{}, fmt.Errorf("telegram: bad online count %q", v)
+		}
+		p.Online = n
+	}
+	return p, nil
+}
+
+// htmlAttr finds key="value" after the first occurrence of marker.
+func htmlAttr(page, marker, key string) (string, bool) {
+	i := strings.Index(page, marker)
+	if i < 0 {
+		return "", false
+	}
+	rest := page[i:]
+	// Look in the surrounding tag and the preceding head section.
+	if j := strings.Index(rest, key+`="`); j >= 0 {
+		rest = rest[j+len(key)+2:]
+		if k := strings.IndexByte(rest, '"'); k >= 0 {
+			return unescape(rest[:k]), true
+		}
+	}
+	// og:title has content after the property marker on the same tag.
+	return "", false
+}
+
+func unescape(s string) string {
+	r := strings.NewReplacer("&amp;", "&", "&lt;", "<", "&gt;", ">", "&#34;", `"`, "&#39;", "'")
+	return r.Replace(s)
+}
+
+// apiDo performs one authenticated API call, mapping Telegram error codes
+// to sentinel errors.
+func (c *Client) apiDo(ctx context.Context, method, url string, v any) error {
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, method, url, nil)
+		if err != nil {
+			return err
+		}
+		req.Header.Set("X-TG-Account", c.Account)
+		resp, err := c.HTTP.Do(req)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode == 420 {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if attempt < c.FloodRetries {
+				continue
+			}
+			return ErrFloodWait
+		}
+		defer resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			if v == nil {
+				io.Copy(io.Discard, resp.Body)
+				return nil
+			}
+			return json.NewDecoder(resp.Body).Decode(v)
+		case http.StatusForbidden:
+			var e struct {
+				Error string `json:"error"`
+			}
+			json.NewDecoder(resp.Body).Decode(&e)
+			if e.Error == "CHAT_ADMIN_REQUIRED" {
+				return ErrHiddenList
+			}
+			return ErrNotMember
+		case http.StatusBadRequest:
+			var e struct {
+				Error string `json:"error"`
+			}
+			json.NewDecoder(resp.Body).Decode(&e)
+			if strings.HasPrefix(e.Error, "INVITE_HASH") {
+				return ErrExpired
+			}
+			return fmt.Errorf("telegram: api error %s", e.Error)
+		default:
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+			return fmt.Errorf("telegram: status %d: %s", resp.StatusCode, body)
+		}
+	}
+}
+
+// Join joins a group or channel by its invite code or public name.
+func (c *Client) Join(ctx context.Context, code string) (time.Time, error) {
+	var out struct {
+		JoinedAtMS int64 `json:"joined_at_ms"`
+	}
+	if err := c.apiDo(ctx, http.MethodPost, c.BaseURL+"/api/join/"+code, &out); err != nil {
+		return time.Time{}, err
+	}
+	return time.UnixMilli(out.JoinedAtMS).UTC(), nil
+}
+
+// Message is one history message.
+type Message struct {
+	FromID uint64
+	SentAt time.Time
+	Type   string
+	Text   string
+}
+
+// HistoryPager walks a chat's history backwards page by page. Its cursor
+// survives FLOOD_WAIT errors, so the caller can wait (or, in simulation,
+// advance the clock) and call Next again without losing position.
+type HistoryPager struct {
+	c      *Client
+	code   string
+	offset int64
+	done   bool
+}
+
+// HistoryPager returns a pager over the chat's full history.
+func (c *Client) HistoryPager(code string) *HistoryPager {
+	return &HistoryPager{c: c, code: code}
+}
+
+// Done reports whether the history is exhausted.
+func (p *HistoryPager) Done() bool { return p.done }
+
+// Next fetches one page (newest remaining first). It returns an empty page
+// with Done()==true at the end of history.
+func (p *HistoryPager) Next(ctx context.Context) ([]Message, error) {
+	if p.done {
+		return nil, nil
+	}
+	u := p.c.BaseURL + "/api/history/" + p.code + "?limit=1000"
+	if p.offset != 0 {
+		u += "&offset_date_ms=" + strconv.FormatInt(p.offset, 10)
+	}
+	var page struct {
+		Messages []struct {
+			FromID uint64 `json:"from_id"`
+			DateMS int64  `json:"date_ms"`
+			Type   string `json:"type"`
+			Text   string `json:"text"`
+		} `json:"messages"`
+		NextOffsetDateMS int64 `json:"next_offset_date_ms"`
+	}
+	if err := p.c.apiDo(ctx, http.MethodGet, u, &page); err != nil {
+		return nil, err
+	}
+	out := make([]Message, len(page.Messages))
+	for i, m := range page.Messages {
+		out[i] = Message{
+			FromID: m.FromID,
+			SentAt: time.UnixMilli(m.DateMS).UTC(),
+			Type:   m.Type,
+			Text:   m.Text,
+		}
+	}
+	if page.NextOffsetDateMS == 0 {
+		p.done = true
+	} else {
+		p.offset = page.NextOffsetDateMS
+	}
+	return out, nil
+}
+
+// History pages backwards through the chat's entire history (since
+// creation), up to maxMessages (0 = unlimited).
+func (c *Client) History(ctx context.Context, code string, maxMessages int) ([]Message, error) {
+	var out []Message
+	p := c.HistoryPager(code)
+	for !p.Done() {
+		page, err := p.Next(ctx)
+		if err != nil {
+			return out, err
+		}
+		for _, m := range page {
+			out = append(out, m)
+			if maxMessages > 0 && len(out) >= maxMessages {
+				return out, nil
+			}
+		}
+	}
+	return out, nil
+}
+
+// Participant is one member profile; Phone is empty unless the user opted
+// into phone visibility.
+type Participant struct {
+	ID    uint64
+	Name  string
+	Phone string
+}
+
+// Participants lists the chat's members; admins may hide the list, in
+// which case ErrHiddenList is returned.
+func (c *Client) Participants(ctx context.Context, code string) ([]Participant, error) {
+	var out struct {
+		Participants []struct {
+			ID    uint64 `json:"id"`
+			Name  string `json:"name"`
+			Phone string `json:"phone"`
+		} `json:"participants"`
+	}
+	if err := c.apiDo(ctx, http.MethodGet, c.BaseURL+"/api/participants/"+code, &out); err != nil {
+		return nil, err
+	}
+	ps := make([]Participant, len(out.Participants))
+	for i, p := range out.Participants {
+		ps[i] = Participant{ID: p.ID, Name: p.Name, Phone: p.Phone}
+	}
+	return ps, nil
+}
+
+// ChatInfo is member-visible chat metadata.
+type ChatInfo struct {
+	Title         string
+	CreatedAt     time.Time
+	IsChannel     bool
+	Members       int
+	HiddenMembers bool
+	CreatorID     int
+}
+
+// Info fetches member-visible chat metadata including the creation date
+// and the creator's user ID.
+func (c *Client) Info(ctx context.Context, code string) (ChatInfo, error) {
+	var out struct {
+		Title         string `json:"title"`
+		CreatedMS     int64  `json:"created_ms"`
+		IsChannel     bool   `json:"is_channel"`
+		Members       int    `json:"members"`
+		HiddenMembers bool   `json:"hidden_members"`
+		CreatorID     int    `json:"creator_id"`
+	}
+	if err := c.apiDo(ctx, http.MethodGet, c.BaseURL+"/api/chatinfo/"+code, &out); err != nil {
+		return ChatInfo{}, err
+	}
+	return ChatInfo{
+		Title:         out.Title,
+		CreatedAt:     time.UnixMilli(out.CreatedMS).UTC(),
+		IsChannel:     out.IsChannel,
+		Members:       out.Members,
+		HiddenMembers: out.HiddenMembers,
+		CreatorID:     out.CreatorID,
+	}, nil
+}

@@ -1,0 +1,342 @@
+// Package telegram simulates the two Telegram surfaces the study used: the
+// t.me web previews (title, member and online counts, channel-vs-group,
+// readable without an account) and the data API (join, full message history
+// since creation, participant lists that admins may hide, FLOOD_WAIT rate
+// limiting, and phone numbers visible only for the ~0.68% of users who
+// opted in).
+package telegram
+
+import (
+	"encoding/json"
+	"fmt"
+	"html"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"msgscope/internal/platform"
+	"msgscope/internal/simclock"
+	"msgscope/internal/simworld"
+)
+
+// ServiceConfig tunes the simulated API's rate limiting.
+type ServiceConfig struct {
+	// APIBudget requests are allowed per APIWindow per account before the
+	// API answers 420 FLOOD_WAIT.
+	APIBudget int
+	APIWindow time.Duration
+	// FloodWaitSeconds is the advertised wait on a 420.
+	FloodWaitSeconds int
+}
+
+// DefaultServiceConfig approximates Telegram's flood limits.
+func DefaultServiceConfig() ServiceConfig {
+	return ServiceConfig{APIBudget: 120, APIWindow: time.Minute, FloodWaitSeconds: 30}
+}
+
+// Service simulates Telegram.
+type Service struct {
+	cfg   ServiceConfig
+	world *simworld.World
+	clock simclock.Clock
+
+	mu       sync.Mutex
+	accounts map[string]*account
+}
+
+type account struct {
+	joined     map[string]time.Time
+	budget     float64
+	lastRefill time.Time
+}
+
+// NewService builds the service over the world.
+func NewService(world *simworld.World, clock simclock.Clock, cfg ServiceConfig) *Service {
+	return &Service{cfg: cfg, world: world, clock: clock, accounts: map[string]*account{}}
+}
+
+// Handler returns the HTTP mux. GET /web/{code...} serves the public
+// preview; /api/* is the authenticated API (X-TG-Account header).
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /web/{code...}", s.handlePreview)
+	mux.HandleFunc("POST /api/join/{code...}", s.handleJoin)
+	mux.HandleFunc("GET /api/history/{code...}", s.handleHistory)
+	mux.HandleFunc("GET /api/participants/{code...}", s.handleParticipants)
+	mux.HandleFunc("GET /api/chatinfo/{code...}", s.handleChatInfo)
+	return mux
+}
+
+func (s *Service) group(code string) *simworld.Group {
+	return s.world.GroupByCode(platform.Telegram, code)
+}
+
+// handlePreview renders the t.me-style web preview.
+func (s *Service) handlePreview(w http.ResponseWriter, r *http.Request) {
+	code := r.PathValue("code")
+	g := s.group(code)
+	now := s.clock.Now()
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if g == nil {
+		w.WriteHeader(http.StatusNotFound)
+		fmt.Fprint(w, `<html><body>Page not found</body></html>`)
+		return
+	}
+	if !s.world.AliveAt(g, now) {
+		// Dead invite links render a generic "join Telegram" page with no
+		// group details — the revocation marker the monitor keys on.
+		fmt.Fprint(w, `<html><body><div class="tgme_page_invalid">`+
+			`This invite link has expired or the group was deleted.</div></body></html>`)
+		return
+	}
+	kind := "group"
+	if g.IsChannel {
+		kind = "channel"
+	}
+	members := s.world.MembersAt(g, now)
+	online := s.world.OnlineAt(g, now)
+	extra := fmt.Sprintf("%d members, %d online", members, online)
+	if g.IsChannel {
+		extra = fmt.Sprintf("%d subscribers", members)
+	}
+	fmt.Fprintf(w, `<html><head><meta property="og:title" content="%s"/></head><body>
+<div class="tgme_page" data-kind="%s" data-members="%d" data-online="%d">
+<span class="tgme_page_title">%s</span>
+<div class="tgme_page_extra">%s</div>
+<a class="tgme_action_button">%s</a>
+</div></body></html>`,
+		html.EscapeString(g.Title), kind, members, online,
+		html.EscapeString(g.Title), extra, joinLabel(g))
+}
+
+func joinLabel(g *simworld.Group) string {
+	if g.IsChannel {
+		return "Preview channel"
+	}
+	return "Join group"
+}
+
+// takeToken charges one API request against the account's flood budget.
+func (s *Service) takeToken(a *account) bool {
+	now := s.clock.Now()
+	elapsed := now.Sub(a.lastRefill)
+	if elapsed > 0 {
+		a.budget += float64(s.cfg.APIBudget) * float64(elapsed) / float64(s.cfg.APIWindow)
+		if a.budget > float64(s.cfg.APIBudget) {
+			a.budget = float64(s.cfg.APIBudget)
+		}
+		a.lastRefill = now
+	}
+	if a.budget >= 1 {
+		a.budget--
+		return true
+	}
+	return false
+}
+
+// apiAuth authenticates and rate-limits one API call. It returns nil after
+// writing an error response if the call may not proceed.
+func (s *Service) apiAuth(w http.ResponseWriter, r *http.Request) *account {
+	name := r.Header.Get("X-TG-Account")
+	if name == "" {
+		writeError(w, http.StatusUnauthorized, "AUTH_KEY_UNREGISTERED")
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.accounts[name]
+	if !ok {
+		a = &account{
+			joined:     map[string]time.Time{},
+			budget:     float64(s.cfg.APIBudget),
+			lastRefill: s.clock.Now(),
+		}
+		s.accounts[name] = a
+	}
+	if !s.takeToken(a) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(420)
+		json.NewEncoder(w).Encode(map[string]any{
+			"error":       fmt.Sprintf("FLOOD_WAIT_%d", s.cfg.FloodWaitSeconds),
+			"retry_after": s.cfg.FloodWaitSeconds,
+		})
+		return nil
+	}
+	return a
+}
+
+func writeError(w http.ResponseWriter, status int, code string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": code})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Service) handleJoin(w http.ResponseWriter, r *http.Request) {
+	a := s.apiAuth(w, r)
+	if a == nil {
+		return
+	}
+	code := r.PathValue("code")
+	g := s.group(code)
+	now := s.clock.Now()
+	if g == nil {
+		writeError(w, http.StatusBadRequest, "INVITE_HASH_INVALID")
+		return
+	}
+	if !s.world.AliveAt(g, now) {
+		writeError(w, http.StatusBadRequest, "INVITE_HASH_EXPIRED")
+		return
+	}
+	s.mu.Lock()
+	a.joined[code] = now
+	s.mu.Unlock()
+	writeJSON(w, map[string]any{"ok": true, "joined_at_ms": now.UnixMilli()})
+}
+
+func (s *Service) requireMember(w http.ResponseWriter, a *account, code string) bool {
+	s.mu.Lock()
+	_, ok := a.joined[code]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusForbidden, "CHANNEL_PRIVATE")
+		return false
+	}
+	return true
+}
+
+// messageJSON is one history message on the wire.
+type messageJSON struct {
+	FromID uint64 `json:"from_id"`
+	DateMS int64  `json:"date_ms"`
+	Type   string `json:"type"`
+	Text   string `json:"text,omitempty"`
+}
+
+// handleHistory pages backwards through a chat's full history (Telegram
+// exposes messages since the chat was created). Pagination mirrors
+// messages.getHistory: offset_date_ms walks toward older messages, limit
+// caps the page size.
+func (s *Service) handleHistory(w http.ResponseWriter, r *http.Request) {
+	a := s.apiAuth(w, r)
+	if a == nil {
+		return
+	}
+	code := r.PathValue("code")
+	if !s.requireMember(w, a, code) {
+		return
+	}
+	g := s.group(code)
+	if g == nil {
+		writeError(w, http.StatusBadRequest, "CHANNEL_INVALID")
+		return
+	}
+	limit := 100
+	if v := r.URL.Query().Get("limit"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			limit = min(n, 1000)
+		}
+	}
+	until := s.clock.Now()
+	if v := r.URL.Query().Get("offset_date_ms"); v != "" {
+		if ms, err := strconv.ParseInt(v, 10, 64); err == nil {
+			until = time.UnixMilli(ms).UTC()
+		}
+	}
+	// Generate backwards day by day until the page fills.
+	var page []simworld.Message
+	cursor := until
+	for len(page) < limit && cursor.After(g.CreatedAt) {
+		from := cursor.Add(-24 * time.Hour)
+		if from.Before(g.CreatedAt) {
+			from = g.CreatedAt
+		}
+		msgs := s.world.Messages(g, from, cursor)
+		// Newest first within the page.
+		for i := len(msgs) - 1; i >= 0; i-- {
+			page = append(page, msgs[i])
+			if len(page) == limit {
+				break
+			}
+		}
+		cursor = from
+	}
+	out := make([]messageJSON, len(page))
+	for i, m := range page {
+		u := s.world.UserByIdx(platform.Telegram, m.AuthorIdx)
+		out[i] = messageJSON{FromID: u.ID, DateMS: m.SentAt.UnixMilli(), Type: m.Type.String(), Text: m.Text}
+	}
+	resp := map[string]any{"messages": out}
+	if len(page) == limit && len(page) > 0 {
+		resp["next_offset_date_ms"] = page[len(page)-1].SentAt.UnixMilli()
+	}
+	writeJSON(w, resp)
+}
+
+// userJSON is one participant profile; Phone is present only for opt-in
+// users — the paper's 0.68%.
+type userJSON struct {
+	ID    uint64 `json:"id"`
+	Name  string `json:"name"`
+	Phone string `json:"phone,omitempty"`
+}
+
+func (s *Service) handleParticipants(w http.ResponseWriter, r *http.Request) {
+	a := s.apiAuth(w, r)
+	if a == nil {
+		return
+	}
+	code := r.PathValue("code")
+	if !s.requireMember(w, a, code) {
+		return
+	}
+	g := s.group(code)
+	if g == nil {
+		writeError(w, http.StatusBadRequest, "CHANNEL_INVALID")
+		return
+	}
+	if g.HiddenMembers {
+		writeError(w, http.StatusForbidden, "CHAT_ADMIN_REQUIRED")
+		return
+	}
+	idxs := s.world.MemberIdx(g, s.clock.Now())
+	out := make([]userJSON, len(idxs))
+	for i, idx := range idxs {
+		u := s.world.UserByIdx(platform.Telegram, idx)
+		j := userJSON{ID: u.ID, Name: u.Name}
+		if u.PhoneVisible {
+			j.Phone = u.Phone
+		}
+		out[i] = j
+	}
+	writeJSON(w, map[string]any{"participants": out})
+}
+
+func (s *Service) handleChatInfo(w http.ResponseWriter, r *http.Request) {
+	a := s.apiAuth(w, r)
+	if a == nil {
+		return
+	}
+	code := r.PathValue("code")
+	if !s.requireMember(w, a, code) {
+		return
+	}
+	g := s.group(code)
+	if g == nil {
+		writeError(w, http.StatusBadRequest, "CHANNEL_INVALID")
+		return
+	}
+	writeJSON(w, map[string]any{
+		"title":          g.Title,
+		"created_ms":     g.CreatedAt.UnixMilli(),
+		"is_channel":     g.IsChannel,
+		"members":        s.world.MembersAt(g, s.clock.Now()),
+		"hidden_members": g.HiddenMembers,
+		"creator_id":     g.CreatorIdx + 1,
+	})
+}

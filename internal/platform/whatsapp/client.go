@@ -1,0 +1,274 @@
+package whatsapp
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Landing is the metadata scraped off an invite landing page without
+// joining the group — exactly the fields Section 3.2 lists: title, size,
+// creator phone number and its country code.
+type Landing struct {
+	Alive          bool
+	Title          string
+	Members        int
+	CreatorPhone   string
+	CreatorCountry string
+}
+
+// Sentinel errors for join and probe outcomes.
+var (
+	ErrRevoked   = errors.New("whatsapp: invite revoked")
+	ErrNotFound  = errors.New("whatsapp: invite not found")
+	ErrBanned    = errors.New("whatsapp: account banned")
+	ErrNotMember = errors.New("whatsapp: not a member")
+)
+
+// Client scrapes landing pages and drives the web-client API for one
+// account.
+type Client struct {
+	BaseURL string
+	Account string
+	HTTP    *http.Client
+}
+
+// NewClient returns a client bound to an account name.
+func NewClient(baseURL, account string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/"), Account: account, HTTP: &http.Client{}}
+}
+
+// ProbeInvite fetches and scrapes the landing page of an invite code.
+// WhatsApp has no API for this, so it parses the HTML the way the study's
+// automation did.
+func (c *Client) ProbeInvite(ctx context.Context, code string) (Landing, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/invite/"+code, nil)
+	if err != nil {
+		return Landing{}, err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return Landing{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		io.Copy(io.Discard, resp.Body)
+		return Landing{}, ErrNotFound
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return Landing{}, err
+	}
+	return scrapeLanding(string(body))
+}
+
+// scrapeLanding parses the landing-page HTML.
+func scrapeLanding(page string) (Landing, error) {
+	if strings.Contains(page, `class="revoked"`) {
+		return Landing{Alive: false}, nil
+	}
+	l := Landing{Alive: true}
+	var ok bool
+	if l.Title, ok = attr(page, "og:title", "content"); !ok {
+		return Landing{}, fmt.Errorf("whatsapp: landing page missing title")
+	}
+	if v, ok := dataAttr(page, "data-members"); ok {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return Landing{}, fmt.Errorf("whatsapp: bad member count %q", v)
+		}
+		l.Members = n
+	}
+	l.CreatorPhone, _ = dataAttr(page, "data-creator-phone")
+	l.CreatorCountry, _ = dataAttr(page, "data-creator-cc")
+	return l, nil
+}
+
+// attr extracts content="..." from the meta tag with property=name.
+func attr(page, property, key string) (string, bool) {
+	i := strings.Index(page, `property="`+property+`"`)
+	if i < 0 {
+		return "", false
+	}
+	rest := page[i:]
+	j := strings.Index(rest, key+`="`)
+	if j < 0 {
+		return "", false
+	}
+	rest = rest[j+len(key)+2:]
+	k := strings.IndexByte(rest, '"')
+	if k < 0 {
+		return "", false
+	}
+	return htmlUnescape(rest[:k]), true
+}
+
+// dataAttr extracts a data-* attribute value.
+func dataAttr(page, name string) (string, bool) {
+	i := strings.Index(page, name+`="`)
+	if i < 0 {
+		return "", false
+	}
+	rest := page[i+len(name)+2:]
+	k := strings.IndexByte(rest, '"')
+	if k < 0 {
+		return "", false
+	}
+	return htmlUnescape(rest[:k]), true
+}
+
+func htmlUnescape(s string) string {
+	r := strings.NewReplacer("&amp;", "&", "&lt;", "<", "&gt;", ">", "&#34;", `"`, "&#39;", "'", "&middot;", "·")
+	return r.Replace(s)
+}
+
+// Join joins a group; the service enforces the per-account cap.
+func (c *Client) Join(ctx context.Context, code string) (time.Time, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/client/join/"+code, nil)
+	if err != nil {
+		return time.Time{}, err
+	}
+	req.Header.Set("X-WA-Account", c.Account)
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return time.Time{}, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusGone:
+		return time.Time{}, ErrRevoked
+	case http.StatusNotFound:
+		return time.Time{}, ErrNotFound
+	case http.StatusForbidden:
+		return time.Time{}, ErrBanned
+	default:
+		return time.Time{}, fmt.Errorf("whatsapp: join status %d", resp.StatusCode)
+	}
+	var out struct {
+		JoinedAtMS int64 `json:"joined_at_ms"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return time.Time{}, err
+	}
+	return time.UnixMilli(out.JoinedAtMS).UTC(), nil
+}
+
+// Message is one synced group message.
+type Message struct {
+	AuthorPhone string
+	UserID      uint64
+	SentAt      time.Time
+	Type        string
+	Text        string
+}
+
+// Messages syncs messages of a joined group since the given time (zero =
+// since join; WhatsApp never returns pre-join history).
+func (c *Client) Messages(ctx context.Context, code string, since time.Time) ([]Message, error) {
+	u := c.BaseURL + "/client/messages/" + code
+	if !since.IsZero() {
+		u += "?since_ms=" + strconv.FormatInt(since.UnixMilli(), 10)
+	}
+	var out struct {
+		Messages []struct {
+			Author string `json:"author"`
+			UserID uint64 `json:"user_id"`
+			SentMS int64  `json:"sent_ms"`
+			Type   string `json:"type"`
+			Text   string `json:"text"`
+		} `json:"messages"`
+	}
+	if err := c.getJSON(ctx, u, &out); err != nil {
+		return nil, err
+	}
+	msgs := make([]Message, len(out.Messages))
+	for i, m := range out.Messages {
+		msgs[i] = Message{
+			AuthorPhone: m.Author,
+			UserID:      m.UserID,
+			SentAt:      time.UnixMilli(m.SentMS).UTC(),
+			Type:        m.Type,
+			Text:        m.Text,
+		}
+	}
+	return msgs, nil
+}
+
+// Member is one group member with the PII WhatsApp exposes to members.
+type Member struct {
+	Phone   string
+	UserID  uint64
+	Country string
+}
+
+// Members lists the members of a joined group.
+func (c *Client) Members(ctx context.Context, code string) ([]Member, error) {
+	var out struct {
+		Members []struct {
+			Phone   string `json:"phone"`
+			UserID  uint64 `json:"user_id"`
+			Country string `json:"country"`
+		} `json:"members"`
+	}
+	if err := c.getJSON(ctx, c.BaseURL+"/client/members/"+code, &out); err != nil {
+		return nil, err
+	}
+	ms := make([]Member, len(out.Members))
+	for i, m := range out.Members {
+		ms[i] = Member{Phone: m.Phone, UserID: m.UserID, Country: m.Country}
+	}
+	return ms, nil
+}
+
+// GroupInfo is member-visible group metadata.
+type GroupInfo struct {
+	Title     string
+	CreatedAt time.Time
+	Members   int
+}
+
+// Info fetches member-visible metadata, including the creation date.
+func (c *Client) Info(ctx context.Context, code string) (GroupInfo, error) {
+	var out struct {
+		Title     string `json:"title"`
+		CreatedMS int64  `json:"created_ms"`
+		Members   int    `json:"members"`
+	}
+	if err := c.getJSON(ctx, c.BaseURL+"/client/groupinfo/"+code, &out); err != nil {
+		return GroupInfo{}, err
+	}
+	return GroupInfo{Title: out.Title, CreatedAt: time.UnixMilli(out.CreatedMS).UTC(), Members: out.Members}, nil
+}
+
+func (c *Client) getJSON(ctx context.Context, url string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("X-WA-Account", c.Account)
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusForbidden:
+		io.Copy(io.Discard, resp.Body)
+		return ErrNotMember
+	case http.StatusNotFound:
+		io.Copy(io.Discard, resp.Body)
+		return ErrNotFound
+	default:
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return fmt.Errorf("whatsapp: status %d: %s", resp.StatusCode, body)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

@@ -1,0 +1,275 @@
+// Package whatsapp simulates the two WhatsApp surfaces the study scraped:
+// public invite landing pages (readable without joining — and leaking the
+// group creator's phone number, the paper's headline PII finding) and the
+// web-client backend used to join groups and sync messages. WhatsApp has no
+// data API, so the client side of this package is a scraper, not an API
+// client.
+package whatsapp
+
+import (
+	"encoding/json"
+	"fmt"
+	"html"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"msgscope/internal/platform"
+	"msgscope/internal/simclock"
+	"msgscope/internal/simworld"
+)
+
+// Service simulates WhatsApp's invite landing pages and web client.
+type Service struct {
+	world *simworld.World
+	clock simclock.Clock
+
+	mu       sync.Mutex
+	accounts map[string]*account
+}
+
+type account struct {
+	joined  map[string]time.Time // invite code -> join time
+	joinCap int
+	banned  bool
+}
+
+// NewService builds the service over the world.
+func NewService(world *simworld.World, clock simclock.Clock) *Service {
+	return &Service{world: world, clock: clock, accounts: map[string]*account{}}
+}
+
+// Handler returns the HTTP mux: GET /invite/{code} is the public landing
+// page; /client/* is the authenticated web-client API (account via the
+// X-WA-Account header).
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /invite/{code}", s.handleInvite)
+	mux.HandleFunc("POST /client/join/{code}", s.handleJoin)
+	mux.HandleFunc("GET /client/messages/{code}", s.handleMessages)
+	mux.HandleFunc("GET /client/members/{code}", s.handleMembers)
+	mux.HandleFunc("GET /client/groupinfo/{code}", s.handleGroupInfo)
+	return mux
+}
+
+func (s *Service) group(code string) *simworld.Group {
+	return s.world.GroupByCode(platform.WhatsApp, code)
+}
+
+// handleInvite renders the public landing page. Revoked invites render a
+// distinct revocation notice (HTTP 200, as on the real site).
+func (s *Service) handleInvite(w http.ResponseWriter, r *http.Request) {
+	code := r.PathValue("code")
+	g := s.group(code)
+	now := s.clock.Now()
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if g == nil {
+		w.WriteHeader(http.StatusNotFound)
+		fmt.Fprint(w, `<html><body><h1>Couldn't find this page</h1></body></html>`)
+		return
+	}
+	if !s.world.AliveAt(g, now) {
+		fmt.Fprint(w, `<html><head><title>WhatsApp Group Invite</title></head>`+
+			`<body><div class="revoked">This invite link was revoked</div>`+
+			`<p>Ask a group admin for a new link.</p></body></html>`)
+		return
+	}
+	members := s.world.MembersAt(g, now)
+	fmt.Fprintf(w, `<html><head><title>WhatsApp Group Invite</title>
+<meta property="og:title" content="%s"/>
+<meta property="og:description" content="WhatsApp Group Invite"/>
+</head><body>
+<div class="group-info" data-members="%d" data-creator-phone="%s" data-creator-cc="%s">
+<h2 class="group-title">%s</h2>
+<p class="group-size">Group &middot; %d participants</p>
+<p class="group-creator">Created by %s</p>
+<a class="join-btn" href="/client/join/%s">Join Chat</a>
+</div></body></html>`,
+		html.EscapeString(g.Title), members, g.CreatorPhone, g.CreatorCountry,
+		html.EscapeString(g.Title), members, g.CreatorPhone, code)
+}
+
+func (s *Service) auth(r *http.Request) (string, bool) {
+	acct := r.Header.Get("X-WA-Account")
+	return acct, acct != ""
+}
+
+func (s *Service) accountState(name string) *account {
+	a, ok := s.accounts[name]
+	if !ok {
+		// Join cap "between 250 and 300" per the paper; deterministic
+		// per-account jitter.
+		capJitter := 0
+		for i := 0; i < len(name); i++ {
+			capJitter = (capJitter*31 + int(name[i])) % 51
+		}
+		a = &account{joined: map[string]time.Time{}, joinCap: 250 + capJitter}
+		s.accounts[name] = a
+	}
+	return a
+}
+
+func jsonError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+func (s *Service) handleJoin(w http.ResponseWriter, r *http.Request) {
+	acctName, ok := s.auth(r)
+	if !ok {
+		jsonError(w, http.StatusUnauthorized, "missing X-WA-Account")
+		return
+	}
+	code := r.PathValue("code")
+	g := s.group(code)
+	now := s.clock.Now()
+	if g == nil {
+		jsonError(w, http.StatusNotFound, "unknown invite")
+		return
+	}
+	if !s.world.AliveAt(g, now) {
+		jsonError(w, http.StatusGone, "invite revoked")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a := s.accountState(acctName)
+	if a.banned {
+		jsonError(w, http.StatusForbidden, "account banned")
+		return
+	}
+	if _, dup := a.joined[code]; dup {
+		writeJSON(w, map[string]any{"ok": true, "already": true})
+		return
+	}
+	if len(a.joined) >= a.joinCap {
+		// Exceeding the empirical group limit gets accounts banned.
+		a.banned = true
+		jsonError(w, http.StatusForbidden, "account banned: too many groups")
+		return
+	}
+	a.joined[code] = now
+	writeJSON(w, map[string]any{"ok": true, "joined_at_ms": now.UnixMilli()})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// membership returns the join time, enforcing that the account is a member.
+func (s *Service) membership(w http.ResponseWriter, r *http.Request, code string) (time.Time, bool) {
+	acctName, ok := s.auth(r)
+	if !ok {
+		jsonError(w, http.StatusUnauthorized, "missing X-WA-Account")
+		return time.Time{}, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.accounts[acctName]
+	if !ok {
+		jsonError(w, http.StatusForbidden, "not a member")
+		return time.Time{}, false
+	}
+	at, ok := a.joined[code]
+	if !ok {
+		jsonError(w, http.StatusForbidden, "not a member")
+		return time.Time{}, false
+	}
+	return at, true
+}
+
+// messageJSON is the wire shape of one synced message.
+type messageJSON struct {
+	Author string `json:"author"` // member phone number (exposed PII)
+	UserID uint64 `json:"user_id"`
+	SentMS int64  `json:"sent_ms"`
+	Type   string `json:"type"`
+	Text   string `json:"text,omitempty"`
+}
+
+// handleMessages syncs group messages. WhatsApp only delivers history from
+// the join time onward, regardless of the requested window.
+func (s *Service) handleMessages(w http.ResponseWriter, r *http.Request) {
+	code := r.PathValue("code")
+	joinedAt, ok := s.membership(w, r, code)
+	if !ok {
+		return
+	}
+	g := s.group(code)
+	if g == nil {
+		jsonError(w, http.StatusNotFound, "unknown group")
+		return
+	}
+	now := s.clock.Now()
+	from := joinedAt
+	if v := r.URL.Query().Get("since_ms"); v != "" {
+		if ms, err := strconv.ParseInt(v, 10, 64); err == nil {
+			if t := time.UnixMilli(ms).UTC(); t.After(from) {
+				from = t
+			}
+		}
+	}
+	msgs := s.world.Messages(g, from, now)
+	out := make([]messageJSON, len(msgs))
+	for i, m := range msgs {
+		u := s.world.UserByIdx(platform.WhatsApp, m.AuthorIdx)
+		out[i] = messageJSON{
+			Author: u.Phone,
+			UserID: u.ID,
+			SentMS: m.SentAt.UnixMilli(),
+			Type:   m.Type.String(),
+			Text:   m.Text,
+		}
+	}
+	writeJSON(w, map[string]any{"messages": out})
+}
+
+// memberJSON is one group member as the client sees it: the phone number is
+// always visible to fellow members.
+type memberJSON struct {
+	Phone   string `json:"phone"`
+	UserID  uint64 `json:"user_id"`
+	Country string `json:"country"`
+}
+
+func (s *Service) handleMembers(w http.ResponseWriter, r *http.Request) {
+	code := r.PathValue("code")
+	if _, ok := s.membership(w, r, code); !ok {
+		return
+	}
+	g := s.group(code)
+	if g == nil {
+		jsonError(w, http.StatusNotFound, "unknown group")
+		return
+	}
+	idxs := s.world.MemberIdx(g, s.clock.Now())
+	out := make([]memberJSON, len(idxs))
+	for i, idx := range idxs {
+		u := s.world.UserByIdx(platform.WhatsApp, idx)
+		out[i] = memberJSON{Phone: u.Phone, UserID: u.ID, Country: u.Country}
+	}
+	writeJSON(w, map[string]any{"members": out})
+}
+
+// handleGroupInfo exposes metadata visible to members, including the group
+// creation date (unavailable from the landing page).
+func (s *Service) handleGroupInfo(w http.ResponseWriter, r *http.Request) {
+	code := r.PathValue("code")
+	if _, ok := s.membership(w, r, code); !ok {
+		return
+	}
+	g := s.group(code)
+	if g == nil {
+		jsonError(w, http.StatusNotFound, "unknown group")
+		return
+	}
+	writeJSON(w, map[string]any{
+		"title":         g.Title,
+		"created_ms":    g.CreatedAt.UnixMilli(),
+		"creator_phone": g.CreatorPhone,
+		"members":       s.world.MembersAt(g, s.clock.Now()),
+	})
+}

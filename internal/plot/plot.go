@@ -1,0 +1,292 @@
+// Package plot renders simple publication-style charts as SVG using only
+// the standard library: multi-series line/step charts (for the paper's CDF
+// figures) and grouped bar charts (for the share figures). The goal is not
+// a general plotting system but faithful, dependency-free renderings of the
+// reproduced figures.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line on a chart.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Point is one (x, y) pair.
+type Point struct{ X, Y float64 }
+
+// Chart configures a line/step chart.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// LogX uses a log10 x-axis (x values must be > 0; zeros are clamped
+	// to the smallest positive value).
+	LogX bool
+	// Step draws staircase segments (proper empirical CDFs).
+	Step   bool
+	Width  int // default 640
+	Height int // default 400
+}
+
+// palette holds distinguishable stroke colors (colorblind-safe-ish).
+var palette = []string{"#0072B2", "#D55E00", "#009E73", "#CC79A7", "#56B4E9", "#E69F00"}
+
+const margin = 56.0
+
+func (c Chart) dims() (w, h float64) {
+	if c.Width <= 0 {
+		c.Width = 640
+	}
+	if c.Height <= 0 {
+		c.Height = 400
+	}
+	return float64(c.Width), float64(c.Height)
+}
+
+// LineSVG renders the series as an SVG document.
+func (c Chart) LineSVG(series []Series) string {
+	w, h := c.dims()
+	var sb strings.Builder
+	svgHeader(&sb, w, h)
+
+	minX, maxX, minY, maxY := bounds(series)
+	if c.LogX {
+		if minX <= 0 {
+			minX = smallestPositiveX(series, maxX)
+		}
+		minX, maxX = math.Log10(minX), math.Log10(math.Max(maxX, minX*10))
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	sx := func(x float64) float64 {
+		if c.LogX {
+			if x <= 0 {
+				x = math.Pow(10, minX)
+			}
+			x = math.Log10(x)
+		}
+		return margin + (x-minX)/(maxX-minX)*(w-2*margin)
+	}
+	sy := func(y float64) float64 {
+		return h - margin - (y-minY)/(maxY-minY)*(h-2*margin)
+	}
+
+	c.frame(&sb, w, h)
+	c.xTicks(&sb, w, h, minX, maxX, sx)
+	c.yTicks(&sb, w, h, minY, maxY, sy)
+
+	for i, s := range series {
+		if len(s.Points) == 0 {
+			continue
+		}
+		color := palette[i%len(palette)]
+		var path strings.Builder
+		for j, p := range s.Points {
+			x, y := sx(p.X), sy(p.Y)
+			switch {
+			case j == 0:
+				fmt.Fprintf(&path, "M%.1f,%.1f", x, y)
+			case c.Step:
+				prevY := sy(s.Points[j-1].Y)
+				fmt.Fprintf(&path, " L%.1f,%.1f L%.1f,%.1f", x, prevY, x, y)
+			default:
+				fmt.Fprintf(&path, " L%.1f,%.1f", x, y)
+			}
+		}
+		fmt.Fprintf(&sb, `<path d="%s" fill="none" stroke="%s" stroke-width="1.8"/>`+"\n",
+			path.String(), color)
+		// Legend entry.
+		lx := margin + 10
+		ly := margin + 16 + float64(i)*16
+		fmt.Fprintf(&sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="2"/>`+"\n",
+			lx, ly-4, lx+18, ly-4, color)
+		text(&sb, lx+24, ly, "start", escape(s.Name))
+	}
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}
+
+// BarGroup is one cluster of bars sharing an x label.
+type BarGroup struct {
+	Label  string
+	Values []float64 // one per series
+}
+
+// BarSVG renders grouped bars; seriesNames labels the bars within a group.
+func (c Chart) BarSVG(seriesNames []string, groups []BarGroup) string {
+	w, h := c.dims()
+	var sb strings.Builder
+	svgHeader(&sb, w, h)
+
+	maxY := 0.0
+	for _, g := range groups {
+		for _, v := range g.Values {
+			if v > maxY {
+				maxY = v
+			}
+		}
+	}
+	if maxY == 0 {
+		maxY = 1
+	}
+	sy := func(y float64) float64 {
+		return h - margin - y/maxY*(h-2*margin)
+	}
+	c.frame(&sb, w, h)
+	c.yTicks(&sb, w, h, 0, maxY, sy)
+
+	groupW := (w - 2*margin) / float64(max(1, len(groups)))
+	barW := groupW * 0.8 / float64(max(1, len(seriesNames)))
+	for gi, g := range groups {
+		gx := margin + float64(gi)*groupW + groupW*0.1
+		for si, v := range g.Values {
+			color := palette[si%len(palette)]
+			x := gx + float64(si)*barW
+			y := sy(v)
+			fmt.Fprintf(&sb, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+				x, y, barW*0.92, (h-margin)-y, color)
+		}
+		text(&sb, gx+groupW*0.4, h-margin+16, "middle", escape(g.Label))
+	}
+	for si, name := range seriesNames {
+		lx := margin + 10
+		ly := margin + 16 + float64(si)*16
+		fmt.Fprintf(&sb, `<rect x="%.1f" y="%.1f" width="12" height="12" fill="%s"/>`+"\n",
+			lx, ly-10, palette[si%len(palette)])
+		text(&sb, lx+18, ly, "start", escape(name))
+	}
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}
+
+func svgHeader(sb *strings.Builder, w, h float64) {
+	fmt.Fprintf(sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" `+
+		`viewBox="0 0 %.0f %.0f" font-family="sans-serif" font-size="11">`+"\n", w, h, w, h)
+	fmt.Fprintf(sb, `<rect width="%.0f" height="%.0f" fill="white"/>`+"\n", w, h)
+}
+
+func (c Chart) frame(sb *strings.Builder, w, h float64) {
+	fmt.Fprintf(sb, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="none" stroke="#333"/>`+"\n",
+		margin, margin, w-2*margin, h-2*margin)
+	if c.Title != "" {
+		fmt.Fprintf(sb, `<text x="%.1f" y="%.1f" text-anchor="middle" font-size="14">%s</text>`+"\n",
+			w/2, margin-20, escape(c.Title))
+	}
+	if c.XLabel != "" {
+		fmt.Fprintf(sb, `<text x="%.1f" y="%.1f" text-anchor="middle">%s</text>`+"\n",
+			w/2, h-14, escape(c.XLabel))
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(sb, `<text x="16" y="%.1f" text-anchor="middle" transform="rotate(-90 16 %.1f)">%s</text>`+"\n",
+			h/2, h/2, escape(c.YLabel))
+	}
+}
+
+func (c Chart) xTicks(sb *strings.Builder, w, h, minX, maxX float64, sx func(float64) float64) {
+	if c.LogX {
+		// minX/maxX are exponents here; tick each decade.
+		for e := math.Ceil(minX); e <= math.Floor(maxX)+1e-9; e++ {
+			v := math.Pow(10, e)
+			x := sx(v)
+			tickLineX(sb, x, h)
+			text(sb, x, h-margin+16, "middle", formatTick(v))
+		}
+		return
+	}
+	for i := 0; i <= 5; i++ {
+		v := minX + (maxX-minX)*float64(i)/5
+		x := sx(v)
+		tickLineX(sb, x, h)
+		text(sb, x, h-margin+16, "middle", formatTick(v))
+	}
+}
+
+func (c Chart) yTicks(sb *strings.Builder, w, h, minY, maxY float64, sy func(float64) float64) {
+	for i := 0; i <= 5; i++ {
+		v := minY + (maxY-minY)*float64(i)/5
+		y := sy(v)
+		fmt.Fprintf(sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#333"/>`+"\n",
+			margin-4, y, margin, y)
+		fmt.Fprintf(sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#eee"/>`+"\n",
+			margin, y, w-margin, y)
+		text(sb, margin-8, y+4, "end", formatTick(v))
+	}
+}
+
+func tickLineX(sb *strings.Builder, x, h float64) {
+	fmt.Fprintf(sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#333"/>`+"\n",
+		x, h-margin, x, h-margin+4)
+}
+
+func text(sb *strings.Builder, x, y float64, anchor, s string) {
+	fmt.Fprintf(sb, `<text x="%.1f" y="%.1f" text-anchor="%s">%s</text>`+"\n", x, y, anchor, s)
+}
+
+func bounds(series []Series) (minX, maxX, minY, maxY float64) {
+	minX, minY = math.Inf(1), math.Inf(1)
+	maxX, maxY = math.Inf(-1), math.Inf(-1)
+	for _, s := range series {
+		for _, p := range s.Points {
+			minX = math.Min(minX, p.X)
+			maxX = math.Max(maxX, p.X)
+			minY = math.Min(minY, p.Y)
+			maxY = math.Max(maxY, p.Y)
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return 0, 1, 0, 1
+	}
+	return minX, maxX, minY, maxY
+}
+
+func smallestPositiveX(series []Series, fallback float64) float64 {
+	small := math.Inf(1)
+	for _, s := range series {
+		for _, p := range s.Points {
+			if p.X > 0 && p.X < small {
+				small = p.X
+			}
+		}
+	}
+	if math.IsInf(small, 1) {
+		if fallback > 0 {
+			return fallback / 10
+		}
+		return 0.1
+	}
+	return small
+}
+
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case av >= 1e4:
+		return fmt.Sprintf("%.0fK", v/1e3)
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 1:
+		return fmt.Sprintf("%.3g", v)
+	case av == 0:
+		return "0"
+	default:
+		return fmt.Sprintf("%.2g", v)
+	}
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,85 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleSeries() []Series {
+	return []Series{
+		{Name: "WhatsApp", Points: []Point{{1, 0.2}, {10, 0.6}, {100, 1.0}}},
+		{Name: "Telegram", Points: []Point{{1, 0.1}, {50, 0.5}, {1000, 1.0}}},
+	}
+}
+
+func TestLineSVGWellFormed(t *testing.T) {
+	svg := Chart{Title: "T", XLabel: "x", YLabel: "y"}.LineSVG(sampleSeries())
+	for _, want := range []string{"<svg", "</svg>", "WhatsApp", "Telegram", "<path", "T"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("SVG missing %q:\n%s", want, svg[:200])
+		}
+	}
+	if strings.Count(svg, "<path") != 2 {
+		t.Fatalf("want 2 paths, got %d", strings.Count(svg, "<path"))
+	}
+}
+
+func TestLineSVGLogXAndStep(t *testing.T) {
+	svg := Chart{LogX: true, Step: true}.LineSVG(sampleSeries())
+	if !strings.Contains(svg, "<path") {
+		t.Fatal("no path in log/step chart")
+	}
+	// Log decade ticks: 1, 10, 100, 1000 should appear as tick labels.
+	for _, tick := range []string{">1<", ">10<", ">100<"} {
+		if !strings.Contains(svg, tick) {
+			t.Fatalf("missing log tick %s", tick)
+		}
+	}
+}
+
+func TestLineSVGEmptyAndDegenerate(t *testing.T) {
+	if svg := (Chart{}).LineSVG(nil); !strings.Contains(svg, "</svg>") {
+		t.Fatal("empty chart not closed")
+	}
+	// A single point and zero x values under LogX must not panic.
+	svg := Chart{LogX: true}.LineSVG([]Series{{Name: "s", Points: []Point{{0, 0.5}}}})
+	if !strings.Contains(svg, "</svg>") {
+		t.Fatal("degenerate chart not closed")
+	}
+}
+
+func TestBarSVG(t *testing.T) {
+	svg := Chart{Title: "bars", YLabel: "%"}.BarSVG(
+		[]string{"a", "b"},
+		[]BarGroup{{Label: "g1", Values: []float64{10, 20}}, {Label: "g2", Values: []float64{5, 0}}},
+	)
+	if strings.Count(svg, "<rect") < 5 { // frame + bg + 4 bars + legend swatches
+		t.Fatalf("too few rects:\n%s", svg[:200])
+	}
+	for _, want := range []string{"g1", "g2", "bars"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("missing %q", want)
+		}
+	}
+}
+
+func TestEscape(t *testing.T) {
+	svg := Chart{Title: `<&">`}.LineSVG(sampleSeries())
+	if strings.Contains(svg, `<&">`) {
+		t.Fatal("title not escaped")
+	}
+	if !strings.Contains(svg, "&lt;&amp;&quot;&gt;") {
+		t.Fatal("escaped title missing")
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	cases := map[float64]string{
+		0: "0", 0.25: "0.25", 5: "5", 250: "250", 25000: "25K", 2500000: "2.5M",
+	}
+	for v, want := range cases {
+		if got := formatTick(v); got != want {
+			t.Errorf("formatTick(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+// Package privacy computes the PII-exposure analyses of Section 6: how
+// many observed users had phone numbers exposed (WhatsApp: all members and
+// even non-member-visible group creators; Telegram: only opt-in users) and
+// how many Discord users exposed linked accounts on other platforms
+// (Tables 4 and 5).
+package privacy
+
+import (
+	"sort"
+
+	"msgscope/internal/platform"
+	"msgscope/internal/store"
+)
+
+// Exposure is one platform's row of Table 4.
+type Exposure struct {
+	Platform      platform.Platform
+	MembersSeen   int // users observed in joined groups
+	CreatorsSeen  int // users observed only as group creators (WhatsApp)
+	PhonesExposed int
+	PhoneShare    float64 // of all users observed
+	LinkedExposed int     // users with >=1 linked account (Discord)
+	LinkedShare   float64
+}
+
+// LinkedCount is one row of Table 5.
+type LinkedCount struct {
+	Platform string // the linked platform (Twitch, Steam, ...)
+	Users    int
+	Share    float64 // of all Discord users observed
+}
+
+// Report is the full privacy analysis.
+type Report struct {
+	Exposures []Exposure    // one per messaging platform
+	Linked    []LinkedCount // Table 5, sorted by descending share
+}
+
+// Analyze computes the privacy report from the collected dataset.
+func Analyze(st *store.Store) Report {
+	var rep Report
+	users := st.Users()
+	for _, p := range platform.All {
+		e := Exposure{Platform: p}
+		var total int
+		for _, u := range users {
+			if u.Platform != p {
+				continue
+			}
+			total++
+			if u.Creator {
+				e.CreatorsSeen++
+			} else {
+				e.MembersSeen++
+			}
+			if u.PhoneHash != "" {
+				e.PhonesExposed++
+			}
+			if len(u.Linked) > 0 {
+				e.LinkedExposed++
+			}
+		}
+		if total > 0 {
+			e.PhoneShare = float64(e.PhonesExposed) / float64(total)
+			e.LinkedShare = float64(e.LinkedExposed) / float64(total)
+		}
+		rep.Exposures = append(rep.Exposures, e)
+	}
+
+	// Table 5: linked-platform breakdown over observed Discord users.
+	var dcTotal int
+	counts := map[string]int{}
+	for _, u := range users {
+		if u.Platform != platform.Discord {
+			continue
+		}
+		dcTotal++
+		for _, l := range u.Linked {
+			counts[l]++
+		}
+	}
+	for name, n := range counts {
+		lc := LinkedCount{Platform: name, Users: n}
+		if dcTotal > 0 {
+			lc.Share = float64(n) / float64(dcTotal)
+		}
+		rep.Linked = append(rep.Linked, lc)
+	}
+	sort.Slice(rep.Linked, func(i, j int) bool {
+		if rep.Linked[i].Users != rep.Linked[j].Users {
+			return rep.Linked[i].Users > rep.Linked[j].Users
+		}
+		return rep.Linked[i].Platform < rep.Linked[j].Platform
+	})
+	return rep
+}

@@ -1,0 +1,84 @@
+package privacy
+
+import (
+	"testing"
+
+	"msgscope/internal/platform"
+	"msgscope/internal/store"
+)
+
+func buildStore() *store.Store {
+	st := store.New()
+	// WhatsApp: 3 members with phones, 2 creators-only with phones.
+	for i := uint64(1); i <= 3; i++ {
+		st.UpsertUser(store.UserRecord{Platform: platform.WhatsApp, Key: i, PhoneHash: "h", Country: "BR"})
+	}
+	for i := uint64(10); i <= 11; i++ {
+		st.UpsertUser(store.UserRecord{Platform: platform.WhatsApp, Key: i, PhoneHash: "h", Country: "NG", Creator: true})
+	}
+	// Telegram: 4 members, one opted into phone visibility.
+	st.UpsertUser(store.UserRecord{Platform: platform.Telegram, Key: 1, PhoneHash: "h"})
+	for i := uint64(2); i <= 4; i++ {
+		st.UpsertUser(store.UserRecord{Platform: platform.Telegram, Key: i})
+	}
+	// Discord: 5 members; 2 with linked accounts.
+	st.UpsertUser(store.UserRecord{Platform: platform.Discord, Key: 1, Linked: []string{"Twitch", "Steam"}})
+	st.UpsertUser(store.UserRecord{Platform: platform.Discord, Key: 2, Linked: []string{"Twitch"}})
+	for i := uint64(3); i <= 5; i++ {
+		st.UpsertUser(store.UserRecord{Platform: platform.Discord, Key: i})
+	}
+	return st
+}
+
+func TestAnalyzeExposures(t *testing.T) {
+	rep := Analyze(buildStore())
+	if len(rep.Exposures) != 3 {
+		t.Fatalf("%d exposures", len(rep.Exposures))
+	}
+	wa := rep.Exposures[0]
+	if wa.Platform != platform.WhatsApp || wa.MembersSeen != 3 || wa.CreatorsSeen != 2 {
+		t.Fatalf("WhatsApp exposure wrong: %+v", wa)
+	}
+	if wa.PhonesExposed != 5 || wa.PhoneShare != 1.0 {
+		t.Fatalf("WhatsApp phones wrong: %+v", wa)
+	}
+	tg := rep.Exposures[1]
+	if tg.PhonesExposed != 1 || tg.PhoneShare != 0.25 {
+		t.Fatalf("Telegram phones wrong: %+v", tg)
+	}
+	dc := rep.Exposures[2]
+	if dc.PhonesExposed != 0 {
+		t.Fatalf("Discord should expose no phones: %+v", dc)
+	}
+	if dc.LinkedExposed != 2 || dc.LinkedShare != 0.4 {
+		t.Fatalf("Discord linked wrong: %+v", dc)
+	}
+}
+
+func TestAnalyzeLinkedBreakdown(t *testing.T) {
+	rep := Analyze(buildStore())
+	if len(rep.Linked) != 2 {
+		t.Fatalf("%d linked rows", len(rep.Linked))
+	}
+	if rep.Linked[0].Platform != "Twitch" || rep.Linked[0].Users != 2 {
+		t.Fatalf("top linked wrong: %+v", rep.Linked[0])
+	}
+	if rep.Linked[0].Share != 0.4 {
+		t.Fatalf("Twitch share %v, want 0.4 of 5 Discord users", rep.Linked[0].Share)
+	}
+	if rep.Linked[1].Platform != "Steam" || rep.Linked[1].Users != 1 {
+		t.Fatalf("second linked wrong: %+v", rep.Linked[1])
+	}
+}
+
+func TestAnalyzeEmptyStore(t *testing.T) {
+	rep := Analyze(store.New())
+	for _, e := range rep.Exposures {
+		if e.PhonesExposed != 0 || e.PhoneShare != 0 {
+			t.Fatalf("empty store exposure nonzero: %+v", e)
+		}
+	}
+	if len(rep.Linked) != 0 {
+		t.Fatal("empty store has linked rows")
+	}
+}

@@ -1,0 +1,127 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"msgscope/internal/analysis/stats"
+	"msgscope/internal/platform"
+	"msgscope/internal/store"
+)
+
+// CreatorsResult reproduces Section 5's "Group Creators" analysis: how many
+// distinct users created the observed groups, how many created more than
+// one, and the most prolific creator. Creator identity comes from landing
+// pages on WhatsApp (phone hash), the invite's inviter on Discord, and the
+// member-visible creator on joined Telegram rooms.
+type CreatorsResult struct {
+	Creators    map[platform.Platform]int
+	SingleShare map[platform.Platform]float64 // creators with exactly one group
+	MultiShare  map[platform.Platform]float64 // creators with >= 2 groups
+	MaxGroups   map[platform.Platform]int
+	GroupsKnown map[platform.Platform]int // groups with a known creator
+}
+
+// Creators computes the creator statistics.
+func Creators(ds Dataset) CreatorsResult {
+	res := CreatorsResult{
+		Creators:    map[platform.Platform]int{},
+		SingleShare: map[platform.Platform]float64{},
+		MultiShare:  map[platform.Platform]float64{},
+		MaxGroups:   map[platform.Platform]int{},
+		GroupsKnown: map[platform.Platform]int{},
+	}
+	for _, p := range platform.All {
+		perCreator := map[string]int{}
+		for _, g := range ds.Store.GroupsOf(p) {
+			key := creatorOf(g)
+			if key == "" {
+				continue
+			}
+			perCreator[key]++
+			res.GroupsKnown[p]++
+		}
+		res.Creators[p] = len(perCreator)
+		single, max := 0, 0
+		for _, n := range perCreator {
+			if n == 1 {
+				single++
+			}
+			if n > max {
+				max = n
+			}
+		}
+		if len(perCreator) > 0 {
+			res.SingleShare[p] = float64(single) / float64(len(perCreator))
+			res.MultiShare[p] = 1 - res.SingleShare[p]
+		}
+		res.MaxGroups[p] = max
+	}
+	return res
+}
+
+// creatorOf returns the group's creator key from the best available
+// surface.
+func creatorOf(g *store.GroupRecord) string {
+	if g.CreatorKey != "" {
+		return g.CreatorKey
+	}
+	for _, o := range g.Observations {
+		if o.CreatorKey != "" {
+			return o.CreatorKey
+		}
+	}
+	return ""
+}
+
+// Render prints the creator summary.
+func (c CreatorsResult) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Group creators (Section 5)\n")
+	for _, p := range platform.All {
+		if c.Creators[p] == 0 {
+			fmt.Fprintf(&sb, "%-9s | (no creator data)\n", p)
+			continue
+		}
+		fmt.Fprintf(&sb, "%-9s | %d creators for %d groups | single=%.1f%% multi=%.1f%% max=%d\n",
+			p, c.Creators[p], c.GroupsKnown[p],
+			c.SingleShare[p]*100, c.MultiShare[p]*100, c.MaxGroups[p])
+	}
+	return sb.String()
+}
+
+// CountriesResult reproduces Section 5's "Group Countries": the country
+// mix of WhatsApp group creators, read off the landing-page phone numbers.
+type CountriesResult struct {
+	Countries *stats.Histogram // WhatsApp creator countries, by group
+}
+
+// Countries computes the creator-country histogram.
+func Countries(ds Dataset) CountriesResult {
+	h := stats.NewHistogram()
+	for _, g := range ds.Store.GroupsOf(platform.WhatsApp) {
+		for _, o := range g.Observations {
+			if o.CreatorCountry != "" {
+				h.Inc(o.CreatorCountry)
+				break // one vote per group
+			}
+		}
+	}
+	return CountriesResult{Countries: h}
+}
+
+// Render prints the top creator countries.
+func (c CountriesResult) Render() string {
+	var sb strings.Builder
+	sb.WriteString("WhatsApp group creator countries (Section 5)\n")
+	for i, kv := range c.Countries.Sorted() {
+		if i >= 10 {
+			break
+		}
+		fmt.Fprintf(&sb, "  %-6s %6d groups (%.1f%%)\n", kv.K, kv.V, c.Countries.Share(kv.K)*100)
+	}
+	if c.Countries.Total() == 0 {
+		sb.WriteString("  (no creator countries observed)\n")
+	}
+	return sb.String()
+}

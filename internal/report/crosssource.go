@@ -1,0 +1,67 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"msgscope/internal/platform"
+)
+
+// CrossSourceResult quantifies the future-work second discovery source:
+// how many groups each source found, the overlap, and the gain from adding
+// the secondary network to a Twitter-only study.
+type CrossSourceResult struct {
+	TwitterOnly map[platform.Platform]int
+	SocialOnly  map[platform.Platform]int
+	Both        map[platform.Platform]int
+	// Gain is the fraction of all discovered groups a Twitter-only study
+	// would have missed.
+	Gain map[platform.Platform]float64
+	// Enabled is false when the run had no secondary source configured.
+	Enabled bool
+}
+
+// CrossSource computes the discovery-source breakdown.
+func CrossSource(ds Dataset) CrossSourceResult {
+	res := CrossSourceResult{
+		TwitterOnly: map[platform.Platform]int{},
+		SocialOnly:  map[platform.Platform]int{},
+		Both:        map[platform.Platform]int{},
+		Gain:        map[platform.Platform]float64{},
+	}
+	for _, g := range ds.Store.Groups() {
+		switch {
+		case g.SeenTwitter && g.SeenSocial:
+			res.Both[g.Platform]++
+			res.Enabled = true
+		case g.SeenSocial:
+			res.SocialOnly[g.Platform]++
+			res.Enabled = true
+		case g.SeenTwitter:
+			res.TwitterOnly[g.Platform]++
+		}
+	}
+	for _, p := range platform.All {
+		total := res.TwitterOnly[p] + res.SocialOnly[p] + res.Both[p]
+		if total > 0 {
+			res.Gain[p] = float64(res.SocialOnly[p]) / float64(total)
+		}
+	}
+	return res
+}
+
+// Render prints the breakdown.
+func (c CrossSourceResult) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Cross-source discovery (Section 8 future work)\n")
+	if !c.Enabled {
+		sb.WriteString("  (run with the secondary discovery source enabled to compare sources)\n")
+		return sb.String()
+	}
+	sb.WriteString("platform  | twitter-only social-only both | gain over Twitter-only\n")
+	for _, p := range platform.All {
+		fmt.Fprintf(&sb, "%-9s | %12d %11d %4d | +%.1f%%\n",
+			p, c.TwitterOnly[p], c.SocialOnly[p], c.Both[p], c.Gain[p]*100)
+	}
+	return sb.String()
+}

@@ -1,0 +1,227 @@
+package report
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+
+	"msgscope/internal/analysis/stats"
+	"msgscope/internal/platform"
+)
+
+// The CSV emitters render each figure's underlying data in a plot-ready
+// form (one row per point, long format), so the reproduced figures can be
+// drawn with any external plotting tool. `msgscope run -csv DIR` writes one
+// file per figure.
+
+// WriteCSV emits the figure's series as CSV.
+func (f Fig1Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"platform", "day", "all", "unique", "new"}); err != nil {
+		return err
+	}
+	for _, p := range platform.All {
+		for d := 0; d < f.All[p].Len(); d++ {
+			rec := []string{
+				p.String(), strconv.Itoa(d),
+				fmtF(f.All[p].At(d)), fmtF(f.Unique[p].At(d)), fmtF(f.New[p].At(d)),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits the CDF points of tweets-per-URL.
+func (f Fig2Result) WriteCSV(w io.Writer) error {
+	return writeCDFCSV(w, f.CDF, "tweets_per_url")
+}
+
+// WriteCSV emits the feature shares.
+func (f Fig3Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"population", "tweets", "hashtag", "multi_hashtag", "mention", "multi_mention", "retweet"}); err != nil {
+		return err
+	}
+	for _, r := range f.Rows {
+		rec := []string{
+			r.Name, strconv.Itoa(r.Tweets),
+			fmtF(r.Hashtag), fmtF(r.MultiHashtag), fmtF(r.Mention),
+			fmtF(r.MultiMention), fmtF(r.Retweet),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits language shares.
+func (f Fig4Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"platform", "lang", "tweets", "share"}); err != nil {
+		return err
+	}
+	for _, p := range platform.All {
+		for _, kv := range f.Langs[p].Sorted() {
+			rec := []string{p.String(), kv.K, strconv.Itoa(kv.V), fmtF(f.Langs[p].Share(kv.K))}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits the staleness CDF.
+func (f Fig5Result) WriteCSV(w io.Writer) error {
+	return writeCDFCSV(w, f.CDF, "staleness_days")
+}
+
+// WriteCSV emits the revoked-URL lifetime CDF and per-day revocations.
+func (f Fig6Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"platform", "kind", "x", "y"}); err != nil {
+		return err
+	}
+	for _, p := range platform.All {
+		for _, pt := range f.LifetimeDays[p].Points(200) {
+			if err := cw.Write([]string{p.String(), "lifetime_cdf", fmtF(pt.X), fmtF(pt.Y)}); err != nil {
+				return err
+			}
+		}
+		for d := 0; d < f.RevokedPerDay[p].Len(); d++ {
+			if err := cw.Write([]string{p.String(), "revoked_per_day",
+				strconv.Itoa(d), fmtF(f.RevokedPerDay[p].At(d))}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits the three member panels as CDF points.
+func (f Fig7Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"platform", "panel", "x", "y"}); err != nil {
+		return err
+	}
+	panels := []struct {
+		name string
+		data map[platform.Platform]*stats.ECDF
+	}{
+		{"members", f.Members}, {"online_frac", f.OnlineFrac}, {"growth", f.Growth},
+	}
+	for _, panel := range panels {
+		for _, p := range platform.All {
+			for _, pt := range panel.data[p].Points(200) {
+				if err := cw.Write([]string{p.String(), panel.name, fmtF(pt.X), fmtF(pt.Y)}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits message-type shares.
+func (f Fig8Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"platform", "type", "messages", "share"}); err != nil {
+		return err
+	}
+	for _, p := range platform.All {
+		for _, kv := range f.Types[p].Sorted() {
+			rec := []string{p.String(), kv.K, strconv.Itoa(kv.V), fmtF(f.Types[p].Share(kv.K))}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits the two activity panels as CDF points.
+func (f Fig9Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"platform", "panel", "x", "y"}); err != nil {
+		return err
+	}
+	panels := []struct {
+		name string
+		data map[platform.Platform]*stats.ECDF
+	}{
+		{"msgs_per_group_day", f.PerGroupDay}, {"msgs_per_user", f.PerUser},
+	}
+	for _, panel := range panels {
+		for _, p := range platform.All {
+			for _, pt := range panel.data[p].Points(200) {
+				if err := cw.Write([]string{p.String(), panel.name, fmtF(pt.X), fmtF(pt.Y)}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func writeCDFCSV(w io.Writer, cdfs map[platform.Platform]*stats.ECDF, metric string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"platform", "metric", "x", "y"}); err != nil {
+		return err
+	}
+	for _, p := range platform.All {
+		for _, pt := range cdfs[p].Points(200) {
+			if err := cw.Write([]string{p.String(), metric, fmtF(pt.X), fmtF(pt.Y)}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+
+// CSVWriter is implemented by figure results that can dump plot data.
+type CSVWriter interface {
+	WriteCSV(io.Writer) error
+}
+
+// FigureCSVs computes every figure and returns the CSV writers keyed by
+// figure ID.
+func FigureCSVs(ds Dataset) map[string]CSVWriter {
+	return map[string]CSVWriter{
+		"fig1": Fig1(ds),
+		"fig2": Fig2(ds),
+		"fig3": Fig3(ds),
+		"fig4": Fig4(ds),
+		"fig5": Fig5(ds),
+		"fig6": Fig6(ds),
+		"fig7": Fig7(ds),
+		"fig8": Fig8(ds),
+		"fig9": Fig9(ds),
+	}
+}
+
+// Ensure every figure result satisfies CSVWriter.
+var (
+	_ CSVWriter = Fig1Result{}
+	_ CSVWriter = Fig2Result{}
+	_ CSVWriter = Fig3Result{}
+	_ CSVWriter = Fig4Result{}
+	_ CSVWriter = Fig5Result{}
+	_ CSVWriter = Fig6Result{}
+	_ CSVWriter = Fig7Result{}
+	_ CSVWriter = Fig8Result{}
+	_ CSVWriter = Fig9Result{}
+)

@@ -1,0 +1,131 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"msgscope/internal/platform"
+	"msgscope/internal/store"
+)
+
+func extDataset() Dataset {
+	st := store.New()
+	at := start.Add(6 * time.Hour)
+	// Twitter-discovered group with an observed creator.
+	st.AddTweet(store.TweetRecord{ID: 1, UserID: "u", CreatedAt: at, Lang: "en",
+		Platform: platform.WhatsApp, GroupCode: "wa1", Source: store.SourceSearch})
+	st.AddObservation(platform.WhatsApp, "wa1", store.Observation{
+		At: at.Add(12 * time.Hour), Alive: true, Title: "T", Members: 5,
+		CreatorPhoneH: "hash1", CreatorKey: "hash1", CreatorCountry: "BR",
+	})
+	// Second group by the same creator.
+	st.AddTweet(store.TweetRecord{ID: 2, UserID: "u", CreatedAt: at, Lang: "en",
+		Platform: platform.WhatsApp, GroupCode: "wa2", Source: store.SourceSearch})
+	st.AddObservation(platform.WhatsApp, "wa2", store.Observation{
+		At: at.Add(12 * time.Hour), Alive: true, Title: "T2", Members: 9,
+		CreatorPhoneH: "hash1", CreatorKey: "hash1", CreatorCountry: "BR",
+	})
+	// Different creator, different country.
+	st.AddTweet(store.TweetRecord{ID: 3, UserID: "u", CreatedAt: at, Lang: "en",
+		Platform: platform.WhatsApp, GroupCode: "wa3", Source: store.SourceSearch})
+	st.AddObservation(platform.WhatsApp, "wa3", store.Observation{
+		At: at.Add(12 * time.Hour), Alive: true, Title: "T3", Members: 2,
+		CreatorPhoneH: "hash2", CreatorKey: "hash2", CreatorCountry: "NG",
+	})
+	// Social-only discovery.
+	st.AddPost(store.PostRecord{ID: 10, Author: "s", CreatedAt: at,
+		Platform: platform.Discord, GroupCode: "dc1", Text: "x https://discord.gg/dc1"})
+	// Seen by both sources.
+	st.AddTweet(store.TweetRecord{ID: 4, UserID: "u", CreatedAt: at, Lang: "en",
+		Platform: platform.Discord, GroupCode: "dc2", Source: store.SourceStream})
+	st.AddPost(store.PostRecord{ID: 11, Author: "s", CreatedAt: at,
+		Platform: platform.Discord, GroupCode: "dc2", Text: "y https://discord.gg/dc2"})
+	// Messages with text for toxicity.
+	st.AddMessage(store.MessageRecord{Platform: platform.Telegram, GroupCode: "tg1",
+		AuthorKey: 1, SentAt: at, Type: platform.Text, Text: "fuck pussy cum nude"})
+	st.AddMessage(store.MessageRecord{Platform: platform.Telegram, GroupCode: "tg1",
+		AuthorKey: 1, SentAt: at, Type: platform.Text, Text: "hello there friends"})
+	st.AddMessage(store.MessageRecord{Platform: platform.WhatsApp, GroupCode: "wa1",
+		AuthorKey: 2, SentAt: at, Type: platform.Text, Text: "good morning group"})
+	return Dataset{Store: st, Start: start, Days: 3}
+}
+
+func TestCreatorsExact(t *testing.T) {
+	res := Creators(extDataset())
+	if res.Creators[platform.WhatsApp] != 2 {
+		t.Fatalf("creators=%d, want 2", res.Creators[platform.WhatsApp])
+	}
+	if res.GroupsKnown[platform.WhatsApp] != 3 {
+		t.Fatalf("groups known=%d, want 3", res.GroupsKnown[platform.WhatsApp])
+	}
+	if res.SingleShare[platform.WhatsApp] != 0.5 || res.MaxGroups[platform.WhatsApp] != 2 {
+		t.Fatalf("single=%v max=%d", res.SingleShare[platform.WhatsApp], res.MaxGroups[platform.WhatsApp])
+	}
+	if !strings.Contains(res.Render(), "2 creators for 3 groups") {
+		t.Fatalf("render wrong:\n%s", res.Render())
+	}
+}
+
+func TestCountriesExact(t *testing.T) {
+	res := Countries(extDataset())
+	if res.Countries.Count("BR") != 2 || res.Countries.Count("NG") != 1 {
+		t.Fatalf("countries wrong: %v", res.Countries.Sorted())
+	}
+}
+
+func TestToxicityExact(t *testing.T) {
+	res := Toxicity(extDataset())
+	if !res.TextAvailable {
+		t.Fatal("text not seen")
+	}
+	if res.MessagesScored[platform.Telegram] != 2 {
+		t.Fatalf("scored=%d", res.MessagesScored[platform.Telegram])
+	}
+	if res.ToxicShare[platform.Telegram] != 0.5 {
+		t.Fatalf("TG toxic share=%v, want 0.5", res.ToxicShare[platform.Telegram])
+	}
+	if res.ToxicShare[platform.WhatsApp] != 0 {
+		t.Fatalf("WA toxic share=%v, want 0", res.ToxicShare[platform.WhatsApp])
+	}
+}
+
+func TestToxicityWithoutText(t *testing.T) {
+	st := store.New()
+	st.AddMessage(store.MessageRecord{Platform: platform.WhatsApp, GroupCode: "g",
+		AuthorKey: 1, SentAt: start, Type: platform.Text})
+	res := Toxicity(Dataset{Store: st, Start: start, Days: 1})
+	if res.TextAvailable {
+		t.Fatal("claimed text available without bodies")
+	}
+	if !strings.Contains(res.Render(), "message-text collection") {
+		t.Fatal("render should explain missing text")
+	}
+}
+
+func TestCrossSourceExact(t *testing.T) {
+	res := CrossSource(extDataset())
+	if !res.Enabled {
+		t.Fatal("not enabled despite posts")
+	}
+	if res.TwitterOnly[platform.WhatsApp] != 3 {
+		t.Fatalf("WA twitter-only=%d", res.TwitterOnly[platform.WhatsApp])
+	}
+	if res.SocialOnly[platform.Discord] != 1 || res.Both[platform.Discord] != 1 {
+		t.Fatalf("DC split wrong: social=%d both=%d",
+			res.SocialOnly[platform.Discord], res.Both[platform.Discord])
+	}
+	if res.Gain[platform.Discord] != 0.5 {
+		t.Fatalf("DC gain=%v, want 0.5", res.Gain[platform.Discord])
+	}
+}
+
+func TestCrossSourceDisabled(t *testing.T) {
+	res := CrossSource(buildDataset())
+	if res.Enabled {
+		t.Fatal("twitter-only dataset reported as cross-source")
+	}
+	if !strings.Contains(res.Render(), "secondary discovery source") {
+		t.Fatal("render should explain the missing source")
+	}
+}

@@ -1,0 +1,177 @@
+package report
+
+import (
+	"msgscope/internal/analysis/stats"
+	"msgscope/internal/platform"
+	"msgscope/internal/plot"
+)
+
+// The SVG emitters render each figure as a chart resembling the paper's
+// own: CDF step plots for the distribution figures, grouped bars for the
+// share figures, and per-day lines for discovery. `msgscope run -svg DIR`
+// writes one .svg per figure.
+
+func cdfSeries(cdfs map[platform.Platform]*stats.ECDF) []plot.Series {
+	var out []plot.Series
+	for _, p := range platform.All {
+		e := cdfs[p]
+		if e == nil || e.N() == 0 {
+			continue
+		}
+		s := plot.Series{Name: p.String()}
+		for _, pt := range e.Points(200) {
+			s.Points = append(s.Points, plot.Point{X: pt.X, Y: pt.Y})
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// SVG renders Figure 1 (new URLs per day).
+func (f Fig1Result) SVG() string {
+	var series []plot.Series
+	for _, p := range platform.All {
+		s := plot.Series{Name: p.String()}
+		for d := 0; d < f.New[p].Len(); d++ {
+			s.Points = append(s.Points, plot.Point{X: float64(d), Y: f.New[p].At(d)})
+		}
+		series = append(series, s)
+	}
+	return plot.Chart{
+		Title: "Figure 1c: new group URLs per day", XLabel: "study day", YLabel: "new URLs",
+	}.LineSVG(series)
+}
+
+// SVG renders Figure 2 (CDF of tweets per URL, log x).
+func (f Fig2Result) SVG() string {
+	return plot.Chart{
+		Title: "Figure 2: tweets per group URL", XLabel: "tweets (log)", YLabel: "CDF",
+		LogX: true, Step: true,
+	}.LineSVG(cdfSeries(f.CDF))
+}
+
+// SVG renders Figure 3 (feature shares as grouped bars).
+func (f Fig3Result) SVG() string {
+	names := []string{"hashtag", "mention", "retweet"}
+	var groups []plot.BarGroup
+	for _, r := range f.Rows {
+		groups = append(groups, plot.BarGroup{
+			Label:  r.Name,
+			Values: []float64{r.Hashtag * 100, r.Mention * 100, r.Retweet * 100},
+		})
+	}
+	return plot.Chart{
+		Title: "Figure 3: tweet features", YLabel: "% of tweets",
+	}.BarSVG(names, groups)
+}
+
+// SVG renders Figure 4 (top language shares per platform).
+func (f Fig4Result) SVG() string {
+	// The union of each platform's top-4 languages.
+	langSet := map[string]bool{}
+	for _, p := range platform.All {
+		for i, kv := range f.Langs[p].Sorted() {
+			if i >= 4 {
+				break
+			}
+			langSet[kv.K] = true
+		}
+	}
+	var langs []string
+	for _, p := range platform.All {
+		for _, kv := range f.Langs[p].Sorted() {
+			if langSet[kv.K] {
+				langs = append(langs, kv.K)
+				delete(langSet, kv.K)
+			}
+		}
+	}
+	names := make([]string, 0, len(platform.All))
+	for _, p := range platform.All {
+		names = append(names, p.String())
+	}
+	var groups []plot.BarGroup
+	for _, lang := range langs {
+		g := plot.BarGroup{Label: lang}
+		for _, p := range platform.All {
+			g.Values = append(g.Values, f.Langs[p].Share(lang)*100)
+		}
+		groups = append(groups, g)
+	}
+	return plot.Chart{
+		Title: "Figure 4: tweet languages", YLabel: "% of tweets",
+	}.BarSVG(names, groups)
+}
+
+// SVG renders Figure 5 (staleness CDF, log x).
+func (f Fig5Result) SVG() string {
+	return plot.Chart{
+		Title: "Figure 5: staleness", XLabel: "days since creation (log)", YLabel: "CDF",
+		LogX: true, Step: true,
+	}.LineSVG(cdfSeries(f.CDF))
+}
+
+// SVG renders Figure 6a (lifetime CDF of revoked URLs).
+func (f Fig6Result) SVG() string {
+	return plot.Chart{
+		Title: "Figure 6a: accessibility of revoked URLs", XLabel: "days accessible", YLabel: "CDF",
+		Step: true,
+	}.LineSVG(cdfSeries(f.LifetimeDays))
+}
+
+// SVG renders Figure 7a (members CDF, log x).
+func (f Fig7Result) SVG() string {
+	return plot.Chart{
+		Title: "Figure 7a: group members", XLabel: "members (log)", YLabel: "CDF",
+		LogX: true, Step: true,
+	}.LineSVG(cdfSeries(f.Members))
+}
+
+// SVG renders Figure 8 (message-type shares).
+func (f Fig8Result) SVG() string {
+	types := []string{"text", "image", "video", "audio", "sticker", "other"}
+	names := make([]string, 0, len(platform.All))
+	for _, p := range platform.All {
+		names = append(names, p.String())
+	}
+	var groups []plot.BarGroup
+	for _, typ := range types {
+		g := plot.BarGroup{Label: typ}
+		for _, p := range platform.All {
+			g.Values = append(g.Values, f.Types[p].Share(typ)*100)
+		}
+		groups = append(groups, g)
+	}
+	return plot.Chart{
+		Title: "Figure 8: message types", YLabel: "% of messages",
+	}.BarSVG(names, groups)
+}
+
+// SVG renders Figure 9a (messages per group per day, log x).
+func (f Fig9Result) SVG() string {
+	return plot.Chart{
+		Title: "Figure 9a: messages per group per day", XLabel: "messages/day (log)", YLabel: "CDF",
+		LogX: true, Step: true,
+	}.LineSVG(cdfSeries(f.PerGroupDay))
+}
+
+// SVGRenderer is implemented by figures that can draw themselves.
+type SVGRenderer interface {
+	SVG() string
+}
+
+// FigureSVGs computes every figure and returns the SVG renderers keyed by
+// figure ID.
+func FigureSVGs(ds Dataset) map[string]SVGRenderer {
+	return map[string]SVGRenderer{
+		"fig1": Fig1(ds),
+		"fig2": Fig2(ds),
+		"fig3": Fig3(ds),
+		"fig4": Fig4(ds),
+		"fig5": Fig5(ds),
+		"fig6": Fig6(ds),
+		"fig7": Fig7(ds),
+		"fig8": Fig8(ds),
+		"fig9": Fig9(ds),
+	}
+}

@@ -1,0 +1,606 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"msgscope/internal/analysis/stats"
+	"msgscope/internal/platform"
+	"msgscope/internal/store"
+)
+
+// --- Figure 1: group URLs discovered per day ---
+
+// Fig1Result carries the three per-day series of Figure 1 for each
+// platform: all shares, unique URLs, and never-seen-before URLs.
+type Fig1Result struct {
+	All    map[platform.Platform]*stats.Series
+	Unique map[platform.Platform]*stats.Series
+	New    map[platform.Platform]*stats.Series
+}
+
+// Fig1 computes the discovery series.
+func Fig1(ds Dataset) Fig1Result {
+	res := Fig1Result{
+		All:    map[platform.Platform]*stats.Series{},
+		Unique: map[platform.Platform]*stats.Series{},
+		New:    map[platform.Platform]*stats.Series{},
+	}
+	type daySet map[string]struct{}
+	uniq := map[platform.Platform]map[int]daySet{}
+	seen := map[platform.Platform]map[string]int{} // code -> first day
+	for _, p := range platform.All {
+		res.All[p] = stats.NewSeries(ds.Days)
+		res.Unique[p] = stats.NewSeries(ds.Days)
+		res.New[p] = stats.NewSeries(ds.Days)
+		uniq[p] = map[int]daySet{}
+		seen[p] = map[string]int{}
+	}
+	for _, t := range ds.Store.Tweets() {
+		day := ds.dayOf(t.CreatedAt)
+		if day < 0 || day >= ds.Days {
+			continue
+		}
+		res.All[t.Platform].Inc(day, 1)
+		if uniq[t.Platform][day] == nil {
+			uniq[t.Platform][day] = daySet{}
+		}
+		uniq[t.Platform][day][t.GroupCode] = struct{}{}
+		if first, ok := seen[t.Platform][t.GroupCode]; !ok || day < first {
+			seen[t.Platform][t.GroupCode] = day
+		}
+	}
+	for _, p := range platform.All {
+		for day, set := range uniq[p] {
+			res.Unique[p].Inc(day, float64(len(set)))
+		}
+		for _, firstDay := range seen[p] {
+			res.New[p].Inc(firstDay, 1)
+		}
+	}
+	return res
+}
+
+// Render prints the per-day medians, the headline numbers of Section 4.
+func (f Fig1Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 1: group URLs discovered per day (medians over days)\n")
+	sb.WriteString("platform  | all/day  unique/day  new/day  | totals\n")
+	for _, p := range platform.All {
+		fmt.Fprintf(&sb, "%-9s | %8.0f %10.0f %8.0f | all=%.0f new=%.0f\n", p,
+			f.All[p].Median(), f.Unique[p].Median(), f.New[p].Median(),
+			f.All[p].Total(), f.New[p].Total())
+	}
+	return sb.String()
+}
+
+// --- Figure 2: tweets per group URL ---
+
+// Fig2Result is the CDF of tweet counts per group URL.
+type Fig2Result struct {
+	CDF        map[platform.Platform]*stats.ECDF
+	SharedOnce map[platform.Platform]float64 // fraction of URLs tweeted once
+}
+
+// Fig2 computes the share-multiplicity distribution.
+func Fig2(ds Dataset) Fig2Result {
+	res := Fig2Result{
+		CDF:        map[platform.Platform]*stats.ECDF{},
+		SharedOnce: map[platform.Platform]float64{},
+	}
+	for _, p := range platform.All {
+		e := stats.NewECDF(nil)
+		once, n := 0, 0
+		for _, g := range ds.Store.GroupsOf(p) {
+			e.AddInt(g.Tweets)
+			n++
+			if g.Tweets == 1 {
+				once++
+			}
+		}
+		res.CDF[p] = e
+		if n > 0 {
+			res.SharedOnce[p] = float64(once) / float64(n)
+		}
+	}
+	return res
+}
+
+// Render prints the CDF summary.
+func (f Fig2Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 2: tweets per group URL\n")
+	for _, p := range platform.All {
+		fmt.Fprintf(&sb, "%-9s | shared-once=%.0f%% mean=%.1f max=%.0f | %s\n", p,
+			f.SharedOnce[p]*100, f.CDF[p].Mean(), f.CDF[p].Max(), f.CDF[p].Render())
+	}
+	return sb.String()
+}
+
+// --- Figure 3: hashtags, mentions, retweets ---
+
+// FeatureShares is one population's tweet-feature prevalence.
+type FeatureShares struct {
+	Name         string
+	Tweets       int
+	Hashtag      float64 // >=1 hashtag
+	MultiHashtag float64 // >1 hashtag
+	Mention      float64
+	MultiMention float64
+	Retweet      float64
+}
+
+// Fig3Result holds per-platform and control feature shares.
+type Fig3Result struct {
+	Rows []FeatureShares // WhatsApp, Telegram, Discord, Control
+}
+
+// Fig3 computes feature prevalence for the platform tweets and the control.
+func Fig3(ds Dataset) Fig3Result {
+	var res Fig3Result
+	for _, p := range platform.All {
+		fs := FeatureShares{Name: p.String()}
+		for _, t := range ds.Store.Tweets() {
+			if t.Platform != p {
+				continue
+			}
+			accumulate(&fs, t.Hashtags, t.Mentions, t.Retweet)
+		}
+		finalize(&fs)
+		res.Rows = append(res.Rows, fs)
+	}
+	ctl := FeatureShares{Name: "Control"}
+	for _, t := range ds.Store.Control() {
+		accumulate(&ctl, t.Hashtags, t.Mentions, t.Retweet)
+	}
+	finalize(&ctl)
+	res.Rows = append(res.Rows, ctl)
+	return res
+}
+
+func accumulate(fs *FeatureShares, hashtags, mentions int, retweet bool) {
+	fs.Tweets++
+	if hashtags >= 1 {
+		fs.Hashtag++
+	}
+	if hashtags > 1 {
+		fs.MultiHashtag++
+	}
+	if mentions >= 1 {
+		fs.Mention++
+	}
+	if mentions > 1 {
+		fs.MultiMention++
+	}
+	if retweet {
+		fs.Retweet++
+	}
+}
+
+func finalize(fs *FeatureShares) {
+	if fs.Tweets == 0 {
+		return
+	}
+	n := float64(fs.Tweets)
+	fs.Hashtag /= n
+	fs.MultiHashtag /= n
+	fs.Mention /= n
+	fs.MultiMention /= n
+	fs.Retweet /= n
+}
+
+// Render prints the bar heights of Figure 3.
+func (f Fig3Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 3: tweet features (% of tweets)\n")
+	sb.WriteString("population | hashtag >1tag mention >1mention retweet\n")
+	for _, r := range f.Rows {
+		fmt.Fprintf(&sb, "%-10s | %6.1f%% %4.1f%% %6.1f%% %8.1f%% %6.1f%%\n",
+			r.Name, r.Hashtag*100, r.MultiHashtag*100, r.Mention*100,
+			r.MultiMention*100, r.Retweet*100)
+	}
+	return sb.String()
+}
+
+// --- Figure 4: languages ---
+
+// Fig4Result is the language mix per platform.
+type Fig4Result struct {
+	Langs map[platform.Platform]*stats.Histogram
+}
+
+// Fig4 computes language shares from the platform-provided lang field.
+func Fig4(ds Dataset) Fig4Result {
+	res := Fig4Result{Langs: map[platform.Platform]*stats.Histogram{}}
+	for _, p := range platform.All {
+		res.Langs[p] = stats.NewHistogram()
+	}
+	for _, t := range ds.Store.Tweets() {
+		res.Langs[t.Platform].Inc(t.Lang)
+	}
+	return res
+}
+
+// Render prints the top languages per platform.
+func (f Fig4Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 4: tweet languages per platform\n")
+	for _, p := range platform.All {
+		fmt.Fprintf(&sb, "%-9s |", p)
+		for i, kv := range f.Langs[p].Sorted() {
+			if i >= 6 {
+				break
+			}
+			fmt.Fprintf(&sb, " %s=%.0f%%", kv.K, f.Langs[p].Share(kv.K)*100)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// --- Figure 5: staleness ---
+
+// Fig5Result is the staleness CDF (days between group creation and first
+// share on Twitter) per platform.
+type Fig5Result struct {
+	CDF     map[platform.Platform]*stats.ECDF
+	SameDay map[platform.Platform]float64
+	OverYr  map[platform.Platform]float64
+}
+
+// Fig5 computes staleness where creation dates are known: all observed
+// Discord groups (snowflakes) and the joined WhatsApp/Telegram groups.
+func Fig5(ds Dataset) Fig5Result {
+	res := Fig5Result{
+		CDF:     map[platform.Platform]*stats.ECDF{},
+		SameDay: map[platform.Platform]float64{},
+		OverYr:  map[platform.Platform]float64{},
+	}
+	for _, p := range platform.All {
+		e := stats.NewECDF(nil)
+		sameDay, overYr, n := 0, 0, 0
+		for _, g := range ds.Store.GroupsOf(p) {
+			created := creationOf(g)
+			if created.IsZero() {
+				continue
+			}
+			stale := g.FirstSeen.Sub(created)
+			if stale < 0 {
+				stale = 0
+			}
+			days := stale.Hours() / 24
+			e.Add(days)
+			n++
+			if days < 1 {
+				sameDay++
+			}
+			if days > 365 {
+				overYr++
+			}
+		}
+		res.CDF[p] = e
+		if n > 0 {
+			res.SameDay[p] = float64(sameDay) / float64(n)
+			res.OverYr[p] = float64(overYr) / float64(n)
+		}
+	}
+	return res
+}
+
+// creationOf returns the best-known creation date of a group: the join-time
+// metadata if joined, else the Discord snowflake date from observations.
+func creationOf(g *store.GroupRecord) time.Time {
+	if !g.CreatedAt.IsZero() {
+		return g.CreatedAt
+	}
+	for _, o := range g.Observations {
+		if !o.CreatedAt.IsZero() {
+			return o.CreatedAt
+		}
+	}
+	return time.Time{}
+}
+
+// Render prints the staleness summary.
+func (f Fig5Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 5: staleness (days from creation to first share)\n")
+	for _, p := range platform.All {
+		if f.CDF[p].N() == 0 {
+			fmt.Fprintf(&sb, "%-9s | (no creation dates)\n", p)
+			continue
+		}
+		fmt.Fprintf(&sb, "%-9s | same-day=%.0f%% >1yr=%.1f%% n=%d | %s\n", p,
+			f.SameDay[p]*100, f.OverYr[p]*100, f.CDF[p].N(), f.CDF[p].Render())
+	}
+	return sb.String()
+}
+
+// --- Figure 6: revocation ---
+
+// Fig6Result covers both panels: accessibility time of revoked URLs and
+// revocations per day.
+type Fig6Result struct {
+	LifetimeDays  map[platform.Platform]*stats.ECDF // revoked URLs only
+	RevokedPerDay map[platform.Platform]*stats.Series
+	RevokedShare  map[platform.Platform]float64 // of all URLs
+	DeadAtFirst   map[platform.Platform]float64 // revoked before first probe
+}
+
+// Fig6 computes revocation behaviour from the daily observation series.
+func Fig6(ds Dataset) Fig6Result {
+	res := Fig6Result{
+		LifetimeDays:  map[platform.Platform]*stats.ECDF{},
+		RevokedPerDay: map[platform.Platform]*stats.Series{},
+		RevokedShare:  map[platform.Platform]float64{},
+		DeadAtFirst:   map[platform.Platform]float64{},
+	}
+	for _, p := range platform.All {
+		life := stats.NewECDF(nil)
+		perDay := stats.NewSeries(ds.Days)
+		revoked, deadFirst, n := 0, 0, 0
+		for _, g := range ds.Store.GroupsOf(p) {
+			if len(g.Observations) == 0 {
+				continue
+			}
+			n++
+			var lastAlive, revokedAt time.Time
+			for _, o := range g.Observations {
+				if o.Alive {
+					lastAlive = o.At
+				} else {
+					revokedAt = o.At
+					break
+				}
+			}
+			if revokedAt.IsZero() {
+				continue // survived the window
+			}
+			revoked++
+			perDay.Inc(ds.dayOf(revokedAt), 1)
+			if lastAlive.IsZero() {
+				deadFirst++
+				life.Add(0)
+			} else {
+				life.Add(lastAlive.Sub(g.FirstSeen).Hours() / 24)
+			}
+		}
+		res.LifetimeDays[p] = life
+		res.RevokedPerDay[p] = perDay
+		if n > 0 {
+			res.RevokedShare[p] = float64(revoked) / float64(n)
+			res.DeadAtFirst[p] = float64(deadFirst) / float64(n)
+		}
+	}
+	return res
+}
+
+// Render prints the revocation summary.
+func (f Fig6Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 6: group URL revocation\n")
+	for _, p := range platform.All {
+		fmt.Fprintf(&sb, "%-9s | revoked=%.1f%% dead-at-first-obs=%.1f%% | lifetime(d): %s\n",
+			p, f.RevokedShare[p]*100, f.DeadAtFirst[p]*100, f.LifetimeDays[p].Render())
+	}
+	return sb.String()
+}
+
+// --- Figure 7: members, online share, growth ---
+
+// Fig7Result covers the three panels of Figure 7.
+type Fig7Result struct {
+	Members    map[platform.Platform]*stats.ECDF // at first alive observation
+	OnlineFrac map[platform.Platform]*stats.ECDF // online/members, first obs
+	Growth     map[platform.Platform]*stats.ECDF // last - first members
+	Grew       map[platform.Platform]float64
+	Shrank     map[platform.Platform]float64
+}
+
+// Fig7 computes membership distributions from the daily observations.
+func Fig7(ds Dataset) Fig7Result {
+	res := Fig7Result{
+		Members:    map[platform.Platform]*stats.ECDF{},
+		OnlineFrac: map[platform.Platform]*stats.ECDF{},
+		Growth:     map[platform.Platform]*stats.ECDF{},
+		Grew:       map[platform.Platform]float64{},
+		Shrank:     map[platform.Platform]float64{},
+	}
+	for _, p := range platform.All {
+		mem := stats.NewECDF(nil)
+		onl := stats.NewECDF(nil)
+		gro := stats.NewECDF(nil)
+		grew, shrank, n := 0, 0, 0
+		for _, g := range ds.Store.GroupsOf(p) {
+			first, last := -1, -1
+			for i, o := range g.Observations {
+				if o.Alive {
+					if first < 0 {
+						first = i
+					}
+					last = i
+				}
+			}
+			if first < 0 {
+				continue
+			}
+			fo := g.Observations[first]
+			mem.AddInt(fo.Members)
+			if fo.Members > 0 && (p == platform.Telegram || p == platform.Discord) {
+				onl.Add(float64(fo.Online) / float64(fo.Members))
+			}
+			if last > first {
+				delta := g.Observations[last].Members - fo.Members
+				gro.AddInt(delta)
+				n++
+				if delta > 0 {
+					grew++
+				}
+				if delta < 0 {
+					shrank++
+				}
+			}
+		}
+		res.Members[p] = mem
+		res.OnlineFrac[p] = onl
+		res.Growth[p] = gro
+		if n > 0 {
+			res.Grew[p] = float64(grew) / float64(n)
+			res.Shrank[p] = float64(shrank) / float64(n)
+		}
+	}
+	return res
+}
+
+// Render prints the three panels' summaries.
+func (f Fig7Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 7: group members, online share, growth\n")
+	for _, p := range platform.All {
+		fmt.Fprintf(&sb, "%-9s | members: %s\n", p, f.Members[p].Render())
+		if f.OnlineFrac[p].N() > 0 {
+			over50 := 1 - f.OnlineFrac[p].P(0.5)
+			fmt.Fprintf(&sb, "          | online>50%%: %.1f%% of groups | online frac: %s\n",
+				over50*100, f.OnlineFrac[p].Render())
+		}
+		if f.Growth[p].N() > 0 {
+			fmt.Fprintf(&sb, "          | grew=%.0f%% shrank=%.0f%% | growth: %s\n",
+				f.Grew[p]*100, f.Shrank[p]*100, f.Growth[p].Render())
+		}
+	}
+	return sb.String()
+}
+
+// --- Figure 8: message types ---
+
+// Fig8Result is the message-type mix per platform.
+type Fig8Result struct {
+	Types map[platform.Platform]*stats.Histogram
+}
+
+// Fig8 computes message-type shares over the joined groups' messages.
+func Fig8(ds Dataset) Fig8Result {
+	res := Fig8Result{Types: map[platform.Platform]*stats.Histogram{}}
+	for _, p := range platform.All {
+		res.Types[p] = stats.NewHistogram()
+	}
+	for _, m := range ds.Store.Messages() {
+		res.Types[m.Platform].Inc(m.Type.String())
+	}
+	return res
+}
+
+// Render prints the type shares.
+func (f Fig8Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 8: message types (% of messages)\n")
+	for _, p := range platform.All {
+		fmt.Fprintf(&sb, "%-9s |", p)
+		for _, kv := range f.Types[p].Sorted() {
+			fmt.Fprintf(&sb, " %s=%.1f%%", kv.K, f.Types[p].Share(kv.K)*100)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// --- Figure 9: message volumes ---
+
+// Fig9Result covers messages per group per day and per user.
+type Fig9Result struct {
+	PerGroupDay map[platform.Platform]*stats.ECDF
+	PerUser     map[platform.Platform]*stats.ECDF
+	Top1Share   map[platform.Platform]float64 // share of messages by top 1% users
+	UpTo10Share map[platform.Platform]float64 // users with <=10 messages
+	ActiveUsers map[platform.Platform]int
+}
+
+// Fig9 computes in-group activity distributions.
+func Fig9(ds Dataset) Fig9Result {
+	res := Fig9Result{
+		PerGroupDay: map[platform.Platform]*stats.ECDF{},
+		PerUser:     map[platform.Platform]*stats.ECDF{},
+		Top1Share:   map[platform.Platform]float64{},
+		UpTo10Share: map[platform.Platform]float64{},
+		ActiveUsers: map[platform.Platform]int{},
+	}
+	counts := map[platform.Platform]map[string]int{} // group -> msgs
+	users := map[platform.Platform]map[uint64]int{}  // user -> msgs
+	spanDays := map[platform.Platform]map[string]float64{}
+	for _, p := range platform.All {
+		counts[p] = map[string]int{}
+		users[p] = map[uint64]int{}
+		spanDays[p] = map[string]float64{}
+	}
+	for _, m := range ds.Store.Messages() {
+		counts[m.Platform][m.GroupCode]++
+		users[m.Platform][m.AuthorKey]++
+	}
+	for _, p := range platform.All {
+		for _, g := range joinedGroups(ds.Store, p) {
+			span := messageSpanDays(ds, g)
+			if span > 0 {
+				spanDays[p][g.Code] = span
+			}
+		}
+		e := stats.NewECDF(nil)
+		for code, n := range counts[p] {
+			if span, ok := spanDays[p][code]; ok {
+				e.Add(float64(n) / span)
+			}
+		}
+		res.PerGroupDay[p] = e
+
+		ue := stats.NewECDF(nil)
+		var perUser []float64
+		upto10 := 0
+		for _, n := range users[p] {
+			ue.AddInt(n)
+			perUser = append(perUser, float64(n))
+			if n <= 10 {
+				upto10++
+			}
+		}
+		res.PerUser[p] = ue
+		res.ActiveUsers[p] = len(users[p])
+		res.Top1Share[p] = stats.TopShare(perUser, 0.01)
+		if len(users[p]) > 0 {
+			res.UpTo10Share[p] = float64(upto10) / float64(len(users[p]))
+		}
+	}
+	return res
+}
+
+// messageSpanDays returns the window over which a joined group's messages
+// were collected: since the join for WhatsApp, since creation otherwise.
+func messageSpanDays(ds Dataset, g *store.GroupRecord) float64 {
+	end := ds.Start.Add(time.Duration(ds.Days) * 24 * time.Hour)
+	var from time.Time
+	if g.Platform == platform.WhatsApp {
+		from = g.JoinedAt
+	} else {
+		from = g.CreatedAt
+	}
+	if from.IsZero() || !end.After(from) {
+		return 0
+	}
+	return end.Sub(from).Hours() / 24
+}
+
+// Render prints the activity summaries.
+func (f Fig9Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 9: message volumes\n")
+	for _, p := range platform.All {
+		over10 := 0.0
+		if f.PerGroupDay[p].N() > 0 {
+			over10 = 1 - f.PerGroupDay[p].P(10)
+		}
+		fmt.Fprintf(&sb, "%-9s | groups>10msg/day=%.0f%% | msgs/group/day: %s\n",
+			p, over10*100, f.PerGroupDay[p].Render())
+		fmt.Fprintf(&sb, "          | active-users=%d top1%%-share=%.0f%% <=10msgs=%.0f%% | msgs/user: %s\n",
+			f.ActiveUsers[p], f.Top1Share[p]*100, f.UpTo10Share[p]*100, f.PerUser[p].Render())
+	}
+	return sb.String()
+}

@@ -1,0 +1,30 @@
+// Package report regenerates every table and figure of the paper's
+// evaluation from a collected dataset. Each experiment has a typed result
+// carrying the numbers plus a Render method that prints the same rows or
+// series the paper reports. DESIGN.md §4 maps experiment IDs to these
+// functions; EXPERIMENTS.md records paper-vs-measured values.
+package report
+
+import (
+	"time"
+
+	"msgscope/internal/store"
+)
+
+// Dataset is the input to every experiment: the collected store plus the
+// study window.
+type Dataset struct {
+	Store *store.Store
+	Start time.Time
+	Days  int
+}
+
+// dayOf maps an instant to a zero-based study day.
+func (d Dataset) dayOf(t time.Time) int {
+	return int(t.Sub(d.Start) / (24 * time.Hour))
+}
+
+// Renderer is implemented by every experiment result.
+type Renderer interface {
+	Render() string
+}

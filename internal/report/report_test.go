@@ -1,0 +1,336 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"msgscope/internal/platform"
+	"msgscope/internal/store"
+)
+
+var start = time.Date(2020, 4, 8, 0, 0, 0, 0, time.UTC)
+
+// buildDataset constructs a small store with exactly known answers.
+func buildDataset() Dataset {
+	st := store.New()
+	at := func(day int, h int) time.Time { return start.Add(time.Duration(day*24+h) * time.Hour) }
+
+	// WhatsApp: group "wa1" shared twice (days 0, 1), group "wa2" once.
+	st.AddTweet(store.TweetRecord{ID: 1, UserID: "u1", CreatedAt: at(0, 10), Lang: "en",
+		Hashtags: 1, Mentions: 2, Retweet: false, Platform: platform.WhatsApp, GroupCode: "wa1",
+		Text: "earn money from home https://chat.whatsapp.com/wa1", Source: store.SourceSearch})
+	st.AddTweet(store.TweetRecord{ID: 2, UserID: "u2", CreatedAt: at(1, 11), Lang: "es",
+		Platform: platform.WhatsApp, GroupCode: "wa1", Source: store.SourceStream})
+	st.AddTweet(store.TweetRecord{ID: 3, UserID: "u1", CreatedAt: at(1, 12), Lang: "en",
+		Retweet: true, Platform: platform.WhatsApp, GroupCode: "wa2",
+		Text: "bitcoin crypto trading https://chat.whatsapp.com/wa2", Source: store.SourceSearch})
+
+	// Telegram: one group, one tweet.
+	st.AddTweet(store.TweetRecord{ID: 4, UserID: "u3", CreatedAt: at(0, 5), Lang: "ar",
+		Mentions: 1, Platform: platform.Telegram, GroupCode: "tg1", Source: store.SourceSearch})
+
+	// Discord: one group, one tweet.
+	st.AddTweet(store.TweetRecord{ID: 5, UserID: "u4", CreatedAt: at(2, 8), Lang: "ja",
+		Hashtags: 2, Platform: platform.Discord, GroupCode: "dc1", Source: store.SourceStream})
+
+	// Control tweets.
+	st.AddControl(store.ControlRecord{ID: 9, UserID: "c1", CreatedAt: at(0, 1), Lang: "en", Hashtags: 1})
+	st.AddControl(store.ControlRecord{ID: 10, UserID: "c2", CreatedAt: at(0, 2), Lang: "pt", Retweet: true})
+
+	// Observations: wa1 alive then revoked; wa2 alive throughout with
+	// growth; tg1 alive with online counts; dc1 dead at first probe.
+	st.AddObservation(platform.WhatsApp, "wa1", store.Observation{At: at(0, 23), Alive: true, Title: "T1", Members: 50})
+	st.AddObservation(platform.WhatsApp, "wa1", store.Observation{At: at(1, 23), Alive: true, Title: "T1", Members: 60})
+	st.AddObservation(platform.WhatsApp, "wa1", store.Observation{At: at(2, 23), Alive: false})
+	st.AddObservation(platform.WhatsApp, "wa2", store.Observation{At: at(1, 23), Alive: true, Title: "T2", Members: 100})
+	st.AddObservation(platform.WhatsApp, "wa2", store.Observation{At: at(3, 23), Alive: true, Title: "T2", Members: 90})
+	st.AddObservation(platform.Telegram, "tg1", store.Observation{At: at(0, 23), Alive: true, Title: "T3", Members: 1000, Online: 100, IsChannel: true})
+	st.AddObservation(platform.Discord, "dc1", store.Observation{At: at(2, 23), Alive: false})
+
+	// Join data: wa1 joined day 1 (created day 0), tg1 joined (created
+	// long ago), dc1 has a creation date from its snowflake.
+	st.MarkJoined(platform.WhatsApp, "wa1", func(g *store.GroupRecord) {
+		g.JoinedAt = at(1, 0)
+		g.CreatedAt = at(0, 9) // one hour before first share
+		g.MemberCount = 50
+		g.Channels = 1
+	})
+	st.MarkJoined(platform.Telegram, "tg1", func(g *store.GroupRecord) {
+		g.JoinedAt = at(1, 0)
+		g.CreatedAt = start.Add(-400 * 24 * time.Hour) // >1yr stale
+		g.MemberCount = 1000
+		g.IsChannel = true
+		g.Channels = 1
+	})
+
+	// Messages: wa1 has 4 messages by 2 users (3 text, 1 sticker);
+	// tg1 has 2 by 1 user.
+	st.AddMessage(store.MessageRecord{Platform: platform.WhatsApp, GroupCode: "wa1", AuthorKey: 1, SentAt: at(1, 2), Type: platform.Text})
+	st.AddMessage(store.MessageRecord{Platform: platform.WhatsApp, GroupCode: "wa1", AuthorKey: 1, SentAt: at(1, 3), Type: platform.Text})
+	st.AddMessage(store.MessageRecord{Platform: platform.WhatsApp, GroupCode: "wa1", AuthorKey: 2, SentAt: at(1, 4), Type: platform.Sticker})
+	st.AddMessage(store.MessageRecord{Platform: platform.WhatsApp, GroupCode: "wa1", AuthorKey: 2, SentAt: at(2, 4), Type: platform.Text})
+	st.AddMessage(store.MessageRecord{Platform: platform.Telegram, GroupCode: "tg1", AuthorKey: 5, SentAt: at(1, 1), Type: platform.Text})
+	st.AddMessage(store.MessageRecord{Platform: platform.Telegram, GroupCode: "tg1", AuthorKey: 5, SentAt: at(1, 2), Type: platform.Service})
+
+	// Users.
+	st.UpsertUser(store.UserRecord{Platform: platform.WhatsApp, Key: 1, PhoneHash: "h1", Country: "BR"})
+	st.UpsertUser(store.UserRecord{Platform: platform.WhatsApp, Key: 2, PhoneHash: "h2", Country: "NG"})
+	st.UpsertUser(store.UserRecord{Platform: platform.WhatsApp, Key: 99, PhoneHash: "h3", Country: "BR", Creator: true})
+	st.UpsertUser(store.UserRecord{Platform: platform.Telegram, Key: 5})
+	st.UpsertUser(store.UserRecord{Platform: platform.Discord, Key: 7, Linked: []string{"Twitch"}})
+
+	return Dataset{Store: st, Start: start, Days: 5}
+}
+
+func TestTable2Exact(t *testing.T) {
+	res := Table2(buildDataset())
+	wa := res.Rows[0]
+	if wa.Tweets != 3 || wa.TweetUsers != 2 || wa.GroupURLs != 2 || wa.JoinedGroups != 1 ||
+		wa.Messages != 4 || wa.MessageUsers != 2 {
+		t.Fatalf("WhatsApp row wrong: %+v", wa)
+	}
+	if res.Total.Tweets != 5 || res.Total.GroupURLs != 4 {
+		t.Fatalf("totals wrong: %+v", res.Total)
+	}
+	if !strings.Contains(res.Render(), "WhatsApp") {
+		t.Fatal("render missing platform name")
+	}
+}
+
+func TestFig1Exact(t *testing.T) {
+	res := Fig1(buildDataset())
+	if res.All[platform.WhatsApp].At(0) != 1 || res.All[platform.WhatsApp].At(1) != 2 {
+		t.Fatalf("WhatsApp all/day wrong: %v", res.All[platform.WhatsApp].Values())
+	}
+	if res.Unique[platform.WhatsApp].At(1) != 2 {
+		t.Fatalf("unique day1 wrong")
+	}
+	if res.New[platform.WhatsApp].At(0) != 1 || res.New[platform.WhatsApp].At(1) != 1 {
+		t.Fatalf("new/day wrong: %v", res.New[platform.WhatsApp].Values())
+	}
+	if res.New[platform.WhatsApp].Total() != 2 {
+		t.Fatal("new total wrong")
+	}
+}
+
+func TestFig2Exact(t *testing.T) {
+	res := Fig2(buildDataset())
+	if res.SharedOnce[platform.WhatsApp] != 0.5 {
+		t.Fatalf("WhatsApp shared-once %v, want 0.5", res.SharedOnce[platform.WhatsApp])
+	}
+	if res.CDF[platform.WhatsApp].Max() != 2 {
+		t.Fatal("max share count wrong")
+	}
+}
+
+func TestFig3Exact(t *testing.T) {
+	res := Fig3(buildDataset())
+	wa := res.Rows[0]
+	if wa.Hashtag != 1.0/3 || wa.Mention != 1.0/3 || wa.Retweet != 1.0/3 {
+		t.Fatalf("WhatsApp features wrong: %+v", wa)
+	}
+	ctl := res.Rows[3]
+	if ctl.Name != "Control" || ctl.Tweets != 2 || ctl.Hashtag != 0.5 || ctl.Retweet != 0.5 {
+		t.Fatalf("control features wrong: %+v", ctl)
+	}
+}
+
+func TestFig4Exact(t *testing.T) {
+	res := Fig4(buildDataset())
+	if res.Langs[platform.WhatsApp].Share("en") != 2.0/3 {
+		t.Fatal("WhatsApp en share wrong")
+	}
+	if res.Langs[platform.Discord].Share("ja") != 1.0 {
+		t.Fatal("Discord ja share wrong")
+	}
+}
+
+func TestFig5Exact(t *testing.T) {
+	res := Fig5(buildDataset())
+	// wa1: created 1h before first share -> same-day. wa2: no creation
+	// date (not joined) -> excluded.
+	if res.CDF[platform.WhatsApp].N() != 1 || res.SameDay[platform.WhatsApp] != 1.0 {
+		t.Fatalf("WhatsApp staleness wrong: n=%d same=%v",
+			res.CDF[platform.WhatsApp].N(), res.SameDay[platform.WhatsApp])
+	}
+	// tg1: 400 days stale.
+	if res.OverYr[platform.Telegram] != 1.0 {
+		t.Fatal("Telegram >1yr wrong")
+	}
+}
+
+func TestFig6Exact(t *testing.T) {
+	res := Fig6(buildDataset())
+	// WhatsApp: wa1 revoked (1 of 2 = 50%), wa2 alive. wa1 lived from
+	// first-seen (day0 10:00) to last alive probe (day1 23:00).
+	if res.RevokedShare[platform.WhatsApp] != 0.5 {
+		t.Fatalf("WhatsApp revoked share %v", res.RevokedShare[platform.WhatsApp])
+	}
+	if res.DeadAtFirst[platform.WhatsApp] != 0 {
+		t.Fatal("WhatsApp dead-at-first should be 0")
+	}
+	// Discord: dc1 dead at first probe.
+	if res.DeadAtFirst[platform.Discord] != 1.0 || res.RevokedShare[platform.Discord] != 1.0 {
+		t.Fatalf("Discord revocation wrong: %v %v",
+			res.DeadAtFirst[platform.Discord], res.RevokedShare[platform.Discord])
+	}
+	if res.LifetimeDays[platform.Discord].Max() != 0 {
+		t.Fatal("dead-at-first lifetime should be 0")
+	}
+	wantLife := at(1, 23).Sub(at(0, 10)).Hours() / 24
+	if got := res.LifetimeDays[platform.WhatsApp].Max(); got != wantLife {
+		t.Fatalf("wa1 lifetime %v, want %v", got, wantLife)
+	}
+}
+
+func at(day, h int) time.Time { return start.Add(time.Duration(day*24+h) * time.Hour) }
+
+func TestFig7Exact(t *testing.T) {
+	res := Fig7(buildDataset())
+	// Members at first alive obs: wa1=50, wa2=100.
+	if res.Members[platform.WhatsApp].N() != 2 || res.Members[platform.WhatsApp].Max() != 100 {
+		t.Fatalf("members wrong: %+v", res.Members[platform.WhatsApp])
+	}
+	// Growth: wa1 +10, wa2 -10 -> 50% grew, 50% shrank.
+	if res.Grew[platform.WhatsApp] != 0.5 || res.Shrank[platform.WhatsApp] != 0.5 {
+		t.Fatalf("growth wrong: grew=%v shrank=%v",
+			res.Grew[platform.WhatsApp], res.Shrank[platform.WhatsApp])
+	}
+	// Online fraction: tg1 100/1000.
+	if res.OnlineFrac[platform.Telegram].N() != 1 || res.OnlineFrac[platform.Telegram].Max() != 0.1 {
+		t.Fatal("online fraction wrong")
+	}
+}
+
+func TestFig8Exact(t *testing.T) {
+	res := Fig8(buildDataset())
+	if got := res.Types[platform.WhatsApp].Share("text"); got != 0.75 {
+		t.Fatalf("WhatsApp text share %v, want 0.75", got)
+	}
+	if got := res.Types[platform.WhatsApp].Share("sticker"); got != 0.25 {
+		t.Fatalf("WhatsApp sticker share %v", got)
+	}
+	if got := res.Types[platform.Telegram].Share("other"); got != 0.5 {
+		t.Fatalf("Telegram service share %v, want 0.5", got)
+	}
+}
+
+func TestFig9Exact(t *testing.T) {
+	ds := buildDataset()
+	res := Fig9(ds)
+	// wa1: 4 messages over (end-join) = 4 days -> 1 msg/day.
+	if res.PerGroupDay[platform.WhatsApp].N() != 1 {
+		t.Fatalf("per-group-day n=%d", res.PerGroupDay[platform.WhatsApp].N())
+	}
+	if got := res.PerGroupDay[platform.WhatsApp].Max(); got != 1.0 {
+		t.Fatalf("wa1 msgs/day %v, want 1.0", got)
+	}
+	// Users: wa has 2 posters with 2 msgs each.
+	if res.ActiveUsers[platform.WhatsApp] != 2 {
+		t.Fatalf("active users %d", res.ActiveUsers[platform.WhatsApp])
+	}
+	if res.UpTo10Share[platform.WhatsApp] != 1.0 {
+		t.Fatal("<=10-messages share wrong")
+	}
+}
+
+func TestTables4And5(t *testing.T) {
+	ds := buildDataset()
+	t4 := Table4(ds)
+	if !strings.Contains(t4.Render(), "WhatsApp") {
+		t.Fatal("table4 render broken")
+	}
+	t5 := Table5(ds)
+	if len(t5.Rows) != 1 || t5.Rows[0].Platform != "Twitch" {
+		t.Fatalf("table5 wrong: %+v", t5.Rows)
+	}
+}
+
+func TestTable3OnSyntheticTweets(t *testing.T) {
+	ds := buildDataset()
+	res := Table3(ds, Table3Config{Topics: 2, Iterations: 30, Seed: 1})
+	if res.EnglishTweets[platform.WhatsApp] != 2 {
+		t.Fatalf("English tweet count %d, want 2", res.EnglishTweets[platform.WhatsApp])
+	}
+	if len(res.Topics[platform.WhatsApp]) != 2 {
+		t.Fatalf("topic count %d", len(res.Topics[platform.WhatsApp]))
+	}
+	if !strings.Contains(res.Render(), "LDA topics") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestTable1Static(t *testing.T) {
+	out := Table1()
+	for _, want := range []string{"January 2009", "2 Billion", "E2E encryption"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table1 missing %q", want)
+		}
+	}
+}
+
+func TestRenderersNonEmpty(t *testing.T) {
+	ds := buildDataset()
+	for _, r := range []Renderer{
+		Table2(ds), Table4(ds), Table5(ds),
+		Fig1(ds), Fig2(ds), Fig3(ds), Fig4(ds), Fig5(ds),
+		Fig6(ds), Fig7(ds), Fig8(ds), Fig9(ds),
+	} {
+		if strings.TrimSpace(r.Render()) == "" {
+			t.Fatalf("%T renders empty", r)
+		}
+	}
+}
+
+func TestFigureCSVsWellFormed(t *testing.T) {
+	ds := buildDataset()
+	csvs := FigureCSVs(ds)
+	if len(csvs) != 9 {
+		t.Fatalf("%d figure CSVs, want 9", len(csvs))
+	}
+	for id, w := range csvs {
+		var buf strings.Builder
+		if err := w.WriteCSV(&buf); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+		if len(lines) < 2 {
+			t.Fatalf("%s: no data rows", id)
+		}
+		cols := len(strings.Split(lines[0], ","))
+		for i, row := range lines {
+			if got := len(strings.Split(row, ",")); got != cols {
+				t.Fatalf("%s row %d: %d columns, header has %d", id, i, got, cols)
+			}
+		}
+	}
+}
+
+func TestFig1CSVExactValues(t *testing.T) {
+	var buf strings.Builder
+	if err := Fig1(buildDataset()).WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "WhatsApp,1,2,2,1") {
+		t.Fatalf("fig1 CSV missing expected WhatsApp day-1 row:\n%s", out)
+	}
+}
+
+func TestFigureSVGsWellFormed(t *testing.T) {
+	ds := buildDataset()
+	svgs := FigureSVGs(ds)
+	if len(svgs) != 9 {
+		t.Fatalf("%d figure SVGs, want 9", len(svgs))
+	}
+	for id, r := range svgs {
+		svg := r.SVG()
+		if !strings.HasPrefix(svg, "<svg") || !strings.Contains(svg, "</svg>") {
+			t.Fatalf("%s: malformed SVG", id)
+		}
+		if !strings.Contains(svg, "Figure") {
+			t.Fatalf("%s: missing title", id)
+		}
+	}
+}

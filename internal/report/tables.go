@@ -1,0 +1,238 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"msgscope/internal/analysis/lda"
+	"msgscope/internal/analysis/textproc"
+	"msgscope/internal/platform"
+	"msgscope/internal/privacy"
+	"msgscope/internal/store"
+)
+
+// --- Table 1 ---
+
+// Table1 renders the static platform-characteristics table.
+func Table1() string {
+	chars := platform.Characteristics()
+	var sb strings.Builder
+	sb.WriteString("Table 1: platform characteristics\n")
+	rows := []struct {
+		name string
+		get  func(platform.Characteristic) string
+	}{
+		{"Initial release", func(c platform.Characteristic) string { return c.InitialRelease }},
+		{"User base", func(c platform.Characteristic) string { return c.UserBase }},
+		{"Clients", func(c platform.Characteristic) string { return c.Clients }},
+		{"Registration", func(c platform.Characteristic) string { return c.Registration }},
+		{"Public chats", func(c platform.Characteristic) string { return c.PublicChatOptions }},
+		{"Max members", func(c platform.Characteristic) string { return c.MaxMembers }},
+		{"Collection API", func(c platform.Characteristic) string { return c.DataCollectionAPI }},
+		{"Forwarding", func(c platform.Characteristic) string { return c.MessageForwarding }},
+		{"E2E encryption", func(c platform.Characteristic) string { return c.EndToEndEncryption }},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-16s | WA: %-28s | TG: %-42s | DC: %s\n",
+			r.name, r.get(chars[platform.WhatsApp]), r.get(chars[platform.Telegram]),
+			r.get(chars[platform.Discord]))
+	}
+	return sb.String()
+}
+
+// --- Table 2 ---
+
+// Table2Row is one platform's dataset overview.
+type Table2Row struct {
+	Platform     platform.Platform
+	Tweets       int
+	TweetUsers   int
+	GroupURLs    int
+	JoinedGroups int
+	Messages     int
+	MessageUsers int // distinct users observed in joined groups
+}
+
+// Table2Result is the dataset-overview table.
+type Table2Result struct {
+	Rows  []Table2Row
+	Total Table2Row
+}
+
+// Table2 computes the dataset overview (the paper's Table 2).
+func Table2(ds Dataset) Table2Result {
+	var res Table2Result
+	// Platform-side user counts: users observed via joined groups
+	// (members and posters), not creators-only.
+	memberUsers := map[platform.Platform]int{}
+	for _, u := range ds.Store.Users() {
+		if !u.Creator {
+			memberUsers[u.Platform]++
+		}
+	}
+	for _, p := range platform.All {
+		c := ds.Store.CountsFor(p)
+		row := Table2Row{
+			Platform:     p,
+			Tweets:       c.Tweets,
+			TweetUsers:   c.TweetUsers,
+			GroupURLs:    c.GroupURLs,
+			JoinedGroups: c.JoinedGroups,
+			Messages:     c.Messages,
+			MessageUsers: memberUsers[p],
+		}
+		res.Rows = append(res.Rows, row)
+		res.Total.Tweets += row.Tweets
+		res.Total.TweetUsers += row.TweetUsers
+		res.Total.GroupURLs += row.GroupURLs
+		res.Total.JoinedGroups += row.JoinedGroups
+		res.Total.Messages += row.Messages
+		res.Total.MessageUsers += row.MessageUsers
+	}
+	return res
+}
+
+// Render prints the table.
+func (t Table2Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Table 2: dataset overview\n")
+	sb.WriteString("platform  | #tweets   #users   #groupURLs | #joined #messages #users\n")
+	row := func(name string, r Table2Row) {
+		fmt.Fprintf(&sb, "%-9s | %8d %8d %10d | %7d %9d %7d\n",
+			name, r.Tweets, r.TweetUsers, r.GroupURLs, r.JoinedGroups, r.Messages, r.MessageUsers)
+	}
+	for _, r := range t.Rows {
+		row(r.Platform.String(), r)
+	}
+	row("Total", t.Total)
+	return sb.String()
+}
+
+// --- Table 3 ---
+
+// Table3Result holds the per-platform LDA topics.
+type Table3Result struct {
+	Topics map[platform.Platform][]lda.Summary
+	// EnglishTweets counts the inputs per platform.
+	EnglishTweets map[platform.Platform]int
+}
+
+// Table3Config tunes the topic extraction.
+type Table3Config struct {
+	Topics     int // per platform (paper: 10)
+	TopWords   int // terms shown per topic (paper: 10)
+	Iterations int
+	Seed       uint64
+	// MaxTweets bounds the LDA input per platform (0 = all); Gibbs is
+	// quadratic-ish in corpus size and the shape is stable on samples.
+	MaxTweets int
+}
+
+// Table3 extracts LDA topics from the English tweets of each platform.
+func Table3(ds Dataset, cfg Table3Config) Table3Result {
+	if cfg.Topics <= 0 {
+		cfg.Topics = 10
+	}
+	if cfg.TopWords <= 0 {
+		cfg.TopWords = 10
+	}
+	res := Table3Result{
+		Topics:        map[platform.Platform][]lda.Summary{},
+		EnglishTweets: map[platform.Platform]int{},
+	}
+	tok := textproc.NewTokenizer()
+	byPlatform := map[platform.Platform][]string{}
+	for _, t := range ds.Store.Tweets() {
+		if t.Lang != "en" {
+			continue
+		}
+		if cfg.MaxTweets > 0 && len(byPlatform[t.Platform]) >= cfg.MaxTweets {
+			continue
+		}
+		byPlatform[t.Platform] = append(byPlatform[t.Platform], t.Text)
+	}
+	for _, p := range platform.All {
+		texts := byPlatform[p]
+		res.EnglishTweets[p] = len(texts)
+		if len(texts) == 0 {
+			continue
+		}
+		corpus := textproc.NewCorpus(tok, texts)
+		model := lda.Fit(corpus, lda.Config{
+			Topics:     cfg.Topics,
+			Iterations: cfg.Iterations,
+			Seed:       cfg.Seed,
+		})
+		res.Topics[p] = model.Summaries(cfg.TopWords)
+	}
+	return res
+}
+
+// Render prints the topic table.
+func (t Table3Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Table 3: LDA topics from English tweets\n")
+	for _, p := range platform.All {
+		fmt.Fprintf(&sb, "%s (%d English tweets):\n", p, t.EnglishTweets[p])
+		for _, s := range t.Topics[p] {
+			fmt.Fprintf(&sb, "  %s\n", s)
+		}
+	}
+	return sb.String()
+}
+
+// --- Tables 4 and 5 ---
+
+// Table4Result wraps the privacy exposure analysis.
+type Table4Result struct {
+	Report privacy.Report
+}
+
+// Table4 computes the PII-exposure statistics.
+func Table4(ds Dataset) Table4Result {
+	return Table4Result{Report: privacy.Analyze(ds.Store)}
+}
+
+// Render prints Table 4.
+func (t Table4Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Table 4: exposed PII per platform\n")
+	sb.WriteString("platform  | members creators | phones (share) | linked (share)\n")
+	for _, e := range t.Report.Exposures {
+		fmt.Fprintf(&sb, "%-9s | %7d %8d | %6d (%5.2f%%) | %6d (%5.2f%%)\n",
+			e.Platform, e.MembersSeen, e.CreatorsSeen,
+			e.PhonesExposed, e.PhoneShare*100, e.LinkedExposed, e.LinkedShare*100)
+	}
+	return sb.String()
+}
+
+// Table5Result is the Discord linked-account breakdown.
+type Table5Result struct {
+	Rows []privacy.LinkedCount
+}
+
+// Table5 computes the linked-account breakdown.
+func Table5(ds Dataset) Table5Result {
+	return Table5Result{Rows: privacy.Analyze(ds.Store).Linked}
+}
+
+// Render prints Table 5.
+func (t Table5Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Table 5: Discord users' linked accounts\n")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&sb, "%-18s %6d (%5.2f%%)\n", r.Platform, r.Users, r.Share*100)
+	}
+	return sb.String()
+}
+
+// joinedGroups returns the joined groups of one platform.
+func joinedGroups(st *store.Store, p platform.Platform) []*store.GroupRecord {
+	var out []*store.GroupRecord
+	for _, g := range st.GroupsOf(p) {
+		if g.Joined {
+			out = append(out, g)
+		}
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"msgscope/internal/analysis/toxicity"
+	"msgscope/internal/platform"
+)
+
+// ToxicityResult is the future-work extension the paper sketches in
+// Section 8: score the collected messages for toxic content (the paper
+// proposes Google's Perspective API; this reproduction substitutes a
+// lexicon scorer) and compare prevalence across platforms.
+type ToxicityResult struct {
+	MessagesScored map[platform.Platform]int
+	ToxicShare     map[platform.Platform]float64
+	MeanScore      map[platform.Platform]float64
+	// TopGroups lists the most toxic groups (>= 20 scored messages).
+	TopGroups []GroupToxicity
+	// TextAvailable is false when the run collected no message bodies.
+	TextAvailable bool
+}
+
+// GroupToxicity is one group's aggregate.
+type GroupToxicity struct {
+	Platform   platform.Platform
+	GroupCode  string
+	Messages   int
+	ToxicShare float64
+}
+
+// Toxicity scores every collected text message.
+func Toxicity(ds Dataset) ToxicityResult {
+	res := ToxicityResult{
+		MessagesScored: map[platform.Platform]int{},
+		ToxicShare:     map[platform.Platform]float64{},
+		MeanScore:      map[platform.Platform]float64{},
+	}
+	scorer := toxicity.NewScorer()
+	type agg struct {
+		n, toxic int
+		sum      float64
+	}
+	perPlatform := map[platform.Platform]*agg{}
+	perGroup := map[string]*agg{}
+	groupPlatform := map[string]platform.Platform{}
+	for _, p := range platform.All {
+		perPlatform[p] = &agg{}
+	}
+	for _, m := range ds.Store.Messages() {
+		if m.Text == "" {
+			continue
+		}
+		res.TextAvailable = true
+		score := scorer.Score(m.Text)
+		pa := perPlatform[m.Platform]
+		pa.n++
+		pa.sum += score
+		gk := m.Platform.String() + "/" + m.GroupCode
+		ga := perGroup[gk]
+		if ga == nil {
+			ga = &agg{}
+			perGroup[gk] = ga
+			groupPlatform[gk] = m.Platform
+		}
+		ga.n++
+		ga.sum += score
+		if scorer.Toxic(m.Text) {
+			pa.toxic++
+			ga.toxic++
+		}
+	}
+	for _, p := range platform.All {
+		a := perPlatform[p]
+		res.MessagesScored[p] = a.n
+		if a.n > 0 {
+			res.ToxicShare[p] = float64(a.toxic) / float64(a.n)
+			res.MeanScore[p] = a.sum / float64(a.n)
+		}
+	}
+	for gk, a := range perGroup {
+		if a.n < 20 {
+			continue
+		}
+		_, code, _ := strings.Cut(gk, "/")
+		res.TopGroups = append(res.TopGroups, GroupToxicity{
+			Platform:   groupPlatform[gk],
+			GroupCode:  code,
+			Messages:   a.n,
+			ToxicShare: float64(a.toxic) / float64(a.n),
+		})
+	}
+	sort.Slice(res.TopGroups, func(i, j int) bool {
+		if res.TopGroups[i].ToxicShare != res.TopGroups[j].ToxicShare {
+			return res.TopGroups[i].ToxicShare > res.TopGroups[j].ToxicShare
+		}
+		return res.TopGroups[i].GroupCode < res.TopGroups[j].GroupCode
+	})
+	if len(res.TopGroups) > 10 {
+		res.TopGroups = res.TopGroups[:10]
+	}
+	return res
+}
+
+// Render prints the per-platform toxicity summary.
+func (t ToxicityResult) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Toxicity of collected messages (Section 8 future work, lexicon scorer)\n")
+	if !t.TextAvailable {
+		sb.WriteString("  (run with message-text collection enabled to score toxicity)\n")
+		return sb.String()
+	}
+	for _, p := range platform.All {
+		fmt.Fprintf(&sb, "%-9s | %6d scored | toxic=%.2f%% mean-score=%.4f\n",
+			p, t.MessagesScored[p], t.ToxicShare[p]*100, t.MeanScore[p])
+	}
+	if len(t.TopGroups) > 0 {
+		sb.WriteString("most toxic groups (>=20 messages):\n")
+		for _, g := range t.TopGroups[:min(3, len(t.TopGroups))] {
+			fmt.Fprintf(&sb, "  %v %s: %.1f%% of %d messages\n",
+				g.Platform, g.GroupCode, g.ToxicShare*100, g.Messages)
+		}
+	}
+	return sb.String()
+}

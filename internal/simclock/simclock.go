@@ -1,0 +1,145 @@
+// Package simclock provides a virtual clock for driving the simulated
+// 38-day measurement study in-process. Every component that needs the
+// current time takes a Clock, so tests and benchmarks advance time
+// explicitly instead of sleeping.
+package simclock
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Clock is the minimal time source used throughout the pipeline.
+type Clock interface {
+	// Now returns the current (virtual) time.
+	Now() time.Time
+}
+
+// Sim is a manually advanced clock. The zero value is not usable; construct
+// one with New. Sim is safe for concurrent use: platform services read it
+// from HTTP handler goroutines while the driver advances it.
+type Sim struct {
+	mu  sync.RWMutex
+	now time.Time
+
+	// waiters are callbacks fired (in registration order) whenever the
+	// clock crosses their deadline. Used for scheduled events such as
+	// invite expiry sweeps.
+	waiters []waiter
+}
+
+type waiter struct {
+	at time.Time
+	fn func(time.Time)
+}
+
+// New returns a Sim starting at the given instant.
+func New(start time.Time) *Sim {
+	return &Sim{now: start}
+}
+
+// StudyStart is the first day of the paper's collection window
+// (April 8, 2020, 00:00 UTC).
+var StudyStart = time.Date(2020, time.April, 8, 0, 0, 0, 0, time.UTC)
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Time {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.now
+}
+
+// Advance moves the clock forward by d, firing any waiters whose deadline is
+// crossed. Advancing by a negative duration panics: virtual time is
+// monotonic by construction and a rewind would corrupt every time series
+// derived from it.
+func (s *Sim) Advance(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("simclock: negative advance %v", d))
+	}
+	s.mu.Lock()
+	s.now = s.now.Add(d)
+	now := s.now
+	var fire []waiter
+	rest := s.waiters[:0]
+	for _, w := range s.waiters {
+		if !w.at.After(now) {
+			fire = append(fire, w)
+		} else {
+			rest = append(rest, w)
+		}
+	}
+	s.waiters = rest
+	s.mu.Unlock()
+	for _, w := range fire {
+		w.fn(now)
+	}
+}
+
+// AdvanceTo moves the clock to t. It panics if t is before the current time.
+func (s *Sim) AdvanceTo(t time.Time) {
+	s.Advance(t.Sub(s.Now()))
+}
+
+// At registers fn to run once the clock reaches or passes t. If t is already
+// in the past, fn runs immediately.
+func (s *Sim) At(t time.Time, fn func(time.Time)) {
+	s.mu.Lock()
+	if !t.After(s.now) {
+		now := s.now
+		s.mu.Unlock()
+		fn(now)
+		return
+	}
+	s.waiters = append(s.waiters, waiter{at: t, fn: fn})
+	s.mu.Unlock()
+}
+
+// Day returns the zero-based study day index of t relative to start.
+// Times before start map to negative days.
+func Day(start, t time.Time) int {
+	d := t.Sub(start)
+	day := int(d / (24 * time.Hour))
+	if d < 0 && d%(24*time.Hour) != 0 {
+		day--
+	}
+	return day
+}
+
+// DayStart returns the instant at which the given zero-based study day
+// begins.
+func DayStart(start time.Time, day int) time.Time {
+	return start.Add(time.Duration(day) * 24 * time.Hour)
+}
+
+// Fixed is a Clock frozen at a single instant, handy in unit tests.
+type Fixed time.Time
+
+// Now returns the frozen instant.
+func (f Fixed) Now() time.Time { return time.Time(f) }
+
+// Scaled maps real time onto virtual time at a speedup factor: each real
+// second advances the virtual clock by Speedup seconds. Used by the
+// interactive `msgscope serve` mode so a 38-day study elapses while a human
+// pokes at the simulated services.
+type Scaled struct {
+	VirtualStart time.Time
+	RealStart    time.Time
+	Speedup      float64
+}
+
+// NewScaled starts a scaled clock at virtualStart, anchored to the current
+// real time.
+func NewScaled(virtualStart time.Time, speedup float64) *Scaled {
+	if speedup <= 0 {
+		speedup = 1
+	}
+	return &Scaled{VirtualStart: virtualStart, RealStart: time.Now(), Speedup: speedup}
+}
+
+// Now returns the current virtual time.
+func (s *Scaled) Now() time.Time {
+	elapsed := time.Since(s.RealStart)
+	return s.VirtualStart.Add(time.Duration(float64(elapsed) * s.Speedup))
+}

@@ -1,0 +1,111 @@
+package simclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAdvance(t *testing.T) {
+	s := New(StudyStart)
+	s.Advance(90 * time.Minute)
+	want := StudyStart.Add(90 * time.Minute)
+	if !s.Now().Equal(want) {
+		t.Fatalf("Now=%v want %v", s.Now(), want)
+	}
+}
+
+func TestAdvanceToAndNegativePanic(t *testing.T) {
+	s := New(StudyStart)
+	s.AdvanceTo(StudyStart.Add(time.Hour))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative advance should panic")
+		}
+	}()
+	s.Advance(-time.Second)
+}
+
+func TestAtFiresOnCross(t *testing.T) {
+	s := New(StudyStart)
+	var fired []time.Time
+	s.At(StudyStart.Add(2*time.Hour), func(now time.Time) { fired = append(fired, now) })
+	s.Advance(time.Hour)
+	if len(fired) != 0 {
+		t.Fatal("waiter fired early")
+	}
+	s.Advance(90 * time.Minute)
+	if len(fired) != 1 {
+		t.Fatalf("waiter fired %d times, want 1", len(fired))
+	}
+	if !fired[0].Equal(StudyStart.Add(150 * time.Minute)) {
+		t.Fatalf("waiter got %v", fired[0])
+	}
+	s.Advance(time.Hour)
+	if len(fired) != 1 {
+		t.Fatal("waiter fired again")
+	}
+}
+
+func TestAtInPastFiresImmediately(t *testing.T) {
+	s := New(StudyStart)
+	s.Advance(time.Hour)
+	fired := false
+	s.At(StudyStart, func(time.Time) { fired = true })
+	if !fired {
+		t.Fatal("past waiter did not fire immediately")
+	}
+}
+
+func TestConcurrentReaders(t *testing.T) {
+	s := New(StudyStart)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = s.Now()
+				}
+			}
+		}()
+	}
+	for i := 0; i < 1000; i++ {
+		s.Advance(time.Minute)
+	}
+	close(stop)
+	wg.Wait()
+	if got := s.Now().Sub(StudyStart); got != 1000*time.Minute {
+		t.Fatalf("advanced %v, want 1000m", got)
+	}
+}
+
+func TestDayMath(t *testing.T) {
+	cases := []struct {
+		offset time.Duration
+		day    int
+	}{
+		{0, 0}, {23 * time.Hour, 0}, {24 * time.Hour, 1},
+		{36 * time.Hour, 1}, {48 * time.Hour, 2}, {-1 * time.Hour, -1},
+	}
+	for _, c := range cases {
+		if got := Day(StudyStart, StudyStart.Add(c.offset)); got != c.day {
+			t.Errorf("Day(+%v) = %d, want %d", c.offset, got, c.day)
+		}
+	}
+	if !DayStart(StudyStart, 3).Equal(StudyStart.Add(72 * time.Hour)) {
+		t.Fatal("DayStart wrong")
+	}
+}
+
+func TestFixed(t *testing.T) {
+	f := Fixed(StudyStart)
+	if !f.Now().Equal(StudyStart) {
+		t.Fatal("Fixed clock drifted")
+	}
+}

@@ -1,0 +1,377 @@
+package simworld
+
+import (
+	"time"
+
+	"msgscope/internal/dist"
+	"msgscope/internal/simclock"
+)
+
+// Config parameterizes the synthetic ecosystem. DefaultConfig returns the
+// calibration to the paper's reported distributions; Scale multiplies every
+// volume knob so the 38-day study can run quickly at reduced size.
+type Config struct {
+	// Seed drives all randomness; equal seeds give identical worlds.
+	Seed uint64
+	// Scale multiplies daily tweet/URL volumes (1.0 = paper scale).
+	Scale float64
+	// Days is the length of the collection window (paper: 38).
+	Days int
+	// Start is the first instant of day 0 (paper: 2020-04-08 UTC).
+	Start time.Time
+	// GenerateMessageText controls whether in-group messages carry bodies.
+	// The paper's figures only need type/author/time, so tests leave this
+	// off to save memory; examples that display messages turn it on.
+	GenerateMessageText bool
+
+	WhatsApp PlatformConfig
+	Telegram PlatformConfig
+	Discord  PlatformConfig
+	Control  ControlConfig
+}
+
+// PlatformConfig calibrates one messaging platform's synthetic population.
+// All *PerDay volumes are at Scale=1.
+type PlatformConfig struct {
+	// Tweet volume.
+	TweetsPerDay  float64 // mean tweets/day carrying this platform's URLs
+	NewURLsPerDay float64 // mean never-seen-before group URLs per day
+	AuthorPool    int     // distinct Twitter users tweeting these URLs
+	AuthorZipfS   float64 // author activity skew
+
+	// Per-URL share multiplicity: P(S=1) mass, a moderate Zipf tail whose
+	// exponent is solved from TailMeanShares at world construction, and a
+	// rare "viral" component (the paper's 14 Telegram URLs shared in more
+	// than 10K tweets each). Keeping the extreme mass in an explicit rare
+	// component keeps sample means stable at reduced Scale.
+	SingleShareP   float64
+	TailMeanShares float64 // E[extra shares | tail, not viral]
+	MaxShares      int     // tail support cap
+	ViralP         float64 // probability of a viral URL
+	ViralMinShares int
+	ViralMaxShares int
+	ShareSpreadP   float64 // geometric(p) day gaps between re-shares
+
+	// Tweet features (Figure 3).
+	HashtagP      float64 // tweets with >=1 hashtag
+	MultiHashtagP float64 // tweets with >1 hashtag
+	MentionP      float64
+	MultiMentionP float64
+	RetweetP      float64
+
+	// Language mix (Figure 4).
+	Languages []dist.WeightedString
+
+	// Group staleness: creation date vs first tweet (Figure 5).
+	SameDayCreationP float64 // created the day they are first shared
+	OldGroupP        float64 // older than one year
+	MidAgeMeanDays   float64 // exponential mean for the in-between mass
+
+	// Revocation (Figure 6). QuickDeathP groups die before the first
+	// daily observation; SlowDeathP die at a uniform later day.
+	QuickDeathP float64
+	SlowDeathP  float64
+
+	// Membership (Figure 7): log-normal size at discovery, capped.
+	MemberMu, MemberSigma float64
+	MemberCap             int
+	GrowP, ShrinkP        float64 // direction of the size random walk
+	DriftFracPerDay       float64 // |drift| as a fraction of size, mean
+	OnlineLogitMu         float64 // logit-normal online fraction
+	OnlineLogitSigma      float64
+	HasOnlineCount        bool // platform exposes online counts (TG, DC)
+
+	// Telegram-specific structure; zero elsewhere.
+	ChannelP       float64 // chat rooms that are channels, not groups
+	HiddenMembersP float64 // groups whose admins hide the member list
+
+	// In-group messaging (Figures 8, 9), for joined groups.
+	MsgPerDayMu, MsgPerDaySigma float64 // per room (per channel for Discord)
+	ChannelsMin, ChannelsMax    int     // rooms per joined unit (Discord servers)
+	ActiveMemberP               float64 // members who post at least once
+	PosterZipfS                 float64 // per-author message skew
+	MessageTypes                []dist.WeightedString
+
+	// Secondary-network sharing (the future-work "discover groups shared
+	// on other social networks"). CrosspostP groups are shared on both
+	// Twitter and the secondary network; SocialOnlyP groups appear ONLY on
+	// the secondary network — invisible to a Twitter-only study.
+	CrosspostP  float64
+	SocialOnlyP float64
+
+	// PII attributes.
+	PhoneVisibleP  float64               // members with visible phone (TG opt-in)
+	LinkedAccountP float64               // users with >=1 linked account (DC)
+	LinkedAccounts []dist.WeightedString // linked-platform mix (Table 5)
+	CreatorMultiP  float64               // groups created by an already-seen creator
+	Countries      []dist.WeightedString // creator phone country mix (WA)
+}
+
+// ControlConfig calibrates the 1% sample stream (the control dataset).
+type ControlConfig struct {
+	TweetsPerDay  float64
+	HashtagP      float64
+	MultiHashtagP float64
+	MentionP      float64
+	MultiMentionP float64
+	RetweetP      float64
+	Languages     []dist.WeightedString
+}
+
+// DefaultConfig returns the paper-calibrated world at the given scale.
+// Every constant below is traceable to a number in the paper; see DESIGN.md
+// §2 and EXPERIMENTS.md for the mapping.
+func DefaultConfig(seed uint64, scale float64) Config {
+	return Config{
+		Seed:  seed,
+		Scale: scale,
+		Days:  38,
+		Start: simclock.StudyStart,
+
+		WhatsApp: PlatformConfig{
+			// 239,807 tweets and 45,718 URLs over 38 days.
+			TweetsPerDay:  6310,
+			NewURLsPerDay: 1203,
+			AuthorPool:    88119,
+			AuthorZipfS:   1.05,
+
+			SingleShareP:   0.50,
+			TailMeanShares: 9.3, // E[S]=5.25 overall
+			MaxShares:      400,
+			ViralP:         0.0001,
+			ViralMinShares: 1000,
+			ViralMaxShares: 4000,
+			ShareSpreadP:   0.80, // re-share gaps ~0.25 days: fresh URLs burn out fast
+			CrosspostP:     0.15,
+			SocialOnlyP:    0.05,
+
+			HashtagP:      0.13,
+			MultiHashtagP: 0.04,
+			MentionP:      0.73,
+			MultiMentionP: 0.20,
+			RetweetP:      0.33,
+
+			Languages: []dist.WeightedString{
+				{Key: "en", Weight: 26}, {Key: "es", Weight: 16},
+				{Key: "pt", Weight: 14}, {Key: "hi", Weight: 9},
+				{Key: "id", Weight: 8}, {Key: "ar", Weight: 7},
+				{Key: "tr", Weight: 4}, {Key: "fr", Weight: 4},
+				{Key: "de", Weight: 2}, {Key: "und", Weight: 10},
+			},
+
+			SameDayCreationP: 0.76,
+			OldGroupP:        0.10,
+			MidAgeMeanDays:   55,
+
+			// Ground truth sits slightly above the paper's *measured*
+			// dead-at-first-observation share (6.4%): late-in-day shares
+			// get one live probe before dying.
+			QuickDeathP: 0.071,
+			SlowDeathP:  0.206, // measured total revoked ~27.3%
+
+			MemberMu:    4.09, // ln 60; ~5% of groups hit the 257 cap
+			MemberSigma: 0.90,
+			MemberCap:   257,
+			// Slightly above the paper's measured splits (51/38): groups
+			// whose small drift rounds to zero land in the no-change bin.
+			GrowP:            0.55,
+			ShrinkP:          0.41,
+			DriftFracPerDay:  0.010,
+			OnlineLogitMu:    0,
+			OnlineLogitSigma: 0,
+			HasOnlineCount:   false,
+
+			MsgPerDayMu:    2.55, // ~60% of groups >10 msgs/day
+			MsgPerDaySigma: 1.30,
+			ChannelsMin:    1,
+			ChannelsMax:    1,
+			ActiveMemberP:  0.594,
+			PosterZipfS:    1.00,
+			MessageTypes: []dist.WeightedString{
+				// Figure 8: text 78%, stickers 10%, rest split.
+				{Key: "text", Weight: 78}, {Key: "sticker", Weight: 10},
+				{Key: "image", Weight: 6}, {Key: "video", Weight: 3},
+				{Key: "audio", Weight: 2}, {Key: "document", Weight: 0.6},
+				{Key: "contact", Weight: 0.2}, {Key: "location", Weight: 0.2},
+			},
+
+			PhoneVisibleP: 1.0, // WhatsApp exposes every member's phone
+			CreatorMultiP: 0.073,
+			Countries: []dist.WeightedString{
+				// Creator phone country codes, Section 5.
+				{Key: "BR", Weight: 7718}, {Key: "NG", Weight: 4719},
+				{Key: "ID", Weight: 3430}, {Key: "IN", Weight: 2731},
+				{Key: "SA", Weight: 2574}, {Key: "MX", Weight: 2081},
+				{Key: "AR", Weight: 1366}, {Key: "US", Weight: 1100},
+				{Key: "PK", Weight: 950}, {Key: "EG", Weight: 900},
+				{Key: "TR", Weight: 800}, {Key: "KE", Weight: 700},
+				{Key: "ZA", Weight: 650}, {Key: "CO", Weight: 600},
+				{Key: "ES", Weight: 500}, {Key: "OTHER", Weight: 3259},
+			},
+		},
+
+		Telegram: PlatformConfig{
+			// 1,224,540 tweets and 78,105 URLs over 38 days.
+			TweetsPerDay:  32225,
+			NewURLsPerDay: 2055,
+			AuthorPool:    398816,
+			AuthorZipfS:   1.10,
+
+			SingleShareP:   0.50,
+			TailMeanShares: 25.4, // E[S]=15.7 with the viral component below
+			MaxShares:      300,
+			ViralP:         0.0002, // ~14 URLs >10K tweets at paper scale
+			ViralMinShares: 10000,
+			ViralMaxShares: 25000,
+			ShareSpreadP:   0.80, // heavy URLs re-shared across ~a week
+			CrosspostP:     0.20,
+			SocialOnlyP:    0.08,
+
+			HashtagP:      0.24,
+			MultiHashtagP: 0.10,
+			MentionP:      0.84,
+			MultiMentionP: 0.14,
+			RetweetP:      0.76,
+
+			Languages: []dist.WeightedString{
+				{Key: "en", Weight: 35}, {Key: "ar", Weight: 15},
+				{Key: "tr", Weight: 8}, {Key: "ru", Weight: 7},
+				{Key: "es", Weight: 6},
+				{Key: "hi", Weight: 5}, {Key: "id", Weight: 5},
+				{Key: "pt", Weight: 4}, {Key: "de", Weight: 3},
+				{Key: "und", Weight: 12},
+			},
+
+			SameDayCreationP: 0.28,
+			OldGroupP:        0.29,
+			MidAgeMeanDays:   120,
+
+			QuickDeathP: 0.180, // measured dead-at-first-obs ~16.3%
+			SlowDeathP:  0.030, // measured total revoked ~20.4%
+
+			MemberMu:         5.01, // ln 150; 40% of rooms <100 members
+			MemberSigma:      2.00,
+			MemberCap:        2_000_000, // channels effectively unbounded
+			GrowP:            0.56,
+			ShrinkP:          0.26,
+			DriftFracPerDay:  0.012,
+			OnlineLogitMu:    -2.8,
+			OnlineLogitSigma: 0.8,
+			HasOnlineCount:   true,
+
+			ChannelP:       0.35,
+			HiddenMembersP: 0.76, // member list visible in only 24/100 joined rooms
+
+			MsgPerDayMu:    1.25, // ln 3.5; ~25% of rooms >10 msgs/day
+			MsgPerDaySigma: 1.90,
+			ChannelsMin:    1,
+			ChannelsMax:    1,
+			ActiveMemberP:  0.146,
+			PosterZipfS:    1.20,
+			MessageTypes: []dist.WeightedString{
+				// Figure 8: text 85%, service messages ("other") present.
+				{Key: "text", Weight: 85}, {Key: "image", Weight: 5},
+				{Key: "video", Weight: 3}, {Key: "sticker", Weight: 2},
+				{Key: "audio", Weight: 1}, {Key: "document", Weight: 1},
+				{Key: "other", Weight: 3},
+			},
+
+			PhoneVisibleP: 0.0068,
+			CreatorMultiP: 0.0,
+		},
+
+		Discord: PlatformConfig{
+			// 779,685 tweets and 227,712 URLs over 38 days.
+			TweetsPerDay:  20518,
+			NewURLsPerDay: 5992,
+			AuthorPool:    340702,
+			AuthorZipfS:   1.05,
+
+			SingleShareP:   0.62,
+			TailMeanShares: 7.4, // E[S]=3.42
+			MaxShares:      300,
+			ViralP:         0.0001,
+			ViralMinShares: 800,
+			ViralMaxShares: 3000,
+			ShareSpreadP:   0.90, // invites die fast; re-shares cluster same-day
+			CrosspostP:     0.25,
+			SocialOnlyP:    0.06,
+
+			HashtagP:      0.14,
+			MultiHashtagP: 0.07,
+			MentionP:      0.68,
+			MultiMentionP: 0.15,
+			RetweetP:      0.50,
+
+			Languages: []dist.WeightedString{
+				{Key: "en", Weight: 47}, {Key: "ja", Weight: 27},
+				{Key: "es", Weight: 6}, {Key: "fr", Weight: 4},
+				{Key: "pt", Weight: 3}, {Key: "de", Weight: 3},
+				{Key: "ko", Weight: 2}, {Key: "ru", Weight: 2},
+				{Key: "und", Weight: 6},
+			},
+
+			SameDayCreationP: 0.28,
+			OldGroupP:        0.256,
+			MidAgeMeanDays:   100,
+
+			QuickDeathP: 0.700, // 1-day invite expiry; measured dead-at-first ~67%
+			SlowDeathP:  0.008, // measured total revoked ~68.4%
+
+			MemberMu:         4.25, // ln 70; 60% of servers <100 members
+			MemberSigma:      1.80,
+			MemberCap:        250000,
+			GrowP:            0.58,
+			ShrinkP:          0.21,
+			DriftFracPerDay:  0.012,
+			OnlineLogitMu:    -1.0, // ~15% of servers >50% online
+			OnlineLogitSigma: 1.0,
+			HasOnlineCount:   true,
+
+			MsgPerDayMu:    0.9, // ~2.5 msgs/day per channel; servers have many
+			MsgPerDaySigma: 1.40,
+			ChannelsMin:    1,
+			ChannelsMax:    12,
+			ActiveMemberP:  0.658,
+			PosterZipfS:    1.45,
+			MessageTypes: []dist.WeightedString{
+				// Figure 8: text 96%.
+				{Key: "text", Weight: 96}, {Key: "image", Weight: 2.5},
+				{Key: "video", Weight: 0.8}, {Key: "sticker", Weight: 0.4},
+				{Key: "document", Weight: 0.3},
+			},
+
+			LinkedAccountP: 0.30,
+			LinkedAccounts: []dist.WeightedString{
+				// Table 5, weights are % of all Discord users observed.
+				{Key: "Twitch", Weight: 20.4}, {Key: "Steam", Weight: 12.2},
+				{Key: "Twitter", Weight: 8.9}, {Key: "Spotify", Weight: 8.0},
+				{Key: "YouTube", Weight: 6.6}, {Key: "Battlenet", Weight: 5.2},
+				{Key: "Xbox", Weight: 3.7}, {Key: "Reddit", Weight: 3.0},
+				{Key: "League of Legends", Weight: 2.4},
+				{Key: "Skype", Weight: 0.6}, {Key: "Facebook", Weight: 0.5},
+			},
+			// Ground truth above the paper's observed 3.6%: two-thirds of
+			// Discord groups die before their inviter is ever observed.
+			CreatorMultiP: 0.11,
+		},
+
+		Control: ControlConfig{
+			// 1,797,914 tweets over 38 days in the 1% sample.
+			TweetsPerDay:  47313,
+			HashtagP:      0.13,
+			MultiHashtagP: 0.05,
+			MentionP:      0.76,
+			MultiMentionP: 0.12,
+			RetweetP:      0.40,
+			Languages: []dist.WeightedString{
+				{Key: "en", Weight: 34}, {Key: "ja", Weight: 16},
+				{Key: "es", Weight: 10}, {Key: "pt", Weight: 8},
+				{Key: "ar", Weight: 6}, {Key: "tr", Weight: 4},
+				{Key: "fr", Weight: 3}, {Key: "id", Weight: 4},
+				{Key: "hi", Weight: 3}, {Key: "ko", Weight: 3},
+				{Key: "und", Weight: 9},
+			},
+		},
+	}
+}

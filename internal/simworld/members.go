@@ -1,0 +1,71 @@
+package simworld
+
+import (
+	"math"
+	"time"
+)
+
+// AliveAt reports whether the group URL still resolves at t (i.e. the group
+// exists and the invite has not been revoked or expired).
+func (w *World) AliveAt(g *Group, t time.Time) bool {
+	return g.RevokedAt.IsZero() || t.Before(g.RevokedAt)
+}
+
+// MembersAt returns the member count at t: a random walk around the base
+// size with the group's drift, deterministic in (group, day) so repeated
+// probes agree.
+func (w *World) MembersAt(g *Group, t time.Time) int {
+	days := t.Sub(g.FirstShareAt).Hours() / 24
+	if days < 0 {
+		days = 0
+	}
+	m := float64(g.BaseMembers) + g.Drift*days
+	// Bounded daily noise, ±3% of base. Zero-drift groups stay exactly
+	// flat — the paper observes a sizable no-change population (e.g. 23%
+	// of Telegram groups), which per-day noise would otherwise erase.
+	if g.Drift != 0 {
+		day := int64(t.Sub(w.Cfg.Start) / (24 * time.Hour))
+		m += hashUnit(g.noiseSeed, uint64(day)) * 0.03 * float64(g.BaseMembers)
+	}
+	cap := w.platformCfg(g.Platform).MemberCap
+	if m > float64(cap) {
+		m = float64(cap)
+	}
+	if m < 1 {
+		m = 1
+	}
+	return int(math.Round(m))
+}
+
+// OnlineAt returns the number of members shown online at t (0 on platforms
+// without an online indicator).
+func (w *World) OnlineAt(g *Group, t time.Time) int {
+	if !w.platformCfg(g.Platform).HasOnlineCount {
+		return 0
+	}
+	members := w.MembersAt(g, t)
+	day := int64(t.Sub(w.Cfg.Start) / (24 * time.Hour))
+	frac := g.OnlineFrac * (1 + 0.2*hashUnit(g.noiseSeed^0xABCD, uint64(day)))
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	n := int(math.Round(frac * float64(members)))
+	if n > members {
+		n = members
+	}
+	return n
+}
+
+// hashUnit maps (seed, x) to a deterministic value in [-1, 1].
+func hashUnit(seed, x uint64) float64 {
+	h := seed ^ x*0x9E3779B97F4A7C15
+	h ^= h >> 33
+	h *= 0xFF51AFD7ED558CCD
+	h ^= h >> 33
+	h *= 0xC4CEB9FE1A85EC53
+	h ^= h >> 33
+	return float64(h)/float64(math.MaxUint64)*2 - 1
+}

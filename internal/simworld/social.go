@@ -1,0 +1,84 @@
+package simworld
+
+import (
+	"fmt"
+	"time"
+
+	"msgscope/internal/dist"
+	"msgscope/internal/ids"
+	"msgscope/internal/textgen"
+)
+
+// Post is one public post on the secondary social network ("the lens the
+// paper's future work adds": discovering invite URLs shared outside
+// Twitter, e.g. on Facebook or Instagram).
+type Post struct {
+	ID        uint64
+	AuthorID  string
+	CreatedAt time.Time
+	Text      string
+	Group     *Group
+}
+
+// genSocial generates the secondary network's post stream: crossposts of
+// Twitter-shared groups plus the posts of social-only groups (whose invite
+// URLs never appear on Twitter at all — the population a Twitter-only
+// study can never see).
+func (w *World) genSocial() {
+	rng := ids.Fork(w.Cfg.Seed, "world/social")
+	tg := textgen.New(ids.Fork(w.Cfg.Seed, "text/social"))
+	postSeq := ids.NewSequence(ids.TwitterEpochMS)
+	w.PostsByDay = make([][]*Post, w.Cfg.Days)
+	windowEnd := w.Cfg.Start.Add(time.Duration(w.Cfg.Days) * 24 * time.Hour)
+
+	for _, groups := range w.Groups {
+		for _, g := range groups {
+			cfg := w.platformCfg(g.Platform)
+			crosspost := dist.Bernoulli(rng, cfg.CrosspostP)
+			if !g.SocialOnly && !crosspost {
+				continue
+			}
+			n := 1 + dist.Geometric(rng, 0.5)
+			for i := 0; i < n; i++ {
+				// Posts cluster around the group's first share; social
+				// posts can precede the first tweet by up to a day, so the
+				// second source sometimes discovers a group first.
+				offset := time.Duration(rng.Int64N(int64(72*time.Hour))) - 24*time.Hour
+				at := g.FirstShareAt.Add(offset)
+				if at.Before(w.Cfg.Start) || !at.Before(windowEnd) {
+					continue
+				}
+				day := w.DayOf(at)
+				post := &Post{
+					AuthorID:  fmt.Sprintf("social-u%d", rng.IntN(100000)),
+					CreatedAt: at,
+					Group:     g,
+				}
+				post.Text = tg.Tweet(textgen.TweetSpec{
+					Lang:  g.Lang,
+					Topic: g.Topic,
+					URL:   g.URL,
+				})
+				w.PostsByDay[day] = append(w.PostsByDay[day], post)
+			}
+		}
+	}
+	// IDs are assigned in feed order (time-sorted), so they are monotone
+	// and the feed's since_id cursor is sound.
+	for d := range w.PostsByDay {
+		day := w.PostsByDay[d]
+		sortPostsByTime(day)
+		for _, p := range day {
+			p.ID = postSeq.Next(p.CreatedAt)
+		}
+	}
+}
+
+func sortPostsByTime(posts []*Post) {
+	// Insertion sort: per-day post counts are small and mostly ordered.
+	for i := 1; i < len(posts); i++ {
+		for j := i; j > 0 && posts[j].CreatedAt.Before(posts[j-1].CreatedAt); j-- {
+			posts[j], posts[j-1] = posts[j-1], posts[j]
+		}
+	}
+}

@@ -1,0 +1,154 @@
+// Package social simulates a secondary social network with a public,
+// cursorable post feed — the stand-in for the paper's future-work plan to
+// discover invite URLs shared on networks other than Twitter (Facebook,
+// Instagram). Unlike the Twitter simulation there is no search or stream:
+// the collector polls the public feed with a since_id cursor, the way
+// public-page scrapers work.
+package social
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"msgscope/internal/simclock"
+	"msgscope/internal/simworld"
+)
+
+// Service serves the simulated feed.
+type Service struct {
+	world *simworld.World
+	clock simclock.Clock
+}
+
+// NewService builds the service over the world.
+func NewService(world *simworld.World, clock simclock.Clock) *Service {
+	return &Service{world: world, clock: clock}
+}
+
+// Handler returns the HTTP mux: GET /api/feed?since_id=N&limit=M.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/feed", s.handleFeed)
+	return mux
+}
+
+type postJSON struct {
+	ID        uint64 `json:"id"`
+	Author    string `json:"author"`
+	CreatedMS int64  `json:"created_ms"`
+	Text      string `json:"text"`
+}
+
+// handleFeed serves posts with CreatedAt <= now and ID > since_id, oldest
+// first, up to limit.
+func (s *Service) handleFeed(w http.ResponseWriter, r *http.Request) {
+	var since uint64
+	if v := r.URL.Query().Get("since_id"); v != "" {
+		var err error
+		since, err = strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			http.Error(w, `{"error":"bad since_id"}`, http.StatusBadRequest)
+			return
+		}
+	}
+	limit := 100
+	if v := r.URL.Query().Get("limit"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			limit = min(n, 500)
+		}
+	}
+	now := s.clock.Now()
+	var out []postJSON
+	for day := 0; day < s.world.Cfg.Days && len(out) < limit; day++ {
+		dayStart := s.world.Cfg.Start.Add(time.Duration(day) * 24 * time.Hour)
+		if dayStart.After(now) {
+			break
+		}
+		for _, p := range s.world.PostsByDay[day] {
+			if p.CreatedAt.After(now) || p.ID <= since {
+				continue
+			}
+			out = append(out, postJSON{
+				ID:        p.ID,
+				Author:    p.AuthorID,
+				CreatedMS: p.CreatedAt.UnixMilli(),
+				Text:      p.Text,
+			})
+			if len(out) == limit {
+				break
+			}
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"posts": out})
+}
+
+// Post is a decoded feed post.
+type Post struct {
+	ID        uint64
+	Author    string
+	CreatedAt time.Time
+	Text      string
+}
+
+// Client polls the feed.
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+// NewClient returns a feed client.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/"), HTTP: &http.Client{}}
+}
+
+// Poll fetches all posts newer than sinceID, following the cursor until
+// the feed is drained. It returns the posts and the new cursor.
+func (c *Client) Poll(ctx context.Context, sinceID uint64) ([]Post, uint64, error) {
+	var out []Post
+	cursor := sinceID
+	for {
+		u := fmt.Sprintf("%s/api/feed?since_id=%d&limit=500", c.BaseURL, cursor)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+		if err != nil {
+			return out, cursor, err
+		}
+		resp, err := c.HTTP.Do(req)
+		if err != nil {
+			return out, cursor, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+			resp.Body.Close()
+			return out, cursor, fmt.Errorf("social: feed status %d: %s", resp.StatusCode, body)
+		}
+		var page struct {
+			Posts []postJSON `json:"posts"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&page)
+		resp.Body.Close()
+		if err != nil {
+			return out, cursor, err
+		}
+		if len(page.Posts) == 0 {
+			return out, cursor, nil
+		}
+		for _, p := range page.Posts {
+			out = append(out, Post{
+				ID:        p.ID,
+				Author:    p.Author,
+				CreatedAt: time.UnixMilli(p.CreatedMS).UTC(),
+				Text:      p.Text,
+			})
+			if p.ID > cursor {
+				cursor = p.ID
+			}
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package social
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"msgscope/internal/simclock"
+	"msgscope/internal/simworld"
+	"msgscope/internal/urlpat"
+)
+
+type fixture struct {
+	world *simworld.World
+	clock *simclock.Sim
+	cli   *Client
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	w := simworld.New(simworld.DefaultConfig(14, 0.01))
+	clock := simclock.New(w.Cfg.Start)
+	srv := httptest.NewServer(NewService(w, clock).Handler())
+	t.Cleanup(srv.Close)
+	return &fixture{world: w, clock: clock, cli: NewClient(srv.URL)}
+}
+
+func (f *fixture) postsUpTo(days int) int {
+	n := 0
+	cutoff := f.world.Cfg.Start.Add(time.Duration(days) * 24 * time.Hour)
+	for _, day := range f.world.PostsByDay {
+		for _, p := range day {
+			if p.CreatedAt.Before(cutoff) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestPollDrainsEverything(t *testing.T) {
+	f := newFixture(t)
+	f.clock.Advance(5 * 24 * time.Hour)
+	posts, cursor, err := f.cli.Poll(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := f.postsUpTo(5)
+	if want == 0 {
+		t.Fatal("fixture generated no social posts")
+	}
+	if len(posts) != want {
+		t.Fatalf("polled %d posts, world has %d", len(posts), want)
+	}
+	if cursor == 0 {
+		t.Fatal("cursor not advanced")
+	}
+	for _, p := range posts {
+		if len(urlpat.Extract(p.Text)) == 0 {
+			t.Fatalf("post %d carries no invite URL: %q", p.ID, p.Text)
+		}
+	}
+}
+
+func TestPollCursorIsIncremental(t *testing.T) {
+	f := newFixture(t)
+	f.clock.Advance(3 * 24 * time.Hour)
+	first, cursor, err := f.cli.Poll(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, cursor2, err := f.cli.Poll(context.Background(), cursor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != 0 {
+		t.Fatalf("re-poll returned %d posts, want 0", len(again))
+	}
+	if cursor2 != cursor {
+		t.Fatalf("cursor moved without new posts: %d -> %d", cursor, cursor2)
+	}
+	f.clock.Advance(2 * 24 * time.Hour)
+	more, _, err := f.cli.Poll(context.Background(), cursor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first)+len(more) != f.postsUpTo(5) {
+		t.Fatalf("incremental polls missed posts: %d + %d != %d",
+			len(first), len(more), f.postsUpTo(5))
+	}
+}
+
+func TestFeedIDsMonotone(t *testing.T) {
+	f := newFixture(t)
+	f.clock.Advance(6 * 24 * time.Hour)
+	posts, _, err := f.cli.Poll(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(posts); i++ {
+		if posts[i].ID <= posts[i-1].ID {
+			t.Fatalf("feed IDs not monotone at %d: %d <= %d", i, posts[i].ID, posts[i-1].ID)
+		}
+	}
+}
+
+func TestSocialOnlyGroupsExist(t *testing.T) {
+	f := newFixture(t)
+	socialOnly, withPosts := 0, 0
+	for _, groups := range f.world.Groups {
+		for _, g := range groups {
+			if g.SocialOnly {
+				socialOnly++
+			}
+		}
+	}
+	for _, day := range f.world.PostsByDay {
+		for _, p := range day {
+			if p.Group.SocialOnly {
+				withPosts++
+				break
+			}
+		}
+		if withPosts > 0 {
+			break
+		}
+	}
+	if socialOnly == 0 {
+		t.Fatal("no social-only groups generated")
+	}
+	if withPosts == 0 {
+		t.Fatal("social-only groups have no posts")
+	}
+}
+
+func TestBadSinceID(t *testing.T) {
+	f := newFixture(t)
+	srv := httptest.NewServer(NewService(f.world, f.clock).Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/api/feed?since_id=garbage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("bad since_id got status %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,135 @@
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteJSONL writes one JSON document per line.
+func WriteJSONL[T any](w io.Writer, items []T) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range items {
+		if err := enc.Encode(items[i]); err != nil {
+			return fmt.Errorf("store: encoding line %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL reads newline-delimited JSON documents.
+func ReadJSONL[T any](r io.Reader) ([]T, error) {
+	var out []T
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var v T
+		if err := json.Unmarshal(sc.Bytes(), &v); err != nil {
+			return out, fmt.Errorf("store: decoding line %d: %w", line, err)
+		}
+		out = append(out, v)
+	}
+	return out, sc.Err()
+}
+
+// Save persists the dataset as JSONL files under dir (created as needed):
+// tweets.jsonl, control.jsonl, groups.jsonl, messages.jsonl, users.jsonl.
+func (s *Store) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := saveFile(filepath.Join(dir, "tweets.jsonl"), s.Tweets()); err != nil {
+		return err
+	}
+	if err := saveFile(filepath.Join(dir, "control.jsonl"), s.Control()); err != nil {
+		return err
+	}
+	if err := saveFile(filepath.Join(dir, "groups.jsonl"), s.Groups()); err != nil {
+		return err
+	}
+	if err := saveFile(filepath.Join(dir, "messages.jsonl"), s.Messages()); err != nil {
+		return err
+	}
+	if err := saveFile(filepath.Join(dir, "posts.jsonl"), s.Posts()); err != nil {
+		return err
+	}
+	return saveFile(filepath.Join(dir, "users.jsonl"), s.Users())
+}
+
+func saveFile[T any](path string, items []T) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteJSONL(f, items); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a dataset previously written by Save.
+func Load(dir string) (*Store, error) {
+	s := New()
+	tweets, err := loadFile[TweetRecord](filepath.Join(dir, "tweets.jsonl"))
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range tweets {
+		s.AddTweet(t)
+	}
+	control, err := loadFile[ControlRecord](filepath.Join(dir, "control.jsonl"))
+	if err != nil {
+		return nil, err
+	}
+	s.control = control
+	groups, err := loadFile[*GroupRecord](filepath.Join(dir, "groups.jsonl"))
+	if err != nil {
+		return nil, err
+	}
+	// Group records carry derived fields (observations, join data), so
+	// they replace the skeletons AddTweet built.
+	for _, g := range groups {
+		s.groups[groupKey(g.Platform, g.Code)] = g
+	}
+	msgs, err := loadFile[MessageRecord](filepath.Join(dir, "messages.jsonl"))
+	if err != nil {
+		return nil, err
+	}
+	s.msgs = msgs
+	posts, err := loadFile[PostRecord](filepath.Join(dir, "posts.jsonl"))
+	if err != nil {
+		return nil, err
+	}
+	s.posts = posts
+	users, err := loadFile[UserRecord](filepath.Join(dir, "users.jsonl"))
+	if err != nil {
+		return nil, err
+	}
+	for _, u := range users {
+		cp := u
+		s.users[u.Platform.String()+"/"+keyString(u.Key)] = &cp
+	}
+	return s, nil
+}
+
+func loadFile[T any](path string) ([]T, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	return ReadJSONL[T](f)
+}

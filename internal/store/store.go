@@ -1,0 +1,457 @@
+// Package store holds the study's collected dataset: tweets, discovered
+// group URLs, daily observations, joined-group data, messages, and observed
+// users. Following the paper's ethics statement, phone numbers are never
+// stored as such — only one-way SHA-256 hashes.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+	"sync"
+	"time"
+
+	"msgscope/internal/platform"
+)
+
+// HashPhone returns the one-way hash under which a phone number is stored.
+func HashPhone(phone string) string {
+	h := sha256.Sum256([]byte(phone))
+	return hex.EncodeToString(h[:])
+}
+
+// PhoneKey derives a stable 64-bit user key from a phone number (FNV-1a) so
+// the same person observed via different surfaces (landing-page creator,
+// group member) deduplicates to one UserRecord.
+func PhoneKey(phone string) uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(phone); i++ {
+		h ^= uint64(phone[i])
+		h *= prime64
+	}
+	return h
+}
+
+// TweetSource records which collection path produced a tweet.
+type TweetSource int
+
+// Tweet sources; a tweet seen by both APIs carries both bits.
+const (
+	SourceSearch TweetSource = 1 << iota
+	SourceStream
+)
+
+// TweetRecord is one collected tweet that carried a group URL.
+type TweetRecord struct {
+	ID        uint64            `json:"id"`
+	UserID    string            `json:"user_id"`
+	CreatedAt time.Time         `json:"created_at"`
+	Lang      string            `json:"lang"`
+	Hashtags  int               `json:"hashtags"`
+	Mentions  int               `json:"mentions"`
+	Retweet   bool              `json:"retweet"`
+	Text      string            `json:"text"`
+	Platform  platform.Platform `json:"platform"`
+	GroupCode string            `json:"group_code"`
+	Source    TweetSource       `json:"source"`
+}
+
+// ControlRecord is one control-stream tweet (features only; the control
+// analysis never needs the text).
+type ControlRecord struct {
+	ID        uint64    `json:"id"`
+	UserID    string    `json:"user_id"`
+	CreatedAt time.Time `json:"created_at"`
+	Lang      string    `json:"lang"`
+	Hashtags  int       `json:"hashtags"`
+	Mentions  int       `json:"mentions"`
+	Retweet   bool      `json:"retweet"`
+}
+
+// GroupRecord is one discovered group URL with its discovery bookkeeping
+// and the daily observation series.
+type GroupRecord struct {
+	Platform  platform.Platform `json:"platform"`
+	Code      string            `json:"code"`
+	Canonical string            `json:"canonical"`
+	FirstSeen time.Time         `json:"first_seen"` // first share observed (any source)
+	LastSeen  time.Time         `json:"last_seen"`
+	Tweets    int               `json:"tweets"` // tweets sharing this URL
+	// Cross-source discovery bookkeeping: which collection surfaces saw
+	// this URL (the future-work second source writes SeenSocial).
+	SeenTwitter bool `json:"seen_twitter,omitempty"`
+	SeenSocial  bool `json:"seen_social,omitempty"`
+	SocialPosts int  `json:"social_posts,omitempty"`
+
+	Observations []Observation `json:"observations,omitempty"`
+
+	// Joined-group data (zero unless the join phase sampled this group).
+	Joined        bool      `json:"joined,omitempty"`
+	JoinedAt      time.Time `json:"joined_at,omitempty"`
+	CreatedAt     time.Time `json:"created_at,omitempty"` // from join or DC snowflake
+	HiddenMembers bool      `json:"hidden_members,omitempty"`
+	IsChannel     bool      `json:"is_channel,omitempty"`
+	Channels      int       `json:"channels,omitempty"`
+	MemberCount   int       `json:"member_count,omitempty"` // members at join
+	CreatorKey    string    `json:"creator_key,omitempty"`  // member-visible creator
+}
+
+// Observation is one daily metadata probe of a group URL.
+type Observation struct {
+	At             time.Time `json:"at"`
+	Alive          bool      `json:"alive"`
+	Title          string    `json:"title,omitempty"`
+	Members        int       `json:"members,omitempty"`
+	Online         int       `json:"online,omitempty"`
+	IsChannel      bool      `json:"is_channel,omitempty"`
+	CreatorPhoneH  string    `json:"creator_phone_hash,omitempty"`
+	CreatorCountry string    `json:"creator_country,omitempty"`
+	// CreatorKey identifies the group creator across groups without
+	// exposing raw PII: the phone hash on WhatsApp, the inviter ID on
+	// Discord. Empty when the platform hides the creator (Telegram
+	// previews).
+	CreatorKey string    `json:"creator_key,omitempty"`
+	CreatedAt  time.Time `json:"created_at,omitempty"` // Discord snowflake date
+}
+
+// MessageRecord is one collected in-group message. AuthorKey is a
+// platform-scoped stable identifier (user ID), never a raw phone number.
+// Text is present only when the study collects message bodies (the
+// toxicity extension needs it; the paper's figures do not).
+type MessageRecord struct {
+	Platform  platform.Platform    `json:"platform"`
+	GroupCode string               `json:"group_code"`
+	AuthorKey uint64               `json:"author_key"`
+	SentAt    time.Time            `json:"sent_at"`
+	Type      platform.MessageType `json:"type"`
+	Text      string               `json:"text,omitempty"`
+}
+
+// UserRecord is one observed messaging-platform user and the PII the
+// platform exposed about them.
+type UserRecord struct {
+	Platform  platform.Platform `json:"platform"`
+	Key       uint64            `json:"key"`
+	PhoneHash string            `json:"phone_hash,omitempty"`
+	Country   string            `json:"country,omitempty"`
+	Linked    []string          `json:"linked,omitempty"`
+	// Creator marks users observed only as group creators on landing
+	// pages (WhatsApp), as opposed to members of joined groups.
+	Creator bool `json:"creator,omitempty"`
+}
+
+// Store is the in-memory dataset. It is safe for concurrent use.
+type Store struct {
+	mu sync.Mutex
+
+	tweets  []TweetRecord
+	control []ControlRecord
+	posts   []PostRecord
+	groups  map[string]*GroupRecord // platform/code
+	msgs    []MessageRecord
+	users   map[string]*UserRecord // platform/key
+
+	seenTweets map[uint64]int // tweet id -> index in tweets
+	seenPosts  map[uint64]struct{}
+}
+
+// New returns an empty Store.
+func New() *Store {
+	return &Store{
+		groups:     map[string]*GroupRecord{},
+		users:      map[string]*UserRecord{},
+		seenTweets: map[uint64]int{},
+	}
+}
+
+func groupKey(p platform.Platform, code string) string { return p.String() + "/" + code }
+
+// AddTweet records a tweet carrying a group URL. If the tweet was already
+// seen (by the other API), sources are merged and the duplicate dropped.
+// It returns true if the group URL was never seen before (a discovery).
+func (s *Store) AddTweet(t TweetRecord) (newGroup bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i, dup := s.seenTweets[t.ID]; dup {
+		s.tweets[i].Source |= t.Source
+		return false
+	}
+	s.seenTweets[t.ID] = len(s.tweets)
+	s.tweets = append(s.tweets, t)
+
+	g, isNew := s.groupFor(t.Platform, t.GroupCode, t.CreatedAt)
+	g.SeenTwitter = true
+	g.Tweets++
+	return isNew
+}
+
+// groupFor returns the group record, creating it on first sight and
+// widening its first/last-seen window.
+func (s *Store) groupFor(p platform.Platform, code string, at time.Time) (*GroupRecord, bool) {
+	k := groupKey(p, code)
+	g, ok := s.groups[k]
+	isNew := false
+	if !ok {
+		g = &GroupRecord{Platform: p, Code: code, FirstSeen: at, LastSeen: at}
+		s.groups[k] = g
+		isNew = true
+	}
+	if at.Before(g.FirstSeen) {
+		g.FirstSeen = at
+	}
+	if at.After(g.LastSeen) {
+		g.LastSeen = at
+	}
+	return g, isNew
+}
+
+// PostRecord is one collected secondary-network post carrying a group URL.
+type PostRecord struct {
+	ID        uint64            `json:"id"`
+	Author    string            `json:"author"`
+	CreatedAt time.Time         `json:"created_at"`
+	Text      string            `json:"text"`
+	Platform  platform.Platform `json:"platform"`
+	GroupCode string            `json:"group_code"`
+}
+
+// AddPost records a secondary-network post; it returns true when the group
+// URL was never seen before on ANY source.
+func (s *Store) AddPost(p PostRecord) (newGroup bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.seenPosts == nil {
+		s.seenPosts = map[uint64]struct{}{}
+	}
+	if _, dup := s.seenPosts[p.ID]; dup {
+		return false
+	}
+	s.seenPosts[p.ID] = struct{}{}
+	s.posts = append(s.posts, p)
+	g, isNew := s.groupFor(p.Platform, p.GroupCode, p.CreatedAt)
+	g.SeenSocial = true
+	g.SocialPosts++
+	return isNew
+}
+
+// Posts returns all collected secondary-network posts.
+func (s *Store) Posts() []PostRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.posts
+}
+
+// AddControl records one control-stream tweet.
+func (s *Store) AddControl(c ControlRecord) {
+	s.mu.Lock()
+	s.control = append(s.control, c)
+	s.mu.Unlock()
+}
+
+// Group returns the record for a discovered group (nil if unknown).
+func (s *Store) Group(p platform.Platform, code string) *GroupRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.groups[groupKey(p, code)]
+}
+
+// SetCanonical records the canonical URL of a group.
+func (s *Store) SetCanonical(p platform.Platform, code, canonical string) {
+	s.mu.Lock()
+	if g := s.groups[groupKey(p, code)]; g != nil {
+		g.Canonical = canonical
+	}
+	s.mu.Unlock()
+}
+
+// AddObservation appends a daily probe to a group's series.
+func (s *Store) AddObservation(p platform.Platform, code string, o Observation) {
+	s.mu.Lock()
+	if g := s.groups[groupKey(p, code)]; g != nil {
+		g.Observations = append(g.Observations, o)
+	}
+	s.mu.Unlock()
+}
+
+// MarkJoined records join-phase metadata on a group.
+func (s *Store) MarkJoined(p platform.Platform, code string, update func(*GroupRecord)) {
+	s.mu.Lock()
+	if g := s.groups[groupKey(p, code)]; g != nil {
+		g.Joined = true
+		update(g)
+	}
+	s.mu.Unlock()
+}
+
+// AddMessage records one collected message.
+func (s *Store) AddMessage(m MessageRecord) {
+	s.mu.Lock()
+	s.msgs = append(s.msgs, m)
+	s.mu.Unlock()
+}
+
+// UpsertUser merges an observed user's PII into the dataset.
+func (s *Store) UpsertUser(u UserRecord) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := u.Platform.String() + "/" + keyString(u.Key)
+	cur, ok := s.users[k]
+	if !ok {
+		cp := u
+		s.users[k] = &cp
+		return
+	}
+	if u.PhoneHash != "" {
+		cur.PhoneHash = u.PhoneHash
+	}
+	if u.Country != "" {
+		cur.Country = u.Country
+	}
+	if len(u.Linked) > 0 {
+		cur.Linked = mergeStrings(cur.Linked, u.Linked)
+	}
+	// A user seen as a member is no longer creator-only.
+	if !u.Creator {
+		cur.Creator = false
+	}
+}
+
+func keyString(k uint64) string {
+	const digits = "0123456789abcdef"
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = digits[k&0xF]
+		k >>= 4
+	}
+	return string(b[:])
+}
+
+func mergeStrings(a, b []string) []string {
+	set := map[string]struct{}{}
+	for _, s := range a {
+		set[s] = struct{}{}
+	}
+	for _, s := range b {
+		set[s] = struct{}{}
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Tweets returns the collected platform tweets (shared slice; do not
+// mutate).
+func (s *Store) Tweets() []TweetRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tweets
+}
+
+// Control returns the control tweets.
+func (s *Store) Control() []ControlRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.control
+}
+
+// Groups returns all discovered groups, sorted by platform then code for
+// deterministic iteration.
+func (s *Store) Groups() []*GroupRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*GroupRecord, 0, len(s.groups))
+	for _, g := range s.groups {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Platform != out[j].Platform {
+			return out[i].Platform < out[j].Platform
+		}
+		return out[i].Code < out[j].Code
+	})
+	return out
+}
+
+// GroupsOf returns the discovered groups of one platform, sorted by code.
+func (s *Store) GroupsOf(p platform.Platform) []*GroupRecord {
+	var out []*GroupRecord
+	for _, g := range s.Groups() {
+		if g.Platform == p {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// Messages returns all collected messages.
+func (s *Store) Messages() []MessageRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.msgs
+}
+
+// Users returns all observed users, sorted by platform then key.
+func (s *Store) Users() []*UserRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*UserRecord, 0, len(s.users))
+	for _, u := range s.users {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Platform != out[j].Platform {
+			return out[i].Platform < out[j].Platform
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// Counts summarizes the dataset per platform (the raw material of Table 2).
+type Counts struct {
+	Tweets       int
+	TweetUsers   int
+	GroupURLs    int
+	JoinedGroups int
+	Messages     int
+	MessageUsers int
+}
+
+// CountsFor computes the Table 2 row of one platform.
+func (s *Store) CountsFor(p platform.Platform) Counts {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var c Counts
+	tweetUsers := map[string]struct{}{}
+	for i := range s.tweets {
+		if s.tweets[i].Platform != p {
+			continue
+		}
+		c.Tweets++
+		tweetUsers[s.tweets[i].UserID] = struct{}{}
+	}
+	c.TweetUsers = len(tweetUsers)
+	for _, g := range s.groups {
+		if g.Platform != p {
+			continue
+		}
+		c.GroupURLs++
+		if g.Joined {
+			c.JoinedGroups++
+		}
+	}
+	msgUsers := map[uint64]struct{}{}
+	for i := range s.msgs {
+		if s.msgs[i].Platform != p {
+			continue
+		}
+		c.Messages++
+		msgUsers[s.msgs[i].AuthorKey] = struct{}{}
+	}
+	c.MessageUsers = len(msgUsers)
+	return c
+}

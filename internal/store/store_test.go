@@ -1,0 +1,248 @@
+package store
+
+import (
+	"path/filepath"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"msgscope/internal/platform"
+)
+
+var t0 = time.Date(2020, 4, 8, 12, 0, 0, 0, time.UTC)
+
+func tweet(id uint64, p platform.Platform, code string, src TweetSource) TweetRecord {
+	return TweetRecord{
+		ID: id, UserID: "u1", CreatedAt: t0, Lang: "en",
+		Platform: p, GroupCode: code, Source: src,
+	}
+}
+
+func TestAddTweetDiscoversGroupsOnce(t *testing.T) {
+	s := New()
+	if !s.AddTweet(tweet(1, platform.WhatsApp, "g1", SourceSearch)) {
+		t.Fatal("first tweet should discover the group")
+	}
+	if s.AddTweet(tweet(2, platform.WhatsApp, "g1", SourceSearch)) {
+		t.Fatal("second tweet should not rediscover")
+	}
+	g := s.Group(platform.WhatsApp, "g1")
+	if g == nil || g.Tweets != 2 {
+		t.Fatalf("group record wrong: %+v", g)
+	}
+}
+
+func TestAddTweetMergesSources(t *testing.T) {
+	s := New()
+	s.AddTweet(tweet(1, platform.Discord, "g", SourceSearch))
+	s.AddTweet(tweet(1, platform.Discord, "g", SourceStream)) // duplicate ID
+	tweets := s.Tweets()
+	if len(tweets) != 1 {
+		t.Fatalf("%d tweets stored, want 1", len(tweets))
+	}
+	if tweets[0].Source != SourceSearch|SourceStream {
+		t.Fatalf("sources not merged: %v", tweets[0].Source)
+	}
+	if g := s.Group(platform.Discord, "g"); g.Tweets != 1 {
+		t.Fatalf("duplicate inflated tweet count: %d", g.Tweets)
+	}
+}
+
+func TestFirstLastSeen(t *testing.T) {
+	s := New()
+	later := tweet(2, platform.Telegram, "g", SourceSearch)
+	later.CreatedAt = t0.Add(time.Hour)
+	s.AddTweet(later)
+	earlier := tweet(1, platform.Telegram, "g", SourceSearch)
+	s.AddTweet(earlier)
+	g := s.Group(platform.Telegram, "g")
+	if !g.FirstSeen.Equal(t0) || !g.LastSeen.Equal(t0.Add(time.Hour)) {
+		t.Fatalf("first/last wrong: %+v", g)
+	}
+}
+
+func TestObservationsAndJoin(t *testing.T) {
+	s := New()
+	s.AddTweet(tweet(1, platform.WhatsApp, "g", SourceStream))
+	s.AddObservation(platform.WhatsApp, "g", Observation{At: t0, Alive: true, Members: 5})
+	s.MarkJoined(platform.WhatsApp, "g", func(g *GroupRecord) {
+		g.JoinedAt = t0.Add(time.Hour)
+		g.MemberCount = 5
+	})
+	g := s.Group(platform.WhatsApp, "g")
+	if len(g.Observations) != 1 || !g.Joined || g.MemberCount != 5 {
+		t.Fatalf("group record wrong: %+v", g)
+	}
+	// Unknown groups are a no-op, not a panic.
+	s.AddObservation(platform.WhatsApp, "nope", Observation{})
+	s.MarkJoined(platform.WhatsApp, "nope", func(*GroupRecord) {})
+}
+
+func TestUpsertUserMerging(t *testing.T) {
+	s := New()
+	s.UpsertUser(UserRecord{Platform: platform.WhatsApp, Key: 1, PhoneHash: "h", Country: "BR", Creator: true})
+	s.UpsertUser(UserRecord{Platform: platform.WhatsApp, Key: 1}) // seen as member later
+	users := s.Users()
+	if len(users) != 1 {
+		t.Fatalf("%d users, want 1", len(users))
+	}
+	u := users[0]
+	if u.PhoneHash != "h" || u.Country != "BR" {
+		t.Fatalf("merge lost fields: %+v", u)
+	}
+	if u.Creator {
+		t.Fatal("member sighting should clear creator-only flag")
+	}
+}
+
+func TestUpsertUserLinkedMerge(t *testing.T) {
+	s := New()
+	s.UpsertUser(UserRecord{Platform: platform.Discord, Key: 2, Linked: []string{"Twitch"}})
+	s.UpsertUser(UserRecord{Platform: platform.Discord, Key: 2, Linked: []string{"Steam", "Twitch"}})
+	u := s.Users()[0]
+	if len(u.Linked) != 2 {
+		t.Fatalf("linked merge wrong: %v", u.Linked)
+	}
+}
+
+func TestCountsFor(t *testing.T) {
+	s := New()
+	s.AddTweet(tweet(1, platform.Telegram, "a", SourceSearch))
+	s.AddTweet(tweet(2, platform.Telegram, "b", SourceSearch))
+	s.AddMessage(MessageRecord{Platform: platform.Telegram, GroupCode: "a", AuthorKey: 9, SentAt: t0})
+	s.AddMessage(MessageRecord{Platform: platform.Telegram, GroupCode: "a", AuthorKey: 9, SentAt: t0})
+	c := s.CountsFor(platform.Telegram)
+	if c.Tweets != 2 || c.GroupURLs != 2 || c.Messages != 2 || c.MessageUsers != 1 {
+		t.Fatalf("counts wrong: %+v", c)
+	}
+	if z := s.CountsFor(platform.Discord); z.Tweets != 0 {
+		t.Fatalf("cross-platform leak: %+v", z)
+	}
+}
+
+func TestGroupsSortedDeterministically(t *testing.T) {
+	s := New()
+	s.AddTweet(tweet(1, platform.Discord, "zz", SourceSearch))
+	s.AddTweet(tweet(2, platform.WhatsApp, "aa", SourceSearch))
+	s.AddTweet(tweet(3, platform.Discord, "aa", SourceSearch))
+	gs := s.Groups()
+	if len(gs) != 3 {
+		t.Fatalf("%d groups", len(gs))
+	}
+	if gs[0].Platform != platform.WhatsApp || gs[1].Code != "aa" || gs[2].Code != "zz" {
+		t.Fatalf("order wrong: %v %v %v", gs[0], gs[1], gs[2])
+	}
+}
+
+func TestHashPhoneOneWayAndStable(t *testing.T) {
+	a := HashPhone("+5511999999999")
+	b := HashPhone("+5511999999999")
+	c := HashPhone("+5511999999998")
+	if a != b {
+		t.Fatal("hash unstable")
+	}
+	if a == c {
+		t.Fatal("hash collision on different phones")
+	}
+	if len(a) != 64 {
+		t.Fatalf("hash length %d", len(a))
+	}
+}
+
+func TestPhoneKeyProperty(t *testing.T) {
+	f := func(a, b string) bool {
+		if a == b {
+			return PhoneKey(a) == PhoneKey(b)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ds")
+	s := New()
+	s.AddTweet(tweet(1, platform.WhatsApp, "g1", SourceSearch))
+	s.AddTweet(tweet(2, platform.Discord, "g2", SourceStream))
+	s.AddControl(ControlRecord{ID: 9, UserID: "c", CreatedAt: t0, Lang: "ja", Hashtags: 1})
+	s.AddObservation(platform.WhatsApp, "g1", Observation{At: t0, Alive: true, Members: 7})
+	s.MarkJoined(platform.WhatsApp, "g1", func(g *GroupRecord) { g.MemberCount = 7 })
+	s.AddMessage(MessageRecord{Platform: platform.WhatsApp, GroupCode: "g1", AuthorKey: 3, SentAt: t0, Type: platform.Sticker})
+	s.UpsertUser(UserRecord{Platform: platform.WhatsApp, Key: 3, PhoneHash: "h", Country: "BR"})
+
+	if err := s.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Tweets()) != 2 || len(loaded.Control()) != 1 ||
+		len(loaded.Messages()) != 1 || len(loaded.Users()) != 1 {
+		t.Fatalf("loaded counts wrong: %d %d %d %d", len(loaded.Tweets()),
+			len(loaded.Control()), len(loaded.Messages()), len(loaded.Users()))
+	}
+	g := loaded.Group(platform.WhatsApp, "g1")
+	if g == nil || !g.Joined || g.MemberCount != 7 || len(g.Observations) != 1 {
+		t.Fatalf("loaded group wrong: %+v", g)
+	}
+	if loaded.Messages()[0].Type != platform.Sticker {
+		t.Fatal("message type lost")
+	}
+	if loaded.Users()[0].PhoneHash != "h" {
+		t.Fatal("user phone hash lost")
+	}
+}
+
+func TestLoadMissingDirIsEmpty(t *testing.T) {
+	s, err := Load(filepath.Join(t.TempDir(), "missing"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Tweets()) != 0 {
+		t.Fatal("missing dir should load empty")
+	}
+}
+
+func TestAddPostDiscoveryAndDedup(t *testing.T) {
+	s := New()
+	p1 := PostRecord{ID: 1, Author: "a", CreatedAt: t0, Platform: platform.Discord, GroupCode: "g"}
+	if !s.AddPost(p1) {
+		t.Fatal("first post should discover the group")
+	}
+	if s.AddPost(p1) {
+		t.Fatal("duplicate post rediscovered")
+	}
+	if s.AddPost(PostRecord{ID: 2, Author: "b", CreatedAt: t0, Platform: platform.Discord, GroupCode: "g"}) {
+		t.Fatal("second post on same group should not rediscover")
+	}
+	g := s.Group(platform.Discord, "g")
+	if !g.SeenSocial || g.SeenTwitter || g.SocialPosts != 2 {
+		t.Fatalf("group bookkeeping wrong: %+v", g)
+	}
+	// A later tweet marks the group as seen on Twitter too, not as new.
+	if s.AddTweet(tweet(9, platform.Discord, "g", SourceSearch)) {
+		t.Fatal("tweet on social-discovered group counted as new")
+	}
+	if g := s.Group(platform.Discord, "g"); !g.SeenTwitter || !g.SeenSocial {
+		t.Fatalf("cross-source flags wrong: %+v", g)
+	}
+}
+
+func TestPostsPersistAcrossSaveLoad(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ds")
+	s := New()
+	s.AddPost(PostRecord{ID: 5, Author: "x", CreatedAt: t0, Platform: platform.Telegram, GroupCode: "tg", Text: "t"})
+	if err := s.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Posts()) != 1 || loaded.Posts()[0].Author != "x" {
+		t.Fatalf("posts lost on reload: %+v", loaded.Posts())
+	}
+}

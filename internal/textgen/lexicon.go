@@ -1,0 +1,117 @@
+package textgen
+
+// Per-language filler lexicons. Each language gets a small vocabulary used
+// to pad tweets and messages so that (a) the character-n-gram language
+// classifier has signal and (b) LDA sees realistic function-word noise.
+// Non-Latin-script languages use native-script tokens.
+var lexicons = map[string][]string{
+	"en": {
+		"the", "and", "for", "you", "with", "this", "that", "have", "from",
+		"they", "will", "what", "about", "which", "when", "make", "like",
+		"time", "just", "know", "people", "into", "good", "some", "could",
+		"them", "other", "than", "then", "look", "only", "come", "over",
+		"think", "also", "back", "after", "work", "first", "well", "even",
+	},
+	"es": {
+		"que", "para", "los", "una", "por", "con", "las", "del", "este",
+		"como", "pero", "sus", "más", "hasta", "hay", "donde", "quien",
+		"desde", "todo", "nos", "durante", "todos", "uno", "les", "contra",
+		"otros", "ese", "eso", "ante", "ellos", "grupo", "nuevo", "gratis",
+	},
+	"pt": {
+		"que", "não", "uma", "com", "para", "mais", "como", "mas", "foi",
+		"ele", "das", "tem", "seu", "sua", "ser", "quando", "muito", "nos",
+		"já", "eu", "também", "pelo", "pela", "até", "isso", "ela", "entre",
+		"depois", "sem", "mesmo", "aos", "grupo", "entre", "vem", "aqui",
+	},
+	"ar": {
+		"في", "من", "على", "إلى", "عن", "مع", "هذا", "هذه", "التي", "الذي",
+		"كان", "لقد", "قد", "كل", "بعد", "غير", "حتى", "إذا", "ليس", "منذ",
+		"عند", "لها", "كما", "فيه", "وهو", "وهي", "ذلك", "أن", "مجموعة", "انضم",
+	},
+	"tr": {
+		"bir", "bu", "da", "de", "için", "ile", "çok", "daha", "gibi",
+		"kadar", "ama", "veya", "sonra", "önce", "şimdi", "yeni", "grup",
+		"katıl", "ücretsiz", "herkes", "bugün", "yarın", "iyi", "güzel",
+		"var", "yok", "ben", "sen", "biz", "siz",
+	},
+	"ja": {
+		"です", "ます", "こと", "これ", "それ", "ある", "いる", "する", "なる",
+		"ない", "また", "ので", "から", "まで", "など", "よう", "ください",
+		"さん", "みんな", "参加", "募集", "今日", "明日", "楽しい", "新しい",
+		"サーバー", "ゲーム", "一緒", "歓迎", "気軽",
+	},
+	"hi": {
+		"है", "के", "में", "की", "को", "से", "का", "और", "पर", "यह",
+		"भी", "हो", "कर", "तो", "ही", "था", "कि", "लिए", "साथ", "समूह",
+		"आज", "नया", "सब", "लोग", "बहुत", "अच्छा", "करें", "जुड़ें",
+	},
+	"id": {
+		"yang", "dan", "di", "itu", "dengan", "untuk", "tidak", "ini",
+		"dari", "dalam", "akan", "pada", "juga", "saya", "kita", "ada",
+		"mereka", "sudah", "atau", "bisa", "grup", "gabung", "gratis",
+		"baru", "semua", "hari", "besok", "bagus",
+	},
+	"fr": {
+		"les", "des", "est", "pour", "dans", "que", "une", "sur", "avec",
+		"pas", "plus", "par", "mais", "nous", "vous", "sont", "tout",
+		"comme", "être", "fait", "groupe", "rejoindre", "gratuit", "nouveau",
+	},
+	"de": {
+		"der", "die", "und", "das", "ist", "nicht", "mit", "auf", "für",
+		"ein", "eine", "den", "von", "sich", "auch", "aber", "nach", "bei",
+		"gruppe", "beitreten", "kostenlos", "neu", "heute", "alle",
+	},
+	"ru": {
+		"это", "как", "его", "она", "они", "мы", "что", "все", "так",
+		"уже", "или", "если", "для", "при", "есть", "был", "группа",
+		"новый", "сегодня", "бесплатно", "присоединяйся", "канал", "чат",
+	},
+	"ko": {
+		"입니다", "있는", "하는", "있다", "그리고", "하지만", "우리", "오늘",
+		"내일", "새로운", "모두", "함께", "참여", "무료", "서버", "게임",
+		"환영", "채널", "그룹", "좋아요",
+	},
+	"und": {
+		"ok", "hmm", "yes", "no", "lol", "hey", "hi", "wow", "omg", "plz",
+	},
+}
+
+// LexiconWords returns the filler lexicon of a language (copy; empty for
+// unknown languages). The language classifier trains its trigram profiles
+// from these.
+func LexiconWords(lang string) []string {
+	return append([]string(nil), lexicons[lang]...)
+}
+
+// Languages returns the set of languages the generator can emit.
+func Languages() []string {
+	return []string{"en", "es", "pt", "ar", "tr", "ja", "hi", "id", "fr", "de", "ru", "ko", "und"}
+}
+
+// englishStop is a compact English stopword list used by the analysis
+// pipeline (exported via Stopwords) — it mirrors the preprocessing the paper
+// applies before LDA.
+var englishStop = []string{
+	"a", "an", "the", "and", "or", "but", "if", "then", "else", "when",
+	"at", "by", "for", "with", "about", "against", "between", "into",
+	"through", "during", "before", "after", "above", "below", "to", "from",
+	"up", "down", "in", "out", "on", "off", "over", "under", "again",
+	"further", "once", "here", "there", "all", "any", "both", "each",
+	"few", "more", "most", "other", "some", "such", "no", "nor", "not",
+	"only", "own", "same", "so", "than", "too", "very", "s", "t", "can",
+	"will", "just", "don", "should", "now", "i", "me", "my", "myself",
+	"we", "our", "ours", "ourselves", "you", "your", "yours", "yourself",
+	"yourselves", "he", "him", "his", "himself", "she", "her", "hers",
+	"herself", "it", "its", "itself", "they", "them", "their", "theirs",
+	"themselves", "what", "which", "who", "whom", "this", "that", "these",
+	"those", "am", "is", "are", "was", "were", "be", "been", "being",
+	"have", "has", "had", "having", "do", "does", "did", "doing", "would",
+	"could", "ought", "of", "as", "until", "while", "rt", "https", "http",
+	"via", "amp",
+}
+
+// Stopwords returns the English stopword list (copy).
+func Stopwords() []string {
+	return append([]string(nil), englishStop...)
+}

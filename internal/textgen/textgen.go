@@ -1,0 +1,146 @@
+// Package textgen generates the synthetic multilingual text of the
+// simulated ecosystem: tweet bodies around invite URLs (with hashtags,
+// mentions, and retweet markers), control-stream chatter, group titles, and
+// in-group chat messages. Topic vocabularies are calibrated to the paper's
+// Table 3 so the downstream LDA stage can rediscover them.
+package textgen
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strings"
+
+	"msgscope/internal/dist"
+)
+
+// Generator produces text deterministically from its own RNG.
+type Generator struct {
+	rng *rand.Rand
+}
+
+// New returns a Generator drawing from rng.
+func New(rng *rand.Rand) *Generator { return &Generator{rng: rng} }
+
+// TweetSpec describes the tweet to compose.
+type TweetSpec struct {
+	Lang       string // BCP-47-ish code from Languages()
+	Topic      Topic  // generative topic; Terms must be non-empty
+	URL        string // invite URL to embed ("" for control tweets)
+	NumHashtag int
+	NumMention int
+	Retweet    bool
+}
+
+// Tweet composes a tweet body per the spec. English tweets lean on topic
+// terms (so LDA has signal); other languages mix topic terms with
+// native-lexicon filler.
+func (g *Generator) Tweet(spec TweetSpec) string {
+	var sb strings.Builder
+	if spec.Retweet {
+		sb.WriteString("RT @")
+		sb.WriteString(g.handle())
+		sb.WriteString(": ")
+	}
+	for i := 0; i < spec.NumMention; i++ {
+		sb.WriteString("@")
+		sb.WriteString(g.handle())
+		sb.WriteString(" ")
+	}
+	nTopic := 5 + g.rng.IntN(5)
+	nFiller := 2 + g.rng.IntN(4)
+	if spec.Lang != "en" {
+		nTopic = 2 + g.rng.IntN(3)
+		nFiller = 5 + g.rng.IntN(5)
+	}
+	words := make([]string, 0, nTopic+nFiller)
+	for i := 0; i < nTopic; i++ {
+		words = append(words, spec.Topic.Terms[g.rng.IntN(len(spec.Topic.Terms))])
+	}
+	lex := lexicons[spec.Lang]
+	if len(lex) == 0 {
+		lex = lexicons["und"]
+	}
+	for i := 0; i < nFiller; i++ {
+		words = append(words, lex[g.rng.IntN(len(lex))])
+	}
+	g.shuffle(words)
+	sb.WriteString(strings.Join(words, " "))
+	if spec.URL != "" {
+		sb.WriteString(" ")
+		sb.WriteString(spec.URL)
+	}
+	for i := 0; i < spec.NumHashtag; i++ {
+		sb.WriteString(" #")
+		sb.WriteString(spec.Topic.Terms[g.rng.IntN(len(spec.Topic.Terms))])
+	}
+	return sb.String()
+}
+
+// GroupTitle composes a short group title for the given topic and language.
+func (g *Generator) GroupTitle(lang string, topic Topic) string {
+	t1 := topic.Terms[g.rng.IntN(len(topic.Terms))]
+	t2 := topic.Terms[g.rng.IntN(len(topic.Terms))]
+	lex := lexicons[lang]
+	if len(lex) == 0 {
+		lex = lexicons["en"]
+	}
+	fill := lex[g.rng.IntN(len(lex))]
+	switch g.rng.IntN(3) {
+	case 0:
+		return title(t1) + " " + title(t2)
+	case 1:
+		return title(t1) + " " + fill
+	default:
+		return title(t1) + " " + title(t2) + " " + fmt.Sprintf("%d", 1+g.rng.IntN(999))
+	}
+}
+
+// Message composes one in-group chat message body.
+func (g *Generator) Message(lang string, topic Topic) string {
+	n := 3 + g.rng.IntN(12)
+	words := make([]string, 0, n)
+	lex := lexicons[lang]
+	if len(lex) == 0 {
+		lex = lexicons["en"]
+	}
+	for i := 0; i < n; i++ {
+		if g.rng.Float64() < 0.4 && len(topic.Terms) > 0 {
+			words = append(words, topic.Terms[g.rng.IntN(len(topic.Terms))])
+		} else {
+			words = append(words, lex[g.rng.IntN(len(lex))])
+		}
+	}
+	return strings.Join(words, " ")
+}
+
+// PickTopic samples a topic from the mixture proportionally to Weight.
+func (g *Generator) PickTopic(topics []Topic) Topic {
+	ws := make([]float64, len(topics))
+	for i, t := range topics {
+		ws[i] = t.Weight
+	}
+	return topics[dist.NewCategorical(ws).Sample(g.rng)]
+}
+
+var handleSyllables = []string{
+	"ali", "ben", "cat", "dev", "eli", "fox", "gia", "hak", "ivy", "jay",
+	"kim", "leo", "mia", "nat", "oli", "pat", "ray", "sam", "tom", "uma",
+	"vic", "wen", "xan", "yas", "zoe",
+}
+
+func (g *Generator) handle() string {
+	a := handleSyllables[g.rng.IntN(len(handleSyllables))]
+	b := handleSyllables[g.rng.IntN(len(handleSyllables))]
+	return fmt.Sprintf("%s%s%d", a, b, g.rng.IntN(1000))
+}
+
+func (g *Generator) shuffle(words []string) {
+	g.rng.Shuffle(len(words), func(i, j int) { words[i], words[j] = words[j], words[i] })
+}
+
+func title(w string) string {
+	if w == "" {
+		return w
+	}
+	return strings.ToUpper(w[:1]) + w[1:]
+}

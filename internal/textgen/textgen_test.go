@@ -1,0 +1,174 @@
+package textgen
+
+import (
+	"strings"
+	"testing"
+
+	"msgscope/internal/ids"
+	"msgscope/internal/platform"
+)
+
+func gen() *Generator { return New(ids.Fork(5, "test")) }
+
+func TestTweetEmbedsURLAndFeatures(t *testing.T) {
+	g := gen()
+	topics := TopicsFor(platform.Telegram)
+	spec := TweetSpec{
+		Lang:       "en",
+		Topic:      topics[0],
+		URL:        "https://t.me/abc",
+		NumHashtag: 2,
+		NumMention: 3,
+		Retweet:    true,
+	}
+	text := g.Tweet(spec)
+	if !strings.Contains(text, spec.URL) {
+		t.Fatalf("tweet %q missing URL", text)
+	}
+	if !strings.HasPrefix(text, "RT @") {
+		t.Fatalf("retweet %q missing RT prefix", text)
+	}
+	if got := strings.Count(text, "#"); got != 2 {
+		t.Fatalf("tweet %q has %d hashtags, want 2", text, got)
+	}
+	// 3 mentions + 1 RT handle.
+	if got := strings.Count(text, "@"); got != 4 {
+		t.Fatalf("tweet %q has %d @, want 4", text, got)
+	}
+}
+
+func TestTweetPlain(t *testing.T) {
+	g := gen()
+	text := g.Tweet(TweetSpec{Lang: "en", Topic: ControlTopics()[0]})
+	if strings.Contains(text, "#") || strings.Contains(text, "@") || strings.Contains(text, "http") {
+		t.Fatalf("plain tweet has features: %q", text)
+	}
+	if len(strings.Fields(text)) < 5 {
+		t.Fatalf("tweet too short: %q", text)
+	}
+}
+
+func TestTweetUsesTopicTerms(t *testing.T) {
+	g := gen()
+	topic := Topic{Key: "x", Label: "X", Weight: 1, Terms: []string{"zyxwv"}}
+	text := g.Tweet(TweetSpec{Lang: "en", Topic: topic})
+	if !strings.Contains(text, "zyxwv") {
+		t.Fatalf("tweet %q missing topic term", text)
+	}
+}
+
+func TestNonEnglishUsesLexicon(t *testing.T) {
+	g := gen()
+	topic := TopicsFor(platform.Discord)[0]
+	hits := 0
+	for i := 0; i < 20; i++ {
+		text := g.Tweet(TweetSpec{Lang: "ja", Topic: topic})
+		for _, w := range lexicons["ja"] {
+			if strings.Contains(text, w) {
+				hits++
+				break
+			}
+		}
+	}
+	if hits < 15 {
+		t.Fatalf("only %d/20 Japanese tweets contained Japanese filler", hits)
+	}
+}
+
+func TestGroupTitleNonEmpty(t *testing.T) {
+	g := gen()
+	for _, lang := range Languages() {
+		for _, topic := range TopicsFor(platform.WhatsApp) {
+			title := g.GroupTitle(lang, topic)
+			if strings.TrimSpace(title) == "" {
+				t.Fatalf("empty title for %s/%s", lang, topic.Key)
+			}
+		}
+	}
+}
+
+func TestMessageNonEmpty(t *testing.T) {
+	g := gen()
+	msg := g.Message("en", TopicsFor(platform.Telegram)[0])
+	if len(strings.Fields(msg)) < 3 {
+		t.Fatalf("message too short: %q", msg)
+	}
+}
+
+func TestPickTopicRespectsWeights(t *testing.T) {
+	g := gen()
+	topics := []Topic{
+		{Key: "a", Weight: 0.001, Terms: []string{"a"}},
+		{Key: "b", Weight: 100, Terms: []string{"b"}},
+	}
+	bCount := 0
+	for i := 0; i < 200; i++ {
+		if g.PickTopic(topics).Key == "b" {
+			bCount++
+		}
+	}
+	if bCount < 195 {
+		t.Fatalf("heavy topic picked only %d/200", bCount)
+	}
+}
+
+func TestTopicMixturesCoverPaperLabels(t *testing.T) {
+	wants := map[platform.Platform][]string{
+		platform.WhatsApp: {"Cryptocurrencies", "WhatsApp group advertisement", "Earn money from home"},
+		platform.Telegram: {"Sex", "Cryptocurrencies", "Advertising Telegram groups"},
+		platform.Discord:  {"Gaming", "Hentai", "Advertising Discord groups"},
+	}
+	for p, labels := range wants {
+		topics := TopicsFor(p)
+		for _, want := range labels {
+			found := false
+			for _, tp := range topics {
+				if tp.Label == want {
+					found = true
+					if len(tp.Terms) < 5 {
+						t.Errorf("%v topic %q has only %d terms", p, want, len(tp.Terms))
+					}
+				}
+			}
+			if !found {
+				t.Errorf("%v missing paper topic %q", p, want)
+			}
+		}
+	}
+}
+
+func TestStopwordsContainBasics(t *testing.T) {
+	stop := Stopwords()
+	set := map[string]bool{}
+	for _, w := range stop {
+		set[w] = true
+	}
+	for _, w := range []string{"the", "and", "rt", "https"} {
+		if !set[w] {
+			t.Errorf("stopword list missing %q", w)
+		}
+	}
+}
+
+func TestLexiconWordsCopy(t *testing.T) {
+	a := LexiconWords("en")
+	if len(a) == 0 {
+		t.Fatal("no English lexicon")
+	}
+	a[0] = "MUTATED"
+	b := LexiconWords("en")
+	if b[0] == "MUTATED" {
+		t.Fatal("LexiconWords returned shared slice")
+	}
+	if got := LexiconWords("nope"); got != nil {
+		t.Fatalf("unknown language returned %v", got)
+	}
+}
+
+func TestLanguagesHaveLexicons(t *testing.T) {
+	for _, lang := range Languages() {
+		if len(lexicons[lang]) == 0 {
+			t.Errorf("language %s has no lexicon", lang)
+		}
+	}
+}

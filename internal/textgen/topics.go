@@ -1,0 +1,165 @@
+package textgen
+
+import "msgscope/internal/platform"
+
+// Topic is one generative tweet theme. Terms is the keyword pool the
+// generator draws from; Label matches the paper's manual labels in Table 3;
+// Weight is the fraction of a platform's tweets drawn from this topic
+// (calibrated to Table 3's per-topic percentages).
+type Topic struct {
+	Key    string
+	Label  string
+	Weight float64
+	Terms  []string
+}
+
+// Table 3 calibration: per-platform topic mixtures. Term pools reuse the
+// paper's extracted topic terms so the LDA stage can rediscover them.
+var (
+	whatsappTopics = []Topic{
+		{Key: "forex", Label: "Forex training", Weight: 6, Terms: []string{
+			"learn", "free", "forex", "training", "join", "trading", "text",
+			"mini", "class", "animation", "signals", "market", "broker",
+		}},
+		{Key: "earnmoney", Label: "Earn money from home", Weight: 21, Terms: []string{
+			"home", "earn", "money", "using", "start", "stay", "google",
+			"make", "daily", "cash", "market", "income", "online", "extra",
+			"paid", "work",
+		}},
+		{Key: "igboost", Label: "Instagram followers boosting", Weight: 9, Terms: []string{
+			"join", "followers", "instagram", "gain", "want", "money",
+			"online", "group", "learn", "make", "boost", "grow", "likes",
+		}},
+		{Key: "crypto", Label: "Cryptocurrencies", Weight: 18, Terms: []string{
+			"bitcoin", "ethereum", "crypto", "currency", "ads", "year",
+			"line", "people", "new", "learn", "cryptocurrency", "days",
+			"period", "accumulate", "business", "smart", "skills", "eth",
+			"million", "webinar", "wallet", "profit",
+		}},
+		{Key: "groupads", Label: "WhatsApp group advertisement", Weight: 30, Terms: []string{
+			"join", "group", "whatsapp", "link", "follow", "click",
+			"please", "chat", "open", "twitter", "invite", "added", "new",
+		}},
+		{Key: "makingmoney", Label: "Making money", Weight: 9, Terms: []string{
+			"get", "never", "time", "actually", "income", "chat", "best",
+			"taking", "account", "full", "rich", "hustle",
+		}},
+		{Key: "nigeria", Label: "Nigeria-related", Weight: 6, Terms: []string{
+			"will", "new", "retweet", "capital", "people", "now",
+			"interested", "writing", "nigerian", "online", "lagos", "naira",
+		}},
+		{Key: "general", Label: "General chat", Weight: 1, Terms: []string{
+			"hello", "friends", "welcome", "everyone", "nice", "day",
+		}},
+	}
+
+	telegramTopics = []Topic{
+		{Key: "crypto", Label: "Cryptocurrencies", Weight: 18, Terms: []string{
+			"bitcoin", "join", "sats", "get", "winners", "hours", "chat",
+			"nice", "come", "usdt", "giveaways", "enter", "btc", "trc",
+			"trx", "crypto", "coin", "pump", "moon",
+		}},
+		{Key: "socialact", Label: "Social network activity", Weight: 11, Terms: []string{
+			"follow", "like", "retweet", "giveaway", "tag", "join", "win",
+			"twitter", "friends", "friend", "share", "comment",
+		}},
+		{Key: "ama", Label: "Ask me anything / quiz", Weight: 8, Terms: []string{
+			"ama", "may", "will", "utc", "quiz", "someone", "wallet",
+			"today", "answer", "question", "session", "live",
+		}},
+		{Key: "tgads", Label: "Advertising Telegram groups", Weight: 25, Terms: []string{
+			"free", "join", "just", "telegram", "money", "day", "channel",
+			"group", "now", "below", "link", "get", "available", "opened",
+		}},
+		{Key: "sex", Label: "Sex", Weight: 23, Terms: []string{
+			"new", "worth", "user", "brand", "xpro", "performer",
+			"smartphones", "girls", "boobs", "price", "fuck", "want",
+			"girl", "click", "show", "pussy", "cum", "hot", "video",
+			"nude", "onlyfans",
+		}},
+		{Key: "giveaways", Label: "Giveaways", Weight: 7, Terms: []string{
+			"giving", "away", "will", "tmn", "link", "honor", "full",
+			"video", "get", "prize", "lucky", "winner",
+		}},
+		{Key: "referral", Label: "Referral marketing", Weight: 8, Terms: []string{
+			"airdrop", "open", "tokens", "wink", "referral", "token",
+			"earn", "new", "good", "bonus", "invite", "reward",
+		}},
+	}
+
+	discordTopics = []Topic{
+		{Key: "gaming", Label: "Gaming", Weight: 12, Terms: []string{
+			"patreon", "free", "get", "today", "mystery", "public",
+			"gaming", "gamedev", "indiegames", "alongside", "like",
+			"alpha", "deal", "daily", "art", "lots", "battle", "raffle",
+			"nintendo", "play", "game", "stream",
+		}},
+		{Key: "events", Label: "Organizing online events", Weight: 7, Terms: []string{
+			"will", "may", "hosting", "week", "one", "time", "tonight",
+			"night", "last", "event", "call", "movie", "party",
+		}},
+		{Key: "dcads", Label: "Advertising Discord groups", Weight: 47, Terms: []string{
+			"discord", "join", "server", "link", "can", "visit", "want",
+			"just", "new", "hey", "giveaway", "follow", "retweet",
+			"friends", "tag", "enter", "fast", "winners", "make", "sure",
+			"ends", "chat", "token", "music", "community",
+		}},
+		{Key: "pokemon", Label: "Pokemon", Weight: 7, Terms: []string{
+			"united", "states", "venonat", "bite", "quick", "bug", "full",
+			"fortnite", "pikachu", "confusion", "raid", "shiny", "catch",
+		}},
+		{Key: "tournaments", Label: "Tournaments", Weight: 9, Terms: []string{
+			"good", "live", "launching", "now", "tournament", "open",
+			"next", "will", "free", "prize", "bracket", "team", "scrim",
+		}},
+		{Key: "giveaways", Label: "Giveaways", Weight: 8, Terms: []string{
+			"giving", "est", "away", "awp", "will", "saturday", "friday",
+			"coins", "many", "competition", "nitro", "winner",
+		}},
+		{Key: "hentai", Label: "Hentai", Weight: 9, Terms: []string{
+			"join", "discord", "server", "come", "hentai", "now", "new",
+			"paradise", "tenshi", "official", "anime", "nsfw", "waifu",
+		}},
+		{Key: "general", Label: "General chat", Weight: 1, Terms: []string{
+			"hello", "welcome", "everyone", "cool", "nice",
+		}},
+	}
+
+	// Control-stream topics: generic Twitter chatter, no invite URLs.
+	controlTopics = []Topic{
+		{Key: "news", Label: "News", Weight: 30, Terms: []string{
+			"breaking", "news", "report", "today", "world", "says",
+			"government", "update", "covid", "cases", "health",
+		}},
+		{Key: "life", Label: "Daily life", Weight: 40, Terms: []string{
+			"morning", "coffee", "love", "weekend", "feeling", "happy",
+			"tired", "school", "family", "home", "food",
+		}},
+		{Key: "sports", Label: "Sports", Weight: 15, Terms: []string{
+			"game", "team", "goal", "match", "season", "player", "win",
+			"league", "final",
+		}},
+		{Key: "music", Label: "Music", Weight: 15, Terms: []string{
+			"song", "album", "listen", "music", "artist", "tour", "video",
+			"single", "release",
+		}},
+	}
+)
+
+// TopicsFor returns the generative topic mixture for a platform (copies of
+// the calibration tables).
+func TopicsFor(p platform.Platform) []Topic {
+	switch p {
+	case platform.WhatsApp:
+		return whatsappTopics
+	case platform.Telegram:
+		return telegramTopics
+	case platform.Discord:
+		return discordTopics
+	default:
+		return nil
+	}
+}
+
+// ControlTopics returns the topic mixture for the 1% control stream.
+func ControlTopics() []Topic { return controlTopics }

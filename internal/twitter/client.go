@@ -1,0 +1,247 @@
+package twitter
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrRateLimited is returned by Search when the API budget is exhausted;
+// the caller keeps the statuses gathered so far and retries on its next
+// scheduled poll (the search window provides seven days of slack).
+var ErrRateLimited = errors.New("twitter: rate limited")
+
+// Client talks to the simulated Twitter API over HTTP.
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+// NewClient returns a Client for the service at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/"), HTTP: &http.Client{}}
+}
+
+// Search runs one query against the Search API, following next_results
+// pagination up to maxPages. It returns the statuses newest-first. A
+// rate-limit mid-pagination returns the pages already fetched together with
+// ErrRateLimited.
+func (c *Client) Search(ctx context.Context, query string, sinceID uint64, maxPages int) ([]Status, error) {
+	var out []Status
+	params := url.Values{}
+	params.Set("q", query)
+	params.Set("count", "100")
+	if sinceID > 0 {
+		params.Set("since_id", strconv.FormatUint(sinceID, 10))
+	}
+	next := "/1.1/search/tweets.json?" + params.Encode()
+	for page := 0; page < maxPages && next != ""; page++ {
+		resp, err := c.searchRequest(ctx, next)
+		if err != nil {
+			return out, err
+		}
+		var sr searchResponse
+		err = json.NewDecoder(resp.Body).Decode(&sr)
+		resp.Body.Close()
+		if err != nil {
+			return out, fmt.Errorf("twitter: decoding search response: %w", err)
+		}
+		for _, j := range sr.Statuses {
+			st, err := decodeStatus(j)
+			if err != nil {
+				return out, fmt.Errorf("twitter: bad status %s: %w", j.IDStr, err)
+			}
+			out = append(out, st)
+		}
+		if sr.SearchMetadata.NextResults == "" {
+			break
+		}
+		np, err := url.ParseQuery(strings.TrimPrefix(sr.SearchMetadata.NextResults, "?"))
+		if err != nil {
+			return out, fmt.Errorf("twitter: bad next_results: %w", err)
+		}
+		np.Set("count", "100")
+		if sinceID > 0 {
+			// next_results preserves only q and max_id; keep the since_id
+			// floor or later pages walk the whole 7-day window again.
+			np.Set("since_id", strconv.FormatUint(sinceID, 10))
+		}
+		next = "/1.1/search/tweets.json?" + np.Encode()
+	}
+	return out, nil
+}
+
+// searchRequest performs one page fetch, retrying transient 5xx responses
+// (Twitter's "over capacity") up to three times before giving up.
+func (c *Client) searchRequest(ctx context.Context, path string) (*http.Response, error) {
+	const maxAttempts = 4
+	for attempt := 1; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := c.HTTP.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			return resp, nil
+		case resp.StatusCode == http.StatusTooManyRequests:
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			return nil, ErrRateLimited
+		case resp.StatusCode >= 500 && attempt < maxAttempts:
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			continue
+		default:
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			resp.Body.Close()
+			return nil, fmt.Errorf("twitter: search status %d: %s", resp.StatusCode, body)
+		}
+	}
+}
+
+// Stream is a live connection to a streaming endpoint. Statuses are
+// buffered internally; the consumer drains them with Drain.
+type Stream struct {
+	cancel context.CancelFunc
+
+	mu     sync.Mutex
+	buf    []Status
+	err    error
+	closed bool
+
+	received atomic.Int64
+	subID    atomic.Int64
+	started  chan struct{}
+	done     chan struct{}
+}
+
+// OpenFilterStream connects to /1.1/statuses/filter.json with the given
+// track terms and starts consuming in the background.
+func (c *Client) OpenFilterStream(ctx context.Context, track []string) (*Stream, error) {
+	params := url.Values{}
+	params.Set("track", strings.Join(track, ","))
+	return c.openStream(ctx, "/1.1/statuses/filter.json?"+params.Encode())
+}
+
+// OpenSampleStream connects to the 1% sample stream.
+func (c *Client) OpenSampleStream(ctx context.Context) (*Stream, error) {
+	return c.openStream(ctx, "/1.1/statuses/sample.json")
+}
+
+func (c *Client) openStream(ctx context.Context, path string) (*Stream, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	st := &Stream{
+		cancel:  cancel,
+		started: make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		resp.Body.Close()
+		cancel()
+		return nil, fmt.Errorf("twitter: stream status %d: %s", resp.StatusCode, body)
+	}
+	if id, err := strconv.Atoi(resp.Header.Get("X-Sim-Subscription")); err == nil {
+		st.subID.Store(int64(id))
+	}
+	close(st.started)
+	go st.consume(resp.Body)
+	return st, nil
+}
+
+func (st *Stream) consume(body io.ReadCloser) {
+	defer close(st.done)
+	defer body.Close()
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue // keep-alive
+		}
+		var j tweetJSON
+		if err := json.Unmarshal([]byte(line), &j); err != nil {
+			st.setErr(fmt.Errorf("twitter: bad stream line: %w", err))
+			return
+		}
+		s, err := decodeStatus(j)
+		if err != nil {
+			st.setErr(err)
+			return
+		}
+		st.mu.Lock()
+		st.buf = append(st.buf, s)
+		st.mu.Unlock()
+		st.received.Add(1)
+	}
+	if err := sc.Err(); err != nil && !errors.Is(err, context.Canceled) {
+		st.setErr(err)
+	}
+}
+
+func (st *Stream) setErr(err error) {
+	st.mu.Lock()
+	if st.err == nil {
+		st.err = err
+	}
+	st.mu.Unlock()
+}
+
+// Drain returns and clears the buffered statuses.
+func (st *Stream) Drain() []Status {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := st.buf
+	st.buf = nil
+	return out
+}
+
+// Received reports how many statuses this stream has consumed in total.
+func (st *Stream) Received() int { return int(st.received.Load()) }
+
+// SubID is the server-side subscription ID (for driver quiescing).
+func (st *Stream) SubID() int { return int(st.subID.Load()) }
+
+// Err returns the first consumption error, if any.
+func (st *Stream) Err() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.err
+}
+
+// Close tears the connection down and waits for the consumer to finish.
+func (st *Stream) Close() {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		<-st.done
+		return
+	}
+	st.closed = true
+	st.mu.Unlock()
+	st.cancel()
+	<-st.done
+}

@@ -1,0 +1,389 @@
+// Package twitter simulates the two Twitter APIs the study collects from —
+// the Search API (seven-day window, paginated, rate limited) and the
+// Streaming API (filtered real-time delivery plus the 1% sample stream) —
+// and provides the client stack that consumes them. The service serves a
+// simworld over real HTTP; the collection pipeline only ever sees the wire
+// format, exactly as the authors' tooling did.
+//
+// Fidelity knobs reproduce the discrepancies the paper reports between the
+// two APIs (Section 3.1): the search index misses a fraction of tweets, and
+// streaming connections drop a fraction of matching tweets, so merging both
+// sources recovers more than either alone.
+package twitter
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"msgscope/internal/simclock"
+	"msgscope/internal/simworld"
+)
+
+// ServiceConfig tunes the simulated API's imperfections.
+type ServiceConfig struct {
+	// SearchMissP is the fraction of tweets the search index never
+	// returns (deterministic per tweet).
+	SearchMissP float64
+	// StreamDropP is the fraction of matching tweets a streaming
+	// connection fails to deliver (deterministic per tweet/connection).
+	StreamDropP float64
+	// SearchPageSize is the maximum statuses per search response.
+	SearchPageSize int
+	// SearchRateLimit is the token budget per SearchRateWindow.
+	SearchRateLimit  int
+	SearchRateWindow time.Duration
+	// TransientErrorP injects HTTP 503s on search requests (deterministic
+	// in the request sequence), exercising client retry logic.
+	TransientErrorP float64
+}
+
+// DefaultServiceConfig mirrors Twitter's v1.1 limits with mild
+// inter-API discrepancy.
+func DefaultServiceConfig() ServiceConfig {
+	return ServiceConfig{
+		SearchMissP:      0.04,
+		StreamDropP:      0.03,
+		SearchPageSize:   100,
+		SearchRateLimit:  450,
+		SearchRateWindow: 15 * time.Minute,
+	}
+}
+
+// Service is the simulated Twitter backend.
+type Service struct {
+	cfg   ServiceConfig
+	world *simworld.World
+	clock simclock.Clock
+
+	mu         sync.Mutex
+	published  []*simworld.Tweet // platform tweets published so far
+	control    []*simworld.Tweet // control (sample-stream) tweets
+	pubCur     cursor            // next world tweet to publish
+	ctlCur     cursor
+	nextSubID  int
+	subs       map[int]*subscriber
+	rlTokens   float64
+	rlLastFill time.Time
+	reqSeq     uint64 // search request counter, drives fault injection
+}
+
+// cursor walks the world's per-day tweet slices in publication order.
+type cursor struct{ day, idx int }
+
+type subscriber struct {
+	id      int
+	sample  bool     // sample stream (control) vs filter stream
+	tracks  []string // filter terms (substring match, like track=)
+	ch      chan *simworld.Tweet
+	queued  int // events enqueued for this subscriber (post-drop)
+	dropped int
+	closed  bool
+}
+
+// NewService builds a Service over the world.
+func NewService(world *simworld.World, clock simclock.Clock, cfg ServiceConfig) *Service {
+	return &Service{
+		cfg:        cfg,
+		world:      world,
+		clock:      clock,
+		subs:       map[int]*subscriber{},
+		rlTokens:   float64(cfg.SearchRateLimit),
+		rlLastFill: clock.Now(),
+	}
+}
+
+// PublishUpTo pushes all world tweets with CreatedAt <= now into the
+// published set and streams, returning how many platform tweets were
+// published by this call. The driver calls it after advancing the clock.
+// Within each day the world's tweets are time-sorted, so a (day, idx)
+// cursor publishes each tweet exactly once in order.
+func (s *Service) PublishUpTo(now time.Time) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.advanceCursor(&s.pubCur, s.world.TweetsByDay, &s.published, false, now)
+	s.advanceCursor(&s.ctlCur, s.world.ControlByDay, &s.control, true, now)
+	return n
+}
+
+func (s *Service) advanceCursor(cur *cursor, byDay [][]*simworld.Tweet,
+	out *[]*simworld.Tweet, control bool, now time.Time) int {
+	n := 0
+	for cur.day < len(byDay) {
+		tweets := byDay[cur.day]
+		for cur.idx < len(tweets) {
+			tw := tweets[cur.idx]
+			if tw.CreatedAt.After(now) {
+				return n
+			}
+			*out = append(*out, tw)
+			s.fanOut(tw, control)
+			cur.idx++
+			n++
+		}
+		cur.day++
+		cur.idx = 0
+	}
+	return n
+}
+
+func (s *Service) fanOut(tw *simworld.Tweet, control bool) {
+	for _, sub := range s.subs {
+		if sub.closed || sub.sample != control {
+			continue
+		}
+		if !control && !matchesTracks(tw.Text, sub.tracks) {
+			continue
+		}
+		if s.cfg.StreamDropP > 0 && dropHash(tw.ID, uint64(sub.id)) < s.cfg.StreamDropP {
+			sub.dropped++
+			continue
+		}
+		select {
+		case sub.ch <- tw:
+			sub.queued++
+		default:
+			// Slow consumer: Twitter disconnects laggards; we count the
+			// loss instead so the study driver can observe it.
+			sub.dropped++
+		}
+	}
+}
+
+func matchesTracks(text string, tracks []string) bool {
+	for _, t := range tracks {
+		if strings.Contains(text, t) {
+			return true
+		}
+	}
+	return false
+}
+
+// dropHash maps (tweet, subscriber) to [0,1) deterministically.
+func dropHash(id, salt uint64) float64 {
+	h := id ^ salt*0x9E3779B97F4A7C15
+	h ^= h >> 31
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	return float64(h%1_000_000) / 1_000_000
+}
+
+// missHash decides search-index misses, deterministic per tweet.
+func missHash(id uint64) float64 { return dropHash(id, 0x5EA4C4) }
+
+// QueuedFor reports how many events have been enqueued to the subscriber
+// with the given ID (post-drop). The study driver uses it to quiesce:
+// advance clock → PublishUpTo → wait until the client consumed QueuedFor.
+func (s *Service) QueuedFor(subID int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sub, ok := s.subs[subID]; ok {
+		return sub.queued
+	}
+	return 0
+}
+
+// DroppedFor reports how many events were dropped for a subscriber.
+func (s *Service) DroppedFor(subID int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sub, ok := s.subs[subID]; ok {
+		return sub.dropped
+	}
+	return 0
+}
+
+// PublishedCounts returns (platform tweets, control tweets) published.
+func (s *Service) PublishedCounts() (int, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.published), len(s.control)
+}
+
+// Handler returns the HTTP mux serving the simulated API.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/1.1/search/tweets.json", s.handleSearch)
+	mux.HandleFunc("/1.1/statuses/filter.json", s.handleFilter)
+	mux.HandleFunc("/1.1/statuses/sample.json", s.handleSample)
+	return mux
+}
+
+// --- Search API ---
+
+func (s *Service) takeSearchToken() (ok bool, retryAfter time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.clock.Now()
+	elapsed := now.Sub(s.rlLastFill)
+	if elapsed > 0 {
+		refill := float64(s.cfg.SearchRateLimit) * float64(elapsed) / float64(s.cfg.SearchRateWindow)
+		s.rlTokens += refill
+		if s.rlTokens > float64(s.cfg.SearchRateLimit) {
+			s.rlTokens = float64(s.cfg.SearchRateLimit)
+		}
+		s.rlLastFill = now
+	}
+	if s.rlTokens >= 1 {
+		s.rlTokens--
+		return true, 0
+	}
+	return false, s.cfg.SearchRateWindow / time.Duration(s.cfg.SearchRateLimit)
+}
+
+func (s *Service) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.TransientErrorP > 0 {
+		s.mu.Lock()
+		s.reqSeq++
+		fail := dropHash(s.reqSeq, 0x5E41C3) < s.cfg.TransientErrorP
+		s.mu.Unlock()
+		if fail {
+			http.Error(w, `{"errors":[{"code":130,"message":"Over capacity"}]}`,
+				http.StatusServiceUnavailable)
+			return
+		}
+	}
+	if ok, retry := s.takeSearchToken(); !ok {
+		w.Header().Set("Retry-After", strconv.Itoa(int(retry.Seconds())+1))
+		http.Error(w, `{"errors":[{"code":88,"message":"Rate limit exceeded"}]}`, http.StatusTooManyRequests)
+		return
+	}
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		http.Error(w, `{"errors":[{"code":25,"message":"Query parameters are missing"}]}`, http.StatusBadRequest)
+		return
+	}
+	count := s.cfg.SearchPageSize
+	if c := r.URL.Query().Get("count"); c != "" {
+		if v, err := strconv.Atoi(c); err == nil && v > 0 && v < count {
+			count = v
+		}
+	}
+	var maxID, sinceID uint64
+	if v := r.URL.Query().Get("max_id"); v != "" {
+		maxID, _ = strconv.ParseUint(v, 10, 64)
+	}
+	if v := r.URL.Query().Get("since_id"); v != "" {
+		sinceID, _ = strconv.ParseUint(v, 10, 64)
+	}
+
+	now := s.clock.Now()
+	horizon := now.Add(-7 * 24 * time.Hour) // the Search API's 7-day window
+
+	s.mu.Lock()
+	// Newest-first scan, filtered to the window, the query, the index,
+	// and the pagination cursor.
+	var page []*simworld.Tweet
+	var nextMax uint64
+	for i := len(s.published) - 1; i >= 0; i-- {
+		tw := s.published[i]
+		if tw.CreatedAt.Before(horizon) {
+			break
+		}
+		if maxID != 0 && tw.ID > maxID {
+			continue
+		}
+		if tw.ID <= sinceID {
+			continue
+		}
+		if !strings.Contains(tw.Text, q) {
+			continue
+		}
+		if missHash(tw.ID) < s.cfg.SearchMissP {
+			continue // never indexed
+		}
+		if len(page) == count {
+			nextMax = page[len(page)-1].ID - 1
+			break
+		}
+		page = append(page, tw)
+	}
+	s.mu.Unlock()
+
+	resp := searchResponse{Statuses: make([]tweetJSON, len(page))}
+	for i, tw := range page {
+		resp.Statuses[i] = encodeTweet(tw)
+	}
+	if nextMax != 0 {
+		resp.SearchMetadata.NextResults = fmt.Sprintf("?max_id=%d&q=%s", nextMax, q)
+		resp.SearchMetadata.MaxIDStr = strconv.FormatUint(nextMax, 10)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		// Client went away mid-response; nothing else to do.
+		return
+	}
+}
+
+// --- Streaming APIs ---
+
+func (s *Service) handleFilter(w http.ResponseWriter, r *http.Request) {
+	track := r.URL.Query().Get("track")
+	if track == "" {
+		http.Error(w, `{"errors":[{"code":38,"message":"track parameter missing"}]}`, http.StatusBadRequest)
+		return
+	}
+	s.serveStream(w, r, false, strings.Split(track, ","))
+}
+
+func (s *Service) handleSample(w http.ResponseWriter, r *http.Request) {
+	s.serveStream(w, r, true, nil)
+}
+
+func (s *Service) serveStream(w http.ResponseWriter, r *http.Request, sample bool, tracks []string) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	sub := &subscriber{
+		sample: sample,
+		tracks: tracks,
+		ch:     make(chan *simworld.Tweet, 1<<16),
+	}
+	s.mu.Lock()
+	s.nextSubID++
+	sub.id = s.nextSubID
+	s.subs[sub.id] = sub
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		sub.closed = true
+		delete(s.subs, sub.id)
+		s.mu.Unlock()
+	}()
+
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Transfer-Encoding", "chunked")
+	w.Header().Set("X-Sim-Subscription", strconv.Itoa(sub.id))
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	enc := json.NewEncoder(w)
+	ctx := r.Context()
+	keepAlive := time.NewTicker(200 * time.Millisecond)
+	defer keepAlive.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case tw := <-sub.ch:
+			if err := enc.Encode(encodeTweet(tw)); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-keepAlive.C:
+			// Blank keep-alive line, as the real streaming API sends.
+			if _, err := fmt.Fprint(w, "\r\n"); err != nil {
+				return
+			}
+			flusher.Flush()
+		}
+	}
+}

@@ -1,0 +1,350 @@
+package twitter
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"msgscope/internal/simclock"
+	"msgscope/internal/simworld"
+	"msgscope/internal/urlpat"
+)
+
+type fixture struct {
+	world *simworld.World
+	clock *simclock.Sim
+	svc   *Service
+	srv   *httptest.Server
+	cli   *Client
+}
+
+func newFixture(t *testing.T, cfg ServiceConfig) *fixture {
+	t.Helper()
+	w := simworld.New(simworld.DefaultConfig(8, 0.002))
+	clock := simclock.New(w.Cfg.Start)
+	svc := NewService(w, clock, cfg)
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(srv.Close)
+	return &fixture{world: w, clock: clock, svc: svc, srv: srv, cli: NewClient(srv.URL)}
+}
+
+func perfect() ServiceConfig {
+	cfg := DefaultServiceConfig()
+	cfg.SearchMissP = 0
+	cfg.StreamDropP = 0
+	return cfg
+}
+
+func (f *fixture) publishDays(days int) int {
+	return f.advanceAndPublish(time.Duration(days) * 24 * time.Hour)
+}
+
+func (f *fixture) advanceAndPublish(d time.Duration) int {
+	f.clock.Advance(d)
+	return f.svc.PublishUpTo(f.clock.Now())
+}
+
+func TestPublishUpToIsIncremental(t *testing.T) {
+	f := newFixture(t, perfect())
+	n1 := f.publishDays(2)
+	n2 := f.advanceAndPublish(0) // no time passed, nothing new
+	if n2 != 0 {
+		t.Fatalf("republished %d tweets", n2)
+	}
+	n3 := f.publishDays(1)
+	if n1 == 0 || n3 == 0 {
+		t.Fatalf("no tweets published: %d %d", n1, n3)
+	}
+	want := 0
+	for d := 0; d < 3; d++ {
+		want += len(f.world.TweetsByDay[d])
+	}
+	pub, _ := f.svc.PublishedCounts()
+	if pub != want {
+		t.Fatalf("published %d, want %d", pub, want)
+	}
+}
+
+func TestSearchFindsPatternTweets(t *testing.T) {
+	f := newFixture(t, perfect())
+	f.publishDays(1)
+	got, err := f.cli.Search(context.Background(), "discord.gg", 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("search returned nothing")
+	}
+	for _, st := range got {
+		if !urlpat.Matches(st.Text) {
+			t.Fatalf("status %q does not match any pattern", st.Text)
+		}
+	}
+	// Newest first.
+	for i := 1; i < len(got); i++ {
+		if got[i].ID > got[i-1].ID {
+			t.Fatal("search results not newest-first")
+		}
+	}
+}
+
+func TestSearchPaginationComplete(t *testing.T) {
+	f := newFixture(t, perfect())
+	f.publishDays(3)
+	got, err := f.cli.Search(context.Background(), "t.me", 0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for d := 0; d < 3; d++ {
+		for _, tw := range f.world.TweetsByDay[d] {
+			if urlpatContains(tw.Text, "t.me") {
+				want++
+			}
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("search returned %d, want %d", len(got), want)
+	}
+	seen := map[uint64]bool{}
+	for _, st := range got {
+		if seen[st.ID] {
+			t.Fatalf("duplicate status %d across pages", st.ID)
+		}
+		seen[st.ID] = true
+	}
+}
+
+func urlpatContains(text, host string) bool {
+	for _, u := range urlpat.Extract(text) {
+		_ = u
+	}
+	return len(text) > 0 && containsStr(text, host+"/")
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestSearchSinceID(t *testing.T) {
+	f := newFixture(t, perfect())
+	f.publishDays(1)
+	first, err := f.cli.Search(context.Background(), "chat.whatsapp.com", 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) == 0 {
+		t.Skip("no WhatsApp tweets on day 0")
+	}
+	maxID := first[0].ID
+	f.publishDays(1)
+	second, err := f.cli.Search(context.Background(), "chat.whatsapp.com", maxID, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range second {
+		if st.ID <= maxID {
+			t.Fatalf("since_id violated: %d <= %d", st.ID, maxID)
+		}
+	}
+}
+
+func TestSearchSevenDayWindow(t *testing.T) {
+	f := newFixture(t, perfect())
+	f.publishDays(10)
+	got, err := f.cli.Search(context.Background(), "t.me", 0, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	horizon := f.clock.Now().Add(-7 * 24 * time.Hour)
+	for _, st := range got {
+		if st.CreatedAt.Before(horizon) {
+			t.Fatalf("status from %v outside the 7-day window", st.CreatedAt)
+		}
+	}
+}
+
+func TestSearchMissesAreDeterministic(t *testing.T) {
+	cfg := perfect()
+	cfg.SearchMissP = 0.2
+	f := newFixture(t, cfg)
+	f.publishDays(2)
+	a, err := f.cli.Search(context.Background(), "discord.gg", 0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.cli.Search(context.Background(), "discord.gg", 0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("index misses vary between queries: %d vs %d", len(a), len(b))
+	}
+	published, _ := f.svc.PublishedCounts()
+	if len(a) >= published {
+		t.Fatal("no misses despite SearchMissP")
+	}
+}
+
+func TestSearchRateLimit(t *testing.T) {
+	cfg := perfect()
+	cfg.SearchRateLimit = 3
+	cfg.SearchRateWindow = 15 * time.Minute
+	f := newFixture(t, cfg)
+	f.publishDays(1)
+	ctx := context.Background()
+	var rl error
+	for i := 0; i < 6; i++ {
+		if _, err := f.cli.Search(ctx, "t.me", 0, 1); err != nil {
+			rl = err
+			break
+		}
+	}
+	if !errors.Is(rl, ErrRateLimited) {
+		t.Fatalf("err = %v, want ErrRateLimited", rl)
+	}
+	f.clock.Advance(20 * time.Minute)
+	if _, err := f.cli.Search(ctx, "t.me", 0, 1); err != nil {
+		t.Fatalf("after refill: %v", err)
+	}
+}
+
+func TestFilterStreamDeliversMatching(t *testing.T) {
+	f := newFixture(t, perfect())
+	ctx := context.Background()
+	st, err := f.cli.OpenFilterStream(ctx, []string{"discord.gg", "discord.com"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	f.publishDays(1)
+	waitFor(t, func() bool { return st.Received() >= f.svc.QueuedFor(st.SubID()) && st.Received() > 0 })
+	got := st.Drain()
+	for _, s := range got {
+		if !containsStr(s.Text, "discord.") {
+			t.Fatalf("stream delivered non-matching status %q", s.Text)
+		}
+	}
+	want := 0
+	for _, tw := range f.world.TweetsByDay[0] {
+		if containsStr(tw.Text, "discord.") {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("stream delivered %d, want %d", len(got), want)
+	}
+}
+
+func TestSampleStreamDeliversControl(t *testing.T) {
+	f := newFixture(t, perfect())
+	ctx := context.Background()
+	st, err := f.cli.OpenSampleStream(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	f.publishDays(1)
+	waitFor(t, func() bool { return st.Received() >= len(f.world.ControlByDay[0]) })
+	got := st.Drain()
+	if len(got) != len(f.world.ControlByDay[0]) {
+		t.Fatalf("sample stream delivered %d, want %d", len(got), len(f.world.ControlByDay[0]))
+	}
+}
+
+func TestStreamDropsAreCounted(t *testing.T) {
+	cfg := perfect()
+	cfg.StreamDropP = 0.3
+	f := newFixture(t, cfg)
+	ctx := context.Background()
+	st, err := f.cli.OpenFilterStream(ctx, []string{"t.me"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	f.publishDays(2)
+	waitFor(t, func() bool { return st.Received() >= f.svc.QueuedFor(st.SubID()) })
+	if f.svc.DroppedFor(st.SubID()) == 0 {
+		t.Fatal("no drops recorded despite StreamDropP")
+	}
+}
+
+func TestStreamCloseIdempotent(t *testing.T) {
+	f := newFixture(t, perfect())
+	st, err := f.cli.OpenSampleStream(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	st.Close()
+}
+
+func TestEntityCountsMatchGenerator(t *testing.T) {
+	f := newFixture(t, perfect())
+	f.publishDays(1)
+	got, err := f.cli.Search(context.Background(), "t.me", 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[uint64]*simworld.Tweet{}
+	for _, tw := range f.world.TweetsByDay[0] {
+		byID[tw.ID] = tw
+	}
+	checked := 0
+	for _, st := range got {
+		tw := byID[st.ID]
+		if tw == nil {
+			continue
+		}
+		if st.Hashtags != tw.Hashtags {
+			t.Fatalf("tweet %d: %d hashtags on wire, world has %d (%q)",
+				st.ID, st.Hashtags, tw.Hashtags, tw.Text)
+		}
+		if st.Mentions != tw.Mentions {
+			t.Fatalf("tweet %d: %d mentions on wire, world has %d (%q)",
+				st.ID, st.Mentions, tw.Mentions, tw.Text)
+		}
+		if st.IsRetweet != tw.Retweet {
+			t.Fatalf("tweet %d: retweet flag mismatch", st.ID)
+		}
+		if st.Lang != tw.Lang {
+			t.Fatalf("tweet %d: lang %q vs %q", st.ID, st.Lang, tw.Lang)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no statuses cross-checked")
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not met within 10s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestSearchRetriesTransientErrors(t *testing.T) {
+	cfg := perfect()
+	cfg.TransientErrorP = 0.3
+	f := newFixture(t, cfg)
+	f.publishDays(1)
+	// With 30% failure and 4 attempts per page, multi-page searches should
+	// still succeed nearly always.
+	for i := 0; i < 5; i++ {
+		if _, err := f.cli.Search(context.Background(), "t.me", 0, 20); err != nil {
+			t.Fatalf("search attempt %d failed despite retries: %v", i, err)
+		}
+	}
+}

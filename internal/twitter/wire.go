@@ -1,0 +1,117 @@
+package twitter
+
+import (
+	"strconv"
+	"strings"
+	"time"
+
+	"msgscope/internal/simworld"
+)
+
+// createdAtFormat is Twitter's v1.1 timestamp layout.
+const createdAtFormat = "Mon Jan 02 15:04:05 -0700 2006"
+
+// tweetJSON is the subset of the v1.1 status object the pipeline consumes.
+type tweetJSON struct {
+	ID        uint64       `json:"id"`
+	IDStr     string       `json:"id_str"`
+	CreatedAt string       `json:"created_at"`
+	Text      string       `json:"text"`
+	Lang      string       `json:"lang"`
+	User      userJSON     `json:"user"`
+	Entities  entitiesJSON `json:"entities"`
+	Retweeted *retweetRef  `json:"retweeted_status,omitempty"`
+}
+
+type userJSON struct {
+	IDStr      string `json:"id_str"`
+	ScreenName string `json:"screen_name"`
+}
+
+type entitiesJSON struct {
+	Hashtags     []hashtagJSON `json:"hashtags"`
+	UserMentions []mentionJSON `json:"user_mentions"`
+}
+
+type hashtagJSON struct {
+	Text string `json:"text"`
+}
+
+type mentionJSON struct {
+	ScreenName string `json:"screen_name"`
+}
+
+type retweetRef struct {
+	IDStr string `json:"id_str"`
+}
+
+type searchResponse struct {
+	Statuses       []tweetJSON `json:"statuses"`
+	SearchMetadata struct {
+		NextResults string `json:"next_results,omitempty"`
+		MaxIDStr    string `json:"max_id_str,omitempty"`
+	} `json:"search_metadata"`
+}
+
+// encodeTweet renders a world tweet in the v1.1 wire shape. Hashtag and
+// mention entities are extracted from the text the same way Twitter's
+// ingestion does, so entity counts agree with the composed text.
+func encodeTweet(tw *simworld.Tweet) tweetJSON {
+	j := tweetJSON{
+		ID:        tw.ID,
+		IDStr:     strconv.FormatUint(tw.ID, 10),
+		CreatedAt: tw.CreatedAt.Format(createdAtFormat),
+		Text:      tw.Text,
+		Lang:      tw.Lang,
+		User:      userJSON{IDStr: tw.AuthorID, ScreenName: tw.AuthorID},
+	}
+	for _, tok := range strings.Fields(tw.Text) {
+		switch {
+		case len(tok) > 1 && tok[0] == '#':
+			j.Entities.Hashtags = append(j.Entities.Hashtags, hashtagJSON{Text: tok[1:]})
+		case len(tok) > 1 && tok[0] == '@':
+			j.Entities.UserMentions = append(j.Entities.UserMentions,
+				mentionJSON{ScreenName: strings.TrimSuffix(tok[1:], ":")})
+		}
+	}
+	if tw.Retweet {
+		j.Retweeted = &retweetRef{IDStr: j.IDStr}
+	}
+	return j
+}
+
+// Status is the client-side decoded tweet handed to the pipeline.
+type Status struct {
+	ID        uint64
+	CreatedAt time.Time
+	Text      string
+	Lang      string
+	UserID    string
+	Hashtags  int
+	Mentions  int
+	IsRetweet bool
+}
+
+// decodeStatus converts the wire object into the pipeline's Status.
+func decodeStatus(j tweetJSON) (Status, error) {
+	at, err := time.Parse(createdAtFormat, j.CreatedAt)
+	if err != nil {
+		return Status{}, err
+	}
+	mentions := len(j.Entities.UserMentions)
+	if j.Retweeted != nil && mentions > 0 {
+		// The RT @user: prefix counts as a mention entity on the wire but
+		// not as a deliberate mention in the paper's Figure 3 sense.
+		mentions--
+	}
+	return Status{
+		ID:        j.ID,
+		CreatedAt: at.UTC(),
+		Text:      j.Text,
+		Lang:      j.Lang,
+		UserID:    j.User.IDStr,
+		Hashtags:  len(j.Entities.Hashtags),
+		Mentions:  mentions,
+		IsRetweet: j.Retweeted != nil,
+	}, nil
+}

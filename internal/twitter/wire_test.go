@@ -1,0 +1,73 @@
+package twitter
+
+import (
+	"testing"
+	"time"
+
+	"msgscope/internal/simworld"
+)
+
+func mkTweet(text string, hashtags, mentions int, rt bool) *simworld.Tweet {
+	return &simworld.Tweet{
+		ID:        123456789,
+		AuthorID:  "user-1",
+		CreatedAt: time.Date(2020, 4, 9, 15, 4, 5, 0, time.UTC),
+		Text:      text,
+		Lang:      "en",
+		Hashtags:  hashtags,
+		Mentions:  mentions,
+		Retweet:   rt,
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tw := mkTweet("@alice @bob join https://t.me/x #crypto #btc", 2, 2, false)
+	st, err := decodeStatus(encodeTweet(tw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != tw.ID || st.Text != tw.Text || st.Lang != tw.Lang || st.UserID != tw.AuthorID {
+		t.Fatalf("round trip lost fields: %+v", st)
+	}
+	if !st.CreatedAt.Equal(tw.CreatedAt) {
+		t.Fatalf("timestamp %v != %v", st.CreatedAt, tw.CreatedAt)
+	}
+	if st.Hashtags != 2 || st.Mentions != 2 || st.IsRetweet {
+		t.Fatalf("entities wrong: %+v", st)
+	}
+}
+
+func TestEncodeRetweetMentionAccounting(t *testing.T) {
+	// "RT @handle:" contributes a wire mention entity that must not count
+	// as a deliberate mention after decoding.
+	tw := mkTweet("RT @someone: great group https://discord.gg/x", 0, 0, true)
+	st, err := decodeStatus(encodeTweet(tw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.IsRetweet {
+		t.Fatal("retweet flag lost")
+	}
+	if st.Mentions != 0 {
+		t.Fatalf("RT prefix counted as %d mentions", st.Mentions)
+	}
+}
+
+func TestEncodeEntitiesFromText(t *testing.T) {
+	tw := mkTweet("#a no mentions here", 1, 0, false)
+	j := encodeTweet(tw)
+	if len(j.Entities.Hashtags) != 1 || j.Entities.Hashtags[0].Text != "a" {
+		t.Fatalf("hashtag entities wrong: %+v", j.Entities.Hashtags)
+	}
+	if len(j.Entities.UserMentions) != 0 {
+		t.Fatalf("spurious mentions: %+v", j.Entities.UserMentions)
+	}
+}
+
+func TestDecodeBadTimestamp(t *testing.T) {
+	j := encodeTweet(mkTweet("x", 0, 0, false))
+	j.CreatedAt = "not a time"
+	if _, err := decodeStatus(j); err == nil {
+		t.Fatal("bad created_at accepted")
+	}
+}

@@ -1,0 +1,141 @@
+// Package urlpat implements the study's six invite-URL patterns and the
+// extraction of group URLs from tweet text. The patterns are exactly the
+// prefixes Section 3.1 enumerates: chat.whatsapp.com/, t.me/, telegram.me/,
+// telegram.org/, discord.gg/, and discord.com/.
+package urlpat
+
+import (
+	"regexp"
+	"strings"
+
+	"msgscope/internal/platform"
+)
+
+// Pattern is one invite-URL host pattern tied to its platform.
+type Pattern struct {
+	Host     string
+	Platform platform.Platform
+	// PathPrefix, when non-empty, must prefix the URL path for a match
+	// (discord.com links are invites only under /invite/).
+	PathPrefix string
+}
+
+// Patterns returns the six study patterns in documentation order.
+func Patterns() []Pattern {
+	return []Pattern{
+		{Host: "chat.whatsapp.com", Platform: platform.WhatsApp},
+		{Host: "t.me", Platform: platform.Telegram},
+		{Host: "telegram.me", Platform: platform.Telegram},
+		{Host: "telegram.org", Platform: platform.Telegram},
+		{Host: "discord.gg", Platform: platform.Discord},
+		{Host: "discord.com", Platform: platform.Discord, PathPrefix: "invite/"},
+	}
+}
+
+// TrackTerms returns the filter terms handed to the Twitter streaming API —
+// one per pattern host.
+func TrackTerms() []string {
+	ps := Patterns()
+	terms := make([]string, len(ps))
+	for i, p := range ps {
+		terms[i] = p.Host
+	}
+	return terms
+}
+
+// GroupURL is one extracted, canonicalized invite URL.
+type GroupURL struct {
+	Platform platform.Platform
+	// Code is the canonical group identifier: the invite code for
+	// WhatsApp/Discord, and the path (including a joinchat/ prefix when
+	// present) for Telegram.
+	Code string
+	// Canonical is the normalized URL: https, canonical host, no
+	// trailing slash or query.
+	Canonical string
+}
+
+var urlRe = regexp.MustCompile(`https?://[^\s<>"']+`)
+
+// Extract returns all group URLs found in text, in order of appearance.
+// Duplicates within one text are preserved; callers dedupe across tweets.
+func Extract(text string) []GroupURL {
+	var out []GroupURL
+	for _, raw := range urlRe.FindAllString(text, -1) {
+		if gu, ok := Parse(raw); ok {
+			out = append(out, gu)
+		}
+	}
+	return out
+}
+
+// Parse canonicalizes a single URL string. It reports ok=false for URLs
+// that match none of the six patterns or carry no group identifier (e.g. a
+// bare "https://t.me/").
+func Parse(raw string) (GroupURL, bool) {
+	rest, ok := strings.CutPrefix(raw, "https://")
+	if !ok {
+		rest, ok = strings.CutPrefix(raw, "http://")
+		if !ok {
+			return GroupURL{}, false
+		}
+	}
+	host, path, _ := strings.Cut(rest, "/")
+	host = strings.ToLower(host)
+	host = strings.TrimPrefix(host, "www.")
+	// Strip query/fragment and trailing punctuation a tweet may append.
+	if i := strings.IndexAny(path, "?#"); i >= 0 {
+		path = path[:i]
+	}
+	path = strings.TrimRight(path, "/.,!)('\"")
+
+	for _, p := range Patterns() {
+		if host != p.Host {
+			continue
+		}
+		code := path
+		if p.PathPrefix != "" {
+			code, ok = strings.CutPrefix(path, p.PathPrefix)
+			if !ok {
+				return GroupURL{}, false
+			}
+		}
+		if code == "" {
+			return GroupURL{}, false
+		}
+		// Host aliases collapse here: telegram.me/X and t.me/X name the
+		// same room; discord.com/invite/X and discord.gg/X the same
+		// invite. The code alone is the canonical identity.
+		return GroupURL{
+			Platform:  p.Platform,
+			Code:      code,
+			Canonical: canonicalURL(p.Platform, code),
+		}, true
+	}
+	return GroupURL{}, false
+}
+
+// canonicalURL renders the canonical form of a group URL.
+func canonicalURL(p platform.Platform, code string) string {
+	switch p {
+	case platform.WhatsApp:
+		return "https://chat.whatsapp.com/" + code
+	case platform.Telegram:
+		return "https://t.me/" + code
+	case platform.Discord:
+		return "https://discord.gg/" + code
+	default:
+		return code
+	}
+}
+
+// Matches reports whether the text contains at least one of the six
+// patterns (the predicate the Twitter search queries use).
+func Matches(text string) bool {
+	for _, p := range Patterns() {
+		if strings.Contains(text, p.Host+"/") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,132 @@
+package urlpat
+
+import (
+	"testing"
+	"testing/quick"
+
+	"msgscope/internal/platform"
+)
+
+func TestParseCanonicalization(t *testing.T) {
+	cases := []struct {
+		raw      string
+		platform platform.Platform
+		code     string
+		ok       bool
+	}{
+		{"https://chat.whatsapp.com/AbCdEf123", platform.WhatsApp, "AbCdEf123", true},
+		{"http://chat.whatsapp.com/AbCdEf123", platform.WhatsApp, "AbCdEf123", true},
+		{"https://t.me/somegroup", platform.Telegram, "somegroup", true},
+		{"https://t.me/joinchat/XYZ123", platform.Telegram, "joinchat/XYZ123", true},
+		{"https://telegram.me/somegroup", platform.Telegram, "somegroup", true},
+		{"https://telegram.org/somegroup", platform.Telegram, "somegroup", true},
+		{"https://discord.gg/abc123", platform.Discord, "abc123", true},
+		{"https://discord.com/invite/abc123", platform.Discord, "abc123", true},
+		{"https://www.t.me/somegroup", platform.Telegram, "somegroup", true},
+		{"https://t.me/group?start=1", platform.Telegram, "group", true},
+		{"https://t.me/group/", platform.Telegram, "group", true},
+		{"https://t.me/group).", platform.Telegram, "group", true},
+		// Non-invites.
+		{"https://discord.com/channels/123/456", 0, "", false},
+		{"https://example.com/x", 0, "", false},
+		{"https://t.me/", 0, "", false},
+		{"ftp://t.me/x", 0, "", false},
+		{"t.me/group", 0, "", false}, // bare host without scheme
+	}
+	for _, c := range cases {
+		gu, ok := Parse(c.raw)
+		if ok != c.ok {
+			t.Errorf("Parse(%q) ok=%v, want %v", c.raw, ok, c.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if gu.Platform != c.platform || gu.Code != c.code {
+			t.Errorf("Parse(%q) = %v/%q, want %v/%q", c.raw, gu.Platform, gu.Code, c.platform, c.code)
+		}
+	}
+}
+
+func TestHostAliasesCollapse(t *testing.T) {
+	a, _ := Parse("https://t.me/mygroup")
+	b, _ := Parse("https://telegram.me/mygroup")
+	if a.Code != b.Code || a.Canonical != b.Canonical {
+		t.Fatalf("aliases did not collapse: %+v vs %+v", a, b)
+	}
+	c, _ := Parse("https://discord.gg/xyz")
+	d, _ := Parse("https://discord.com/invite/xyz")
+	if c.Code != d.Code || c.Canonical != d.Canonical {
+		t.Fatalf("discord aliases did not collapse: %+v vs %+v", c, d)
+	}
+}
+
+func TestExtractFromTweetText(t *testing.T) {
+	text := "join us now https://chat.whatsapp.com/Abc123 and also https://discord.gg/xyz9 #fun"
+	got := Extract(text)
+	if len(got) != 2 {
+		t.Fatalf("extracted %d URLs, want 2: %+v", len(got), got)
+	}
+	if got[0].Platform != platform.WhatsApp || got[1].Platform != platform.Discord {
+		t.Fatalf("wrong platforms: %+v", got)
+	}
+}
+
+func TestExtractNone(t *testing.T) {
+	if got := Extract("no urls here, not even example.com"); len(got) != 0 {
+		t.Fatalf("extracted from plain text: %+v", got)
+	}
+	if got := Extract("mentions t.me but no scheme"); len(got) != 0 {
+		t.Fatalf("bare host should not extract: %+v", got)
+	}
+}
+
+func TestMatches(t *testing.T) {
+	if !Matches("see https://t.me/x") {
+		t.Fatal("Matches missed t.me")
+	}
+	if Matches("nothing here") {
+		t.Fatal("Matches false positive")
+	}
+}
+
+func TestTrackTermsCoverAllPatterns(t *testing.T) {
+	terms := TrackTerms()
+	if len(terms) != 6 {
+		t.Fatalf("want 6 track terms, got %d", len(terms))
+	}
+	for i, p := range Patterns() {
+		if terms[i] != p.Host {
+			t.Fatalf("term %d = %q, want %q", i, terms[i], p.Host)
+		}
+	}
+}
+
+func TestParseCanonicalRoundTrip(t *testing.T) {
+	// Canonical output must re-parse to the same identity.
+	f := func(seed uint8) bool {
+		raws := []string{
+			"https://chat.whatsapp.com/Code",
+			"https://telegram.me/joinchat/Hash",
+			"https://discord.com/invite/xy",
+		}
+		raw := raws[int(seed)%len(raws)]
+		a, ok := Parse(raw)
+		if !ok {
+			return false
+		}
+		b, ok := Parse(a.Canonical)
+		return ok && a.Platform == b.Platform && a.Code == b.Code && a.Canonical == b.Canonical
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtractPreservesOrder(t *testing.T) {
+	text := "https://discord.gg/a https://discord.gg/b https://discord.gg/a"
+	got := Extract(text)
+	if len(got) != 3 || got[0].Code != "a" || got[1].Code != "b" || got[2].Code != "a" {
+		t.Fatalf("order not preserved: %+v", got)
+	}
+}

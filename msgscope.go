@@ -1,0 +1,256 @@
+// Package msgscope reproduces the measurement study "Demystifying the
+// Messaging Platforms' Ecosystem Through the Lens of Twitter" (IMC 2020)
+// over a fully simulated ecosystem: a synthetic Twitter (Search + Streaming
+// APIs) and synthetic WhatsApp, Telegram, and Discord services run on
+// loopback HTTP, and the complete collection pipeline — URL-pattern
+// discovery, daily metadata monitoring, group joining, message collection,
+// topic modeling, and PII analysis — measures them exactly the way the
+// paper's tooling measured the real platforms.
+//
+// Quick start:
+//
+//	res, err := msgscope.Run(ctx, msgscope.Options{Seed: 42, Scale: 0.02})
+//	if err != nil { ... }
+//	fmt.Println(res.Render("table2"))
+//
+// Experiment IDs follow the paper: table1..table5, fig1..fig9. See
+// DESIGN.md for the experiment index and EXPERIMENTS.md for
+// paper-vs-measured results.
+package msgscope
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"msgscope/internal/core"
+	"msgscope/internal/join"
+	"msgscope/internal/report"
+	"msgscope/internal/store"
+)
+
+// Options configures a study run. The zero value runs the paper's 38-day
+// methodology at 2% volume scale with paper-proportional join targets.
+type Options struct {
+	// Seed makes the whole run reproducible.
+	Seed uint64
+	// Scale multiplies workload volumes (1.0 = the paper's scale: 2.2M
+	// tweets, 351K group URLs, 8.2M messages).
+	Scale float64
+	// Days is the collection window (default 38, as in the paper).
+	Days int
+	// JoinWhatsApp, JoinTelegram, JoinDiscord override the join-phase
+	// sample sizes (paper: 416, 100, 100). Zero means paper-proportional
+	// at the configured scale.
+	JoinWhatsApp, JoinTelegram, JoinDiscord int
+	// MaxMessagesPerGroup bounds history collection per joined group
+	// (0 = unlimited).
+	MaxMessagesPerGroup int
+	// GenerateMessageText makes collected messages carry bodies (the
+	// analyses only need types and authors, so this defaults off).
+	GenerateMessageText bool
+	// MonitorEveryDays sets the metadata probe cadence (default 1 =
+	// daily, as in the paper).
+	MonitorEveryDays int
+	// SearchEveryHours sets the Search API polling cadence (default 1 =
+	// hourly, as in the paper).
+	SearchEveryHours int
+	// TopicKeywords restricts the join phase to groups whose monitored
+	// title matches one of the keywords (focused collection; Section 8
+	// future work).
+	TopicKeywords []string
+	// SocialDiscovery enables the secondary discovery source: a simulated
+	// second social network whose public feed is polled alongside the
+	// Twitter APIs (Section 8 future work).
+	SocialDiscovery bool
+}
+
+// Result is a completed study with its collected dataset.
+type Result struct {
+	study *core.Study
+	ds    report.Dataset
+}
+
+// Run executes the full methodology and returns the collected dataset.
+func Run(ctx context.Context, opts Options) (*Result, error) {
+	cfg := core.Config{
+		Seed:                  opts.Seed,
+		Scale:                 opts.Scale,
+		Days:                  opts.Days,
+		MaxMessagesPerGroup:   opts.MaxMessagesPerGroup,
+		GenerateMessageText:   opts.GenerateMessageText,
+		MonitorEveryDays:      opts.MonitorEveryDays,
+		SearchEveryHours:      opts.SearchEveryHours,
+		JoinTitleKeywords:     opts.TopicKeywords,
+		EnableSocialDiscovery: opts.SocialDiscovery,
+		Join: join.Targets{
+			WhatsApp: opts.JoinWhatsApp,
+			Telegram: opts.JoinTelegram,
+			Discord:  opts.JoinDiscord,
+		},
+	}
+	s, err := core.NewStudy(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	if err := s.Run(ctx); err != nil {
+		return nil, err
+	}
+	return &Result{study: s, ds: s.Dataset()}, nil
+}
+
+// Experiments lists the supported experiment IDs in paper order.
+func Experiments() []string {
+	ids := make([]string, 0, len(experiments))
+	for id := range experiments {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+var experiments = map[string]func(*Result) string{
+	"table1": func(*Result) string { return report.Table1() },
+	"table2": func(r *Result) string { return report.Table2(r.ds).Render() },
+	"table3": func(r *Result) string {
+		return report.Table3(r.ds, report.Table3Config{
+			Seed: r.study.Cfg.Seed, Iterations: 120, MaxTweets: 4000,
+		}).Render()
+	},
+	"table4": func(r *Result) string { return report.Table4(r.ds).Render() },
+	"table5": func(r *Result) string { return report.Table5(r.ds).Render() },
+	"fig1":   func(r *Result) string { return report.Fig1(r.ds).Render() },
+	"fig2":   func(r *Result) string { return report.Fig2(r.ds).Render() },
+	"fig3":   func(r *Result) string { return report.Fig3(r.ds).Render() },
+	"fig4":   func(r *Result) string { return report.Fig4(r.ds).Render() },
+	"fig5":   func(r *Result) string { return report.Fig5(r.ds).Render() },
+	"fig6":   func(r *Result) string { return report.Fig6(r.ds).Render() },
+	"fig7":   func(r *Result) string { return report.Fig7(r.ds).Render() },
+	"fig8":   func(r *Result) string { return report.Fig8(r.ds).Render() },
+	"fig9":   func(r *Result) string { return report.Fig9(r.ds).Render() },
+	// Section 5's unnumbered analyses.
+	"creators":  func(r *Result) string { return report.Creators(r.ds).Render() },
+	"countries": func(r *Result) string { return report.Countries(r.ds).Render() },
+	// Section 8 future work: toxic-content prevalence (needs message
+	// text collection, Options.GenerateMessageText).
+	"toxicity": func(r *Result) string { return report.Toxicity(r.ds).Render() },
+	// Section 8 future work: the second discovery source (needs
+	// Options.SocialDiscovery).
+	"crosssource": func(r *Result) string { return report.CrossSource(r.ds).Render() },
+}
+
+// Render regenerates one of the paper's tables or figures from the run's
+// dataset. Valid IDs are listed by Experiments.
+func (r *Result) Render(experiment string) string {
+	fn, ok := experiments[strings.ToLower(experiment)]
+	if !ok {
+		return fmt.Sprintf("unknown experiment %q (valid: %s)",
+			experiment, strings.Join(Experiments(), ", "))
+	}
+	return fn(r)
+}
+
+// RenderAll regenerates every table and figure.
+func (r *Result) RenderAll() string {
+	var sb strings.Builder
+	for _, id := range Experiments() {
+		sb.WriteString(r.Render(id))
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// Summary reports headline counts: discovered URLs, tweets, messages, and
+// pipeline counters.
+func (r *Result) Summary() string {
+	t2 := report.Table2(r.ds)
+	cs := r.study.CollectorStats()
+	ms := r.study.MonitorStats()
+	js := r.study.JoinStats()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "collected: %d tweets (%d users), %d group URLs, %d control tweets\n",
+		t2.Total.Tweets, t2.Total.TweetUsers, t2.Total.GroupURLs, cs.ControlTweets)
+	fmt.Fprintf(&sb, "sources: search=%d stream=%d rate-limit-hits=%d\n",
+		cs.SearchTweets, cs.StreamTweets, cs.RateLimitHits)
+	if cs.SocialPosts > 0 {
+		fmt.Fprintf(&sb, "secondary source: %d posts, %d groups discovered only there\n",
+			cs.SocialPosts, cs.SocialNew)
+	}
+	fmt.Fprintf(&sb, "monitoring: %d probes (%d alive, %d revoked)\n",
+		ms.Probes, ms.AliveProbes, ms.RevokedProbes)
+	fmt.Fprintf(&sb, "joined: %d groups (%d dead invites skipped, %d flood waits); %d messages from %d users\n",
+		js.Joined, js.DeadInvites, js.FloodWaits, t2.Total.Messages, t2.Total.MessageUsers)
+	return sb.String()
+}
+
+// SaveDataset writes the collected dataset as JSONL files under dir.
+func (r *Result) SaveDataset(dir string) error {
+	return r.ds.Store.Save(dir)
+}
+
+// SaveFigureCSVs writes each figure's underlying data as CSV under dir
+// (fig1.csv … fig9.csv), plot-ready in long format.
+func (r *Result) SaveFigureCSVs(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for id, wtr := range report.FigureCSVs(r.ds) {
+		f, err := os.Create(filepath.Join(dir, id+".csv"))
+		if err != nil {
+			return err
+		}
+		if err := wtr.WriteCSV(f); err != nil {
+			f.Close()
+			return fmt.Errorf("msgscope: writing %s.csv: %w", id, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SaveFigureSVGs renders every figure as an SVG chart under dir
+// (fig1.svg … fig9.svg).
+func (r *Result) SaveFigureSVGs(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for id, svg := range report.FigureSVGs(r.ds) {
+		path := filepath.Join(dir, id+".svg")
+		if err := os.WriteFile(path, []byte(svg.SVG()), 0o644); err != nil {
+			return fmt.Errorf("msgscope: writing %s.svg: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// SourceRecall reports, over all collected tweets, the fraction each API
+// would have recovered alone (search-only, stream-only) and the overlap
+// seen by both — the discrepancy that makes the paper merge the two.
+func (r *Result) SourceRecall() (search, stream, both float64) {
+	tweets := r.ds.Store.Tweets()
+	if len(tweets) == 0 {
+		return 0, 0, 0
+	}
+	var nSearch, nStream, nBoth int
+	for _, t := range tweets {
+		hasSearch := t.Source&store.SourceSearch != 0
+		hasStream := t.Source&store.SourceStream != 0
+		if hasSearch {
+			nSearch++
+		}
+		if hasStream {
+			nStream++
+		}
+		if hasSearch && hasStream {
+			nBoth++
+		}
+	}
+	n := float64(len(tweets))
+	return float64(nSearch) / n, float64(nStream) / n, float64(nBoth) / n
+}

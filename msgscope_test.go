@@ -1,0 +1,369 @@
+package msgscope_test
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"msgscope"
+)
+
+var (
+	apiOnce sync.Once
+	apiRes  *msgscope.Result
+	apiErr  error
+)
+
+func apiFixture(t *testing.T) *msgscope.Result {
+	t.Helper()
+	apiOnce.Do(func() {
+		apiRes, apiErr = msgscope.Run(context.Background(), msgscope.Options{
+			Seed:  3,
+			Scale: 0.004,
+			Days:  8,
+		})
+	})
+	if apiErr != nil {
+		t.Fatalf("study failed: %v", apiErr)
+	}
+	return apiRes
+}
+
+func TestRenderAllExperiments(t *testing.T) {
+	res := apiFixture(t)
+	for _, id := range msgscope.Experiments() {
+		out := res.Render(id)
+		if strings.TrimSpace(out) == "" {
+			t.Errorf("experiment %s renders empty", id)
+		}
+		if strings.Contains(out, "unknown experiment") {
+			t.Errorf("experiment %s unknown", id)
+		}
+	}
+	if !strings.Contains(res.Render("nope"), "unknown experiment") {
+		t.Error("invalid id not reported")
+	}
+}
+
+func TestExperimentsListStable(t *testing.T) {
+	ids := msgscope.Experiments()
+	if len(ids) != 18 {
+		t.Fatalf("%d experiments, want 18 (5 tables + 9 figures + 4 extensions)", len(ids))
+	}
+	for _, want := range []string{"table1", "table5", "fig1", "fig9", "creators", "countries", "toxicity"} {
+		found := false
+		for _, id := range ids {
+			if id == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing experiment %s", want)
+		}
+	}
+}
+
+func TestTypedAccessors(t *testing.T) {
+	res := apiFixture(t)
+	if got := msgscope.Platforms(); len(got) != 3 || got[0] != "WhatsApp" {
+		t.Fatalf("Platforms() = %v", got)
+	}
+	for _, p := range msgscope.Platforms() {
+		series, err := res.Discovery(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(series) != 8 {
+			t.Fatalf("%s: %d discovery points, want 8", p, len(series))
+		}
+		var totalNew int
+		for _, pt := range series {
+			totalNew += pt.New
+		}
+		groups, err := res.Groups(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if totalNew != len(groups) {
+			t.Fatalf("%s: new URLs %d != groups %d", p, totalNew, len(groups))
+		}
+	}
+	if _, err := res.Discovery("MySpace"); err == nil {
+		t.Fatal("unknown platform accepted")
+	}
+}
+
+func TestPIITyped(t *testing.T) {
+	res := apiFixture(t)
+	pii := res.PII()
+	if len(pii) != 3 {
+		t.Fatalf("%d PII rows", len(pii))
+	}
+	if pii[0].Platform != "WhatsApp" || pii[0].PhoneShare < 0.99 {
+		t.Fatalf("WhatsApp PII wrong: %+v", pii[0])
+	}
+	if pii[2].PhonesExposed != 0 {
+		t.Fatalf("Discord exposes phones: %+v", pii[2])
+	}
+}
+
+func TestMessagingTyped(t *testing.T) {
+	res := apiFixture(t)
+	for _, ms := range res.Messaging() {
+		if ms.Messages > 0 {
+			if ms.ActiveUsers == 0 {
+				t.Fatalf("%s: messages without users", ms.Platform)
+			}
+			if ms.TypeShares["text"] < 0.5 {
+				t.Fatalf("%s: text share %.2f too low", ms.Platform, ms.TypeShares["text"])
+			}
+		}
+	}
+}
+
+func TestTopicsTyped(t *testing.T) {
+	res := apiFixture(t)
+	topics, err := res.Topics("Discord", 4, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topics) != 4 {
+		t.Fatalf("%d topics", len(topics))
+	}
+	var share float64
+	for _, tp := range topics {
+		share += tp.Share
+		if len(tp.Words) == 0 {
+			t.Fatal("topic without words")
+		}
+	}
+	if share < 0.99 || share > 1.01 {
+		t.Fatalf("topic shares sum to %v", share)
+	}
+}
+
+func TestSourceRecall(t *testing.T) {
+	res := apiFixture(t)
+	search, stream, both := res.SourceRecall()
+	if search <= 0 || search > 1 || stream <= 0 || stream > 1 {
+		t.Fatalf("recalls out of range: %v %v", search, stream)
+	}
+	if both > search || both > stream {
+		t.Fatalf("overlap %v exceeds a marginal (%v, %v)", both, search, stream)
+	}
+	// Each single source should miss something the merge caught.
+	if search >= 1 && stream >= 1 {
+		t.Fatal("no inter-API discrepancy simulated")
+	}
+}
+
+func TestSaveDataset(t *testing.T) {
+	res := apiFixture(t)
+	dir := filepath.Join(t.TempDir(), "ds")
+	if err := res.SaveDataset(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"tweets.jsonl", "groups.jsonl", "messages.jsonl", "users.jsonl", "control.jsonl"} {
+		st, err := os.Stat(filepath.Join(dir, f))
+		if err != nil {
+			t.Fatalf("missing %s: %v", f, err)
+		}
+		if f != "control.jsonl" && st.Size() == 0 {
+			t.Fatalf("%s is empty", f)
+		}
+	}
+}
+
+func TestSummaryMentionsPipeline(t *testing.T) {
+	res := apiFixture(t)
+	s := res.Summary()
+	for _, want := range []string{"collected:", "sources:", "monitoring:", "joined:"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	opts := msgscope.Options{Seed: 5, Scale: 0.002, Days: 5}
+	a, err := msgscope.Run(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := msgscope.Run(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Render("table2") != b.Render("table2") {
+		t.Fatalf("same seed, different Table 2:\n%s\nvs\n%s",
+			a.Render("table2"), b.Render("table2"))
+	}
+	if a.Render("fig6") != b.Render("fig6") {
+		t.Fatal("same seed, different Figure 6")
+	}
+}
+
+func TestToxicityExperimentNeedsText(t *testing.T) {
+	res := apiFixture(t) // fixture runs without message text
+	out := res.Render("toxicity")
+	if !strings.Contains(out, "message-text collection") {
+		t.Fatalf("text-less run should say so:\n%s", out)
+	}
+}
+
+func TestToxicityWithTextCollection(t *testing.T) {
+	res, err := msgscope.Run(context.Background(), msgscope.Options{
+		Seed:                9,
+		Scale:               0.004,
+		Days:                6,
+		GenerateMessageText: true,
+		MaxMessagesPerGroup: 2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Render("toxicity")
+	if !strings.Contains(out, "scored") {
+		t.Fatalf("toxicity did not score:\n%s", out)
+	}
+	if strings.Contains(out, "message-text collection") {
+		t.Fatal("text was collected but experiment claims otherwise")
+	}
+}
+
+func TestFocusedCollectionFiltersByTitle(t *testing.T) {
+	keywords := []string{"bitcoin", "crypto", "forex", "free", "join", "game", "giveaway", "discord"}
+	res, err := msgscope.Run(context.Background(), msgscope.Options{
+		Seed:          10,
+		Scale:         0.03,
+		Days:          6,
+		TopicKeywords: keywords,
+		JoinWhatsApp:  5, JoinTelegram: 5, JoinDiscord: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	joinedAny := false
+	for _, p := range msgscope.Platforms() {
+		groups, err := res.Groups(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, g := range groups {
+			if !g.Joined {
+				continue
+			}
+			joinedAny = true
+			match := false
+			low := strings.ToLower(g.Title)
+			for _, kw := range keywords {
+				if strings.Contains(low, kw) {
+					match = true
+				}
+			}
+			if !match {
+				t.Fatalf("joined group title %q matches no keyword", g.Title)
+			}
+		}
+	}
+	if !joinedAny {
+		t.Fatal("focused collection joined nothing")
+	}
+}
+
+func TestCreatorsExperiment(t *testing.T) {
+	res := apiFixture(t)
+	out := res.Render("creators")
+	if !strings.Contains(out, "creators for") {
+		t.Fatalf("creators render broken:\n%s", out)
+	}
+	// WhatsApp and Discord expose creators without joining; both should
+	// have data.
+	if strings.Count(out, "(no creator data)") > 1 {
+		t.Fatalf("too many platforms without creator data:\n%s", out)
+	}
+}
+
+func TestCountriesExperiment(t *testing.T) {
+	res := apiFixture(t)
+	out := res.Render("countries")
+	if !strings.Contains(out, "BR") {
+		t.Fatalf("Brazil missing from creator countries (top of the paper's list):\n%s", out)
+	}
+}
+
+func TestSaveFigureCSVs(t *testing.T) {
+	res := apiFixture(t)
+	dir := filepath.Join(t.TempDir(), "csv")
+	if err := res.SaveFigureCSVs(dir); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 9; i++ {
+		path := filepath.Join(dir, fmt.Sprintf("fig%d.csv", i))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing fig%d.csv: %v", i, err)
+		}
+		lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+		if len(lines) < 2 {
+			t.Fatalf("fig%d.csv has no data rows", i)
+		}
+		header := strings.Split(lines[0], ",")
+		for _, row := range lines[1:] {
+			if got := len(strings.Split(row, ",")); got != len(header) {
+				t.Fatalf("fig%d.csv ragged row: %q", i, row)
+			}
+		}
+	}
+}
+
+func TestCrossSourceDiscovery(t *testing.T) {
+	res, err := msgscope.Run(context.Background(), msgscope.Options{
+		Seed:            6,
+		Scale:           0.01,
+		Days:            8,
+		SocialDiscovery: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Render("crosssource")
+	if strings.Contains(out, "secondary discovery source enabled") {
+		t.Fatalf("social discovery did not engage:\n%s", out)
+	}
+	if !strings.Contains(out, "gain over Twitter-only") {
+		t.Fatalf("crosssource render broken:\n%s", out)
+	}
+	t.Logf("\n%s", out)
+
+	// A Twitter-only run reports the experiment as unavailable.
+	off := apiFixture(t)
+	if !strings.Contains(off.Render("crosssource"), "secondary discovery source enabled") {
+		t.Fatal("twitter-only run should report the source as disabled")
+	}
+}
+
+func TestSaveFigureSVGs(t *testing.T) {
+	res := apiFixture(t)
+	dir := filepath.Join(t.TempDir(), "svg")
+	if err := res.SaveFigureSVGs(dir); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 9; i++ {
+		data, err := os.ReadFile(filepath.Join(dir, fmt.Sprintf("fig%d.svg", i)))
+		if err != nil {
+			t.Fatalf("missing fig%d.svg: %v", i, err)
+		}
+		svg := string(data)
+		if !strings.HasPrefix(svg, "<svg") || !strings.Contains(svg, "</svg>") {
+			t.Fatalf("fig%d.svg malformed", i)
+		}
+	}
+}
