@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all build test vet race bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# One pass over every benchmark (correctness + headline numbers, not
+# stable timings; use `go test -bench=. -benchmem .` for real measurement).
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem ./...
+
+ci: vet build race bench

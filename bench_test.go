@@ -49,6 +49,41 @@ func benchExperiment(b *testing.B, id string) {
 	b.Log("\n" + out)
 }
 
+// BenchmarkRender_ColdCache re-derives Figure 6 from the raw dataset every
+// iteration, bypassing the memo cache — the cost an experiment pays once.
+func BenchmarkRender_ColdCache(b *testing.B) {
+	res := fixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = res.Recompute("fig6")
+	}
+}
+
+// BenchmarkRender_WarmCache serves the same figure from the memo cache —
+// the cost every later caller pays. Compare against Render_ColdCache.
+func BenchmarkRender_WarmCache(b *testing.B) {
+	res := fixture(b)
+	res.Render("fig6") // prime the cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = res.Render("fig6")
+	}
+}
+
+// BenchmarkRenderAll_Warm measures the parallel fan-out over all 18
+// experiments once the cache is primed (assembly + lookups only).
+func BenchmarkRenderAll_Warm(b *testing.B) {
+	res := fixture(b)
+	res.RenderAll() // prime the cache, computing experiments in parallel
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = res.RenderAll()
+	}
+}
+
 func BenchmarkTable1_Characteristics(b *testing.B) { benchExperiment(b, "table1") }
 func BenchmarkTable2_DatasetOverview(b *testing.B) { benchExperiment(b, "table2") }
 func BenchmarkTable3_LDATopics(b *testing.B)       { benchExperiment(b, "table3") }

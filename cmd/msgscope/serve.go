@@ -1,14 +1,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
+	"msgscope"
 	"msgscope/internal/platform/discord"
 	"msgscope/internal/platform/telegram"
 	"msgscope/internal/platform/whatsapp"
@@ -25,12 +28,25 @@ import (
 // At speedup 3600, one real second is one virtual hour; the full 38-day
 // study window elapses in about 15 minutes. The Twitter service publishes
 // tweets continuously as virtual time passes.
+//
+// With -report (on by default) it also runs a study at the same seed and
+// serves the experiment results over HTTP. The Result memoizes every
+// experiment, so the first GET of an ID computes it and every later GET —
+// including concurrent ones — is served from cache:
+//
+//	curl '<report>/experiments'
+//	curl '<report>/experiment/table2'
+//	curl '<report>/figure/fig6.csv'
+//	curl '<report>/figure/fig6.svg'
+//	curl '<report>/report'
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	seed := fs.Uint64("seed", 42, "simulation seed")
 	scale := fs.Float64("scale", 0.01, "workload scale")
 	speedup := fs.Float64("speedup", 3600, "virtual seconds per real second")
 	addr := fs.String("addr", "127.0.0.1:0", "base listen address (port 0 picks four free ports)")
+	reportAPI := fs.Bool("report", true, "run a study and serve cached experiment results")
+	days := fs.Int("days", 8, "collection window for the -report study")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -60,6 +76,26 @@ func runServe(args []string) error {
 	}
 	fmt.Printf("virtual clock: start %s, speedup %.0fx\n", world.Cfg.Start.Format("2006-01-02"), *speedup)
 	fmt.Println("example: curl '<twitter>/1.1/search/tweets.json?q=discord.gg'")
+
+	if *reportAPI {
+		fmt.Printf("running %d-day study for the report API (seed %d, scale %g)...\n",
+			*days, *seed, *scale)
+		res, err := msgscope.Run(context.Background(), msgscope.Options{
+			Seed: *seed, Scale: *scale, Days: *days,
+		})
+		if err != nil {
+			return fmt.Errorf("report study: %w", err)
+		}
+		ln, err := net.Listen("tcp", *addr)
+		if err != nil {
+			return fmt.Errorf("listening for report: %w", err)
+		}
+		fmt.Printf("%-9s http://%s  (/experiments /experiment/{id} /report /figure/{id}.csv /figure/{id}.svg)\n",
+			"report", ln.Addr())
+		srv := &http.Server{Handler: reportMux(res)}
+		go srv.Serve(ln)
+		defer srv.Close()
+	}
 	fmt.Println("Ctrl-C to stop; tweets publish continuously as virtual time passes.")
 
 	// Publish tweets as virtual time advances.
@@ -82,4 +118,49 @@ func runServe(args []string) error {
 	close(done)
 	fmt.Println("\nshutting down")
 	return nil
+}
+
+// reportMux serves the study's experiment results. Every endpoint reads
+// through the Result's memo cache, so concurrent requests for the same
+// artifact share one computation and repeats are cache hits.
+func reportMux(res *msgscope.Result) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /experiments", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, strings.Join(msgscope.Experiments(), "\n"))
+	})
+	mux.HandleFunc("GET /experiment/{id}", func(w http.ResponseWriter, r *http.Request) {
+		out := res.Render(r.PathValue("id"))
+		if strings.HasPrefix(out, "unknown experiment") {
+			http.Error(w, out, http.StatusNotFound)
+			return
+		}
+		fmt.Fprint(w, out)
+	})
+	mux.HandleFunc("GET /report", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, res.RenderAll())
+	})
+	mux.HandleFunc("GET /figure/{file}", func(w http.ResponseWriter, r *http.Request) {
+		file := r.PathValue("file")
+		switch {
+		case strings.HasSuffix(file, ".csv"):
+			data, err := res.FigureCSV(strings.TrimSuffix(file, ".csv"))
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "text/csv")
+			w.Write(data)
+		case strings.HasSuffix(file, ".svg"):
+			svg, err := res.FigureSVG(strings.TrimSuffix(file, ".svg"))
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "image/svg+xml")
+			fmt.Fprint(w, svg)
+		default:
+			http.Error(w, "want /figure/{id}.csv or /figure/{id}.svg", http.StatusNotFound)
+		}
+	})
+	return mux
 }

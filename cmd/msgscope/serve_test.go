@@ -1,0 +1,60 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"msgscope"
+)
+
+// TestReportMux exercises every report-API endpoint against a small study.
+func TestReportMux(t *testing.T) {
+	res, err := msgscope.Run(context.Background(), msgscope.Options{
+		Seed: 5, Scale: 0.002, Days: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(reportMux(res))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/experiments"); code != 200 || !strings.Contains(body, "table2") {
+		t.Errorf("/experiments: code=%d body=%.60s", code, body)
+	}
+	if code, body := get("/experiment/table2"); code != 200 || !strings.Contains(body, "Table 2") {
+		t.Errorf("/experiment/table2: code=%d body=%.60s", code, body)
+	}
+	if code, _ := get("/experiment/nope"); code != 404 {
+		t.Errorf("/experiment/nope: code=%d, want 404", code)
+	}
+	if code, body := get("/figure/fig2.csv"); code != 200 || !strings.HasPrefix(body, "platform,") {
+		t.Errorf("/figure/fig2.csv: code=%d body=%.60s", code, body)
+	}
+	if code, body := get("/figure/fig2.svg"); code != 200 || !strings.Contains(body, "<svg") {
+		t.Errorf("/figure/fig2.svg: code=%d body=%.60s", code, body)
+	}
+	if code, _ := get("/figure/fig42.csv"); code != 404 {
+		t.Errorf("/figure/fig42.csv: code=%d, want 404", code)
+	}
+	if code, _ := get("/figure/fig2.png"); code != 404 {
+		t.Errorf("/figure/fig2.png: code=%d, want 404", code)
+	}
+	if code, body := get("/report"); code != 200 || !strings.Contains(body, "Table 2") {
+		t.Errorf("/report: code=%d len=%d", code, len(body))
+	}
+}

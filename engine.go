@@ -1,0 +1,114 @@
+// The analytics engine: memoized, concurrency-safe access to every
+// experiment output. A Result's dataset is frozen once the study finishes,
+// so each table, figure, CSV dump, and SVG chart is computed exactly once
+// no matter how many callers — or goroutines — ask for it. Entries are
+// single-flight: concurrent requests for the same key block on one
+// computation instead of duplicating it.
+
+package msgscope
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+
+	"msgscope/internal/report"
+)
+
+// memoEntry is one cache slot. The sync.Once makes the fill single-flight;
+// val is safe to read after once.Do returns.
+type memoEntry struct {
+	once sync.Once
+	val  any
+}
+
+// memoCache maps cache keys to their entries. The mutex only guards the
+// map itself — computation happens outside it, under the entry's Once, so
+// a slow experiment never blocks unrelated keys.
+type memoCache struct {
+	mu      sync.Mutex
+	entries map[string]*memoEntry
+}
+
+func (c *memoCache) entry(key string) *memoEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.entries == nil {
+		c.entries = make(map[string]*memoEntry)
+	}
+	e, ok := c.entries[key]
+	if !ok {
+		e = &memoEntry{}
+		c.entries[key] = e
+	}
+	return e
+}
+
+// cached returns the memoized value for key, computing it on first use.
+// Concurrent callers with the same key share one computation.
+func cached[T any](r *Result, key string, compute func() T) T {
+	e := r.memo.entry(key)
+	e.once.Do(func() { e.val = compute() })
+	return e.val.(T)
+}
+
+// figure returns the named figure's computed result, cached. All figure
+// outputs — text rendering, CSV data, SVG chart — derive from this one
+// value, so asking for fig6's CSV and then its SVG computes fig6 once.
+func (r *Result) figure(id string) report.FigureResult {
+	return cached(r, "figure/"+id, func() report.FigureResult {
+		f, ok := report.Figure(r.ds, id)
+		if !ok {
+			panic("msgscope: figure " + id + " not registered") // guarded by callers
+		}
+		return f
+	})
+}
+
+func (r *Result) table2() report.Table2Result {
+	return cached(r, "exp/table2", func() report.Table2Result { return report.Table2(r.ds) })
+}
+
+func (r *Result) table4() report.Table4Result {
+	return cached(r, "exp/table4", func() report.Table4Result { return report.Table4(r.ds) })
+}
+
+func (r *Result) table5() report.Table5Result {
+	return cached(r, "exp/table5", func() report.Table5Result { return report.Table5(r.ds) })
+}
+
+// csvResult pairs the serialized bytes with the write error so failures
+// are memoized too (retrying cannot change a deterministic serialization).
+type csvResult struct {
+	data []byte
+	err  error
+}
+
+// FigureIDs lists the reproduced figures in presentation order.
+func FigureIDs() []string { return report.FigureIDs() }
+
+// FigureCSV returns the named figure's plot data as CSV, cached.
+func (r *Result) FigureCSV(id string) ([]byte, error) {
+	id = strings.ToLower(id)
+	if !report.HasFigure(id) {
+		return nil, fmt.Errorf("msgscope: unknown figure %q (valid: %s)",
+			id, strings.Join(report.FigureIDs(), ", "))
+	}
+	res := cached(r, "csv/"+id, func() csvResult {
+		var buf bytes.Buffer
+		err := r.figure(id).WriteCSV(&buf)
+		return csvResult{data: buf.Bytes(), err: err}
+	})
+	return res.data, res.err
+}
+
+// FigureSVG returns the named figure rendered as an SVG chart, cached.
+func (r *Result) FigureSVG(id string) (string, error) {
+	id = strings.ToLower(id)
+	if !report.HasFigure(id) {
+		return "", fmt.Errorf("msgscope: unknown figure %q (valid: %s)",
+			id, strings.Join(report.FigureIDs(), ", "))
+	}
+	return cached(r, "svg/"+id, func() string { return r.figure(id).SVG() }), nil
+}

@@ -1,0 +1,158 @@
+// Concurrency tests for the analytics engine: the memo cache must serve
+// every experiment correctly when hammered from many goroutines (the
+// `msgscope serve` report API does exactly this). Run with -race.
+package msgscope_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"msgscope"
+)
+
+// TestConcurrentRender hammers Render for every experiment from many
+// goroutines with no priming, so the first calls race into the
+// single-flight cache fill. Every caller must observe the same rendering,
+// and that rendering must match an uncached re-derivation.
+func TestConcurrentRender(t *testing.T) {
+	res := apiFixture(t)
+	ids := msgscope.Experiments()
+
+	const goroutines = 16
+	const rounds = 3
+	outs := make([][]string, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mine := make([]string, len(ids))
+			for round := 0; round < rounds; round++ {
+				for i, id := range ids {
+					out := res.Render(id)
+					if round == 0 {
+						mine[i] = out
+					} else if out != mine[i] {
+						mine[i] = "UNSTABLE: " + id
+					}
+				}
+			}
+			outs[g] = mine
+		}()
+	}
+	wg.Wait()
+
+	for i, id := range ids {
+		want := outs[0][i]
+		if strings.TrimSpace(want) == "" {
+			t.Errorf("%s: empty rendering", id)
+		}
+		for g := 1; g < goroutines; g++ {
+			if outs[g][i] != want {
+				t.Errorf("%s: goroutine %d saw a different rendering", id, g)
+			}
+		}
+	}
+
+	// Cached renderings must equal a fresh, cache-bypassing derivation.
+	// (Skip table3: LDA is seeded and deterministic but expensive.)
+	for i, id := range ids {
+		if id == "table3" {
+			continue
+		}
+		if got := res.Recompute(id); got != outs[0][i] {
+			t.Errorf("%s: cached rendering differs from recomputation", id)
+		}
+	}
+}
+
+// TestConcurrentFigureExports writes the CSV and SVG bundles from several
+// goroutines at once into distinct directories; all copies must agree.
+func TestConcurrentFigureExports(t *testing.T) {
+	res := apiFixture(t)
+	const writers = 4
+	dirs := make([]string, 2*writers)
+	for i := range dirs {
+		dirs[i] = filepath.Join(t.TempDir(), fmt.Sprintf("out%d", i))
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2*writers)
+	for i := 0; i < writers; i++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			errs[i] = res.SaveFigureCSVs(dirs[i])
+		}()
+		go func() {
+			defer wg.Done()
+			errs[writers+i] = res.SaveFigureSVGs(dirs[writers+i])
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("export %d: %v", i, err)
+		}
+	}
+
+	for _, id := range msgscope.FigureIDs() {
+		want, err := os.ReadFile(filepath.Join(dirs[0], id+".csv"))
+		if err != nil {
+			t.Fatalf("reading %s.csv: %v", id, err)
+		}
+		if len(want) == 0 {
+			t.Errorf("%s.csv is empty", id)
+		}
+		for i := 1; i < writers; i++ {
+			got, err := os.ReadFile(filepath.Join(dirs[i], id+".csv"))
+			if err != nil {
+				t.Fatalf("reading copy %d of %s.csv: %v", i, id, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s.csv: copy %d differs", id, i)
+			}
+		}
+		svg, err := os.ReadFile(filepath.Join(dirs[writers], id+".svg"))
+		if err != nil {
+			t.Fatalf("reading %s.svg: %v", id, err)
+		}
+		if !bytes.Contains(svg, []byte("<svg")) {
+			t.Errorf("%s.svg does not look like SVG", id)
+		}
+	}
+}
+
+// TestFigureAccessors covers the cached single-figure endpoints.
+func TestFigureAccessors(t *testing.T) {
+	res := apiFixture(t)
+	if got := msgscope.FigureIDs(); len(got) != 9 || got[0] != "fig1" || got[8] != "fig9" {
+		t.Fatalf("FigureIDs = %v", got)
+	}
+	data, err := res.FigureCSV("fig2")
+	if err != nil {
+		t.Fatalf("FigureCSV: %v", err)
+	}
+	if !bytes.HasPrefix(data, []byte("platform,")) {
+		t.Errorf("fig2 CSV header missing: %.40s", data)
+	}
+	again, err := res.FigureCSV("FIG2") // case-insensitive, cache hit
+	if err != nil || !bytes.Equal(again, data) {
+		t.Errorf("cached FigureCSV differs (err=%v)", err)
+	}
+	svg, err := res.FigureSVG("fig2")
+	if err != nil || !strings.Contains(svg, "<svg") {
+		t.Errorf("FigureSVG: err=%v", err)
+	}
+	if _, err := res.FigureCSV("fig42"); err == nil {
+		t.Error("unknown figure CSV did not error")
+	}
+	if _, err := res.FigureSVG("table2"); err == nil {
+		t.Error("non-figure SVG did not error")
+	}
+}

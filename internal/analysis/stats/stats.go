@@ -8,12 +8,16 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // ECDF is an empirical cumulative distribution function over float64
 // samples. The zero value is empty; add samples with Add or build one with
-// NewECDF.
+// NewECDF. Building (Add) is single-goroutine, but once built an ECDF is
+// safe for concurrent reads: the lazy sort the read paths trigger is
+// guarded, so cached figure results can be served to many readers at once.
 type ECDF struct {
+	mu     sync.Mutex // guards the lazy sort only
 	sorted bool
 	xs     []float64
 }
@@ -35,10 +39,12 @@ func (e *ECDF) Add(x float64) {
 func (e *ECDF) AddInt(x int) { e.Add(float64(x)) }
 
 func (e *ECDF) sort() {
+	e.mu.Lock()
 	if !e.sorted {
 		sort.Float64s(e.xs)
 		e.sorted = true
 	}
+	e.mu.Unlock()
 }
 
 // N returns the number of samples.

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 	"net/http/httptest"
+	"sync"
 	"time"
 
 	"msgscope/internal/collect"
@@ -123,7 +124,9 @@ type Study struct {
 	monitor   *monitor.Monitor
 	joiner    *join.Joiner
 
-	ran bool
+	ran      bool
+	snapOnce sync.Once
+	snap     *store.Snapshot
 }
 
 // NewStudy builds the world, starts the services on loopback HTTP, and
@@ -258,9 +261,12 @@ func (s *Study) runDay(ctx context.Context, day int) error {
 // quiesceStreams waits (in wall time) until the streaming clients have
 // consumed everything the service enqueued for them — the virtual clock
 // advances in bursts, so the driver must let the real goroutines catch up
-// before draining.
+// before draining. It blocks on each stream's progress notification rather
+// than polling: the stream posts a coalesced signal per consumed status, so
+// the driver sleeps until there is something new to check.
 func (s *Study) quiesceStreams() error {
-	deadline := time.Now().Add(30 * time.Second)
+	timer := time.NewTimer(30 * time.Second)
+	defer timer.Stop()
 	for _, st := range []*twitter.Stream{s.collector.FilterStream(), s.collector.SampleStream()} {
 		if st == nil {
 			continue
@@ -273,19 +279,39 @@ func (s *Study) quiesceStreams() error {
 			if err := st.Err(); err != nil {
 				return fmt.Errorf("core: stream error: %w", err)
 			}
-			if time.Now().After(deadline) {
+			select {
+			case <-st.Progress():
+				// Recheck the counters; the signal is coalesced.
+			case <-st.Done():
+				if err := st.Err(); err != nil {
+					return fmt.Errorf("core: stream error: %w", err)
+				}
+				if st.Received() < s.TwitterSvc.QueuedFor(st.SubID()) {
+					return fmt.Errorf("core: stream closed early: received %d of %d",
+						st.Received(), queued)
+				}
+			case <-timer.C:
 				return fmt.Errorf("core: stream quiesce timeout: received %d of %d",
 					st.Received(), queued)
 			}
-			time.Sleep(time.Millisecond)
 		}
 	}
 	return nil
 }
 
-// Dataset returns the collected dataset for the report package.
+// Dataset returns the collected dataset for the report package. After Run
+// has completed, the store is frozen and the dataset carries a one-time
+// snapshot with pre-sorted slices and per-platform/per-day indexes, so
+// every experiment reads shared indexes instead of re-scanning the store.
 func (s *Study) Dataset() report.Dataset {
-	return report.Dataset{Store: s.Store, Start: s.World.Cfg.Start, Days: s.Cfg.Days}
+	ds := report.Dataset{Store: s.Store, Start: s.World.Cfg.Start, Days: s.Cfg.Days}
+	if s.ran {
+		s.snapOnce.Do(func() {
+			s.snap = s.Store.Snapshot(ds.Start, ds.Days)
+		})
+		ds.Snap = s.snap
+	}
+	return ds
 }
 
 // CollectorStats exposes discovery counters.

@@ -1,0 +1,56 @@
+// Package par provides the bounded worker pool the report engine uses to
+// fan experiment rendering out across CPUs.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Do runs every task, using at most workers goroutines (workers <= 0 means
+// GOMAXPROCS), and returns the first error encountered. All tasks run even
+// after a failure; errors after the first are dropped.
+func Do(workers int, tasks []func() error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers <= 1 {
+		var first error
+		for _, t := range tasks {
+			if err := t(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		first error
+	)
+	queue := make(chan func() error)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range queue {
+				if err := t(); err != nil {
+					mu.Lock()
+					if first == nil {
+						first = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for _, t := range tasks {
+		queue <- t
+	}
+	close(queue)
+	wg.Wait()
+	return first
+}

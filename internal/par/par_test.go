@@ -1,0 +1,45 @@
+package par
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoRunsAllTasks(t *testing.T) {
+	for _, workers := range []int{0, 1, 4, 100} {
+		var ran atomic.Int64
+		tasks := make([]func() error, 37)
+		for i := range tasks {
+			tasks[i] = func() error { ran.Add(1); return nil }
+		}
+		if err := Do(workers, tasks); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if ran.Load() != 37 {
+			t.Fatalf("workers=%d: ran %d of 37", workers, ran.Load())
+		}
+	}
+}
+
+func TestDoReturnsFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	tasks := []func() error{
+		func() error { ran.Add(1); return nil },
+		func() error { ran.Add(1); return boom },
+		func() error { ran.Add(1); return nil },
+	}
+	if err := Do(2, tasks); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if ran.Load() != 3 {
+		t.Fatalf("a failure stopped the pool: ran %d of 3", ran.Load())
+	}
+}
+
+func TestDoEmpty(t *testing.T) {
+	if err := Do(4, nil); err != nil {
+		t.Fatal(err)
+	}
+}

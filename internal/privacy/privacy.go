@@ -38,8 +38,13 @@ type Report struct {
 
 // Analyze computes the privacy report from the collected dataset.
 func Analyze(st *store.Store) Report {
+	return AnalyzeUsers(st.Users())
+}
+
+// AnalyzeUsers computes the privacy report from an already-materialized
+// user list (e.g. a frozen store snapshot), avoiding a fresh store scan.
+func AnalyzeUsers(users []*store.UserRecord) Report {
 	var rep Report
-	users := st.Users()
 	for _, p := range platform.All {
 		e := Exposure{Platform: p}
 		var total int

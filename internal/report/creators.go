@@ -33,7 +33,7 @@ func Creators(ds Dataset) CreatorsResult {
 	}
 	for _, p := range platform.All {
 		perCreator := map[string]int{}
-		for _, g := range ds.Store.GroupsOf(p) {
+		for _, g := range ds.GroupsOf(p) {
 			key := creatorOf(g)
 			if key == "" {
 				continue
@@ -99,7 +99,7 @@ type CountriesResult struct {
 // Countries computes the creator-country histogram.
 func Countries(ds Dataset) CountriesResult {
 	h := stats.NewHistogram()
-	for _, g := range ds.Store.GroupsOf(platform.WhatsApp) {
+	for _, g := range ds.GroupsOf(platform.WhatsApp) {
 		for _, o := range g.Observations {
 			if o.CreatorCountry != "" {
 				h.Inc(o.CreatorCountry)

@@ -29,7 +29,7 @@ func CrossSource(ds Dataset) CrossSourceResult {
 		Both:        map[platform.Platform]int{},
 		Gain:        map[platform.Platform]float64{},
 	}
-	for _, g := range ds.Store.Groups() {
+	for _, g := range ds.Groups() {
 		switch {
 		case g.SeenTwitter && g.SeenSocial:
 			res.Both[g.Platform]++

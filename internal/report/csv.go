@@ -200,17 +200,11 @@ type CSVWriter interface {
 // FigureCSVs computes every figure and returns the CSV writers keyed by
 // figure ID.
 func FigureCSVs(ds Dataset) map[string]CSVWriter {
-	return map[string]CSVWriter{
-		"fig1": Fig1(ds),
-		"fig2": Fig2(ds),
-		"fig3": Fig3(ds),
-		"fig4": Fig4(ds),
-		"fig5": Fig5(ds),
-		"fig6": Fig6(ds),
-		"fig7": Fig7(ds),
-		"fig8": Fig8(ds),
-		"fig9": Fig9(ds),
+	out := make(map[string]CSVWriter, len(figureBuilders))
+	for id, build := range figureBuilders {
+		out[id] = build(ds)
 	}
+	return out
 }
 
 // Ensure every figure result satisfies CSVWriter.

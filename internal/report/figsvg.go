@@ -163,15 +163,9 @@ type SVGRenderer interface {
 // FigureSVGs computes every figure and returns the SVG renderers keyed by
 // figure ID.
 func FigureSVGs(ds Dataset) map[string]SVGRenderer {
-	return map[string]SVGRenderer{
-		"fig1": Fig1(ds),
-		"fig2": Fig2(ds),
-		"fig3": Fig3(ds),
-		"fig4": Fig4(ds),
-		"fig5": Fig5(ds),
-		"fig6": Fig6(ds),
-		"fig7": Fig7(ds),
-		"fig8": Fig8(ds),
-		"fig9": Fig9(ds),
+	out := make(map[string]SVGRenderer, len(figureBuilders))
+	for id, build := range figureBuilders {
+		out[id] = build(ds)
 	}
+	return out
 }

@@ -1,0 +1,53 @@
+package report
+
+// FigureResult is the full contract every reproduced figure satisfies: it
+// renders a textual summary, dumps its plot data as CSV, and draws itself
+// as an SVG chart. The engine layer caches one FigureResult per figure and
+// serves all three outputs from it.
+type FigureResult interface {
+	Renderer
+	CSVWriter
+	SVGRenderer
+}
+
+// figureBuilders maps figure IDs to their compute functions. All outputs
+// (text, CSV, SVG) derive from the one value a builder returns, so callers
+// that need several outputs compute the figure once.
+var figureBuilders = map[string]func(Dataset) FigureResult{
+	"fig1": func(ds Dataset) FigureResult { return Fig1(ds) },
+	"fig2": func(ds Dataset) FigureResult { return Fig2(ds) },
+	"fig3": func(ds Dataset) FigureResult { return Fig3(ds) },
+	"fig4": func(ds Dataset) FigureResult { return Fig4(ds) },
+	"fig5": func(ds Dataset) FigureResult { return Fig5(ds) },
+	"fig6": func(ds Dataset) FigureResult { return Fig6(ds) },
+	"fig7": func(ds Dataset) FigureResult { return Fig7(ds) },
+	"fig8": func(ds Dataset) FigureResult { return Fig8(ds) },
+	"fig9": func(ds Dataset) FigureResult { return Fig9(ds) },
+}
+
+// figureIDs lists the figures in presentation order.
+var figureIDs = []string{
+	"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+}
+
+// FigureIDs returns the figure identifiers in presentation order. The
+// returned slice is caller-owned.
+func FigureIDs() []string {
+	return append([]string(nil), figureIDs...)
+}
+
+// HasFigure reports whether id names a reproduced figure.
+func HasFigure(id string) bool {
+	_, ok := figureBuilders[id]
+	return ok
+}
+
+// Figure computes the named figure. The second return is false for unknown
+// IDs.
+func Figure(ds Dataset, id string) (FigureResult, bool) {
+	build, ok := figureBuilders[id]
+	if !ok {
+		return nil, false
+	}
+	return build(ds), true
+}

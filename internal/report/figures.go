@@ -37,18 +37,16 @@ func Fig1(ds Dataset) Fig1Result {
 		uniq[p] = map[int]daySet{}
 		seen[p] = map[string]int{}
 	}
-	for _, t := range ds.Store.Tweets() {
-		day := ds.dayOf(t.CreatedAt)
-		if day < 0 || day >= ds.Days {
-			continue
-		}
-		res.All[t.Platform].Inc(day, 1)
-		if uniq[t.Platform][day] == nil {
-			uniq[t.Platform][day] = daySet{}
-		}
-		uniq[t.Platform][day][t.GroupCode] = struct{}{}
-		if first, ok := seen[t.Platform][t.GroupCode]; !ok || day < first {
-			seen[t.Platform][t.GroupCode] = day
+	for day, bucket := range ds.TweetDayBuckets() {
+		for _, t := range bucket {
+			res.All[t.Platform].Inc(day, 1)
+			if uniq[t.Platform][day] == nil {
+				uniq[t.Platform][day] = daySet{}
+			}
+			uniq[t.Platform][day][t.GroupCode] = struct{}{}
+			if first, ok := seen[t.Platform][t.GroupCode]; !ok || day < first {
+				seen[t.Platform][t.GroupCode] = day
+			}
 		}
 	}
 	for _, p := range platform.All {
@@ -92,7 +90,7 @@ func Fig2(ds Dataset) Fig2Result {
 	for _, p := range platform.All {
 		e := stats.NewECDF(nil)
 		once, n := 0, 0
-		for _, g := range ds.Store.GroupsOf(p) {
+		for _, g := range ds.GroupsOf(p) {
 			e.AddInt(g.Tweets)
 			n++
 			if g.Tweets == 1 {
@@ -141,17 +139,14 @@ func Fig3(ds Dataset) Fig3Result {
 	var res Fig3Result
 	for _, p := range platform.All {
 		fs := FeatureShares{Name: p.String()}
-		for _, t := range ds.Store.Tweets() {
-			if t.Platform != p {
-				continue
-			}
+		for _, t := range ds.TweetsOf(p) {
 			accumulate(&fs, t.Hashtags, t.Mentions, t.Retweet)
 		}
 		finalize(&fs)
 		res.Rows = append(res.Rows, fs)
 	}
 	ctl := FeatureShares{Name: "Control"}
-	for _, t := range ds.Store.Control() {
+	for _, t := range ds.Control() {
 		accumulate(&ctl, t.Hashtags, t.Mentions, t.Retweet)
 	}
 	finalize(&ctl)
@@ -216,8 +211,9 @@ func Fig4(ds Dataset) Fig4Result {
 	for _, p := range platform.All {
 		res.Langs[p] = stats.NewHistogram()
 	}
-	for _, t := range ds.Store.Tweets() {
-		res.Langs[t.Platform].Inc(t.Lang)
+	tweets := ds.Tweets()
+	for i := range tweets {
+		res.Langs[tweets[i].Platform].Inc(tweets[i].Lang)
 	}
 	return res
 }
@@ -260,7 +256,7 @@ func Fig5(ds Dataset) Fig5Result {
 	for _, p := range platform.All {
 		e := stats.NewECDF(nil)
 		sameDay, overYr, n := 0, 0, 0
-		for _, g := range ds.Store.GroupsOf(p) {
+		for _, g := range ds.GroupsOf(p) {
 			created := creationOf(g)
 			if created.IsZero() {
 				continue
@@ -340,7 +336,7 @@ func Fig6(ds Dataset) Fig6Result {
 		life := stats.NewECDF(nil)
 		perDay := stats.NewSeries(ds.Days)
 		revoked, deadFirst, n := 0, 0, 0
-		for _, g := range ds.Store.GroupsOf(p) {
+		for _, g := range ds.GroupsOf(p) {
 			if len(g.Observations) == 0 {
 				continue
 			}
@@ -412,7 +408,7 @@ func Fig7(ds Dataset) Fig7Result {
 		onl := stats.NewECDF(nil)
 		gro := stats.NewECDF(nil)
 		grew, shrank, n := 0, 0, 0
-		for _, g := range ds.Store.GroupsOf(p) {
+		for _, g := range ds.GroupsOf(p) {
 			first, last := -1, -1
 			for i, o := range g.Observations {
 				if o.Alive {
@@ -485,8 +481,9 @@ func Fig8(ds Dataset) Fig8Result {
 	for _, p := range platform.All {
 		res.Types[p] = stats.NewHistogram()
 	}
-	for _, m := range ds.Store.Messages() {
-		res.Types[m.Platform].Inc(m.Type.String())
+	msgs := ds.Messages()
+	for i := range msgs {
+		res.Types[msgs[i].Platform].Inc(msgs[i].Type.String())
 	}
 	return res
 }
@@ -533,12 +530,13 @@ func Fig9(ds Dataset) Fig9Result {
 		users[p] = map[uint64]int{}
 		spanDays[p] = map[string]float64{}
 	}
-	for _, m := range ds.Store.Messages() {
-		counts[m.Platform][m.GroupCode]++
-		users[m.Platform][m.AuthorKey]++
+	msgs := ds.Messages()
+	for i := range msgs {
+		counts[msgs[i].Platform][msgs[i].GroupCode]++
+		users[msgs[i].Platform][msgs[i].AuthorKey]++
 	}
 	for _, p := range platform.All {
-		for _, g := range joinedGroups(ds.Store, p) {
+		for _, g := range ds.JoinedOf(p) {
 			span := messageSpanDays(ds, g)
 			if span > 0 {
 				spanDays[p][g.Code] = span

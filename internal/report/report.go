@@ -8,20 +8,130 @@ package report
 import (
 	"time"
 
+	"msgscope/internal/platform"
 	"msgscope/internal/store"
 )
 
 // Dataset is the input to every experiment: the collected store plus the
-// study window.
+// study window. When Snap is set (the study driver takes one frozen,
+// indexed snapshot after collection) the experiments read the snapshot's
+// pre-sorted slices and per-platform partitions instead of re-deriving
+// them from the store's maps on every call; without it they fall back to
+// store scans, so hand-built Datasets keep working.
 type Dataset struct {
 	Store *store.Store
 	Start time.Time
 	Days  int
+	Snap  *store.Snapshot
 }
 
 // dayOf maps an instant to a zero-based study day.
 func (d Dataset) dayOf(t time.Time) int {
 	return int(t.Sub(d.Start) / (24 * time.Hour))
+}
+
+// Tweets returns the collected platform tweets.
+func (d Dataset) Tweets() []store.TweetRecord {
+	if d.Snap != nil {
+		return d.Snap.Tweets
+	}
+	return d.Store.Tweets()
+}
+
+// Control returns the control-stream tweets.
+func (d Dataset) Control() []store.ControlRecord {
+	if d.Snap != nil {
+		return d.Snap.Control
+	}
+	return d.Store.Control()
+}
+
+// Messages returns the collected in-group messages.
+func (d Dataset) Messages() []store.MessageRecord {
+	if d.Snap != nil {
+		return d.Snap.Messages
+	}
+	return d.Store.Messages()
+}
+
+// Groups returns all discovered groups, sorted by platform then code.
+func (d Dataset) Groups() []*store.GroupRecord {
+	if d.Snap != nil {
+		return d.Snap.Groups
+	}
+	return d.Store.Groups()
+}
+
+// GroupsOf returns one platform's groups, sorted by code.
+func (d Dataset) GroupsOf(p platform.Platform) []*store.GroupRecord {
+	if d.Snap != nil {
+		return d.Snap.GroupsOf(p)
+	}
+	return d.Store.GroupsOf(p)
+}
+
+// JoinedOf returns one platform's joined groups, sorted by code.
+func (d Dataset) JoinedOf(p platform.Platform) []*store.GroupRecord {
+	if d.Snap != nil {
+		return d.Snap.JoinedOf(p)
+	}
+	var out []*store.GroupRecord
+	for _, g := range d.Store.GroupsOf(p) {
+		if g.Joined {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// Users returns all observed users, sorted by platform then key.
+func (d Dataset) Users() []*store.UserRecord {
+	if d.Snap != nil {
+		return d.Snap.Users
+	}
+	return d.Store.Users()
+}
+
+// CountsFor returns one platform's Table 2 counts.
+func (d Dataset) CountsFor(p platform.Platform) store.Counts {
+	if d.Snap != nil {
+		return d.Snap.CountsFor(p)
+	}
+	return d.Store.CountsFor(p)
+}
+
+// TweetsOf returns one platform's tweets, in collection order.
+func (d Dataset) TweetsOf(p platform.Platform) []*store.TweetRecord {
+	if d.Snap != nil {
+		return d.Snap.TweetsOf(p)
+	}
+	tweets := d.Store.Tweets()
+	var out []*store.TweetRecord
+	for i := range tweets {
+		if tweets[i].Platform == p {
+			out = append(out, &tweets[i])
+		}
+	}
+	return out
+}
+
+// TweetDayBuckets returns the tweets partitioned by zero-based study day;
+// tweets outside the window appear in no bucket.
+func (d Dataset) TweetDayBuckets() [][]*store.TweetRecord {
+	if d.Snap != nil {
+		return d.Snap.TweetsByDay()
+	}
+	if d.Days <= 0 {
+		return nil
+	}
+	buckets := make([][]*store.TweetRecord, d.Days)
+	tweets := d.Store.Tweets()
+	for i := range tweets {
+		if day := d.dayOf(tweets[i].CreatedAt); day >= 0 && day < d.Days {
+			buckets[day] = append(buckets[day], &tweets[i])
+		}
+	}
+	return buckets
 }
 
 // Renderer is implemented by every experiment result.

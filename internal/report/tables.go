@@ -8,7 +8,6 @@ import (
 	"msgscope/internal/analysis/textproc"
 	"msgscope/internal/platform"
 	"msgscope/internal/privacy"
-	"msgscope/internal/store"
 )
 
 // --- Table 1 ---
@@ -65,13 +64,13 @@ func Table2(ds Dataset) Table2Result {
 	// Platform-side user counts: users observed via joined groups
 	// (members and posters), not creators-only.
 	memberUsers := map[platform.Platform]int{}
-	for _, u := range ds.Store.Users() {
+	for _, u := range ds.Users() {
 		if !u.Creator {
 			memberUsers[u.Platform]++
 		}
 	}
 	for _, p := range platform.All {
-		c := ds.Store.CountsFor(p)
+		c := ds.CountsFor(p)
 		row := Table2Row{
 			Platform:     p,
 			Tweets:       c.Tweets,
@@ -141,18 +140,17 @@ func Table3(ds Dataset, cfg Table3Config) Table3Result {
 		EnglishTweets: map[platform.Platform]int{},
 	}
 	tok := textproc.NewTokenizer()
-	byPlatform := map[platform.Platform][]string{}
-	for _, t := range ds.Store.Tweets() {
-		if t.Lang != "en" {
-			continue
-		}
-		if cfg.MaxTweets > 0 && len(byPlatform[t.Platform]) >= cfg.MaxTweets {
-			continue
-		}
-		byPlatform[t.Platform] = append(byPlatform[t.Platform], t.Text)
-	}
 	for _, p := range platform.All {
-		texts := byPlatform[p]
+		var texts []string
+		for _, t := range ds.TweetsOf(p) {
+			if t.Lang != "en" {
+				continue
+			}
+			if cfg.MaxTweets > 0 && len(texts) >= cfg.MaxTweets {
+				break
+			}
+			texts = append(texts, t.Text)
+		}
 		res.EnglishTweets[p] = len(texts)
 		if len(texts) == 0 {
 			continue
@@ -190,7 +188,7 @@ type Table4Result struct {
 
 // Table4 computes the PII-exposure statistics.
 func Table4(ds Dataset) Table4Result {
-	return Table4Result{Report: privacy.Analyze(ds.Store)}
+	return Table4Result{Report: privacy.AnalyzeUsers(ds.Users())}
 }
 
 // Render prints Table 4.
@@ -213,7 +211,7 @@ type Table5Result struct {
 
 // Table5 computes the linked-account breakdown.
 func Table5(ds Dataset) Table5Result {
-	return Table5Result{Rows: privacy.Analyze(ds.Store).Linked}
+	return Table5Result{Rows: privacy.AnalyzeUsers(ds.Users()).Linked}
 }
 
 // Render prints Table 5.
@@ -224,15 +222,4 @@ func (t Table5Result) Render() string {
 		fmt.Fprintf(&sb, "%-18s %6d (%5.2f%%)\n", r.Platform, r.Users, r.Share*100)
 	}
 	return sb.String()
-}
-
-// joinedGroups returns the joined groups of one platform.
-func joinedGroups(st *store.Store, p platform.Platform) []*store.GroupRecord {
-	var out []*store.GroupRecord
-	for _, g := range st.GroupsOf(p) {
-		if g.Joined {
-			out = append(out, g)
-		}
-	}
-	return out
 }

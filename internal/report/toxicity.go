@@ -49,7 +49,9 @@ func Toxicity(ds Dataset) ToxicityResult {
 	for _, p := range platform.All {
 		perPlatform[p] = &agg{}
 	}
-	for _, m := range ds.Store.Messages() {
+	msgs := ds.Messages()
+	for i := range msgs {
+		m := &msgs[i]
 		if m.Text == "" {
 			continue
 		}

@@ -1,0 +1,138 @@
+package store
+
+import (
+	"time"
+
+	"msgscope/internal/platform"
+)
+
+// Snapshot is a frozen, indexed view of the dataset, taken once after a
+// study's collection completes. The paper derives every table and figure
+// from one immutable 38-day dataset, so the report engine can exploit
+// post-collection immutability aggressively: all slices here are shared
+// (never copied per call) and pre-partitioned, letting experiments do
+// O(their output) work instead of re-sorting the store's maps on each
+// call.
+//
+// Contract: take the snapshot only after collection has stopped, and treat
+// everything it exposes as read-only.
+type Snapshot struct {
+	Start time.Time
+	Days  int
+
+	// Flat record slices in collection order.
+	Tweets   []TweetRecord
+	Control  []ControlRecord
+	Posts    []PostRecord
+	Messages []MessageRecord
+
+	// Groups and Users are sorted by platform then code/key, matching the
+	// store's deterministic iteration order.
+	Groups []*GroupRecord
+	Users  []*UserRecord
+
+	tweetsByPlat map[platform.Platform][]*TweetRecord
+	msgsByPlat   map[platform.Platform][]*MessageRecord
+	groupsByPlat map[platform.Platform][]*GroupRecord
+	joinedByPlat map[platform.Platform][]*GroupRecord
+	tweetsByDay  [][]*TweetRecord
+	counts       map[platform.Platform]Counts
+}
+
+// Snapshot freezes the store into an indexed view of the study window
+// [start, start+days).
+func (s *Store) Snapshot(start time.Time, days int) *Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rebuildGroupsLocked()
+	s.rebuildUsersLocked()
+
+	sn := &Snapshot{
+		Start:        start,
+		Days:         days,
+		Tweets:       s.tweets,
+		Control:      s.control,
+		Posts:        s.posts,
+		Messages:     s.msgs,
+		Groups:       s.sortedGroups,
+		Users:        s.sortedUsers,
+		tweetsByPlat: map[platform.Platform][]*TweetRecord{},
+		msgsByPlat:   map[platform.Platform][]*MessageRecord{},
+		groupsByPlat: s.groupsByPlat,
+		joinedByPlat: map[platform.Platform][]*GroupRecord{},
+		counts:       map[platform.Platform]Counts{},
+	}
+	if days > 0 {
+		sn.tweetsByDay = make([][]*TweetRecord, days)
+	}
+
+	tweetUsers := map[platform.Platform]map[string]struct{}{}
+	for i := range s.tweets {
+		t := &s.tweets[i]
+		sn.tweetsByPlat[t.Platform] = append(sn.tweetsByPlat[t.Platform], t)
+		if d := int(t.CreatedAt.Sub(start) / (24 * time.Hour)); d >= 0 && d < days {
+			sn.tweetsByDay[d] = append(sn.tweetsByDay[d], t)
+		}
+		set := tweetUsers[t.Platform]
+		if set == nil {
+			set = map[string]struct{}{}
+			tweetUsers[t.Platform] = set
+		}
+		set[t.UserID] = struct{}{}
+	}
+	msgUsers := map[platform.Platform]map[uint64]struct{}{}
+	for i := range s.msgs {
+		m := &s.msgs[i]
+		sn.msgsByPlat[m.Platform] = append(sn.msgsByPlat[m.Platform], m)
+		set := msgUsers[m.Platform]
+		if set == nil {
+			set = map[uint64]struct{}{}
+			msgUsers[m.Platform] = set
+		}
+		set[m.AuthorKey] = struct{}{}
+	}
+	for _, g := range sn.Groups {
+		if g.Joined {
+			sn.joinedByPlat[g.Platform] = append(sn.joinedByPlat[g.Platform], g)
+		}
+	}
+	for _, p := range platform.All {
+		c := Counts{
+			Tweets:       len(sn.tweetsByPlat[p]),
+			TweetUsers:   len(tweetUsers[p]),
+			GroupURLs:    len(sn.groupsByPlat[p]),
+			JoinedGroups: len(sn.joinedByPlat[p]),
+			Messages:     len(sn.msgsByPlat[p]),
+			MessageUsers: len(msgUsers[p]),
+		}
+		sn.counts[p] = c
+	}
+	return sn
+}
+
+// TweetsOf returns one platform's tweets, in collection order.
+func (sn *Snapshot) TweetsOf(p platform.Platform) []*TweetRecord {
+	return sn.tweetsByPlat[p]
+}
+
+// MessagesOf returns one platform's collected messages.
+func (sn *Snapshot) MessagesOf(p platform.Platform) []*MessageRecord {
+	return sn.msgsByPlat[p]
+}
+
+// GroupsOf returns one platform's groups, sorted by code.
+func (sn *Snapshot) GroupsOf(p platform.Platform) []*GroupRecord {
+	return sn.groupsByPlat[p]
+}
+
+// JoinedOf returns the joined groups of one platform, sorted by code.
+func (sn *Snapshot) JoinedOf(p platform.Platform) []*GroupRecord {
+	return sn.joinedByPlat[p]
+}
+
+// TweetsByDay returns the tweets bucketed by zero-based study day; tweets
+// outside the window appear in no bucket.
+func (sn *Snapshot) TweetsByDay() [][]*TweetRecord { return sn.tweetsByDay }
+
+// CountsFor returns the precomputed Table 2 row of one platform.
+func (sn *Snapshot) CountsFor(p platform.Platform) Counts { return sn.counts[p] }

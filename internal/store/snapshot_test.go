@@ -1,0 +1,134 @@
+package store
+
+import (
+	"testing"
+	"time"
+
+	"msgscope/internal/platform"
+)
+
+var snapStart = time.Date(2020, 4, 8, 0, 0, 0, 0, time.UTC)
+
+func buildSnapshotStore() *Store {
+	s := New()
+	at := func(day, h int) time.Time { return snapStart.Add(time.Duration(day*24+h) * time.Hour) }
+	s.AddTweet(TweetRecord{ID: 1, UserID: "u1", CreatedAt: at(0, 3), Platform: platform.WhatsApp, GroupCode: "wa1"})
+	s.AddTweet(TweetRecord{ID: 2, UserID: "u1", CreatedAt: at(1, 4), Platform: platform.WhatsApp, GroupCode: "wa2"})
+	s.AddTweet(TweetRecord{ID: 3, UserID: "u2", CreatedAt: at(1, 5), Platform: platform.Telegram, GroupCode: "tg1"})
+	s.AddTweet(TweetRecord{ID: 4, UserID: "u3", CreatedAt: at(9, 1), Platform: platform.Discord, GroupCode: "dc1"}) // outside 3-day window
+	s.AddControl(ControlRecord{ID: 9, UserID: "c1", CreatedAt: at(0, 1)})
+	s.MarkJoined(platform.WhatsApp, "wa1", func(g *GroupRecord) { g.MemberCount = 10 })
+	s.AddMessage(MessageRecord{Platform: platform.WhatsApp, GroupCode: "wa1", AuthorKey: 7, SentAt: at(1, 1), Type: platform.Text})
+	s.AddMessage(MessageRecord{Platform: platform.WhatsApp, GroupCode: "wa1", AuthorKey: 8, SentAt: at(1, 2), Type: platform.Text})
+	s.UpsertUser(UserRecord{Platform: platform.WhatsApp, Key: 7, PhoneHash: "h7"})
+	s.UpsertUser(UserRecord{Platform: platform.WhatsApp, Key: 8, PhoneHash: "h8"})
+	return s
+}
+
+func TestSnapshotMatchesStore(t *testing.T) {
+	s := buildSnapshotStore()
+	sn := s.Snapshot(snapStart, 3)
+
+	if len(sn.Tweets) != 4 || len(sn.Control) != 1 || len(sn.Messages) != 2 {
+		t.Fatalf("flat slices wrong: %d tweets %d control %d msgs",
+			len(sn.Tweets), len(sn.Control), len(sn.Messages))
+	}
+	groups := s.Groups()
+	if len(sn.Groups) != len(groups) {
+		t.Fatalf("snapshot has %d groups, store %d", len(sn.Groups), len(groups))
+	}
+	for i := range groups {
+		if sn.Groups[i] != groups[i] {
+			t.Fatalf("group order diverges at %d", i)
+		}
+	}
+	for _, p := range platform.All {
+		want := s.GroupsOf(p)
+		got := sn.GroupsOf(p)
+		if len(want) != len(got) {
+			t.Fatalf("%v: GroupsOf %d vs %d", p, len(got), len(want))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("%v: GroupsOf order diverges at %d", p, i)
+			}
+		}
+		if sn.CountsFor(p) != s.CountsFor(p) {
+			t.Fatalf("%v: counts %+v vs %+v", p, sn.CountsFor(p), s.CountsFor(p))
+		}
+	}
+	if n := len(sn.JoinedOf(platform.WhatsApp)); n != 1 {
+		t.Fatalf("joined WhatsApp groups = %d, want 1", n)
+	}
+	if n := len(sn.JoinedOf(platform.Discord)); n != 0 {
+		t.Fatalf("joined Discord groups = %d, want 0", n)
+	}
+	var inPlat int
+	for _, p := range platform.All {
+		inPlat += len(sn.TweetsOf(p))
+	}
+	if inPlat != len(sn.Tweets) {
+		t.Fatalf("per-platform tweet partitions cover %d of %d", inPlat, len(sn.Tweets))
+	}
+}
+
+func TestSnapshotDayBuckets(t *testing.T) {
+	sn := buildSnapshotStore().Snapshot(snapStart, 3)
+	buckets := sn.TweetsByDay()
+	if len(buckets) != 3 {
+		t.Fatalf("%d buckets, want 3", len(buckets))
+	}
+	if len(buckets[0]) != 1 || len(buckets[1]) != 2 || len(buckets[2]) != 0 {
+		t.Fatalf("bucket sizes %d/%d/%d, want 1/2/0",
+			len(buckets[0]), len(buckets[1]), len(buckets[2]))
+	}
+	// The day-9 Discord tweet is outside the window: present in the flat
+	// slice, absent from every bucket.
+	var bucketed int
+	for _, b := range buckets {
+		bucketed += len(b)
+	}
+	if bucketed != 3 {
+		t.Fatalf("bucketed %d tweets, want 3 (one outside window)", bucketed)
+	}
+}
+
+func TestGroupsReturnsCallerOwnedCopy(t *testing.T) {
+	s := buildSnapshotStore()
+	a := s.Groups()
+	if len(a) < 2 {
+		t.Fatal("need at least 2 groups")
+	}
+	// A caller (the join phase) may shuffle what it gets back...
+	a[0], a[1] = a[1], a[0]
+	// ...without disturbing the store's deterministic order.
+	b := s.Groups()
+	if b[0] != a[1] || b[1] != a[0] {
+		t.Fatal("caller mutation leaked into the store's group index")
+	}
+	// Same for the per-platform partition.
+	wa := s.GroupsOf(platform.WhatsApp)
+	if len(wa) != 2 {
+		t.Fatalf("%d WhatsApp groups, want 2", len(wa))
+	}
+	wa[0], wa[1] = wa[1], wa[0]
+	wa2 := s.GroupsOf(platform.WhatsApp)
+	if wa2[0] != wa[1] {
+		t.Fatal("caller mutation leaked into the per-platform index")
+	}
+}
+
+func TestGroupIndexInvalidation(t *testing.T) {
+	s := buildSnapshotStore()
+	before := len(s.GroupsOf(platform.Telegram))
+	s.AddTweet(TweetRecord{ID: 99, UserID: "u9", CreatedAt: snapStart, Platform: platform.Telegram, GroupCode: "tg-new"})
+	after := s.GroupsOf(platform.Telegram)
+	if len(after) != before+1 {
+		t.Fatalf("index stale after new group: %d, want %d", len(after), before+1)
+	}
+	u := len(s.Users())
+	s.UpsertUser(UserRecord{Platform: platform.Discord, Key: 42})
+	if len(s.Users()) != u+1 {
+		t.Fatal("user index stale after upsert")
+	}
+}

@@ -154,6 +154,15 @@ type Store struct {
 
 	seenTweets map[uint64]int // tweet id -> index in tweets
 	seenPosts  map[uint64]struct{}
+
+	// Sorted read caches, rebuilt lazily when the group/user sets change.
+	// Groups, GroupsOf, and Users hand out copies of these so callers may
+	// reorder what they receive (the join phase shuffles its candidates).
+	sortedGroups []*GroupRecord
+	groupsByPlat map[platform.Platform][]*GroupRecord
+	sortedUsers  []*UserRecord
+	groupsDirty  bool
+	usersDirty   bool
 }
 
 // New returns an empty Store.
@@ -195,6 +204,7 @@ func (s *Store) groupFor(p platform.Platform, code string, at time.Time) (*Group
 	if !ok {
 		g = &GroupRecord{Platform: p, Code: code, FirstSeen: at, LastSeen: at}
 		s.groups[k] = g
+		s.groupsDirty = true
 		isNew = true
 	}
 	if at.Before(g.FirstSeen) {
@@ -300,6 +310,7 @@ func (s *Store) UpsertUser(u UserRecord) {
 	if !ok {
 		cp := u
 		s.users[k] = &cp
+		s.usersDirty = true
 		return
 	}
 	if u.PhoneHash != "" {
@@ -358,11 +369,12 @@ func (s *Store) Control() []ControlRecord {
 	return s.control
 }
 
-// Groups returns all discovered groups, sorted by platform then code for
-// deterministic iteration.
-func (s *Store) Groups() []*GroupRecord {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// rebuildGroupsLocked refreshes the sorted slice and per-platform
+// partitions after the group set changed. Callers hold s.mu.
+func (s *Store) rebuildGroupsLocked() {
+	if !s.groupsDirty && s.sortedGroups != nil {
+		return
+	}
 	out := make([]*GroupRecord, 0, len(s.groups))
 	for _, g := range s.groups {
 		out = append(out, g)
@@ -373,18 +385,33 @@ func (s *Store) Groups() []*GroupRecord {
 		}
 		return out[i].Code < out[j].Code
 	})
-	return out
+	byPlat := map[platform.Platform][]*GroupRecord{}
+	for _, g := range out {
+		byPlat[g.Platform] = append(byPlat[g.Platform], g)
+	}
+	s.sortedGroups = out
+	s.groupsByPlat = byPlat
+	s.groupsDirty = false
 }
 
-// GroupsOf returns the discovered groups of one platform, sorted by code.
+// Groups returns all discovered groups, sorted by platform then code for
+// deterministic iteration. The slice is the caller's to reorder; it is
+// copied from an index kept sorted across calls, so repeated reads cost
+// O(N) instead of O(N log N).
+func (s *Store) Groups() []*GroupRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rebuildGroupsLocked()
+	return append([]*GroupRecord(nil), s.sortedGroups...)
+}
+
+// GroupsOf returns the discovered groups of one platform, sorted by code,
+// served from the per-platform partition of the group index.
 func (s *Store) GroupsOf(p platform.Platform) []*GroupRecord {
-	var out []*GroupRecord
-	for _, g := range s.Groups() {
-		if g.Platform == p {
-			out = append(out, g)
-		}
-	}
-	return out
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rebuildGroupsLocked()
+	return append([]*GroupRecord(nil), s.groupsByPlat[p]...)
 }
 
 // Messages returns all collected messages.
@@ -394,10 +421,11 @@ func (s *Store) Messages() []MessageRecord {
 	return s.msgs
 }
 
-// Users returns all observed users, sorted by platform then key.
-func (s *Store) Users() []*UserRecord {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// rebuildUsersLocked refreshes the sorted user index. Callers hold s.mu.
+func (s *Store) rebuildUsersLocked() {
+	if !s.usersDirty && s.sortedUsers != nil {
+		return
+	}
 	out := make([]*UserRecord, 0, len(s.users))
 	for _, u := range s.users {
 		out = append(out, u)
@@ -408,7 +436,17 @@ func (s *Store) Users() []*UserRecord {
 		}
 		return out[i].Key < out[j].Key
 	})
-	return out
+	s.sortedUsers = out
+	s.usersDirty = false
+}
+
+// Users returns all observed users, sorted by platform then key. As with
+// Groups, the returned slice is a copy of a persistent sorted index.
+func (s *Store) Users() []*UserRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rebuildUsersLocked()
+	return append([]*UserRecord(nil), s.sortedUsers...)
 }
 
 // Counts summarizes the dataset per platform (the raw material of Table 2).

@@ -126,6 +126,10 @@ type Stream struct {
 	subID    atomic.Int64
 	started  chan struct{}
 	done     chan struct{}
+	// progress holds one pending "new status consumed" signal. The buffer
+	// of one lets the consumer post without blocking while guaranteeing a
+	// waiter that checks counters and then selects never misses a wakeup.
+	progress chan struct{}
 }
 
 // OpenFilterStream connects to /1.1/statuses/filter.json with the given
@@ -144,9 +148,10 @@ func (c *Client) OpenSampleStream(ctx context.Context) (*Stream, error) {
 func (c *Client) openStream(ctx context.Context, path string) (*Stream, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	st := &Stream{
-		cancel:  cancel,
-		started: make(chan struct{}),
-		done:    make(chan struct{}),
+		cancel:   cancel,
+		started:  make(chan struct{}),
+		done:     make(chan struct{}),
+		progress: make(chan struct{}, 1),
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
 	if err != nil {
@@ -196,6 +201,10 @@ func (st *Stream) consume(body io.ReadCloser) {
 		st.buf = append(st.buf, s)
 		st.mu.Unlock()
 		st.received.Add(1)
+		select {
+		case st.progress <- struct{}{}:
+		default: // a signal is already pending; the waiter will recheck
+		}
 	}
 	if err := sc.Err(); err != nil && !errors.Is(err, context.Canceled) {
 		st.setErr(err)
@@ -221,6 +230,14 @@ func (st *Stream) Drain() []Status {
 
 // Received reports how many statuses this stream has consumed in total.
 func (st *Stream) Received() int { return int(st.received.Load()) }
+
+// Progress signals each consumed status (coalesced: at most one pending
+// signal). Waiters must re-check Received after each receive.
+func (st *Stream) Progress() <-chan struct{} { return st.progress }
+
+// Done is closed when the consumer goroutine exits (connection closed or
+// first error).
+func (st *Stream) Done() <-chan struct{} { return st.done }
 
 // SubID is the server-side subscription ID (for driver quiescing).
 func (st *Stream) SubID() int { return int(st.subID.Load()) }

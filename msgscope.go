@@ -28,6 +28,7 @@ import (
 
 	"msgscope/internal/core"
 	"msgscope/internal/join"
+	"msgscope/internal/par"
 	"msgscope/internal/report"
 	"msgscope/internal/store"
 )
@@ -68,10 +69,14 @@ type Options struct {
 	SocialDiscovery bool
 }
 
-// Result is a completed study with its collected dataset.
+// Result is a completed study with its collected dataset. The dataset is
+// frozen, so every experiment output is memoized: Render, FigureCSV, and
+// FigureSVG compute each artifact once and serve it from cache after that,
+// safely under concurrent use (e.g. HTTP handlers).
 type Result struct {
 	study *core.Study
 	ds    report.Dataset
+	memo  memoCache
 }
 
 // Run executes the full methodology and returns the collected dataset.
@@ -143,9 +148,22 @@ var experiments = map[string]func(*Result) string{
 	"crosssource": func(r *Result) string { return report.CrossSource(r.ds).Render() },
 }
 
-// Render regenerates one of the paper's tables or figures from the run's
-// dataset. Valid IDs are listed by Experiments.
+// Render returns one of the paper's tables or figures from the run's
+// dataset. Valid IDs are listed by Experiments. The first call computes
+// the experiment; later calls (from any goroutine) return the cached
+// rendering.
 func (r *Result) Render(experiment string) string {
+	id := strings.ToLower(experiment)
+	if _, ok := experiments[id]; !ok {
+		return fmt.Sprintf("unknown experiment %q (valid: %s)",
+			experiment, strings.Join(Experiments(), ", "))
+	}
+	return cached(r, "render/"+id, func() string { return r.Recompute(id) })
+}
+
+// Recompute re-derives an experiment from the raw dataset, bypassing the
+// cache (the cold path; useful for benchmarking the derivation itself).
+func (r *Result) Recompute(experiment string) string {
 	fn, ok := experiments[strings.ToLower(experiment)]
 	if !ok {
 		return fmt.Sprintf("unknown experiment %q (valid: %s)",
@@ -154,11 +172,23 @@ func (r *Result) Render(experiment string) string {
 	return fn(r)
 }
 
-// RenderAll regenerates every table and figure.
+// RenderAll regenerates every table and figure, computing independent
+// experiments in parallel (each lands in the cache, so a later Render of
+// any single ID is free).
 func (r *Result) RenderAll() string {
+	ids := Experiments()
+	outs := make([]string, len(ids))
+	tasks := make([]func() error, len(ids))
+	for i, id := range ids {
+		tasks[i] = func() error {
+			outs[i] = r.Render(id)
+			return nil
+		}
+	}
+	par.Do(0, tasks)
 	var sb strings.Builder
-	for _, id := range Experiments() {
-		sb.WriteString(r.Render(id))
+	for _, out := range outs {
+		sb.WriteString(out)
 		sb.WriteString("\n")
 	}
 	return sb.String()
@@ -167,7 +197,7 @@ func (r *Result) RenderAll() string {
 // Summary reports headline counts: discovered URLs, tweets, messages, and
 // pipeline counters.
 func (r *Result) Summary() string {
-	t2 := report.Table2(r.ds)
+	t2 := r.table2()
 	cs := r.study.CollectorStats()
 	ms := r.study.MonitorStats()
 	js := r.study.JoinStats()
@@ -193,47 +223,52 @@ func (r *Result) SaveDataset(dir string) error {
 }
 
 // SaveFigureCSVs writes each figure's underlying data as CSV under dir
-// (fig1.csv … fig9.csv), plot-ready in long format.
+// (fig1.csv … fig9.csv), plot-ready in long format. Figures are computed
+// in parallel and cached, so a later FigureCSV or SaveFigureSVGs call
+// reuses them.
 func (r *Result) SaveFigureCSVs(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	for id, wtr := range report.FigureCSVs(r.ds) {
-		f, err := os.Create(filepath.Join(dir, id+".csv"))
-		if err != nil {
-			return err
-		}
-		if err := wtr.WriteCSV(f); err != nil {
-			f.Close()
-			return fmt.Errorf("msgscope: writing %s.csv: %w", id, err)
-		}
-		if err := f.Close(); err != nil {
-			return err
+	ids := report.FigureIDs()
+	tasks := make([]func() error, len(ids))
+	for i, id := range ids {
+		tasks[i] = func() error {
+			data, err := r.FigureCSV(id)
+			if err != nil {
+				return fmt.Errorf("msgscope: writing %s.csv: %w", id, err)
+			}
+			return os.WriteFile(filepath.Join(dir, id+".csv"), data, 0o644)
 		}
 	}
-	return nil
+	return par.Do(0, tasks)
 }
 
 // SaveFigureSVGs renders every figure as an SVG chart under dir
-// (fig1.svg … fig9.svg).
+// (fig1.svg … fig9.svg), computing uncached figures in parallel.
 func (r *Result) SaveFigureSVGs(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	for id, svg := range report.FigureSVGs(r.ds) {
-		path := filepath.Join(dir, id+".svg")
-		if err := os.WriteFile(path, []byte(svg.SVG()), 0o644); err != nil {
-			return fmt.Errorf("msgscope: writing %s.svg: %w", id, err)
+	ids := report.FigureIDs()
+	tasks := make([]func() error, len(ids))
+	for i, id := range ids {
+		tasks[i] = func() error {
+			svg, err := r.FigureSVG(id)
+			if err != nil {
+				return fmt.Errorf("msgscope: writing %s.svg: %w", id, err)
+			}
+			return os.WriteFile(filepath.Join(dir, id+".svg"), []byte(svg), 0o644)
 		}
 	}
-	return nil
+	return par.Do(0, tasks)
 }
 
 // SourceRecall reports, over all collected tweets, the fraction each API
 // would have recovered alone (search-only, stream-only) and the overlap
 // seen by both — the discrepancy that makes the paper merge the two.
 func (r *Result) SourceRecall() (search, stream, both float64) {
-	tweets := r.ds.Store.Tweets()
+	tweets := r.ds.Tweets()
 	if len(tweets) == 0 {
 		return 0, 0, 0
 	}

@@ -37,7 +37,7 @@ func (r *Result) Discovery(platformName string) ([]DiscoveryPoint, error) {
 	if err != nil {
 		return nil, err
 	}
-	f := report.Fig1(r.ds)
+	f := r.figure("fig1").(report.Fig1Result)
 	out := make([]DiscoveryPoint, r.ds.Days)
 	for d := 0; d < r.ds.Days; d++ {
 		out[d] = DiscoveryPoint{
@@ -71,7 +71,7 @@ func (r *Result) Groups(platformName string) ([]GroupSummary, error) {
 		return nil, err
 	}
 	var out []GroupSummary
-	for _, g := range r.ds.Store.GroupsOf(p) {
+	for _, g := range r.ds.GroupsOf(p) {
 		gs := GroupSummary{
 			Platform:   g.Platform.String(),
 			Code:       g.Code,
@@ -114,7 +114,7 @@ type PIIExposure struct {
 
 // PII returns the per-platform exposure summary.
 func (r *Result) PII() []PIIExposure {
-	t4 := report.Table4(r.ds)
+	t4 := r.table4()
 	out := make([]PIIExposure, len(t4.Report.Exposures))
 	for i, e := range t4.Report.Exposures {
 		out[i] = PIIExposure{
@@ -139,7 +139,7 @@ type LinkedAccount struct {
 
 // LinkedAccounts returns the Discord linked-account breakdown.
 func (r *Result) LinkedAccounts() []LinkedAccount {
-	t5 := report.Table5(r.ds)
+	t5 := r.table5()
 	out := make([]LinkedAccount, len(t5.Rows))
 	for i, row := range t5.Rows {
 		out[i] = LinkedAccount{Platform: row.Platform, Users: row.Users, Share: row.Share}
@@ -188,9 +188,9 @@ type MessageStats struct {
 
 // Messaging returns per-platform message statistics (Figures 8-9).
 func (r *Result) Messaging() []MessageStats {
-	f8 := report.Fig8(r.ds)
-	f9 := report.Fig9(r.ds)
-	t2 := report.Table2(r.ds)
+	f8 := r.figure("fig8").(report.Fig8Result)
+	f9 := r.figure("fig9").(report.Fig9Result)
+	t2 := r.table2()
 	out := make([]MessageStats, 0, len(platform.All))
 	for i, p := range platform.All {
 		ms := MessageStats{
