@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench ci
+.PHONY: all build test vet race bench bench-json bench-smoke ci
 
 all: build
 
@@ -21,4 +21,17 @@ race:
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem ./...
 
-ci: vet build race bench
+# Pipeline benchmarks (full study, hourly search, daily sweep; serial vs
+# parallel) rendered to BENCH_2.json, including the derived speedups and
+# the machine's core count.
+bench-json:
+	$(GO) test -run='^$$' -bench='StudyRun|HourlySearch|DailySweep' -benchmem ./internal/core \
+		| $(GO) run ./cmd/benchjson -o BENCH_2.json
+	@cat BENCH_2.json
+
+# One iteration of the end-to-end study benchmark: cheap proof in CI that
+# the pipeline still runs under the benchmark harness.
+bench-smoke:
+	$(GO) test -run='^$$' -bench='StudyRun' -benchtime=1x ./internal/core
+
+ci: vet build race bench-smoke bench

@@ -1,0 +1,149 @@
+// Command benchjson converts `go test -bench` text output (read on stdin)
+// into a JSON document, so benchmark runs can be checked in and diffed.
+// When both BenchmarkStudyRun/serial and /parallel are present it also
+// records their wall-clock ratio — the pipeline's parallel speedup.
+//
+// Usage:
+//
+//	go test ./internal/core -run '^$' -bench 'StudyRun' -benchmem | benchjson -o BENCH.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// benchmark is one parsed result line.
+type benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+type document struct {
+	Tool       string            `json:"tool"`
+	GoVersion  string            `json:"go_version"`
+	GOOS       string            `json:"goos"`
+	GOARCH     string            `json:"goarch"`
+	CPU        string            `json:"cpu,omitempty"`
+	Cores      int               `json:"cores"`
+	Package    string            `json:"package,omitempty"`
+	Benchmarks []benchmark       `json:"benchmarks"`
+	Derived    map[string]string `json:"derived,omitempty"`
+}
+
+// benchLine matches e.g.
+// "BenchmarkStudyRun/serial-8   2   1202147830 ns/op   1932900 B/op   17860 allocs/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	doc := document{
+		Tool:      "benchjson",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Cores:     runtime.NumCPU(),
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			doc.Package = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		b := benchmark{Name: trimProcSuffix(m[1])}
+		b.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			val, unit := fields[i], fields[i+1]
+			switch unit {
+			case "ns/op":
+				b.NsPerOp, _ = strconv.ParseFloat(val, 64)
+			case "B/op":
+				b.BytesPerOp, _ = strconv.ParseInt(val, 10, 64)
+			case "allocs/op":
+				b.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
+			}
+		}
+		doc.Benchmarks = append(doc.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: reading stdin:", err)
+		os.Exit(1)
+	}
+
+	doc.Derived = speedups(doc.Benchmarks)
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// trimProcSuffix drops go test's trailing "-<GOMAXPROCS>" from a benchmark
+// name, so names are stable across machines.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// speedups derives serial/parallel wall-clock ratios for every benchmark
+// that has both sub-modes.
+func speedups(bs []benchmark) map[string]string {
+	ns := map[string]float64{}
+	for _, b := range bs {
+		ns[b.Name] = b.NsPerOp
+	}
+	out := map[string]string{}
+	for name, serial := range ns {
+		base, ok := strings.CutSuffix(name, "/serial")
+		if !ok {
+			continue
+		}
+		parallel, ok := ns[base+"/parallel"]
+		if !ok || parallel == 0 {
+			continue
+		}
+		out[base+"_speedup"] = fmt.Sprintf("%.2fx", serial/parallel)
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}

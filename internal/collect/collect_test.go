@@ -139,10 +139,12 @@ func TestDiscoveryCountsGroups(t *testing.T) {
 
 func TestIngestSkipsURLlessMatches(t *testing.T) {
 	f := newFixture(t, perfect())
-	f.col.ingest(twitter.Status{
+	if _, ok := f.col.toIngest(twitter.Status{
 		ID:   1,
 		Text: "talking about t.me without a link",
-	}, store.SourceSearch)
+	}, store.SourceSearch); ok {
+		t.Fatal("URL-less status produced an ingest record")
+	}
 	if got := f.col.Stats().NoURLTweets; got != 1 {
 		t.Fatalf("NoURLTweets=%d, want 1", got)
 	}

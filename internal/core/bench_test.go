@@ -1,0 +1,198 @@
+// End-to-end pipeline benchmarks. BenchmarkStudyRun is the headline
+// number: the same study at the same seed with the fan-outs disabled
+// (serial) versus enabled (parallel) — the collected dataset is identical
+// in both modes, only wall-clock time differs. `make bench-json` records
+// these in BENCH_2.json.
+package core
+
+import (
+	"context"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"msgscope/internal/collect"
+	"msgscope/internal/monitor"
+	"msgscope/internal/platform/discord"
+	"msgscope/internal/platform/telegram"
+	"msgscope/internal/platform/whatsapp"
+	"msgscope/internal/simclock"
+	"msgscope/internal/simworld"
+	"msgscope/internal/store"
+	"msgscope/internal/twitter"
+)
+
+// benchModes are the two pipeline configurations under comparison. Worker
+// count 1 forces the pre-fan-out serial behavior; 0 picks the defaults
+// (one search worker per URL pattern, the bounded join-collection pool).
+var benchModes = []struct {
+	name           string
+	searchWorkers  int
+	collectWorkers int
+}{
+	{"serial", 1, 1},
+	{"parallel", 0, 0},
+}
+
+// BenchmarkStudyRun measures a full study — world generation, loopback
+// services, hourly searches, stream drains, daily sweeps, join phase, and
+// message collection — at 2% of paper volume over a shortened window.
+func BenchmarkStudyRun(b *testing.B) {
+	for _, mode := range benchModes {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s, err := NewStudy(Config{
+					Seed:           42,
+					Scale:          0.02,
+					Days:           8,
+					SearchWorkers:  mode.searchWorkers,
+					CollectWorkers: mode.collectWorkers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := s.Run(context.Background()); err != nil {
+					s.Close()
+					b.Fatal(err)
+				}
+				s.Close()
+			}
+		})
+	}
+}
+
+// benchWorld is the shared 2%-scale world; generating it dominates fixture
+// setup, and the services built on it never mutate it.
+var (
+	benchWorldOnce sync.Once
+	benchWorld     *simworld.World
+)
+
+func sharedBenchWorld() *simworld.World {
+	benchWorldOnce.Do(func() {
+		benchWorld = simworld.New(simworld.DefaultConfig(42, 0.02))
+	})
+	return benchWorld
+}
+
+// searchFixture is one Twitter service + collector pair over the shared
+// world, starting at the world's first hour.
+type searchFixture struct {
+	clock *simclock.Sim
+	svc   *twitter.Service
+	col   *collect.Collector
+}
+
+func newSearchFixture(b *testing.B, workers int) *searchFixture {
+	b.Helper()
+	w := sharedBenchWorld()
+	clock := simclock.New(w.Cfg.Start)
+	svc := twitter.NewService(w, clock, twitter.DefaultServiceConfig())
+	srv := httptest.NewServer(svc.Handler())
+	b.Cleanup(srv.Close)
+	col := collect.New(store.New(), twitter.NewClient(srv.URL))
+	col.SearchWorkers = workers
+	return &searchFixture{clock: clock, svc: svc, col: col}
+}
+
+// BenchmarkHourlySearch measures one hourly round: advance the clock an
+// hour, publish the world's new tweets, and run the per-pattern search
+// fan-out. The fixture is rebuilt when the world's window is exhausted so
+// every timed iteration searches a live hour.
+func BenchmarkHourlySearch(b *testing.B) {
+	for _, mode := range benchModes {
+		b.Run(mode.name, func(b *testing.B) {
+			ctx := context.Background()
+			maxHours := sharedBenchWorld().Cfg.Days * 24
+			var f *searchFixture
+			hours := maxHours
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if hours >= maxHours {
+					b.StopTimer()
+					f = newSearchFixture(b, mode.searchWorkers)
+					hours = 0
+					b.StartTimer()
+				}
+				f.clock.Advance(time.Hour)
+				f.svc.PublishUpTo(f.clock.Now())
+				if err := f.col.HourlySearch(ctx); err != nil {
+					b.Fatal(err)
+				}
+				hours++
+			}
+		})
+	}
+}
+
+// sweepFixture holds a store populated by two days of discovery plus a
+// monitor wired to all three platform services, shared by every
+// BenchmarkDailySweep mode (observations simply keep accumulating).
+var (
+	sweepOnce    sync.Once
+	sweepErr     error
+	sweepMonitor *monitor.Monitor
+	sweepClock   *simclock.Sim
+	sweepServers []*httptest.Server
+)
+
+func sweepFixture(b *testing.B) (*monitor.Monitor, *simclock.Sim) {
+	b.Helper()
+	sweepOnce.Do(func() {
+		w := sharedBenchWorld()
+		clock := simclock.New(w.Cfg.Start)
+		twSvc := twitter.NewService(w, clock, twitter.DefaultServiceConfig())
+		twSrv := httptest.NewServer(twSvc.Handler())
+		waSrv := httptest.NewServer(whatsapp.NewService(w, clock).Handler())
+		tgSrv := httptest.NewServer(telegram.NewService(w, clock, telegram.DefaultServiceConfig()).Handler())
+		dcSrv := httptest.NewServer(discord.NewService(w, clock, discord.DefaultServiceConfig()).Handler())
+		sweepServers = []*httptest.Server{twSrv, waSrv, tgSrv, dcSrv}
+
+		st := store.New()
+		col := collect.New(st, twitter.NewClient(twSrv.URL))
+		ctx := context.Background()
+		for hour := 0; hour < 48; hour++ {
+			clock.Advance(time.Hour)
+			twSvc.PublishUpTo(clock.Now())
+			if sweepErr = col.HourlySearch(ctx); sweepErr != nil {
+				return
+			}
+		}
+		sweepMonitor = monitor.New(st,
+			whatsapp.NewClient(waSrv.URL, "monitor"),
+			telegram.NewClient(tgSrv.URL, "monitor"),
+			discord.NewClient(dcSrv.URL, "monitor"))
+		sweepClock = clock
+	})
+	if sweepErr != nil {
+		b.Fatalf("building sweep fixture: %v", sweepErr)
+	}
+	return sweepMonitor, sweepClock
+}
+
+// BenchmarkDailySweep measures one metadata sweep over every discovered
+// group URL, at the sweep's default 16 probe workers versus a single
+// worker. The shared tuned transport is what keeps the 16-worker mode from
+// spending its time re-dialing the loopback services.
+func BenchmarkDailySweep(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 16}} {
+		b.Run(mode.name, func(b *testing.B) {
+			m, clock := sweepFixture(b)
+			m.Workers = mode.workers
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := m.DailySweep(ctx, clock.Now()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

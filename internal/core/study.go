@@ -59,6 +59,14 @@ type Config struct {
 	World *simworld.Config
 	// MonitorWorkers sets daily-sweep parallelism (default 16).
 	MonitorWorkers int
+	// SearchWorkers bounds the hourly Search API fan-out (0 = one worker
+	// per tracked URL pattern, 1 = serial). Results are ingested in fixed
+	// pattern order either way, so the collected dataset is identical.
+	SearchWorkers int
+	// CollectWorkers bounds the join-phase per-group message collection
+	// fan-out (0 = default bound, 1 = serial). Collection is pinned to a
+	// frozen horizon either way, so the collected dataset is identical.
+	CollectWorkers int
 	// MonitorEveryDays sets the metadata probe cadence in days (default
 	// 1, i.e. daily, as in the paper). The probe-cadence ablation sweeps
 	// this: sparser probing inflates the dead-at-first-observation share.
@@ -167,6 +175,7 @@ func NewStudy(cfg Config) (*Study, error) {
 	s.servers = []*httptest.Server{twSrv, waSrv, tgSrv, dcSrv}
 
 	s.collector = collect.New(st, twitter.NewClient(twSrv.URL))
+	s.collector.SearchWorkers = cfg.SearchWorkers
 	if cfg.EnableSocialDiscovery {
 		socialSrv := httptest.NewServer(social.NewService(world, clock).Handler())
 		s.servers = append(s.servers, socialSrv)
@@ -192,6 +201,7 @@ func NewStudy(cfg Config) (*Study, error) {
 		clock, cfg.Seed)
 	s.joiner.MaxMessagesPerGroup = cfg.MaxMessagesPerGroup
 	s.joiner.TitleKeywords = cfg.JoinTitleKeywords
+	s.joiner.Workers = cfg.CollectWorkers
 	return s, nil
 }
 
@@ -265,18 +275,20 @@ func (s *Study) runDay(ctx context.Context, day int) error {
 // than polling: the stream posts a coalesced signal per consumed status, so
 // the driver sleeps until there is something new to check.
 func (s *Study) quiesceStreams() error {
-	timer := time.NewTimer(30 * time.Second)
-	defer timer.Stop()
 	for _, st := range []*twitter.Stream{s.collector.FilterStream(), s.collector.SampleStream()} {
 		if st == nil {
 			continue
 		}
+		// Each stream gets its own deadline: with one shared timer a slow
+		// first stream would eat the whole budget and leave the second
+		// stream with an already-fired (and drained) timer.
+		timer := time.NewTimer(30 * time.Second)
 		for {
-			queued := s.TwitterSvc.QueuedFor(st.SubID())
-			if st.Received() >= queued {
+			if st.Received() >= s.TwitterSvc.QueuedFor(st.SubID()) {
 				break
 			}
 			if err := st.Err(); err != nil {
+				timer.Stop()
 				return fmt.Errorf("core: stream error: %w", err)
 			}
 			select {
@@ -284,17 +296,27 @@ func (s *Study) quiesceStreams() error {
 				// Recheck the counters; the signal is coalesced.
 			case <-st.Done():
 				if err := st.Err(); err != nil {
+					timer.Stop()
 					return fmt.Errorf("core: stream error: %w", err)
 				}
-				if st.Received() < s.TwitterSvc.QueuedFor(st.SubID()) {
+				// Recheck against a fresh queue count, not the one read
+				// before blocking: deliveries racing the close would make a
+				// stale count report a phantom shortfall.
+				if queued := s.TwitterSvc.QueuedFor(st.SubID()); st.Received() < queued {
+					timer.Stop()
 					return fmt.Errorf("core: stream closed early: received %d of %d",
 						st.Received(), queued)
 				}
 			case <-timer.C:
-				return fmt.Errorf("core: stream quiesce timeout: received %d of %d",
-					st.Received(), queued)
+				// Same fresh recheck: the last delivery may have raced the
+				// timer, in which case the stream is in fact caught up.
+				if queued := s.TwitterSvc.QueuedFor(st.SubID()); st.Received() < queued {
+					return fmt.Errorf("core: stream quiesce timeout: received %d of %d",
+						st.Received(), queued)
+				}
 			}
 		}
+		timer.Stop()
 	}
 	return nil
 }

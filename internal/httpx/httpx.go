@@ -1,0 +1,29 @@
+// Package httpx provides the one tuned http.Transport shared by every
+// platform client in the pipeline. Go's default transport keeps only two
+// idle connections per host, so the 16-worker daily sweep and the parallel
+// search/join fan-outs spend most of their time re-dialing the loopback
+// services; a shared transport with a deep idle pool lets every worker
+// reuse warm connections instead.
+package httpx
+
+import (
+	"net/http"
+	"time"
+)
+
+// Transport is the shared transport. MaxIdleConnsPerHost must stay at or
+// above the widest worker pool that hits one service (the daily sweep's
+// default 16 workers, the search fan-out, and the join-phase collection
+// all talk to a single host each).
+var Transport = &http.Transport{
+	MaxIdleConns:        256,
+	MaxIdleConnsPerHost: 64,
+	IdleConnTimeout:     90 * time.Second,
+}
+
+// NewClient returns an http.Client on the shared transport. Clients are
+// cheap (they carry no state beyond the transport pointer), so every
+// platform client constructs its own.
+func NewClient() *http.Client {
+	return &http.Client{Transport: Transport}
+}

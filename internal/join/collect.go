@@ -4,34 +4,143 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
+	"msgscope/internal/ids"
+	"msgscope/internal/par"
 	"msgscope/internal/platform"
 	"msgscope/internal/platform/discord"
 	"msgscope/internal/platform/telegram"
 	"msgscope/internal/store"
 )
 
+// defaultCollectWorkers bounds the per-group fan-out when Workers is unset.
+// The pool stays narrow on purpose: every worker draws on the same
+// per-account flood budgets, so past a handful of workers the extra
+// concurrency only converts useful requests into FLOOD_WAIT retries.
+const defaultCollectWorkers = 8
+
+// gathered is one group's collection output, buffered locally by a worker
+// and ingested afterwards in deterministic group order.
+type gathered struct {
+	msgs  []store.MessageRecord
+	users []store.UserRecord
+}
+
 // CollectMessages gathers in-group data for every joined group: WhatsApp
 // messages since the join (the platform exposes nothing earlier), Telegram
 // and Discord full history since group creation. Message authors are
 // recorded as observed users; on Discord, profiles of users who posted are
 // fetched to capture linked accounts.
+//
+// The per-group fetches run concurrently on a bounded pool. Two things keep
+// the collected dataset identical to a serial run:
+//
+//   - The collection horizon is frozen up front. Flood waits advance the
+//     shared virtual clock, so an unpinned pager's first page would see a
+//     window that depends on worker scheduling; every pager here is anchored
+//     at the horizon instead, making each group's message set a pure
+//     function of (group, horizon).
+//   - Workers buffer into local slices; the results are ingested via the
+//     store's batch APIs in joined-group order (WhatsApp, then Telegram,
+//     then Discord), so the store's message slice matches the serial order.
+//
+// Discord invite re-resolution stays serial: invites expire as virtual time
+// passes, so probing them must happen in a deterministic clock sequence.
 func (j *Joiner) CollectMessages(ctx context.Context) error {
-	for _, g := range j.joined[platform.WhatsApp] {
-		if err := j.collectWhatsApp(ctx, g); err != nil {
+	horizon := j.Clock.Now()
+
+	waGroups := j.joined[platform.WhatsApp]
+	waAccounts := make([]int, len(waGroups))
+	for i, g := range waGroups {
+		ci, err := j.waClientFor(ctx, g.Code)
+		if err != nil {
 			return fmt.Errorf("join: collecting WhatsApp %s: %w", g.Code, err)
 		}
+		waAccounts[i] = ci
 	}
-	for _, g := range j.joined[platform.Telegram] {
-		if err := j.collectTelegram(ctx, g); err != nil {
-			return fmt.Errorf("join: collecting Telegram %s: %w", g.Code, err)
-		}
+
+	type dcPrep struct {
+		g   *store.GroupRecord
+		chs []discord.Channel
 	}
+	var dcPreps []dcPrep
 	for _, g := range j.joined[platform.Discord] {
-		if err := j.collectDiscord(ctx, g); err != nil {
+		// Re-resolve the guild and channels from the invite.
+		var inv discord.Invite
+		if err := j.dcCall(func() error {
+			var err error
+			inv, err = j.DC.ProbeInvite(ctx, g.Code)
+			return err
+		}); err != nil {
+			if errors.Is(err, discord.ErrUnknownInvite) {
+				// Invite died after we joined; we are still a member, but
+				// the simulation keys access by invite, so skip its history.
+				continue
+			}
 			return fmt.Errorf("join: collecting Discord %s: %w", g.Code, err)
 		}
+		chs, err := j.dcChannels(ctx, inv.GuildID)
+		if err != nil {
+			return fmt.Errorf("join: collecting Discord %s: %w", g.Code, err)
+		}
+		dcPreps = append(dcPreps, dcPrep{g: g, chs: chs})
+	}
+
+	tgGroups := j.joined[platform.Telegram]
+	results := make([]gathered, len(waGroups)+len(tgGroups)+len(dcPreps))
+	tasks := make([]func() error, 0, len(results))
+	slot := 0
+	for i, g := range waGroups {
+		out := &results[slot]
+		ci := waAccounts[i]
+		tasks = append(tasks, func() error {
+			var err error
+			*out, err = j.fetchWhatsApp(ctx, g, ci, horizon)
+			if err != nil {
+				return fmt.Errorf("join: collecting WhatsApp %s: %w", g.Code, err)
+			}
+			return nil
+		})
+		slot++
+	}
+	for _, g := range tgGroups {
+		out := &results[slot]
+		tasks = append(tasks, func() error {
+			var err error
+			*out, err = j.fetchTelegram(ctx, g, horizon)
+			if err != nil {
+				return fmt.Errorf("join: collecting Telegram %s: %w", g.Code, err)
+			}
+			return nil
+		})
+		slot++
+	}
+	for _, p := range dcPreps {
+		out := &results[slot]
+		tasks = append(tasks, func() error {
+			var err error
+			*out, err = j.fetchDiscord(ctx, p.g, p.chs, horizon)
+			if err != nil {
+				return fmt.Errorf("join: collecting Discord %s: %w", p.g.Code, err)
+			}
+			return nil
+		})
+		slot++
+	}
+
+	workers := j.Workers
+	if workers <= 0 {
+		workers = defaultCollectWorkers
+	}
+	if err := par.Do(workers, tasks); err != nil {
+		return err
+	}
+
+	for i := range results {
+		j.Store.AddMessageBatch(results[i].msgs)
+		j.Store.UpsertUserBatch(results[i].users)
 	}
 	return nil
 }
@@ -47,20 +156,17 @@ func (j *Joiner) waClientFor(ctx context.Context, code string) (int, error) {
 	return 0, errors.New("no member account for group")
 }
 
-func (j *Joiner) collectWhatsApp(ctx context.Context, g *store.GroupRecord) error {
-	ci, err := j.waClientFor(ctx, g.Code)
+func (j *Joiner) fetchWhatsApp(ctx context.Context, g *store.GroupRecord, account int, horizon time.Time) (gathered, error) {
+	msgs, err := j.WAClients[account].MessagesUntil(ctx, g.Code, time.Time{}, horizon)
 	if err != nil {
-		return err
-	}
-	msgs, err := j.WAClients[ci].Messages(ctx, g.Code, time.Time{})
-	if err != nil {
-		return err
+		return gathered{}, err
 	}
 	if j.MaxMessagesPerGroup > 0 && len(msgs) > j.MaxMessagesPerGroup {
 		msgs = msgs[:j.MaxMessagesPerGroup]
 	}
+	var out gathered
 	for _, m := range msgs {
-		j.Store.AddMessage(store.MessageRecord{
+		out.msgs = append(out.msgs, store.MessageRecord{
 			Platform:  platform.WhatsApp,
 			GroupCode: g.Code,
 			AuthorKey: store.PhoneKey(m.AuthorPhone),
@@ -68,19 +174,19 @@ func (j *Joiner) collectWhatsApp(ctx context.Context, g *store.GroupRecord) erro
 			Type:      parseType(m.Type),
 			Text:      m.Text,
 		})
-		j.Store.UpsertUser(store.UserRecord{
+		out.users = append(out.users, store.UserRecord{
 			Platform:  platform.WhatsApp,
 			Key:       store.PhoneKey(m.AuthorPhone),
 			PhoneHash: store.HashPhone(m.AuthorPhone),
 		})
-		j.stats.MessagesRead++
 	}
-	return nil
+	j.stats.messagesRead.Add(int64(len(out.msgs)))
+	return out, nil
 }
 
-func (j *Joiner) collectTelegram(ctx context.Context, g *store.GroupRecord) error {
-	pager := j.TG.HistoryPager(g.Code)
-	count := 0
+func (j *Joiner) fetchTelegram(ctx context.Context, g *store.GroupRecord, horizon time.Time) (gathered, error) {
+	pager := j.TG.HistoryPagerAt(g.Code, horizon)
+	var out gathered
 	for !pager.Done() {
 		var page []telegram.Message
 		err := j.tgCall(func() error {
@@ -89,10 +195,10 @@ func (j *Joiner) collectTelegram(ctx context.Context, g *store.GroupRecord) erro
 			return err
 		})
 		if err != nil {
-			return err
+			return gathered{}, err
 		}
 		for _, m := range page {
-			j.Store.AddMessage(store.MessageRecord{
+			out.msgs = append(out.msgs, store.MessageRecord{
 				Platform:  platform.Telegram,
 				GroupCode: g.Code,
 				AuthorKey: m.FromID,
@@ -100,40 +206,23 @@ func (j *Joiner) collectTelegram(ctx context.Context, g *store.GroupRecord) erro
 				Type:      parseType(m.Type),
 				Text:      m.Text,
 			})
-			j.Store.UpsertUser(store.UserRecord{Platform: platform.Telegram, Key: m.FromID})
-			j.stats.MessagesRead++
-			count++
+			out.users = append(out.users, store.UserRecord{Platform: platform.Telegram, Key: m.FromID})
 		}
-		if j.MaxMessagesPerGroup > 0 && count >= j.MaxMessagesPerGroup {
+		if j.MaxMessagesPerGroup > 0 && len(out.msgs) >= j.MaxMessagesPerGroup {
 			break
 		}
 	}
-	return nil
+	j.stats.messagesRead.Add(int64(len(out.msgs)))
+	return out, nil
 }
 
-func (j *Joiner) collectDiscord(ctx context.Context, g *store.GroupRecord) error {
-	// Re-resolve the guild and channels from the invite.
-	var inv discord.Invite
-	if err := j.dcCall(func() error {
-		var err error
-		inv, err = j.DC.ProbeInvite(ctx, g.Code)
-		return err
-	}); err != nil {
-		if errors.Is(err, discord.ErrUnknownInvite) {
-			// Invite died after we joined; we are still a member, but the
-			// simulation keys access by invite, so skip its history.
-			return nil
-		}
-		return err
-	}
-	chs, err := j.dcChannels(ctx, inv.GuildID)
-	if err != nil {
-		return err
-	}
+func (j *Joiner) fetchDiscord(ctx context.Context, g *store.GroupRecord, chs []discord.Channel, horizon time.Time) (gathered, error) {
+	before := ids.Snowflake(ids.DiscordEpochMS, horizon, 0)
 	authors := map[uint64]struct{}{}
+	var out gathered
 	count := 0
 	for _, ch := range chs {
-		pager := j.DC.MessagePager(ch.ID)
+		pager := j.DC.MessagePagerBefore(ch.ID, before)
 		for !pager.Done() {
 			var page []discord.Message
 			err := j.dcCall(func() error {
@@ -142,10 +231,10 @@ func (j *Joiner) collectDiscord(ctx context.Context, g *store.GroupRecord) error
 				return err
 			})
 			if err != nil {
-				return err
+				return gathered{}, err
 			}
 			for _, m := range page {
-				j.Store.AddMessage(store.MessageRecord{
+				out.msgs = append(out.msgs, store.MessageRecord{
 					Platform:  platform.Discord,
 					GroupCode: g.Code,
 					AuthorKey: m.AuthorID,
@@ -154,7 +243,6 @@ func (j *Joiner) collectDiscord(ctx context.Context, g *store.GroupRecord) error
 					Text:      m.Content,
 				})
 				authors[m.AuthorID] = struct{}{}
-				j.stats.MessagesRead++
 				count++
 			}
 			if j.MaxMessagesPerGroup > 0 && count >= j.MaxMessagesPerGroup {
@@ -165,8 +253,15 @@ func (j *Joiner) collectDiscord(ctx context.Context, g *store.GroupRecord) error
 			break
 		}
 	}
-	// Profile fetches: users who posted at least one message (Section 6).
+	j.stats.messagesRead.Add(int64(len(out.msgs)))
+	// Profile fetches: users who posted at least one message (Section 6),
+	// in sorted-ID order so the request sequence is deterministic.
+	authorIDs := make([]uint64, 0, len(authors))
 	for aid := range authors {
+		authorIDs = append(authorIDs, aid)
+	}
+	sort.Slice(authorIDs, func(a, b int) bool { return authorIDs[a] < authorIDs[b] })
+	for _, aid := range authorIDs {
 		var prof discord.Profile
 		err := j.dcCall(func() error {
 			var err error
@@ -174,15 +269,15 @@ func (j *Joiner) collectDiscord(ctx context.Context, g *store.GroupRecord) error
 			return err
 		})
 		if err != nil {
-			return err
+			return gathered{}, err
 		}
-		j.Store.UpsertUser(store.UserRecord{
+		out.users = append(out.users, store.UserRecord{
 			Platform: platform.Discord,
 			Key:      aid,
 			Linked:   prof.Linked,
 		})
 	}
-	return nil
+	return out, nil
 }
 
 func parseType(s string) platform.MessageType {

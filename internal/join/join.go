@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"msgscope/internal/ids"
@@ -41,6 +42,18 @@ type Stats struct {
 	MessagesRead int
 }
 
+// counters is the lock-free mirror of Stats: FloodWaits and MessagesRead
+// are bumped from concurrent collection workers, so every field is an
+// atomic and Stats() materializes a snapshot.
+type counters struct {
+	attempted    atomic.Int64
+	joined       atomic.Int64
+	deadInvites  atomic.Int64
+	floodWaits   atomic.Int64
+	hiddenLists  atomic.Int64
+	messagesRead atomic.Int64
+}
+
 // Joiner drives the join phase.
 type Joiner struct {
 	Store *store.Store
@@ -65,12 +78,16 @@ type Joiner struct {
 	// (case-insensitive) — the paper's future-work "focused data
 	// collection within groups related to specific topics".
 	TitleKeywords []string
+	// Workers bounds the per-group fan-out of CollectMessages (0 = default
+	// bound, 1 = serial). The pool is kept narrow because all workers share
+	// each platform account's flood budget.
+	Workers int
 
 	waCursor  int // joins on the current WhatsApp account
 	waAccount int
 
 	joined map[platform.Platform][]*store.GroupRecord
-	stats  Stats
+	stats  counters
 }
 
 // New returns a Joiner.
@@ -91,8 +108,18 @@ func New(st *store.Store, wa []*whatsapp.Client, tg *telegram.Client, dc *discor
 // Joined returns the groups joined on a platform.
 func (j *Joiner) Joined(p platform.Platform) []*store.GroupRecord { return j.joined[p] }
 
-// Stats returns the join-phase counters.
-func (j *Joiner) Stats() Stats { return j.stats }
+// Stats returns a snapshot of the join-phase counters; between pipeline
+// phases (the only places the driver reads them) the snapshot is exact.
+func (j *Joiner) Stats() Stats {
+	return Stats{
+		Attempted:    int(j.stats.attempted.Load()),
+		Joined:       int(j.stats.joined.Load()),
+		DeadInvites:  int(j.stats.deadInvites.Load()),
+		FloodWaits:   int(j.stats.floodWaits.Load()),
+		HiddenLists:  int(j.stats.hiddenLists.Load()),
+		MessagesRead: int(j.stats.messagesRead.Load()),
+	}
+}
 
 // SelectAndJoin samples discovered groups uniformly at random per platform
 // and joins them until each target is met or candidates run out (dead
@@ -115,14 +142,14 @@ func (j *Joiner) SelectAndJoin(ctx context.Context, t Targets) error {
 			if len(j.joined[p]) >= target {
 				break
 			}
-			j.stats.Attempted++
+			j.stats.attempted.Add(1)
 			ok, err := j.joinOne(ctx, g)
 			if err != nil {
 				return fmt.Errorf("join: %v %s: %w", p, g.Code, err)
 			}
 			if ok {
 				j.joined[p] = append(j.joined[p], g)
-				j.stats.Joined++
+				j.stats.joined.Add(1)
 			}
 		}
 	}
@@ -190,7 +217,7 @@ func (j *Joiner) joinWhatsApp(ctx context.Context, g *store.GroupRecord) (bool, 
 	joinedAt, err := c.Join(ctx, g.Code)
 	switch {
 	case errors.Is(err, whatsapp.ErrRevoked), errors.Is(err, whatsapp.ErrNotFound):
-		j.stats.DeadInvites++
+		j.stats.deadInvites.Add(1)
 		return false, nil
 	case errors.Is(err, whatsapp.ErrBanned):
 		// Account exhausted; rotate and retry once.
@@ -231,7 +258,7 @@ func (j *Joiner) joinWhatsApp(ctx context.Context, g *store.GroupRecord) (bool, 
 
 // floodWait advances virtual time to wait out a Telegram FLOOD_WAIT.
 func (j *Joiner) floodWait() {
-	j.stats.FloodWaits++
+	j.stats.floodWaits.Add(1)
 	j.Clock.Advance(31 * time.Second)
 }
 
@@ -258,7 +285,7 @@ func (j *Joiner) joinTelegram(ctx context.Context, g *store.GroupRecord) (bool, 
 	})
 	switch {
 	case errors.Is(err, telegram.ErrExpired), errors.Is(err, telegram.ErrNotFound):
-		j.stats.DeadInvites++
+		j.stats.deadInvites.Add(1)
 		return false, nil
 	case err != nil:
 		return false, err
@@ -290,7 +317,7 @@ func (j *Joiner) joinTelegram(ctx context.Context, g *store.GroupRecord) (bool, 
 	})
 	switch {
 	case errors.Is(err, telegram.ErrHiddenList):
-		j.stats.HiddenLists++
+		j.stats.hiddenLists.Add(1)
 	case err != nil:
 		return false, err
 	default:
@@ -314,7 +341,7 @@ func (j *Joiner) joinDiscord(ctx context.Context, g *store.GroupRecord) (bool, e
 	})
 	switch {
 	case errors.Is(err, discord.ErrUnknownInvite):
-		j.stats.DeadInvites++
+		j.stats.deadInvites.Add(1)
 		return false, nil
 	case errors.Is(err, discord.ErrGuildCap):
 		// The hard 100-guild limit: no more Discord joins possible.
@@ -345,7 +372,7 @@ func (j *Joiner) dcCall(fn func() error) error {
 		if attempt >= j.MaxFloodRetries {
 			return err
 		}
-		j.stats.FloodWaits++
+		j.stats.floodWaits.Add(1)
 		j.Clock.Advance(2 * time.Second)
 	}
 }

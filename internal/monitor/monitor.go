@@ -29,6 +29,15 @@ type Stats struct {
 	Errors        int
 }
 
+// counters is the lock-free mirror of Stats; probe workers bump them
+// without touching the monitor mutex, which now guards only the dead set.
+type counters struct {
+	probes        atomic.Int64
+	aliveProbes   atomic.Int64
+	revokedProbes atomic.Int64
+	errors        atomic.Int64
+}
+
 // Monitor drives the daily probes.
 type Monitor struct {
 	Store *store.Store
@@ -41,7 +50,7 @@ type Monitor struct {
 
 	mu    sync.Mutex
 	dead  map[string]bool // platform/code -> observed revoked
-	stats Stats
+	stats counters
 }
 
 // New returns a Monitor writing observations into st.
@@ -120,18 +129,18 @@ func (m *Monitor) probe(ctx context.Context, p platform.Platform, code string, n
 	default:
 		return fmt.Errorf("monitor: unknown platform %v", p)
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.stats.Probes++
+	m.stats.probes.Add(1)
 	if err != nil {
-		m.stats.Errors++
+		m.stats.errors.Add(1)
 		return err
 	}
 	if obs.Alive {
-		m.stats.AliveProbes++
+		m.stats.aliveProbes.Add(1)
 	} else {
-		m.stats.RevokedProbes++
+		m.stats.revokedProbes.Add(1)
+		m.mu.Lock()
 		m.dead[p.String()+"/"+code] = true
+		m.mu.Unlock()
 	}
 	m.Store.AddObservation(p, code, obs)
 	return nil
@@ -207,9 +216,14 @@ func (m *Monitor) probeDiscord(ctx context.Context, code string, obs *store.Obse
 	return nil
 }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters. They are monotonic atomics;
+// between sweeps (the only places the driver reads them) the snapshot is
+// exact.
 func (m *Monitor) Stats() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.stats
+	return Stats{
+		Probes:        int(m.stats.probes.Load()),
+		AliveProbes:   int(m.stats.aliveProbes.Load()),
+		RevokedProbes: int(m.stats.revokedProbes.Load()),
+		Errors:        int(m.stats.errors.Load()),
+	}
 }

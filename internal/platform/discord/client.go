@@ -12,6 +12,7 @@ import (
 	"strings"
 	"time"
 
+	"msgscope/internal/httpx"
 	"msgscope/internal/ids"
 )
 
@@ -45,7 +46,7 @@ type Client struct {
 // NewClient returns a client bound to an account. Prefix the account name
 // with "bot:" to act as a bot application (which may not join guilds).
 func NewClient(baseURL, account string) *Client {
-	return &Client{BaseURL: strings.TrimRight(baseURL, "/"), Account: account, HTTP: &http.Client{}}
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/"), Account: account, HTTP: httpx.NewClient()}
 }
 
 func (c *Client) do(ctx context.Context, method, path string, v any) error {
@@ -188,6 +189,13 @@ type MessagePager struct {
 // MessagePager returns a pager over the channel's full history.
 func (c *Client) MessagePager(channelID uint64) *MessagePager {
 	return &MessagePager{c: c, chID: channelID}
+}
+
+// MessagePagerBefore returns a pager anchored at the given snowflake
+// cursor instead of the service clock's now, so the history window does not
+// shift when concurrent collectors advance virtual time.
+func (c *Client) MessagePagerBefore(channelID, before uint64) *MessagePager {
+	return &MessagePager{c: c, chID: channelID, before: before}
 }
 
 // Done reports whether the history is exhausted.

@@ -10,6 +10,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"msgscope/internal/httpx"
 )
 
 // Preview is the metadata scraped from a t.me web page without joining:
@@ -47,7 +49,7 @@ func NewClient(baseURL, account string) *Client {
 	return &Client{
 		BaseURL:      strings.TrimRight(baseURL, "/"),
 		Account:      account,
-		HTTP:         &http.Client{},
+		HTTP:         httpx.NewClient(),
 		FloodRetries: 0,
 	}
 }
@@ -213,6 +215,15 @@ type HistoryPager struct {
 // HistoryPager returns a pager over the chat's full history.
 func (c *Client) HistoryPager(code string) *HistoryPager {
 	return &HistoryPager{c: c, code: code}
+}
+
+// HistoryPagerAt returns a pager whose first page is anchored at until
+// instead of the service's current clock. Collectors running concurrently
+// advance virtual time (flood waits on other chats), so an unanchored pager
+// would see a history window that depends on scheduling; an anchored one is
+// a pure function of (chat, until).
+func (c *Client) HistoryPagerAt(code string, until time.Time) *HistoryPager {
+	return &HistoryPager{c: c, code: code, offset: until.UnixMilli()}
 }
 
 // Done reports whether the history is exhausted.

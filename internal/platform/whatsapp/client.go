@@ -7,9 +7,12 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"time"
+
+	"msgscope/internal/httpx"
 )
 
 // Landing is the metadata scraped off an invite landing page without
@@ -41,7 +44,7 @@ type Client struct {
 
 // NewClient returns a client bound to an account name.
 func NewClient(baseURL, account string) *Client {
-	return &Client{BaseURL: strings.TrimRight(baseURL, "/"), Account: account, HTTP: &http.Client{}}
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/"), Account: account, HTTP: httpx.NewClient()}
 }
 
 // ProbeInvite fetches and scrapes the landing page of an invite code.
@@ -172,9 +175,24 @@ type Message struct {
 // Messages syncs messages of a joined group since the given time (zero =
 // since join; WhatsApp never returns pre-join history).
 func (c *Client) Messages(ctx context.Context, code string, since time.Time) ([]Message, error) {
+	return c.MessagesUntil(ctx, code, since, time.Time{})
+}
+
+// MessagesUntil is Messages with an explicit upper bound on the sync window
+// (zero until = the service's current time). Pinning the bound keeps the
+// returned message set independent of virtual-clock advances made by
+// concurrent collectors.
+func (c *Client) MessagesUntil(ctx context.Context, code string, since, until time.Time) ([]Message, error) {
 	u := c.BaseURL + "/client/messages/" + code
+	q := url.Values{}
 	if !since.IsZero() {
-		u += "?since_ms=" + strconv.FormatInt(since.UnixMilli(), 10)
+		q.Set("since_ms", strconv.FormatInt(since.UnixMilli(), 10))
+	}
+	if !until.IsZero() {
+		q.Set("until_ms", strconv.FormatInt(until.UnixMilli(), 10))
+	}
+	if len(q) > 0 {
+		u += "?" + q.Encode()
 	}
 	var out struct {
 		Messages []struct {

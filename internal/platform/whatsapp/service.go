@@ -204,6 +204,13 @@ func (s *Service) handleMessages(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	now := s.clock.Now()
+	if v := r.URL.Query().Get("until_ms"); v != "" {
+		if ms, err := strconv.ParseInt(v, 10, 64); err == nil {
+			if t := time.UnixMilli(ms).UTC(); t.Before(now) {
+				now = t
+			}
+		}
+	}
 	from := joinedAt
 	if v := r.URL.Query().Get("since_ms"); v != "" {
 		if ms, err := strconv.ParseInt(v, 10, 64); err == nil {

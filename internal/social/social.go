@@ -16,6 +16,7 @@ import (
 	"strings"
 	"time"
 
+	"msgscope/internal/httpx"
 	"msgscope/internal/simclock"
 	"msgscope/internal/simworld"
 )
@@ -105,7 +106,7 @@ type Client struct {
 
 // NewClient returns a feed client.
 func NewClient(baseURL string) *Client {
-	return &Client{BaseURL: strings.TrimRight(baseURL, "/"), HTTP: &http.Client{}}
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/"), HTTP: httpx.NewClient()}
 }
 
 // Poll fetches all posts newer than sinceID, following the cursor until

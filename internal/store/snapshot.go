@@ -40,10 +40,19 @@ type Snapshot struct {
 }
 
 // Snapshot freezes the store into an indexed view of the study window
-// [start, start+days).
+// [start, start+days). It holds all four family locks for the duration,
+// so it sees a mutually consistent dataset even if stray writers linger;
+// no store method ever holds two family locks, so acquiring all four here
+// cannot deadlock.
 func (s *Store) Snapshot(start time.Time, days int) *Snapshot {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.tweetMu.Lock()
+	defer s.tweetMu.Unlock()
+	s.groupMu.Lock()
+	defer s.groupMu.Unlock()
+	s.userMu.Lock()
+	defer s.userMu.Unlock()
+	s.msgMu.Lock()
+	defer s.msgMu.Unlock()
 	s.rebuildGroupsLocked()
 	s.rebuildUsersLocked()
 

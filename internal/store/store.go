@@ -142,27 +142,51 @@ type UserRecord struct {
 }
 
 // Store is the in-memory dataset. It is safe for concurrent use.
+//
+// Concurrency model: instead of one global mutex, the dataset is split into
+// four independently locked families, so the pipeline's concurrent writers
+// — search workers appending tweets, stream drains appending control
+// records, the 16-worker daily sweep appending observations and upserting
+// users, and the join phase appending messages — never serialize on each
+// other's locks:
+//
+//	tweetMu: tweets, control, posts, and their dedup maps
+//	groupMu: groups (incl. observations and join metadata) and the sorted
+//	         group indexes
+//	userMu:  users and the sorted user index
+//	msgMu:   msgs
+//
+// No method ever holds two family locks at once (cross-family writes such
+// as AddTweet release tweetMu before taking groupMu), so there is no lock
+// ordering to maintain and no deadlock potential. The price is that a
+// reader between the two phases of AddTweet can observe a tweet whose
+// group record has not landed yet; the report layer only reads after
+// collection has quiesced (Snapshot), where every write has completed.
 type Store struct {
-	mu sync.Mutex
-
+	tweetMu sync.Mutex
 	tweets  []TweetRecord
 	control []ControlRecord
 	posts   []PostRecord
-	groups  map[string]*GroupRecord // platform/code
-	msgs    []MessageRecord
-	users   map[string]*UserRecord // platform/key
 
 	seenTweets map[uint64]int // tweet id -> index in tweets
 	seenPosts  map[uint64]struct{}
 
+	groupMu sync.Mutex
+	groups  map[string]*GroupRecord // platform/code
 	// Sorted read caches, rebuilt lazily when the group/user sets change.
 	// Groups, GroupsOf, and Users hand out copies of these so callers may
 	// reorder what they receive (the join phase shuffles its candidates).
 	sortedGroups []*GroupRecord
 	groupsByPlat map[platform.Platform][]*GroupRecord
-	sortedUsers  []*UserRecord
 	groupsDirty  bool
-	usersDirty   bool
+
+	userMu      sync.Mutex
+	users       map[string]*UserRecord // platform/key
+	sortedUsers []*UserRecord
+	usersDirty  bool
+
+	msgMu sync.Mutex
+	msgs  []MessageRecord
 }
 
 // New returns an empty Store.
@@ -176,28 +200,73 @@ func New() *Store {
 
 func groupKey(p platform.Platform, code string) string { return p.String() + "/" + code }
 
+// TweetIngest couples a tweet record with the canonical URL of its group,
+// so a batch insert can record both under one lock acquisition.
+type TweetIngest struct {
+	Tweet     TweetRecord
+	Canonical string
+}
+
 // AddTweet records a tweet carrying a group URL. If the tweet was already
 // seen (by the other API), sources are merged and the duplicate dropped.
 // It returns true if the group URL was never seen before (a discovery).
 func (s *Store) AddTweet(t TweetRecord) (newGroup bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if i, dup := s.seenTweets[t.ID]; dup {
-		s.tweets[i].Source |= t.Source
-		return false
-	}
-	s.seenTweets[t.ID] = len(s.tweets)
-	s.tweets = append(s.tweets, t)
-
-	g, isNew := s.groupFor(t.Platform, t.GroupCode, t.CreatedAt)
-	g.SeenTwitter = true
-	g.Tweets++
-	return isNew
+	return s.AddTweetBatch([]TweetIngest{{Tweet: t}}) == 1
 }
 
-// groupFor returns the group record, creating it on first sight and
-// widening its first/last-seen window.
-func (s *Store) groupFor(p platform.Platform, code string, at time.Time) (*GroupRecord, bool) {
+// AddTweetBatch records a batch of tweets in order, taking each family lock
+// once instead of once per tweet. Duplicates (already seen by the other
+// API) get their source bits merged and are dropped. Canonical URLs are
+// recorded for groups discovered by this batch. It returns how many group
+// URLs were never seen before (discoveries).
+func (s *Store) AddTweetBatch(batch []TweetIngest) (newGroups int) {
+	if len(batch) == 0 {
+		return 0
+	}
+	// Group updates to apply under groupMu after the tweet family is done.
+	type groupUpdate struct {
+		p         platform.Platform
+		code      string
+		at        time.Time
+		canonical string
+	}
+	updates := make([]groupUpdate, 0, len(batch))
+
+	s.tweetMu.Lock()
+	for i := range batch {
+		t := &batch[i].Tweet
+		if j, dup := s.seenTweets[t.ID]; dup {
+			s.tweets[j].Source |= t.Source
+			continue
+		}
+		s.seenTweets[t.ID] = len(s.tweets)
+		s.tweets = append(s.tweets, *t)
+		updates = append(updates, groupUpdate{t.Platform, t.GroupCode, t.CreatedAt, batch[i].Canonical})
+	}
+	s.tweetMu.Unlock()
+
+	if len(updates) == 0 {
+		return 0
+	}
+	s.groupMu.Lock()
+	for _, u := range updates {
+		g, isNew := s.groupForLocked(u.p, u.code, u.at)
+		g.SeenTwitter = true
+		g.Tweets++
+		if isNew {
+			newGroups++
+			if u.canonical != "" {
+				g.Canonical = u.canonical
+			}
+		}
+	}
+	s.groupMu.Unlock()
+	return newGroups
+}
+
+// groupForLocked returns the group record, creating it on first sight and
+// widening its first/last-seen window. Callers hold s.groupMu.
+func (s *Store) groupForLocked(p platform.Platform, code string, at time.Time) (*GroupRecord, bool) {
 	k := groupKey(p, code)
 	g, ok := s.groups[k]
 	isNew := false
@@ -229,82 +298,127 @@ type PostRecord struct {
 // AddPost records a secondary-network post; it returns true when the group
 // URL was never seen before on ANY source.
 func (s *Store) AddPost(p PostRecord) (newGroup bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.tweetMu.Lock()
 	if s.seenPosts == nil {
 		s.seenPosts = map[uint64]struct{}{}
 	}
 	if _, dup := s.seenPosts[p.ID]; dup {
+		s.tweetMu.Unlock()
 		return false
 	}
 	s.seenPosts[p.ID] = struct{}{}
 	s.posts = append(s.posts, p)
-	g, isNew := s.groupFor(p.Platform, p.GroupCode, p.CreatedAt)
+	s.tweetMu.Unlock()
+
+	s.groupMu.Lock()
+	g, isNew := s.groupForLocked(p.Platform, p.GroupCode, p.CreatedAt)
 	g.SeenSocial = true
 	g.SocialPosts++
+	s.groupMu.Unlock()
 	return isNew
 }
 
 // Posts returns all collected secondary-network posts.
 func (s *Store) Posts() []PostRecord {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.tweetMu.Lock()
+	defer s.tweetMu.Unlock()
 	return s.posts
 }
 
 // AddControl records one control-stream tweet.
 func (s *Store) AddControl(c ControlRecord) {
-	s.mu.Lock()
+	s.tweetMu.Lock()
 	s.control = append(s.control, c)
-	s.mu.Unlock()
+	s.tweetMu.Unlock()
+}
+
+// AddControlBatch appends a batch of control tweets under one lock
+// acquisition.
+func (s *Store) AddControlBatch(batch []ControlRecord) {
+	if len(batch) == 0 {
+		return
+	}
+	s.tweetMu.Lock()
+	s.control = append(s.control, batch...)
+	s.tweetMu.Unlock()
 }
 
 // Group returns the record for a discovered group (nil if unknown).
 func (s *Store) Group(p platform.Platform, code string) *GroupRecord {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.groupMu.Lock()
+	defer s.groupMu.Unlock()
 	return s.groups[groupKey(p, code)]
 }
 
 // SetCanonical records the canonical URL of a group.
 func (s *Store) SetCanonical(p platform.Platform, code, canonical string) {
-	s.mu.Lock()
+	s.groupMu.Lock()
 	if g := s.groups[groupKey(p, code)]; g != nil {
 		g.Canonical = canonical
 	}
-	s.mu.Unlock()
+	s.groupMu.Unlock()
 }
 
 // AddObservation appends a daily probe to a group's series.
 func (s *Store) AddObservation(p platform.Platform, code string, o Observation) {
-	s.mu.Lock()
+	s.groupMu.Lock()
 	if g := s.groups[groupKey(p, code)]; g != nil {
 		g.Observations = append(g.Observations, o)
 	}
-	s.mu.Unlock()
+	s.groupMu.Unlock()
 }
 
 // MarkJoined records join-phase metadata on a group.
 func (s *Store) MarkJoined(p platform.Platform, code string, update func(*GroupRecord)) {
-	s.mu.Lock()
+	s.groupMu.Lock()
 	if g := s.groups[groupKey(p, code)]; g != nil {
 		g.Joined = true
 		update(g)
 	}
-	s.mu.Unlock()
+	s.groupMu.Unlock()
 }
 
 // AddMessage records one collected message.
 func (s *Store) AddMessage(m MessageRecord) {
-	s.mu.Lock()
+	s.msgMu.Lock()
 	s.msgs = append(s.msgs, m)
-	s.mu.Unlock()
+	s.msgMu.Unlock()
+}
+
+// AddMessageBatch appends a batch of messages (e.g. one joined group's
+// history) under one lock acquisition.
+func (s *Store) AddMessageBatch(batch []MessageRecord) {
+	if len(batch) == 0 {
+		return
+	}
+	s.msgMu.Lock()
+	s.msgs = append(s.msgs, batch...)
+	s.msgMu.Unlock()
 }
 
 // UpsertUser merges an observed user's PII into the dataset.
 func (s *Store) UpsertUser(u UserRecord) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.userMu.Lock()
+	s.upsertUserLocked(u)
+	s.userMu.Unlock()
+}
+
+// UpsertUserBatch merges a batch of observed users under one lock
+// acquisition. Merging is commutative across batches (fields fill in,
+// Linked accumulates as a set, Creator only ever clears), so concurrent
+// batches land in the same final state regardless of interleaving.
+func (s *Store) UpsertUserBatch(batch []UserRecord) {
+	if len(batch) == 0 {
+		return
+	}
+	s.userMu.Lock()
+	for i := range batch {
+		s.upsertUserLocked(batch[i])
+	}
+	s.userMu.Unlock()
+}
+
+func (s *Store) upsertUserLocked(u UserRecord) {
 	k := u.Platform.String() + "/" + keyString(u.Key)
 	cur, ok := s.users[k]
 	if !ok {
@@ -357,20 +471,20 @@ func mergeStrings(a, b []string) []string {
 // Tweets returns the collected platform tweets (shared slice; do not
 // mutate).
 func (s *Store) Tweets() []TweetRecord {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.tweetMu.Lock()
+	defer s.tweetMu.Unlock()
 	return s.tweets
 }
 
 // Control returns the control tweets.
 func (s *Store) Control() []ControlRecord {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.tweetMu.Lock()
+	defer s.tweetMu.Unlock()
 	return s.control
 }
 
 // rebuildGroupsLocked refreshes the sorted slice and per-platform
-// partitions after the group set changed. Callers hold s.mu.
+// partitions after the group set changed. Callers hold s.groupMu.
 func (s *Store) rebuildGroupsLocked() {
 	if !s.groupsDirty && s.sortedGroups != nil {
 		return
@@ -399,8 +513,8 @@ func (s *Store) rebuildGroupsLocked() {
 // copied from an index kept sorted across calls, so repeated reads cost
 // O(N) instead of O(N log N).
 func (s *Store) Groups() []*GroupRecord {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.groupMu.Lock()
+	defer s.groupMu.Unlock()
 	s.rebuildGroupsLocked()
 	return append([]*GroupRecord(nil), s.sortedGroups...)
 }
@@ -408,20 +522,21 @@ func (s *Store) Groups() []*GroupRecord {
 // GroupsOf returns the discovered groups of one platform, sorted by code,
 // served from the per-platform partition of the group index.
 func (s *Store) GroupsOf(p platform.Platform) []*GroupRecord {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.groupMu.Lock()
+	defer s.groupMu.Unlock()
 	s.rebuildGroupsLocked()
 	return append([]*GroupRecord(nil), s.groupsByPlat[p]...)
 }
 
 // Messages returns all collected messages.
 func (s *Store) Messages() []MessageRecord {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.msgMu.Lock()
+	defer s.msgMu.Unlock()
 	return s.msgs
 }
 
-// rebuildUsersLocked refreshes the sorted user index. Callers hold s.mu.
+// rebuildUsersLocked refreshes the sorted user index. Callers hold
+// s.userMu.
 func (s *Store) rebuildUsersLocked() {
 	if !s.usersDirty && s.sortedUsers != nil {
 		return
@@ -443,8 +558,8 @@ func (s *Store) rebuildUsersLocked() {
 // Users returns all observed users, sorted by platform then key. As with
 // Groups, the returned slice is a copy of a persistent sorted index.
 func (s *Store) Users() []*UserRecord {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.userMu.Lock()
+	defer s.userMu.Unlock()
 	s.rebuildUsersLocked()
 	return append([]*UserRecord(nil), s.sortedUsers...)
 }
@@ -459,11 +574,13 @@ type Counts struct {
 	MessageUsers int
 }
 
-// CountsFor computes the Table 2 row of one platform.
+// CountsFor computes the Table 2 row of one platform. Each record family
+// is read under its own lock; the counts are mutually consistent once
+// collection has quiesced (the only time the report layer reads them).
 func (s *Store) CountsFor(p platform.Platform) Counts {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	var c Counts
+
+	s.tweetMu.Lock()
 	tweetUsers := map[string]struct{}{}
 	for i := range s.tweets {
 		if s.tweets[i].Platform != p {
@@ -472,7 +589,10 @@ func (s *Store) CountsFor(p platform.Platform) Counts {
 		c.Tweets++
 		tweetUsers[s.tweets[i].UserID] = struct{}{}
 	}
+	s.tweetMu.Unlock()
 	c.TweetUsers = len(tweetUsers)
+
+	s.groupMu.Lock()
 	for _, g := range s.groups {
 		if g.Platform != p {
 			continue
@@ -482,6 +602,9 @@ func (s *Store) CountsFor(p platform.Platform) Counts {
 			c.JoinedGroups++
 		}
 	}
+	s.groupMu.Unlock()
+
+	s.msgMu.Lock()
 	msgUsers := map[uint64]struct{}{}
 	for i := range s.msgs {
 		if s.msgs[i].Platform != p {
@@ -490,6 +613,7 @@ func (s *Store) CountsFor(p platform.Platform) Counts {
 		c.Messages++
 		msgUsers[s.msgs[i].AuthorKey] = struct{}{}
 	}
+	s.msgMu.Unlock()
 	c.MessageUsers = len(msgUsers)
 	return c
 }

@@ -13,6 +13,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"msgscope/internal/httpx"
 )
 
 // ErrRateLimited is returned by Search when the API budget is exhausted;
@@ -28,7 +30,7 @@ type Client struct {
 
 // NewClient returns a Client for the service at baseURL.
 func NewClient(baseURL string) *Client {
-	return &Client{BaseURL: strings.TrimRight(baseURL, "/"), HTTP: &http.Client{}}
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/"), HTTP: httpx.NewClient()}
 }
 
 // Search runs one query against the Search API, following next_results

@@ -67,6 +67,14 @@ type Options struct {
 	// second social network whose public feed is polled alongside the
 	// Twitter APIs (Section 8 future work).
 	SocialDiscovery bool
+	// SearchWorkers bounds the hourly Search API fan-out (0 = one worker
+	// per tracked URL pattern, 1 = serial). The collected dataset is
+	// identical at any setting; only wall-clock time changes.
+	SearchWorkers int
+	// CollectWorkers bounds the join-phase per-group message collection
+	// fan-out (0 = default bound, 1 = serial). Same determinism guarantee
+	// as SearchWorkers.
+	CollectWorkers int
 }
 
 // Result is a completed study with its collected dataset. The dataset is
@@ -91,6 +99,8 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 		SearchEveryHours:      opts.SearchEveryHours,
 		JoinTitleKeywords:     opts.TopicKeywords,
 		EnableSocialDiscovery: opts.SocialDiscovery,
+		SearchWorkers:         opts.SearchWorkers,
+		CollectWorkers:        opts.CollectWorkers,
 		Join: join.Targets{
 			WhatsApp: opts.JoinWhatsApp,
 			Telegram: opts.JoinTelegram,
