@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench bench-json bench-smoke ci
+.PHONY: all build test vet race bench bench-json bench-smoke fuzz-smoke cover ci
 
 all: build
 
@@ -34,4 +34,21 @@ bench-json:
 bench-smoke:
 	$(GO) test -run='^$$' -bench='StudyRun' -benchtime=1x ./internal/core
 
-ci: vet build race bench-smoke bench
+# Short fuzz bursts over the parsing surfaces the fault injector attacks
+# (URL extraction and the WhatsApp landing-page scraper). 10s per target:
+# long enough to shake out regressions against the checked-in corpus,
+# short enough for every CI run.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=10s ./internal/urlpat
+	$(GO) test -run='^$$' -fuzz='^FuzzExtract$$' -fuzztime=10s ./internal/urlpat
+	$(GO) test -run='^$$' -fuzz='^FuzzScrapeLanding$$' -fuzztime=10s ./internal/platform/whatsapp
+
+# Coverage floor for the fault/retry layer: the rest of the repo is covered
+# by end-to-end pipeline tests, but these two packages are the safety net
+# everything else leans on, so their own tests must exercise them directly.
+cover:
+	$(GO) test -count=1 -coverprofile=cover.out ./internal/retry ./internal/faults
+	@$(GO) tool cover -func=cover.out | tail -1
+	@$(GO) tool cover -func=cover.out | awk '/^total:/ { sub(/%/, "", $$3); if ($$3+0 < 70) { printf "coverage %.1f%% below the 70%% floor for internal/retry + internal/faults\n", $$3; exit 1 } }'
+
+ci: vet build race cover fuzz-smoke bench-smoke bench

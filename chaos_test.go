@@ -1,0 +1,89 @@
+package msgscope_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"msgscope"
+)
+
+// chaosStart mirrors the simulated study's start instant (simworld's
+// default, the paper's April 8 2020).
+var chaosStart = time.Date(2020, 4, 8, 0, 0, 0, 0, time.UTC)
+
+// chaosPlans is the fault matrix: a clean run, a lightly faulty run, and a
+// heavily faulty run with a scheduled platform outage spanning a daily
+// sweep plus a rate-limit burst spanning the join phase.
+func chaosPlans() map[string]*msgscope.FaultPlan {
+	return map[string]*msgscope.FaultPlan{
+		"clean": nil,
+		"light": {Seed: 7, ErrorRate: 0.01},
+		"heavy": {
+			Seed:          7,
+			ErrorRate:     0.10,
+			TimeoutRate:   0.02,
+			MalformedRate: 0.02,
+			OutageWindows: []msgscope.FaultWindow{
+				{From: chaosStart.Add(47*time.Hour + 30*time.Minute), To: chaosStart.Add(48*time.Hour + 30*time.Minute)},
+			},
+			FloodBursts: []msgscope.FaultWindow{
+				{From: chaosStart.Add(72 * time.Hour), To: chaosStart.Add(72*time.Hour + 2*time.Minute)},
+			},
+		},
+	}
+}
+
+// TestChaosMatrixDeterministicAndLossless runs the study under each fault
+// plan twice — once with every fan-out forced serial, once with the default
+// parallel fan-outs — and asserts the two contracts of the fault harness:
+//
+//  1. Determinism survives faults: the rendered reports are byte-identical
+//     at any worker count, because fault decisions are pure functions of
+//     (plan seed, phase epoch, request key, attempt), never of timing.
+//  2. Nothing is silently lost: every discovered group ends the run
+//     observed alive, observed revoked, or deferred with a stage reason —
+//     the outcome counts sum to the discovered count with zero lost.
+func TestChaosMatrixDeterministicAndLossless(t *testing.T) {
+	ctx := context.Background()
+	renders := []string{"table2", "table3", "fig1", "fig6", "fig8", "fig9"}
+	for name, plan := range chaosPlans() {
+		t.Run(name, func(t *testing.T) {
+			base := msgscope.Options{Seed: 7, Scale: 0.01, Days: 4, Faults: plan}
+			serialOpts := base
+			serialOpts.SearchWorkers, serialOpts.CollectWorkers = 1, 1
+			serial, err := msgscope.Run(ctx, serialOpts)
+			if err != nil {
+				t.Fatalf("serial run: %v", err)
+			}
+			parallel, err := msgscope.Run(ctx, base)
+			if err != nil {
+				t.Fatalf("parallel run: %v", err)
+			}
+
+			for _, id := range renders {
+				if s, p := serial.Render(id), parallel.Render(id); s != p {
+					t.Errorf("%s diverges between serial and parallel runs under plan %q:\n--- serial ---\n%s\n--- parallel ---\n%s",
+						id, name, s, p)
+				}
+			}
+
+			so, po := serial.GroupOutcomes(), parallel.GroupOutcomes()
+			if so != po {
+				t.Errorf("group outcomes diverge: serial %+v, parallel %+v", so, po)
+			}
+			for mode, o := range map[string]msgscope.GroupOutcomes{"serial": so, "parallel": po} {
+				if o.Discovered == 0 {
+					t.Fatalf("%s run discovered no groups", mode)
+				}
+				if o.Lost != 0 {
+					t.Errorf("%s run silently lost %d groups: %+v", mode, o.Lost, o)
+				}
+				if sum := o.Alive + o.Revoked + o.Deferred + o.Lost; sum != o.Discovered {
+					t.Errorf("%s run outcome accounting broken: %d+%d+%d+%d != %d",
+						mode, o.Alive, o.Revoked, o.Deferred, o.Lost, o.Discovered)
+				}
+			}
+		})
+	}
+}

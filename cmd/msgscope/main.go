@@ -56,7 +56,7 @@ func run(args []string) error {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  msgscope run    [-seed N] [-scale F] [-days N] [-out DIR] [-exp id,...] [-summary]
+  msgscope run    [-seed N] [-scale F] [-days N] [-fault-rate F] [-out DIR] [-exp id,...] [-summary]
   msgscope report [-seed N] [-scale F] -exp table2,fig1,...
   msgscope serve  [-seed N] [-scale F] [-speedup X] [-addr HOST:PORT]
   msgscope gen    [-seed N] [-scale F] -out DIR
@@ -80,6 +80,7 @@ func runStudy(args []string) error {
 	csvDir := fs.String("csv", "", "directory to write per-figure CSV data (optional)")
 	svgDir := fs.String("svg", "", "directory to render per-figure SVG charts (optional)")
 	socialSrc := fs.Bool("social", false, "enable the secondary discovery source (crosssource experiment)")
+	faultRate := fs.Float64("fault-rate", 0, "per-request probability of an injected server error (plus timeouts and malformed bodies at a quarter of the rate); 0 disables fault injection")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -97,6 +98,14 @@ func runStudy(args []string) error {
 	}
 	if *topics != "" {
 		opts.TopicKeywords = strings.Split(*topics, ",")
+	}
+	if *faultRate > 0 {
+		opts.Faults = &msgscope.FaultPlan{
+			Seed:          *seed,
+			ErrorRate:     *faultRate,
+			TimeoutRate:   *faultRate / 4,
+			MalformedRate: *faultRate / 4,
+		}
 	}
 	res, err := msgscope.Run(context.Background(), opts)
 	if err != nil {

@@ -3,8 +3,11 @@ package msgscope_test
 import (
 	"context"
 	"testing"
+	"time"
 
 	"msgscope"
+	"msgscope/internal/core"
+	"msgscope/internal/faults"
 )
 
 // TestSerialAndParallelRunsRenderIdentically is the determinism contract
@@ -33,5 +36,54 @@ func TestSerialAndParallelRunsRenderIdentically(t *testing.T) {
 		if s, p := serial.Render(id), parallel.Render(id); s != p {
 			t.Errorf("%s diverges between serial and parallel runs:\n--- serial ---\n%s\n--- parallel ---\n%s", id, s, p)
 		}
+	}
+}
+
+// TestRaceHammerFloodBurstBreakers drives 16 message-collection workers
+// into a rate-limit burst that opens every platform's shared circuit
+// breaker mid-collection. Run under -race (`make race`), it exercises the
+// contended paths of the retry layer — concurrent breaker open/close
+// transitions, shared virtual-clock advances from the waiters, and the
+// injector's atomic fault counters — and asserts the burst was actually
+// absorbed: the run completes, breakers both opened and closed, and
+// rate-limit waits were recorded.
+func TestRaceHammerFloodBurstBreakers(t *testing.T) {
+	start := time.Date(2020, 4, 8, 0, 0, 0, 0, time.UTC)
+	days := 3
+	s, err := core.NewStudy(core.Config{
+		Seed:           9,
+		Scale:          0.01,
+		Days:           days,
+		JoinDay:        1, // join before the burst; collection runs into it
+		CollectWorkers: 16,
+		Faults: &faults.Plan{
+			Seed: 9,
+			FloodBursts: []faults.Window{
+				{From: start.Add(time.Duration(days) * 24 * time.Hour),
+					To: start.Add(time.Duration(days)*24*time.Hour + 5*time.Minute)},
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Run(context.Background()); err != nil {
+		t.Fatalf("run under flood burst failed: %v", err)
+	}
+	js := s.JoinStats()
+	if js.Joined == 0 {
+		t.Fatal("no groups joined; the burst was never exercised")
+	}
+	if js.FloodWaits == 0 {
+		t.Fatal("no flood waits recorded; the burst missed the collection phase")
+	}
+	var opens, closes int64
+	for _, bs := range s.BreakerStats() {
+		opens += bs.Opens
+		closes += bs.Closes
+	}
+	if opens == 0 || closes == 0 {
+		t.Fatalf("breakers never cycled under the burst: opens=%d closes=%d", opens, closes)
 	}
 }

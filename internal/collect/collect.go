@@ -29,6 +29,10 @@ type Stats struct {
 	NewGroups     int
 	SocialPosts   int // posts ingested from the secondary network
 	SocialNew     int // groups first discovered via the secondary network
+	// SearchDeferred counts hourly queries that exhausted the retry
+	// budget; the partial batch is kept and the cursor stays put, so the
+	// next round re-covers the window (search has seven days of slack).
+	SearchDeferred int
 }
 
 // counters is the lock-free mirror of Stats. Each field is a monotonic
@@ -36,14 +40,15 @@ type Stats struct {
 // Stats() materializes a snapshot that is exact whenever the pipeline is
 // between phases (every call site in the driver).
 type counters struct {
-	searchTweets  atomic.Int64
-	streamTweets  atomic.Int64
-	controlTweets atomic.Int64
-	rateLimitHits atomic.Int64
-	noURLTweets   atomic.Int64
-	newGroups     atomic.Int64
-	socialPosts   atomic.Int64
-	socialNew     atomic.Int64
+	searchTweets   atomic.Int64
+	streamTweets   atomic.Int64
+	controlTweets  atomic.Int64
+	rateLimitHits  atomic.Int64
+	noURLTweets    atomic.Int64
+	newGroups      atomic.Int64
+	socialPosts    atomic.Int64
+	socialNew      atomic.Int64
+	searchDeferred atomic.Int64
 }
 
 // Collector drives discovery against one Twitter client.
@@ -157,11 +162,16 @@ func (c *Collector) searchTerm(ctx context.Context, term string) ([]store.TweetI
 	cur := c.cursor(term)
 	since := cur.Load()
 	statuses, err := c.Client.Search(ctx, term, since, c.MaxPagesPerQuery)
+	deferred := false
 	if err != nil {
 		if errors.Is(err, twitter.ErrRateLimited) {
 			c.stats.rateLimitHits.Add(1)
 		} else {
-			return nil, fmt.Errorf("collect: search %q: %w", term, err)
+			// Retry budget exhausted mid-query: keep the pages already
+			// fetched but leave the cursor where it was, so the next hourly
+			// round re-covers this window instead of silently skipping it.
+			c.stats.searchDeferred.Add(1)
+			deferred = true
 		}
 	}
 	c.stats.searchTweets.Add(int64(len(statuses)))
@@ -175,10 +185,12 @@ func (c *Collector) searchTerm(ctx context.Context, term string) ([]store.TweetI
 			batch = append(batch, ing)
 		}
 	}
-	for {
-		old := cur.Load()
-		if maxID <= old || cur.CompareAndSwap(old, maxID) {
-			break
+	if !deferred {
+		for {
+			old := cur.Load()
+			if maxID <= old || cur.CompareAndSwap(old, maxID) {
+				break
+			}
 		}
 	}
 	return batch, nil
@@ -300,13 +312,14 @@ func (c *Collector) PollSocial(ctx context.Context) error {
 // the snapshot is exact.
 func (c *Collector) Stats() Stats {
 	return Stats{
-		SearchTweets:  int(c.stats.searchTweets.Load()),
-		StreamTweets:  int(c.stats.streamTweets.Load()),
-		ControlTweets: int(c.stats.controlTweets.Load()),
-		RateLimitHits: int(c.stats.rateLimitHits.Load()),
-		NoURLTweets:   int(c.stats.noURLTweets.Load()),
-		NewGroups:     int(c.stats.newGroups.Load()),
-		SocialPosts:   int(c.stats.socialPosts.Load()),
-		SocialNew:     int(c.stats.socialNew.Load()),
+		SearchTweets:   int(c.stats.searchTweets.Load()),
+		StreamTweets:   int(c.stats.streamTweets.Load()),
+		ControlTweets:  int(c.stats.controlTweets.Load()),
+		RateLimitHits:  int(c.stats.rateLimitHits.Load()),
+		NoURLTweets:    int(c.stats.noURLTweets.Load()),
+		NewGroups:      int(c.stats.newGroups.Load()),
+		SocialPosts:    int(c.stats.socialPosts.Load()),
+		SocialNew:      int(c.stats.socialNew.Load()),
+		SearchDeferred: int(c.stats.searchDeferred.Load()),
 	}
 }

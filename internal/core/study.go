@@ -15,12 +15,14 @@ import (
 	"time"
 
 	"msgscope/internal/collect"
+	"msgscope/internal/faults"
 	"msgscope/internal/join"
 	"msgscope/internal/monitor"
 	"msgscope/internal/platform/discord"
 	"msgscope/internal/platform/telegram"
 	"msgscope/internal/platform/whatsapp"
 	"msgscope/internal/report"
+	"msgscope/internal/retry"
 	"msgscope/internal/simclock"
 	"msgscope/internal/simworld"
 	"msgscope/internal/social"
@@ -79,6 +81,12 @@ type Config struct {
 	// source: a secondary social network's public feed is polled hourly
 	// alongside the Twitter APIs.
 	EnableSocialDiscovery bool
+	// Faults, when non-nil, injects deterministic failures (500s, aborted
+	// connections, malformed bodies, rate-limit bursts, outage windows)
+	// into every simulated service. Fault decisions are pure functions of
+	// (plan seed, phase epoch, request key, attempt), so a faulted run is
+	// as reproducible as a clean one.
+	Faults *faults.Plan
 }
 
 func (c Config) withDefaults() Config {
@@ -132,6 +140,14 @@ type Study struct {
 	monitor   *monitor.Monitor
 	joiner    *join.Joiner
 
+	// injector is shared by all four services (nil when Cfg.Faults is nil);
+	// breakers holds one circuit breaker per platform host, shared by every
+	// client of that host. Both are reset at phase boundaries so each
+	// pipeline phase starts from the same state regardless of how the
+	// previous phase's requests interleaved.
+	injector *faults.Injector
+	breakers map[string]*retry.Breaker
+
 	ran      bool
 	snapOnce sync.Once
 	snap     *store.Snapshot
@@ -161,12 +177,25 @@ func NewStudy(cfg Config) (*Study, error) {
 	tgSvc := telegram.NewService(world, clock, telegram.DefaultServiceConfig())
 	dcSvc := discord.NewService(world, clock, discord.DefaultServiceConfig())
 
+	injector := faults.NewInjector(cfg.Faults, clock)
+	twSvc.Faults = injector
+	waSvc.Faults = injector
+	tgSvc.Faults = injector
+	dcSvc.Faults = injector
+
 	s := &Study{
 		Cfg:        cfg,
 		World:      world,
 		Clock:      clock,
 		Store:      st,
 		TwitterSvc: twSvc,
+		injector:   injector,
+		breakers: map[string]*retry.Breaker{
+			"twitter":  retry.NewBreaker(5, 30*time.Second),
+			"whatsapp": retry.NewBreaker(5, 30*time.Second),
+			"telegram": retry.NewBreaker(5, 30*time.Second),
+			"discord":  retry.NewBreaker(5, 30*time.Second),
+		},
 	}
 	twSrv := httptest.NewServer(twSvc.Handler())
 	waSrv := httptest.NewServer(waSvc.Handler())
@@ -174,7 +203,9 @@ func NewStudy(cfg Config) (*Study, error) {
 	dcSrv := httptest.NewServer(dcSvc.Handler())
 	s.servers = []*httptest.Server{twSrv, waSrv, tgSrv, dcSrv}
 
-	s.collector = collect.New(st, twitter.NewClient(twSrv.URL))
+	twClient := twitter.NewClient(twSrv.URL)
+	twClient.Retry.Breaker = s.breakers["twitter"]
+	s.collector = collect.New(st, twClient)
 	s.collector.SearchWorkers = cfg.SearchWorkers
 	if cfg.EnableSocialDiscovery {
 		socialSrv := httptest.NewServer(social.NewService(world, clock).Handler())
@@ -185,6 +216,17 @@ func NewStudy(cfg Config) (*Study, error) {
 	waMonitorClient := whatsapp.NewClient(waSrv.URL, "monitor")
 	tgMonitorClient := telegram.NewClient(tgSrv.URL, "monitor")
 	dcMonitorClient := discord.NewClient(dcSrv.URL, "monitor")
+	// The monitor never advances the virtual clock, so a flood burst that
+	// spans "now" would never end for it: cap its rate-limit waits low and
+	// let the deferral path re-queue the group for the next sweep.
+	for host, p := range map[string]*retry.Policy{
+		"whatsapp": waMonitorClient.Retry,
+		"telegram": tgMonitorClient.Retry,
+		"discord":  dcMonitorClient.Retry,
+	} {
+		p.MaxWaits = 3
+		p.Breaker = s.breakers[host]
+	}
 	s.monitor = monitor.New(st, waMonitorClient, tgMonitorClient, dcMonitorClient)
 	s.monitor.Workers = cfg.MonitorWorkers
 
@@ -194,11 +236,13 @@ func NewStudy(cfg Config) (*Study, error) {
 	waClients := make([]*whatsapp.Client, nAccounts)
 	for i := range waClients {
 		waClients[i] = whatsapp.NewClient(waSrv.URL, fmt.Sprintf("join-%d", i))
+		waClients[i].Retry.Breaker = s.breakers["whatsapp"]
 	}
-	s.joiner = join.New(st, waClients,
-		telegram.NewClient(tgSrv.URL, "join-tg"),
-		discord.NewClient(dcSrv.URL, "join-dc"),
-		clock, cfg.Seed)
+	tgJoinClient := telegram.NewClient(tgSrv.URL, "join-tg")
+	tgJoinClient.Retry.Breaker = s.breakers["telegram"]
+	dcJoinClient := discord.NewClient(dcSrv.URL, "join-dc")
+	dcJoinClient.Retry.Breaker = s.breakers["discord"]
+	s.joiner = join.New(st, waClients, tgJoinClient, dcJoinClient, clock, cfg.Seed)
 	s.joiner.MaxMessagesPerGroup = cfg.MaxMessagesPerGroup
 	s.joiner.TitleKeywords = cfg.JoinTitleKeywords
 	s.joiner.Workers = cfg.CollectWorkers
@@ -231,10 +275,23 @@ func (s *Study) Run(ctx context.Context) error {
 		}
 	}
 	// Final message collection over the joined groups.
+	s.phaseBoundary()
 	if err := s.joiner.CollectMessages(ctx); err != nil {
 		return err
 	}
 	return nil
+}
+
+// phaseBoundary marks the start of a pipeline phase: the fault injector
+// advances its epoch (so repeated request keys draw fresh fault decisions
+// instead of failing forever) and every circuit breaker is force-closed,
+// making each phase's starting state independent of how the previous
+// phase's requests interleaved across workers.
+func (s *Study) phaseBoundary() {
+	s.injector.NextEpoch()
+	for _, b := range s.breakers {
+		b.Reset()
+	}
 }
 
 func (s *Study) runDay(ctx context.Context, day int) error {
@@ -242,6 +299,7 @@ func (s *Study) runDay(ctx context.Context, day int) error {
 		s.Clock.Advance(time.Hour)
 		s.TwitterSvc.PublishUpTo(s.Clock.Now())
 		if hour%s.Cfg.SearchEveryHours == 0 {
+			s.phaseBoundary()
 			if err := s.collector.HourlySearch(ctx); err != nil {
 				return err
 			}
@@ -256,11 +314,13 @@ func (s *Study) runDay(ctx context.Context, day int) error {
 	s.collector.DrainStreams()
 
 	if (day+1)%s.Cfg.MonitorEveryDays == 0 {
+		s.phaseBoundary()
 		if err := s.monitor.DailySweep(ctx, s.Clock.Now()); err != nil {
 			return err
 		}
 	}
 	if day == s.Cfg.JoinDay {
+		s.phaseBoundary()
 		if err := s.joiner.SelectAndJoin(ctx, s.Cfg.Join); err != nil {
 			return err
 		}
@@ -344,3 +404,30 @@ func (s *Study) MonitorStats() monitor.Stats { return s.monitor.Stats() }
 
 // JoinStats exposes join-phase counters.
 func (s *Study) JoinStats() join.Stats { return s.joiner.Stats() }
+
+// FaultCounts exposes how many faults the injector served (zero value when
+// no fault plan is configured). The counts are approximate across runs:
+// Go's HTTP transport transparently re-sends a request whose reused
+// connection died mid-flight (the timeout fault), and the re-sent request
+// draws — and counts — the same fault again. Data outcomes are unaffected
+// (the duplicate draw is identical), but the totals can differ between
+// otherwise identical runs; don't assert exact values.
+func (s *Study) FaultCounts() faults.Counts { return s.injector.Counts() }
+
+// BreakerStats reports circuit-breaker open/close transitions per platform
+// host. Reset at phase boundaries does not zero these counters, so they
+// reflect the whole run.
+type BreakerStats struct {
+	Opens  int64
+	Closes int64
+}
+
+// BreakerStats returns per-host breaker transition counts, keyed by
+// "twitter", "whatsapp", "telegram", "discord".
+func (s *Study) BreakerStats() map[string]BreakerStats {
+	out := make(map[string]BreakerStats, len(s.breakers))
+	for host, b := range s.breakers {
+		out[host] = BreakerStats{Opens: b.Opens(), Closes: b.Closes()}
+	}
+	return out
+}

@@ -7,6 +7,7 @@
 package httpx
 
 import (
+	"io"
 	"net/http"
 	"time"
 )
@@ -26,4 +27,13 @@ var Transport = &http.Transport{
 // platform client constructs its own.
 func NewClient() *http.Client {
 	return &http.Client{Transport: Transport}
+}
+
+// Drain discards the rest of a response body and closes it, so the
+// underlying connection returns to the shared idle pool. Retry paths use
+// it on every response they abandon: dropping a half-read body would
+// force a re-dial on the next attempt.
+func Drain(resp *http.Response) {
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
 }

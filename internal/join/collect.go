@@ -3,7 +3,6 @@ package join
 import (
 	"context"
 	"errors"
-	"fmt"
 	"sort"
 	"time"
 
@@ -11,7 +10,6 @@ import (
 	"msgscope/internal/par"
 	"msgscope/internal/platform"
 	"msgscope/internal/platform/discord"
-	"msgscope/internal/platform/telegram"
 	"msgscope/internal/store"
 )
 
@@ -51,14 +49,19 @@ type gathered struct {
 func (j *Joiner) CollectMessages(ctx context.Context) error {
 	horizon := j.Clock.Now()
 
-	waGroups := j.joined[platform.WhatsApp]
-	waAccounts := make([]int, len(waGroups))
-	for i, g := range waGroups {
+	var waGroups []*store.GroupRecord
+	var waAccounts []int
+	for _, g := range j.joined[platform.WhatsApp] {
 		ci, err := j.waClientFor(ctx, g.Code)
 		if err != nil {
-			return fmt.Errorf("join: collecting WhatsApp %s: %w", g.Code, err)
+			// Cannot even resolve a member account: defer the group rather
+			// than abort the whole collection pass.
+			j.stats.deferred.Add(1)
+			j.Store.MarkDeferred(platform.WhatsApp, g.Code, "collect")
+			continue
 		}
-		waAccounts[i] = ci
+		waGroups = append(waGroups, g)
+		waAccounts = append(waAccounts, ci)
 	}
 
 	type dcPrep struct {
@@ -68,22 +71,22 @@ func (j *Joiner) CollectMessages(ctx context.Context) error {
 	var dcPreps []dcPrep
 	for _, g := range j.joined[platform.Discord] {
 		// Re-resolve the guild and channels from the invite.
-		var inv discord.Invite
-		if err := j.dcCall(func() error {
-			var err error
-			inv, err = j.DC.ProbeInvite(ctx, g.Code)
-			return err
-		}); err != nil {
+		inv, err := j.DC.ProbeInvite(ctx, g.Code)
+		if err != nil {
 			if errors.Is(err, discord.ErrUnknownInvite) {
 				// Invite died after we joined; we are still a member, but
 				// the simulation keys access by invite, so skip its history.
 				continue
 			}
-			return fmt.Errorf("join: collecting Discord %s: %w", g.Code, err)
+			j.stats.deferred.Add(1)
+			j.Store.MarkDeferred(platform.Discord, g.Code, "collect")
+			continue
 		}
-		chs, err := j.dcChannels(ctx, inv.GuildID)
+		chs, err := j.DC.Channels(ctx, inv.GuildID)
 		if err != nil {
-			return fmt.Errorf("join: collecting Discord %s: %w", g.Code, err)
+			j.stats.deferred.Add(1)
+			j.Store.MarkDeferred(platform.Discord, g.Code, "collect")
+			continue
 		}
 		dcPreps = append(dcPreps, dcPrep{g: g, chs: chs})
 	}
@@ -92,15 +95,20 @@ func (j *Joiner) CollectMessages(ctx context.Context) error {
 	results := make([]gathered, len(waGroups)+len(tgGroups)+len(dcPreps))
 	tasks := make([]func() error, 0, len(results))
 	slot := 0
+	// A fetch that exhausts its retry budget defers the group (dropping its
+	// partially gathered batch so reruns stay deterministic) instead of
+	// failing the pass; the group is re-collected on the next join round.
 	for i, g := range waGroups {
 		out := &results[slot]
 		ci := waAccounts[i]
 		tasks = append(tasks, func() error {
-			var err error
-			*out, err = j.fetchWhatsApp(ctx, g, ci, horizon)
+			got, err := j.fetchWhatsApp(ctx, g, ci, horizon)
 			if err != nil {
-				return fmt.Errorf("join: collecting WhatsApp %s: %w", g.Code, err)
+				j.stats.deferred.Add(1)
+				j.Store.MarkDeferred(platform.WhatsApp, g.Code, "collect")
+				return nil
 			}
+			*out = got
 			return nil
 		})
 		slot++
@@ -108,11 +116,13 @@ func (j *Joiner) CollectMessages(ctx context.Context) error {
 	for _, g := range tgGroups {
 		out := &results[slot]
 		tasks = append(tasks, func() error {
-			var err error
-			*out, err = j.fetchTelegram(ctx, g, horizon)
+			got, err := j.fetchTelegram(ctx, g, horizon)
 			if err != nil {
-				return fmt.Errorf("join: collecting Telegram %s: %w", g.Code, err)
+				j.stats.deferred.Add(1)
+				j.Store.MarkDeferred(platform.Telegram, g.Code, "collect")
+				return nil
 			}
+			*out = got
 			return nil
 		})
 		slot++
@@ -120,11 +130,13 @@ func (j *Joiner) CollectMessages(ctx context.Context) error {
 	for _, p := range dcPreps {
 		out := &results[slot]
 		tasks = append(tasks, func() error {
-			var err error
-			*out, err = j.fetchDiscord(ctx, p.g, p.chs, horizon)
+			got, err := j.fetchDiscord(ctx, p.g, p.chs, horizon)
 			if err != nil {
-				return fmt.Errorf("join: collecting Discord %s: %w", p.g.Code, err)
+				j.stats.deferred.Add(1)
+				j.Store.MarkDeferred(platform.Discord, p.g.Code, "collect")
+				return nil
 			}
+			*out = got
 			return nil
 		})
 		slot++
@@ -188,12 +200,7 @@ func (j *Joiner) fetchTelegram(ctx context.Context, g *store.GroupRecord, horizo
 	pager := j.TG.HistoryPagerAt(g.Code, horizon)
 	var out gathered
 	for !pager.Done() {
-		var page []telegram.Message
-		err := j.tgCall(func() error {
-			var err error
-			page, err = pager.Next(ctx)
-			return err
-		})
+		page, err := pager.Next(ctx)
 		if err != nil {
 			return gathered{}, err
 		}
@@ -224,12 +231,7 @@ func (j *Joiner) fetchDiscord(ctx context.Context, g *store.GroupRecord, chs []d
 	for _, ch := range chs {
 		pager := j.DC.MessagePagerBefore(ch.ID, before)
 		for !pager.Done() {
-			var page []discord.Message
-			err := j.dcCall(func() error {
-				var err error
-				page, err = pager.Next(ctx)
-				return err
-			})
+			page, err := pager.Next(ctx)
 			if err != nil {
 				return gathered{}, err
 			}
@@ -262,12 +264,7 @@ func (j *Joiner) fetchDiscord(ctx context.Context, g *store.GroupRecord, chs []d
 	}
 	sort.Slice(authorIDs, func(a, b int) bool { return authorIDs[a] < authorIDs[b] })
 	for _, aid := range authorIDs {
-		var prof discord.Profile
-		err := j.dcCall(func() error {
-			var err error
-			prof, err = j.DC.UserProfile(ctx, aid)
-			return err
-		})
+		prof, err := j.DC.UserProfile(ctx, aid)
 		if err != nil {
 			return gathered{}, err
 		}

@@ -13,13 +13,13 @@ import (
 	"math/rand/v2"
 	"strings"
 	"sync/atomic"
-	"time"
 
 	"msgscope/internal/ids"
 	"msgscope/internal/platform"
 	"msgscope/internal/platform/discord"
 	"msgscope/internal/platform/telegram"
 	"msgscope/internal/platform/whatsapp"
+	"msgscope/internal/retry"
 	"msgscope/internal/simclock"
 	"msgscope/internal/store"
 )
@@ -34,23 +34,29 @@ type Targets struct {
 
 // Stats counts join-phase events.
 type Stats struct {
-	Attempted    int
-	Joined       int
-	DeadInvites  int
-	FloodWaits   int
-	HiddenLists  int
+	Attempted   int
+	Joined      int
+	DeadInvites int
+	// FloodWaits counts rate-limit waits absorbed by the clients' retry
+	// policies (FLOOD_WAITs, 429s) across the join and collect phases.
+	FloodWaits  int
+	HiddenLists int
+	// Deferred counts groups whose join or collection exhausted the retry
+	// budget; they stay in the store marked deferred and are retried on the
+	// next join round instead of being silently dropped.
+	Deferred     int
 	MessagesRead int
 }
 
-// counters is the lock-free mirror of Stats: FloodWaits and MessagesRead
-// are bumped from concurrent collection workers, so every field is an
-// atomic and Stats() materializes a snapshot.
+// counters is the lock-free mirror of Stats: MessagesRead is bumped from
+// concurrent collection workers, so every field is an atomic and Stats()
+// materializes a snapshot.
 type counters struct {
 	attempted    atomic.Int64
 	joined       atomic.Int64
 	deadInvites  atomic.Int64
-	floodWaits   atomic.Int64
 	hiddenLists  atomic.Int64
+	deferred     atomic.Int64
 	messagesRead atomic.Int64
 }
 
@@ -70,9 +76,6 @@ type Joiner struct {
 	Seed uint64
 	// MaxMessagesPerGroup bounds history collection (0 = unlimited).
 	MaxMessagesPerGroup int
-	// MaxFloodRetries bounds waits per API call before giving up on a
-	// group.
-	MaxFloodRetries int
 	// TitleKeywords, when non-empty, restricts the join sample to groups
 	// whose monitored title contains one of the keywords
 	// (case-insensitive) — the paper's future-work "focused data
@@ -90,18 +93,29 @@ type Joiner struct {
 	stats  counters
 }
 
-// New returns a Joiner.
+// New returns a Joiner. Every client's retry policy is switched to wait by
+// advancing the shared virtual clock — the simulation's stand-in for the
+// real study's wall-clock FLOOD_WAIT sleeps.
 func New(st *store.Store, wa []*whatsapp.Client, tg *telegram.Client, dc *discord.Client,
 	clock *simclock.Sim, seed uint64) *Joiner {
+	waiter := retry.AdvanceWaiter{Clock: clock}
+	for _, c := range wa {
+		c.Retry.Waiter = waiter
+	}
+	if tg != nil {
+		tg.Retry.Waiter = waiter
+	}
+	if dc != nil {
+		dc.Retry.Waiter = waiter
+	}
 	return &Joiner{
-		Store:           st,
-		WAClients:       wa,
-		TG:              tg,
-		DC:              dc,
-		Clock:           clock,
-		Seed:            seed,
-		MaxFloodRetries: 200,
-		joined:          map[platform.Platform][]*store.GroupRecord{},
+		Store:     st,
+		WAClients: wa,
+		TG:        tg,
+		DC:        dc,
+		Clock:     clock,
+		Seed:      seed,
+		joined:    map[platform.Platform][]*store.GroupRecord{},
 	}
 }
 
@@ -110,13 +124,26 @@ func (j *Joiner) Joined(p platform.Platform) []*store.GroupRecord { return j.joi
 
 // Stats returns a snapshot of the join-phase counters; between pipeline
 // phases (the only places the driver reads them) the snapshot is exact.
+// FloodWaits is read off the clients' retry policies, which absorb the
+// rate-limit waits that the joiner used to count itself.
 func (j *Joiner) Stats() Stats {
+	var floods int64
+	for _, c := range j.WAClients {
+		floods += c.Retry.Stats().Throttles
+	}
+	if j.TG != nil {
+		floods += j.TG.Retry.Stats().Throttles
+	}
+	if j.DC != nil {
+		floods += j.DC.Retry.Stats().Throttles
+	}
 	return Stats{
 		Attempted:    int(j.stats.attempted.Load()),
 		Joined:       int(j.stats.joined.Load()),
 		DeadInvites:  int(j.stats.deadInvites.Load()),
-		FloodWaits:   int(j.stats.floodWaits.Load()),
+		FloodWaits:   int(floods),
 		HiddenLists:  int(j.stats.hiddenLists.Load()),
+		Deferred:     int(j.stats.deferred.Load()),
 		MessagesRead: int(j.stats.messagesRead.Load()),
 	}
 }
@@ -124,7 +151,8 @@ func (j *Joiner) Stats() Stats {
 // SelectAndJoin samples discovered groups uniformly at random per platform
 // and joins them until each target is met or candidates run out (dead
 // invites are skipped, mirroring the paper's random sampling of *public,
-// accessible* groups).
+// accessible* groups). A join whose retry budget is exhausted does not
+// abort the phase: the group is marked deferred and the sample moves on.
 func (j *Joiner) SelectAndJoin(ctx context.Context, t Targets) error {
 	rng := ids.Fork(j.Seed, "join")
 	for _, p := range platform.All {
@@ -145,7 +173,9 @@ func (j *Joiner) SelectAndJoin(ctx context.Context, t Targets) error {
 			j.stats.attempted.Add(1)
 			ok, err := j.joinOne(ctx, g)
 			if err != nil {
-				return fmt.Errorf("join: %v %s: %w", p, g.Code, err)
+				j.stats.deferred.Add(1)
+				j.Store.MarkDeferred(p, g.Code, "join")
+				continue
 			}
 			if ok {
 				j.joined[p] = append(j.joined[p], g)
@@ -256,33 +286,8 @@ func (j *Joiner) joinWhatsApp(ctx context.Context, g *store.GroupRecord) (bool, 
 	return true, nil
 }
 
-// floodWait advances virtual time to wait out a Telegram FLOOD_WAIT.
-func (j *Joiner) floodWait() {
-	j.stats.floodWaits.Add(1)
-	j.Clock.Advance(31 * time.Second)
-}
-
-// tgCall runs fn, waiting out FLOOD_WAITs up to the retry budget.
-func (j *Joiner) tgCall(fn func() error) error {
-	for attempt := 0; ; attempt++ {
-		err := fn()
-		if !errors.Is(err, telegram.ErrFloodWait) {
-			return err
-		}
-		if attempt >= j.MaxFloodRetries {
-			return err
-		}
-		j.floodWait()
-	}
-}
-
 func (j *Joiner) joinTelegram(ctx context.Context, g *store.GroupRecord) (bool, error) {
-	var joinedAt time.Time
-	err := j.tgCall(func() error {
-		var err error
-		joinedAt, err = j.TG.Join(ctx, g.Code)
-		return err
-	})
+	joinedAt, err := j.TG.Join(ctx, g.Code)
 	switch {
 	case errors.Is(err, telegram.ErrExpired), errors.Is(err, telegram.ErrNotFound):
 		j.stats.deadInvites.Add(1)
@@ -290,12 +295,8 @@ func (j *Joiner) joinTelegram(ctx context.Context, g *store.GroupRecord) (bool, 
 	case err != nil:
 		return false, err
 	}
-	var info telegram.ChatInfo
-	if err := j.tgCall(func() error {
-		var err error
-		info, err = j.TG.Info(ctx, g.Code)
-		return err
-	}); err != nil {
+	info, err := j.TG.Info(ctx, g.Code)
+	if err != nil {
 		return false, err
 	}
 	j.Store.MarkJoined(g.Platform, g.Code, func(rec *store.GroupRecord) {
@@ -309,12 +310,7 @@ func (j *Joiner) joinTelegram(ctx context.Context, g *store.GroupRecord) (bool, 
 	})
 	// Member lists are available only where admins did not hide them
 	// (24 of 100 joined rooms in the paper).
-	var parts []telegram.Participant
-	err = j.tgCall(func() error {
-		var err error
-		parts, err = j.TG.Participants(ctx, g.Code)
-		return err
-	})
+	parts, err := j.TG.Participants(ctx, g.Code)
 	switch {
 	case errors.Is(err, telegram.ErrHiddenList):
 		j.stats.hiddenLists.Add(1)
@@ -333,12 +329,7 @@ func (j *Joiner) joinTelegram(ctx context.Context, g *store.GroupRecord) (bool, 
 }
 
 func (j *Joiner) joinDiscord(ctx context.Context, g *store.GroupRecord) (bool, error) {
-	var inv discord.Invite
-	err := j.dcCall(func() error {
-		var err error
-		inv, err = j.DC.Join(ctx, g.Code)
-		return err
-	})
+	inv, err := j.DC.Join(ctx, g.Code)
 	switch {
 	case errors.Is(err, discord.ErrUnknownInvite):
 		j.stats.deadInvites.Add(1)
@@ -349,7 +340,7 @@ func (j *Joiner) joinDiscord(ctx context.Context, g *store.GroupRecord) (bool, e
 	case err != nil:
 		return false, err
 	}
-	chs, err := j.dcChannels(ctx, inv.GuildID)
+	chs, err := j.DC.Channels(ctx, inv.GuildID)
 	if err != nil {
 		return false, err
 	}
@@ -360,29 +351,4 @@ func (j *Joiner) joinDiscord(ctx context.Context, g *store.GroupRecord) (bool, e
 		rec.MemberCount = inv.Members
 	})
 	return true, nil
-}
-
-// dcCall runs fn, waiting out Discord 429s by advancing virtual time.
-func (j *Joiner) dcCall(fn func() error) error {
-	for attempt := 0; ; attempt++ {
-		err := fn()
-		if !errors.Is(err, discord.ErrRateLimited) {
-			return err
-		}
-		if attempt >= j.MaxFloodRetries {
-			return err
-		}
-		j.stats.floodWaits.Add(1)
-		j.Clock.Advance(2 * time.Second)
-	}
-}
-
-func (j *Joiner) dcChannels(ctx context.Context, guildID uint64) ([]discord.Channel, error) {
-	var chs []discord.Channel
-	err := j.dcCall(func() error {
-		var err error
-		chs, err = j.DC.Channels(ctx, guildID)
-		return err
-	})
-	return chs, err
 }

@@ -27,6 +27,9 @@ type Stats struct {
 	AliveProbes   int
 	RevokedProbes int
 	Errors        int
+	// Deferred counts probes that exhausted their retry budget; the group
+	// stays queued and is probed again on the next sweep.
+	Deferred int
 }
 
 // counters is the lock-free mirror of Stats; probe workers bump them
@@ -36,6 +39,7 @@ type counters struct {
 	aliveProbes   atomic.Int64
 	revokedProbes atomic.Int64
 	errors        atomic.Int64
+	deferred      atomic.Int64
 }
 
 // Monitor drives the daily probes.
@@ -81,24 +85,18 @@ func (m *Monitor) DailySweep(ctx context.Context, now time.Time) error {
 	}
 	ch := make(chan job)
 	var wg sync.WaitGroup
-	var firstErr error
-	var errMu sync.Mutex
-	var failed int64
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for j := range ch {
 				if err := m.probe(ctx, j.p, j.code, now); err != nil {
-					// A single flaky probe must not abort the sweep: the
-					// group simply has no observation today and is probed
-					// again tomorrow. Only systematic failure is fatal.
-					atomic.AddInt64(&failed, 1)
-					errMu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					errMu.Unlock()
+					// A failed probe — even a systematic outage — must not
+					// abort the sweep: the group is marked deferred, has no
+					// observation today, and is probed again on the next
+					// sweep. Nothing is silently dropped.
+					m.stats.deferred.Add(1)
+					m.Store.MarkDeferred(j.p, j.code, "monitor")
 				}
 			}
 		}()
@@ -108,9 +106,6 @@ func (m *Monitor) DailySweep(ctx context.Context, now time.Time) error {
 	}
 	close(ch)
 	wg.Wait()
-	if n := atomic.LoadInt64(&failed); n > 0 && n*2 >= int64(len(jobs)) {
-		return fmt.Errorf("monitor: %d of %d probes failed: %w", n, len(jobs), firstErr)
-	}
 	return nil
 }
 
@@ -225,5 +220,6 @@ func (m *Monitor) Stats() Stats {
 		AliveProbes:   int(m.stats.aliveProbes.Load()),
 		RevokedProbes: int(m.stats.revokedProbes.Load()),
 		Errors:        int(m.stats.errors.Load()),
+		Deferred:      int(m.stats.deferred.Load()),
 	}
 }

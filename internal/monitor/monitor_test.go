@@ -237,9 +237,10 @@ func TestSweepToleratesPartialFailures(t *testing.T) {
 	}
 }
 
-// TestSweepFailsOnSystematicFailure verifies that when most probes fail,
-// the error is surfaced instead of silently recording an empty day.
-func TestSweepFailsOnSystematicFailure(t *testing.T) {
+// TestSweepDefersOnSystematicFailure verifies that when every probe fails
+// the sweep still completes — no group is silently dropped: each one is
+// marked deferred with a stage reason and stays queued for the next sweep.
+func TestSweepDefersOnSystematicFailure(t *testing.T) {
 	f := newFixture(t)
 	dead := "http://127.0.0.1:1"
 	f.mon.WA = whatsapp.NewClient(dead, "mon")
@@ -247,7 +248,28 @@ func TestSweepFailsOnSystematicFailure(t *testing.T) {
 	f.mon.DC = discord.NewClient(dead, "mon")
 	f.discoverDay(0)
 	f.clock.Advance(24 * time.Hour)
-	if err := f.mon.DailySweep(context.Background(), f.clock.Now()); err == nil {
-		t.Fatal("all-probes-failed sweep reported success")
+	if err := f.mon.DailySweep(context.Background(), f.clock.Now()); err != nil {
+		t.Fatalf("all-probes-failed sweep aborted: %v", err)
+	}
+	stats := f.mon.Stats()
+	if stats.Errors == 0 || stats.Deferred == 0 {
+		t.Fatalf("no errors/deferrals recorded: %+v", stats)
+	}
+	total := 0
+	for _, g := range f.st.Groups() {
+		total++
+		if len(g.Observations) != 0 {
+			t.Fatalf("dead platforms produced observations: %v/%s", g.Platform, g.Code)
+		}
+		if !g.Deferred || g.DeferReason != "monitor" {
+			t.Fatalf("group %v/%s not deferred with a stage reason: deferred=%v reason=%q",
+				g.Platform, g.Code, g.Deferred, g.DeferReason)
+		}
+	}
+	if total == 0 {
+		t.Fatal("no groups discovered")
+	}
+	if stats.Deferred != total {
+		t.Fatalf("Deferred=%d but %d groups swept", stats.Deferred, total)
 	}
 }

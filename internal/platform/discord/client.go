@@ -12,8 +12,10 @@ import (
 	"strings"
 	"time"
 
+	"msgscope/internal/faults"
 	"msgscope/internal/httpx"
 	"msgscope/internal/ids"
+	"msgscope/internal/retry"
 )
 
 // Sentinel errors.
@@ -41,51 +43,80 @@ type Client struct {
 	BaseURL string
 	Account string
 	HTTP    *http.Client
+	// Retry is the shared retry policy: 429s wait out the advertised
+	// retry_after through the policy's Waiter, 5xx back off, API error
+	// codes surface immediately as sentinels.
+	Retry *retry.Policy
 }
 
 // NewClient returns a client bound to an account. Prefix the account name
 // with "bot:" to act as a bot application (which may not join guilds).
 func NewClient(baseURL, account string) *Client {
-	return &Client{BaseURL: strings.TrimRight(baseURL, "/"), Account: account, HTTP: httpx.NewClient()}
+	return &Client{
+		BaseURL: strings.TrimRight(baseURL, "/"),
+		Account: account,
+		HTTP:    httpx.NewClient(),
+		Retry:   retry.New(accountSeed(account)),
+	}
+}
+
+// accountSeed hashes the account name (FNV-1a) into a jitter seed.
+func accountSeed(account string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(account); i++ {
+		h ^= uint64(account[i])
+		h *= 1099511628211
+	}
+	return h
 }
 
 func (c *Client) do(ctx context.Context, method, path string, v any) error {
-	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, nil)
-	if err != nil {
-		return err
-	}
-	req.Header.Set("X-DC-Account", c.Account)
-	resp, err := c.HTTP.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode == http.StatusOK {
-		if v == nil {
-			io.Copy(io.Discard, resp.Body)
-			return nil
+	return c.Retry.Do(method+" "+path, func(attempt int) retry.Outcome {
+		req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, nil)
+		if err != nil {
+			return retry.Fail(err)
 		}
-		return json.NewDecoder(resp.Body).Decode(v)
-	}
-	var e struct {
-		Message string `json:"message"`
-		Code    int    `json:"code"`
-	}
-	json.NewDecoder(resp.Body).Decode(&e)
-	switch {
-	case resp.StatusCode == http.StatusTooManyRequests:
-		return ErrRateLimited
-	case e.Code == 10006:
-		return ErrUnknownInvite
-	case e.Code == 30001:
-		return ErrGuildCap
-	case e.Code == 20001:
-		return ErrBotForbidden
-	case e.Code == 50001:
-		return ErrMissingAccess
-	default:
-		return fmt.Errorf("discord: status %d code %d: %s", resp.StatusCode, e.Code, e.Message)
-	}
+		req.Header.Set("X-DC-Account", c.Account)
+		faults.Mark(req, attempt)
+		resp, err := c.HTTP.Do(req)
+		if err != nil {
+			return retry.Retry(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			if v == nil {
+				io.Copy(io.Discard, resp.Body)
+				return retry.Ok()
+			}
+			if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+				return retry.Retry(fmt.Errorf("discord: decoding response: %w", err))
+			}
+			return retry.Ok()
+		}
+		var e struct {
+			Message    string  `json:"message"`
+			Code       int     `json:"code"`
+			RetryAfter float64 `json:"retry_after"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e)
+		io.Copy(io.Discard, resp.Body)
+		switch {
+		case resp.StatusCode == http.StatusTooManyRequests:
+			return retry.Throttled(time.Duration(e.RetryAfter*float64(time.Second)), ErrRateLimited)
+		case e.Code == 10006:
+			return retry.Fail(ErrUnknownInvite)
+		case e.Code == 30001:
+			return retry.Fail(ErrGuildCap)
+		case e.Code == 20001:
+			return retry.Fail(ErrBotForbidden)
+		case e.Code == 50001:
+			return retry.Fail(ErrMissingAccess)
+		case resp.StatusCode >= 500:
+			return retry.Retry(fmt.Errorf("discord: status %d: %s", resp.StatusCode, e.Message))
+		default:
+			return retry.Fail(fmt.Errorf("discord: status %d code %d: %s", resp.StatusCode, e.Code, e.Message))
+		}
+	})
 }
 
 type inviteJSON struct {

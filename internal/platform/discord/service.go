@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"msgscope/internal/faults"
 	"msgscope/internal/ids"
 	"msgscope/internal/platform"
 	"msgscope/internal/simclock"
@@ -39,6 +40,9 @@ type Service struct {
 	cfg   ServiceConfig
 	world *simworld.World
 	clock simclock.Clock
+
+	// Faults, when set, injects failures into every surface.
+	Faults *faults.Injector
 
 	mu       sync.Mutex
 	accounts map[string]*account
@@ -78,12 +82,27 @@ func NewService(world *simworld.World, clock simclock.Clock, cfg ServiceConfig) 
 // Handler returns the HTTP mux (API v9 paths; account via X-DC-Account).
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /api/v9/invites/{code}", s.handleInvite)
-	mux.HandleFunc("POST /api/v9/invites/{code}", s.handleJoin)
-	mux.HandleFunc("GET /api/v9/guilds/{gid}/channels", s.handleChannels)
-	mux.HandleFunc("GET /api/v9/channels/{cid}/messages", s.handleMessages)
-	mux.HandleFunc("GET /api/v9/users/{uid}/profile", s.handleProfile)
+	mux.HandleFunc("GET /api/v9/invites/{code}", s.faulty(s.handleInvite))
+	mux.HandleFunc("POST /api/v9/invites/{code}", s.faulty(s.handleJoin))
+	mux.HandleFunc("GET /api/v9/guilds/{gid}/channels", s.faulty(s.handleChannels))
+	mux.HandleFunc("GET /api/v9/channels/{cid}/messages", s.faulty(s.handleMessages))
+	mux.HandleFunc("GET /api/v9/users/{uid}/profile", s.faulty(s.handleProfile))
 	return mux
+}
+
+// faulty runs fault interception before the handler. Injected floods use
+// Discord's native 429 body so client handling matches organic buckets.
+func (s *Service) faulty(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.Faults.Intercept(w, r, "X-DC-Account", func(w http.ResponseWriter) {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(map[string]any{"message": "You are being rate limited.", "retry_after": 1.5, "global": false})
+		}) {
+			return
+		}
+		h(w, r)
+	}
 }
 
 func (s *Service) group(code string) *simworld.Group {

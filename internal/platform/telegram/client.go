@@ -11,7 +11,9 @@ import (
 	"strings"
 	"time"
 
+	"msgscope/internal/faults"
 	"msgscope/internal/httpx"
+	"msgscope/internal/retry"
 )
 
 // Preview is the metadata scraped from a t.me web page without joining:
@@ -38,42 +40,76 @@ type Client struct {
 	BaseURL string
 	Account string
 	HTTP    *http.Client
-	// FloodRetries is how many times an API call retries after a
-	// FLOOD_WAIT before giving up (each retry re-checks the budget; with
-	// a virtual clock the driver advances time between tries).
-	FloodRetries int
+	// Retry is the shared retry policy: FLOOD_WAITs wait out the
+	// advertised retry_after through the policy's Waiter, transient
+	// failures back off, sentinels surface immediately.
+	Retry *retry.Policy
 }
 
-// NewClient returns a client bound to an account name.
+// NewClient returns a client bound to an account name. The retry jitter
+// seed derives from the account so accounts decorrelate.
 func NewClient(baseURL, account string) *Client {
 	return &Client{
-		BaseURL:      strings.TrimRight(baseURL, "/"),
-		Account:      account,
-		HTTP:         httpx.NewClient(),
-		FloodRetries: 0,
+		BaseURL: strings.TrimRight(baseURL, "/"),
+		Account: account,
+		HTTP:    httpx.NewClient(),
+		Retry:   retry.New(accountSeed(account)),
 	}
+}
+
+// accountSeed hashes the account name (FNV-1a) into a jitter seed.
+func accountSeed(account string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(account); i++ {
+		h ^= uint64(account[i])
+		h *= 1099511628211
+	}
+	return h
 }
 
 // ProbePreview fetches and scrapes the public web preview.
 func (c *Client) ProbePreview(ctx context.Context, code string) (Preview, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/web/"+code, nil)
-	if err != nil {
-		return Preview{}, err
-	}
-	resp, err := c.HTTP.Do(req)
-	if err != nil {
-		return Preview{}, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode == http.StatusNotFound {
-		io.Copy(io.Discard, resp.Body)
-		return Preview{}, ErrNotFound
-	}
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
-	if err != nil {
-		return Preview{}, err
-	}
-	return scrapePreview(string(body))
+	path := "/web/" + code
+	var p Preview
+	err := c.Retry.Do("GET "+path, func(attempt int) retry.Outcome {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+		if err != nil {
+			return retry.Fail(err)
+		}
+		faults.Mark(req, attempt)
+		resp, err := c.HTTP.Do(req)
+		if err != nil {
+			return retry.Retry(err)
+		}
+		switch {
+		case resp.StatusCode == http.StatusNotFound:
+			httpx.Drain(resp)
+			return retry.Fail(ErrNotFound)
+		case resp.StatusCode == http.StatusOK:
+			body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+			resp.Body.Close()
+			if err != nil {
+				return retry.Retry(err)
+			}
+			p, err = scrapePreview(string(body))
+			if err != nil {
+				// A half-rendered page (e.g. injected truncation) is
+				// transient; the next attempt re-fetches.
+				return retry.Retry(err)
+			}
+			return retry.Ok()
+		case resp.StatusCode == 420:
+			return retry.Throttled(floodWaitOf(resp), ErrFloodWait)
+		case resp.StatusCode >= 500:
+			httpx.Drain(resp)
+			return retry.Retry(fmt.Errorf("telegram: preview status %d", resp.StatusCode))
+		default:
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+			resp.Body.Close()
+			return retry.Fail(fmt.Errorf("telegram: preview status %d: %s", resp.StatusCode, body))
+		}
+	})
+	return p, err
 }
 
 func scrapePreview(page string) (Preview, error) {
@@ -129,58 +165,74 @@ func unescape(s string) string {
 	return r.Replace(s)
 }
 
-// apiDo performs one authenticated API call, mapping Telegram error codes
-// to sentinel errors.
-func (c *Client) apiDo(ctx context.Context, method, url string, v any) error {
-	for attempt := 0; ; attempt++ {
-		req, err := http.NewRequestWithContext(ctx, method, url, nil)
+// floodWaitOf reads the advertised retry_after from a 420 body, draining
+// and closing it (0 when absent so the policy falls back to its base pad).
+func floodWaitOf(resp *http.Response) time.Duration {
+	var e struct {
+		RetryAfter float64 `json:"retry_after"`
+	}
+	json.NewDecoder(resp.Body).Decode(&e)
+	httpx.Drain(resp)
+	return time.Duration(e.RetryAfter * float64(time.Second))
+}
+
+// apiDo performs one authenticated API call against path through the
+// shared retry policy, mapping Telegram error codes to sentinel errors.
+// FLOOD_WAITs wait out the advertised retry_after; transient failures
+// (transport errors, 5xx, undecodable bodies) back off; the retry key is
+// the method + path, never the host (random test ports).
+func (c *Client) apiDo(ctx context.Context, method, path string, v any) error {
+	return c.Retry.Do(method+" "+path, func(attempt int) retry.Outcome {
+		req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, nil)
 		if err != nil {
-			return err
+			return retry.Fail(err)
 		}
 		req.Header.Set("X-TG-Account", c.Account)
+		faults.Mark(req, attempt)
 		resp, err := c.HTTP.Do(req)
 		if err != nil {
-			return err
+			return retry.Retry(err)
 		}
 		if resp.StatusCode == 420 {
-			io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
-			if attempt < c.FloodRetries {
-				continue
-			}
-			return ErrFloodWait
+			return retry.Throttled(floodWaitOf(resp), ErrFloodWait)
 		}
 		defer resp.Body.Close()
-		switch resp.StatusCode {
-		case http.StatusOK:
+		switch {
+		case resp.StatusCode == http.StatusOK:
 			if v == nil {
 				io.Copy(io.Discard, resp.Body)
-				return nil
+				return retry.Ok()
 			}
-			return json.NewDecoder(resp.Body).Decode(v)
-		case http.StatusForbidden:
+			if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+				return retry.Retry(fmt.Errorf("telegram: decoding response: %w", err))
+			}
+			return retry.Ok()
+		case resp.StatusCode == http.StatusForbidden:
 			var e struct {
 				Error string `json:"error"`
 			}
 			json.NewDecoder(resp.Body).Decode(&e)
 			if e.Error == "CHAT_ADMIN_REQUIRED" {
-				return ErrHiddenList
+				return retry.Fail(ErrHiddenList)
 			}
-			return ErrNotMember
-		case http.StatusBadRequest:
+			return retry.Fail(ErrNotMember)
+		case resp.StatusCode == http.StatusBadRequest:
 			var e struct {
 				Error string `json:"error"`
 			}
 			json.NewDecoder(resp.Body).Decode(&e)
 			if strings.HasPrefix(e.Error, "INVITE_HASH") {
-				return ErrExpired
+				return retry.Fail(ErrExpired)
 			}
-			return fmt.Errorf("telegram: api error %s", e.Error)
+			return retry.Fail(fmt.Errorf("telegram: api error %s", e.Error))
+		case resp.StatusCode >= 500:
+			io.Copy(io.Discard, resp.Body)
+			return retry.Retry(fmt.Errorf("telegram: status %d", resp.StatusCode))
 		default:
 			body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
-			return fmt.Errorf("telegram: status %d: %s", resp.StatusCode, body)
+			return retry.Fail(fmt.Errorf("telegram: status %d: %s", resp.StatusCode, body))
 		}
-	}
+	})
 }
 
 // Join joins a group or channel by its invite code or public name.
@@ -188,7 +240,7 @@ func (c *Client) Join(ctx context.Context, code string) (time.Time, error) {
 	var out struct {
 		JoinedAtMS int64 `json:"joined_at_ms"`
 	}
-	if err := c.apiDo(ctx, http.MethodPost, c.BaseURL+"/api/join/"+code, &out); err != nil {
+	if err := c.apiDo(ctx, http.MethodPost, "/api/join/"+code, &out); err != nil {
 		return time.Time{}, err
 	}
 	return time.UnixMilli(out.JoinedAtMS).UTC(), nil
@@ -235,7 +287,7 @@ func (p *HistoryPager) Next(ctx context.Context) ([]Message, error) {
 	if p.done {
 		return nil, nil
 	}
-	u := p.c.BaseURL + "/api/history/" + p.code + "?limit=1000"
+	u := "/api/history/" + p.code + "?limit=1000"
 	if p.offset != 0 {
 		u += "&offset_date_ms=" + strconv.FormatInt(p.offset, 10)
 	}
@@ -306,7 +358,7 @@ func (c *Client) Participants(ctx context.Context, code string) ([]Participant, 
 			Phone string `json:"phone"`
 		} `json:"participants"`
 	}
-	if err := c.apiDo(ctx, http.MethodGet, c.BaseURL+"/api/participants/"+code, &out); err != nil {
+	if err := c.apiDo(ctx, http.MethodGet, "/api/participants/"+code, &out); err != nil {
 		return nil, err
 	}
 	ps := make([]Participant, len(out.Participants))
@@ -337,7 +389,7 @@ func (c *Client) Info(ctx context.Context, code string) (ChatInfo, error) {
 		HiddenMembers bool   `json:"hidden_members"`
 		CreatorID     int    `json:"creator_id"`
 	}
-	if err := c.apiDo(ctx, http.MethodGet, c.BaseURL+"/api/chatinfo/"+code, &out); err != nil {
+	if err := c.apiDo(ctx, http.MethodGet, "/api/chatinfo/"+code, &out); err != nil {
 		return ChatInfo{}, err
 	}
 	return ChatInfo{

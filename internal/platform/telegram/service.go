@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"msgscope/internal/faults"
 	"msgscope/internal/platform"
 	"msgscope/internal/simclock"
 	"msgscope/internal/simworld"
@@ -41,6 +42,9 @@ type Service struct {
 	world *simworld.World
 	clock simclock.Clock
 
+	// Faults, when set, injects failures into every surface.
+	Faults *faults.Injector
+
 	mu       sync.Mutex
 	accounts map[string]*account
 }
@@ -60,12 +64,31 @@ func NewService(world *simworld.World, clock simclock.Clock, cfg ServiceConfig) 
 // preview; /api/* is the authenticated API (X-TG-Account header).
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /web/{code...}", s.handlePreview)
-	mux.HandleFunc("POST /api/join/{code...}", s.handleJoin)
-	mux.HandleFunc("GET /api/history/{code...}", s.handleHistory)
-	mux.HandleFunc("GET /api/participants/{code...}", s.handleParticipants)
-	mux.HandleFunc("GET /api/chatinfo/{code...}", s.handleChatInfo)
+	mux.HandleFunc("GET /web/{code...}", s.faulty(s.handlePreview))
+	mux.HandleFunc("POST /api/join/{code...}", s.faulty(s.handleJoin))
+	mux.HandleFunc("GET /api/history/{code...}", s.faulty(s.handleHistory))
+	mux.HandleFunc("GET /api/participants/{code...}", s.faulty(s.handleParticipants))
+	mux.HandleFunc("GET /api/chatinfo/{code...}", s.faulty(s.handleChatInfo))
 	return mux
+}
+
+// faulty runs fault interception before the handler. Injected floods use
+// Telegram's native 420 FLOOD_WAIT shape so the client's flood handling
+// covers them identically to organic budget exhaustion.
+func (s *Service) faulty(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.Faults.Intercept(w, r, "X-TG-Account", func(w http.ResponseWriter) {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(420)
+			json.NewEncoder(w).Encode(map[string]any{
+				"error":       fmt.Sprintf("FLOOD_WAIT_%d", s.cfg.FloodWaitSeconds),
+				"retry_after": s.cfg.FloodWaitSeconds,
+			})
+		}) {
+			return
+		}
+		h(w, r)
+	}
 }
 
 func (s *Service) group(code string) *simworld.Group {

@@ -12,7 +12,9 @@ import (
 	"strings"
 	"time"
 
+	"msgscope/internal/faults"
 	"msgscope/internal/httpx"
+	"msgscope/internal/retry"
 )
 
 // Landing is the metadata scraped off an invite landing page without
@@ -40,35 +42,81 @@ type Client struct {
 	BaseURL string
 	Account string
 	HTTP    *http.Client
+	// Retry is the shared retry policy: throttles wait out the Retry-After
+	// header through the policy's Waiter, transient failures back off,
+	// sentinels surface immediately.
+	Retry *retry.Policy
 }
 
-// NewClient returns a client bound to an account name.
+// NewClient returns a client bound to an account name. The retry jitter
+// seed derives from the account so accounts decorrelate.
 func NewClient(baseURL, account string) *Client {
-	return &Client{BaseURL: strings.TrimRight(baseURL, "/"), Account: account, HTTP: httpx.NewClient()}
+	return &Client{
+		BaseURL: strings.TrimRight(baseURL, "/"),
+		Account: account,
+		HTTP:    httpx.NewClient(),
+		Retry:   retry.New(accountSeed(account)),
+	}
+}
+
+// accountSeed hashes the account name (FNV-1a) into a jitter seed.
+func accountSeed(account string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(account); i++ {
+		h ^= uint64(account[i])
+		h *= 1099511628211
+	}
+	return h
 }
 
 // ProbeInvite fetches and scrapes the landing page of an invite code.
 // WhatsApp has no API for this, so it parses the HTML the way the study's
 // automation did.
 func (c *Client) ProbeInvite(ctx context.Context, code string) (Landing, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/invite/"+code, nil)
-	if err != nil {
-		return Landing{}, err
-	}
-	resp, err := c.HTTP.Do(req)
-	if err != nil {
-		return Landing{}, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode == http.StatusNotFound {
-		io.Copy(io.Discard, resp.Body)
-		return Landing{}, ErrNotFound
-	}
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
-	if err != nil {
-		return Landing{}, err
-	}
-	return scrapeLanding(string(body))
+	path := "/invite/" + code
+	var l Landing
+	err := c.Retry.Do("GET "+path, func(attempt int) retry.Outcome {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+		if err != nil {
+			return retry.Fail(err)
+		}
+		req.Header.Set("X-WA-Account", c.Account)
+		faults.Mark(req, attempt)
+		resp, err := c.HTTP.Do(req)
+		if err != nil {
+			return retry.Retry(err)
+		}
+		switch {
+		case resp.StatusCode == http.StatusNotFound:
+			httpx.Drain(resp)
+			return retry.Fail(ErrNotFound)
+		case resp.StatusCode == http.StatusOK:
+			body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+			resp.Body.Close()
+			if err != nil {
+				return retry.Retry(err)
+			}
+			l, err = scrapeLanding(string(body))
+			if err != nil {
+				// A half-rendered page (e.g. injected truncation) is
+				// transient; the next attempt re-fetches.
+				return retry.Retry(err)
+			}
+			return retry.Ok()
+		case resp.StatusCode == http.StatusTooManyRequests:
+			after := retry.ParseRetryAfter(resp.Header)
+			httpx.Drain(resp)
+			return retry.Throttled(after, errors.New("whatsapp: rate limited"))
+		case resp.StatusCode >= 500:
+			httpx.Drain(resp)
+			return retry.Retry(fmt.Errorf("whatsapp: landing status %d", resp.StatusCode))
+		default:
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+			resp.Body.Close()
+			return retry.Fail(fmt.Errorf("whatsapp: landing status %d: %s", resp.StatusCode, body))
+		}
+	})
+	return l, err
 }
 
 // scrapeLanding parses the landing-page HTML.
@@ -78,7 +126,7 @@ func scrapeLanding(page string) (Landing, error) {
 	}
 	l := Landing{Alive: true}
 	var ok bool
-	if l.Title, ok = attr(page, "og:title", "content"); !ok {
+	if l.Title, ok = attr(page, "og:title", "content"); !ok || l.Title == "" {
 		return Landing{}, fmt.Errorf("whatsapp: landing page missing title")
 	}
 	if v, ok := dataAttr(page, "data-members"); ok {
@@ -133,34 +181,45 @@ func htmlUnescape(s string) string {
 
 // Join joins a group; the service enforces the per-account cap.
 func (c *Client) Join(ctx context.Context, code string) (time.Time, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/client/join/"+code, nil)
-	if err != nil {
-		return time.Time{}, err
-	}
-	req.Header.Set("X-WA-Account", c.Account)
-	resp, err := c.HTTP.Do(req)
-	if err != nil {
-		return time.Time{}, err
-	}
-	defer resp.Body.Close()
-	switch resp.StatusCode {
-	case http.StatusOK:
-	case http.StatusGone:
-		return time.Time{}, ErrRevoked
-	case http.StatusNotFound:
-		return time.Time{}, ErrNotFound
-	case http.StatusForbidden:
-		return time.Time{}, ErrBanned
-	default:
-		return time.Time{}, fmt.Errorf("whatsapp: join status %d", resp.StatusCode)
-	}
-	var out struct {
-		JoinedAtMS int64 `json:"joined_at_ms"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return time.Time{}, err
-	}
-	return time.UnixMilli(out.JoinedAtMS).UTC(), nil
+	path := "/client/join/" + code
+	var joined time.Time
+	err := c.Retry.Do("POST "+path, func(attempt int) retry.Outcome {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, nil)
+		if err != nil {
+			return retry.Fail(err)
+		}
+		req.Header.Set("X-WA-Account", c.Account)
+		faults.Mark(req, attempt)
+		resp, err := c.HTTP.Do(req)
+		if err != nil {
+			return retry.Retry(err)
+		}
+		defer resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			var out struct {
+				JoinedAtMS int64 `json:"joined_at_ms"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				return retry.Retry(fmt.Errorf("whatsapp: decoding join response: %w", err))
+			}
+			joined = time.UnixMilli(out.JoinedAtMS).UTC()
+			return retry.Ok()
+		case resp.StatusCode == http.StatusGone:
+			return retry.Fail(ErrRevoked)
+		case resp.StatusCode == http.StatusNotFound:
+			return retry.Fail(ErrNotFound)
+		case resp.StatusCode == http.StatusForbidden:
+			return retry.Fail(ErrBanned)
+		case resp.StatusCode == http.StatusTooManyRequests:
+			return retry.Throttled(retry.ParseRetryAfter(resp.Header), errors.New("whatsapp: rate limited"))
+		case resp.StatusCode >= 500:
+			return retry.Retry(fmt.Errorf("whatsapp: join status %d", resp.StatusCode))
+		default:
+			return retry.Fail(fmt.Errorf("whatsapp: join status %d", resp.StatusCode))
+		}
+	})
+	return joined, err
 }
 
 // Message is one synced group message.
@@ -183,7 +242,7 @@ func (c *Client) Messages(ctx context.Context, code string, since time.Time) ([]
 // returned message set independent of virtual-clock advances made by
 // concurrent collectors.
 func (c *Client) MessagesUntil(ctx context.Context, code string, since, until time.Time) ([]Message, error) {
-	u := c.BaseURL + "/client/messages/" + code
+	u := "/client/messages/" + code
 	q := url.Values{}
 	if !since.IsZero() {
 		q.Set("since_ms", strconv.FormatInt(since.UnixMilli(), 10))
@@ -235,7 +294,7 @@ func (c *Client) Members(ctx context.Context, code string) ([]Member, error) {
 			Country string `json:"country"`
 		} `json:"members"`
 	}
-	if err := c.getJSON(ctx, c.BaseURL+"/client/members/"+code, &out); err != nil {
+	if err := c.getJSON(ctx, "/client/members/"+code, &out); err != nil {
 		return nil, err
 	}
 	ms := make([]Member, len(out.Members))
@@ -259,34 +318,45 @@ func (c *Client) Info(ctx context.Context, code string) (GroupInfo, error) {
 		CreatedMS int64  `json:"created_ms"`
 		Members   int    `json:"members"`
 	}
-	if err := c.getJSON(ctx, c.BaseURL+"/client/groupinfo/"+code, &out); err != nil {
+	if err := c.getJSON(ctx, "/client/groupinfo/"+code, &out); err != nil {
 		return GroupInfo{}, err
 	}
 	return GroupInfo{Title: out.Title, CreatedAt: time.UnixMilli(out.CreatedMS).UTC(), Members: out.Members}, nil
 }
 
-func (c *Client) getJSON(ctx context.Context, url string, v any) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
-	if err != nil {
-		return err
-	}
-	req.Header.Set("X-WA-Account", c.Account)
-	resp, err := c.HTTP.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	switch resp.StatusCode {
-	case http.StatusOK:
-	case http.StatusForbidden:
-		io.Copy(io.Discard, resp.Body)
-		return ErrNotMember
-	case http.StatusNotFound:
-		io.Copy(io.Discard, resp.Body)
-		return ErrNotFound
-	default:
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
-		return fmt.Errorf("whatsapp: status %d: %s", resp.StatusCode, body)
-	}
-	return json.NewDecoder(resp.Body).Decode(v)
+func (c *Client) getJSON(ctx context.Context, path string, v any) error {
+	return c.Retry.Do("GET "+path, func(attempt int) retry.Outcome {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+		if err != nil {
+			return retry.Fail(err)
+		}
+		req.Header.Set("X-WA-Account", c.Account)
+		faults.Mark(req, attempt)
+		resp, err := c.HTTP.Do(req)
+		if err != nil {
+			return retry.Retry(err)
+		}
+		defer resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+				return retry.Retry(fmt.Errorf("whatsapp: decoding response: %w", err))
+			}
+			return retry.Ok()
+		case resp.StatusCode == http.StatusForbidden:
+			io.Copy(io.Discard, resp.Body)
+			return retry.Fail(ErrNotMember)
+		case resp.StatusCode == http.StatusNotFound:
+			io.Copy(io.Discard, resp.Body)
+			return retry.Fail(ErrNotFound)
+		case resp.StatusCode == http.StatusTooManyRequests:
+			return retry.Throttled(retry.ParseRetryAfter(resp.Header), errors.New("whatsapp: rate limited"))
+		case resp.StatusCode >= 500:
+			io.Copy(io.Discard, resp.Body)
+			return retry.Retry(fmt.Errorf("whatsapp: status %d", resp.StatusCode))
+		default:
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+			return retry.Fail(fmt.Errorf("whatsapp: status %d: %s", resp.StatusCode, body))
+		}
+	})
 }

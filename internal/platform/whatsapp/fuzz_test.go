@@ -1,0 +1,50 @@
+package whatsapp
+
+import (
+	"testing"
+
+	"msgscope/internal/store"
+)
+
+// FuzzScrapeLanding hammers the landing-page scraper with arbitrary HTML —
+// the exact input surface the fault injector's malformed-body fault
+// truncates mid-page. The scraper must never panic, and every accepted
+// page must satisfy the structural invariants the monitor relies on.
+func FuzzScrapeLanding(f *testing.F) {
+	f.Add(`<html><head><meta property="og:title" content="Family group"/></head>` +
+		`<body data-members="42" data-creator-phone="+55119999" data-creator-cc="BR"></body></html>`)
+	f.Add(`<html><body class="revoked">Invite revoked</body></html>`)
+	f.Add(`<meta property="og:title" content="x &amp; y"/>`)
+	f.Add(`<meta property="og:title" content="unterminated`)
+	f.Add(`{"truncated`)
+	f.Add(`data-members="not-a-number" <meta property="og:title" content="t"/>`)
+	f.Fuzz(func(t *testing.T, page string) {
+		l, err := scrapeLanding(page)
+		if err != nil {
+			// Rejected pages carry no data.
+			if l != (Landing{}) {
+				t.Fatalf("error with non-zero landing: %+v", l)
+			}
+			return
+		}
+		if !l.Alive {
+			// A revoked page yields status only, never metadata.
+			if l.Title != "" || l.Members != 0 || l.CreatorPhone != "" || l.CreatorCountry != "" {
+				t.Fatalf("revoked landing carries metadata: %+v", l)
+			}
+			return
+		}
+		if l.Title == "" {
+			t.Fatal("alive landing accepted without a title")
+		}
+		// Privacy invariant: whatever creator phone the page yields, the
+		// store-side transforms must accept it — a 64-hex one-way digest
+		// and a stable dedup key — so no input can force plaintext storage.
+		if l.CreatorPhone != "" {
+			if h := store.HashPhone(l.CreatorPhone); len(h) != 64 || h == l.CreatorPhone {
+				t.Fatalf("phone hash not a 64-hex digest: %q", h)
+			}
+			_ = store.PhoneKey(l.CreatorPhone)
+		}
+	})
+}

@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"msgscope/internal/faults"
 	"msgscope/internal/platform"
 	"msgscope/internal/simclock"
 	"msgscope/internal/simworld"
@@ -24,6 +25,9 @@ import (
 type Service struct {
 	world *simworld.World
 	clock simclock.Clock
+
+	// Faults, when set, injects failures into every surface.
+	Faults *faults.Injector
 
 	mu       sync.Mutex
 	accounts map[string]*account
@@ -45,12 +49,26 @@ func NewService(world *simworld.World, clock simclock.Clock) *Service {
 // X-WA-Account header).
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /invite/{code}", s.handleInvite)
-	mux.HandleFunc("POST /client/join/{code}", s.handleJoin)
-	mux.HandleFunc("GET /client/messages/{code}", s.handleMessages)
-	mux.HandleFunc("GET /client/members/{code}", s.handleMembers)
-	mux.HandleFunc("GET /client/groupinfo/{code}", s.handleGroupInfo)
+	mux.HandleFunc("GET /invite/{code}", s.faulty(s.handleInvite))
+	mux.HandleFunc("POST /client/join/{code}", s.faulty(s.handleJoin))
+	mux.HandleFunc("GET /client/messages/{code}", s.faulty(s.handleMessages))
+	mux.HandleFunc("GET /client/members/{code}", s.faulty(s.handleMembers))
+	mux.HandleFunc("GET /client/groupinfo/{code}", s.faulty(s.handleGroupInfo))
 	return mux
+}
+
+// faulty runs fault interception before the handler. WhatsApp has no API,
+// so an injected flood is plain HTTP throttling with a Retry-After header.
+func (s *Service) faulty(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.Faults.Intercept(w, r, "X-WA-Account", func(w http.ResponseWriter) {
+			w.Header().Set("Retry-After", "2")
+			jsonError(w, http.StatusTooManyRequests, "rate limited")
+		}) {
+			return
+		}
+		h(w, r)
+	}
 }
 
 func (s *Service) group(code string) *simworld.Group {

@@ -95,6 +95,14 @@ type GroupRecord struct {
 	Channels      int       `json:"channels,omitempty"`
 	MemberCount   int       `json:"member_count,omitempty"` // members at join
 	CreatorKey    string    `json:"creator_key,omitempty"`  // member-visible creator
+
+	// Deferred marks a group whose last pipeline request exhausted its
+	// retry budget: it stays queued for the next sweep instead of being
+	// silently dropped. DeferReason is the stage that deferred it — a
+	// short stable constant ("monitor", "join", "collect"), never error
+	// text (which may embed unstable detail such as ports).
+	Deferred    bool   `json:"deferred,omitempty"`
+	DeferReason string `json:"defer_reason,omitempty"`
 }
 
 // Observation is one daily metadata probe of a group URL.
@@ -364,6 +372,8 @@ func (s *Store) AddObservation(p platform.Platform, code string, o Observation) 
 	s.groupMu.Lock()
 	if g := s.groups[groupKey(p, code)]; g != nil {
 		g.Observations = append(g.Observations, o)
+		g.Deferred = false
+		g.DeferReason = ""
 	}
 	s.groupMu.Unlock()
 }
@@ -373,7 +383,21 @@ func (s *Store) MarkJoined(p platform.Platform, code string, update func(*GroupR
 	s.groupMu.Lock()
 	if g := s.groups[groupKey(p, code)]; g != nil {
 		g.Joined = true
+		g.Deferred = false
+		g.DeferReason = ""
 		update(g)
+	}
+	s.groupMu.Unlock()
+}
+
+// MarkDeferred flags a group whose request exhausted its retry budget, so
+// it is retried on the next sweep rather than silently dropped. A later
+// successful observation or join clears the flag.
+func (s *Store) MarkDeferred(p platform.Platform, code, reason string) {
+	s.groupMu.Lock()
+	if g := s.groups[groupKey(p, code)]; g != nil {
+		g.Deferred = true
+		g.DeferReason = reason
 	}
 	s.groupMu.Unlock()
 }

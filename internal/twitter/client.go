@@ -14,7 +14,9 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"msgscope/internal/faults"
 	"msgscope/internal/httpx"
+	"msgscope/internal/retry"
 )
 
 // ErrRateLimited is returned by Search when the API budget is exhausted;
@@ -26,11 +28,18 @@ var ErrRateLimited = errors.New("twitter: rate limited")
 type Client struct {
 	BaseURL string
 	HTTP    *http.Client
+	// Retry is the shared retry policy for search page fetches. Streams
+	// bypass it: a broken stream is surfaced to the driver, not retried.
+	Retry *retry.Policy
 }
 
 // NewClient returns a Client for the service at baseURL.
 func NewClient(baseURL string) *Client {
-	return &Client{BaseURL: strings.TrimRight(baseURL, "/"), HTTP: httpx.NewClient()}
+	return &Client{
+		BaseURL: strings.TrimRight(baseURL, "/"),
+		HTTP:    httpx.NewClient(),
+		Retry:   retry.New(0),
+	}
 }
 
 // Search runs one query against the Search API, following next_results
@@ -47,15 +56,9 @@ func (c *Client) Search(ctx context.Context, query string, sinceID uint64, maxPa
 	}
 	next := "/1.1/search/tweets.json?" + params.Encode()
 	for page := 0; page < maxPages && next != ""; page++ {
-		resp, err := c.searchRequest(ctx, next)
+		sr, err := c.searchPage(ctx, next)
 		if err != nil {
 			return out, err
-		}
-		var sr searchResponse
-		err = json.NewDecoder(resp.Body).Decode(&sr)
-		resp.Body.Close()
-		if err != nil {
-			return out, fmt.Errorf("twitter: decoding search response: %w", err)
 		}
 		for _, j := range sr.Statuses {
 			st, err := decodeStatus(j)
@@ -82,36 +85,44 @@ func (c *Client) Search(ctx context.Context, query string, sinceID uint64, maxPa
 	return out, nil
 }
 
-// searchRequest performs one page fetch, retrying transient 5xx responses
-// (Twitter's "over capacity") up to three times before giving up.
-func (c *Client) searchRequest(ctx context.Context, path string) (*http.Response, error) {
-	const maxAttempts = 4
-	for attempt := 1; ; attempt++ {
+// searchPage fetches and decodes one search page through the shared retry
+// policy: transport errors, 5xx ("over capacity"), and undecodable bodies
+// are transient; 429 maps to ErrRateLimited so the caller keeps the pages
+// gathered so far and resumes on its next scheduled poll.
+func (c *Client) searchPage(ctx context.Context, path string) (searchResponse, error) {
+	var sr searchResponse
+	err := c.Retry.Do("GET "+path, func(attempt int) retry.Outcome {
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
 		if err != nil {
-			return nil, err
+			return retry.Fail(err)
 		}
+		faults.Mark(req, attempt)
 		resp, err := c.HTTP.Do(req)
 		if err != nil {
-			return nil, err
+			return retry.Retry(err)
 		}
 		switch {
 		case resp.StatusCode == http.StatusOK:
-			return resp, nil
+			sr = searchResponse{}
+			err := json.NewDecoder(resp.Body).Decode(&sr)
+			resp.Body.Close()
+			if err != nil {
+				return retry.Retry(fmt.Errorf("twitter: decoding search response: %w", err))
+			}
+			return retry.Ok()
 		case resp.StatusCode == http.StatusTooManyRequests:
-			io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
-			return nil, ErrRateLimited
-		case resp.StatusCode >= 500 && attempt < maxAttempts:
-			io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
-			continue
+			httpx.Drain(resp)
+			return retry.Fail(ErrRateLimited)
+		case resp.StatusCode >= 500:
+			httpx.Drain(resp)
+			return retry.Retry(fmt.Errorf("twitter: search status %d", resp.StatusCode))
 		default:
 			body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 			resp.Body.Close()
-			return nil, fmt.Errorf("twitter: search status %d: %s", resp.StatusCode, body)
+			return retry.Fail(fmt.Errorf("twitter: search status %d: %s", resp.StatusCode, body))
 		}
-	}
+	})
+	return sr, err
 }
 
 // Stream is a live connection to a streaming endpoint. Statuses are

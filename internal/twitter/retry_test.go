@@ -1,0 +1,63 @@
+package twitter
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"msgscope/internal/retry"
+)
+
+// TestSearchPermanent500ExhaustsBudget is the regression test for the bug
+// the retry layer replaced: a search endpoint that fails on every attempt
+// must burn exactly the configured attempt budget and surface a retryable
+// exhaustion error — not retry forever and not give up after one try.
+func TestSearchPermanent500ExhaustsBudget(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, "upstream exploded", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	c := NewClient(srv.URL)
+	_, err := c.Search(context.Background(), "t.me", 0, 3)
+	if err == nil {
+		t.Fatal("permanent 500 produced no error")
+	}
+	if !errors.Is(err, retry.ErrExhausted) {
+		t.Fatalf("error does not wrap retry.ErrExhausted: %v", err)
+	}
+	if got, want := hits.Load(), int64(c.Retry.MaxAttempts); got != want {
+		t.Fatalf("server saw %d requests, want exactly the attempt budget %d", got, want)
+	}
+	if st := c.Retry.Stats(); st.Exhausted != 1 || st.Retries != int64(c.Retry.MaxAttempts-1) {
+		t.Fatalf("unexpected retry stats: %+v", st)
+	}
+}
+
+// TestSearchRecoversFromTransient500s verifies the flip side: failures
+// below the budget are absorbed and the caller sees clean data.
+func TestSearchRecoversFromTransient500s(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			http.Error(w, "flaky", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"statuses":[]}`))
+	}))
+	defer srv.Close()
+
+	c := NewClient(srv.URL)
+	if _, err := c.Search(context.Background(), "t.me", 0, 1); err != nil {
+		t.Fatalf("two transient 500s should be absorbed: %v", err)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3 (two failures + one success)", got)
+	}
+}

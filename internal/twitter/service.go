@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"msgscope/internal/faults"
 	"msgscope/internal/simclock"
 	"msgscope/internal/simworld"
 )
@@ -59,6 +60,11 @@ type Service struct {
 	cfg   ServiceConfig
 	world *simworld.World
 	clock simclock.Clock
+
+	// Faults, when set, injects failures into search requests (streams are
+	// exempt: a mid-stream abort would lose queued events the quiesce
+	// accounting has already promised to the driver).
+	Faults *faults.Injector
 
 	mu         sync.Mutex
 	published  []*simworld.Tweet // platform tweets published so far
@@ -238,6 +244,14 @@ func (s *Service) takeSearchToken() (ok bool, retryAfter time.Duration) {
 }
 
 func (s *Service) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if s.Faults.Intercept(w, r, "", func(w http.ResponseWriter) {
+		// Twitter's native rate-limit shape, so the client's existing 429
+		// handling (advance the cursor window) covers injected floods too.
+		w.Header().Set("Retry-After", "2")
+		http.Error(w, `{"errors":[{"code":88,"message":"Rate limit exceeded"}]}`, http.StatusTooManyRequests)
+	}) {
+		return
+	}
 	if s.cfg.TransientErrorP > 0 {
 		s.mu.Lock()
 		s.reqSeq++

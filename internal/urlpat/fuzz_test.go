@@ -1,0 +1,58 @@
+package urlpat
+
+import (
+	"strings"
+	"testing"
+)
+
+// checkRoundTrip asserts the core extraction invariant: an accepted URL
+// carries a non-empty code and its canonical form re-parses to the same
+// identity (canonicalization is idempotent).
+func checkRoundTrip(t *testing.T, gu GroupURL) {
+	t.Helper()
+	if gu.Code == "" {
+		t.Fatalf("accepted URL with empty code: %+v", gu)
+	}
+	if !strings.HasPrefix(gu.Canonical, "https://") {
+		t.Fatalf("canonical URL not https: %q", gu.Canonical)
+	}
+	again, ok := Parse(gu.Canonical)
+	if !ok {
+		t.Fatalf("canonical form %q does not re-parse", gu.Canonical)
+	}
+	if again.Platform != gu.Platform || again.Code != gu.Code || again.Canonical != gu.Canonical {
+		t.Fatalf("canonicalization not idempotent: %+v -> %+v", gu, again)
+	}
+}
+
+func FuzzParse(f *testing.F) {
+	f.Add("https://chat.whatsapp.com/AbC123xyz")
+	f.Add("http://t.me/joinchat/QQQQ")
+	f.Add("https://telegram.me/publicroom")
+	f.Add("https://discord.gg/abc123")
+	f.Add("https://discord.com/invite/xyz?ref=tw")
+	f.Add("https://www.t.me/room/.,!)")
+	f.Add("https://t.me/")
+	f.Add("t.me/noscheme")
+	f.Add("https://discord.com/channels/123/456")
+	f.Fuzz(func(t *testing.T, raw string) {
+		gu, ok := Parse(raw)
+		if !ok {
+			return
+		}
+		checkRoundTrip(t, gu)
+	})
+}
+
+func FuzzExtract(f *testing.F) {
+	f.Add("join us https://chat.whatsapp.com/AbC123 and https://t.me/room!")
+	f.Add("nothing to see here")
+	f.Add("https://discord.gg/a https://discord.gg/a dupes preserved")
+	f.Add("trailing https://t.me/x?utm=1#frag.")
+	f.Add("<a href=\"https://discord.com/invite/q\">x</a>")
+	f.Fuzz(func(t *testing.T, text string) {
+		for _, gu := range Extract(text) {
+			checkRoundTrip(t, gu)
+		}
+	})
+}

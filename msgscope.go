@@ -27,6 +27,7 @@ import (
 	"strings"
 
 	"msgscope/internal/core"
+	"msgscope/internal/faults"
 	"msgscope/internal/join"
 	"msgscope/internal/par"
 	"msgscope/internal/report"
@@ -75,7 +76,23 @@ type Options struct {
 	// fan-out (0 = default bound, 1 = serial). Same determinism guarantee
 	// as SearchWorkers.
 	CollectWorkers int
+	// Faults, when non-nil, injects deterministic failures — 500s, dropped
+	// connections, malformed bodies, rate-limit bursts, scheduled outage
+	// windows — into every simulated service. The same options and plan
+	// yield identical output at any worker count; groups whose requests
+	// exhaust the retry budget are deferred and re-queued, never silently
+	// dropped (see GroupOutcomes).
+	Faults *FaultPlan
 }
+
+// FaultPlan configures deterministic fault injection for a run. Rates are
+// per-request probabilities in [0, 1]; windows are half-open [From, To)
+// intervals of virtual study time. The zero value injects nothing.
+type FaultPlan = faults.Plan
+
+// FaultWindow is a half-open [From, To) window of virtual time, used for
+// scheduled outages and rate-limit bursts in a FaultPlan.
+type FaultWindow = faults.Window
 
 // Result is a completed study with its collected dataset. The dataset is
 // frozen, so every experiment output is memoized: Render, FigureCSV, and
@@ -101,6 +118,7 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 		EnableSocialDiscovery: opts.SocialDiscovery,
 		SearchWorkers:         opts.SearchWorkers,
 		CollectWorkers:        opts.CollectWorkers,
+		Faults:                opts.Faults,
 		Join: join.Targets{
 			WhatsApp: opts.JoinWhatsApp,
 			Telegram: opts.JoinTelegram,
@@ -224,7 +242,51 @@ func (r *Result) Summary() string {
 		ms.Probes, ms.AliveProbes, ms.RevokedProbes)
 	fmt.Fprintf(&sb, "joined: %d groups (%d dead invites skipped, %d flood waits); %d messages from %d users\n",
 		js.Joined, js.DeadInvites, js.FloodWaits, t2.Total.Messages, t2.Total.MessageUsers)
+	// The raw injected-fault total is omitted on purpose: the HTTP
+	// transport transparently re-sends requests whose connection died on a
+	// timeout fault, so the injector's counters depend on connection reuse
+	// (see Study.FaultCounts). The deferral accounting below is exact and
+	// deterministic.
+	if r.study.Cfg.Faults != nil {
+		fmt.Fprintf(&sb, "faults: deferred %d probes, %d joins/collections, %d search queries (retry budget exhausted; re-queued)\n",
+			ms.Deferred, js.Deferred, cs.SearchDeferred)
+	}
 	return sb.String()
+}
+
+// GroupOutcomes classifies every discovered group URL by how the run left
+// it: last observed alive, observed revoked, deferred (some pipeline stage
+// exhausted its retry budget and re-queued the group), or lost (neither
+// observed nor deferred). The fault harness's accounting invariant is
+// Alive + Revoked + Deferred + Lost == Discovered with Lost == 0: faults
+// may delay a group's data, but never silently drop the group.
+type GroupOutcomes struct {
+	Discovered int
+	Alive      int
+	Revoked    int
+	Deferred   int
+	Lost       int
+}
+
+// GroupOutcomes tallies the final state of every discovered group.
+func (r *Result) GroupOutcomes() GroupOutcomes {
+	var out GroupOutcomes
+	for _, g := range r.ds.Store.Groups() {
+		out.Discovered++
+		switch {
+		case g.Deferred:
+			out.Deferred++
+		case len(g.Observations) > 0:
+			if g.Observations[len(g.Observations)-1].Alive {
+				out.Alive++
+			} else {
+				out.Revoked++
+			}
+		default:
+			out.Lost++
+		}
+	}
+	return out
 }
 
 // SaveDataset writes the collected dataset as JSONL files under dir.
