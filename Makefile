@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench bench-json bench-smoke fuzz-smoke cover ci
+.PHONY: all build test vet race bench bench-json bench-compare bench-smoke profile fuzz-smoke cover ci
 
 all: build
 
@@ -22,12 +22,28 @@ bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem ./...
 
 # Pipeline benchmarks (full study, hourly search, daily sweep; serial vs
-# parallel) rendered to BENCH_2.json, including the derived speedups and
+# parallel) rendered to BENCH_4.json, including the derived speedups and
 # the machine's core count.
 bench-json:
 	$(GO) test -run='^$$' -bench='StudyRun|HourlySearch|DailySweep' -benchmem ./internal/core \
-		| $(GO) run ./cmd/benchjson -o BENCH_2.json
-	@cat BENCH_2.json
+		| $(GO) run ./cmd/benchjson -o BENCH_4.json
+	@cat BENCH_4.json
+
+# Allocation-regression gate: rerun the pipeline benchmarks and diff them
+# against the newest checked-in BENCH_*.json, failing on >20% growth in
+# ns/op or allocs/op. Allocation counts are deterministic; ns/op on a
+# loaded machine is not, hence the tolerance.
+bench-compare:
+	$(GO) test -run='^$$' -bench='StudyRun|HourlySearch|DailySweep' -benchmem ./internal/core \
+		| $(GO) run ./cmd/benchjson -compare .
+
+# Capture CPU + allocation profiles and an execution trace of one scaled
+# study run. Read them with `go tool pprof cpu.pprof` (top, list <func>,
+# web) and `go tool trace trace.out`; DESIGN.md §10 documents the workflow.
+profile:
+	$(GO) run ./cmd/msgscope run -summary \
+		-cpuprofile cpu.pprof -memprofile mem.pprof -trace trace.out
+	@echo wrote cpu.pprof mem.pprof trace.out
 
 # One iteration of the end-to-end study benchmark: cheap proof in CI that
 # the pipeline still runs under the benchmark harness.
@@ -51,4 +67,4 @@ cover:
 	@$(GO) tool cover -func=cover.out | tail -1
 	@$(GO) tool cover -func=cover.out | awk '/^total:/ { sub(/%/, "", $$3); if ($$3+0 < 70) { printf "coverage %.1f%% below the 70%% floor for internal/retry + internal/faults\n", $$3; exit 1 } }'
 
-ci: vet build race cover fuzz-smoke bench-smoke bench
+ci: vet build race cover fuzz-smoke bench-smoke bench bench-compare

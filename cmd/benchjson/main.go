@@ -3,9 +3,15 @@
 // When both BenchmarkStudyRun/serial and /parallel are present it also
 // records their wall-clock ratio — the pipeline's parallel speedup.
 //
+// With -compare, the fresh run is additionally diffed against the newest
+// checked-in BENCH_*.json and the command exits non-zero when any
+// benchmark regressed by more than the tolerance in ns/op or allocs/op —
+// the allocation-regression gate `make ci` runs.
+//
 // Usage:
 //
 //	go test ./internal/core -run '^$' -bench 'StudyRun' -benchmem | benchjson -o BENCH.json
+//	go test ./internal/core -run '^$' -bench 'StudyRun' -benchmem | benchjson -compare .
 package main
 
 import (
@@ -13,11 +19,16 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
+
+	"msgscope/internal/prof"
 )
 
 // benchmark is one parsed result line.
@@ -47,8 +58,64 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	compare := flag.String("compare", "", "baseline BENCH_*.json file, or a directory holding them (the highest-numbered one is used); exits non-zero on regression")
+	tol := flag.Float64("tol", 0.20, "allowed fractional regression in ns/op and allocs/op before -compare fails")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of this conversion to file")
+	memprofile := flag.String("memprofile", "", "write a heap profile of this conversion to file")
 	flag.Parse()
 
+	files, err := prof.StartFiles(prof.FileConfig{CPUProfile: *cpuprofile, MemProfile: *memprofile})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	defer files.Stop()
+
+	doc, err := parseBench(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: reading stdin:", err)
+		os.Exit(1)
+	}
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	if *compare != "" {
+		path, err := resolveBaseline(*compare)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		base, err := loadDocument(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		regs := regressions(base.Benchmarks, doc.Benchmarks, *tol)
+		if len(regs) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: regressions vs %s (tolerance %.0f%%):\n", path, *tol*100)
+			for _, r := range regs {
+				fmt.Fprintln(os.Stderr, "  "+r)
+			}
+			files.Stop()
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: no regressions vs %s (tolerance %.0f%%)\n", path, *tol*100)
+	}
+}
+
+// parseBench reads `go test -bench` output and builds the JSON document.
+func parseBench(r io.Reader) (document, error) {
 	doc := document{
 		Tool:      "benchjson",
 		GoVersion: runtime.Version(),
@@ -56,7 +123,7 @@ func main() {
 		GOARCH:    runtime.GOARCH,
 		Cores:     runtime.NumCPU(),
 	}
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		switch {
@@ -88,26 +155,84 @@ func main() {
 		doc.Benchmarks = append(doc.Benchmarks, b)
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson: reading stdin:", err)
-		os.Exit(1)
+		return doc, err
 	}
-
 	doc.Derived = speedups(doc.Benchmarks)
+	return doc, nil
+}
 
-	enc, err := json.MarshalIndent(doc, "", "  ")
+// resolveBaseline maps the -compare argument to a concrete baseline file:
+// a file path is used as-is; a directory is searched for BENCH_*.json and
+// the highest-numbered one wins (the newest checked-in baseline).
+func resolveBaseline(arg string) (string, error) {
+	fi, err := os.Stat(arg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		return "", err
 	}
-	enc = append(enc, '\n')
-	if *out == "" {
-		os.Stdout.Write(enc)
-		return
+	if !fi.IsDir() {
+		return arg, nil
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+	matches, err := filepath.Glob(filepath.Join(arg, "BENCH_*.json"))
+	if err != nil {
+		return "", err
 	}
+	best, bestN := "", -1
+	for _, m := range matches {
+		name := filepath.Base(m)
+		numStr := strings.TrimSuffix(strings.TrimPrefix(name, "BENCH_"), ".json")
+		n, err := strconv.Atoi(numStr)
+		if err != nil {
+			continue
+		}
+		if n > bestN {
+			best, bestN = m, n
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("no BENCH_<n>.json baseline found in %s", arg)
+	}
+	return best, nil
+}
+
+func loadDocument(path string) (document, error) {
+	var doc document
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return doc, err
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return doc, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// regressions diffs the fresh benchmarks against the baseline and reports
+// every shared benchmark whose ns/op or allocs/op grew by more than tol
+// (fractional). Benchmarks present on only one side are ignored: baselines
+// and fresh runs may cover different subsets.
+func regressions(base, fresh []benchmark, tol float64) []string {
+	byName := make(map[string]benchmark, len(base))
+	for _, b := range base {
+		byName[b.Name] = b
+	}
+	var out []string
+	for _, f := range fresh {
+		b, ok := byName[f.Name]
+		if !ok {
+			continue
+		}
+		if b.NsPerOp > 0 && f.NsPerOp > b.NsPerOp*(1+tol) {
+			out = append(out, fmt.Sprintf("%s: ns/op %.0f -> %.0f (+%.1f%%)",
+				f.Name, b.NsPerOp, f.NsPerOp, (f.NsPerOp/b.NsPerOp-1)*100))
+		}
+		if b.AllocsPerOp > 0 && float64(f.AllocsPerOp) > float64(b.AllocsPerOp)*(1+tol) {
+			out = append(out, fmt.Sprintf("%s: allocs/op %d -> %d (+%.1f%%)",
+				f.Name, b.AllocsPerOp, f.AllocsPerOp,
+				(float64(f.AllocsPerOp)/float64(b.AllocsPerOp)-1)*100))
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // trimProcSuffix drops go test's trailing "-<GOMAXPROCS>" from a benchmark

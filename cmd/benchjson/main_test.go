@@ -1,0 +1,98 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: msgscope/internal/core
+cpu: Example CPU @ 2.50GHz
+BenchmarkStudyRun/serial-8   	       2	1000000000 ns/op	190000000 B/op	 1700000 allocs/op
+BenchmarkStudyRun/parallel-8 	       2	 500000000 ns/op	191000000 B/op	 1710000 allocs/op
+BenchmarkHourlySearch-8      	     100	  10000000 ns/op	  200000 B/op	    3000 allocs/op
+PASS
+ok  	msgscope/internal/core	5.000s
+`
+
+func TestParseBench(t *testing.T) {
+	doc, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Package != "msgscope/internal/core" || doc.CPU != "Example CPU @ 2.50GHz" {
+		t.Errorf("header fields: pkg=%q cpu=%q", doc.Package, doc.CPU)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("got %d benchmarks, want 3", len(doc.Benchmarks))
+	}
+	b := doc.Benchmarks[0]
+	if b.Name != "BenchmarkStudyRun/serial" || b.NsPerOp != 1e9 ||
+		b.BytesPerOp != 190000000 || b.AllocsPerOp != 1700000 {
+		t.Errorf("first benchmark parsed as %+v", b)
+	}
+	if got := doc.Derived["BenchmarkStudyRun_speedup"]; got != "2.00x" {
+		t.Errorf("speedup = %q, want 2.00x", got)
+	}
+}
+
+func TestRegressionsGate(t *testing.T) {
+	base := []benchmark{
+		{Name: "BenchmarkStudyRun/serial", NsPerOp: 1e9, AllocsPerOp: 1_000_000},
+		{Name: "BenchmarkHourlySearch", NsPerOp: 1e7, AllocsPerOp: 3000},
+		{Name: "BenchmarkRemoved", NsPerOp: 5e6, AllocsPerOp: 10},
+	}
+
+	// Within tolerance (+10% ns, equal allocs): no findings.
+	ok := []benchmark{
+		{Name: "BenchmarkStudyRun/serial", NsPerOp: 1.1e9, AllocsPerOp: 1_000_000},
+		{Name: "BenchmarkHourlySearch", NsPerOp: 0.9e7, AllocsPerOp: 3000},
+		{Name: "BenchmarkAdded", NsPerOp: 1e6, AllocsPerOp: 1}, // not in baseline: ignored
+	}
+	if regs := regressions(base, ok, 0.20); len(regs) != 0 {
+		t.Errorf("within-tolerance run flagged: %v", regs)
+	}
+
+	// Synthetic >20% regressions in both dimensions must be caught.
+	bad := []benchmark{
+		{Name: "BenchmarkStudyRun/serial", NsPerOp: 1.5e9, AllocsPerOp: 1_000_000},
+		{Name: "BenchmarkHourlySearch", NsPerOp: 1e7, AllocsPerOp: 4000},
+	}
+	regs := regressions(base, bad, 0.20)
+	if len(regs) != 2 {
+		t.Fatalf("got %d regressions, want 2: %v", len(regs), regs)
+	}
+	joined := strings.Join(regs, "\n")
+	if !strings.Contains(joined, "ns/op") || !strings.Contains(joined, "allocs/op") {
+		t.Errorf("regression messages missing dimensions: %v", regs)
+	}
+}
+
+func TestResolveBaselinePicksNewest(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"BENCH_2.json", "BENCH_10.json", "BENCH_x.json", "other.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := resolveBaseline(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(got) != "BENCH_10.json" {
+		t.Errorf("resolveBaseline = %q, want BENCH_10.json", got)
+	}
+
+	// A direct file path is used as-is.
+	file := filepath.Join(dir, "BENCH_2.json")
+	if got, err := resolveBaseline(file); err != nil || got != file {
+		t.Errorf("resolveBaseline(file) = %q, %v", got, err)
+	}
+
+	if _, err := resolveBaseline(t.TempDir()); err == nil {
+		t.Error("empty directory accepted as baseline source")
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"msgscope"
+	"msgscope/internal/prof"
 )
 
 func main() {
@@ -81,9 +82,27 @@ func runStudy(args []string) error {
 	svgDir := fs.String("svg", "", "directory to render per-figure SVG charts (optional)")
 	socialSrc := fs.Bool("social", false, "enable the secondary discovery source (crosssource experiment)")
 	faultRate := fs.Float64("fault-rate", 0, "per-request probability of an injected server error (plus timeouts and malformed bodies at a quarter of the rate); 0 disables fault injection")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := fs.String("memprofile", "", "write a pprof allocs/heap profile to this file at exit")
+	traceFile := fs.String("trace", "", "write a runtime execution trace to this file")
+	profPhases := fs.Bool("prof-phases", false, "record and print per-phase allocation stats")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	profFiles, err := prof.StartFiles(prof.FileConfig{
+		CPUProfile: *cpuProfile,
+		MemProfile: *memProfile,
+		Trace:      *traceFile,
+	})
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := profFiles.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "msgscope:", err)
+		}
+	}()
 
 	opts := msgscope.Options{
 		Seed:                *seed,
@@ -95,6 +114,7 @@ func runStudy(args []string) error {
 		JoinDiscord:         *joinDC,
 		GenerateMessageText: *text,
 		SocialDiscovery:     *socialSrc,
+		ProfilePhases:       *profPhases,
 	}
 	if *topics != "" {
 		opts.TopicKeywords = strings.Split(*topics, ",")
@@ -113,6 +133,13 @@ func runStudy(args []string) error {
 	}
 	if *summary {
 		fmt.Println(res.Summary())
+	}
+	if *profPhases {
+		fmt.Println("per-phase allocations:")
+		for _, ps := range res.ProfilePhases() {
+			fmt.Printf("  %-8s %4d captures  %12d bytes  %10d objects  %3d gc cycles\n",
+				ps.Phase, ps.Captures, ps.AllocBytes, ps.AllocObjects, ps.GCCycles)
+		}
 	}
 	if *exp == "" {
 		fmt.Print(res.RenderAll())

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
@@ -81,7 +82,7 @@ func runServe(args []string) error {
 		fmt.Printf("running %d-day study for the report API (seed %d, scale %g)...\n",
 			*days, *seed, *scale)
 		res, err := msgscope.Run(context.Background(), msgscope.Options{
-			Seed: *seed, Scale: *scale, Days: *days,
+			Seed: *seed, Scale: *scale, Days: *days, ProfilePhases: true,
 		})
 		if err != nil {
 			return fmt.Errorf("report study: %w", err)
@@ -90,7 +91,7 @@ func runServe(args []string) error {
 		if err != nil {
 			return fmt.Errorf("listening for report: %w", err)
 		}
-		fmt.Printf("%-9s http://%s  (/experiments /experiment/{id} /report /figure/{id}.csv /figure/{id}.svg)\n",
+		fmt.Printf("%-9s http://%s  (/experiments /experiment/{id} /report /figure/{id}.csv /figure/{id}.svg /profile)\n",
 			"report", ln.Addr())
 		srv := &http.Server{Handler: reportMux(res)}
 		go srv.Serve(ln)
@@ -138,6 +139,15 @@ func reportMux(res *msgscope.Result) *http.ServeMux {
 	})
 	mux.HandleFunc("GET /report", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprint(w, res.RenderAll())
+	})
+	mux.HandleFunc("GET /profile", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			Runtime msgscope.RuntimeSample `json:"runtime"`
+			Phases  []msgscope.PhaseStat   `json:"phases,omitempty"`
+		}{Runtime: msgscope.Runtime(), Phases: res.ProfilePhases()})
 	})
 	mux.HandleFunc("GET /figure/{file}", func(w http.ResponseWriter, r *http.Request) {
 		file := r.PathValue("file")

@@ -40,13 +40,19 @@ func (c Config) withDefaults() Config {
 
 // Model is a fitted LDA model.
 type Model struct {
-	cfg    Config
-	vocab  *textproc.Vocab
-	docs   [][]int
-	z      [][]int // topic assignment per token
-	nwt    []int   // word-topic counts, [w*K+k]
-	ndt    []int   // doc-topic counts, [d*K+k]
-	nt     []int   // tokens per topic
+	cfg   Config
+	vocab *textproc.Vocab
+	docs  [][]int
+	// z holds the topic assignment per token, flattened into one
+	// contiguous arena: document d's assignments live at
+	// z[docOff[d] : docOff[d]+docLen[d]]. One allocation for the whole
+	// corpus instead of one per document, and the Gibbs sweep walks it
+	// sequentially.
+	z      []int
+	docOff []int
+	nwt    []int // word-topic counts, [w*K+k]
+	ndt    []int // doc-topic counts, [d*K+k]
+	nt     []int // tokens per topic
 	docLen []int
 }
 
@@ -55,11 +61,16 @@ func Fit(c *textproc.Corpus, cfg Config) *Model {
 	cfg = cfg.withDefaults()
 	K := cfg.Topics
 	V := c.Vocab.Size()
+	tokens := 0
+	for _, doc := range c.Docs {
+		tokens += len(doc)
+	}
 	m := &Model{
 		cfg:    cfg,
 		vocab:  c.Vocab,
 		docs:   c.Docs,
-		z:      make([][]int, len(c.Docs)),
+		z:      make([]int, tokens),
+		docOff: make([]int, len(c.Docs)),
 		nwt:    make([]int, V*K),
 		ndt:    make([]int, len(c.Docs)*K),
 		nt:     make([]int, K),
@@ -68,12 +79,15 @@ func Fit(c *textproc.Corpus, cfg Config) *Model {
 	rng := rand.New(rand.NewPCG(cfg.Seed, 0x1DA))
 
 	// Random initialization.
+	off := 0
 	for d, doc := range c.Docs {
-		m.z[d] = make([]int, len(doc))
+		m.docOff[d] = off
 		m.docLen[d] = len(doc)
+		zd := m.z[off : off+len(doc)]
+		off += len(doc)
 		for i, w := range doc {
 			k := rng.IntN(K)
-			m.z[d][i] = k
+			zd[i] = k
 			m.nwt[w*K+k]++
 			m.ndt[d*K+k]++
 			m.nt[k]++
@@ -83,8 +97,9 @@ func Fit(c *textproc.Corpus, cfg Config) *Model {
 	p := make([]float64, K)
 	for iter := 0; iter < cfg.Iterations; iter++ {
 		for d, doc := range c.Docs {
+			zd := m.z[m.docOff[d]:]
 			for i, w := range doc {
-				k := m.z[d][i]
+				k := zd[i]
 				m.nwt[w*K+k]--
 				m.ndt[d*K+k]--
 				m.nt[k]--
@@ -102,7 +117,7 @@ func Fit(c *textproc.Corpus, cfg Config) *Model {
 				if k >= K {
 					k = K - 1
 				}
-				m.z[d][i] = k
+				zd[i] = k
 				m.nwt[w*K+k]++
 				m.ndt[d*K+k]++
 				m.nt[k]++
@@ -122,7 +137,14 @@ func (m *Model) TopWords(k, n int) []string {
 		w int
 		c int
 	}
-	var ws []wc
+	// Count first so the candidate slice is allocated exactly once.
+	n2 := 0
+	for w := 0; w < m.vocab.Size(); w++ {
+		if m.nwt[w*K+k] > 0 {
+			n2++
+		}
+	}
+	ws := make([]wc, 0, n2)
 	for w := 0; w < m.vocab.Size(); w++ {
 		if c := m.nwt[w*K+k]; c > 0 {
 			ws = append(ws, wc{w, c})

@@ -142,11 +142,15 @@ func (e *ECDF) Render() string {
 		return "(empty)"
 	}
 	qs := []float64{0.10, 0.25, 0.50, 0.75, 0.90, 0.99}
-	parts := make([]string, 0, len(qs))
-	for _, q := range qs {
-		parts = append(parts, fmt.Sprintf("p%02.0f=%.4g", q*100, e.Quantile(q)))
+	var sb strings.Builder
+	sb.Grow(len(qs) * 16)
+	for i, q := range qs {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "p%02.0f=%.4g", q*100, e.Quantile(q))
 	}
-	return strings.Join(parts, " ")
+	return sb.String()
 }
 
 // TopShare returns the fraction of the total mass contributed by the top

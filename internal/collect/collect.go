@@ -74,6 +74,16 @@ type Collector struct {
 
 	filter *twitter.Stream
 	sample *twitter.Stream
+
+	// Reusable ingest buffers. The store copies records out of a batch
+	// before AddTweetBatch/AddControlBatch return, so the collector can
+	// recycle the backing arrays across rounds instead of allocating a
+	// fresh batch per term per hour. termBatches is indexed like
+	// urlpat.TrackTerms(): each concurrent search worker owns exactly one
+	// slot, and the driver runs rounds serially, so no slot is ever shared.
+	termBatches  [][]store.TweetIngest
+	streamBatch  []store.TweetIngest
+	controlBatch []store.ControlRecord
 }
 
 // New returns a Collector writing into st.
@@ -136,12 +146,14 @@ func (c *Collector) SampleStream() *twitter.Stream { return c.sample }
 // batch append is negligible.
 func (c *Collector) HourlySearch(ctx context.Context) error {
 	terms := urlpat.TrackTerms()
-	batches := make([][]store.TweetIngest, len(terms))
+	if c.termBatches == nil {
+		c.termBatches = make([][]store.TweetIngest, len(terms))
+	}
 	tasks := make([]func() error, len(terms))
 	for i, term := range terms {
 		tasks[i] = func() error {
-			batch, err := c.searchTerm(ctx, term)
-			batches[i] = batch
+			batch, err := c.searchTerm(ctx, term, c.termBatches[i][:0])
+			c.termBatches[i] = batch
 			return err
 		}
 	}
@@ -150,15 +162,16 @@ func (c *Collector) HourlySearch(ctx context.Context) error {
 		workers = len(terms)
 	}
 	err := par.Do(workers, tasks)
-	for _, batch := range batches {
+	for _, batch := range c.termBatches {
 		c.stats.newGroups.Add(int64(c.Store.AddTweetBatch(batch)))
 	}
 	return err
 }
 
 // searchTerm runs one pattern's query+paginate chain and returns its batch
-// of extracted tweets, advancing the pattern's since_id cursor.
-func (c *Collector) searchTerm(ctx context.Context, term string) ([]store.TweetIngest, error) {
+// of extracted tweets appended to batch, advancing the pattern's since_id
+// cursor.
+func (c *Collector) searchTerm(ctx context.Context, term string, batch []store.TweetIngest) ([]store.TweetIngest, error) {
 	cur := c.cursor(term)
 	since := cur.Load()
 	statuses, err := c.Client.Search(ctx, term, since, c.MaxPagesPerQuery)
@@ -176,7 +189,6 @@ func (c *Collector) searchTerm(ctx context.Context, term string) ([]store.TweetI
 	}
 	c.stats.searchTweets.Add(int64(len(statuses)))
 	maxID := since
-	batch := make([]store.TweetIngest, 0, len(statuses))
 	for _, st := range statuses {
 		if st.ID > maxID {
 			maxID = st.ID
@@ -214,19 +226,20 @@ func (c *Collector) DrainStreams() {
 	if c.filter != nil {
 		statuses := c.filter.Drain()
 		c.stats.streamTweets.Add(int64(len(statuses)))
-		batch := make([]store.TweetIngest, 0, len(statuses))
+		batch := c.streamBatch[:0]
 		for _, st := range statuses {
 			if ing, ok := c.toIngest(st, store.SourceStream); ok {
 				batch = append(batch, ing)
 			}
 		}
 		c.stats.newGroups.Add(int64(c.Store.AddTweetBatch(batch)))
+		c.streamBatch = batch
 	}
 	if c.sample != nil {
 		statuses := c.sample.Drain()
-		batch := make([]store.ControlRecord, len(statuses))
-		for i, st := range statuses {
-			batch[i] = store.ControlRecord{
+		batch := c.controlBatch[:0]
+		for _, st := range statuses {
+			batch = append(batch, store.ControlRecord{
 				ID:        st.ID,
 				UserID:    st.UserID,
 				CreatedAt: st.CreatedAt,
@@ -234,10 +247,11 @@ func (c *Collector) DrainStreams() {
 				Hashtags:  st.Hashtags,
 				Mentions:  st.Mentions,
 				Retweet:   st.IsRetweet,
-			}
+			})
 		}
 		c.Store.AddControlBatch(batch)
 		c.stats.controlTweets.Add(int64(len(batch)))
+		c.controlBatch = batch
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"msgscope/internal/platform/discord"
 	"msgscope/internal/platform/telegram"
 	"msgscope/internal/platform/whatsapp"
+	"msgscope/internal/prof"
 	"msgscope/internal/report"
 	"msgscope/internal/retry"
 	"msgscope/internal/simclock"
@@ -87,6 +88,10 @@ type Config struct {
 	// (plan seed, phase epoch, request key, attempt), so a faulted run is
 	// as reproducible as a clean one.
 	Faults *faults.Plan
+	// Prof, when non-nil, records per-phase allocation deltas: the study
+	// calls Prof.Capture at each phase boundary. Nil (the default) adds
+	// zero overhead to the pipeline.
+	Prof *prof.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -266,9 +271,11 @@ func (s *Study) Run(ctx context.Context) error {
 		return fmt.Errorf("core: study already ran")
 	}
 	s.ran = true
+	s.Cfg.Prof.Reset()
 	if err := s.collector.Open(ctx); err != nil {
 		return err
 	}
+	s.Cfg.Prof.Capture("setup")
 	for day := 0; day < s.Cfg.Days; day++ {
 		if err := s.runDay(ctx, day); err != nil {
 			return fmt.Errorf("core: day %d: %w", day, err)
@@ -279,6 +286,7 @@ func (s *Study) Run(ctx context.Context) error {
 	if err := s.joiner.CollectMessages(ctx); err != nil {
 		return err
 	}
+	s.Cfg.Prof.Capture("collect")
 	return nil
 }
 
@@ -306,24 +314,28 @@ func (s *Study) runDay(ctx context.Context, day int) error {
 			if err := s.collector.PollSocial(ctx); err != nil {
 				return err
 			}
+			s.Cfg.Prof.Capture("search")
 		}
 	}
 	if err := s.quiesceStreams(); err != nil {
 		return err
 	}
 	s.collector.DrainStreams()
+	s.Cfg.Prof.Capture("stream")
 
 	if (day+1)%s.Cfg.MonitorEveryDays == 0 {
 		s.phaseBoundary()
 		if err := s.monitor.DailySweep(ctx, s.Clock.Now()); err != nil {
 			return err
 		}
+		s.Cfg.Prof.Capture("monitor")
 	}
 	if day == s.Cfg.JoinDay {
 		s.phaseBoundary()
 		if err := s.joiner.SelectAndJoin(ctx, s.Cfg.Join); err != nil {
 			return err
 		}
+		s.Cfg.Prof.Capture("join")
 	}
 	return nil
 }
@@ -395,6 +407,13 @@ func (s *Study) Dataset() report.Dataset {
 	}
 	return ds
 }
+
+// ProfilePhases returns the per-phase allocation stats recorded during
+// Run (nil unless Config.Prof was set). Window semantics: each phase's
+// numbers cover everything since the previous capture, so the "search"
+// window also includes the hourly clock advance and tweet publishing
+// that precede it.
+func (s *Study) ProfilePhases() []prof.PhaseStat { return s.Cfg.Prof.Phases() }
 
 // CollectorStats exposes discovery counters.
 func (s *Study) CollectorStats() collect.Stats { return s.collector.Stats() }

@@ -1,0 +1,106 @@
+package ids
+
+import "sync"
+
+// internShards is a power of two so the shard index is a cheap mask.
+const internShards = 16
+
+// Interner deduplicates strings drawn from a bounded vocabulary (user
+// IDs, group codes, language tags, message types, country codes) so hot
+// decode paths allocate each distinct value once and map keys compare
+// against a single backing array.
+//
+// Lifetime: an Interner never evicts. Tie its lifetime to the unit of
+// work whose vocabulary it caches (a client, a study run) — a
+// process-global interner would grow without bound across runs.
+//
+// Safe for concurrent use; the hit path takes only a shard RLock and
+// performs zero allocations (including for InternBytes lookups, which
+// rely on Go's map[string] byte-slice lookup optimization).
+type Interner struct {
+	shards [internShards]internShard
+}
+
+type internShard struct {
+	mu sync.RWMutex
+	m  map[string]string
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	it := &Interner{}
+	for i := range it.shards {
+		it.shards[i].m = make(map[string]string, 64)
+	}
+	return it
+}
+
+func internHash(b []byte) uint32 {
+	// FNV-1a; the inputs are short identifier-like strings.
+	h := uint32(2166136261)
+	for _, c := range b {
+		h = (h ^ uint32(c)) * 16777619
+	}
+	return h
+}
+
+func internHashString(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * 16777619
+	}
+	return h
+}
+
+// Intern returns the canonical copy of s, storing s itself on first
+// sight.
+func (it *Interner) Intern(s string) string {
+	sh := &it.shards[internHashString(s)&(internShards-1)]
+	sh.mu.RLock()
+	c, ok := sh.m[s]
+	sh.mu.RUnlock()
+	if ok {
+		return c
+	}
+	sh.mu.Lock()
+	c, ok = sh.m[s]
+	if !ok {
+		sh.m[s] = s
+		c = s
+	}
+	sh.mu.Unlock()
+	return c
+}
+
+// InternBytes returns the canonical string for b, copying b only the
+// first time it is seen. The hit path does not allocate.
+func (it *Interner) InternBytes(b []byte) string {
+	sh := &it.shards[internHash(b)&(internShards-1)]
+	sh.mu.RLock()
+	c, ok := sh.m[string(b)] // no alloc: map lookup special case
+	sh.mu.RUnlock()
+	if ok {
+		return c
+	}
+	s := string(b)
+	sh.mu.Lock()
+	c, ok = sh.m[s]
+	if !ok {
+		sh.m[s] = s
+		c = s
+	}
+	sh.mu.Unlock()
+	return c
+}
+
+// Len reports the number of distinct strings interned (diagnostics).
+func (it *Interner) Len() int {
+	n := 0
+	for i := range it.shards {
+		sh := &it.shards[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
+}

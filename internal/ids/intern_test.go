@@ -1,0 +1,82 @@
+package ids
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestInternerCanonicalizes(t *testing.T) {
+	it := NewInterner()
+	a := it.Intern("user-123")
+	b := it.Intern(string([]byte("user-123"))) // force a distinct backing array
+	if a != b {
+		t.Fatalf("values differ: %q %q", a, b)
+	}
+	c := it.InternBytes([]byte("user-123"))
+	if c != a {
+		t.Fatalf("InternBytes returned %q, want %q", c, a)
+	}
+	if got := it.Len(); got != 1 {
+		t.Fatalf("Len = %d, want 1", got)
+	}
+	if it.InternBytes([]byte("other")) != "other" {
+		t.Fatal("miss path returned wrong value")
+	}
+	if got := it.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+}
+
+func TestInternerConcurrent(t *testing.T) {
+	it := NewInterner()
+	var wg sync.WaitGroup
+	const workers = 8
+	results := make([][]string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			out := make([]string, 0, 100)
+			for i := 0; i < 100; i++ {
+				out = append(out, it.Intern(fmt.Sprintf("id-%d", i%25)))
+			}
+			results[w] = out
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		for i := range results[w] {
+			if results[w][i] != results[0][i] {
+				t.Fatalf("worker %d slot %d: %q != %q", w, i, results[w][i], results[0][i])
+			}
+		}
+	}
+	if got := it.Len(); got != 25 {
+		t.Fatalf("Len = %d, want 25", got)
+	}
+}
+
+// TestInternerAllocs is the hard regression bound from ISSUE 4: the hit
+// path must not allocate — for string inputs or for byte-slice lookups.
+func TestInternerAllocs(t *testing.T) {
+	it := NewInterner()
+	it.Intern("telegram-group-code")
+	b := []byte("telegram-group-code")
+
+	if allocs := testing.AllocsPerRun(200, func() {
+		if it.Intern("telegram-group-code") == "" {
+			t.Fail()
+		}
+	}); allocs != 0 {
+		t.Errorf("Intern hit path: %.1f allocs/run, want 0", allocs)
+	}
+
+	if allocs := testing.AllocsPerRun(200, func() {
+		if it.InternBytes(b) == "" {
+			t.Fail()
+		}
+	}); allocs != 0 {
+		t.Errorf("InternBytes hit path: %.1f allocs/run, want 0", allocs)
+	}
+}

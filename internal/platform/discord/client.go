@@ -15,6 +15,7 @@ import (
 	"msgscope/internal/faults"
 	"msgscope/internal/httpx"
 	"msgscope/internal/ids"
+	"msgscope/internal/jsonx"
 	"msgscope/internal/retry"
 )
 
@@ -47,16 +48,20 @@ type Client struct {
 	// retry_after through the policy's Waiter, 5xx back off, API error
 	// codes surface immediately as sentinels.
 	Retry *retry.Policy
+	// interner deduplicates repeated vocabulary (usernames, message
+	// types) for this client's lifetime.
+	interner *ids.Interner
 }
 
 // NewClient returns a client bound to an account. Prefix the account name
 // with "bot:" to act as a bot application (which may not join guilds).
 func NewClient(baseURL, account string) *Client {
 	return &Client{
-		BaseURL: strings.TrimRight(baseURL, "/"),
-		Account: account,
-		HTTP:    httpx.NewClient(),
-		Retry:   retry.New(accountSeed(account)),
+		BaseURL:  strings.TrimRight(baseURL, "/"),
+		Account:  account,
+		HTTP:     httpx.NewClient(),
+		Retry:    retry.New(accountSeed(account)),
+		interner: ids.NewInterner(),
 	}
 }
 
@@ -71,6 +76,20 @@ func accountSeed(account string) uint64 {
 }
 
 func (c *Client) do(ctx context.Context, method, path string, v any) error {
+	if v == nil {
+		return c.doParse(ctx, method, path, nil)
+	}
+	return c.doParse(ctx, method, path, func(body []byte) error {
+		return json.Unmarshal(body, v)
+	})
+}
+
+// doParse performs one authenticated call through the retry policy,
+// reading 200 bodies into a pooled buffer handed to parse. parse must
+// not retain the slice; a parse error makes the attempt transient.
+// Error bodies keep the encoding/json path — they are rare and carry
+// the sentinel mapping.
+func (c *Client) doParse(ctx context.Context, method, path string, parse func(body []byte) error) error {
 	return c.Retry.Do(method+" "+path, func(attempt int) retry.Outcome {
 		req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, nil)
 		if err != nil {
@@ -84,11 +103,19 @@ func (c *Client) do(ctx context.Context, method, path string, v any) error {
 		}
 		defer resp.Body.Close()
 		if resp.StatusCode == http.StatusOK {
-			if v == nil {
+			if parse == nil {
 				io.Copy(io.Discard, resp.Body)
 				return retry.Ok()
 			}
-			if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			bp := jsonx.GetBuf()
+			body, err := jsonx.ReadInto(bp, io.LimitReader(resp.Body, 16<<20))
+			if err != nil {
+				jsonx.PutBuf(bp)
+				return retry.Retry(fmt.Errorf("discord: reading response: %w", err))
+			}
+			err = parse(body)
+			jsonx.PutBuf(bp)
+			if err != nil {
 				return retry.Retry(fmt.Errorf("discord: decoding response: %w", err))
 			}
 			return retry.Ok()
@@ -241,47 +268,179 @@ func (p *MessagePager) Next(ctx context.Context) ([]Message, error) {
 	if p.before != 0 {
 		path += "&before=" + strconv.FormatUint(p.before, 10)
 	}
-	var page []struct {
-		ID     string `json:"id"`
-		Author struct {
-			ID       string `json:"id"`
-			Username string `json:"username"`
-		} `json:"author"`
-		Timestamp string `json:"timestamp"`
-		MsgType   string `json:"x_type"`
-		Content   string `json:"content"`
-	}
-	if err := p.c.do(ctx, http.MethodGet, path, &page); err != nil {
+	var out []Message
+	var count int
+	err := p.c.doParse(ctx, http.MethodGet, path, func(body []byte) error {
+		var perr error
+		out, count, perr = parseMessagePage(body, p.c.interner)
+		return perr
+	})
+	if err != nil {
 		return nil, err
 	}
-	out := make([]Message, 0, len(page))
-	for _, m := range page {
-		id, err := strconv.ParseUint(m.ID, 10, 64)
-		if err != nil {
-			return out, fmt.Errorf("discord: bad message id %q", m.ID)
-		}
-		aid, err := strconv.ParseUint(m.Author.ID, 10, 64)
-		if err != nil {
-			return out, fmt.Errorf("discord: bad author id %q", m.Author.ID)
-		}
-		at, err := time.Parse(time.RFC3339Nano, m.Timestamp)
-		if err != nil {
-			return out, fmt.Errorf("discord: bad timestamp %q", m.Timestamp)
-		}
-		out = append(out, Message{
-			ID:       id,
-			AuthorID: aid,
-			Author:   m.Author.Username,
-			SentAt:   at.UTC(),
-			Type:     m.MsgType,
-			Content:  m.Content,
-		})
-		p.before = id
+	for _, m := range out {
+		p.before = m.ID
 	}
-	if len(page) < 100 {
+	if count < 100 {
 		p.done = true
 	}
 	return out, nil
+}
+
+// parseMessagePage decodes one channel-messages page. Snowflake IDs are
+// folded straight from the quoted digit strings, usernames and message
+// types are interned, content is copied. A null body (empty history)
+// decodes as zero messages, matching encoding/json on a nil slice.
+func parseMessagePage(body []byte, in *ids.Interner) ([]Message, int, error) {
+	var d jsonx.Dec
+	d.Reset(body)
+	if d.Null() {
+		return nil, 0, d.End()
+	}
+	var out []Message
+	count := 0
+	err := d.Arr(func() error {
+		var m Message
+		count++
+		if err := d.Obj(func(key []byte) error {
+			switch string(key) {
+			case "id":
+				b, err := d.StrBytes()
+				if err != nil {
+					return err
+				}
+				m.ID, err = foldU64(b)
+				return err
+			case "author":
+				return d.Obj(func(k2 []byte) error {
+					switch string(k2) {
+					case "id":
+						b, err := d.StrBytes()
+						if err != nil {
+							return err
+						}
+						m.AuthorID, err = foldU64(b)
+						return err
+					case "username":
+						b, err := d.StrBytes()
+						if err != nil {
+							return err
+						}
+						m.Author = in.InternBytes(b)
+						return nil
+					}
+					return d.Skip()
+				})
+			case "timestamp":
+				b, err := d.StrBytes()
+				if err != nil {
+					return err
+				}
+				m.SentAt, err = parseRFC3339(b)
+				return err
+			case "x_type":
+				b, err := d.StrBytes()
+				if err != nil {
+					return err
+				}
+				m.Type = in.InternBytes(b)
+				return nil
+			case "content":
+				s, err := d.Str()
+				m.Content = s
+				return err
+			}
+			return d.Skip()
+		}); err != nil {
+			return err
+		}
+		out = append(out, m)
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, count, d.End()
+}
+
+// foldU64 parses an unsigned decimal from b without going through a
+// string (strconv would retain a copy on its error paths).
+func foldU64(b []byte) (uint64, error) {
+	if len(b) == 0 {
+		return 0, fmt.Errorf("discord: empty number")
+	}
+	var v uint64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("discord: bad number %q", b)
+		}
+		d := uint64(c - '0')
+		if v > (^uint64(0)-d)/10 {
+			return 0, fmt.Errorf("discord: number overflow %q", b)
+		}
+		v = v*10 + d
+	}
+	return v, nil
+}
+
+// parseRFC3339 decodes the service's RFC3339Nano timestamps at fixed
+// offsets ("2006-01-02T15:04:05[.fff…]Z"), falling back to time.Parse
+// for offsets or unusual shapes. Results are UTC.
+func parseRFC3339(b []byte) (time.Time, error) {
+	if len(b) < 20 || b[4] != '-' || b[7] != '-' || b[10] != 'T' ||
+		b[13] != ':' || b[16] != ':' || b[len(b)-1] != 'Z' {
+		t, err := time.Parse(time.RFC3339Nano, string(b))
+		if err != nil {
+			return time.Time{}, fmt.Errorf("discord: bad timestamp %q", b)
+		}
+		return t.UTC(), nil
+	}
+	num := func(lo, hi int) (int, bool) {
+		v := 0
+		for _, c := range b[lo:hi] {
+			if c < '0' || c > '9' {
+				return 0, false
+			}
+			v = v*10 + int(c-'0')
+		}
+		return v, true
+	}
+	year, ok1 := num(0, 4)
+	month, ok2 := num(5, 7)
+	day, ok3 := num(8, 10)
+	hh, ok4 := num(11, 13)
+	mm, ok5 := num(14, 16)
+	ss, ok6 := num(17, 19)
+	nsec := 0
+	okf := true
+	if len(b) > 20 {
+		if b[19] != '.' {
+			okf = false
+		} else {
+			frac := b[20 : len(b)-1]
+			if len(frac) == 0 || len(frac) > 9 {
+				okf = false
+			} else {
+				v, ok := num(20, len(b)-1)
+				if !ok {
+					okf = false
+				} else {
+					for i := len(frac); i < 9; i++ {
+						v *= 10
+					}
+					nsec = v
+				}
+			}
+		}
+	}
+	if !(ok1 && ok2 && ok3 && ok4 && ok5 && ok6 && okf) || month < 1 || month > 12 {
+		t, err := time.Parse(time.RFC3339Nano, string(b))
+		if err != nil {
+			return time.Time{}, fmt.Errorf("discord: bad timestamp %q", b)
+		}
+		return t.UTC(), nil
+	}
+	return time.Date(year, time.Month(month), day, hh, mm, ss, nsec, time.UTC), nil
 }
 
 // Messages pages backwards through a channel's entire history, up to

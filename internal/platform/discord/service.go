@@ -18,6 +18,7 @@ import (
 
 	"msgscope/internal/faults"
 	"msgscope/internal/ids"
+	"msgscope/internal/jsonx"
 	"msgscope/internal/platform"
 	"msgscope/internal/simclock"
 	"msgscope/internal/simworld"
@@ -49,6 +50,10 @@ type Service struct {
 	channels map[uint64]channelRef // channel id -> (group, index)
 	userIdx  map[uint64]int        // user id -> pool index
 	guilds   map[uint64]*simworld.Group
+
+	// rateBody is the 429 response body, rendered once: rate-limit
+	// rejections are too frequent to re-encode the same object each time.
+	rateBody []byte
 }
 
 type channelRef struct {
@@ -76,6 +81,8 @@ func NewService(world *simworld.World, clock simclock.Clock, cfg ServiceConfig) 
 	for _, g := range world.Groups[platform.Discord] {
 		s.guilds[g.GuildID] = g
 	}
+	s.rateBody, _ = json.Marshal(map[string]any{"message": "You are being rate limited.", "retry_after": 1.5, "global": false})
+	s.rateBody = append(s.rateBody, '\n')
 	return s
 }
 
@@ -97,7 +104,7 @@ func (s *Service) faulty(h http.HandlerFunc) http.HandlerFunc {
 		if s.Faults.Intercept(w, r, "X-DC-Account", func(w http.ResponseWriter) {
 			w.Header().Set("Content-Type", "application/json")
 			w.WriteHeader(http.StatusTooManyRequests)
-			json.NewEncoder(w).Encode(map[string]any{"message": "You are being rate limited.", "retry_after": 1.5, "global": false})
+			w.Write(s.rateBody)
 		}) {
 			return
 		}
@@ -152,7 +159,7 @@ func (s *Service) rateLimit(w http.ResponseWriter, r *http.Request) (*account, b
 		w.Header().Set("X-RateLimit-Reset-After", "1.5")
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusTooManyRequests)
-		json.NewEncoder(w).Encode(map[string]any{"message": "You are being rate limited.", "retry_after": 1.5, "global": false})
+		w.Write(s.rateBody)
 		return nil, false
 	}
 	a.budget--
@@ -172,22 +179,44 @@ func (s *Service) handleInvite(w http.ResponseWriter, r *http.Request) {
 		apiError(w, http.StatusNotFound, 10006, "Unknown Invite")
 		return
 	}
-	resp := map[string]any{
-		"code": code,
-		"guild": map[string]any{
-			"id":   strconv.FormatUint(g.GuildID, 10),
-			"name": g.Title,
-		},
-		"inviter": map[string]any{
-			"id":       strconv.Itoa(g.CreatorIdx + 1),
-			"username": fmt.Sprintf("creator%d", g.CreatorIdx),
-		},
+	withCounts := r.URL.Query().Get("with_counts") == "true"
+	var members, online int
+	if withCounts {
+		members = s.world.MembersAt(g, now)
+		online = s.world.OnlineAt(g, now)
 	}
-	if r.URL.Query().Get("with_counts") == "true" {
-		resp["approximate_member_count"] = s.world.MembersAt(g, now)
-		resp["approximate_presence_count"] = s.world.OnlineAt(g, now)
+	bp := jsonx.GetBuf()
+	buf := appendInviteResponse((*bp)[:0], code, g, withCounts, members, online)
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(buf)
+	*bp = buf
+	jsonx.PutBuf(bp)
+}
+
+// appendInviteResponse renders the invite metadata byte-identically to
+// the former writeJSON(map[string]any{...}) call; encoding/json sorts
+// the map keys, so the approximate_* counts lead when present.
+func appendInviteResponse(dst []byte, code string, g *simworld.Group, withCounts bool, members, online int) []byte {
+	dst = append(dst, '{')
+	if withCounts {
+		dst = append(dst, `"approximate_member_count":`...)
+		dst = jsonx.AppendInt(dst, int64(members))
+		dst = append(dst, `,"approximate_presence_count":`...)
+		dst = jsonx.AppendInt(dst, int64(online))
+		dst = append(dst, ',')
 	}
-	writeJSON(w, resp)
+	dst = append(dst, `"code":`...)
+	dst = jsonx.AppendString(dst, code)
+	dst = append(dst, `,"guild":{"id":"`...)
+	dst = jsonx.AppendUint(dst, g.GuildID)
+	dst = append(dst, `","name":`...)
+	dst = jsonx.AppendString(dst, g.Title)
+	dst = append(dst, `},"inviter":{"id":"`...)
+	dst = jsonx.AppendInt(dst, int64(g.CreatorIdx+1))
+	dst = append(dst, `","username":"creator`...)
+	dst = jsonx.AppendInt(dst, int64(g.CreatorIdx))
+	dst = append(dst, '"', '}', '}')
+	return append(dst, '\n')
 }
 
 // handleJoin accepts an invite. Bot accounts (names with a "bot:" prefix)
@@ -312,23 +341,21 @@ func (s *Service) handleMessages(w http.ResponseWriter, r *http.Request) {
 		until = ids.SnowflakeTime(ids.DiscordEpochMS, id)
 	}
 
-	// Walk backwards day by day until the page fills.
-	type msgOut struct {
-		ID        string `json:"id"`
-		Author    author `json:"author"`
-		Timestamp string `json:"timestamp"`
-		MsgType   string `json:"x_type"` // attachment class, simplified
-		Content   string `json:"content,omitempty"`
-	}
-	var page []msgOut
+	// Walk backwards day by day until the page fills, append-encoding
+	// each message straight into a pooled buffer. An empty page must
+	// render as null: the old code marshalled a nil []msgOut slice.
+	bp := jsonx.GetBuf()
+	buf := (*bp)[:0]
+	buf = append(buf, '[')
+	n := 0
 	cursor := until
-	for len(page) < limit && cursor.After(g.CreatedAt) {
+	for n < limit && cursor.After(g.CreatedAt) {
 		from := cursor.Add(-24 * time.Hour)
 		if from.Before(g.CreatedAt) {
 			from = g.CreatedAt
 		}
 		msgs := s.world.Messages(g, from, cursor)
-		for i := len(msgs) - 1; i >= 0 && len(page) < limit; i-- {
+		for i := len(msgs) - 1; i >= 0 && n < limit; i-- {
 			m := msgs[i]
 			if m.Channel != ref.idx {
 				continue
@@ -341,22 +368,78 @@ func (s *Service) handleMessages(w http.ResponseWriter, r *http.Request) {
 			// millisecond, so snowflakes are collision-free and stable
 			// across paginated fetches.
 			mid := ids.Snowflake(ids.DiscordEpochMS, m.SentAt, m.Seq)
-			page = append(page, msgOut{
-				ID:        strconv.FormatUint(mid, 10),
-				Author:    author{ID: strconv.FormatUint(u.ID, 10), Username: u.Name},
-				Timestamp: m.SentAt.Format(time.RFC3339Nano),
-				MsgType:   m.Type.String(),
-				Content:   m.Text,
-			})
+			if n > 0 {
+				buf = append(buf, ',')
+			}
+			buf = appendMessageOut(buf, mid, u.ID, u.Name, m.SentAt, m.Type.String(), m.Text)
+			n++
 		}
 		cursor = from
 	}
-	writeJSON(w, page)
+	w.Header().Set("Content-Type", "application/json")
+	if n == 0 {
+		buf = append(buf[:0], `null`...)
+	} else {
+		buf = append(buf, ']')
+	}
+	buf = append(buf, '\n')
+	w.Write(buf)
+	*bp = buf
+	jsonx.PutBuf(bp)
 }
 
-type author struct {
-	ID       string `json:"id"`
-	Username string `json:"username"`
+// appendMessageOut renders one history message byte-identically to the
+// json.Marshal encoding of the former msgOut struct.
+func appendMessageOut(dst []byte, mid, uid uint64, username string, sentAt time.Time, msgType, content string) []byte {
+	dst = append(dst, `{"id":"`...)
+	dst = jsonx.AppendUint(dst, mid)
+	dst = append(dst, `","author":{"id":"`...)
+	dst = jsonx.AppendUint(dst, uid)
+	dst = append(dst, `","username":`...)
+	dst = jsonx.AppendString(dst, username)
+	dst = append(dst, `},"timestamp":`...)
+	dst = appendRFC3339Nano(dst, sentAt)
+	dst = append(dst, `,"x_type":`...)
+	dst = jsonx.AppendString(dst, msgType)
+	if content != "" {
+		dst = append(dst, `,"content":`...)
+		dst = jsonx.AppendString(dst, content)
+	}
+	return append(dst, '}')
+}
+
+// appendRFC3339Nano appends the quoted Format(time.RFC3339Nano)
+// rendering of t. The day-to-day path is UTC with a 4-digit year;
+// anything else falls back to Format.
+func appendRFC3339Nano(dst []byte, t time.Time) []byte {
+	year, month, day := t.Date()
+	if t.Location() != time.UTC || year < 1000 || year > 9999 {
+		dst = append(dst, '"')
+		dst = t.AppendFormat(dst, time.RFC3339Nano)
+		return append(dst, '"')
+	}
+	hh, mm, ss := t.Clock()
+	dst = append(dst, '"')
+	dst = append(dst, byte('0'+year/1000), byte('0'+year/100%10), byte('0'+year/10%10), byte('0'+year%10), '-')
+	dst = append(dst, byte('0'+int(month)/10), byte('0'+int(month)%10), '-')
+	dst = append(dst, byte('0'+day/10), byte('0'+day%10), 'T')
+	dst = append(dst, byte('0'+hh/10), byte('0'+hh%10), ':')
+	dst = append(dst, byte('0'+mm/10), byte('0'+mm%10), ':')
+	dst = append(dst, byte('0'+ss/10), byte('0'+ss%10))
+	if ns := t.Nanosecond(); ns != 0 {
+		var frac [9]byte
+		for i := 8; i >= 0; i-- {
+			frac[i] = byte('0' + ns%10)
+			ns /= 10
+		}
+		end := 9
+		for end > 0 && frac[end-1] == '0' {
+			end--
+		}
+		dst = append(dst, '.')
+		dst = append(dst, frac[:end]...)
+	}
+	return append(dst, 'Z', '"')
 }
 
 // handleProfile exposes a user's profile with connected accounts — the PII

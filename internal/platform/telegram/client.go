@@ -13,6 +13,8 @@ import (
 
 	"msgscope/internal/faults"
 	"msgscope/internal/httpx"
+	"msgscope/internal/ids"
+	"msgscope/internal/jsonx"
 	"msgscope/internal/retry"
 )
 
@@ -44,16 +46,20 @@ type Client struct {
 	// advertised retry_after through the policy's Waiter, transient
 	// failures back off, sentinels surface immediately.
 	Retry *retry.Policy
+	// interner deduplicates per-message vocabulary (message types,
+	// member names) for this client's lifetime.
+	interner *ids.Interner
 }
 
 // NewClient returns a client bound to an account name. The retry jitter
 // seed derives from the account so accounts decorrelate.
 func NewClient(baseURL, account string) *Client {
 	return &Client{
-		BaseURL: strings.TrimRight(baseURL, "/"),
-		Account: account,
-		HTTP:    httpx.NewClient(),
-		Retry:   retry.New(accountSeed(account)),
+		BaseURL:  strings.TrimRight(baseURL, "/"),
+		Account:  account,
+		HTTP:     httpx.NewClient(),
+		Retry:    retry.New(accountSeed(account)),
+		interner: ids.NewInterner(),
 	}
 }
 
@@ -160,9 +166,13 @@ func htmlAttr(page, marker, key string) (string, bool) {
 	return "", false
 }
 
+// htmlUnescaper is hoisted to package scope: strings.NewReplacer builds
+// a generic replacement trie on construction, which profiling showed as
+// a per-probe allocation hotspot when it lived inside unescape.
+var htmlUnescaper = strings.NewReplacer("&amp;", "&", "&lt;", "<", "&gt;", ">", "&#34;", `"`, "&#39;", "'")
+
 func unescape(s string) string {
-	r := strings.NewReplacer("&amp;", "&", "&lt;", "<", "&gt;", ">", "&#34;", `"`, "&#39;", "'")
-	return r.Replace(s)
+	return htmlUnescaper.Replace(s)
 }
 
 // floodWaitOf reads the advertised retry_after from a 420 body, draining
@@ -176,12 +186,15 @@ func floodWaitOf(resp *http.Response) time.Duration {
 	return time.Duration(e.RetryAfter * float64(time.Second))
 }
 
-// apiDo performs one authenticated API call against path through the
-// shared retry policy, mapping Telegram error codes to sentinel errors.
-// FLOOD_WAITs wait out the advertised retry_after; transient failures
-// (transport errors, 5xx, undecodable bodies) back off; the retry key is
-// the method + path, never the host (random test ports).
-func (c *Client) apiDo(ctx context.Context, method, path string, v any) error {
+// apiDoParse performs one authenticated API call against path through
+// the shared retry policy, mapping Telegram error codes to sentinel
+// errors. FLOOD_WAITs wait out the advertised retry_after; transient
+// failures (transport errors, 5xx, undecodable bodies) back off; the
+// retry key is the method + path, never the host (random test ports).
+// On 200 the body is read into a pooled buffer and handed to parse;
+// parse must not retain the slice (it is reused by other requests), and
+// a parse error makes the attempt transient.
+func (c *Client) apiDoParse(ctx context.Context, method, path string, parse func(body []byte) error) error {
 	return c.Retry.Do(method+" "+path, func(attempt int) retry.Outcome {
 		req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, nil)
 		if err != nil {
@@ -199,11 +212,19 @@ func (c *Client) apiDo(ctx context.Context, method, path string, v any) error {
 		defer resp.Body.Close()
 		switch {
 		case resp.StatusCode == http.StatusOK:
-			if v == nil {
+			if parse == nil {
 				io.Copy(io.Discard, resp.Body)
 				return retry.Ok()
 			}
-			if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			bp := jsonx.GetBuf()
+			body, err := jsonx.ReadInto(bp, io.LimitReader(resp.Body, 16<<20))
+			if err != nil {
+				jsonx.PutBuf(bp)
+				return retry.Retry(fmt.Errorf("telegram: reading response: %w", err))
+			}
+			err = parse(body)
+			jsonx.PutBuf(bp)
+			if err != nil {
 				return retry.Retry(fmt.Errorf("telegram: decoding response: %w", err))
 			}
 			return retry.Ok()
@@ -232,6 +253,17 @@ func (c *Client) apiDo(ctx context.Context, method, path string, v any) error {
 			body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
 			return retry.Fail(fmt.Errorf("telegram: status %d: %s", resp.StatusCode, body))
 		}
+	})
+}
+
+// apiDo is the encoding/json convenience wrapper over apiDoParse for
+// the cold endpoints (join, chat info).
+func (c *Client) apiDo(ctx context.Context, method, path string, v any) error {
+	if v == nil {
+		return c.apiDoParse(ctx, method, path, nil)
+	}
+	return c.apiDoParse(ctx, method, path, func(body []byte) error {
+		return json.Unmarshal(body, v)
 	})
 }
 
@@ -291,33 +323,79 @@ func (p *HistoryPager) Next(ctx context.Context) ([]Message, error) {
 	if p.offset != 0 {
 		u += "&offset_date_ms=" + strconv.FormatInt(p.offset, 10)
 	}
-	var page struct {
-		Messages []struct {
-			FromID uint64 `json:"from_id"`
-			DateMS int64  `json:"date_ms"`
-			Type   string `json:"type"`
-			Text   string `json:"text"`
-		} `json:"messages"`
-		NextOffsetDateMS int64 `json:"next_offset_date_ms"`
-	}
-	if err := p.c.apiDo(ctx, http.MethodGet, u, &page); err != nil {
+	var out []Message
+	var next int64
+	err := p.c.apiDoParse(ctx, http.MethodGet, u, func(body []byte) error {
+		var perr error
+		out, next, perr = parseHistoryPage(body, p.c.interner)
+		return perr
+	})
+	if err != nil {
 		return nil, err
 	}
-	out := make([]Message, len(page.Messages))
-	for i, m := range page.Messages {
-		out[i] = Message{
-			FromID: m.FromID,
-			SentAt: time.UnixMilli(m.DateMS).UTC(),
-			Type:   m.Type,
-			Text:   m.Text,
-		}
-	}
-	if page.NextOffsetDateMS == 0 {
+	if next == 0 {
 		p.done = true
 	} else {
-		p.offset = page.NextOffsetDateMS
+		p.offset = next
 	}
 	return out, nil
+}
+
+// parseHistoryPage decodes one /api/history page. Message types are
+// interned (a handful of distinct values across millions of messages);
+// only text bodies are copied.
+func parseHistoryPage(body []byte, in *ids.Interner) ([]Message, int64, error) {
+	var d jsonx.Dec
+	d.Reset(body)
+	var msgs []Message
+	var next int64
+	err := d.Obj(func(key []byte) error {
+		switch string(key) {
+		case "messages":
+			return d.Arr(func() error {
+				var m Message
+				var dateMS int64
+				if err := d.Obj(func(k2 []byte) error {
+					switch string(k2) {
+					case "from_id":
+						v, err := d.Uint()
+						m.FromID = v
+						return err
+					case "date_ms":
+						v, err := d.Int()
+						dateMS = v
+						return err
+					case "type":
+						b, err := d.StrBytes()
+						if err != nil {
+							return err
+						}
+						m.Type = in.InternBytes(b)
+						return nil
+					case "text":
+						s, err := d.Str()
+						m.Text = s
+						return err
+					}
+					return d.Skip()
+				}); err != nil {
+					return err
+				}
+				m.SentAt = time.UnixMilli(dateMS).UTC()
+				msgs = append(msgs, m)
+				return nil
+			})
+		case "next_offset_date_ms":
+			v, err := d.Int()
+			next = v
+			return err
+		}
+		return d.Skip()
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return msgs, next, d.End()
 }
 
 // History pages backwards through the chat's entire history (since
@@ -351,19 +429,51 @@ type Participant struct {
 // Participants lists the chat's members; admins may hide the list, in
 // which case ErrHiddenList is returned.
 func (c *Client) Participants(ctx context.Context, code string) ([]Participant, error) {
-	var out struct {
-		Participants []struct {
-			ID    uint64 `json:"id"`
-			Name  string `json:"name"`
-			Phone string `json:"phone"`
-		} `json:"participants"`
-	}
-	if err := c.apiDo(ctx, http.MethodGet, "/api/participants/"+code, &out); err != nil {
+	var ps []Participant
+	err := c.apiDoParse(ctx, http.MethodGet, "/api/participants/"+code, func(body []byte) error {
+		var d jsonx.Dec
+		d.Reset(body)
+		ps = ps[:0]
+		err := d.Obj(func(key []byte) error {
+			if string(key) != "participants" {
+				return d.Skip()
+			}
+			return d.Arr(func() error {
+				var p Participant
+				if err := d.Obj(func(k2 []byte) error {
+					switch string(k2) {
+					case "id":
+						v, err := d.Uint()
+						p.ID = v
+						return err
+					case "name":
+						// Names draw from a small syllable pool; intern.
+						b, err := d.StrBytes()
+						if err != nil {
+							return err
+						}
+						p.Name = c.interner.InternBytes(b)
+						return nil
+					case "phone":
+						s, err := d.Str()
+						p.Phone = s
+						return err
+					}
+					return d.Skip()
+				}); err != nil {
+					return err
+				}
+				ps = append(ps, p)
+				return nil
+			})
+		})
+		if err != nil {
+			return err
+		}
+		return d.End()
+	})
+	if err != nil {
 		return nil, err
-	}
-	ps := make([]Participant, len(out.Participants))
-	for i, p := range out.Participants {
-		ps[i] = Participant{ID: p.ID, Name: p.Name, Phone: p.Phone}
 	}
 	return ps, nil
 }

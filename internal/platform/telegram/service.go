@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"msgscope/internal/faults"
+	"msgscope/internal/jsonx"
 	"msgscope/internal/platform"
 	"msgscope/internal/simclock"
 	"msgscope/internal/simworld"
@@ -47,6 +48,11 @@ type Service struct {
 
 	mu       sync.Mutex
 	accounts map[string]*account
+
+	// floodBody is the 420 FLOOD_WAIT response body, rendered once —
+	// floods are frequent enough under fault injection that re-encoding
+	// the same two-field object per rejection showed up in profiles.
+	floodBody []byte
 }
 
 type account struct {
@@ -57,7 +63,12 @@ type account struct {
 
 // NewService builds the service over the world.
 func NewService(world *simworld.World, clock simclock.Clock, cfg ServiceConfig) *Service {
-	return &Service{cfg: cfg, world: world, clock: clock, accounts: map[string]*account{}}
+	flood, _ := json.Marshal(map[string]any{
+		"error":       fmt.Sprintf("FLOOD_WAIT_%d", cfg.FloodWaitSeconds),
+		"retry_after": cfg.FloodWaitSeconds,
+	})
+	flood = append(flood, '\n')
+	return &Service{cfg: cfg, world: world, clock: clock, accounts: map[string]*account{}, floodBody: flood}
 }
 
 // Handler returns the HTTP mux. GET /web/{code...} serves the public
@@ -80,10 +91,7 @@ func (s *Service) faulty(h http.HandlerFunc) http.HandlerFunc {
 		if s.Faults.Intercept(w, r, "X-TG-Account", func(w http.ResponseWriter) {
 			w.Header().Set("Content-Type", "application/json")
 			w.WriteHeader(420)
-			json.NewEncoder(w).Encode(map[string]any{
-				"error":       fmt.Sprintf("FLOOD_WAIT_%d", s.cfg.FloodWaitSeconds),
-				"retry_after": s.cfg.FloodWaitSeconds,
-			})
+			w.Write(s.floodBody)
 		}) {
 			return
 		}
@@ -180,10 +188,7 @@ func (s *Service) apiAuth(w http.ResponseWriter, r *http.Request) *account {
 	if !s.takeToken(a) {
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(420)
-		json.NewEncoder(w).Encode(map[string]any{
-			"error":       fmt.Sprintf("FLOOD_WAIT_%d", s.cfg.FloodWaitSeconds),
-			"retry_after": s.cfg.FloodWaitSeconds,
-		})
+		w.Write(s.floodBody)
 		return nil
 	}
 	return a
@@ -294,11 +299,49 @@ func (s *Service) handleHistory(w http.ResponseWriter, r *http.Request) {
 		u := s.world.UserByIdx(platform.Telegram, m.AuthorIdx)
 		out[i] = messageJSON{FromID: u.ID, DateMS: m.SentAt.UnixMilli(), Type: m.Type.String(), Text: m.Text}
 	}
-	resp := map[string]any{"messages": out}
+	var next int64
+	hasNext := false
 	if len(page) == limit && len(page) > 0 {
-		resp["next_offset_date_ms"] = page[len(page)-1].SentAt.UnixMilli()
+		next = page[len(page)-1].SentAt.UnixMilli()
+		hasNext = true
 	}
-	writeJSON(w, resp)
+	bp := jsonx.GetBuf()
+	buf := appendHistoryResponse((*bp)[:0], out, next, hasNext)
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(buf)
+	*bp = buf
+	jsonx.PutBuf(bp)
+}
+
+// appendHistoryResponse renders the history page byte-identically to
+// json.NewEncoder(w).Encode(map[string]any{"messages": out, ...}) —
+// encoding/json sorts map keys, so "messages" precedes
+// "next_offset_date_ms", and Encode appends a newline.
+func appendHistoryResponse(dst []byte, msgs []messageJSON, next int64, hasNext bool) []byte {
+	dst = append(dst, `{"messages":[`...)
+	for i := range msgs {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		m := &msgs[i]
+		dst = append(dst, `{"from_id":`...)
+		dst = jsonx.AppendUint(dst, m.FromID)
+		dst = append(dst, `,"date_ms":`...)
+		dst = jsonx.AppendInt(dst, m.DateMS)
+		dst = append(dst, `,"type":`...)
+		dst = jsonx.AppendString(dst, m.Type)
+		if m.Text != "" {
+			dst = append(dst, `,"text":`...)
+			dst = jsonx.AppendString(dst, m.Text)
+		}
+		dst = append(dst, '}')
+	}
+	dst = append(dst, ']')
+	if hasNext {
+		dst = append(dst, `,"next_offset_date_ms":`...)
+		dst = jsonx.AppendInt(dst, next)
+	}
+	return append(dst, '}', '\n')
 }
 
 // userJSON is one participant profile; Phone is present only for opt-in
@@ -337,7 +380,34 @@ func (s *Service) handleParticipants(w http.ResponseWriter, r *http.Request) {
 		}
 		out[i] = j
 	}
-	writeJSON(w, map[string]any{"participants": out})
+	bp := jsonx.GetBuf()
+	buf := appendParticipantsResponse((*bp)[:0], out)
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(buf)
+	*bp = buf
+	jsonx.PutBuf(bp)
+}
+
+// appendParticipantsResponse renders the participant list
+// byte-identically to the former writeJSON(map[string]any{...}) call.
+func appendParticipantsResponse(dst []byte, users []userJSON) []byte {
+	dst = append(dst, `{"participants":[`...)
+	for i := range users {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		u := &users[i]
+		dst = append(dst, `{"id":`...)
+		dst = jsonx.AppendUint(dst, u.ID)
+		dst = append(dst, `,"name":`...)
+		dst = jsonx.AppendString(dst, u.Name)
+		if u.Phone != "" {
+			dst = append(dst, `,"phone":`...)
+			dst = jsonx.AppendString(dst, u.Phone)
+		}
+		dst = append(dst, '}')
+	}
+	return append(dst, ']', '}', '\n')
 }
 
 func (s *Service) handleChatInfo(w http.ResponseWriter, r *http.Request) {

@@ -14,6 +14,8 @@ import (
 
 	"msgscope/internal/faults"
 	"msgscope/internal/httpx"
+	"msgscope/internal/ids"
+	"msgscope/internal/jsonx"
 	"msgscope/internal/retry"
 )
 
@@ -46,16 +48,20 @@ type Client struct {
 	// header through the policy's Waiter, transient failures back off,
 	// sentinels surface immediately.
 	Retry *retry.Policy
+	// interner deduplicates repeated vocabulary (author phones, message
+	// types, countries) for this client's lifetime.
+	interner *ids.Interner
 }
 
 // NewClient returns a client bound to an account name. The retry jitter
 // seed derives from the account so accounts decorrelate.
 func NewClient(baseURL, account string) *Client {
 	return &Client{
-		BaseURL: strings.TrimRight(baseURL, "/"),
-		Account: account,
-		HTTP:    httpx.NewClient(),
-		Retry:   retry.New(accountSeed(account)),
+		BaseURL:  strings.TrimRight(baseURL, "/"),
+		Account:  account,
+		HTTP:     httpx.NewClient(),
+		Retry:    retry.New(accountSeed(account)),
+		interner: ids.NewInterner(),
 	}
 }
 
@@ -91,12 +97,15 @@ func (c *Client) ProbeInvite(ctx context.Context, code string) (Landing, error) 
 			httpx.Drain(resp)
 			return retry.Fail(ErrNotFound)
 		case resp.StatusCode == http.StatusOK:
-			body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+			bp := jsonx.GetBuf()
+			body, err := jsonx.ReadInto(bp, io.LimitReader(resp.Body, 1<<20))
 			resp.Body.Close()
 			if err != nil {
+				jsonx.PutBuf(bp)
 				return retry.Retry(err)
 			}
 			l, err = scrapeLanding(string(body))
+			jsonx.PutBuf(bp)
 			if err != nil {
 				// A half-rendered page (e.g. injected truncation) is
 				// transient; the next attempt re-fetches.
@@ -174,9 +183,13 @@ func dataAttr(page, name string) (string, bool) {
 	return htmlUnescape(rest[:k]), true
 }
 
+// htmlUnescaper is hoisted to package scope: strings.NewReplacer builds
+// its replacement trie on construction, which is too expensive to repeat
+// per scraped attribute.
+var htmlUnescaper = strings.NewReplacer("&amp;", "&", "&lt;", "<", "&gt;", ">", "&#34;", `"`, "&#39;", "'", "&middot;", "·")
+
 func htmlUnescape(s string) string {
-	r := strings.NewReplacer("&amp;", "&", "&lt;", "<", "&gt;", ">", "&#34;", `"`, "&#39;", "'", "&middot;", "·")
-	return r.Replace(s)
+	return htmlUnescaper.Replace(s)
 }
 
 // Join joins a group; the service enforces the per-account cap.
@@ -253,29 +266,74 @@ func (c *Client) MessagesUntil(ctx context.Context, code string, since, until ti
 	if len(q) > 0 {
 		u += "?" + q.Encode()
 	}
-	var out struct {
-		Messages []struct {
-			Author string `json:"author"`
-			UserID uint64 `json:"user_id"`
-			SentMS int64  `json:"sent_ms"`
-			Type   string `json:"type"`
-			Text   string `json:"text"`
-		} `json:"messages"`
-	}
-	if err := c.getJSON(ctx, u, &out); err != nil {
+	var msgs []Message
+	err := c.getParse(ctx, u, func(body []byte) error {
+		var perr error
+		msgs, perr = parseMessages(body, c.interner)
+		return perr
+	})
+	if err != nil {
 		return nil, err
 	}
-	msgs := make([]Message, len(out.Messages))
-	for i, m := range out.Messages {
-		msgs[i] = Message{
-			AuthorPhone: m.Author,
-			UserID:      m.UserID,
-			SentAt:      time.UnixMilli(m.SentMS).UTC(),
-			Type:        m.Type,
-			Text:        m.Text,
-		}
-	}
 	return msgs, nil
+}
+
+// parseMessages decodes a /client/messages body. Author phones, message
+// types and countries recur across the sync window, so they are
+// interned; text bodies are copied.
+func parseMessages(body []byte, in *ids.Interner) ([]Message, error) {
+	var d jsonx.Dec
+	d.Reset(body)
+	var msgs []Message
+	err := d.Obj(func(key []byte) error {
+		if string(key) != "messages" {
+			return d.Skip()
+		}
+		return d.Arr(func() error {
+			var m Message
+			var sentMS int64
+			if err := d.Obj(func(k2 []byte) error {
+				switch string(k2) {
+				case "author":
+					b, err := d.StrBytes()
+					if err != nil {
+						return err
+					}
+					m.AuthorPhone = in.InternBytes(b)
+					return nil
+				case "user_id":
+					v, err := d.Uint()
+					m.UserID = v
+					return err
+				case "sent_ms":
+					v, err := d.Int()
+					sentMS = v
+					return err
+				case "type":
+					b, err := d.StrBytes()
+					if err != nil {
+						return err
+					}
+					m.Type = in.InternBytes(b)
+					return nil
+				case "text":
+					s, err := d.Str()
+					m.Text = s
+					return err
+				}
+				return d.Skip()
+			}); err != nil {
+				return err
+			}
+			m.SentAt = time.UnixMilli(sentMS).UTC()
+			msgs = append(msgs, m)
+			return nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return msgs, d.End()
 }
 
 // Member is one group member with the PII WhatsApp exposes to members.
@@ -287,21 +345,60 @@ type Member struct {
 
 // Members lists the members of a joined group.
 func (c *Client) Members(ctx context.Context, code string) ([]Member, error) {
-	var out struct {
-		Members []struct {
-			Phone   string `json:"phone"`
-			UserID  uint64 `json:"user_id"`
-			Country string `json:"country"`
-		} `json:"members"`
-	}
-	if err := c.getJSON(ctx, "/client/members/"+code, &out); err != nil {
+	var ms []Member
+	err := c.getParse(ctx, "/client/members/"+code, func(body []byte) error {
+		var perr error
+		ms, perr = parseMembers(body, c.interner)
+		return perr
+	})
+	if err != nil {
 		return nil, err
 	}
-	ms := make([]Member, len(out.Members))
-	for i, m := range out.Members {
-		ms[i] = Member{Phone: m.Phone, UserID: m.UserID, Country: m.Country}
-	}
 	return ms, nil
+}
+
+// parseMembers decodes a /client/members body, interning the small
+// country vocabulary. Phones are unique per member and copied.
+func parseMembers(body []byte, in *ids.Interner) ([]Member, error) {
+	var d jsonx.Dec
+	d.Reset(body)
+	var ms []Member
+	err := d.Obj(func(key []byte) error {
+		if string(key) != "members" {
+			return d.Skip()
+		}
+		return d.Arr(func() error {
+			var m Member
+			if err := d.Obj(func(k2 []byte) error {
+				switch string(k2) {
+				case "phone":
+					s, err := d.Str()
+					m.Phone = s
+					return err
+				case "user_id":
+					v, err := d.Uint()
+					m.UserID = v
+					return err
+				case "country":
+					b, err := d.StrBytes()
+					if err != nil {
+						return err
+					}
+					m.Country = in.InternBytes(b)
+					return nil
+				}
+				return d.Skip()
+			}); err != nil {
+				return err
+			}
+			ms = append(ms, m)
+			return nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ms, d.End()
 }
 
 // GroupInfo is member-visible group metadata.
@@ -325,6 +422,15 @@ func (c *Client) Info(ctx context.Context, code string) (GroupInfo, error) {
 }
 
 func (c *Client) getJSON(ctx context.Context, path string, v any) error {
+	return c.getParse(ctx, path, func(body []byte) error {
+		return json.Unmarshal(body, v)
+	})
+}
+
+// getParse performs one authenticated GET through the retry policy,
+// reading 200 bodies into a pooled buffer handed to parse. parse must
+// not retain the slice; a parse error makes the attempt transient.
+func (c *Client) getParse(ctx context.Context, path string, parse func(body []byte) error) error {
 	return c.Retry.Do("GET "+path, func(attempt int) retry.Outcome {
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
 		if err != nil {
@@ -339,7 +445,15 @@ func (c *Client) getJSON(ctx context.Context, path string, v any) error {
 		defer resp.Body.Close()
 		switch {
 		case resp.StatusCode == http.StatusOK:
-			if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			bp := jsonx.GetBuf()
+			body, err := jsonx.ReadInto(bp, io.LimitReader(resp.Body, 16<<20))
+			if err != nil {
+				jsonx.PutBuf(bp)
+				return retry.Retry(fmt.Errorf("whatsapp: reading response: %w", err))
+			}
+			err = parse(body)
+			jsonx.PutBuf(bp)
+			if err != nil {
 				return retry.Retry(fmt.Errorf("whatsapp: decoding response: %w", err))
 			}
 			return retry.Ok()

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"msgscope/internal/faults"
+	"msgscope/internal/jsonx"
 	"msgscope/internal/platform"
 	"msgscope/internal/simclock"
 	"msgscope/internal/simworld"
@@ -249,7 +250,39 @@ func (s *Service) handleMessages(w http.ResponseWriter, r *http.Request) {
 			Text:   m.Text,
 		}
 	}
-	writeJSON(w, map[string]any{"messages": out})
+	bp := jsonx.GetBuf()
+	buf := appendMessagesResponse((*bp)[:0], out)
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(buf)
+	*bp = buf
+	jsonx.PutBuf(bp)
+}
+
+// appendMessagesResponse renders the sync response byte-identically to
+// json.NewEncoder(w).Encode(map[string]any{"messages": out}).
+func appendMessagesResponse(dst []byte, msgs []messageJSON) []byte {
+	dst = append(dst, `{"messages":[`...)
+	for i := range msgs {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		m := &msgs[i]
+		dst = append(dst, `{"author":`...)
+		dst = jsonx.AppendString(dst, m.Author)
+		dst = append(dst, `,"user_id":`...)
+		dst = jsonx.AppendUint(dst, m.UserID)
+		dst = append(dst, `,"sent_ms":`...)
+		dst = jsonx.AppendInt(dst, m.SentMS)
+		dst = append(dst, `,"type":`...)
+		dst = jsonx.AppendString(dst, m.Type)
+		if m.Text != "" {
+			dst = append(dst, `,"text":`...)
+			dst = jsonx.AppendString(dst, m.Text)
+		}
+		dst = append(dst, '}')
+	}
+	dst = append(dst, ']', '}')
+	return append(dst, '\n')
 }
 
 // memberJSON is one group member as the client sees it: the phone number is
@@ -276,7 +309,33 @@ func (s *Service) handleMembers(w http.ResponseWriter, r *http.Request) {
 		u := s.world.UserByIdx(platform.WhatsApp, idx)
 		out[i] = memberJSON{Phone: u.Phone, UserID: u.ID, Country: u.Country}
 	}
-	writeJSON(w, map[string]any{"members": out})
+	bp := jsonx.GetBuf()
+	buf := appendMembersResponse((*bp)[:0], out)
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(buf)
+	*bp = buf
+	jsonx.PutBuf(bp)
+}
+
+// appendMembersResponse renders the member list byte-identically to the
+// former writeJSON(map[string]any{"members": out}) call.
+func appendMembersResponse(dst []byte, members []memberJSON) []byte {
+	dst = append(dst, `{"members":[`...)
+	for i := range members {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		m := &members[i]
+		dst = append(dst, `{"phone":`...)
+		dst = jsonx.AppendString(dst, m.Phone)
+		dst = append(dst, `,"user_id":`...)
+		dst = jsonx.AppendUint(dst, m.UserID)
+		dst = append(dst, `,"country":`...)
+		dst = jsonx.AppendString(dst, m.Country)
+		dst = append(dst, '}')
+	}
+	dst = append(dst, ']', '}')
+	return append(dst, '\n')
 }
 
 // handleGroupInfo exposes metadata visible to members, including the group

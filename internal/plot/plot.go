@@ -8,6 +8,7 @@ package plot
 import (
 	"fmt"
 	"math"
+	"strconv"
 	"strings"
 )
 
@@ -86,26 +87,31 @@ func (c Chart) LineSVG(series []Series) string {
 	c.xTicks(&sb, w, h, minX, maxX, sx)
 	c.yTicks(&sb, w, h, minY, maxY, sy)
 
+	// Path data is the bulk of a CDF chart's output (hundreds of points per
+	// series), so it is built in one pass with strconv appends instead of a
+	// fmt call per point.
+	var path []byte
 	for i, s := range series {
 		if len(s.Points) == 0 {
 			continue
 		}
 		color := palette[i%len(palette)]
-		var path strings.Builder
+		path = path[:0]
 		for j, p := range s.Points {
 			x, y := sx(p.X), sy(p.Y)
 			switch {
 			case j == 0:
-				fmt.Fprintf(&path, "M%.1f,%.1f", x, y)
+				path = appendPathCmd(path, "M", x, y)
 			case c.Step:
 				prevY := sy(s.Points[j-1].Y)
-				fmt.Fprintf(&path, " L%.1f,%.1f L%.1f,%.1f", x, prevY, x, y)
+				path = appendPathCmd(path, " L", x, prevY)
+				path = appendPathCmd(path, " L", x, y)
 			default:
-				fmt.Fprintf(&path, " L%.1f,%.1f", x, y)
+				path = appendPathCmd(path, " L", x, y)
 			}
 		}
 		fmt.Fprintf(&sb, `<path d="%s" fill="none" stroke="%s" stroke-width="1.8"/>`+"\n",
-			path.String(), color)
+			path, color)
 		// Legend entry.
 		lx := margin + 10
 		ly := margin + 16 + float64(i)*16
@@ -168,6 +174,16 @@ func (c Chart) BarSVG(seriesNames []string, groups []BarGroup) string {
 	}
 	sb.WriteString("</svg>\n")
 	return sb.String()
+}
+
+// appendPathCmd appends `<cmd>X,Y` with the coordinates rendered exactly as
+// fmt's %.1f would (strconv.AppendFloat 'f'/prec 1 is the same formatter
+// fmt delegates to).
+func appendPathCmd(dst []byte, cmd string, x, y float64) []byte {
+	dst = append(dst, cmd...)
+	dst = strconv.AppendFloat(dst, x, 'f', 1, 64)
+	dst = append(dst, ',')
+	return strconv.AppendFloat(dst, y, 'f', 1, 64)
 }
 
 func svgHeader(sb *strings.Builder, w, h float64) {
@@ -286,7 +302,10 @@ func formatTick(v float64) string {
 	}
 }
 
+// xmlEscaper is hoisted to package scope so the replacement trie is
+// built once, not per escaped attribute.
+var xmlEscaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+
 func escape(s string) string {
-	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
-	return r.Replace(s)
+	return xmlEscaper.Replace(s)
 }

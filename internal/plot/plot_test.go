@@ -1,6 +1,7 @@
 package plot
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -80,6 +81,19 @@ func TestFormatTick(t *testing.T) {
 	for v, want := range cases {
 		if got := formatTick(v); got != want {
 			t.Errorf("formatTick(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestAppendPathCmdMatchesFmt(t *testing.T) {
+	cases := []struct{ x, y float64 }{
+		{0, 0}, {-0.04, 0.05}, {123.456, -789.05}, {56.0, 344.0},
+		{0.25, 0.35}, {1e6, -1e-6},
+	}
+	for _, tc := range cases {
+		want := fmt.Sprintf("M%.1f,%.1f", tc.x, tc.y)
+		if got := string(appendPathCmd(nil, "M", tc.x, tc.y)); got != want {
+			t.Errorf("appendPathCmd(%v, %v) = %q, want %q", tc.x, tc.y, got, want)
 		}
 	}
 }

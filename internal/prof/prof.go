@@ -1,0 +1,250 @@
+// Package prof is the opt-in profiling layer of the pipeline: pprof
+// file capture for commands, a cheap runtime-metrics sampler, and a
+// per-phase allocation recorder the core study drives at its phase
+// boundaries. Everything is off (and free) by default — a nil *Recorder
+// is a valid receiver whose Capture is a no-op, so the hot loop carries
+// no conditionals and no overhead unless profiling was requested.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/metrics"
+	"runtime/pprof"
+	"runtime/trace"
+	"sync"
+	"time"
+)
+
+// ---------------------------------------------------------------------------
+// File capture (pprof / trace)
+
+// FileConfig names the profile artifacts to write. Empty fields disable
+// the corresponding capture.
+type FileConfig struct {
+	CPUProfile string // pprof CPU profile, started immediately
+	MemProfile string // pprof heap profile, written at Stop
+	Trace      string // runtime execution trace, started immediately
+}
+
+// Files is an in-flight file capture session.
+type Files struct {
+	cfg     FileConfig
+	cpuFile *os.File
+	trFile  *os.File
+}
+
+// StartFiles begins CPU profiling and/or tracing per cfg. Call Stop to
+// finish captures and write the heap profile. A zero cfg yields a valid
+// no-op session.
+func StartFiles(cfg FileConfig) (*Files, error) {
+	f := &Files{cfg: cfg}
+	if cfg.CPUProfile != "" {
+		file, err := os.Create(cfg.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("prof: cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(file); err != nil {
+			file.Close()
+			return nil, fmt.Errorf("prof: cpu profile: %w", err)
+		}
+		f.cpuFile = file
+	}
+	if cfg.Trace != "" {
+		file, err := os.Create(cfg.Trace)
+		if err != nil {
+			f.Stop()
+			return nil, fmt.Errorf("prof: trace: %w", err)
+		}
+		if err := trace.Start(file); err != nil {
+			file.Close()
+			f.Stop()
+			return nil, fmt.Errorf("prof: trace: %w", err)
+		}
+		f.trFile = file
+	}
+	return f, nil
+}
+
+// Stop ends the CPU profile and trace (if running) and writes the heap
+// profile (if configured). Safe to call once on any session, including
+// partially started ones.
+func (f *Files) Stop() error {
+	if f == nil {
+		return nil
+	}
+	var firstErr error
+	if f.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := f.cpuFile.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		f.cpuFile = nil
+	}
+	if f.trFile != nil {
+		trace.Stop()
+		if err := f.trFile.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		f.trFile = nil
+	}
+	if f.cfg.MemProfile != "" {
+		file, err := os.Create(f.cfg.MemProfile)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("prof: mem profile: %w", err)
+			}
+		} else {
+			runtime.GC() // materialize up-to-date heap statistics
+			if err := pprof.Lookup("allocs").WriteTo(file, 0); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("prof: mem profile: %w", err)
+			}
+			if err := file.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		f.cfg.MemProfile = ""
+	}
+	return firstErr
+}
+
+// ---------------------------------------------------------------------------
+// Runtime-metrics sampler
+
+// Sample is a point-in-time snapshot of the runtime's memory counters.
+type Sample struct {
+	HeapAllocBytes  uint64        // live heap bytes
+	TotalAllocBytes uint64        // cumulative allocated bytes
+	Mallocs         uint64        // cumulative allocated objects
+	GCCycles        uint32        // completed GC cycles
+	GCPauseTotal    time.Duration // cumulative stop-the-world pause
+}
+
+// TakeSample reads the runtime's memory statistics. It stops the world
+// briefly — call it at coarse boundaries (run start/end, HTTP probes),
+// not in per-request paths.
+func TakeSample() Sample {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return Sample{
+		HeapAllocBytes:  ms.HeapAlloc,
+		TotalAllocBytes: ms.TotalAlloc,
+		Mallocs:         ms.Mallocs,
+		GCCycles:        ms.NumGC,
+		GCPauseTotal:    time.Duration(ms.PauseTotalNs),
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Per-phase allocation recorder
+
+// PhaseStat aggregates the allocation deltas attributed to one named
+// pipeline phase across all its Capture calls.
+type PhaseStat struct {
+	Phase        string
+	Captures     int    // number of windows attributed to this phase
+	AllocBytes   uint64 // bytes allocated during those windows
+	AllocObjects uint64 // objects allocated during those windows
+	GCCycles     uint64 // GC cycles completed during those windows
+}
+
+// recorder metric set: cheap to read (no histogram, no stop-the-world).
+var recMetricNames = [...]string{
+	"/gc/heap/allocs:bytes",
+	"/gc/heap/allocs:objects",
+	"/gc/cycles/total:gc-cycles",
+}
+
+// Recorder attributes allocation activity to named pipeline phases. The
+// core study calls Capture(phase) when a phase's work completes; the
+// delta of the runtime's cumulative counters since the previous Capture
+// is credited to that phase. Reads use runtime/metrics with a fixed,
+// histogram-free sample set, so a Capture costs microseconds and
+// allocates nothing after the first call.
+//
+// A nil *Recorder is valid: Capture and Reset are no-ops, Phases
+// returns nil. Safe for concurrent use.
+type Recorder struct {
+	mu      sync.Mutex
+	samples []metrics.Sample
+	last    [len(recMetricNames)]uint64
+	primed  bool
+	order   []string
+	stats   map[string]*PhaseStat
+}
+
+// NewRecorder returns an empty recorder. The first Capture (or an
+// explicit Reset) establishes the baseline reading.
+func NewRecorder() *Recorder {
+	r := &Recorder{stats: make(map[string]*PhaseStat)}
+	r.samples = make([]metrics.Sample, len(recMetricNames))
+	for i, name := range recMetricNames {
+		r.samples[i].Name = name
+	}
+	return r
+}
+
+func (r *Recorder) readLocked() (vals [len(recMetricNames)]uint64) {
+	metrics.Read(r.samples)
+	for i := range r.samples {
+		if r.samples[i].Value.Kind() == metrics.KindUint64 {
+			vals[i] = r.samples[i].Value.Uint64()
+		}
+	}
+	return vals
+}
+
+// Reset establishes a fresh baseline without attributing the elapsed
+// window to any phase (call at run start).
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.last = r.readLocked()
+	r.primed = true
+}
+
+// Capture attributes everything allocated since the previous Capture
+// (or Reset) to phase. The first call on an unprimed recorder only
+// establishes the baseline.
+func (r *Recorder) Capture(phase string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.readLocked()
+	if !r.primed {
+		r.last = now
+		r.primed = true
+		return
+	}
+	st := r.stats[phase]
+	if st == nil {
+		st = &PhaseStat{Phase: phase}
+		r.stats[phase] = st
+		r.order = append(r.order, phase)
+	}
+	st.Captures++
+	st.AllocBytes += now[0] - r.last[0]
+	st.AllocObjects += now[1] - r.last[1]
+	st.GCCycles += now[2] - r.last[2]
+	r.last = now
+}
+
+// Phases returns the per-phase totals in first-capture order.
+func (r *Recorder) Phases() []PhaseStat {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]PhaseStat, 0, len(r.order))
+	for _, name := range r.order {
+		out = append(out, *r.stats[name])
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package prof
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRecorderAttributesPhases(t *testing.T) {
+	r := NewRecorder()
+	r.Reset()
+
+	// Allocate something attributable, then capture it.
+	sink = make([]byte, 1<<20)
+	r.Capture("alpha")
+	sink = make([]byte, 1<<20)
+	r.Capture("beta")
+	sink = make([]byte, 1<<20)
+	r.Capture("alpha")
+
+	phases := r.Phases()
+	if len(phases) != 2 {
+		t.Fatalf("phases = %d, want 2", len(phases))
+	}
+	if phases[0].Phase != "alpha" || phases[1].Phase != "beta" {
+		t.Fatalf("order = %q, %q", phases[0].Phase, phases[1].Phase)
+	}
+	if phases[0].Captures != 2 || phases[1].Captures != 1 {
+		t.Fatalf("captures = %d, %d", phases[0].Captures, phases[1].Captures)
+	}
+	if phases[0].AllocBytes < 2<<20 {
+		t.Errorf("alpha bytes = %d, want >= 2MiB", phases[0].AllocBytes)
+	}
+	if phases[1].AllocBytes < 1<<20 {
+		t.Errorf("beta bytes = %d, want >= 1MiB", phases[1].AllocBytes)
+	}
+	if phases[0].AllocObjects == 0 {
+		t.Error("alpha objects = 0")
+	}
+}
+
+var sink []byte
+
+func TestNilRecorderIsNoop(t *testing.T) {
+	var r *Recorder
+	r.Reset()
+	r.Capture("x") // must not panic
+	if got := r.Phases(); got != nil {
+		t.Fatalf("nil recorder Phases = %v", got)
+	}
+}
+
+func TestCaptureAllocs(t *testing.T) {
+	r := NewRecorder()
+	r.Reset()
+	r.Capture("warm")
+	allocs := testing.AllocsPerRun(100, func() {
+		r.Capture("warm")
+	})
+	// One map-free, histogram-free metrics.Read per call: steady state
+	// must be allocation-free.
+	if allocs > 0 {
+		t.Errorf("Capture allocates %.1f per run, want 0", allocs)
+	}
+}
+
+func TestTakeSample(t *testing.T) {
+	s := TakeSample()
+	if s.TotalAllocBytes == 0 || s.Mallocs == 0 {
+		t.Fatalf("empty sample: %+v", s)
+	}
+}
+
+func TestFilesCapture(t *testing.T) {
+	dir := t.TempDir()
+	cfg := FileConfig{
+		CPUProfile: filepath.Join(dir, "cpu.out"),
+		MemProfile: filepath.Join(dir, "mem.out"),
+		Trace:      filepath.Join(dir, "run.trace"),
+	}
+	f, err := StartFiles(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		sink = append(sink[:0], make([]byte, 128)...)
+	}
+	if err := f.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cfg.CPUProfile, cfg.MemProfile, cfg.Trace} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Errorf("%s: %v", p, err)
+			continue
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s: empty", p)
+		}
+	}
+	// Second Stop is a no-op.
+	if err := f.Stop(); err != nil {
+		t.Errorf("second Stop: %v", err)
+	}
+}
+
+func TestNoopFiles(t *testing.T) {
+	f, err := StartFiles(FileConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	var nilF *Files
+	if err := nilF.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}

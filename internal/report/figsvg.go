@@ -18,9 +18,10 @@ func cdfSeries(cdfs map[platform.Platform]*stats.ECDF) []plot.Series {
 		if e == nil || e.N() == 0 {
 			continue
 		}
-		s := plot.Series{Name: p.String()}
-		for _, pt := range e.Points(200) {
-			s.Points = append(s.Points, plot.Point{X: pt.X, Y: pt.Y})
+		pts := e.Points(200)
+		s := plot.Series{Name: p.String(), Points: make([]plot.Point, len(pts))}
+		for i, pt := range pts {
+			s.Points[i] = plot.Point{X: pt.X, Y: pt.Y}
 		}
 		out = append(out, s)
 	}

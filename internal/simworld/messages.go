@@ -2,7 +2,7 @@ package simworld
 
 import (
 	"math/rand/v2"
-	"sort"
+	"slices"
 	"time"
 
 	"msgscope/internal/dist"
@@ -98,13 +98,27 @@ func (w *World) Messages(g *Group, from, to time.Time) []Message {
 		// the first requested day.
 		genStart = from
 	}
-	var out []Message
 	dayStart := genStart.Truncate(24 * time.Hour)
+	// Pre-size the output to the expected volume of the generated days so
+	// the append loop does not regrow: sum of per-channel rates times the
+	// day count, capped to keep a pathological window from over-reserving.
+	var rateSum float64
+	for _, r := range g.MsgRates {
+		rateSum += r
+	}
+	days := int(to.Sub(dayStart)/(24*time.Hour)) + 1
+	est := int(rateSum*float64(days)) + 16
+	out := make([]Message, 0, min(est, 1<<20))
+	// One PCG reused across all day x channel streams: Seed resets it to
+	// the exact state NewPCG would produce, so the draw sequences are
+	// identical to the per-stream construction this replaces.
+	var pcg rand.PCG
+	dayRng := rand.New(&pcg)
 	for !dayStart.After(to) {
 		dayEnd := dayStart.Add(24 * time.Hour)
 		dayIdx := uint64(dayStart.Unix() / 86400)
 		for c := 0; c < g.Channels; c++ {
-			dayRng := rand.New(rand.NewPCG(g.noiseSeed^uint64(c)<<32, dayIdx))
+			pcg.Seed(g.noiseSeed^uint64(c)<<32, dayIdx)
 			n := dist.Poisson(dayRng, g.MsgRates[c])
 			for i := 0; i < n; i++ {
 				// All draws happen unconditionally so the RNG stream stays
@@ -138,15 +152,16 @@ func (w *World) Messages(g *Group, from, to time.Time) []Message {
 		dayStart = dayEnd
 	}
 	// Time-ordered, as every platform's history API serves them. Seq
-	// breaks same-millisecond ties deterministically.
-	sort.Slice(out, func(i, j int) bool {
-		if !out[i].SentAt.Equal(out[j].SentAt) {
-			return out[i].SentAt.Before(out[j].SentAt)
+	// breaks same-millisecond ties deterministically; the key is a total
+	// order, so the unstable sort has a unique result.
+	slices.SortFunc(out, func(a, b Message) int {
+		if c := a.SentAt.Compare(b.SentAt); c != 0 {
+			return c
 		}
-		if out[i].Channel != out[j].Channel {
-			return out[i].Channel < out[j].Channel
+		if a.Channel != b.Channel {
+			return a.Channel - b.Channel
 		}
-		return out[i].Seq < out[j].Seq
+		return int(a.Seq) - int(b.Seq)
 	})
 	return out
 }
@@ -178,7 +193,21 @@ func parseMsgType(s string) platform.MessageType {
 // in (platform, idx, world seed). PII attributes follow the platform's
 // calibration: WhatsApp members always expose phones, Telegram members only
 // on opt-in, Discord members expose linked accounts.
+//
+// Identities are pure functions of their inputs, so results are memoized
+// for the world's lifetime; callers must treat the returned User
+// (including the shared Linked slice) as read-only.
 func (w *World) UserByIdx(p platform.Platform, idx int) User {
+	key := uint64(p)<<32 | uint64(uint32(idx))
+	if v, ok := w.userCache.Load(key); ok {
+		return v.(User)
+	}
+	u := w.buildUser(p, idx)
+	w.userCache.Store(key, u)
+	return u
+}
+
+func (w *World) buildUser(p platform.Platform, idx int) User {
 	cfg := w.platformCfg(p)
 	rng := rand.New(rand.NewPCG(w.Cfg.Seed^uint64(idx)<<20, uint64(p)+0x75736572)) // "user"
 	u := User{
@@ -189,7 +218,7 @@ func (w *World) UserByIdx(p platform.Platform, idx int) User {
 	}
 	switch p {
 	case platform.WhatsApp:
-		u.Country = waMemberCountry(rng, cfg)
+		u.Country = w.waMemberCountry(rng, cfg)
 		u.Phone = phoneFor(u.Country, uint64(idx)+1_000_000)
 		u.PhoneVisible = true
 	case platform.Telegram:
@@ -200,16 +229,22 @@ func (w *World) UserByIdx(p platform.Platform, idx int) User {
 		}
 	case platform.Discord:
 		if dist.Bernoulli(rng, cfg.LinkedAccountP) {
-			u.Linked = sampleLinked(rng, cfg)
+			u.Linked = sampleLinked(rng, w.linkedSamplerFor(p, cfg))
 		}
 	}
 	return u
 }
 
+func (w *World) linkedSamplerFor(p platform.Platform, cfg *PlatformConfig) *dist.StringSampler {
+	if s := w.linkedSamplers[p]; s != nil {
+		return s
+	}
+	return dist.NewStringSampler(cfg.LinkedAccounts)
+}
+
 // sampleLinked draws the connected-account set of a "linker" Discord user:
 // one guaranteed account plus extras, proportional to the Table 5 mix.
-func sampleLinked(rng *rand.Rand, cfg *PlatformConfig) []string {
-	sampler := dist.NewStringSampler(cfg.LinkedAccounts)
+func sampleLinked(rng *rand.Rand, sampler *dist.StringSampler) []string {
 	seen := map[string]struct{}{}
 	first := sampler.Sample(rng)
 	seen[first] = struct{}{}
@@ -229,11 +264,15 @@ func sampleLinked(rng *rand.Rand, cfg *PlatformConfig) []string {
 	return out
 }
 
-func waMemberCountry(rng *rand.Rand, cfg *PlatformConfig) string {
+func (w *World) waMemberCountry(rng *rand.Rand, cfg *PlatformConfig) string {
 	if len(cfg.Countries) == 0 {
 		return "OTHER"
 	}
-	return cfg.Countries[dist.NewCategorical(countryWeights(cfg)).Sample(rng)].Key
+	cat := w.countryCats[platform.WhatsApp]
+	if cat == nil {
+		cat = dist.NewCategorical(countryWeights(cfg))
+	}
+	return cfg.Countries[cat.Sample(rng)].Key
 }
 
 func countryWeights(cfg *PlatformConfig) []float64 {

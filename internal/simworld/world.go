@@ -93,12 +93,19 @@ type User struct {
 	Linked       []string // Discord connected accounts (Table 5 platforms)
 }
 
+// groupKey is the comparable invite-code index key; a struct key keeps the
+// per-request GroupByCode lookups on the service hot path allocation-free.
+type groupKey struct {
+	p    platform.Platform
+	code string
+}
+
 // World holds the generated ground truth.
 type World struct {
 	Cfg Config
 
 	Groups       map[platform.Platform][]*Group
-	byKey        map[string]*Group // platform.String()+"/"+code
+	byKey        map[groupKey]*Group
 	TweetsByDay  [][]*Tweet        // per study day, sorted by CreatedAt
 	ControlByDay [][]*Tweet
 	PostsByDay   [][]*Post // secondary social network
@@ -108,6 +115,15 @@ type World struct {
 
 	msgModelMu sync.Mutex
 	msgModels  map[*Group]*msgModel
+
+	// userCache memoizes UserByIdx: user identities are pure functions of
+	// (platform, idx, seed) and the history/participant paths resolve the
+	// same authors for every page. Entries live as long as the world.
+	userCache sync.Map // uint64(p)<<32|idx -> User
+
+	// Samplers that UserByIdx would otherwise rebuild per call.
+	countryCats    map[platform.Platform]*dist.Categorical
+	linkedSamplers map[platform.Platform]*dist.StringSampler
 }
 
 // New generates a world from cfg. Generation is deterministic in cfg.Seed.
@@ -124,7 +140,7 @@ func New(cfg Config) *World {
 	w := &World{
 		Cfg:          cfg,
 		Groups:       map[platform.Platform][]*Group{},
-		byKey:        map[string]*Group{},
+		byKey:        map[groupKey]*Group{},
 		TweetsByDay:  make([][]*Tweet, cfg.Days),
 		ControlByDay: make([][]*Tweet, cfg.Days),
 		userPoolSize: map[platform.Platform]int{},
@@ -136,6 +152,17 @@ func New(cfg Config) *World {
 	w.userPoolSize[platform.WhatsApp] = scaleCount(600000, cfg.Scale, 20000)
 	w.userPoolSize[platform.Telegram] = scaleCount(900000, cfg.Scale, 20000)
 	w.userPoolSize[platform.Discord] = scaleCount(70000, cfg.Scale, 5000)
+	w.countryCats = map[platform.Platform]*dist.Categorical{}
+	w.linkedSamplers = map[platform.Platform]*dist.StringSampler{}
+	for _, p := range platform.All {
+		pcfg := w.platformCfg(p)
+		if len(pcfg.Countries) > 0 {
+			w.countryCats[p] = dist.NewCategorical(countryWeights(pcfg))
+		}
+		if len(pcfg.LinkedAccounts) > 0 {
+			w.linkedSamplers[p] = dist.NewStringSampler(pcfg.LinkedAccounts)
+		}
+	}
 	for _, p := range platform.All {
 		w.msgTextGen[p] = textgen.New(ids.Fork(cfg.Seed, "msgtext/"+p.String()))
 		w.genPlatform(p)
@@ -176,7 +203,7 @@ func (w *World) platformCfg(p platform.Platform) *PlatformConfig {
 
 // GroupByCode resolves an invite code to its ground-truth group, or nil.
 func (w *World) GroupByCode(p platform.Platform, code string) *Group {
-	return w.byKey[p.String()+"/"+code]
+	return w.byKey[groupKey{p, code}]
 }
 
 // UserPoolSize returns the size of a platform's member identity pool.
@@ -212,7 +239,7 @@ func (w *World) genPlatform(p platform.Platform) {
 			g := w.genGroup(p, cfg, rng, tg, topics, langs, countries, guildSeq, cs, dayStart)
 			w.genShares(g, cfg, rng, shareTail, dayStart)
 			w.Groups[p] = append(w.Groups[p], g)
-			w.byKey[p.String()+"/"+g.Code] = g
+			w.byKey[groupKey{p, g.Code}] = g
 			w.genTweets(g, cfg, rng, tg, langs, authorZipf, tweetSeq, p)
 		}
 	}

@@ -99,7 +99,7 @@ func Load(dir string) (*Store, error) {
 	// Group records carry derived fields (observations, join data), so
 	// they replace the skeletons AddTweet built.
 	for _, g := range groups {
-		s.groups[groupKey(g.Platform, g.Code)] = g
+		s.groups[groupKey{g.Platform, g.Code}] = g
 	}
 	msgs, err := loadFile[MessageRecord](filepath.Join(dir, "messages.jsonl"))
 	if err != nil {
@@ -117,7 +117,7 @@ func Load(dir string) (*Store, error) {
 	}
 	for _, u := range users {
 		cp := u
-		s.users[u.Platform.String()+"/"+keyString(u.Key)] = &cp
+		s.users[userKey{u.Platform, u.Key}] = &cp
 	}
 	return s, nil
 }

@@ -180,7 +180,7 @@ type Store struct {
 	seenPosts  map[uint64]struct{}
 
 	groupMu sync.Mutex
-	groups  map[string]*GroupRecord // platform/code
+	groups  map[groupKey]*GroupRecord
 	// Sorted read caches, rebuilt lazily when the group/user sets change.
 	// Groups, GroupsOf, and Users hand out copies of these so callers may
 	// reorder what they receive (the join phase shuffles its candidates).
@@ -189,7 +189,7 @@ type Store struct {
 	groupsDirty  bool
 
 	userMu      sync.Mutex
-	users       map[string]*UserRecord // platform/key
+	users       map[userKey]*UserRecord
 	sortedUsers []*UserRecord
 	usersDirty  bool
 
@@ -200,13 +200,24 @@ type Store struct {
 // New returns an empty Store.
 func New() *Store {
 	return &Store{
-		groups:     map[string]*GroupRecord{},
-		users:      map[string]*UserRecord{},
+		groups:     map[groupKey]*GroupRecord{},
+		users:      map[userKey]*UserRecord{},
 		seenTweets: map[uint64]int{},
 	}
 }
 
-func groupKey(p platform.Platform, code string) string { return p.String() + "/" + code }
+// groupKey and userKey are comparable struct keys: building one is
+// allocation-free, unlike the former "platform/code" string concatenation
+// that allocated on every map probe of the hot ingest paths.
+type groupKey struct {
+	p    platform.Platform
+	code string
+}
+
+type userKey struct {
+	p   platform.Platform
+	key uint64
+}
 
 // TweetIngest couples a tweet record with the canonical URL of its group,
 // so a batch insert can record both under one lock acquisition.
@@ -238,7 +249,7 @@ func (s *Store) AddTweetBatch(batch []TweetIngest) (newGroups int) {
 		at        time.Time
 		canonical string
 	}
-	updates := make([]groupUpdate, 0, len(batch))
+	var updates []groupUpdate
 
 	s.tweetMu.Lock()
 	for i := range batch {
@@ -249,6 +260,11 @@ func (s *Store) AddTweetBatch(batch []TweetIngest) (newGroups int) {
 		}
 		s.seenTweets[t.ID] = len(s.tweets)
 		s.tweets = append(s.tweets, *t)
+		if updates == nil {
+			// Allocated only once a non-duplicate shows up, so re-ingesting
+			// an already-seen batch stays allocation-free.
+			updates = make([]groupUpdate, 0, len(batch))
+		}
 		updates = append(updates, groupUpdate{t.Platform, t.GroupCode, t.CreatedAt, batch[i].Canonical})
 	}
 	s.tweetMu.Unlock()
@@ -275,7 +291,7 @@ func (s *Store) AddTweetBatch(batch []TweetIngest) (newGroups int) {
 // groupForLocked returns the group record, creating it on first sight and
 // widening its first/last-seen window. Callers hold s.groupMu.
 func (s *Store) groupForLocked(p platform.Platform, code string, at time.Time) (*GroupRecord, bool) {
-	k := groupKey(p, code)
+	k := groupKey{p, code}
 	g, ok := s.groups[k]
 	isNew := false
 	if !ok {
@@ -355,13 +371,13 @@ func (s *Store) AddControlBatch(batch []ControlRecord) {
 func (s *Store) Group(p platform.Platform, code string) *GroupRecord {
 	s.groupMu.Lock()
 	defer s.groupMu.Unlock()
-	return s.groups[groupKey(p, code)]
+	return s.groups[groupKey{p, code}]
 }
 
 // SetCanonical records the canonical URL of a group.
 func (s *Store) SetCanonical(p platform.Platform, code, canonical string) {
 	s.groupMu.Lock()
-	if g := s.groups[groupKey(p, code)]; g != nil {
+	if g := s.groups[groupKey{p, code}]; g != nil {
 		g.Canonical = canonical
 	}
 	s.groupMu.Unlock()
@@ -370,7 +386,7 @@ func (s *Store) SetCanonical(p platform.Platform, code, canonical string) {
 // AddObservation appends a daily probe to a group's series.
 func (s *Store) AddObservation(p platform.Platform, code string, o Observation) {
 	s.groupMu.Lock()
-	if g := s.groups[groupKey(p, code)]; g != nil {
+	if g := s.groups[groupKey{p, code}]; g != nil {
 		g.Observations = append(g.Observations, o)
 		g.Deferred = false
 		g.DeferReason = ""
@@ -381,7 +397,7 @@ func (s *Store) AddObservation(p platform.Platform, code string, o Observation) 
 // MarkJoined records join-phase metadata on a group.
 func (s *Store) MarkJoined(p platform.Platform, code string, update func(*GroupRecord)) {
 	s.groupMu.Lock()
-	if g := s.groups[groupKey(p, code)]; g != nil {
+	if g := s.groups[groupKey{p, code}]; g != nil {
 		g.Joined = true
 		g.Deferred = false
 		g.DeferReason = ""
@@ -395,7 +411,7 @@ func (s *Store) MarkJoined(p platform.Platform, code string, update func(*GroupR
 // successful observation or join clears the flag.
 func (s *Store) MarkDeferred(p platform.Platform, code, reason string) {
 	s.groupMu.Lock()
-	if g := s.groups[groupKey(p, code)]; g != nil {
+	if g := s.groups[groupKey{p, code}]; g != nil {
 		g.Deferred = true
 		g.DeferReason = reason
 	}
@@ -443,7 +459,7 @@ func (s *Store) UpsertUserBatch(batch []UserRecord) {
 }
 
 func (s *Store) upsertUserLocked(u UserRecord) {
-	k := u.Platform.String() + "/" + keyString(u.Key)
+	k := userKey{u.Platform, u.Key}
 	cur, ok := s.users[k]
 	if !ok {
 		cp := u
@@ -464,16 +480,6 @@ func (s *Store) upsertUserLocked(u UserRecord) {
 	if !u.Creator {
 		cur.Creator = false
 	}
-}
-
-func keyString(k uint64) string {
-	const digits = "0123456789abcdef"
-	var b [16]byte
-	for i := 15; i >= 0; i-- {
-		b[i] = digits[k&0xF]
-		k >>= 4
-	}
-	return string(b[:])
 }
 
 func mergeStrings(a, b []string) []string {

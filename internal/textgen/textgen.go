@@ -6,16 +6,28 @@
 package textgen
 
 import (
-	"fmt"
 	"math/rand/v2"
+	"strconv"
 	"strings"
 
 	"msgscope/internal/dist"
 )
 
-// Generator produces text deterministically from its own RNG.
+// Generator produces text deterministically from its own RNG. It is not
+// safe for concurrent use (its callers already serialize on the RNG);
+// that lets it keep reusable scratch buffers across calls.
 type Generator struct {
 	rng *rand.Rand
+
+	words []string // scratch word list, reused across compositions
+	buf   []byte   // scratch byte buffer, reused across compositions
+
+	// Single-entry cache for PickTopic: callers pass the same topics
+	// slice for thousands of draws, so the categorical is rebuilt only
+	// when the slice identity changes.
+	topicKey *Topic
+	topicLen int
+	topicCat *dist.Categorical
 }
 
 // New returns a Generator drawing from rng.
@@ -52,7 +64,7 @@ func (g *Generator) Tweet(spec TweetSpec) string {
 		nTopic = 2 + g.rng.IntN(3)
 		nFiller = 5 + g.rng.IntN(5)
 	}
-	words := make([]string, 0, nTopic+nFiller)
+	words := g.words[:0]
 	for i := 0; i < nTopic; i++ {
 		words = append(words, spec.Topic.Terms[g.rng.IntN(len(spec.Topic.Terms))])
 	}
@@ -63,8 +75,14 @@ func (g *Generator) Tweet(spec TweetSpec) string {
 	for i := 0; i < nFiller; i++ {
 		words = append(words, lex[g.rng.IntN(len(lex))])
 	}
+	g.words = words
 	g.shuffle(words)
-	sb.WriteString(strings.Join(words, " "))
+	for i, w := range words {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(w)
+	}
 	if spec.URL != "" {
 		sb.WriteString(" ")
 		sb.WriteString(spec.URL)
@@ -91,35 +109,44 @@ func (g *Generator) GroupTitle(lang string, topic Topic) string {
 	case 1:
 		return title(t1) + " " + fill
 	default:
-		return title(t1) + " " + title(t2) + " " + fmt.Sprintf("%d", 1+g.rng.IntN(999))
+		return title(t1) + " " + title(t2) + " " + strconv.Itoa(1+g.rng.IntN(999))
 	}
 }
 
 // Message composes one in-group chat message body.
 func (g *Generator) Message(lang string, topic Topic) string {
 	n := 3 + g.rng.IntN(12)
-	words := make([]string, 0, n)
+	buf := g.buf[:0]
 	lex := lexicons[lang]
 	if len(lex) == 0 {
 		lex = lexicons["en"]
 	}
 	for i := 0; i < n; i++ {
+		if i > 0 {
+			buf = append(buf, ' ')
+		}
 		if g.rng.Float64() < 0.4 && len(topic.Terms) > 0 {
-			words = append(words, topic.Terms[g.rng.IntN(len(topic.Terms))])
+			buf = append(buf, topic.Terms[g.rng.IntN(len(topic.Terms))]...)
 		} else {
-			words = append(words, lex[g.rng.IntN(len(lex))])
+			buf = append(buf, lex[g.rng.IntN(len(lex))]...)
 		}
 	}
-	return strings.Join(words, " ")
+	g.buf = buf
+	return string(buf)
 }
 
 // PickTopic samples a topic from the mixture proportionally to Weight.
 func (g *Generator) PickTopic(topics []Topic) Topic {
-	ws := make([]float64, len(topics))
-	for i, t := range topics {
-		ws[i] = t.Weight
+	if g.topicKey != &topics[0] || g.topicLen != len(topics) {
+		ws := make([]float64, len(topics))
+		for i, t := range topics {
+			ws[i] = t.Weight
+		}
+		g.topicKey = &topics[0]
+		g.topicLen = len(topics)
+		g.topicCat = dist.NewCategorical(ws)
 	}
-	return topics[dist.NewCategorical(ws).Sample(g.rng)]
+	return topics[g.topicCat.Sample(g.rng)]
 }
 
 var handleSyllables = []string{
@@ -131,7 +158,12 @@ var handleSyllables = []string{
 func (g *Generator) handle() string {
 	a := handleSyllables[g.rng.IntN(len(handleSyllables))]
 	b := handleSyllables[g.rng.IntN(len(handleSyllables))]
-	return fmt.Sprintf("%s%s%d", a, b, g.rng.IntN(1000))
+	n := g.rng.IntN(1000)
+	buf := make([]byte, 0, len(a)+len(b)+3)
+	buf = append(buf, a...)
+	buf = append(buf, b...)
+	buf = strconv.AppendInt(buf, int64(n), 10)
+	return string(buf)
 }
 
 func (g *Generator) shuffle(words []string) {

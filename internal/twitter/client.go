@@ -2,8 +2,8 @@ package twitter
 
 import (
 	"bufio"
+	"bytes"
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -16,6 +16,8 @@ import (
 
 	"msgscope/internal/faults"
 	"msgscope/internal/httpx"
+	"msgscope/internal/ids"
+	"msgscope/internal/jsonx"
 	"msgscope/internal/retry"
 )
 
@@ -31,14 +33,18 @@ type Client struct {
 	// Retry is the shared retry policy for search page fetches. Streams
 	// bypass it: a broken stream is surfaced to the driver, not retried.
 	Retry *retry.Policy
+	// interner deduplicates the bounded vocabularies every status
+	// carries (language tags, author IDs) across this client's lifetime.
+	interner *ids.Interner
 }
 
 // NewClient returns a Client for the service at baseURL.
 func NewClient(baseURL string) *Client {
 	return &Client{
-		BaseURL: strings.TrimRight(baseURL, "/"),
-		HTTP:    httpx.NewClient(),
-		Retry:   retry.New(0),
+		BaseURL:  strings.TrimRight(baseURL, "/"),
+		HTTP:     httpx.NewClient(),
+		Retry:    retry.New(0),
+		interner: ids.NewInterner(),
 	}
 }
 
@@ -56,21 +62,15 @@ func (c *Client) Search(ctx context.Context, query string, sinceID uint64, maxPa
 	}
 	next := "/1.1/search/tweets.json?" + params.Encode()
 	for page := 0; page < maxPages && next != ""; page++ {
-		sr, err := c.searchPage(ctx, next)
+		grown, nextResults, err := c.searchPage(ctx, next, out)
+		out = grown
 		if err != nil {
 			return out, err
 		}
-		for _, j := range sr.Statuses {
-			st, err := decodeStatus(j)
-			if err != nil {
-				return out, fmt.Errorf("twitter: bad status %s: %w", j.IDStr, err)
-			}
-			out = append(out, st)
-		}
-		if sr.SearchMetadata.NextResults == "" {
+		if nextResults == "" {
 			break
 		}
-		np, err := url.ParseQuery(strings.TrimPrefix(sr.SearchMetadata.NextResults, "?"))
+		np, err := url.ParseQuery(strings.TrimPrefix(nextResults, "?"))
 		if err != nil {
 			return out, fmt.Errorf("twitter: bad next_results: %w", err)
 		}
@@ -88,9 +88,11 @@ func (c *Client) Search(ctx context.Context, query string, sinceID uint64, maxPa
 // searchPage fetches and decodes one search page through the shared retry
 // policy: transport errors, 5xx ("over capacity"), and undecodable bodies
 // are transient; 429 maps to ErrRateLimited so the caller keeps the pages
-// gathered so far and resumes on its next scheduled poll.
-func (c *Client) searchPage(ctx context.Context, path string) (searchResponse, error) {
-	var sr searchResponse
+// gathered so far and resumes on its next scheduled poll. Decoded
+// statuses are appended to dst; the grown slice is returned with the
+// next_results cursor.
+func (c *Client) searchPage(ctx context.Context, path string, dst []Status) ([]Status, string, error) {
+	var nextResults string
 	err := c.Retry.Do("GET "+path, func(attempt int) retry.Outcome {
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
 		if err != nil {
@@ -103,12 +105,22 @@ func (c *Client) searchPage(ctx context.Context, path string) (searchResponse, e
 		}
 		switch {
 		case resp.StatusCode == http.StatusOK:
-			sr = searchResponse{}
-			err := json.NewDecoder(resp.Body).Decode(&sr)
+			bp := jsonx.GetBuf()
+			body, err := jsonx.ReadInto(bp, resp.Body)
 			resp.Body.Close()
 			if err != nil {
-				return retry.Retry(fmt.Errorf("twitter: decoding search response: %w", err))
+				jsonx.PutBuf(bp)
+				return retry.Retry(fmt.Errorf("twitter: reading search response: %w", err))
 			}
+			// Parse appends into dst's backing past len(dst); a failed
+			// attempt leaves dst itself untouched, so the retry starts
+			// clean from the same length.
+			grown, next, perr := parseSearchStatuses(body, dst, c.interner)
+			jsonx.PutBuf(bp)
+			if perr != nil {
+				return retry.Retry(fmt.Errorf("twitter: decoding search response: %w", perr))
+			}
+			dst, nextResults = grown, next
 			return retry.Ok()
 		case resp.StatusCode == http.StatusTooManyRequests:
 			httpx.Drain(resp)
@@ -122,7 +134,7 @@ func (c *Client) searchPage(ctx context.Context, path string) (searchResponse, e
 			return retry.Fail(fmt.Errorf("twitter: search status %d: %s", resp.StatusCode, body))
 		}
 	})
-	return sr, err
+	return dst, nextResults, err
 }
 
 // Stream is a live connection to a streaming endpoint. Statuses are
@@ -134,6 +146,8 @@ type Stream struct {
 	buf    []Status
 	err    error
 	closed bool
+
+	interner *ids.Interner
 
 	received atomic.Int64
 	subID    atomic.Int64
@@ -162,6 +176,7 @@ func (c *Client) openStream(ctx context.Context, path string) (*Stream, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	st := &Stream{
 		cancel:   cancel,
+		interner: c.interner,
 		started:  make(chan struct{}),
 		done:     make(chan struct{}),
 		progress: make(chan struct{}, 1),
@@ -195,19 +210,19 @@ func (st *Stream) consume(body io.ReadCloser) {
 	defer body.Close()
 	sc := bufio.NewScanner(body)
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var d jsonx.Dec
 	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
 			continue // keep-alive
 		}
-		var j tweetJSON
-		if err := json.Unmarshal([]byte(line), &j); err != nil {
-			st.setErr(fmt.Errorf("twitter: bad stream line: %w", err))
-			return
+		d.Reset(line)
+		s, err := parseStatus(&d, st.interner)
+		if err == nil {
+			err = d.End()
 		}
-		s, err := decodeStatus(j)
 		if err != nil {
-			st.setErr(err)
+			st.setErr(fmt.Errorf("twitter: bad stream line: %w", err))
 			return
 		}
 		st.mu.Lock()

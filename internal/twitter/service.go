@@ -12,7 +12,6 @@
 package twitter
 
 import (
-	"encoding/json"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -21,6 +20,7 @@ import (
 	"time"
 
 	"msgscope/internal/faults"
+	"msgscope/internal/jsonx"
 	"msgscope/internal/simclock"
 	"msgscope/internal/simworld"
 )
@@ -320,19 +320,30 @@ func (s *Service) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 
-	resp := searchResponse{Statuses: make([]tweetJSON, len(page))}
+	// Append-encoded into a pooled buffer, byte-identical to the
+	// json.NewEncoder(searchResponse{...}) rendering this replaced (the
+	// differential tests in wire_fast_test.go hold the two shapes equal).
+	bp := jsonx.GetBuf()
+	defer jsonx.PutBuf(bp)
+	buf := append((*bp)[:0], `{"statuses":[`...)
 	for i, tw := range page {
-		resp.Statuses[i] = encodeTweet(tw)
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = appendTweet(buf, tw)
 	}
+	buf = append(buf, `],"search_metadata":{`...)
 	if nextMax != 0 {
-		resp.SearchMetadata.NextResults = fmt.Sprintf("?max_id=%d&q=%s", nextMax, q)
-		resp.SearchMetadata.MaxIDStr = strconv.FormatUint(nextMax, 10)
+		buf = append(buf, `"next_results":`...)
+		buf = jsonx.AppendString(buf, "?max_id="+strconv.FormatUint(nextMax, 10)+"&q="+q)
+		buf = append(buf, `,"max_id_str":"`...)
+		buf = strconv.AppendUint(buf, nextMax, 10)
+		buf = append(buf, '"')
 	}
+	buf = append(buf, '}', '}', '\n')
+	*bp = buf
 	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(resp); err != nil {
-		// Client went away mid-response; nothing else to do.
-		return
-	}
+	w.Write(buf)
 }
 
 // --- Streaming APIs ---
@@ -379,16 +390,18 @@ func (s *Service) serveStream(w http.ResponseWriter, r *http.Request, sample boo
 	w.WriteHeader(http.StatusOK)
 	flusher.Flush()
 
-	enc := json.NewEncoder(w)
 	ctx := r.Context()
 	keepAlive := time.NewTicker(200 * time.Millisecond)
 	defer keepAlive.Stop()
+	var buf []byte // per-connection scratch, reused for every event
 	for {
 		select {
 		case <-ctx.Done():
 			return
 		case tw := <-sub.ch:
-			if err := enc.Encode(encodeTweet(tw)); err != nil {
+			buf = appendTweet(buf[:0], tw)
+			buf = append(buf, '\n')
+			if _, err := w.Write(buf); err != nil {
 				return
 			}
 			flusher.Flush()

@@ -1,0 +1,350 @@
+package twitter
+
+import (
+	"time"
+
+	"msgscope/internal/ids"
+	"msgscope/internal/jsonx"
+	"msgscope/internal/simworld"
+)
+
+// This file is the allocation-light twin of wire.go: an append-style
+// encoder and a cursor decoder for the v1.1 status shape. Both are
+// differential-tested against the encoding/json versions in wire.go
+// (which remain the executable specification of the wire format) — the
+// service may answer with either and the client accepts either.
+
+var (
+	wireDays   = [...]string{"Sun", "Mon", "Tue", "Wed", "Thu", "Fri", "Sat"}
+	wireMonths = [...]string{"Jan", "Feb", "Mar", "Apr", "May", "Jun",
+		"Jul", "Aug", "Sep", "Oct", "Nov", "Dec"}
+)
+
+func appendPad2(dst []byte, v int) []byte {
+	return append(dst, byte('0'+v/10), byte('0'+v%10))
+}
+
+// appendCreatedAt appends t in createdAtFormat, matching time.Format
+// byte for byte.
+func appendCreatedAt(dst []byte, t time.Time) []byte {
+	year, month, day := t.Date()
+	hh, mm, ss := t.Clock()
+	dst = append(dst, wireDays[t.Weekday()]...)
+	dst = append(dst, ' ')
+	dst = append(dst, wireMonths[month-1]...)
+	dst = append(dst, ' ')
+	dst = appendPad2(dst, day)
+	dst = append(dst, ' ')
+	dst = appendPad2(dst, hh)
+	dst = append(dst, ':')
+	dst = appendPad2(dst, mm)
+	dst = append(dst, ':')
+	dst = appendPad2(dst, ss)
+	dst = append(dst, ' ')
+	_, off := t.Zone()
+	sign := byte('+')
+	if off < 0 {
+		sign = '-'
+		off = -off
+	}
+	dst = append(dst, sign)
+	dst = appendPad2(dst, off/3600)
+	dst = appendPad2(dst, (off%3600)/60)
+	dst = append(dst, ' ')
+	dst = appendPad2(dst, year/100)
+	return appendPad2(dst, year%100)
+}
+
+// parseCreatedAt decodes createdAtFormat at fixed offsets, falling back
+// to time.Parse for anything that doesn't look machine-generated. The
+// result is already UTC-normalized (as decodeStatus does).
+func parseCreatedAt(b []byte) (time.Time, error) {
+	// "Mon Jan 02 15:04:05 -0700 2006" — 30 bytes, fixed layout.
+	if len(b) != 30 || b[3] != ' ' || b[7] != ' ' || b[10] != ' ' ||
+		b[13] != ':' || b[16] != ':' || b[19] != ' ' || b[25] != ' ' {
+		return parseCreatedAtSlow(b)
+	}
+	month := -1
+	for i, m := range wireMonths {
+		if string(b[4:7]) == m {
+			month = i + 1
+			break
+		}
+	}
+	num := func(lo, hi int) (int, bool) {
+		v := 0
+		for _, c := range b[lo:hi] {
+			if c < '0' || c > '9' {
+				return 0, false
+			}
+			v = v*10 + int(c-'0')
+		}
+		return v, true
+	}
+	day, ok1 := num(8, 10)
+	hh, ok2 := num(11, 13)
+	mm, ok3 := num(14, 16)
+	ss, ok4 := num(17, 19)
+	zh, ok5 := num(21, 23)
+	zm, ok6 := num(23, 25)
+	year, ok7 := num(26, 30)
+	sign := b[20]
+	if month < 0 || !(ok1 && ok2 && ok3 && ok4 && ok5 && ok6 && ok7) ||
+		(sign != '+' && sign != '-') {
+		return parseCreatedAtSlow(b)
+	}
+	off := zh*3600 + zm*60
+	if sign == '-' {
+		off = -off
+	}
+	t := time.Date(year, time.Month(month), day, hh, mm, ss, 0, time.UTC)
+	if off != 0 {
+		t = t.Add(-time.Duration(off) * time.Second)
+	}
+	return t, nil
+}
+
+func parseCreatedAtSlow(b []byte) (time.Time, error) {
+	t, err := time.Parse(createdAtFormat, string(b))
+	if err != nil {
+		return time.Time{}, err
+	}
+	return t.UTC(), nil
+}
+
+// appendTweet appends the v1.1 JSON encoding of tw, byte-identical to
+// json.Marshal(encodeTweet(tw)).
+func appendTweet(dst []byte, tw *simworld.Tweet) []byte {
+	dst = append(dst, `{"id":`...)
+	dst = jsonx.AppendUint(dst, tw.ID)
+	dst = append(dst, `,"id_str":"`...)
+	dst = jsonx.AppendUint(dst, tw.ID)
+	dst = append(dst, `","created_at":"`...)
+	dst = appendCreatedAt(dst, tw.CreatedAt)
+	dst = append(dst, `","text":`...)
+	dst = jsonx.AppendString(dst, tw.Text)
+	dst = append(dst, `,"lang":`...)
+	dst = jsonx.AppendString(dst, tw.Lang)
+	dst = append(dst, `,"user":{"id_str":`...)
+	dst = jsonx.AppendString(dst, tw.AuthorID)
+	dst = append(dst, `,"screen_name":`...)
+	dst = jsonx.AppendString(dst, tw.AuthorID)
+	dst = append(dst, `},"entities":`...)
+	dst = appendEntities(dst, tw.Text)
+	if tw.Retweet {
+		dst = append(dst, `,"retweeted_status":{"id_str":"`...)
+		dst = jsonx.AppendUint(dst, tw.ID)
+		dst = append(dst, `"}`...)
+	}
+	return append(dst, '}')
+}
+
+// appendEntities scans text for #hashtag and @mention tokens exactly
+// like encodeTweet's strings.Fields loop, but without materializing the
+// fields slice. Nil slices marshal as null under encoding/json, so
+// empty entity lists are rendered as null here too.
+func appendEntities(dst []byte, text string) []byte {
+	var hashtags, mentions int
+	forEachField(text, func(tok string) {
+		if len(tok) > 1 {
+			switch tok[0] {
+			case '#':
+				hashtags++
+			case '@':
+				mentions++
+			}
+		}
+	})
+	dst = append(dst, `{"hashtags":`...)
+	if hashtags == 0 {
+		dst = append(dst, `null`...)
+	} else {
+		dst = append(dst, '[')
+		first := true
+		forEachField(text, func(tok string) {
+			if len(tok) > 1 && tok[0] == '#' {
+				if !first {
+					dst = append(dst, ',')
+				}
+				first = false
+				dst = append(dst, `{"text":`...)
+				dst = jsonx.AppendString(dst, tok[1:])
+				dst = append(dst, '}')
+			}
+		})
+		dst = append(dst, ']')
+	}
+	dst = append(dst, `,"user_mentions":`...)
+	if mentions == 0 {
+		dst = append(dst, `null`...)
+	} else {
+		dst = append(dst, '[')
+		first := true
+		forEachField(text, func(tok string) {
+			if len(tok) > 1 && tok[0] == '@' {
+				if !first {
+					dst = append(dst, ',')
+				}
+				first = false
+				name := tok[1:]
+				if len(name) > 0 && name[len(name)-1] == ':' {
+					name = name[:len(name)-1]
+				}
+				dst = append(dst, `{"screen_name":`...)
+				dst = jsonx.AppendString(dst, name)
+				dst = append(dst, '}')
+			}
+		})
+		dst = append(dst, ']')
+	}
+	return append(dst, '}')
+}
+
+// forEachField calls fn for each whitespace-separated token of s, with
+// strings.Fields splitting semantics (unicode.IsSpace separators; the
+// tweet texts are ASCII so the ASCII space set suffices and is checked
+// by the differential tests).
+func forEachField(s string, fn func(tok string)) {
+	i := 0
+	for i < len(s) {
+		for i < len(s) && asciiSpace(s[i]) {
+			i++
+		}
+		start := i
+		for i < len(s) && !asciiSpace(s[i]) {
+			i++
+		}
+		if i > start {
+			fn(s[start:i])
+		}
+	}
+}
+
+func asciiSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\v' || c == '\f' || c == '\r'
+}
+
+// parseStatus decodes one v1.1 status object from the decoder cursor
+// straight into a Status: entity arrays become counts, lang and user ID
+// are interned, and only the text is copied. Semantics mirror
+// decodeStatus (including the RT mention decrement).
+func parseStatus(d *jsonx.Dec, in *ids.Interner) (Status, error) {
+	var st Status
+	var mentions int
+	var retweeted bool
+	err := d.Obj(func(key []byte) error {
+		switch string(key) {
+		case "id":
+			v, err := d.Uint()
+			st.ID = v
+			return err
+		case "created_at":
+			b, err := d.StrBytes()
+			if err != nil {
+				return err
+			}
+			st.CreatedAt, err = parseCreatedAt(b)
+			return err
+		case "text":
+			s, err := d.Str()
+			st.Text = s
+			return err
+		case "lang":
+			b, err := d.StrBytes()
+			if err != nil {
+				return err
+			}
+			st.Lang = in.InternBytes(b)
+			return nil
+		case "user":
+			return d.Obj(func(k2 []byte) error {
+				if string(k2) == "id_str" {
+					b, err := d.StrBytes()
+					if err != nil {
+						return err
+					}
+					st.UserID = in.InternBytes(b)
+					return nil
+				}
+				return d.Skip()
+			})
+		case "entities":
+			return d.Obj(func(k2 []byte) error {
+				switch string(k2) {
+				case "hashtags":
+					if d.Null() {
+						return nil
+					}
+					return d.Arr(func() error {
+						st.Hashtags++
+						return d.Skip()
+					})
+				case "user_mentions":
+					if d.Null() {
+						return nil
+					}
+					return d.Arr(func() error {
+						mentions++
+						return d.Skip()
+					})
+				}
+				return d.Skip()
+			})
+		case "retweeted_status":
+			if d.Null() {
+				return nil
+			}
+			retweeted = true
+			return d.Skip()
+		}
+		return d.Skip()
+	})
+	if err != nil {
+		return Status{}, err
+	}
+	if retweeted && mentions > 0 {
+		mentions--
+	}
+	st.Mentions = mentions
+	st.IsRetweet = retweeted
+	return st, nil
+}
+
+// parseSearchStatuses decodes a search response body, appending decoded
+// statuses to dst and returning the next_results cursor (empty when the
+// last page was reached).
+func parseSearchStatuses(body []byte, dst []Status, in *ids.Interner) ([]Status, string, error) {
+	var d jsonx.Dec
+	d.Reset(body)
+	var next string
+	err := d.Obj(func(key []byte) error {
+		switch string(key) {
+		case "statuses":
+			return d.Arr(func() error {
+				st, err := parseStatus(&d, in)
+				if err != nil {
+					return err
+				}
+				dst = append(dst, st)
+				return nil
+			})
+		case "search_metadata":
+			return d.Obj(func(k2 []byte) error {
+				if string(k2) == "next_results" {
+					s, err := d.Str()
+					next = s
+					return err
+				}
+				return d.Skip()
+			})
+		}
+		return d.Skip()
+	})
+	if err != nil {
+		return dst, "", err
+	}
+	if err := d.End(); err != nil {
+		return dst, "", err
+	}
+	return dst, next, nil
+}

@@ -1,0 +1,91 @@
+package urlpat
+
+import (
+	"regexp"
+	"testing"
+)
+
+// referenceRe is the regexp Extract's manual scan replaced; the tests here
+// hold the scanner differentially equal to it.
+var referenceRe = regexp.MustCompile(`https?://[^\s<>"']+`)
+
+func referenceExtract(text string) []GroupURL {
+	var out []GroupURL
+	for _, raw := range referenceRe.FindAllString(text, -1) {
+		if gu, ok := Parse(raw); ok {
+			out = append(out, gu)
+		}
+	}
+	return out
+}
+
+func TestExtractMatchesRegexp(t *testing.T) {
+	cases := []string{
+		"",
+		"nothing to see here",
+		"join us https://chat.whatsapp.com/AbC123 and https://t.me/room!",
+		"https://discord.gg/a https://discord.gg/a dupes preserved",
+		"trailing https://t.me/x?utm=1#frag.",
+		`<a href="https://discord.com/invite/q">x</a>`,
+		"http://t.me/joinchat/QQQQ",
+		"https://", // scheme only, no candidate
+		"https:// https://t.me/after-empty-candidate",
+		"http://http://t.me/nested",
+		"httphttps://t.me/overlap",
+		"hhttp://t.me/leading-h",
+		"HTTPS://T.ME/upper (scheme is case-sensitive, as in the regexp)",
+		"https://t.me/tab\tsplit",
+		"https://t.me/vtab\vkept", // \v is NOT \s in Go regexp
+		"https://t.me/a'quote",
+		"ends with scheme https",
+		"https://t.me/x",
+		"multibyte ação https://t.me/grupo-ação e mais",
+		"https://telegram.org/room https://www.t.me/room/.,!)",
+		"t.me/noscheme stays unmatched",
+	}
+	for _, text := range cases {
+		got, want := Extract(text), referenceExtract(text)
+		if len(got) != len(want) {
+			t.Errorf("%q: got %d URLs, want %d (%v vs %v)", text, len(got), len(want), got, want)
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%q: url %d = %+v, want %+v", text, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func FuzzExtractMatchesRegexp(f *testing.F) {
+	f.Add("join https://chat.whatsapp.com/AbC123 now")
+	f.Add("https:// https://t.me/x")
+	f.Add("httphttp://t.me/a")
+	f.Fuzz(func(t *testing.T, text string) {
+		got, want := Extract(text), referenceExtract(text)
+		if len(got) != len(want) {
+			t.Fatalf("%q: got %d URLs, want %d", text, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%q: url %d = %+v, want %+v", text, i, got[i], want[i])
+			}
+		}
+	})
+}
+
+// TestExtractAllocBounds is a hard allocation gate on the discovery hot
+// path: every collected tweet passes through Extract.
+func TestExtractAllocBounds(t *testing.T) {
+	noURL := "check out this totally normal tweet about http servers and such"
+	if allocs := testing.AllocsPerRun(100, func() { Extract(noURL) }); allocs > 0 {
+		t.Errorf("Extract(no URL) allocated %.1f objects/op, want 0", allocs)
+	}
+
+	// One invite URL: the result slice, the canonical string, and nothing
+	// else (the code is a substring of the input, not a copy).
+	oneURL := "entrem no grupo https://chat.whatsapp.com/AbC123xyz galera"
+	if allocs := testing.AllocsPerRun(100, func() { Extract(oneURL) }); allocs > 2 {
+		t.Errorf("Extract(one URL) allocated %.1f objects/op, want <= 2", allocs)
+	}
+}

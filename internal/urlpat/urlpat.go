@@ -5,7 +5,6 @@
 package urlpat
 
 import (
-	"regexp"
 	"strings"
 
 	"msgscope/internal/platform"
@@ -55,16 +54,53 @@ type GroupURL struct {
 	Canonical string
 }
 
-var urlRe = regexp.MustCompile(`https?://[^\s<>"']+`)
+// urlStop reports whether c terminates a URL candidate. The set matches the
+// former regexp `https?://[^\s<>"']+` exactly: Go's \s is the ASCII class
+// [\t\n\f\r ] (note: no \v), plus the explicit <>"' delimiters.
+func urlStop(c byte) bool {
+	switch c {
+	case '\t', '\n', '\f', '\r', ' ', '<', '>', '"', '\'':
+		return true
+	}
+	return false
+}
 
 // Extract returns all group URLs found in text, in order of appearance.
 // Duplicates within one text are preserved; callers dedupe across tweets.
+//
+// The scan is a hand-rolled equivalent of the regexp
+// `https?://[^\s<>"']+` (see TestExtractMatchesRegexp for the differential
+// proof): every tweet and social post passes through here, and the manual
+// scan avoids the regexp engine's per-call machinery and match-slice
+// allocations. Candidates failing Parse cost nothing.
 func Extract(text string) []GroupURL {
 	var out []GroupURL
-	for _, raw := range urlRe.FindAllString(text, -1) {
-		if gu, ok := Parse(raw); ok {
+	for i := 0; i+8 <= len(text); {
+		if text[i] != 'h' || !strings.HasPrefix(text[i:], "http") {
+			i++
+			continue
+		}
+		j := i + 4
+		if j < len(text) && text[j] == 's' {
+			j++
+		}
+		if !strings.HasPrefix(text[j:], "://") {
+			i++
+			continue
+		}
+		j += 3
+		end := j
+		for end < len(text) && !urlStop(text[end]) {
+			end++
+		}
+		if end == j { // the regexp required at least one char after ://
+			i = j
+			continue
+		}
+		if gu, ok := Parse(text[i:end]); ok {
 			out = append(out, gu)
 		}
+		i = end
 	}
 	return out
 }

@@ -30,6 +30,7 @@ import (
 	"msgscope/internal/faults"
 	"msgscope/internal/join"
 	"msgscope/internal/par"
+	"msgscope/internal/prof"
 	"msgscope/internal/report"
 	"msgscope/internal/store"
 )
@@ -83,6 +84,11 @@ type Options struct {
 	// exhaust the retry budget are deferred and re-queued, never silently
 	// dropped (see GroupOutcomes).
 	Faults *FaultPlan
+	// ProfilePhases records per-phase allocation deltas (bytes, objects,
+	// GC cycles) during the run, readable afterwards via
+	// Result.ProfilePhases. Off by default: the recorder costs a few
+	// microseconds per phase boundary when enabled and nothing when not.
+	ProfilePhases bool
 }
 
 // FaultPlan configures deterministic fault injection for a run. Rates are
@@ -93,6 +99,14 @@ type FaultPlan = faults.Plan
 // FaultWindow is a half-open [From, To) window of virtual time, used for
 // scheduled outages and rate-limit bursts in a FaultPlan.
 type FaultWindow = faults.Window
+
+// PhaseStat is one pipeline phase's allocation tally (see
+// Options.ProfilePhases).
+type PhaseStat = prof.PhaseStat
+
+// RuntimeSample is a point-in-time snapshot of the process's memory
+// counters (live heap, cumulative allocations, GC cycles, pause total).
+type RuntimeSample = prof.Sample
 
 // Result is a completed study with its collected dataset. The dataset is
 // frozen, so every experiment output is memoized: Render, FigureCSV, and
@@ -125,6 +139,9 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 			Discord:  opts.JoinDiscord,
 		},
 	}
+	if opts.ProfilePhases {
+		cfg.Prof = prof.NewRecorder()
+	}
 	s, err := core.NewStudy(cfg)
 	if err != nil {
 		return nil, err
@@ -135,6 +152,15 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 	}
 	return &Result{study: s, ds: s.Dataset()}, nil
 }
+
+// ProfilePhases returns the per-phase allocation stats recorded during
+// the run. Nil unless Options.ProfilePhases was set.
+func (r *Result) ProfilePhases() []PhaseStat { return r.study.ProfilePhases() }
+
+// Runtime samples the process's current memory counters — cheap enough
+// for an HTTP status endpoint, but it briefly stops the world, so don't
+// poll it in a tight loop.
+func Runtime() RuntimeSample { return prof.TakeSample() }
 
 // Experiments lists the supported experiment IDs in paper order.
 func Experiments() []string {
