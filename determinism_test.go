@@ -2,10 +2,14 @@ package msgscope_test
 
 import (
 	"context"
+	"fmt"
+	"reflect"
 	"testing"
 	"time"
 
 	"msgscope"
+	"msgscope/internal/analysis/lda"
+	"msgscope/internal/analysis/textproc"
 	"msgscope/internal/core"
 	"msgscope/internal/faults"
 )
@@ -35,6 +39,56 @@ func TestSerialAndParallelRunsRenderIdentically(t *testing.T) {
 	for _, id := range []string{"table1", "table2", "table3", "fig1", "fig6", "fig8", "fig9"} {
 		if s, p := serial.Render(id), parallel.Render(id); s != p {
 			t.Errorf("%s diverges between serial and parallel runs:\n--- serial ---\n%s\n--- parallel ---\n%s", id, s, p)
+		}
+	}
+}
+
+// TestLDAWorkerCountInvariance is the analysis-phase half of the
+// determinism contract: the sparse Gibbs sampler must produce a
+// byte-identical fitted model at any worker count, because Table 3's
+// topics must not depend on the machine it ran on. The corpus goes
+// through the production tokenizer path so the test pins the whole
+// text→topics chain, not just the sampler.
+func TestLDAWorkerCountInvariance(t *testing.T) {
+	words := []string{
+		"join", "group", "whatsapp", "telegram", "discord", "invite", "link",
+		"crypto", "signal", "free", "news", "chat", "deal", "click", "earn",
+		"video", "game", "music", "live", "today",
+	}
+	var texts []string
+	state := uint64(42)
+	next := func(n int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int((state >> 33) % uint64(n))
+	}
+	for d := 0; d < 600; d++ {
+		var s string
+		for w, n := 0, 6+next(10); w < n; w++ {
+			s += words[next(len(words))] + " "
+		}
+		texts = append(texts, s+fmt.Sprintf("tag%d", next(50)))
+	}
+	corpus := textproc.NewCorpus(textproc.NewTokenizer(), texts)
+
+	// fingerprint captures everything Table 3 and the extensions read off
+	// a fitted model: exact per-document assignments, topic shares, and
+	// ranked word summaries. (The Model struct itself records the worker
+	// count in its config, so models fitted at different widths are
+	// compared by their observable state.)
+	fingerprint := func(workers int) any {
+		m := lda.Fit(corpus, lda.Config{
+			Topics: 10, Iterations: 60, Seed: 42, Workers: workers,
+		})
+		docs := make([]int, 600)
+		for d := range docs {
+			docs[d] = m.DocTopic(d)
+		}
+		return []any{docs, m.TopicShares(), m.Summaries(10), m.Perplexity()}
+	}
+	want := fingerprint(1)
+	for _, workers := range []int{4, 16} {
+		if got := fingerprint(workers); !reflect.DeepEqual(got, want) {
+			t.Errorf("lda.Fit with %d workers diverges from the serial fit", workers)
 		}
 	}
 }

@@ -20,6 +20,18 @@ type Config struct {
 	Beta       float64 // topic-word prior (default 0.01)
 	Iterations int     // Gibbs sweeps (default 200)
 	Seed       uint64
+	// Workers bounds the sparse sampler's sweep parallelism (0 =
+	// GOMAXPROCS, 1 = serial). The fitted model is byte-identical at any
+	// worker count: documents are partitioned into fixed-size chunks with
+	// their own PCG streams, and count updates merge at an iteration
+	// barrier (see sparse.go).
+	Workers int
+	// Dense selects the reference O(K)-per-token sequential sampler
+	// instead of the default SparseLDA sampler. It is the differential
+	// oracle in tests and benchmarks; Workers is ignored (the dense chain
+	// is inherently sequential). Topics above sparseMaxK (15) also take
+	// this path — the sparse sweep specializes small K.
+	Dense bool
 }
 
 func (c Config) withDefaults() Config {
@@ -56,9 +68,21 @@ type Model struct {
 	docLen []int
 }
 
-// Fit runs collapsed Gibbs sampling over the corpus.
+// Fit runs collapsed Gibbs sampling over the corpus. The default sampler
+// is the SparseLDA s/r/q bucket decomposition (sparse.go), deterministic
+// at any Config.Workers; Config.Dense selects the sequential dense
+// reference sampler instead.
 func Fit(c *textproc.Corpus, cfg Config) *Model {
 	cfg = cfg.withDefaults()
+	if cfg.Dense || cfg.Topics > sparseMaxK {
+		return fitDense(c, cfg)
+	}
+	return fitSparse(c, cfg)
+}
+
+// newModel allocates the count arrays shared by both samplers. Topic
+// assignments are left at zero; each sampler runs its own random init.
+func newModel(c *textproc.Corpus, cfg Config) *Model {
 	K := cfg.Topics
 	V := c.Vocab.Size()
 	tokens := 0
@@ -76,15 +100,26 @@ func Fit(c *textproc.Corpus, cfg Config) *Model {
 		nt:     make([]int, K),
 		docLen: make([]int, len(c.Docs)),
 	}
-	rng := rand.New(rand.NewPCG(cfg.Seed, 0x1DA))
-
-	// Random initialization.
 	off := 0
 	for d, doc := range c.Docs {
 		m.docOff[d] = off
 		m.docLen[d] = len(doc)
-		zd := m.z[off : off+len(doc)]
 		off += len(doc)
+	}
+	return m
+}
+
+// fitDense is the reference collapsed Gibbs sampler: one sequential chain,
+// O(K) work and two divisions per topic per token.
+func fitDense(c *textproc.Corpus, cfg Config) *Model {
+	K := cfg.Topics
+	V := c.Vocab.Size()
+	m := newModel(c, cfg)
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x1DA))
+
+	// Random initialization.
+	for d, doc := range c.Docs {
+		zd := m.z[m.docOff[d]:]
 		for i, w := range doc {
 			k := rng.IntN(K)
 			zd[i] = k

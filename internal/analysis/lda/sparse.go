@@ -1,0 +1,709 @@
+// The SparseLDA sampler (Yao, Mimno & McCallum, KDD 2009): the collapsed
+// Gibbs conditional
+//
+//	p(z=k | ·) ∝ (nwt[w][k]+β)(ndt[d][k]+α) / (nt[k]+βV)
+//
+// is decomposed into three buckets sharing the cached inverse denominator
+// invDenom[k] = 1/(nt[k]+βV):
+//
+//	s = Σ_k αβ·invDenom[k]                  (smoothing; topic-count only)
+//	r = Σ_k β·ndt[d][k]·invDenom[k]         (sparse in the doc's topics)
+//	q = Σ_k nwt[w][k]·(α+ndt[d][k])·invDenom[k]  (sparse in the word's topics)
+//
+// s is shared by every token, r is maintained incrementally per document,
+// and q walks only the word's nonzero topics via a packed count index — so
+// once the chain concentrates (typical rows shrink to one or two topics)
+// a token costs a couple of multiplications and no divisions, against the
+// dense sampler's O(K) with a division per topic.
+//
+// Parallel determinism: documents are split into fixed-size chunks that do
+// not depend on the worker count. Each chunk owns a persistent SplitMix64
+// stream (seeded from Config.Seed and the chunk index) and its documents'
+// ndt rows; global nwt/nt stay frozen during a sweep and every chunk
+// records its (w, kOld, kNew) transitions, which merge at the iteration
+// barrier. Integer count updates commute, every float input is either
+// frozen-global or chunk-local, and each chunk's RNG consumption depends
+// only on its own tokens — so the fitted model is byte-identical at 1, 4,
+// or 16 workers.
+//
+// Exactness of the current-token exclusion: the frozen counts always
+// include the current token's own (unchanged-this-sweep) assignment, so
+// nwt[w][kOld] ≥ 1 and nt[kOld] ≥ 1 are guaranteed, and the exclusion is
+// applied exactly — cnt-1 for kOld in the q walk and an O(1) correction
+// swapping invDenom[kOld] for invDenomM1[kOld] = 1/(nt[kOld]-1+βV) in the
+// s and r buckets.
+//
+// The production sweep (sweepChunk) is a fused loop; the factored
+// per-token operations below it (enterDoc/detachToken/sampleBuckets/
+// attachToken/tokenMasses) define the semantics, are float-for-float
+// identical to the fused path (TestSparseFusedMatchesFactored pins this),
+// and carry the exact-conditional, bucket-invariant, and fuzz tests.
+package lda
+
+import (
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"msgscope/internal/analysis/textproc"
+)
+
+// sparseChunkDocs is the fixed document-chunk size. It is part of the
+// determinism contract: changing it changes which RNG stream samples which
+// document, i.e. the fitted model.
+const sparseChunkDocs = 256
+
+// sparseMaxK bounds the sparse path's topic count: the fused sweep pads
+// every per-topic array to 16 entries and masks topic indices with &15,
+// which lets the compiler drop all bounds checks from the token loop.
+// Larger K (unused in the reproduction — the paper's Table 3 uses K=10)
+// falls back to the dense reference sampler.
+const sparseMaxK = 15
+
+// sparsePad is the padded per-document stride of the sampler's private
+// doc-topic table: 16 int32 counts = exactly one cache line per document.
+// Padding entries stay zero; the branchless doc-bucket refresh adds an
+// exact +0 for them, so sums are float-identical to the K-length walks of
+// the factored reference ops.
+const sparsePad = 16
+
+// wtShift packs a word-topic entry as count<<wtShift | topic in a uint32,
+// one word per entry so the q walk streams a single cache line per row (the
+// 16-slot uint32 row is exactly 64 bytes, halving the randomly accessed
+// footprint vs 64-bit entries). Topic indices fit easily (K <= sparseMaxK);
+// counts up to 2^24 cover any corpus the sparse path accepts — fitSparse
+// routes larger ones to the dense sampler.
+const wtShift = 8
+
+// tdelta is one recorded topic transition, merged into the global counts
+// at the iteration barrier. pos is the row slot (1..15) where the sweep
+// saw `from` in word w's frozen row — a hint that usually lets the merge
+// skip its decrement scan; 0 means "no hint" and a stale hint (the row
+// changed under an earlier delta) fails its guard and falls back to the
+// scan, so hints never affect the merged state.
+type tdelta struct {
+	w        int32
+	pos      uint8
+	from, to uint8
+}
+
+// rngState is a SplitMix64 stream (Steele, Lea & Flood 2014): one uint64
+// of state, six cheap fully-inlined ops per draw. The sampler defines its
+// own determinism contract, so the generator only has to be deterministic
+// and well-mixed, not match any external stream.
+type rngState uint64
+
+func (s *rngState) next() uint64 {
+	*s += 0x9E3779B97F4A7C15
+	z := uint64(*s)
+	z = (z ^ z>>30) * 0xBF58476D1CE4B09B
+	z = (z ^ z>>27) * 0x94D049BB133111EB
+	return z ^ z>>31
+}
+
+// float64 returns a uniform draw in [0, 1).
+func (s *rngState) float64() float64 { return float64(s.next()>>11) * 0x1p-53 }
+
+// intN returns a uniform draw in [0, n) via a fixed-point multiply. The
+// modulo bias is ~n/2^64 — irrelevant for topic counts.
+func (s *rngState) intN(n int) int {
+	hi, _ := bits.Mul64(s.next(), uint64(n))
+	return int(hi)
+}
+
+// chunkState is the per-chunk mutable state: its document range, its
+// private RNG stream, and the transitions of the current sweep.
+type chunkState struct {
+	lo, hi int // document range [lo, hi)
+	rng    rngState
+	deltas []tdelta
+}
+
+// bucket identifies which of the three decomposition buckets a draw landed
+// in (exposed for the bucket-selection tests and fuzz target).
+type bucket uint8
+
+const (
+	bucketQ bucket = iota // word-topic bucket
+	bucketR               // doc-topic bucket
+	bucketS               // smoothing bucket
+)
+
+// scratch is per-worker sampling state, re-entered per document. Only the
+// doc bucket mass r is maintained incrementally; the (rare) r walk scans
+// the dense ndt row directly, and the q walk computes its coefficients
+// from the packed word rows in place — at the paper's K=10 both beat
+// maintaining per-token sparse doc-topic structures.
+type scratch struct {
+	r float64 // doc bucket mass (uncorrected)
+}
+
+func newScratch(k int) *scratch {
+	_ = k
+	return &scratch{}
+}
+
+// sparse is the sampler state layered over a Model's count arrays. It owns
+// a private int32 doc-topic table and topic-assignment arena during the
+// fit (half the cache footprint of the Model's []int versions, which are
+// filled in at the end).
+type sparse struct {
+	m          *Model
+	K, V       int
+	alpha      float64
+	beta       float64
+	alphaBeta  float64
+	betaV      float64
+	ndt        []int32   // doc-topic counts, [d*sparsePad+k]; copied to m.ndt after the fit
+	z32        []int32   // topic assignments; copied to m.z after the fit
+	tok32      []int32   // the corpus word ids, flattened doc-major like z32
+	invDenom   []float64 // 1/(nt[k]+βV), refreshed per iteration
+	invDenomM1 []float64 // 1/(nt[k]-1+βV); only valid where nt[k] ≥ 1
+	sCache     float64   // Σ αβ·invDenom[k]
+	// Per-topic caches turning hot-loop multiplies into loads, refreshed
+	// with the denominators: betaInv = β·invDenom, betaDD = β·(invDenomM1
+	// − invDenom), sAdjK = sCache + αβ·(invDenomM1 − invDenom).
+	betaInv []float64
+	betaDD  []float64
+	sAdjK   []float64
+	// Sparse index over the frozen word-topic counts: word w's row is the
+	// 16 slots wtRow[w*16 : w*16+16] — slot 0 holds the entry count n and
+	// slots 1..n the packed entries, so one random access reaches both the
+	// length and the data (a separate length array would cost a second
+	// cache line per token). Built once after init and then maintained
+	// incrementally from the merge deltas — the serial merge applies them
+	// in fixed chunk order, so row entry order stays deterministic.
+	wtRow  []uint32
+	chunks []chunkState
+}
+
+func newSparse(m *Model) *sparse {
+	K := m.cfg.Topics
+	V := m.vocab.Size()
+	st := &sparse{
+		m:          m,
+		K:          K,
+		V:          V,
+		alpha:      m.cfg.Alpha,
+		beta:       m.cfg.Beta,
+		alphaBeta:  m.cfg.Alpha * m.cfg.Beta,
+		betaV:      m.cfg.Beta * float64(V),
+		ndt:        make([]int32, len(m.docs)*sparsePad),
+		z32:        make([]int32, len(m.z)),
+		tok32:      make([]int32, len(m.z)),
+		invDenom:   make([]float64, sparsePad),
+		invDenomM1: make([]float64, sparsePad),
+		betaInv:    make([]float64, sparsePad),
+		betaDD:     make([]float64, sparsePad),
+		sAdjK:      make([]float64, sparsePad),
+		wtRow:      make([]uint32, V*sparsePad),
+	}
+	for d, doc := range m.docs {
+		off := m.docOff[d]
+		for i, w := range doc {
+			st.tok32[off+i] = int32(w)
+		}
+	}
+	nChunks := (len(m.docs) + sparseChunkDocs - 1) / sparseChunkDocs
+	st.chunks = make([]chunkState, nChunks)
+	for ci := range st.chunks {
+		lo := ci * sparseChunkDocs
+		hi := lo + sparseChunkDocs
+		if hi > len(m.docs) {
+			hi = len(m.docs)
+		}
+		toks := m.docOff[hi-1] + m.docLen[hi-1] - m.docOff[lo]
+		st.chunks[ci] = chunkState{
+			lo: lo, hi: hi,
+			rng:    rngState(m.cfg.Seed*0xD1342543DE82EF95 ^ chunkStream(ci)),
+			deltas: make([]tdelta, 0, toks),
+		}
+	}
+	return st
+}
+
+// chunkStream derives a chunk's RNG stream offset. Any injective map
+// works; the golden-ratio multiply spreads consecutive indices across the
+// seed space.
+func chunkStream(ci int) uint64 {
+	return 0x51DA<<32 ^ uint64(ci)*0x9E3779B97F4A7C15
+}
+
+// initAssignments draws the initial topic of every token from its chunk's
+// own stream, so the init — like the sweeps — is worker-count independent.
+// It then builds the packed word-topic rows from the fresh counts.
+func (st *sparse) initAssignments() {
+	K, m := st.K, st.m
+	for ci := range st.chunks {
+		ck := &st.chunks[ci]
+		for d := ck.lo; d < ck.hi; d++ {
+			zd := st.z32[m.docOff[d]:]
+			for i, w := range m.docs[d] {
+				k := ck.rng.intN(K)
+				zd[i] = int32(k)
+				m.nwt[w*K+k]++
+				st.ndt[d*sparsePad+k]++
+				m.nt[k]++
+			}
+		}
+	}
+	for w := 0; w < st.V; w++ {
+		n := 0
+		for k, cnt := range m.nwt[w*K : w*K+K] {
+			if cnt > 0 {
+				n++
+				st.wtRow[w*sparsePad+n] = uint32(cnt)<<wtShift | uint32(k)
+			}
+		}
+		st.wtRow[w*sparsePad] = uint32(n)
+	}
+}
+
+// refresh recomputes everything derived from the per-topic totals: the
+// inverse denominators, the smoothing bucket, and the per-topic caches.
+// Called once per iteration, between the merge and the next sweep; O(K).
+func (st *sparse) refresh() {
+	K := st.K
+	s := 0.0
+	for k := 0; k < K; k++ {
+		den := float64(st.m.nt[k]) + st.betaV
+		st.invDenom[k] = 1 / den
+		st.invDenomM1[k] = 1 / (den - 1)
+		s += st.alphaBeta * st.invDenom[k]
+	}
+	st.sCache = s
+	for k := 0; k < K; k++ {
+		dd := st.invDenomM1[k] - st.invDenom[k]
+		st.betaInv[k] = st.beta * st.invDenom[k]
+		st.betaDD[k] = st.beta * dd
+		st.sAdjK[k] = s + st.alphaBeta*dd
+	}
+}
+
+// merge folds every chunk's recorded transitions into the per-topic
+// totals and the packed word rows. Integer count updates commute, so any
+// application order yields the same counts; the row entry order does
+// depend on application order (zeroed entries swap-remove), so merge runs
+// serially in fixed chunk order — part of the determinism contract.
+// m.nwt is deliberately not touched here: nothing reads it during the
+// fit, and skipping it halves the merge's random memory traffic (finish
+// rebuilds it from the packed rows).
+func (st *sparse) merge() {
+	mask := uint32(1<<wtShift - 1)
+	one := uint32(1) << wtShift
+	for ci := range st.chunks {
+		ck := &st.chunks[ci]
+		for _, dl := range ck.deltas {
+			st.m.nt[dl.from]--
+			st.m.nt[dl.to]++
+
+			row := (*[sparsePad]uint32)(st.wtRow[int(dl.w)*sparsePad:])
+			n := int(row[0])
+			from, to := uint32(dl.from), uint32(dl.to)
+			j := int(dl.pos)
+			if j < 1 || j > n || row[j&15]&mask != from {
+				j = 1
+				for ; j <= n; j++ {
+					if row[j&15]&mask == from {
+						break
+					}
+				}
+			}
+			if j <= n {
+				if row[j&15] < one<<1 { // count was 1: remove entry
+					row[j&15] = row[n&15]
+					n--
+				} else {
+					row[j&15] -= one
+				}
+			}
+			found := false
+			for j := 1; j <= n; j++ {
+				if row[j&15]&mask == to {
+					row[j&15] += one
+					found = true
+					break
+				}
+			}
+			if !found {
+				n++
+				row[n&15] = one | to
+			}
+			row[0] = uint32(n)
+		}
+		ck.deltas = ck.deltas[:0]
+	}
+}
+
+// enterDoc initializes the scratch for a document: the doc bucket r. The
+// loop is branchless — zero counts contribute an exact +0.
+func (sc *scratch) enterDoc(st *sparse, ndtRow []int32) {
+	r := 0.0
+	for k, n := range ndtRow {
+		r += float64(n) * st.betaInv[k]
+	}
+	sc.r = r
+}
+
+// detachToken removes the current token's assignment from the document
+// side: ndt[d][kOld] is decremented and r follows. The global counts stay
+// frozen; their exclusion is applied inside the draw.
+func (st *sparse) detachToken(sc *scratch, ndtRow []int32, kOld int) {
+	ndtRow[kOld]--
+	sc.r -= st.betaInv[kOld]
+}
+
+// attachToken records the token's new assignment on the document side.
+func (st *sparse) attachToken(sc *scratch, ndtRow []int32, kNew int) {
+	ndtRow[kNew]++
+	sc.r += st.betaInv[kNew]
+}
+
+// sampleBuckets draws the token's new topic. u01 ∈ [0,1) is the uniform
+// draw; the returned bucket says which part of the decomposition the draw
+// landed in (the fuzz target asserts the bucket's count invariant). Must
+// be called after detachToken: ndtRow[kOld] excludes the current token.
+func (st *sparse) sampleBuckets(sc *scratch, ndtRow []int32, w, kOld int, u01 float64) (int, bucket) {
+	// O(1) corrections swap in the token-excluded denominator at kOld.
+	sAdj := st.sAdjK[kOld]
+	fn0 := float64(ndtRow[kOld])
+	rAdj := sc.r + fn0*st.betaDD[kOld]
+
+	// Pass 1, branchless: the generic term for every entry, kOld included.
+	// The exclusion correction is applied once afterwards — kOld is always
+	// present in the row (the frozen counts include this very token).
+	alpha, invDenom := st.alpha, st.invDenom
+	wRow := st.wtRow[w*sparsePad:]
+	row := wRow[1 : 1+wRow[0]]
+	qAll := 0.0
+	jOld := 0
+	for j, v := range row {
+		k := int(v & (1<<wtShift - 1))
+		b := float64(v>>wtShift) * invDenom[k]
+		qAll += b * (alpha + float64(ndtRow[k]))
+		if k == kOld {
+			jOld = j
+		}
+	}
+	vOld := row[jOld]
+	bOld := float64(vOld>>wtShift) * invDenom[kOld]
+	bM1 := float64((vOld>>wtShift)-1) * st.invDenomM1[kOld]
+	q := qAll - bOld*(alpha+fn0) + bM1*(alpha+fn0)
+
+	u := u01 * (sAdj + rAdj + q)
+	if u < q {
+		// Pass 2: walk the corrected terms until the draw lands. A last-ulp
+		// rounding gap falls back to the last positive-term topic.
+		cum := 0.0
+		last := -1
+		for _, v := range row {
+			k := int(v & (1<<wtShift - 1))
+			var term float64
+			if k != kOld {
+				b := float64(v>>wtShift) * invDenom[k]
+				term = b * (alpha + float64(ndtRow[k]))
+			} else {
+				cnt := int(v>>wtShift) - 1
+				if cnt == 0 {
+					continue
+				}
+				b := float64(cnt) * st.invDenomM1[k]
+				term = b * (alpha + fn0)
+			}
+			cum += term
+			last = k
+			if u < cum {
+				return k, bucketQ
+			}
+		}
+		if last >= 0 {
+			return last, bucketQ
+		}
+		// Row was only this token's own singleton entry; q was pure
+		// rounding noise.
+	}
+	return st.sampleTail(ndtRow, kOld, u-q, rAdj)
+}
+
+// sampleTail handles the rarely-hit r and s buckets; u arrives with the q
+// mass already subtracted.
+func (st *sparse) sampleTail(ndtRow []int32, kOld int, u, rAdj float64) (int, bucket) {
+	if u < rAdj {
+		acc := 0.0
+		last := -1
+		for k, n := range ndtRow {
+			if n == 0 {
+				continue
+			}
+			inv := st.invDenom[k]
+			if k == kOld {
+				inv = st.invDenomM1[k]
+			}
+			acc += st.beta * float64(n) * inv
+			if u < acc {
+				return k, bucketR
+			}
+			last = k
+		}
+		if last >= 0 {
+			return last, bucketR
+		}
+		// Doc has no other tokens and rAdj was pure rounding noise; fall
+		// through to the smoothing walk.
+	}
+	u -= rAdj
+	acc := 0.0
+	for k := 0; k < st.K; k++ {
+		inv := st.invDenom[k]
+		if k == kOld {
+			inv = st.invDenomM1[k]
+		}
+		acc += st.alphaBeta * inv
+		if u < acc {
+			return k, bucketS
+		}
+	}
+	return st.K - 1, bucketS
+}
+
+// tokenMasses fills out[k] with the unnormalized conditional mass the
+// decomposition assigns to topic k, term by term — the oracle surface of
+// the exact-conditional test and the fuzz target. Same calling point as
+// sampleBuckets: after detachToken.
+func (st *sparse) tokenMasses(sc *scratch, ndtRow []int32, w, kOld int, out []float64) {
+	for k := range out {
+		inv := st.invDenom[k]
+		if k == kOld {
+			inv = st.invDenomM1[k]
+		}
+		mass := st.alphaBeta * inv
+		if n := ndtRow[k]; n > 0 {
+			mass += st.beta * float64(n) * inv
+		}
+		out[k] = mass
+	}
+	wRow := st.wtRow[w*sparsePad:]
+	for _, v := range wRow[1 : 1+wRow[0]] {
+		k := int(v & (1<<wtShift - 1))
+		cnt := int(v >> wtShift)
+		inv := st.invDenom[k]
+		if k == kOld {
+			cnt--
+			inv = st.invDenomM1[k]
+		}
+		if cnt == 0 {
+			continue
+		}
+		b := float64(cnt) * inv
+		out[k] += b * (st.alpha + float64(ndtRow[k]))
+	}
+}
+
+// sweepChunk resamples every token of one chunk against the frozen global
+// counts, recording transitions for the barrier merge. This is the fused
+// production loop: float-for-float it performs exactly the factored
+// enterDoc → detachToken → sampleBuckets → attachToken sequence above,
+// with every hot field hoisted into locals.
+func (st *sparse) sweepChunk(ck *chunkState, sc *scratch) {
+	K := st.K
+	alpha := st.alpha
+	invDenom := (*[sparsePad]float64)(st.invDenom)
+	invDenomM1 := (*[sparsePad]float64)(st.invDenomM1)
+	betaInv := (*[sparsePad]float64)(st.betaInv)
+	betaDD := (*[sparsePad]float64)(st.betaDD)
+	sAdjK := (*[sparsePad]float64)(st.sAdjK)
+	wtRow := st.wtRow
+	ndt, z32, tok32 := st.ndt, st.z32, st.tok32
+	rng := &ck.rng
+	m := st.m
+
+	for d := ck.lo; d < ck.hi; d++ {
+		doc := m.docs[d]
+		if len(doc) == 0 {
+			continue
+		}
+		ndtRow := (*[sparsePad]int32)(ndt[d*sparsePad:])
+		// Branchless doc-bucket init: zero counts add an exact +0, same as
+		// the factored enterDoc.
+		r := 0.0
+		// fA caches alpha+ndt per topic so the q walk skips a convert and
+		// an add per entry; every store uses the direct formula, so values
+		// are bit-identical to the factored path's recomputation.
+		var fA [sparsePad]float64
+		for k, n := range ndtRow[:K] {
+			r += float64(n) * betaInv[k]
+			fA[k] = alpha + float64(n)
+		}
+		for zi := m.docOff[d]; zi < m.docOff[d]+len(doc); zi++ {
+			w := int(tok32[zi])
+			kOld := int(z32[zi]) & 15
+			n0 := ndtRow[kOld] - 1
+			ndtRow[kOld] = n0
+			r -= betaInv[kOld]
+
+			sAdj := sAdjK[kOld]
+			fn0 := float64(n0)
+			fA[kOld] = alpha + fn0
+			rAdj := r + fn0*betaDD[kOld]
+
+			row := (*[sparsePad]uint32)(wtRow[w*sparsePad:])
+			rn := int(row[0])
+			kNew := -1
+			jOld := 1
+			var q, u float64
+			if rn == 1 {
+				// Single-entry row: the entry is necessarily kOld (the
+				// frozen counts include this token), so q reduces to the
+				// corrected term alone — float-identical to the general
+				// path, whose qAll − generic(kOld) cancels exactly here.
+				bM1 := float64((row[1]>>wtShift)-1) * invDenomM1[kOld]
+				q = bM1 * fA[kOld&15]
+				u = rng.float64() * (sAdj + rAdj + q)
+				if u < q {
+					kNew = kOld
+				}
+			} else {
+				qAll := 0.0
+				for j := 1; j <= rn; j++ {
+					v := row[j&15]
+					k := int(v) & 15
+					b := float64(v>>wtShift) * invDenom[k]
+					qAll += b * fA[k&15]
+					if k == kOld {
+						jOld = j
+					}
+				}
+				vOld := row[jOld&15]
+				bOld := float64(vOld>>wtShift) * invDenom[kOld]
+				bM1 := float64((vOld>>wtShift)-1) * invDenomM1[kOld]
+				fA0 := fA[kOld&15]
+				q = qAll - bOld*fA0 + bM1*fA0
+
+				u = rng.float64() * (sAdj + rAdj + q)
+				if u < q {
+					cum := 0.0
+					for j := 1; j <= rn; j++ {
+						v := row[j&15]
+						k := int(v) & 15
+						var b float64
+						if k != kOld {
+							b = float64(v>>wtShift) * invDenom[k]
+						} else {
+							cnt := int(v>>wtShift) - 1
+							if cnt == 0 {
+								continue
+							}
+							b = float64(cnt) * invDenomM1[k]
+						}
+						cum += b * fA[k&15]
+						kNew = k
+						if u < cum {
+							break
+						}
+					}
+				}
+			}
+			if kNew < 0 {
+				kNew, _ = st.sampleTail(ndt[d*sparsePad:d*sparsePad+K], kOld, u-q, rAdj)
+			}
+			kNew &= 15
+
+			ndtRow[kNew]++
+			fA[kNew] = alpha + float64(ndtRow[kNew])
+			r += betaInv[kNew]
+			if kNew != kOld {
+				z32[zi] = int32(kNew)
+				ck.deltas = append(ck.deltas, tdelta{w: int32(w), pos: uint8(jOld), from: uint8(kOld), to: uint8(kNew)})
+			}
+		}
+	}
+}
+
+// fitSparse runs the deterministically parallel SparseLDA fit.
+func fitSparse(c *textproc.Corpus, cfg Config) *Model {
+	m := newModel(c, cfg)
+	if len(m.z) == 0 {
+		return m
+	}
+	if len(m.z) >= 1<<(32-wtShift) {
+		// A packed word-topic count could overflow its 24 bits; corpora
+		// this large (16M+ tokens) take the dense reference path.
+		return fitDense(c, cfg)
+	}
+	st := newSparse(m)
+	st.initAssignments()
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(st.chunks) {
+		workers = len(st.chunks)
+	}
+	scratches := make([]*scratch, workers)
+	for i := range scratches {
+		scratches[i] = newScratch(st.K)
+	}
+
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		st.refresh()
+		if workers == 1 {
+			for ci := range st.chunks {
+				st.sweepChunk(&st.chunks[ci], scratches[0])
+			}
+		} else {
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			for _, sc := range scratches {
+				wg.Add(1)
+				go func(sc *scratch) {
+					defer wg.Done()
+					for {
+						ci := int(next.Add(1)) - 1
+						if ci >= len(st.chunks) {
+							return
+						}
+						st.sweepChunk(&st.chunks[ci], sc)
+					}
+				}(sc)
+			}
+			wg.Wait()
+		}
+		st.merge()
+	}
+	st.finish()
+	return m
+}
+
+// syncNWT rebuilds the Model's dense word-topic table from the packed
+// rows (the authoritative word-topic counts once the fit is running).
+func (st *sparse) syncNWT() {
+	K := st.K
+	nwt := st.m.nwt
+	for i := range nwt {
+		nwt[i] = 0
+	}
+	for w := 0; w < st.V; w++ {
+		wRow := st.wtRow[w*sparsePad:]
+		for _, v := range wRow[1 : 1+wRow[0]] {
+			nwt[w*K+int(v&(1<<wtShift-1))] = int(v >> wtShift)
+		}
+	}
+}
+
+// finish copies the sampler's private state back into the Model: the
+// topic assignments, the doc-topic counts, and the dense word-topic
+// table.
+func (st *sparse) finish() {
+	K := st.K
+	st.syncNWT()
+	for i, v := range st.z32 {
+		st.m.z[i] = int(v)
+	}
+	for d := range st.m.docs {
+		for k := 0; k < K; k++ {
+			st.m.ndt[d*K+k] = int(st.ndt[d*sparsePad+k])
+		}
+	}
+}

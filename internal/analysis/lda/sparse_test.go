@@ -1,0 +1,415 @@
+package lda
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"msgscope/internal/analysis/textproc"
+)
+
+// mixedCorpus builds a messier corpus than synthCorpus: overlapping word
+// pools, varying document lengths, a few empty documents — the shapes the
+// sparse bookkeeping has to survive.
+func mixedCorpus(nDocs int) *textproc.Corpus {
+	pools := [][]string{
+		{"bitcoin", "crypto", "wallet", "trading", "profit", "signal"},
+		{"anime", "server", "gaming", "nitro", "discord", "signal"},
+		{"invite", "group", "link", "join", "telegram", "wallet"},
+	}
+	rng := rand.New(rand.NewPCG(7, 11))
+	var texts []string
+	for i := 0; i < nDocs; i++ {
+		if i%17 == 0 {
+			texts = append(texts, "")
+			continue
+		}
+		pool := pools[i%len(pools)]
+		n := 3 + rng.IntN(20)
+		var words []string
+		for j := 0; j < n; j++ {
+			words = append(words, pool[rng.IntN(len(pool))])
+		}
+		texts = append(texts, strings.Join(words, " "))
+	}
+	return textproc.NewCorpus(textproc.NewTokenizer(), texts)
+}
+
+// denseConditional computes the collapsed Gibbs conditional the dense
+// sampler uses, with the current token removed from all counts — the
+// ground truth tokenMasses must reproduce.
+func denseConditional(st *sparse, ndtRow []int32, w, kOld int, out []float64) {
+	K, V := st.K, st.V
+	for k := 0; k < K; k++ {
+		nwt := st.m.nwt[w*K+k]
+		nt := st.m.nt[k]
+		if k == kOld {
+			nwt--
+			nt--
+		}
+		pw := (float64(nwt) + st.beta) / (float64(nt) + st.beta*float64(V))
+		pd := float64(ndtRow[k]) + st.alpha
+		out[k] = pw * pd
+	}
+}
+
+// TestSparseExactConditional verifies, token by token mid-fit, that the
+// s/r/q decomposition assigns every topic exactly the mass of the dense
+// collapsed Gibbs conditional (up to float rounding).
+func TestSparseExactConditional(t *testing.T) {
+	c := mixedCorpus(120)
+	cfg := Config{Topics: 7, Iterations: 1, Seed: 5}.withDefaults()
+	m := newModel(c, cfg)
+	st := newSparse(m)
+	st.initAssignments()
+	sc := newScratch(st.K)
+
+	// Run a few real sweeps so counts are partially mixed, checking the
+	// decomposition against the dense formula at every token.
+	got := make([]float64, st.K)
+	want := make([]float64, st.K)
+	checked := 0
+	for iter := 0; iter < 3; iter++ {
+		st.refresh()
+		for ci := range st.chunks {
+			ck := &st.chunks[ci]
+			for d := ck.lo; d < ck.hi; d++ {
+				doc := m.docs[d]
+				if len(doc) == 0 {
+					continue
+				}
+				zd := st.z32[m.docOff[d]:]
+				ndtRow := st.ndt[d*sparsePad : d*sparsePad+st.K]
+				sc.enterDoc(st, ndtRow)
+				for i, w := range doc {
+					kOld := int(zd[i])
+					st.detachToken(sc, ndtRow, kOld)
+					st.tokenMasses(sc, ndtRow, w, kOld, got)
+					denseConditional(st, ndtRow, w, kOld, want)
+					for k := range got {
+						if math.Abs(got[k]-want[k]) > 1e-9*math.Max(1, want[k]) {
+							t.Fatalf("iter %d doc %d tok %d topic %d: sparse mass %g, dense %g", iter, d, i, k, got[k], want[k])
+						}
+					}
+					checked++
+					kNew, _ := st.sampleBuckets(sc, ndtRow, w, kOld, ck.rng.float64())
+					st.attachToken(sc, ndtRow, kNew)
+					if kNew != kOld {
+						zd[i] = int32(kNew)
+						ck.deltas = append(ck.deltas, tdelta{w: int32(w), from: uint8(kOld), to: uint8(kNew)})
+					}
+				}
+			}
+		}
+		st.merge()
+		st.syncNWT() // keep the dense-oracle table in step with the packed rows
+	}
+	if checked == 0 {
+		t.Fatal("no tokens checked")
+	}
+}
+
+// TestSparseMatchesDensePerplexity treats the dense sampler as the
+// differential oracle: both samplers fit the same corpus and must land at
+// comparable perplexity (the chains differ, the converged quality must
+// not).
+func TestSparseMatchesDensePerplexity(t *testing.T) {
+	c := synthCorpus(200)
+	cfg := Config{Topics: 2, Iterations: 80, Seed: 3}
+	sp := Fit(c, cfg)
+	cfgD := cfg
+	cfgD.Dense = true
+	dn := Fit(c, cfgD)
+	ps, pd := sp.Perplexity(), dn.Perplexity()
+	if ps <= 0 || pd <= 0 {
+		t.Fatalf("non-positive perplexity: sparse %g dense %g", ps, pd)
+	}
+	if diff := math.Abs(ps-pd) / pd; diff > 0.10 {
+		t.Fatalf("sparse perplexity %.3f vs dense %.3f (%.1f%% apart)", ps, pd, diff*100)
+	}
+}
+
+// TestSparseWorkersByteIdentical pins the determinism contract: the fitted
+// model is identical at 1, 4, and 16 workers.
+func TestSparseWorkersByteIdentical(t *testing.T) {
+	c := mixedCorpus(400)
+	base := Fit(c, Config{Topics: 8, Iterations: 30, Seed: 42, Workers: 1})
+	for _, workers := range []int{4, 16} {
+		m := Fit(mixedCorpus(400), Config{Topics: 8, Iterations: 30, Seed: 42, Workers: workers})
+		if !equalInts(base.z, m.z) || !equalInts(base.nwt, m.nwt) ||
+			!equalInts(base.ndt, m.ndt) || !equalInts(base.nt, m.nt) {
+			t.Fatalf("model state at %d workers differs from serial", workers)
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSparseCountInvariants fits with the sparse sampler and re-derives
+// every count array from the final assignments.
+func TestSparseCountInvariants(t *testing.T) {
+	c := mixedCorpus(150)
+	m := Fit(c, Config{Topics: 6, Iterations: 25, Seed: 9, Workers: 4})
+	K := m.cfg.Topics
+	nwt := make([]int, len(m.nwt))
+	ndt := make([]int, len(m.ndt))
+	nt := make([]int, K)
+	for d, doc := range m.docs {
+		zd := m.z[m.docOff[d]:]
+		for i, w := range doc {
+			k := zd[i]
+			nwt[w*K+k]++
+			ndt[d*K+k]++
+			nt[k]++
+		}
+	}
+	if !equalInts(nwt, m.nwt) || !equalInts(ndt, m.ndt) || !equalInts(nt, m.nt) {
+		t.Fatal("count arrays inconsistent with final assignments")
+	}
+}
+
+// fitFactored mirrors fitSparse's iteration structure but drives every
+// token through the factored enterDoc/detachToken/sampleBuckets/
+// attachToken operations — the semantic reference the fused sweepChunk
+// must match float for float.
+func fitFactored(c *textproc.Corpus, cfg Config) *Model {
+	cfg = cfg.withDefaults()
+	m := newModel(c, cfg)
+	if len(m.z) == 0 {
+		return m
+	}
+	st := newSparse(m)
+	st.initAssignments()
+	sc := newScratch(st.K)
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		st.refresh()
+		for ci := range st.chunks {
+			ck := &st.chunks[ci]
+			for d := ck.lo; d < ck.hi; d++ {
+				doc := m.docs[d]
+				if len(doc) == 0 {
+					continue
+				}
+				zd := st.z32[m.docOff[d]:]
+				ndtRow := st.ndt[d*sparsePad : d*sparsePad+st.K]
+				sc.enterDoc(st, ndtRow)
+				for i, w := range doc {
+					kOld := int(zd[i])
+					st.detachToken(sc, ndtRow, kOld)
+					kNew, _ := st.sampleBuckets(sc, ndtRow, w, kOld, ck.rng.float64())
+					st.attachToken(sc, ndtRow, kNew)
+					if kNew != kOld {
+						zd[i] = int32(kNew)
+						ck.deltas = append(ck.deltas, tdelta{w: int32(w), from: uint8(kOld), to: uint8(kNew)})
+					}
+				}
+			}
+		}
+		st.merge()
+	}
+	st.finish()
+	return m
+}
+
+// TestSparseFusedMatchesFactored pins the fused production sweep to the
+// factored reference: identical models, token for token.
+func TestSparseFusedMatchesFactored(t *testing.T) {
+	cfg := Config{Topics: 6, Iterations: 40, Seed: 17, Workers: 1}
+	fused := Fit(mixedCorpus(300), cfg)
+	ref := fitFactored(mixedCorpus(300), cfg)
+	if !equalInts(fused.z, ref.z) || !equalInts(fused.nwt, ref.nwt) ||
+		!equalInts(fused.ndt, ref.ndt) || !equalInts(fused.nt, ref.nt) {
+		t.Fatal("fused sweep diverges from factored reference")
+	}
+}
+
+// TestSparseBucketNeverPicksZeroCount walks real sampling decisions across
+// a dense grid of uniforms and asserts the structural invariant of each
+// bucket: a q draw lands on a topic whose token-excluded word count is
+// positive, an r draw on a topic with positive doc count.
+func TestSparseBucketNeverPicksZeroCount(t *testing.T) {
+	c := mixedCorpus(80)
+	cfg := Config{Topics: 5, Iterations: 1, Seed: 13}.withDefaults()
+	m := newModel(c, cfg)
+	st := newSparse(m)
+	st.initAssignments()
+	st.refresh()
+	sc := newScratch(st.K)
+
+	us := []float64{0, 1e-12, 0.1, 0.25, 0.5, 0.75, 0.9, 0.999999, 1 - 1e-15}
+	for ci := range st.chunks {
+		ck := &st.chunks[ci]
+		for d := ck.lo; d < ck.hi; d++ {
+			doc := m.docs[d]
+			if len(doc) == 0 {
+				continue
+			}
+			zd := st.z32[m.docOff[d]:]
+			ndtRow := st.ndt[d*sparsePad : d*sparsePad+st.K]
+			sc.enterDoc(st, ndtRow)
+			for i, w := range doc {
+				kOld := int(zd[i])
+				st.detachToken(sc, ndtRow, kOld)
+				for _, u := range us {
+					assertBucketInvariant(t, st, sc, ndtRow, w, kOld, u)
+				}
+				st.attachToken(sc, ndtRow, kOld) // restore; no transition
+			}
+		}
+	}
+}
+
+// assertBucketInvariant samples once and checks the chosen bucket's count
+// invariant. Shared by the table test above and FuzzSparseBucket.
+func assertBucketInvariant(t testing.TB, st *sparse, sc *scratch, ndtRow []int32, w, kOld int, u float64) {
+	k, b := st.sampleBuckets(sc, ndtRow, w, kOld, u)
+	if k < 0 || k >= st.K {
+		t.Fatalf("picked topic %d out of range K=%d", k, st.K)
+	}
+	switch b {
+	case bucketQ:
+		cnt := st.m.nwt[w*st.K+k]
+		if k == kOld {
+			cnt--
+		}
+		if cnt <= 0 {
+			t.Fatalf("q bucket picked topic %d with excluded word count %d (w=%d kOld=%d u=%g)", k, cnt, w, kOld, u)
+		}
+	case bucketR:
+		if ndtRow[k] <= 0 {
+			t.Fatalf("r bucket picked topic %d with doc count %d (u=%g)", k, ndtRow[k], u)
+		}
+	}
+}
+
+// FuzzSparseBucket drives bucket selection with fuzz-chosen corpora and
+// uniforms: whatever the input, a q-bucket draw must land on a positive
+// excluded word-topic count and an r-bucket draw on a positive doc-topic
+// count.
+func FuzzSparseBucket(f *testing.F) {
+	f.Add(uint64(1), []byte("abc abd bcd\nbcd cde\nabc"), uint16(0), uint16(1<<15))
+	f.Add(uint64(42), []byte("x y z\nx x x x\n\ny z"), uint16(9999), uint16(65535))
+	f.Fuzz(func(t *testing.T, seed uint64, text []byte, uRaw uint16, pick uint16) {
+		lines := strings.Split(string(text), "\n")
+		if len(lines) > 64 {
+			lines = lines[:64]
+		}
+		c := textproc.NewCorpus(textproc.NewTokenizer(), lines)
+		tokens := 0
+		for _, d := range c.Docs {
+			tokens += len(d)
+		}
+		if tokens == 0 {
+			return
+		}
+		cfg := Config{Topics: 1 + int(seed%9), Iterations: 1, Seed: seed}.withDefaults()
+		m := newModel(c, cfg)
+		st := newSparse(m)
+		st.initAssignments()
+		st.refresh()
+		sc := newScratch(st.K)
+
+		u := float64(uRaw) / 65536.0
+		// Walk to the pick-th token (mod total) and sample it with u.
+		target := int(pick) % tokens
+		seen := 0
+		for d, doc := range m.docs {
+			if len(doc) == 0 {
+				continue
+			}
+			if seen+len(doc) <= target {
+				seen += len(doc)
+				continue
+			}
+			i := target - seen
+			w := doc[i]
+			zd := st.z32[m.docOff[d]:]
+			ndtRow := st.ndt[d*sparsePad : d*sparsePad+st.K]
+			sc.enterDoc(st, ndtRow)
+			kOld := int(zd[i])
+			st.detachToken(sc, ndtRow, kOld)
+			assertBucketInvariant(t, st, sc, ndtRow, w, kOld, u)
+			return
+		}
+	})
+}
+
+// benchCorpus approximates the Table 3 workload: a few thousand short
+// tweet-like documents over a vocabulary of thousands of words, with
+// Zipf-skewed frequencies concentrated per latent topic. Vocabulary shape
+// matters for this comparison — SparseLDA's q bucket walks a word's
+// nonzero topics, so a toy corpus where every word occurs in every topic
+// would hide the win.
+func benchCorpus() *textproc.Corpus {
+	const (
+		latent   = 10
+		poolSize = 400
+		nDocs    = 4000
+	)
+	pools := make([][]string, latent)
+	for t := range pools {
+		pool := make([]string, poolSize)
+		for j := range pool {
+			pool[j] = fmt.Sprintf("tw%dx%d", t, j)
+		}
+		pools[t] = pool
+	}
+	rng := rand.New(rand.NewPCG(21, 4))
+	texts := make([]string, nDocs)
+	for i := range texts {
+		pool := pools[i%latent]
+		n := 8 + rng.IntN(13)
+		words := make([]string, n)
+		for j := range words {
+			// A log-uniform rank draw approximates the Zipfian token
+			// frequencies of real tweet text.
+			r := rng.Float64()
+			words[j] = pool[int(math.Exp(r*math.Log(poolSize)))-1]
+		}
+		texts[i] = strings.Join(words, " ")
+	}
+	return textproc.NewCorpus(textproc.NewTokenizer(), texts)
+}
+
+// BenchmarkLDAFit compares the dense reference sampler against the sparse
+// sampler serially and in parallel at the paper's Table 3 config (K=10,
+// 200 iterations). cmd/benchjson derives a serial-vs-parallel speedup from
+// the sub-benchmark names.
+func BenchmarkLDAFit(b *testing.B) {
+	c := benchCorpus()
+	cfg := Config{Topics: 10, Iterations: 200, Seed: 42}
+	b.Run("dense", func(b *testing.B) {
+		d := cfg
+		d.Dense = true
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			Fit(c, d)
+		}
+	})
+	b.Run("serial", func(b *testing.B) {
+		s := cfg
+		s.Workers = 1
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			Fit(c, s)
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			Fit(c, cfg)
+		}
+	})
+}
