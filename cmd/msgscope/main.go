@@ -148,6 +148,14 @@ func runStudy(args []string) error {
 			fmt.Println(res.Render(strings.TrimSpace(id)))
 		}
 	}
+	if *profPhases {
+		if stages := res.ProfileStages(); len(stages) > 0 {
+			fmt.Println("analysis stages:")
+			for _, st := range stages {
+				fmt.Printf("  %-10s %4d calls  %12s wall\n", st.Stage, st.Calls, st.Wall)
+			}
+		}
+	}
 	if *out != "" {
 		if err := res.SaveDataset(*out); err != nil {
 			return fmt.Errorf("saving dataset: %w", err)

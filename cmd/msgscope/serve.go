@@ -147,7 +147,8 @@ func reportMux(res *msgscope.Result) *http.ServeMux {
 		enc.Encode(struct {
 			Runtime msgscope.RuntimeSample `json:"runtime"`
 			Phases  []msgscope.PhaseStat   `json:"phases,omitempty"`
-		}{Runtime: msgscope.Runtime(), Phases: res.ProfilePhases()})
+			Stages  []msgscope.StageStat   `json:"stages,omitempty"`
+		}{Runtime: msgscope.Runtime(), Phases: res.ProfilePhases(), Stages: res.ProfileStages()})
 	})
 	mux.HandleFunc("GET /figure/{file}", func(w http.ResponseWriter, r *http.Request) {
 		file := r.PathValue("file")

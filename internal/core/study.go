@@ -156,6 +156,7 @@ type Study struct {
 	ran      bool
 	snapOnce sync.Once
 	snap     *store.Snapshot
+	agg      report.AggCache
 }
 
 // NewStudy builds the world, starts the services on loopback HTTP, and
@@ -398,12 +399,15 @@ func (s *Study) quiesceStreams() error {
 // snapshot with pre-sorted slices and per-platform/per-day indexes, so
 // every experiment reads shared indexes instead of re-scanning the store.
 func (s *Study) Dataset() report.Dataset {
-	ds := report.Dataset{Store: s.Store, Start: s.World.Cfg.Start, Days: s.Cfg.Days}
+	ds := report.Dataset{Store: s.Store, Start: s.World.Cfg.Start, Days: s.Cfg.Days, Prof: s.Cfg.Prof}
 	if s.ran {
 		s.snapOnce.Do(func() {
 			s.snap = s.Store.Snapshot(ds.Start, ds.Days)
 		})
 		ds.Snap = s.snap
+		// The frozen dataset also shares one figure/table aggregation
+		// pass across every experiment (see report.Aggregate).
+		ds.Agg = &s.agg
 	}
 	return ds
 }
@@ -414,6 +418,11 @@ func (s *Study) Dataset() report.Dataset {
 // window also includes the hourly clock advance and tweet publishing
 // that precede it.
 func (s *Study) ProfilePhases() []prof.PhaseStat { return s.Cfg.Prof.Phases() }
+
+// ProfileStages returns the per-analysis-stage wall timings ("lda",
+// "aggregate", "figures") recorded while experiments were computed from
+// the dataset (nil unless Config.Prof was set).
+func (s *Study) ProfileStages() []prof.StageStat { return s.Cfg.Prof.Stages() }
 
 // CollectorStats exposes discovery counters.
 func (s *Study) CollectorStats() collect.Stats { return s.collector.Stats() }

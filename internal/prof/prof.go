@@ -172,6 +172,9 @@ type Recorder struct {
 	primed  bool
 	order   []string
 	stats   map[string]*PhaseStat
+
+	stageOrder []string
+	stages     map[string]*StageStat
 }
 
 // NewRecorder returns an empty recorder. The first Capture (or an
@@ -233,6 +236,63 @@ func (r *Recorder) Capture(phase string) {
 	st.AllocObjects += now[1] - r.last[1]
 	st.GCCycles += now[2] - r.last[2]
 	r.last = now
+}
+
+// ---------------------------------------------------------------------------
+// Analysis-stage wall timer
+
+// StageStat aggregates the wall time spent in one named analysis stage
+// (e.g. "lda", "aggregate", "figures") across all its timed sections.
+// Unlike PhaseStat's allocation windows — which assume one phase runs at a
+// time — stage sections time themselves independently, so they are safe
+// under the engine's parallel experiment fan-out.
+type StageStat struct {
+	Stage string
+	Calls int
+	Wall  time.Duration
+}
+
+// StartStage begins timing one section of the named analysis stage and
+// returns the function that ends it. A nil receiver returns a no-op, so
+// callers can time unconditionally:
+//
+//	defer r.StartStage("aggregate")()
+func (r *Recorder) StartStage(stage string) func() {
+	if r == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() {
+		d := time.Since(start)
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		if r.stages == nil {
+			r.stages = make(map[string]*StageStat)
+		}
+		st := r.stages[stage]
+		if st == nil {
+			st = &StageStat{Stage: stage}
+			r.stages[stage] = st
+			r.stageOrder = append(r.stageOrder, stage)
+		}
+		st.Calls++
+		st.Wall += d
+	}
+}
+
+// Stages returns the per-stage wall totals in first-finish order. Nil
+// receivers and recorders without timed stages return nil.
+func (r *Recorder) Stages() []StageStat {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]StageStat, 0, len(r.stageOrder))
+	for _, name := range r.stageOrder {
+		out = append(out, *r.stages[name])
+	}
+	return out
 }
 
 // Phases returns the per-phase totals in first-capture order.

@@ -1,0 +1,406 @@
+package report
+
+import (
+	"sync"
+	"time"
+
+	"msgscope/internal/analysis/stats"
+	"msgscope/internal/platform"
+	"msgscope/internal/privacy"
+	"msgscope/internal/store"
+)
+
+// AggCache memoizes one dataset's Aggregates. The study attaches a cache
+// to the Dataset it hands out, so the engine's figure/table fan-out —
+// however many experiments it computes, from however many goroutines —
+// shares a single aggregation pass. Hand-built Datasets without a cache
+// keep working: each builder call aggregates on the fly.
+type AggCache struct {
+	once sync.Once
+	agg  *Aggregates
+}
+
+// Aggregates carries every reduction the numbered figures and the
+// data-driven tables take from the dataset. Aggregate fills it with one
+// walk over each record class — tweets, control tweets, groups, messages,
+// users — instead of the nine figure-private scans the builders used to
+// run. The figure result types and their Render output are unchanged;
+// only the scan structure is.
+type Aggregates struct {
+	fig1 Fig1Result
+	fig2 Fig2Result
+	fig3 Fig3Result
+	fig4 Fig4Result
+	fig5 Fig5Result
+	fig6 Fig6Result
+	fig7 Fig7Result
+	fig8 Fig8Result
+	fig9 Fig9Result
+
+	// spanDays carries Figure 9's per-joined-group collection windows from
+	// the groups walk to the messages walk.
+	spanDays map[platform.Platform]map[string]float64
+
+	table2 Table2Result
+	// privacyReport is shared by Table 4 and Table 5, which used to run
+	// the PII analysis once each.
+	privacyReport privacy.Report
+}
+
+// aggregates returns the dataset's Aggregates: computed once per AggCache,
+// or on the fly for cache-less datasets.
+func (d Dataset) aggregates() *Aggregates {
+	if d.Agg == nil {
+		return Aggregate(d)
+	}
+	d.Agg.once.Do(func() { d.Agg.agg = Aggregate(d) })
+	return d.Agg.agg
+}
+
+// Aggregate runs the single-pass reduction over the dataset. Every
+// accumulation below is order-independent (counter increments, set
+// inserts, running minima) or visits records in the same per-platform
+// order as the original per-figure scans, so the results are identical to
+// computing each figure independently.
+func Aggregate(ds Dataset) *Aggregates {
+	if ds.Prof != nil {
+		defer ds.Prof.StartStage("aggregate")()
+	}
+	a := &Aggregates{}
+	a.walkTweets(ds)
+	a.walkControl(ds)
+	a.walkGroups(ds)
+	a.walkMessages(ds)
+	a.walkUsers(ds)
+	return a
+}
+
+// walkTweets fills Figure 1 (discovery series), Figure 3's platform rows
+// (tweet features), and Figure 4 (languages) from one pass over the
+// collected tweets.
+func (a *Aggregates) walkTweets(ds Dataset) {
+	a.fig1 = Fig1Result{
+		All:    map[platform.Platform]*stats.Series{},
+		Unique: map[platform.Platform]*stats.Series{},
+		New:    map[platform.Platform]*stats.Series{},
+	}
+	a.fig4 = Fig4Result{Langs: map[platform.Platform]*stats.Histogram{}}
+	type daySet map[string]struct{}
+	uniq := map[platform.Platform]map[int]daySet{}
+	seen := map[platform.Platform]map[string]int{} // code -> first day
+	feats := map[platform.Platform]*FeatureShares{}
+	for _, p := range platform.All {
+		a.fig1.All[p] = stats.NewSeries(ds.Days)
+		a.fig1.Unique[p] = stats.NewSeries(ds.Days)
+		a.fig1.New[p] = stats.NewSeries(ds.Days)
+		a.fig4.Langs[p] = stats.NewHistogram()
+		uniq[p] = map[int]daySet{}
+		seen[p] = map[string]int{}
+		feats[p] = &FeatureShares{Name: p.String()}
+	}
+
+	tweets := ds.Tweets()
+	for i := range tweets {
+		t := &tweets[i]
+		p := t.Platform
+		accumulate(feats[p], t.Hashtags, t.Mentions, t.Retweet)
+		a.fig4.Langs[p].Inc(t.Lang)
+		day := ds.dayOf(t.CreatedAt)
+		if day < 0 || day >= ds.Days {
+			continue
+		}
+		a.fig1.All[p].Inc(day, 1)
+		if uniq[p][day] == nil {
+			uniq[p][day] = daySet{}
+		}
+		uniq[p][day][t.GroupCode] = struct{}{}
+		if first, ok := seen[p][t.GroupCode]; !ok || day < first {
+			seen[p][t.GroupCode] = day
+		}
+	}
+	for _, p := range platform.All {
+		for day, set := range uniq[p] {
+			a.fig1.Unique[p].Inc(day, float64(len(set)))
+		}
+		for _, firstDay := range seen[p] {
+			a.fig1.New[p].Inc(firstDay, 1)
+		}
+		finalize(feats[p])
+		a.fig3.Rows = append(a.fig3.Rows, *feats[p])
+	}
+}
+
+// walkControl appends Figure 3's control row.
+func (a *Aggregates) walkControl(ds Dataset) {
+	ctl := FeatureShares{Name: "Control"}
+	for _, t := range ds.Control() {
+		accumulate(&ctl, t.Hashtags, t.Mentions, t.Retweet)
+	}
+	finalize(&ctl)
+	a.fig3.Rows = append(a.fig3.Rows, ctl)
+}
+
+// walkGroups fills Figure 2 (tweets per URL), Figure 5 (staleness),
+// Figure 6 (revocation), Figure 7 (membership), and Figure 9's joined-group
+// collection spans from one pass over each platform's groups.
+func (a *Aggregates) walkGroups(ds Dataset) {
+	a.fig2 = Fig2Result{
+		CDF:        map[platform.Platform]*stats.ECDF{},
+		SharedOnce: map[platform.Platform]float64{},
+	}
+	a.fig5 = Fig5Result{
+		CDF:     map[platform.Platform]*stats.ECDF{},
+		SameDay: map[platform.Platform]float64{},
+		OverYr:  map[platform.Platform]float64{},
+	}
+	a.fig6 = Fig6Result{
+		LifetimeDays:  map[platform.Platform]*stats.ECDF{},
+		RevokedPerDay: map[platform.Platform]*stats.Series{},
+		RevokedShare:  map[platform.Platform]float64{},
+		DeadAtFirst:   map[platform.Platform]float64{},
+	}
+	a.fig7 = Fig7Result{
+		Members:    map[platform.Platform]*stats.ECDF{},
+		OnlineFrac: map[platform.Platform]*stats.ECDF{},
+		Growth:     map[platform.Platform]*stats.ECDF{},
+		Grew:       map[platform.Platform]float64{},
+		Shrank:     map[platform.Platform]float64{},
+	}
+	a.spanDays = map[platform.Platform]map[string]float64{}
+
+	for _, p := range platform.All {
+		shareCDF := stats.NewECDF(nil)
+		sharedOnce, nGroups := 0, 0
+
+		staleCDF := stats.NewECDF(nil)
+		sameDay, overYr, nStale := 0, 0, 0
+
+		life := stats.NewECDF(nil)
+		perDay := stats.NewSeries(ds.Days)
+		revoked, deadFirst, nObserved := 0, 0, 0
+
+		mem := stats.NewECDF(nil)
+		onl := stats.NewECDF(nil)
+		gro := stats.NewECDF(nil)
+		grew, shrank, nGrowth := 0, 0, 0
+
+		spans := map[string]float64{}
+
+		for _, g := range ds.GroupsOf(p) {
+			// Figure 2: share multiplicity.
+			shareCDF.AddInt(g.Tweets)
+			nGroups++
+			if g.Tweets == 1 {
+				sharedOnce++
+			}
+
+			// Figure 5: staleness where a creation date is known.
+			if created := creationOf(g); !created.IsZero() {
+				stale := g.FirstSeen.Sub(created)
+				if stale < 0 {
+					stale = 0
+				}
+				days := stale.Hours() / 24
+				staleCDF.Add(days)
+				nStale++
+				if days < 1 {
+					sameDay++
+				}
+				if days > 365 {
+					overYr++
+				}
+			}
+
+			// Figure 9: the message-collection window of joined groups.
+			if g.Joined {
+				if span := messageSpanDays(ds, g); span > 0 {
+					spans[g.Code] = span
+				}
+			}
+
+			if len(g.Observations) == 0 {
+				continue
+			}
+
+			// Figure 6: revocation from the daily observation series.
+			nObserved++
+			var lastAlive, revokedAt time.Time
+			for _, o := range g.Observations {
+				if o.Alive {
+					lastAlive = o.At
+				} else {
+					revokedAt = o.At
+					break
+				}
+			}
+			if !revokedAt.IsZero() {
+				revoked++
+				perDay.Inc(ds.dayOf(revokedAt), 1)
+				if lastAlive.IsZero() {
+					deadFirst++
+					life.Add(0)
+				} else {
+					life.Add(lastAlive.Sub(g.FirstSeen).Hours() / 24)
+				}
+			}
+
+			// Figure 7: membership at first alive observation and growth
+			// to the last.
+			first, last := -1, -1
+			for i, o := range g.Observations {
+				if o.Alive {
+					if first < 0 {
+						first = i
+					}
+					last = i
+				}
+			}
+			if first < 0 {
+				continue
+			}
+			fo := g.Observations[first]
+			mem.AddInt(fo.Members)
+			if fo.Members > 0 && (p == platform.Telegram || p == platform.Discord) {
+				onl.Add(float64(fo.Online) / float64(fo.Members))
+			}
+			if last > first {
+				delta := g.Observations[last].Members - fo.Members
+				gro.AddInt(delta)
+				nGrowth++
+				if delta > 0 {
+					grew++
+				}
+				if delta < 0 {
+					shrank++
+				}
+			}
+		}
+
+		a.fig2.CDF[p] = shareCDF
+		if nGroups > 0 {
+			a.fig2.SharedOnce[p] = float64(sharedOnce) / float64(nGroups)
+		}
+		a.fig5.CDF[p] = staleCDF
+		if nStale > 0 {
+			a.fig5.SameDay[p] = float64(sameDay) / float64(nStale)
+			a.fig5.OverYr[p] = float64(overYr) / float64(nStale)
+		}
+		a.fig6.LifetimeDays[p] = life
+		a.fig6.RevokedPerDay[p] = perDay
+		if nObserved > 0 {
+			a.fig6.RevokedShare[p] = float64(revoked) / float64(nObserved)
+			a.fig6.DeadAtFirst[p] = float64(deadFirst) / float64(nObserved)
+		}
+		a.fig7.Members[p] = mem
+		a.fig7.OnlineFrac[p] = onl
+		a.fig7.Growth[p] = gro
+		if nGrowth > 0 {
+			a.fig7.Grew[p] = float64(grew) / float64(nGrowth)
+			a.fig7.Shrank[p] = float64(shrank) / float64(nGrowth)
+		}
+		a.spanDays[p] = spans
+	}
+}
+
+// walkMessages fills Figure 8 (message types) and Figure 9's per-group and
+// per-user counts from one pass over the collected messages, then
+// finalizes Figure 9 against the spans of walkGroups.
+func (a *Aggregates) walkMessages(ds Dataset) {
+	a.fig8 = Fig8Result{Types: map[platform.Platform]*stats.Histogram{}}
+	counts := map[platform.Platform]map[string]int{} // group -> msgs
+	users := map[platform.Platform]map[uint64]int{}  // user -> msgs
+	for _, p := range platform.All {
+		a.fig8.Types[p] = stats.NewHistogram()
+		counts[p] = map[string]int{}
+		users[p] = map[uint64]int{}
+	}
+	msgs := ds.Messages()
+	for i := range msgs {
+		p := msgs[i].Platform
+		a.fig8.Types[p].Inc(msgs[i].Type.String())
+		counts[p][msgs[i].GroupCode]++
+		users[p][msgs[i].AuthorKey]++
+	}
+
+	a.fig9.PerGroupDay = map[platform.Platform]*stats.ECDF{}
+	a.fig9.PerUser = map[platform.Platform]*stats.ECDF{}
+	a.fig9.Top1Share = map[platform.Platform]float64{}
+	a.fig9.UpTo10Share = map[platform.Platform]float64{}
+	a.fig9.ActiveUsers = map[platform.Platform]int{}
+	for _, p := range platform.All {
+		e := stats.NewECDF(nil)
+		for code, n := range counts[p] {
+			if span, ok := a.spanDays[p][code]; ok {
+				e.Add(float64(n) / span)
+			}
+		}
+		a.fig9.PerGroupDay[p] = e
+
+		ue := stats.NewECDF(nil)
+		var perUser []float64
+		upto10 := 0
+		for _, n := range users[p] {
+			ue.AddInt(n)
+			perUser = append(perUser, float64(n))
+			if n <= 10 {
+				upto10++
+			}
+		}
+		a.fig9.PerUser[p] = ue
+		a.fig9.ActiveUsers[p] = len(users[p])
+		a.fig9.Top1Share[p] = stats.TopShare(perUser, 0.01)
+		if len(users[p]) > 0 {
+			a.fig9.UpTo10Share[p] = float64(upto10) / float64(len(users[p]))
+		}
+	}
+}
+
+// walkUsers fills Table 2 (with the store's per-platform counters) and
+// runs the PII analysis once for Tables 4 and 5.
+func (a *Aggregates) walkUsers(ds Dataset) {
+	us := ds.Users()
+
+	memberUsers := map[platform.Platform]int{}
+	for _, u := range us {
+		if !u.Creator {
+			memberUsers[u.Platform]++
+		}
+	}
+	for _, p := range platform.All {
+		c := ds.CountsFor(p)
+		row := Table2Row{
+			Platform:     p,
+			Tweets:       c.Tweets,
+			TweetUsers:   c.TweetUsers,
+			GroupURLs:    c.GroupURLs,
+			JoinedGroups: c.JoinedGroups,
+			Messages:     c.Messages,
+			MessageUsers: memberUsers[p],
+		}
+		a.table2.Rows = append(a.table2.Rows, row)
+		a.table2.Total.Tweets += row.Tweets
+		a.table2.Total.TweetUsers += row.TweetUsers
+		a.table2.Total.GroupURLs += row.GroupURLs
+		a.table2.Total.JoinedGroups += row.JoinedGroups
+		a.table2.Total.Messages += row.Messages
+		a.table2.Total.MessageUsers += row.MessageUsers
+	}
+
+	a.privacyReport = privacy.AnalyzeUsers(us)
+}
+
+// messageSpanDays returns the window over which a joined group's messages
+// were collected: since the join for WhatsApp, since creation otherwise.
+func messageSpanDays(ds Dataset, g *store.GroupRecord) float64 {
+	end := ds.Start.Add(time.Duration(ds.Days) * 24 * time.Hour)
+	var from time.Time
+	if g.Platform == platform.WhatsApp {
+		from = g.JoinedAt
+	} else {
+		from = g.CreatedAt
+	}
+	if from.IsZero() || !end.After(from) {
+		return 0
+	}
+	return end.Sub(from).Hours() / 24
+}

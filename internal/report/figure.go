@@ -49,5 +49,8 @@ func Figure(ds Dataset, id string) (FigureResult, bool) {
 	if !ok {
 		return nil, false
 	}
+	if ds.Prof != nil {
+		defer ds.Prof.StartStage("figures")()
+	}
 	return build(ds), true
 }

@@ -10,6 +10,12 @@ import (
 	"msgscope/internal/store"
 )
 
+// The nine figure builders below all read the dataset through one shared
+// Aggregates value (see aggregate.go): a single pass over each record
+// class fills every figure's reductions at once, and a Dataset carrying an
+// AggCache — as the study's does — pays for that pass exactly once no
+// matter how many figures are computed.
+
 // --- Figure 1: group URLs discovered per day ---
 
 // Fig1Result carries the three per-day series of Figure 1 for each
@@ -21,44 +27,7 @@ type Fig1Result struct {
 }
 
 // Fig1 computes the discovery series.
-func Fig1(ds Dataset) Fig1Result {
-	res := Fig1Result{
-		All:    map[platform.Platform]*stats.Series{},
-		Unique: map[platform.Platform]*stats.Series{},
-		New:    map[platform.Platform]*stats.Series{},
-	}
-	type daySet map[string]struct{}
-	uniq := map[platform.Platform]map[int]daySet{}
-	seen := map[platform.Platform]map[string]int{} // code -> first day
-	for _, p := range platform.All {
-		res.All[p] = stats.NewSeries(ds.Days)
-		res.Unique[p] = stats.NewSeries(ds.Days)
-		res.New[p] = stats.NewSeries(ds.Days)
-		uniq[p] = map[int]daySet{}
-		seen[p] = map[string]int{}
-	}
-	for day, bucket := range ds.TweetDayBuckets() {
-		for _, t := range bucket {
-			res.All[t.Platform].Inc(day, 1)
-			if uniq[t.Platform][day] == nil {
-				uniq[t.Platform][day] = daySet{}
-			}
-			uniq[t.Platform][day][t.GroupCode] = struct{}{}
-			if first, ok := seen[t.Platform][t.GroupCode]; !ok || day < first {
-				seen[t.Platform][t.GroupCode] = day
-			}
-		}
-	}
-	for _, p := range platform.All {
-		for day, set := range uniq[p] {
-			res.Unique[p].Inc(day, float64(len(set)))
-		}
-		for _, firstDay := range seen[p] {
-			res.New[p].Inc(firstDay, 1)
-		}
-	}
-	return res
-}
+func Fig1(ds Dataset) Fig1Result { return ds.aggregates().fig1 }
 
 // Render prints the per-day medians, the headline numbers of Section 4.
 func (f Fig1Result) Render() string {
@@ -82,28 +51,7 @@ type Fig2Result struct {
 }
 
 // Fig2 computes the share-multiplicity distribution.
-func Fig2(ds Dataset) Fig2Result {
-	res := Fig2Result{
-		CDF:        map[platform.Platform]*stats.ECDF{},
-		SharedOnce: map[platform.Platform]float64{},
-	}
-	for _, p := range platform.All {
-		e := stats.NewECDF(nil)
-		once, n := 0, 0
-		for _, g := range ds.GroupsOf(p) {
-			e.AddInt(g.Tweets)
-			n++
-			if g.Tweets == 1 {
-				once++
-			}
-		}
-		res.CDF[p] = e
-		if n > 0 {
-			res.SharedOnce[p] = float64(once) / float64(n)
-		}
-	}
-	return res
-}
+func Fig2(ds Dataset) Fig2Result { return ds.aggregates().fig2 }
 
 // Render prints the CDF summary.
 func (f Fig2Result) Render() string {
@@ -135,24 +83,7 @@ type Fig3Result struct {
 }
 
 // Fig3 computes feature prevalence for the platform tweets and the control.
-func Fig3(ds Dataset) Fig3Result {
-	var res Fig3Result
-	for _, p := range platform.All {
-		fs := FeatureShares{Name: p.String()}
-		for _, t := range ds.TweetsOf(p) {
-			accumulate(&fs, t.Hashtags, t.Mentions, t.Retweet)
-		}
-		finalize(&fs)
-		res.Rows = append(res.Rows, fs)
-	}
-	ctl := FeatureShares{Name: "Control"}
-	for _, t := range ds.Control() {
-		accumulate(&ctl, t.Hashtags, t.Mentions, t.Retweet)
-	}
-	finalize(&ctl)
-	res.Rows = append(res.Rows, ctl)
-	return res
-}
+func Fig3(ds Dataset) Fig3Result { return ds.aggregates().fig3 }
 
 func accumulate(fs *FeatureShares, hashtags, mentions int, retweet bool) {
 	fs.Tweets++
@@ -206,17 +137,7 @@ type Fig4Result struct {
 }
 
 // Fig4 computes language shares from the platform-provided lang field.
-func Fig4(ds Dataset) Fig4Result {
-	res := Fig4Result{Langs: map[platform.Platform]*stats.Histogram{}}
-	for _, p := range platform.All {
-		res.Langs[p] = stats.NewHistogram()
-	}
-	tweets := ds.Tweets()
-	for i := range tweets {
-		res.Langs[tweets[i].Platform].Inc(tweets[i].Lang)
-	}
-	return res
-}
+func Fig4(ds Dataset) Fig4Result { return ds.aggregates().fig4 }
 
 // Render prints the top languages per platform.
 func (f Fig4Result) Render() string {
@@ -247,42 +168,7 @@ type Fig5Result struct {
 
 // Fig5 computes staleness where creation dates are known: all observed
 // Discord groups (snowflakes) and the joined WhatsApp/Telegram groups.
-func Fig5(ds Dataset) Fig5Result {
-	res := Fig5Result{
-		CDF:     map[platform.Platform]*stats.ECDF{},
-		SameDay: map[platform.Platform]float64{},
-		OverYr:  map[platform.Platform]float64{},
-	}
-	for _, p := range platform.All {
-		e := stats.NewECDF(nil)
-		sameDay, overYr, n := 0, 0, 0
-		for _, g := range ds.GroupsOf(p) {
-			created := creationOf(g)
-			if created.IsZero() {
-				continue
-			}
-			stale := g.FirstSeen.Sub(created)
-			if stale < 0 {
-				stale = 0
-			}
-			days := stale.Hours() / 24
-			e.Add(days)
-			n++
-			if days < 1 {
-				sameDay++
-			}
-			if days > 365 {
-				overYr++
-			}
-		}
-		res.CDF[p] = e
-		if n > 0 {
-			res.SameDay[p] = float64(sameDay) / float64(n)
-			res.OverYr[p] = float64(overYr) / float64(n)
-		}
-	}
-	return res
-}
+func Fig5(ds Dataset) Fig5Result { return ds.aggregates().fig5 }
 
 // creationOf returns the best-known creation date of a group: the join-time
 // metadata if joined, else the Discord snowflake date from observations.
@@ -325,52 +211,7 @@ type Fig6Result struct {
 }
 
 // Fig6 computes revocation behaviour from the daily observation series.
-func Fig6(ds Dataset) Fig6Result {
-	res := Fig6Result{
-		LifetimeDays:  map[platform.Platform]*stats.ECDF{},
-		RevokedPerDay: map[platform.Platform]*stats.Series{},
-		RevokedShare:  map[platform.Platform]float64{},
-		DeadAtFirst:   map[platform.Platform]float64{},
-	}
-	for _, p := range platform.All {
-		life := stats.NewECDF(nil)
-		perDay := stats.NewSeries(ds.Days)
-		revoked, deadFirst, n := 0, 0, 0
-		for _, g := range ds.GroupsOf(p) {
-			if len(g.Observations) == 0 {
-				continue
-			}
-			n++
-			var lastAlive, revokedAt time.Time
-			for _, o := range g.Observations {
-				if o.Alive {
-					lastAlive = o.At
-				} else {
-					revokedAt = o.At
-					break
-				}
-			}
-			if revokedAt.IsZero() {
-				continue // survived the window
-			}
-			revoked++
-			perDay.Inc(ds.dayOf(revokedAt), 1)
-			if lastAlive.IsZero() {
-				deadFirst++
-				life.Add(0)
-			} else {
-				life.Add(lastAlive.Sub(g.FirstSeen).Hours() / 24)
-			}
-		}
-		res.LifetimeDays[p] = life
-		res.RevokedPerDay[p] = perDay
-		if n > 0 {
-			res.RevokedShare[p] = float64(revoked) / float64(n)
-			res.DeadAtFirst[p] = float64(deadFirst) / float64(n)
-		}
-	}
-	return res
-}
+func Fig6(ds Dataset) Fig6Result { return ds.aggregates().fig6 }
 
 // Render prints the revocation summary.
 func (f Fig6Result) Render() string {
@@ -395,59 +236,7 @@ type Fig7Result struct {
 }
 
 // Fig7 computes membership distributions from the daily observations.
-func Fig7(ds Dataset) Fig7Result {
-	res := Fig7Result{
-		Members:    map[platform.Platform]*stats.ECDF{},
-		OnlineFrac: map[platform.Platform]*stats.ECDF{},
-		Growth:     map[platform.Platform]*stats.ECDF{},
-		Grew:       map[platform.Platform]float64{},
-		Shrank:     map[platform.Platform]float64{},
-	}
-	for _, p := range platform.All {
-		mem := stats.NewECDF(nil)
-		onl := stats.NewECDF(nil)
-		gro := stats.NewECDF(nil)
-		grew, shrank, n := 0, 0, 0
-		for _, g := range ds.GroupsOf(p) {
-			first, last := -1, -1
-			for i, o := range g.Observations {
-				if o.Alive {
-					if first < 0 {
-						first = i
-					}
-					last = i
-				}
-			}
-			if first < 0 {
-				continue
-			}
-			fo := g.Observations[first]
-			mem.AddInt(fo.Members)
-			if fo.Members > 0 && (p == platform.Telegram || p == platform.Discord) {
-				onl.Add(float64(fo.Online) / float64(fo.Members))
-			}
-			if last > first {
-				delta := g.Observations[last].Members - fo.Members
-				gro.AddInt(delta)
-				n++
-				if delta > 0 {
-					grew++
-				}
-				if delta < 0 {
-					shrank++
-				}
-			}
-		}
-		res.Members[p] = mem
-		res.OnlineFrac[p] = onl
-		res.Growth[p] = gro
-		if n > 0 {
-			res.Grew[p] = float64(grew) / float64(n)
-			res.Shrank[p] = float64(shrank) / float64(n)
-		}
-	}
-	return res
-}
+func Fig7(ds Dataset) Fig7Result { return ds.aggregates().fig7 }
 
 // Render prints the three panels' summaries.
 func (f Fig7Result) Render() string {
@@ -476,17 +265,7 @@ type Fig8Result struct {
 }
 
 // Fig8 computes message-type shares over the joined groups' messages.
-func Fig8(ds Dataset) Fig8Result {
-	res := Fig8Result{Types: map[platform.Platform]*stats.Histogram{}}
-	for _, p := range platform.All {
-		res.Types[p] = stats.NewHistogram()
-	}
-	msgs := ds.Messages()
-	for i := range msgs {
-		res.Types[msgs[i].Platform].Inc(msgs[i].Type.String())
-	}
-	return res
-}
+func Fig8(ds Dataset) Fig8Result { return ds.aggregates().fig8 }
 
 // Render prints the type shares.
 func (f Fig8Result) Render() string {
@@ -514,77 +293,7 @@ type Fig9Result struct {
 }
 
 // Fig9 computes in-group activity distributions.
-func Fig9(ds Dataset) Fig9Result {
-	res := Fig9Result{
-		PerGroupDay: map[platform.Platform]*stats.ECDF{},
-		PerUser:     map[platform.Platform]*stats.ECDF{},
-		Top1Share:   map[platform.Platform]float64{},
-		UpTo10Share: map[platform.Platform]float64{},
-		ActiveUsers: map[platform.Platform]int{},
-	}
-	counts := map[platform.Platform]map[string]int{} // group -> msgs
-	users := map[platform.Platform]map[uint64]int{}  // user -> msgs
-	spanDays := map[platform.Platform]map[string]float64{}
-	for _, p := range platform.All {
-		counts[p] = map[string]int{}
-		users[p] = map[uint64]int{}
-		spanDays[p] = map[string]float64{}
-	}
-	msgs := ds.Messages()
-	for i := range msgs {
-		counts[msgs[i].Platform][msgs[i].GroupCode]++
-		users[msgs[i].Platform][msgs[i].AuthorKey]++
-	}
-	for _, p := range platform.All {
-		for _, g := range ds.JoinedOf(p) {
-			span := messageSpanDays(ds, g)
-			if span > 0 {
-				spanDays[p][g.Code] = span
-			}
-		}
-		e := stats.NewECDF(nil)
-		for code, n := range counts[p] {
-			if span, ok := spanDays[p][code]; ok {
-				e.Add(float64(n) / span)
-			}
-		}
-		res.PerGroupDay[p] = e
-
-		ue := stats.NewECDF(nil)
-		var perUser []float64
-		upto10 := 0
-		for _, n := range users[p] {
-			ue.AddInt(n)
-			perUser = append(perUser, float64(n))
-			if n <= 10 {
-				upto10++
-			}
-		}
-		res.PerUser[p] = ue
-		res.ActiveUsers[p] = len(users[p])
-		res.Top1Share[p] = stats.TopShare(perUser, 0.01)
-		if len(users[p]) > 0 {
-			res.UpTo10Share[p] = float64(upto10) / float64(len(users[p]))
-		}
-	}
-	return res
-}
-
-// messageSpanDays returns the window over which a joined group's messages
-// were collected: since the join for WhatsApp, since creation otherwise.
-func messageSpanDays(ds Dataset, g *store.GroupRecord) float64 {
-	end := ds.Start.Add(time.Duration(ds.Days) * 24 * time.Hour)
-	var from time.Time
-	if g.Platform == platform.WhatsApp {
-		from = g.JoinedAt
-	} else {
-		from = g.CreatedAt
-	}
-	if from.IsZero() || !end.After(from) {
-		return 0
-	}
-	return end.Sub(from).Hours() / 24
-}
+func Fig9(ds Dataset) Fig9Result { return ds.aggregates().fig9 }
 
 // Render prints the activity summaries.
 func (f Fig9Result) Render() string {

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"msgscope/internal/platform"
+	"msgscope/internal/prof"
 	"msgscope/internal/store"
 )
 
@@ -23,6 +24,13 @@ type Dataset struct {
 	Start time.Time
 	Days  int
 	Snap  *store.Snapshot
+	// Agg, when set, memoizes the single-pass figure/table aggregation so
+	// every experiment computed from this dataset shares one scan per
+	// record class (see aggregate.go).
+	Agg *AggCache
+	// Prof, when set, receives per-analysis-stage wall timings ("lda",
+	// "aggregate", "figures") as experiments are computed.
+	Prof *prof.Recorder
 }
 
 // dayOf maps an instant to a zero-based study day.

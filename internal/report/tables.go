@@ -59,37 +59,7 @@ type Table2Result struct {
 }
 
 // Table2 computes the dataset overview (the paper's Table 2).
-func Table2(ds Dataset) Table2Result {
-	var res Table2Result
-	// Platform-side user counts: users observed via joined groups
-	// (members and posters), not creators-only.
-	memberUsers := map[platform.Platform]int{}
-	for _, u := range ds.Users() {
-		if !u.Creator {
-			memberUsers[u.Platform]++
-		}
-	}
-	for _, p := range platform.All {
-		c := ds.CountsFor(p)
-		row := Table2Row{
-			Platform:     p,
-			Tweets:       c.Tweets,
-			TweetUsers:   c.TweetUsers,
-			GroupURLs:    c.GroupURLs,
-			JoinedGroups: c.JoinedGroups,
-			Messages:     c.Messages,
-			MessageUsers: memberUsers[p],
-		}
-		res.Rows = append(res.Rows, row)
-		res.Total.Tweets += row.Tweets
-		res.Total.TweetUsers += row.TweetUsers
-		res.Total.GroupURLs += row.GroupURLs
-		res.Total.JoinedGroups += row.JoinedGroups
-		res.Total.Messages += row.Messages
-		res.Total.MessageUsers += row.MessageUsers
-	}
-	return res
-}
+func Table2(ds Dataset) Table2Result { return ds.aggregates().table2 }
 
 // Render prints the table.
 func (t Table2Result) Render() string {
@@ -156,11 +126,16 @@ func Table3(ds Dataset, cfg Table3Config) Table3Result {
 			continue
 		}
 		corpus := textproc.NewCorpus(tok, texts)
+		done := func() {}
+		if ds.Prof != nil {
+			done = ds.Prof.StartStage("lda")
+		}
 		model := lda.Fit(corpus, lda.Config{
 			Topics:     cfg.Topics,
 			Iterations: cfg.Iterations,
 			Seed:       cfg.Seed,
 		})
+		done()
 		res.Topics[p] = model.Summaries(cfg.TopWords)
 	}
 	return res
@@ -186,9 +161,10 @@ type Table4Result struct {
 	Report privacy.Report
 }
 
-// Table4 computes the PII-exposure statistics.
+// Table4 computes the PII-exposure statistics. It shares one PII analysis
+// with Table 5 through the dataset's aggregation pass.
 func Table4(ds Dataset) Table4Result {
-	return Table4Result{Report: privacy.AnalyzeUsers(ds.Users())}
+	return Table4Result{Report: ds.aggregates().privacyReport}
 }
 
 // Render prints Table 4.
@@ -209,9 +185,10 @@ type Table5Result struct {
 	Rows []privacy.LinkedCount
 }
 
-// Table5 computes the linked-account breakdown.
+// Table5 computes the linked-account breakdown, sharing Table 4's PII
+// analysis.
 func Table5(ds Dataset) Table5Result {
-	return Table5Result{Rows: privacy.AnalyzeUsers(ds.Users()).Linked}
+	return Table5Result{Rows: ds.aggregates().privacyReport.Linked}
 }
 
 // Render prints Table 5.

@@ -104,6 +104,10 @@ type FaultWindow = faults.Window
 // Options.ProfilePhases).
 type PhaseStat = prof.PhaseStat
 
+// StageStat is one analysis stage's wall-clock tally (see
+// Result.ProfileStages).
+type StageStat = prof.StageStat
+
 // RuntimeSample is a point-in-time snapshot of the process's memory
 // counters (live heap, cumulative allocations, GC cycles, pause total).
 type RuntimeSample = prof.Sample
@@ -156,6 +160,12 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 // ProfilePhases returns the per-phase allocation stats recorded during
 // the run. Nil unless Options.ProfilePhases was set.
 func (r *Result) ProfilePhases() []PhaseStat { return r.study.ProfilePhases() }
+
+// ProfileStages returns the wall time spent in each analysis stage —
+// "lda", "aggregate", "figures" — while experiments were computed from
+// this result. Nil unless Options.ProfilePhases was set; stages appear
+// only after the experiments that exercise them have been rendered.
+func (r *Result) ProfileStages() []StageStat { return r.study.ProfileStages() }
 
 // Runtime samples the process's current memory counters — cheap enough
 // for an HTTP status endpoint, but it briefly stops the world, so don't
@@ -218,10 +228,17 @@ func (r *Result) Render(experiment string) string {
 // Recompute re-derives an experiment from the raw dataset, bypassing the
 // cache (the cold path; useful for benchmarking the derivation itself).
 func (r *Result) Recompute(experiment string) string {
-	fn, ok := experiments[strings.ToLower(experiment)]
+	id := strings.ToLower(experiment)
+	fn, ok := experiments[id]
 	if !ok {
 		return fmt.Sprintf("unknown experiment %q (valid: %s)",
 			experiment, strings.Join(Experiments(), ", "))
+	}
+	// Deriving a figure counts toward the "figures" analysis stage; the
+	// first one also triggers the shared aggregation pass, which shows up
+	// under its own "aggregate" stage (nested inside this one).
+	if r.ds.Prof != nil && strings.HasPrefix(id, "fig") {
+		defer r.ds.Prof.StartStage("figures")()
 	}
 	return fn(r)
 }
