@@ -83,26 +83,52 @@ func (m *Monitor) DailySweep(ctx context.Context, now time.Time) error {
 	if workers < 1 {
 		workers = 1
 	}
-	ch := make(chan job)
+	// Workers take contiguous per-platform batches, not single groups: a
+	// probe against the loopback services is cheap enough that an
+	// unbuffered per-group handoff (channel rendezvous plus scheduler
+	// wakeup per probe) used to make the parallel sweep slower than the
+	// serial one. Batches amortize that handoff and keep each worker on
+	// one platform's client for a whole slice. See DESIGN.md §11 for the
+	// worker-count sensitivity.
+	batch := len(jobs) / (4 * workers)
+	if batch < 8 {
+		batch = 8
+	}
+	ch := make(chan []job, workers)
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for j := range ch {
-				if err := m.probe(ctx, j.p, j.code, now); err != nil {
-					// A failed probe — even a systematic outage — must not
-					// abort the sweep: the group is marked deferred, has no
-					// observation today, and is probed again on the next
-					// sweep. Nothing is silently dropped.
-					m.stats.deferred.Add(1)
-					m.Store.MarkDeferred(j.p, j.code, "monitor")
+			for js := range ch {
+				for _, j := range js {
+					if err := m.probe(ctx, j.p, j.code, now); err != nil {
+						// A failed probe — even a systematic outage — must not
+						// abort the sweep: the group is marked deferred, has no
+						// observation today, and is probed again on the next
+						// sweep. Nothing is silently dropped.
+						m.stats.deferred.Add(1)
+						m.Store.MarkDeferred(j.p, j.code, "monitor")
+					}
 				}
 			}
 		}()
 	}
-	for _, j := range jobs {
-		ch <- j
+	// Store.Groups is sorted by platform then code, so slicing at platform
+	// changes keeps every batch single-platform.
+	for start := 0; start < len(jobs); {
+		end := start + batch
+		if end > len(jobs) {
+			end = len(jobs)
+		}
+		for e := start + 1; e < end; e++ {
+			if jobs[e].p != jobs[start].p {
+				end = e
+				break
+			}
+		}
+		ch <- jobs[start:end]
+		start = end
 	}
 	close(ch)
 	wg.Wait()
