@@ -1,0 +1,328 @@
+package store
+
+import (
+	"time"
+
+	"msgscope/internal/jsonx"
+	"msgscope/internal/platform"
+)
+
+// Hand-written jsonx codecs for the flat record types on the Save/Load
+// hot path. Each appendJSON produces output byte-identical to
+// encoding/json for the same struct (field order, omitempty behaviour,
+// HTML-escaped strings, RFC 3339 timestamps), so switching a record type
+// between the reflective and hand-written paths never changes the files
+// on disk; codec_test.go holds encoding/json up as the differential
+// oracle. GroupRecord deliberately has no codec: its nested observation
+// series and many omitempty fields put it off the hot path and deep into
+// diminishing returns, so it stays on encoding/json.
+
+// jsonlCodec is implemented by record pointers with a hand-written
+// encoder/decoder pair; WriteJSONL and ReadJSONL dispatch on it.
+type jsonlCodec interface {
+	appendJSON(dst []byte) []byte
+	parseJSON(d *jsonx.Dec) error
+}
+
+// appendTime appends t as a quoted RFC 3339 timestamp, matching
+// time.Time.MarshalJSON byte for byte (RFC3339Nano drops trailing
+// fractional zeros exactly like the strict marshaller).
+func appendTime(dst []byte, t time.Time) []byte {
+	dst = append(dst, '"')
+	dst = t.AppendFormat(dst, time.RFC3339Nano)
+	return append(dst, '"')
+}
+
+func parseTime(d *jsonx.Dec, t *time.Time) error {
+	s, err := d.StrBytes()
+	if err != nil {
+		return err
+	}
+	v, err := time.Parse(time.RFC3339, string(s))
+	if err != nil {
+		return err
+	}
+	*t = v
+	return nil
+}
+
+func appendBool(dst []byte, b bool) []byte {
+	if b {
+		return append(dst, "true"...)
+	}
+	return append(dst, "false"...)
+}
+
+// --- TweetRecord ---
+
+func (t *TweetRecord) appendJSON(dst []byte) []byte {
+	dst = append(dst, `{"id":`...)
+	dst = jsonx.AppendUint(dst, t.ID)
+	dst = append(dst, `,"user_id":`...)
+	dst = jsonx.AppendString(dst, t.UserID)
+	dst = append(dst, `,"created_at":`...)
+	dst = appendTime(dst, t.CreatedAt)
+	dst = append(dst, `,"lang":`...)
+	dst = jsonx.AppendString(dst, t.Lang)
+	dst = append(dst, `,"hashtags":`...)
+	dst = jsonx.AppendInt(dst, int64(t.Hashtags))
+	dst = append(dst, `,"mentions":`...)
+	dst = jsonx.AppendInt(dst, int64(t.Mentions))
+	dst = append(dst, `,"retweet":`...)
+	dst = appendBool(dst, t.Retweet)
+	dst = append(dst, `,"text":`...)
+	dst = jsonx.AppendString(dst, t.Text)
+	dst = append(dst, `,"platform":`...)
+	dst = jsonx.AppendInt(dst, int64(t.Platform))
+	dst = append(dst, `,"group_code":`...)
+	dst = jsonx.AppendString(dst, t.GroupCode)
+	dst = append(dst, `,"source":`...)
+	dst = jsonx.AppendInt(dst, int64(t.Source))
+	return append(dst, '}')
+}
+
+func (t *TweetRecord) parseJSON(d *jsonx.Dec) error {
+	return d.Obj(func(key []byte) error {
+		var err error
+		switch string(key) {
+		case "id":
+			t.ID, err = d.Uint()
+		case "user_id":
+			t.UserID, err = d.Str()
+		case "created_at":
+			err = parseTime(d, &t.CreatedAt)
+		case "lang":
+			t.Lang, err = d.Str()
+		case "hashtags":
+			var v int64
+			v, err = d.Int()
+			t.Hashtags = int(v)
+		case "mentions":
+			var v int64
+			v, err = d.Int()
+			t.Mentions = int(v)
+		case "retweet":
+			t.Retweet, err = d.Bool()
+		case "text":
+			t.Text, err = d.Str()
+		case "platform":
+			var v int64
+			v, err = d.Int()
+			t.Platform = platform.Platform(v)
+		case "group_code":
+			t.GroupCode, err = d.Str()
+		case "source":
+			var v int64
+			v, err = d.Int()
+			t.Source = TweetSource(v)
+		default:
+			err = d.Skip()
+		}
+		return err
+	})
+}
+
+// --- ControlRecord ---
+
+func (c *ControlRecord) appendJSON(dst []byte) []byte {
+	dst = append(dst, `{"id":`...)
+	dst = jsonx.AppendUint(dst, c.ID)
+	dst = append(dst, `,"user_id":`...)
+	dst = jsonx.AppendString(dst, c.UserID)
+	dst = append(dst, `,"created_at":`...)
+	dst = appendTime(dst, c.CreatedAt)
+	dst = append(dst, `,"lang":`...)
+	dst = jsonx.AppendString(dst, c.Lang)
+	dst = append(dst, `,"hashtags":`...)
+	dst = jsonx.AppendInt(dst, int64(c.Hashtags))
+	dst = append(dst, `,"mentions":`...)
+	dst = jsonx.AppendInt(dst, int64(c.Mentions))
+	dst = append(dst, `,"retweet":`...)
+	dst = appendBool(dst, c.Retweet)
+	return append(dst, '}')
+}
+
+func (c *ControlRecord) parseJSON(d *jsonx.Dec) error {
+	return d.Obj(func(key []byte) error {
+		var err error
+		switch string(key) {
+		case "id":
+			c.ID, err = d.Uint()
+		case "user_id":
+			c.UserID, err = d.Str()
+		case "created_at":
+			err = parseTime(d, &c.CreatedAt)
+		case "lang":
+			c.Lang, err = d.Str()
+		case "hashtags":
+			var v int64
+			v, err = d.Int()
+			c.Hashtags = int(v)
+		case "mentions":
+			var v int64
+			v, err = d.Int()
+			c.Mentions = int(v)
+		case "retweet":
+			c.Retweet, err = d.Bool()
+		default:
+			err = d.Skip()
+		}
+		return err
+	})
+}
+
+// --- MessageRecord ---
+
+func (m *MessageRecord) appendJSON(dst []byte) []byte {
+	dst = append(dst, `{"platform":`...)
+	dst = jsonx.AppendInt(dst, int64(m.Platform))
+	dst = append(dst, `,"group_code":`...)
+	dst = jsonx.AppendString(dst, m.GroupCode)
+	dst = append(dst, `,"author_key":`...)
+	dst = jsonx.AppendUint(dst, m.AuthorKey)
+	dst = append(dst, `,"sent_at":`...)
+	dst = appendTime(dst, m.SentAt)
+	dst = append(dst, `,"type":`...)
+	dst = jsonx.AppendInt(dst, int64(m.Type))
+	if m.Text != "" {
+		dst = append(dst, `,"text":`...)
+		dst = jsonx.AppendString(dst, m.Text)
+	}
+	return append(dst, '}')
+}
+
+func (m *MessageRecord) parseJSON(d *jsonx.Dec) error {
+	return d.Obj(func(key []byte) error {
+		var err error
+		switch string(key) {
+		case "platform":
+			var v int64
+			v, err = d.Int()
+			m.Platform = platform.Platform(v)
+		case "group_code":
+			m.GroupCode, err = d.Str()
+		case "author_key":
+			m.AuthorKey, err = d.Uint()
+		case "sent_at":
+			err = parseTime(d, &m.SentAt)
+		case "type":
+			var v int64
+			v, err = d.Int()
+			m.Type = platform.MessageType(v)
+		case "text":
+			m.Text, err = d.Str()
+		default:
+			err = d.Skip()
+		}
+		return err
+	})
+}
+
+// --- UserRecord ---
+
+func (u *UserRecord) appendJSON(dst []byte) []byte {
+	dst = append(dst, `{"platform":`...)
+	dst = jsonx.AppendInt(dst, int64(u.Platform))
+	dst = append(dst, `,"key":`...)
+	dst = jsonx.AppendUint(dst, u.Key)
+	if u.PhoneHash != "" {
+		dst = append(dst, `,"phone_hash":`...)
+		dst = jsonx.AppendString(dst, u.PhoneHash)
+	}
+	if u.Country != "" {
+		dst = append(dst, `,"country":`...)
+		dst = jsonx.AppendString(dst, u.Country)
+	}
+	if len(u.Linked) > 0 {
+		dst = append(dst, `,"linked":[`...)
+		for i, l := range u.Linked {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = jsonx.AppendString(dst, l)
+		}
+		dst = append(dst, ']')
+	}
+	if u.Creator {
+		dst = append(dst, `,"creator":true`...)
+	}
+	return append(dst, '}')
+}
+
+func (u *UserRecord) parseJSON(d *jsonx.Dec) error {
+	return d.Obj(func(key []byte) error {
+		var err error
+		switch string(key) {
+		case "platform":
+			var v int64
+			v, err = d.Int()
+			u.Platform = platform.Platform(v)
+		case "key":
+			u.Key, err = d.Uint()
+		case "phone_hash":
+			u.PhoneHash, err = d.Str()
+		case "country":
+			u.Country, err = d.Str()
+		case "linked":
+			if d.Null() {
+				return nil
+			}
+			err = d.Arr(func() error {
+				s, e := d.Str()
+				if e != nil {
+					return e
+				}
+				u.Linked = append(u.Linked, s)
+				return nil
+			})
+		case "creator":
+			u.Creator, err = d.Bool()
+		default:
+			err = d.Skip()
+		}
+		return err
+	})
+}
+
+// --- PostRecord ---
+
+func (p *PostRecord) appendJSON(dst []byte) []byte {
+	dst = append(dst, `{"id":`...)
+	dst = jsonx.AppendUint(dst, p.ID)
+	dst = append(dst, `,"author":`...)
+	dst = jsonx.AppendString(dst, p.Author)
+	dst = append(dst, `,"created_at":`...)
+	dst = appendTime(dst, p.CreatedAt)
+	dst = append(dst, `,"text":`...)
+	dst = jsonx.AppendString(dst, p.Text)
+	dst = append(dst, `,"platform":`...)
+	dst = jsonx.AppendInt(dst, int64(p.Platform))
+	dst = append(dst, `,"group_code":`...)
+	dst = jsonx.AppendString(dst, p.GroupCode)
+	return append(dst, '}')
+}
+
+func (p *PostRecord) parseJSON(d *jsonx.Dec) error {
+	return d.Obj(func(key []byte) error {
+		var err error
+		switch string(key) {
+		case "id":
+			p.ID, err = d.Uint()
+		case "author":
+			p.Author, err = d.Str()
+		case "created_at":
+			err = parseTime(d, &p.CreatedAt)
+		case "text":
+			p.Text, err = d.Str()
+		case "platform":
+			var v int64
+			v, err = d.Int()
+			p.Platform = platform.Platform(v)
+		case "group_code":
+			p.GroupCode, err = d.Str()
+		default:
+			err = d.Skip()
+		}
+		return err
+	})
+}

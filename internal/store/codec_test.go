@@ -1,0 +1,203 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand/v2"
+	"reflect"
+	"testing"
+	"time"
+
+	"msgscope/internal/platform"
+)
+
+// The hand-written codecs must be indistinguishable from encoding/json on
+// the wire: these tests hold the reflective marshaller up as the
+// differential oracle in both directions.
+
+func codecTime(rng *rand.Rand) time.Time {
+	t := time.Date(2020, 4, 1, 0, 0, 0, 0, time.UTC).Add(time.Duration(rng.Int64N(int64(90 * 24 * time.Hour))))
+	switch rng.IntN(3) {
+	case 0:
+		t = t.Truncate(time.Second)
+	case 1:
+		t = t.Add(time.Duration(rng.Int64N(1e9)))
+	}
+	return t
+}
+
+// trickyStrings exercises the encoder's escaping: HTML characters,
+// control characters, multi-byte runes, U+2028/29, invalid UTF-8.
+var trickyStrings = []string{
+	"", "plain", `with "quotes" and \backslash`, "tab\tnew\nline",
+	"<script>&amp;</script>", "émoji \U0001F600 中文", "line sep ",
+	"ctrl\x01\x1f", "bad\xffutf8", "ends high \xed",
+}
+
+func pick(rng *rand.Rand, ss []string) string { return ss[rng.IntN(len(ss))] }
+
+func randTweet(rng *rand.Rand) TweetRecord {
+	return TweetRecord{
+		ID:        rng.Uint64(),
+		UserID:    pick(rng, trickyStrings),
+		CreatedAt: codecTime(rng),
+		Lang:      pick(rng, []string{"en", "pt", "", "hi"}),
+		Hashtags:  rng.IntN(5),
+		Mentions:  rng.IntN(5),
+		Retweet:   rng.IntN(2) == 0,
+		Text:      pick(rng, trickyStrings),
+		Platform:  platform.Platform(rng.IntN(4)),
+		GroupCode: pick(rng, trickyStrings),
+		Source:    TweetSource(rng.IntN(4)),
+	}
+}
+
+func randControl(rng *rand.Rand) ControlRecord {
+	return ControlRecord{
+		ID:        rng.Uint64(),
+		UserID:    pick(rng, trickyStrings),
+		CreatedAt: codecTime(rng),
+		Lang:      pick(rng, []string{"en", "es", ""}),
+		Hashtags:  rng.IntN(5),
+		Mentions:  rng.IntN(5),
+		Retweet:   rng.IntN(2) == 0,
+	}
+}
+
+func randMessage(rng *rand.Rand) MessageRecord {
+	return MessageRecord{
+		Platform:  platform.Platform(rng.IntN(4)),
+		GroupCode: pick(rng, trickyStrings),
+		AuthorKey: rng.Uint64(),
+		SentAt:    codecTime(rng),
+		Type:      platform.MessageType(rng.IntN(5)),
+		Text:      pick(rng, trickyStrings), // "" exercises omitempty
+	}
+}
+
+func randUser(rng *rand.Rand) UserRecord {
+	u := UserRecord{
+		Platform: platform.Platform(rng.IntN(4)),
+		Key:      rng.Uint64(),
+		Creator:  rng.IntN(2) == 0,
+	}
+	if rng.IntN(2) == 0 {
+		u.PhoneHash = pick(rng, trickyStrings)
+	}
+	if rng.IntN(2) == 0 {
+		u.Country = pick(rng, []string{"IN", "BR", "US"})
+	}
+	for i := rng.IntN(3); i > 0; i-- {
+		u.Linked = append(u.Linked, pick(rng, trickyStrings))
+	}
+	return u
+}
+
+func randPost(rng *rand.Rand) PostRecord {
+	return PostRecord{
+		ID:        rng.Uint64(),
+		Author:    pick(rng, trickyStrings),
+		CreatedAt: codecTime(rng),
+		Text:      pick(rng, trickyStrings),
+		Platform:  platform.Platform(rng.IntN(4)),
+		GroupCode: pick(rng, trickyStrings),
+	}
+}
+
+// checkCodec verifies, for a batch of records: (1) WriteJSONL output is
+// byte-identical to the pure encoding/json encoder, and (2) ReadJSONL of
+// encoding/json output reproduces the records exactly.
+func checkCodec[T any](t *testing.T, items []T) {
+	t.Helper()
+	var fast bytes.Buffer
+	if err := WriteJSONL(&fast, items); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	var oracle bytes.Buffer
+	enc := json.NewEncoder(&oracle)
+	for i := range items {
+		if err := enc.Encode(items[i]); err != nil {
+			t.Fatalf("oracle encode: %v", err)
+		}
+	}
+	if !bytes.Equal(fast.Bytes(), oracle.Bytes()) {
+		fl, ol := bytes.Split(fast.Bytes(), []byte("\n")), bytes.Split(oracle.Bytes(), []byte("\n"))
+		for i := range ol {
+			if i >= len(fl) || !bytes.Equal(fl[i], ol[i]) {
+				t.Fatalf("line %d differs:\n fast:   %s\n oracle: %s", i+1, fl[i], ol[i])
+			}
+		}
+		t.Fatal("encodings differ in length only")
+	}
+	got, err := ReadJSONL[T](bytes.NewReader(oracle.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	if len(got) != len(items) {
+		t.Fatalf("ReadJSONL returned %d records, want %d", len(got), len(items))
+	}
+	for i := range items {
+		if !reflect.DeepEqual(normTimes(got[i]), normTimes(items[i])) {
+			t.Fatalf("record %d round-trips as\n %+v\nwant\n %+v", i, got[i], items[i])
+		}
+	}
+}
+
+// normTimes re-marshals through encoding/json so wall-clock monotonic
+// bits (which no serializer preserves) don't fail DeepEqual.
+func normTimes[T any](v T) T {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	var out T
+	if err := json.Unmarshal(b, &out); err != nil {
+		panic(err)
+	}
+	return out
+}
+
+func TestCodecsMatchEncodingJSON(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 0))
+	const n = 300
+	tweets := make([]TweetRecord, n)
+	controls := make([]ControlRecord, n)
+	msgs := make([]MessageRecord, n)
+	users := make([]UserRecord, n)
+	posts := make([]PostRecord, n)
+	for i := 0; i < n; i++ {
+		tweets[i] = randTweet(rng)
+		controls[i] = randControl(rng)
+		msgs[i] = randMessage(rng)
+		users[i] = randUser(rng)
+		posts[i] = randPost(rng)
+	}
+	t.Run("tweets", func(t *testing.T) { checkCodec(t, tweets) })
+	t.Run("control", func(t *testing.T) { checkCodec(t, controls) })
+	t.Run("messages", func(t *testing.T) { checkCodec(t, msgs) })
+	t.Run("users", func(t *testing.T) { checkCodec(t, users) })
+	t.Run("posts", func(t *testing.T) { checkCodec(t, posts) })
+}
+
+// TestCodecReadsOracleOutputWithUnknownKeys pins forward compatibility:
+// like json.Unmarshal, the streaming parser must skip fields it does not
+// know rather than erroring, so older binaries can read newer files.
+func TestCodecReadsOracleOutputWithUnknownKeys(t *testing.T) {
+	in := `{"id":7,"user_id":"u","created_at":"2020-04-01T12:00:00Z","future_field":{"a":[1,2,{"b":null}]},"lang":"en","hashtags":1,"mentions":0,"retweet":true,"text":"t","platform":1,"group_code":"g","source":1}` + "\n"
+	got, err := ReadJSONL[TweetRecord](bytes.NewReader([]byte(in)))
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	if len(got) != 1 || got[0].ID != 7 || !got[0].Retweet || got[0].Lang != "en" {
+		t.Fatalf("unexpected decode: %+v", got)
+	}
+}
+
+// TestCodecRejectsMalformedLine pins the error surface: a truncated line
+// must produce a decode error naming the line, not a panic.
+func TestCodecRejectsMalformedLine(t *testing.T) {
+	in := `{"id":7,"user_id":"u"` + "\n"
+	if _, err := ReadJSONL[TweetRecord](bytes.NewReader([]byte(in))); err == nil {
+		t.Fatal("truncated line decoded without error")
+	}
+}

@@ -7,11 +7,27 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+
+	"msgscope/internal/jsonx"
 )
 
-// WriteJSONL writes one JSON document per line.
+// WriteJSONL writes one JSON document per line. Record types with a
+// hand-written jsonx codec (see codec.go) take the append-encoder path —
+// same bytes, no reflection; everything else goes through encoding/json.
 func WriteJSONL[T any](w io.Writer, items []T) error {
 	bw := bufio.NewWriter(w)
+	if _, ok := any((*T)(nil)).(jsonlCodec); ok {
+		buf := jsonx.GetBuf()
+		defer jsonx.PutBuf(buf)
+		for i := range items {
+			*buf = any(&items[i]).(jsonlCodec).appendJSON((*buf)[:0])
+			*buf = append(*buf, '\n')
+			if _, err := bw.Write(*buf); err != nil {
+				return fmt.Errorf("store: encoding line %d: %w", i, err)
+			}
+		}
+		return bw.Flush()
+	}
 	enc := json.NewEncoder(bw)
 	for i := range items {
 		if err := enc.Encode(items[i]); err != nil {
@@ -21,19 +37,32 @@ func WriteJSONL[T any](w io.Writer, items []T) error {
 	return bw.Flush()
 }
 
-// ReadJSONL reads newline-delimited JSON documents.
+// ReadJSONL reads newline-delimited JSON documents, using the streaming
+// jsonx parser for record types that carry a codec and encoding/json for
+// the rest. Unknown object keys are skipped on both paths.
 func ReadJSONL[T any](r io.Reader) ([]T, error) {
 	var out []T
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	line := 0
+	_, fast := any((*T)(nil)).(jsonlCodec)
+	var dec jsonx.Dec
 	for sc.Scan() {
 		line++
 		if len(sc.Bytes()) == 0 {
 			continue
 		}
 		var v T
-		if err := json.Unmarshal(sc.Bytes(), &v); err != nil {
+		var err error
+		if fast {
+			dec.Reset(sc.Bytes())
+			if err = any(&v).(jsonlCodec).parseJSON(&dec); err == nil {
+				err = dec.End()
+			}
+		} else {
+			err = json.Unmarshal(sc.Bytes(), &v)
+		}
+		if err != nil {
 			return out, fmt.Errorf("store: decoding line %d: %w", line, err)
 		}
 		out = append(out, v)
