@@ -1,0 +1,60 @@
+package msgscope_test
+
+import (
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"msgscope"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden files under testdata/golden from the current output")
+
+// goldenResult runs the seed-42 study once and shares it across the
+// golden subtests (a full pipeline run dominates the test's cost).
+var goldenResult = sync.OnceValues(func() (*msgscope.Result, error) {
+	return msgscope.Run(context.Background(), msgscope.Options{Seed: 42, Scale: 0.01, Days: 10})
+})
+
+// TestGoldenRenders pins the Render() output of every figure and of the
+// tables rebuilt on the single-pass aggregation (Table 2 from the user
+// walk, Tables 4 and 5 from the shared privacy report) against checked-in
+// golden files, so any rewiring of the aggregation layer is provably
+// output-preserving. Regenerate with `go test -run TestGoldenRenders
+// -update .` — a regeneration must be an isolated commit stating why the
+// output legitimately changed.
+func TestGoldenRenders(t *testing.T) {
+	res, err := goldenResult()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []string{
+		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+		"table2", "table4", "table5",
+	}
+	for _, id := range ids {
+		t.Run(id, func(t *testing.T) {
+			got := res.Render(id)
+			path := filepath.Join("testdata", "golden", id+".txt")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (regenerate with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s output diverges from %s:\n--- got ---\n%s\n--- want ---\n%s", id, path, got, want)
+			}
+		})
+	}
+}
