@@ -21,20 +21,24 @@ race:
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem ./...
 
-# Pipeline benchmarks (full study, hourly search, daily sweep; serial vs
-# parallel) rendered to BENCH_4.json, including the derived speedups and
-# the machine's core count.
+# Pipeline + analysis benchmarks (full study, hourly search, daily sweep,
+# LDA fit, cold figure aggregation; serial vs parallel where both exist)
+# rendered to BENCH_5.json, including the derived speedups and the
+# machine's core count.
+BENCH_PATTERN = StudyRun|HourlySearch|DailySweep|LDAFit|RenderAll
+BENCH_PKGS = ./internal/core ./internal/analysis/lda
+
 bench-json:
-	$(GO) test -run='^$$' -bench='StudyRun|HourlySearch|DailySweep' -benchmem ./internal/core \
-		| $(GO) run ./cmd/benchjson -o BENCH_4.json
-	@cat BENCH_4.json
+	$(GO) test -run='^$$' -bench='$(BENCH_PATTERN)' -benchmem $(BENCH_PKGS) \
+		| $(GO) run ./cmd/benchjson -o BENCH_5.json
+	@cat BENCH_5.json
 
 # Allocation-regression gate: rerun the pipeline benchmarks and diff them
 # against the newest checked-in BENCH_*.json, failing on >20% growth in
 # ns/op or allocs/op. Allocation counts are deterministic; ns/op on a
 # loaded machine is not, hence the tolerance.
 bench-compare:
-	$(GO) test -run='^$$' -bench='StudyRun|HourlySearch|DailySweep' -benchmem ./internal/core \
+	$(GO) test -run='^$$' -bench='$(BENCH_PATTERN)' -benchmem $(BENCH_PKGS) \
 		| $(GO) run ./cmd/benchjson -compare .
 
 # Capture CPU + allocation profiles and an execution trace of one scaled
@@ -51,13 +55,15 @@ bench-smoke:
 	$(GO) test -run='^$$' -bench='StudyRun' -benchtime=1x ./internal/core
 
 # Short fuzz bursts over the parsing surfaces the fault injector attacks
-# (URL extraction and the WhatsApp landing-page scraper). 10s per target:
-# long enough to shake out regressions against the checked-in corpus,
-# short enough for every CI run.
+# (URL extraction and the WhatsApp landing-page scraper) plus the sparse
+# LDA bucket sampler's invariants under arbitrary count shapes. 10s per
+# target: long enough to shake out regressions against the checked-in
+# corpus, short enough for every CI run.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=10s ./internal/urlpat
 	$(GO) test -run='^$$' -fuzz='^FuzzExtract$$' -fuzztime=10s ./internal/urlpat
 	$(GO) test -run='^$$' -fuzz='^FuzzScrapeLanding$$' -fuzztime=10s ./internal/platform/whatsapp
+	$(GO) test -run='^$$' -fuzz='^FuzzSparseBucket$$' -fuzztime=10s ./internal/analysis/lda
 
 # Coverage floor for the fault/retry layer: the rest of the repo is covered
 # by end-to-end pipeline tests, but these two packages are the safety net

@@ -17,6 +17,7 @@ import (
 	"msgscope/internal/platform/discord"
 	"msgscope/internal/platform/telegram"
 	"msgscope/internal/platform/whatsapp"
+	"msgscope/internal/report"
 	"msgscope/internal/simclock"
 	"msgscope/internal/simworld"
 	"msgscope/internal/store"
@@ -60,6 +61,63 @@ func BenchmarkStudyRun(b *testing.B) {
 				s.Close()
 			}
 		})
+	}
+}
+
+// benchStudy is a completed 2%-scale study shared by the analysis-phase
+// benchmarks; its dataset is frozen after Run.
+var (
+	benchStudyOnce sync.Once
+	benchStudy     *Study
+	benchStudyErr  error
+)
+
+func sharedBenchStudy(b *testing.B) *Study {
+	b.Helper()
+	benchStudyOnce.Do(func() {
+		s, err := NewStudy(Config{Seed: 42, Scale: 0.02, Days: 8})
+		if err != nil {
+			benchStudyErr = err
+			return
+		}
+		if err := s.Run(context.Background()); err != nil {
+			s.Close()
+			benchStudyErr = err
+			return
+		}
+		benchStudy = s
+	})
+	if benchStudyErr != nil {
+		b.Fatal(benchStudyErr)
+	}
+	return benchStudy
+}
+
+// BenchmarkRenderAll measures the cold analysis path: every figure and
+// every aggregation-backed table re-derived from the raw dataset through
+// a fresh Aggregates (Table 3 is excluded — its LDA fit is measured by
+// BenchmarkLDAFit in internal/analysis/lda). Since the single-pass
+// rewrite this cost is one walk per record class plus rendering, however
+// many figures consume it.
+func BenchmarkRenderAll(b *testing.B) {
+	s := sharedBenchStudy(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ds := s.Dataset()
+		ds.Agg = &report.AggCache{} // discard the study's memoized pass
+		_ = report.Fig1(ds).Render()
+		_ = report.Fig2(ds).Render()
+		_ = report.Fig3(ds).Render()
+		_ = report.Fig4(ds).Render()
+		_ = report.Fig5(ds).Render()
+		_ = report.Fig6(ds).Render()
+		_ = report.Fig7(ds).Render()
+		_ = report.Fig8(ds).Render()
+		_ = report.Fig9(ds).Render()
+		_ = report.Table2(ds).Render()
+		_ = report.Table4(ds).Render()
+		_ = report.Table5(ds).Render()
 	}
 }
 
