@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench bench-json bench-compare bench-smoke profile fuzz-smoke cover ci
+.PHONY: all build test vet race bench bench-json bench-compare bench-smoke bench-scale profile fuzz-smoke cover ci
 
 all: build
 
@@ -21,22 +21,28 @@ race:
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem ./...
 
-# Pipeline + analysis benchmarks (full study, hourly search, daily sweep,
-# LDA fit, cold figure aggregation; serial vs parallel where both exist)
-# rendered to BENCH_5.json, including the derived speedups and the
-# machine's core count.
-BENCH_PATTERN = StudyRun|HourlySearch|DailySweep|LDAFit|RenderAll
-BENCH_PKGS = ./internal/core ./internal/analysis/lda
+# Pipeline + analysis + store benchmarks (full study, hourly search, daily
+# sweep, LDA fit, cold figure aggregation, columnar ingest; serial vs
+# parallel where both exist) rendered to BENCH_6.json, including the
+# derived speedups, custom per-record metrics (ns/rec, liveB/rec) and the
+# machine's core count. benchjson's -cpus mode runs the suite under each
+# GOMAXPROCS in BENCH_CPUS, so the document carries a per-CPU-count
+# matrix — the measurements behind the SearchWorkers/CollectWorkers
+# defaults.
+BENCH_PATTERN = StudyRun|HourlySearch|DailySweep|LDAFit|RenderAll|StoreIngest
+BENCH_PKGS = ./internal/core ./internal/analysis/lda ./internal/store
+BENCH_CPUS = 1,2
 
 bench-json:
-	$(GO) test -run='^$$' -bench='$(BENCH_PATTERN)' -benchmem $(BENCH_PKGS) \
-		| $(GO) run ./cmd/benchjson -o BENCH_5.json
-	@cat BENCH_5.json
+	$(GO) run ./cmd/benchjson -cpus '$(BENCH_CPUS)' -bench '$(BENCH_PATTERN)' \
+		-o BENCH_6.json $(BENCH_PKGS)
+	@cat BENCH_6.json
 
 # Allocation-regression gate: rerun the pipeline benchmarks and diff them
 # against the newest checked-in BENCH_*.json, failing on >20% growth in
-# ns/op or allocs/op. Allocation counts are deterministic; ns/op on a
-# loaded machine is not, hence the tolerance.
+# ns/op, allocs/op or a custom metric (ns/rec, liveB/rec). Allocation
+# counts and live bytes are deterministic; ns/op on a loaded machine is
+# not, hence the tolerance.
 bench-compare:
 	$(GO) test -run='^$$' -bench='$(BENCH_PATTERN)' -benchmem $(BENCH_PKGS) \
 		| $(GO) run ./cmd/benchjson -compare .
@@ -53,6 +59,15 @@ profile:
 # the pipeline still runs under the benchmark harness.
 bench-smoke:
 	$(GO) test -run='^$$' -bench='StudyRun' -benchtime=1x ./internal/core
+
+# Paper-scale ingest smoke: one iteration of the store benchmarks at 10x
+# scale (1M tweets, 2M messages, 500K users through the columnar store).
+# The short timeout is the gate — it fails if ingest cost stops being
+# O(record) (e.g. a reallocation bug turns appends quadratic), not on
+# timing noise.
+bench-scale:
+	MSGSCOPE_BENCH_SCALE=10 $(GO) test -run='^$$' -bench='StoreIngest' \
+		-benchtime=1x -benchmem -timeout=300s ./internal/store
 
 # Short fuzz bursts over the parsing surfaces the fault injector attacks
 # (URL extraction and the WhatsApp landing-page scraper) plus the sparse
@@ -73,4 +88,4 @@ cover:
 	@$(GO) tool cover -func=cover.out | tail -1
 	@$(GO) tool cover -func=cover.out | awk '/^total:/ { sub(/%/, "", $$3); if ($$3+0 < 70) { printf "coverage %.1f%% below the 70%% floor for internal/retry + internal/faults\n", $$3; exit 1 } }'
 
-ci: vet build race cover fuzz-smoke bench-smoke bench bench-compare
+ci: vet build race cover fuzz-smoke bench-smoke bench-scale bench bench-compare

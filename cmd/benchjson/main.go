@@ -3,15 +3,26 @@
 // When both BenchmarkStudyRun/serial and /parallel are present it also
 // records their wall-clock ratio — the pipeline's parallel speedup.
 //
+// Custom benchmark metrics emitted via b.ReportMetric (ns/rec, liveB/rec,
+// …) are parsed into each benchmark's "metrics" map alongside the standard
+// ns/op, B/op and allocs/op columns.
+//
+// With -cpus, benchjson runs the suite itself instead of reading stdin:
+// it execs `go test -run '^$' -bench <pattern> -benchmem -cpu <list>` over
+// the named packages, so one invocation produces a GOMAXPROCS matrix. Each
+// result records its CPU count in the "cpus" field; -scale forwards a
+// workload multiplier to the child via MSGSCOPE_BENCH_SCALE.
+//
 // With -compare, the fresh run is additionally diffed against the newest
 // checked-in BENCH_*.json and the command exits non-zero when any
-// benchmark regressed by more than the tolerance in ns/op or allocs/op —
-// the allocation-regression gate `make ci` runs.
+// benchmark regressed by more than the tolerance in ns/op, allocs/op or a
+// shared custom metric — the allocation-regression gate `make ci` runs.
 //
 // Usage:
 //
 //	go test ./internal/core -run '^$' -bench 'StudyRun' -benchmem | benchjson -o BENCH.json
 //	go test ./internal/core -run '^$' -bench 'StudyRun' -benchmem | benchjson -compare .
+//	benchjson -cpus 1,4,8 -bench 'StudyRun|StoreIngest' -o BENCH.json ./internal/core ./internal/store
 package main
 
 import (
@@ -21,6 +32,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"regexp"
 	"runtime"
@@ -31,13 +43,18 @@ import (
 	"msgscope/internal/prof"
 )
 
-// benchmark is one parsed result line.
+// benchmark is one parsed result line. CPUs is the GOMAXPROCS the line ran
+// under — recorded only in -cpus matrix mode, where the same benchmark
+// appears once per CPU count; 0 means single-configuration mode, where the
+// -N name suffix is trimmed instead.
 type benchmark struct {
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
-	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	Name        string             `json:"name"`
+	CPUs        int                `json:"cpus,omitempty"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64              `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
 type document struct {
@@ -47,6 +64,8 @@ type document struct {
 	GOARCH     string            `json:"goarch"`
 	CPU        string            `json:"cpu,omitempty"`
 	Cores      int               `json:"cores"`
+	CPUMatrix  []int             `json:"cpu_matrix,omitempty"`
+	BenchScale float64           `json:"bench_scale,omitempty"`
 	Package    string            `json:"package,omitempty"`
 	Benchmarks []benchmark       `json:"benchmarks"`
 	Derived    map[string]string `json:"derived,omitempty"`
@@ -59,7 +78,11 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	compare := flag.String("compare", "", "baseline BENCH_*.json file, or a directory holding them (the highest-numbered one is used); exits non-zero on regression")
-	tol := flag.Float64("tol", 0.20, "allowed fractional regression in ns/op and allocs/op before -compare fails")
+	tol := flag.Float64("tol", 0.20, "allowed fractional regression in ns/op, allocs/op and custom metrics before -compare fails")
+	cpus := flag.String("cpus", "", "comma-separated GOMAXPROCS list (e.g. 1,4,8): run the benchmarks under each count instead of reading stdin; positional args name the packages")
+	benchPat := flag.String("bench", "", "benchmark pattern for -cpus mode (required with -cpus)")
+	scale := flag.Float64("scale", 0, "workload multiplier forwarded to the child as MSGSCOPE_BENCH_SCALE (only with -cpus)")
+	benchtime := flag.String("benchtime", "", "passed through as go test -benchtime (only with -cpus)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of this conversion to file")
 	memprofile := flag.String("memprofile", "", "write a heap profile of this conversion to file")
 	flag.Parse()
@@ -71,9 +94,15 @@ func main() {
 	}
 	defer files.Stop()
 
-	doc, err := parseBench(os.Stdin)
+	var doc document
+	if *cpus != "" {
+		doc, err = runMatrix(*cpus, *benchPat, *benchtime, *scale, flag.Args())
+	} else {
+		doc, err = parseBench(os.Stdin, false)
+	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson: reading stdin:", err)
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		files.Stop()
 		os.Exit(1)
 	}
 
@@ -114,8 +143,53 @@ func main() {
 	}
 }
 
+// runMatrix execs the benchmark suite under each GOMAXPROCS in cpuList
+// (via go test's native -cpu flag) and parses the combined output with CPU
+// counts preserved. The child's stdout is mirrored to stderr so long runs
+// show progress.
+func runMatrix(cpuList, pattern, benchtime string, scale float64, pkgs []string) (document, error) {
+	var doc document
+	if pattern == "" {
+		return doc, fmt.Errorf("-cpus requires -bench")
+	}
+	if len(pkgs) == 0 {
+		return doc, fmt.Errorf("-cpus requires package arguments")
+	}
+	var matrix []int
+	for _, f := range strings.Split(cpuList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return doc, fmt.Errorf("bad -cpus entry %q", f)
+		}
+		matrix = append(matrix, n)
+	}
+	args := []string{"test", "-run", "^$", "-bench", pattern, "-benchmem", "-cpu", cpuList}
+	if benchtime != "" {
+		args = append(args, "-benchtime", benchtime)
+	}
+	args = append(args, pkgs...)
+	cmd := exec.Command("go", args...)
+	var buf strings.Builder
+	cmd.Stdout = io.MultiWriter(&buf, os.Stderr)
+	cmd.Stderr = os.Stderr
+	cmd.Env = os.Environ()
+	if scale > 0 {
+		cmd.Env = append(cmd.Env, fmt.Sprintf("MSGSCOPE_BENCH_SCALE=%g", scale))
+	}
+	if err := cmd.Run(); err != nil {
+		return doc, fmt.Errorf("go %s: %w", strings.Join(args, " "), err)
+	}
+	doc, err := parseBench(strings.NewReader(buf.String()), true)
+	doc.CPUMatrix = matrix
+	doc.BenchScale = scale
+	return doc, err
+}
+
 // parseBench reads `go test -bench` output and builds the JSON document.
-func parseBench(r io.Reader) (document, error) {
+// In matrix mode the trailing "-<GOMAXPROCS>" of each name is parsed into
+// the CPUs field (the same benchmark appears once per count); otherwise it
+// is trimmed, so names are stable across machines.
+func parseBench(r io.Reader, matrix bool) (document, error) {
 	doc := document{
 		Tool:      "benchjson",
 		GoVersion: runtime.Version(),
@@ -138,7 +212,12 @@ func parseBench(r io.Reader) (document, error) {
 		if m == nil {
 			continue
 		}
-		b := benchmark{Name: trimProcSuffix(m[1])}
+		var b benchmark
+		if matrix {
+			b.Name, b.CPUs = splitProcSuffix(m[1])
+		} else {
+			b.Name = trimProcSuffix(m[1])
+		}
 		b.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
 		fields := strings.Fields(m[3])
 		for i := 0; i+1 < len(fields); i += 2 {
@@ -150,6 +229,16 @@ func parseBench(r io.Reader) (document, error) {
 				b.BytesPerOp, _ = strconv.ParseInt(val, 10, 64)
 			case "allocs/op":
 				b.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
+			default:
+				// ReportMetric columns (ns/rec, liveB/rec, …).
+				f, err := strconv.ParseFloat(val, 64)
+				if err != nil {
+					continue
+				}
+				if b.Metrics == nil {
+					b.Metrics = make(map[string]float64, 2)
+				}
+				b.Metrics[unit] = f
 			}
 		}
 		doc.Benchmarks = append(doc.Benchmarks, b)
@@ -206,29 +295,51 @@ func loadDocument(path string) (document, error) {
 	return doc, nil
 }
 
+// benchKey identifies a benchmark configuration across runs: matrix-mode
+// results are distinct per CPU count, single-configuration results by name
+// alone.
+func benchKey(b benchmark) string {
+	if b.CPUs > 0 {
+		return fmt.Sprintf("%s[cpu=%d]", b.Name, b.CPUs)
+	}
+	return b.Name
+}
+
 // regressions diffs the fresh benchmarks against the baseline and reports
-// every shared benchmark whose ns/op or allocs/op grew by more than tol
-// (fractional). Benchmarks present on only one side are ignored: baselines
-// and fresh runs may cover different subsets.
+// every shared configuration whose ns/op, allocs/op or a shared custom
+// metric grew by more than tol (fractional). All custom metrics emitted by
+// this repo's benchmarks (ns/rec, liveB/rec) are lower-is-better, so
+// growth is always a regression. Benchmarks present on only one side are
+// ignored: baselines and fresh runs may cover different subsets.
 func regressions(base, fresh []benchmark, tol float64) []string {
 	byName := make(map[string]benchmark, len(base))
 	for _, b := range base {
-		byName[b.Name] = b
+		byName[benchKey(b)] = b
 	}
 	var out []string
 	for _, f := range fresh {
-		b, ok := byName[f.Name]
+		b, ok := byName[benchKey(f)]
 		if !ok {
 			continue
 		}
 		if b.NsPerOp > 0 && f.NsPerOp > b.NsPerOp*(1+tol) {
 			out = append(out, fmt.Sprintf("%s: ns/op %.0f -> %.0f (+%.1f%%)",
-				f.Name, b.NsPerOp, f.NsPerOp, (f.NsPerOp/b.NsPerOp-1)*100))
+				benchKey(f), b.NsPerOp, f.NsPerOp, (f.NsPerOp/b.NsPerOp-1)*100))
 		}
 		if b.AllocsPerOp > 0 && float64(f.AllocsPerOp) > float64(b.AllocsPerOp)*(1+tol) {
 			out = append(out, fmt.Sprintf("%s: allocs/op %d -> %d (+%.1f%%)",
-				f.Name, b.AllocsPerOp, f.AllocsPerOp,
+				benchKey(f), b.AllocsPerOp, f.AllocsPerOp,
 				(float64(f.AllocsPerOp)/float64(b.AllocsPerOp)-1)*100))
+		}
+		for unit, bv := range b.Metrics {
+			fv, ok := f.Metrics[unit]
+			if !ok || bv <= 0 {
+				continue
+			}
+			if fv > bv*(1+tol) {
+				out = append(out, fmt.Sprintf("%s: %s %.2f -> %.2f (+%.1f%%)",
+					benchKey(f), unit, bv, fv, (fv/bv-1)*100))
+			}
 		}
 	}
 	sort.Strings(out)
@@ -238,34 +349,46 @@ func regressions(base, fresh []benchmark, tol float64) []string {
 // trimProcSuffix drops go test's trailing "-<GOMAXPROCS>" from a benchmark
 // name, so names are stable across machines.
 func trimProcSuffix(name string) string {
+	s, _ := splitProcSuffix(name)
+	return s
+}
+
+// splitProcSuffix separates go test's trailing "-<GOMAXPROCS>" from a
+// benchmark name, returning 0 when the name has none.
+func splitProcSuffix(name string) (string, int) {
 	i := strings.LastIndex(name, "-")
 	if i < 0 {
-		return name
+		return name, 0
 	}
-	if _, err := strconv.Atoi(name[i+1:]); err != nil {
-		return name
+	n, err := strconv.Atoi(name[i+1:])
+	if err != nil {
+		return name, 0
 	}
-	return name[:i]
+	return name[:i], n
 }
 
 // speedups derives serial/parallel wall-clock ratios for every benchmark
-// that has both sub-modes.
+// that has both sub-modes, per CPU count in matrix mode.
 func speedups(bs []benchmark) map[string]string {
 	ns := map[string]float64{}
 	for _, b := range bs {
-		ns[b.Name] = b.NsPerOp
+		ns[benchKey(b)] = b.NsPerOp
 	}
 	out := map[string]string{}
-	for name, serial := range ns {
-		base, ok := strings.CutSuffix(name, "/serial")
+	for _, b := range bs {
+		var cpuTag string
+		if b.CPUs > 0 {
+			cpuTag = fmt.Sprintf("[cpu=%d]", b.CPUs)
+		}
+		base, ok := strings.CutSuffix(b.Name, "/serial")
 		if !ok {
 			continue
 		}
-		parallel, ok := ns[base+"/parallel"]
+		parallel, ok := ns[base+"/parallel"+cpuTag]
 		if !ok || parallel == 0 {
 			continue
 		}
-		out[base+"_speedup"] = fmt.Sprintf("%.2fx", serial/parallel)
+		out[base+"_speedup"+cpuTag] = fmt.Sprintf("%.2fx", b.NsPerOp/parallel)
 	}
 	if len(out) == 0 {
 		return nil

@@ -14,20 +14,21 @@ cpu: Example CPU @ 2.50GHz
 BenchmarkStudyRun/serial-8   	       2	1000000000 ns/op	190000000 B/op	 1700000 allocs/op
 BenchmarkStudyRun/parallel-8 	       2	 500000000 ns/op	191000000 B/op	 1710000 allocs/op
 BenchmarkHourlySearch-8      	     100	  10000000 ns/op	  200000 B/op	    3000 allocs/op
+BenchmarkStoreIngest/tweets-8	       2	 225000000 ns/op	       301.0 liveB/rec	      2250 ns/rec	54000000 B/op	  310000 allocs/op
 PASS
 ok  	msgscope/internal/core	5.000s
 `
 
 func TestParseBench(t *testing.T) {
-	doc, err := parseBench(strings.NewReader(sampleOutput))
+	doc, err := parseBench(strings.NewReader(sampleOutput), false)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if doc.Package != "msgscope/internal/core" || doc.CPU != "Example CPU @ 2.50GHz" {
 		t.Errorf("header fields: pkg=%q cpu=%q", doc.Package, doc.CPU)
 	}
-	if len(doc.Benchmarks) != 3 {
-		t.Fatalf("got %d benchmarks, want 3", len(doc.Benchmarks))
+	if len(doc.Benchmarks) != 4 {
+		t.Fatalf("got %d benchmarks, want 4", len(doc.Benchmarks))
 	}
 	b := doc.Benchmarks[0]
 	if b.Name != "BenchmarkStudyRun/serial" || b.NsPerOp != 1e9 ||
@@ -36,6 +37,50 @@ func TestParseBench(t *testing.T) {
 	}
 	if got := doc.Derived["BenchmarkStudyRun_speedup"]; got != "2.00x" {
 		t.Errorf("speedup = %q, want 2.00x", got)
+	}
+	// ReportMetric columns land in the metrics map, standard columns don't.
+	ing := doc.Benchmarks[3]
+	if ing.Name != "BenchmarkStoreIngest/tweets" || ing.CPUs != 0 {
+		t.Fatalf("ingest benchmark parsed as %+v", ing)
+	}
+	if ing.Metrics["liveB/rec"] != 301.0 || ing.Metrics["ns/rec"] != 2250 {
+		t.Errorf("custom metrics = %v", ing.Metrics)
+	}
+	if ing.BytesPerOp != 54000000 || ing.AllocsPerOp != 310000 {
+		t.Errorf("standard columns after metrics = %+v", ing)
+	}
+}
+
+const matrixOutput = `goos: linux
+goarch: amd64
+pkg: msgscope/internal/core
+BenchmarkStudyRun/serial   	       2	1000000000 ns/op
+BenchmarkStudyRun/parallel 	       2	 900000000 ns/op
+BenchmarkStudyRun/serial-4 	       2	1000000000 ns/op
+BenchmarkStudyRun/parallel-4	       2	 250000000 ns/op
+PASS
+`
+
+func TestParseBenchMatrix(t *testing.T) {
+	doc, err := parseBench(strings.NewReader(matrixOutput), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 4 {
+		t.Fatalf("got %d benchmarks, want 4", len(doc.Benchmarks))
+	}
+	// -cpu 1 lines carry no suffix (go test omits "-1"); -cpu 4 lines do.
+	if b := doc.Benchmarks[0]; b.Name != "BenchmarkStudyRun/serial" || b.CPUs != 0 {
+		t.Errorf("cpu-1 line parsed as %+v", b)
+	}
+	if b := doc.Benchmarks[2]; b.Name != "BenchmarkStudyRun/serial" || b.CPUs != 4 {
+		t.Errorf("cpu-4 line parsed as %+v", b)
+	}
+	if got := doc.Derived["BenchmarkStudyRun_speedup"]; got != "1.11x" {
+		t.Errorf("1-cpu speedup = %q, want 1.11x", got)
+	}
+	if got := doc.Derived["BenchmarkStudyRun_speedup[cpu=4]"]; got != "4.00x" {
+		t.Errorf("4-cpu speedup = %q, want 4.00x", got)
 	}
 }
 
@@ -68,6 +113,36 @@ func TestRegressionsGate(t *testing.T) {
 	joined := strings.Join(regs, "\n")
 	if !strings.Contains(joined, "ns/op") || !strings.Contains(joined, "allocs/op") {
 		t.Errorf("regression messages missing dimensions: %v", regs)
+	}
+}
+
+func TestRegressionsGateCustomMetrics(t *testing.T) {
+	base := []benchmark{
+		{Name: "BenchmarkStoreIngest/tweets", NsPerOp: 1e8,
+			Metrics: map[string]float64{"liveB/rec": 300, "ns/rec": 2200}},
+		{Name: "BenchmarkStoreIngest/tweets", CPUs: 4, NsPerOp: 1e8,
+			Metrics: map[string]float64{"liveB/rec": 300}},
+	}
+
+	// Within tolerance, and a metric only the fresh side has: no findings.
+	ok := []benchmark{
+		{Name: "BenchmarkStoreIngest/tweets", NsPerOp: 1e8,
+			Metrics: map[string]float64{"liveB/rec": 330, "ns/rec": 2100, "new/rec": 9}},
+	}
+	if regs := regressions(base, ok, 0.20); len(regs) != 0 {
+		t.Errorf("within-tolerance metrics flagged: %v", regs)
+	}
+
+	// +50% liveB/rec must be caught; the cpu=4 row is matched separately.
+	bad := []benchmark{
+		{Name: "BenchmarkStoreIngest/tweets", NsPerOp: 1e8,
+			Metrics: map[string]float64{"liveB/rec": 450, "ns/rec": 2200}},
+		{Name: "BenchmarkStoreIngest/tweets", CPUs: 4, NsPerOp: 1e8,
+			Metrics: map[string]float64{"liveB/rec": 290}},
+	}
+	regs := regressions(base, bad, 0.20)
+	if len(regs) != 1 || !strings.Contains(regs[0], "liveB/rec") {
+		t.Fatalf("got %v, want one liveB/rec regression", regs)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync/atomic"
 
 	"msgscope/internal/par"
@@ -159,7 +160,13 @@ func (c *Collector) HourlySearch(ctx context.Context) error {
 	}
 	workers := c.SearchWorkers
 	if workers <= 0 {
-		workers = len(terms)
+		// The GOMAXPROCS benchmark matrix (BENCH_6.json) shows the search
+		// fan-out saturates around two workers per core: the work is
+		// request-latency-bound, so a little oversubscription overlaps
+		// waits, but one goroutine per pattern on a small machine only
+		// adds scheduling churn. Results are identical either way —
+		// ingestion happens in fixed pattern order after the fan-out.
+		workers = min(len(terms), 2*runtime.GOMAXPROCS(0))
 	}
 	err := par.Do(workers, tasks)
 	for _, batch := range c.termBatches {

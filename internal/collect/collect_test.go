@@ -79,10 +79,10 @@ func TestPerfectAPIsCollectEverything(t *testing.T) {
 	f := newFixture(t, perfect())
 	f.runDays(t, 2)
 	published, control := f.svc.PublishedCounts()
-	if got := len(f.st.Tweets()); got != published {
+	if got := f.st.Tweets().Len(); got != published {
 		t.Fatalf("collected %d tweets, world published %d", got, published)
 	}
-	if got := len(f.st.Control()); got != control {
+	if got := f.st.Control().Len(); got != control {
 		t.Fatalf("collected %d control tweets, world published %d", got, control)
 	}
 	stats := f.col.Stats()
@@ -98,14 +98,16 @@ func TestLossyAPIsStillMergeWell(t *testing.T) {
 	f := newFixture(t, cfg)
 	f.runDays(t, 2)
 	published, _ := f.svc.PublishedCounts()
-	got := len(f.st.Tweets())
+	got := f.st.Tweets().Len()
 	// Each source alone misses ~10%; merged should miss ~1%.
 	if float64(got) < 0.95*float64(published) {
 		t.Fatalf("merged recall %d/%d too low", got, published)
 	}
 	// And each source alone really is lossy.
 	var searchOnly, streamOnly int
-	for _, tw := range f.st.Tweets() {
+	tweets := f.st.Tweets()
+	for i, n := 0, tweets.Len(); i < n; i++ {
+		tw := tweets.At(i)
 		if tw.Source == store.SourceSearch {
 			searchOnly++
 		}
@@ -148,7 +150,7 @@ func TestIngestSkipsURLlessMatches(t *testing.T) {
 	if got := f.col.Stats().NoURLTweets; got != 1 {
 		t.Fatalf("NoURLTweets=%d, want 1", got)
 	}
-	if len(f.st.Tweets()) != 0 {
+	if f.st.Tweets().Len() != 0 {
 		t.Fatal("URL-less status stored")
 	}
 }

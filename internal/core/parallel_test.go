@@ -67,7 +67,7 @@ func TestPipelineRaceHammer(t *testing.T) {
 
 	// The store must still be internally consistent: every family readable,
 	// stats coherent.
-	if got := len(s.Store.Tweets()); got == 0 {
+	if got := s.Store.Tweets().Len(); got == 0 {
 		t.Fatal("hammer left no tweets in the store")
 	}
 	if s.collector.Stats().SearchTweets == 0 {

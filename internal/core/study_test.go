@@ -81,7 +81,7 @@ func TestStudyDiscoveryMergesBothSources(t *testing.T) {
 	// Both APIs are lossy on their own; the merged set should exceed the
 	// stream-only count divided by overlap (a weak but meaningful bound:
 	// dedup must have actually happened).
-	tweets := len(s.Dataset().Store.Tweets())
+	tweets := s.Dataset().Store.Tweets().Len()
 	if tweets >= stats.SearchTweets+stats.StreamTweets {
 		t.Errorf("dedup did not collapse duplicates: %d stored vs %d+%d ingested",
 			tweets, stats.SearchTweets, stats.StreamTweets)
@@ -91,7 +91,7 @@ func TestStudyDiscoveryMergesBothSources(t *testing.T) {
 func TestStudyCollectedTweetsMatchWorld(t *testing.T) {
 	s := runSmallStudy(t)
 	published, _ := s.TwitterSvc.PublishedCounts()
-	stored := len(s.Dataset().Store.Tweets())
+	stored := s.Dataset().Store.Tweets().Len()
 	if stored == 0 || published == 0 {
 		t.Fatalf("stored=%d published=%d", stored, published)
 	}
@@ -159,7 +159,9 @@ func TestStudyWhatsAppMessagesOnlyAfterJoin(t *testing.T) {
 			joinAt[g.Code] = g.JoinedAt.UnixMilli()
 		}
 	}
-	for _, m := range s.Store.Messages() {
+	msgs := s.Store.Messages()
+	for i, n := 0, msgs.Len(); i < n; i++ {
+		m := msgs.At(i)
 		if m.Platform != platform.WhatsApp {
 			continue
 		}
@@ -247,7 +249,7 @@ func TestStudyConfigOverrides(t *testing.T) {
 	}
 	// Perfect APIs: everything published is collected.
 	published, _ := s.TwitterSvc.PublishedCounts()
-	if got := len(s.Store.Tweets()); got != published {
+	if got := s.Store.Tweets().Len(); got != published {
 		t.Fatalf("perfect APIs collected %d of %d", got, published)
 	}
 	// Every-2-days probing: at most ceil(6/2)=3 observations per group.

@@ -1,0 +1,74 @@
+package ids
+
+import "sync/atomic"
+
+// tableBlockShift sizes the handle table's string blocks (1024 entries).
+// Blocks are fixed-size arrays so a handle's slot never moves: growing the
+// table appends a new block instead of reallocating existing strings.
+const tableBlockShift = 10
+
+type tableBlock [1 << tableBlockShift]string
+
+// Table interns strings from a bounded vocabulary to dense uint32 handles,
+// so columnar record layouts can store a 4-byte handle where a 16-byte
+// string header (plus its heap data) used to live. Handles are assigned in
+// first-sight order starting at 0.
+//
+// Concurrency contract: Handle (interning) requires external
+// synchronization — the store interns under the owning family's lock, so
+// the table never needs its own writer lock. Lookup is safe concurrently
+// with interning: the block directory is swapped atomically and a slot is
+// written exactly once, before the handle is published to any reader
+// (publication happens via the family lock's release/acquire ordering).
+type Table struct {
+	byStr  map[string]uint32
+	blocks atomic.Pointer[[]*tableBlock]
+	n      uint32
+}
+
+// NewTable returns an empty handle table.
+func NewTable() *Table {
+	t := &Table{byStr: make(map[string]uint32, 64)}
+	blocks := make([]*tableBlock, 0, 4)
+	t.blocks.Store(&blocks)
+	return t
+}
+
+// Handle returns the handle of s, interning it on first sight. The hit
+// path performs zero allocations. Callers must serialize Handle calls on
+// the same table (see the type comment).
+func (t *Table) Handle(s string) uint32 {
+	if h, ok := t.byStr[s]; ok {
+		return h
+	}
+	h := t.n
+	blocks := *t.blocks.Load()
+	if int(h)>>tableBlockShift == len(blocks) {
+		// Appending into spare capacity reuses the shared backing array;
+		// that is safe because the new directory slot was never visible to
+		// any reader (their slice headers end before it). Only a full
+		// directory forces a copy.
+		grown := blocks
+		if len(blocks) == cap(blocks) {
+			grown = make([]*tableBlock, len(blocks), cap(blocks)*2+1)
+			copy(grown, blocks)
+		}
+		grown = append(grown, new(tableBlock))
+		t.blocks.Store(&grown)
+		blocks = grown
+	}
+	blocks[h>>tableBlockShift][h&(1<<tableBlockShift-1)] = s
+	t.byStr[s] = h
+	t.n = h + 1
+	return h
+}
+
+// Lookup returns the string behind a handle previously returned by Handle.
+// Safe to call concurrently with interning.
+func (t *Table) Lookup(h uint32) string {
+	blocks := *t.blocks.Load()
+	return blocks[h>>tableBlockShift][h&(1<<tableBlockShift-1)]
+}
+
+// Len reports the number of distinct strings interned.
+func (t *Table) Len() int { return int(t.n) }

@@ -1,0 +1,97 @@
+package ids
+
+import (
+	"strconv"
+	"sync"
+	"testing"
+)
+
+func TestTableHandlesAreDenseAndStable(t *testing.T) {
+	tab := NewTable()
+	if h := tab.Handle("en"); h != 0 {
+		t.Fatalf("first handle = %d, want 0", h)
+	}
+	if h := tab.Handle("pt"); h != 1 {
+		t.Fatalf("second handle = %d, want 1", h)
+	}
+	if h := tab.Handle("en"); h != 0 {
+		t.Fatalf("re-intern moved the handle: %d", h)
+	}
+	if got := tab.Lookup(1); got != "pt" {
+		t.Fatalf("Lookup(1) = %q", got)
+	}
+	if tab.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tab.Len())
+	}
+}
+
+func TestTableSurvivesBlockGrowth(t *testing.T) {
+	tab := NewTable()
+	const n = 5 * (1 << tableBlockShift)
+	for i := 0; i < n; i++ {
+		if h := tab.Handle("v" + strconv.Itoa(i)); h != uint32(i) {
+			t.Fatalf("handle(%d) = %d", i, h)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if got := tab.Lookup(uint32(i)); got != "v"+strconv.Itoa(i) {
+			t.Fatalf("Lookup(%d) = %q", i, got)
+		}
+	}
+}
+
+func TestTableHitPathAllocFree(t *testing.T) {
+	tab := NewTable()
+	tab.Handle("whatsapp")
+	allocs := testing.AllocsPerRun(100, func() {
+		if tab.Handle("whatsapp") != 0 {
+			t.Fatal("handle changed")
+		}
+		if tab.Lookup(0) != "whatsapp" {
+			t.Fatal("lookup wrong")
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("hit path allocated %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestTableConcurrentLookupDuringIntern exercises the contract the store
+// relies on: one goroutine interning (externally serialized) while readers
+// look up already-published handles. Run under -race this proves the block
+// directory swap is safe.
+func TestTableConcurrentLookupDuringIntern(t *testing.T) {
+	tab := NewTable()
+	var published sync.Map // handle -> string, written before readers probe
+	const n = 3 * (1 << tableBlockShift)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				published.Range(func(k, v any) bool {
+					if got := tab.Lookup(k.(uint32)); got != v.(string) {
+						t.Errorf("Lookup(%d) = %q, want %q", k, got, v)
+						return false
+					}
+					return true
+				})
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		s := "c" + strconv.Itoa(i)
+		h := tab.Handle(s)
+		published.Store(h, s)
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -3,6 +3,7 @@ package join
 import (
 	"context"
 	"errors"
+	"runtime"
 	"sort"
 	"time"
 
@@ -16,8 +17,14 @@ import (
 // defaultCollectWorkers bounds the per-group fan-out when Workers is unset.
 // The pool stays narrow on purpose: every worker draws on the same
 // per-account flood budgets, so past a handful of workers the extra
-// concurrency only converts useful requests into FLOOD_WAIT retries.
-const defaultCollectWorkers = 8
+// concurrency only converts useful requests into FLOOD_WAIT retries. The
+// GOMAXPROCS benchmark matrix (BENCH_6.json) also caps it from below the
+// other direction: on a 1–2 core machine two workers per core already
+// overlaps the request latency, so the pool follows the core count up to
+// the flood-budget ceiling of 8.
+func defaultCollectWorkers() int {
+	return max(2, min(8, 2*runtime.GOMAXPROCS(0)))
+}
 
 // gathered is one group's collection output, buffered locally by a worker
 // and ingested afterwards in deterministic group order.
@@ -144,7 +151,7 @@ func (j *Joiner) CollectMessages(ctx context.Context) error {
 
 	workers := j.Workers
 	if workers <= 0 {
-		workers = defaultCollectWorkers
+		workers = defaultCollectWorkers()
 	}
 	if err := par.Do(workers, tasks); err != nil {
 		return err

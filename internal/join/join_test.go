@@ -116,8 +116,9 @@ func TestCollectMessagesAllPlatforms(t *testing.T) {
 		t.Fatal(err)
 	}
 	counts := map[platform.Platform]int{}
-	for _, m := range f.st.Messages() {
-		counts[m.Platform]++
+	msgs := f.st.Messages()
+	for i, n := 0, msgs.Len(); i < n; i++ {
+		counts[msgs.At(i).Platform]++
 	}
 	for _, p := range platform.All {
 		if counts[p] == 0 {
@@ -129,14 +130,16 @@ func TestCollectMessagesAllPlatforms(t *testing.T) {
 	for _, g := range f.joiner.Joined(platform.WhatsApp) {
 		joinAt[g.Code] = f.st.Group(platform.WhatsApp, g.Code).JoinedAt
 	}
-	for _, m := range f.st.Messages() {
+	for i, n := 0, msgs.Len(); i < n; i++ {
+		m := msgs.At(i)
 		if m.Platform == platform.WhatsApp && m.SentAt.Before(joinAt[m.GroupCode]) {
 			t.Fatal("WhatsApp message predates join")
 		}
 	}
 	// Telegram/Discord history reaches back before the join.
 	preJoin := false
-	for _, m := range f.st.Messages() {
+	for i, n := 0, msgs.Len(); i < n; i++ {
+		m := msgs.At(i)
 		if m.Platform != platform.WhatsApp && m.SentAt.Before(f.world.Cfg.Start) {
 			preJoin = true
 			break
@@ -186,7 +189,9 @@ func TestMaxMessagesPerGroupCap(t *testing.T) {
 		t.Fatal(err)
 	}
 	perGroup := map[string]int{}
-	for _, m := range f.st.Messages() {
+	msgs := f.st.Messages()
+	for i, n := 0, msgs.Len(); i < n; i++ {
+		m := msgs.At(i)
 		perGroup[m.Platform.String()+"/"+m.GroupCode]++
 	}
 	for k, n := range perGroup {

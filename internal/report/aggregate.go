@@ -100,8 +100,8 @@ func (a *Aggregates) walkTweets(ds Dataset) {
 	}
 
 	tweets := ds.Tweets()
-	for i := range tweets {
-		t := &tweets[i]
+	for i, n := 0, tweets.Len(); i < n; i++ {
+		t := tweets.At(i)
 		p := t.Platform
 		accumulate(feats[p], t.Hashtags, t.Mentions, t.Retweet)
 		a.fig4.Langs[p].Inc(t.Lang)
@@ -133,7 +133,9 @@ func (a *Aggregates) walkTweets(ds Dataset) {
 // walkControl appends Figure 3's control row.
 func (a *Aggregates) walkControl(ds Dataset) {
 	ctl := FeatureShares{Name: "Control"}
-	for _, t := range ds.Control() {
+	control := ds.Control()
+	for i, n := 0, control.Len(); i < n; i++ {
+		t := control.At(i)
 		accumulate(&ctl, t.Hashtags, t.Mentions, t.Retweet)
 	}
 	finalize(&ctl)
@@ -315,11 +317,11 @@ func (a *Aggregates) walkMessages(ds Dataset) {
 		users[p] = map[uint64]int{}
 	}
 	msgs := ds.Messages()
-	for i := range msgs {
-		p := msgs[i].Platform
-		a.fig8.Types[p].Inc(msgs[i].Type.String())
-		counts[p][msgs[i].GroupCode]++
-		users[p][msgs[i].AuthorKey]++
+	for i, n := 0, msgs.Len(); i < n; i++ {
+		m := msgs.At(i)
+		a.fig8.Types[m.Platform].Inc(m.Type.String())
+		counts[m.Platform][m.GroupCode]++
+		users[m.Platform][m.AuthorKey]++
 	}
 
 	a.fig9.PerGroupDay = map[platform.Platform]*stats.ECDF{}

@@ -38,24 +38,24 @@ func (d Dataset) dayOf(t time.Time) int {
 	return int(t.Sub(d.Start) / (24 * time.Hour))
 }
 
-// Tweets returns the collected platform tweets.
-func (d Dataset) Tweets() []store.TweetRecord {
+// Tweets returns a view of the collected platform tweets.
+func (d Dataset) Tweets() store.TweetList {
 	if d.Snap != nil {
 		return d.Snap.Tweets
 	}
 	return d.Store.Tweets()
 }
 
-// Control returns the control-stream tweets.
-func (d Dataset) Control() []store.ControlRecord {
+// Control returns a view of the control-stream tweets.
+func (d Dataset) Control() store.ControlList {
 	if d.Snap != nil {
 		return d.Snap.Control
 	}
 	return d.Store.Control()
 }
 
-// Messages returns the collected in-group messages.
-func (d Dataset) Messages() []store.MessageRecord {
+// Messages returns a view of the collected in-group messages.
+func (d Dataset) Messages() store.MessageList {
 	if d.Snap != nil {
 		return d.Snap.Messages
 	}
@@ -108,38 +108,23 @@ func (d Dataset) CountsFor(p platform.Platform) store.Counts {
 	return d.Store.CountsFor(p)
 }
 
-// TweetsOf returns one platform's tweets, in collection order.
-func (d Dataset) TweetsOf(p platform.Platform) []*store.TweetRecord {
+// TweetsOf returns a view of one platform's tweets, in collection order.
+func (d Dataset) TweetsOf(p platform.Platform) store.TweetList {
 	if d.Snap != nil {
 		return d.Snap.TweetsOf(p)
 	}
-	tweets := d.Store.Tweets()
-	var out []*store.TweetRecord
-	for i := range tweets {
-		if tweets[i].Platform == p {
-			out = append(out, &tweets[i])
-		}
-	}
-	return out
+	return d.Store.Tweets().Where(func(t store.TweetRecord) bool {
+		return t.Platform == p
+	})
 }
 
 // TweetDayBuckets returns the tweets partitioned by zero-based study day;
 // tweets outside the window appear in no bucket.
-func (d Dataset) TweetDayBuckets() [][]*store.TweetRecord {
+func (d Dataset) TweetDayBuckets() []store.TweetList {
 	if d.Snap != nil {
 		return d.Snap.TweetsByDay()
 	}
-	if d.Days <= 0 {
-		return nil
-	}
-	buckets := make([][]*store.TweetRecord, d.Days)
-	tweets := d.Store.Tweets()
-	for i := range tweets {
-		if day := d.dayOf(tweets[i].CreatedAt); day >= 0 && day < d.Days {
-			buckets[day] = append(buckets[day], &tweets[i])
-		}
-	}
-	return buckets
+	return d.Store.Tweets().ByDay(d.Start, d.Days)
 }
 
 // Renderer is implemented by every experiment result.

@@ -112,7 +112,9 @@ func Table3(ds Dataset, cfg Table3Config) Table3Result {
 	tok := textproc.NewTokenizer()
 	for _, p := range platform.All {
 		var texts []string
-		for _, t := range ds.TweetsOf(p) {
+		tweets := ds.TweetsOf(p)
+		for i, n := 0, tweets.Len(); i < n; i++ {
+			t := tweets.At(i)
 			if t.Lang != "en" {
 				continue
 			}

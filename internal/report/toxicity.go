@@ -50,8 +50,8 @@ func Toxicity(ds Dataset) ToxicityResult {
 		perPlatform[p] = &agg{}
 	}
 	msgs := ds.Messages()
-	for i := range msgs {
-		m := &msgs[i]
+	for i, n := 0, msgs.Len(); i < n; i++ {
+		m := msgs.At(i)
 		if m.Text == "" {
 			continue
 		}

@@ -82,3 +82,73 @@ func TestGroupLookupAllocFree(t *testing.T) {
 		t.Errorf("group lookup allocated %.1f objects/op, want 0", allocs)
 	}
 }
+
+// Columnar read-path gates: materializing a record from the packed columns
+// must not allocate — strings come from the interning tables or arena
+// views, times are rebuilt on the stack. A regression here multiplies
+// across every experiment's full-corpus scan.
+
+func TestTweetListAtAllocFree(t *testing.T) {
+	s := New()
+	batch := tweetBatchFor(64)
+	for i := range batch {
+		batch[i].Tweet.Text = "some tweet body text"
+		batch[i].Tweet.Lang = "en"
+	}
+	s.AddTweetBatch(batch)
+	tweets := s.Tweets()
+	var sink int
+	allocs := testing.AllocsPerRun(100, func() {
+		for i, n := 0, tweets.Len(); i < n; i++ {
+			tr := tweets.At(i)
+			sink += len(tr.Text) + len(tr.UserID) + tr.Hashtags
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("TweetList.At allocated %.1f objects per scan, want 0", allocs)
+	}
+	_ = sink
+}
+
+func TestMessageListAtAllocFree(t *testing.T) {
+	s := New()
+	base := time.Date(2019, 4, 1, 0, 0, 0, 0, time.UTC)
+	msgs := make([]MessageRecord, 64)
+	for i := range msgs {
+		msgs[i] = MessageRecord{Platform: platform.Telegram, GroupCode: "g",
+			AuthorKey: uint64(i), SentAt: base, Type: platform.Text}
+	}
+	s.AddMessageBatch(msgs)
+	view := s.Messages()
+	var sink uint64
+	allocs := testing.AllocsPerRun(100, func() {
+		for i, n := 0, view.Len(); i < n; i++ {
+			m := view.At(i)
+			sink += m.AuthorKey + uint64(len(m.GroupCode))
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("MessageList.At allocated %.1f objects per scan, want 0", allocs)
+	}
+	_ = sink
+}
+
+func TestControlListAtAllocFree(t *testing.T) {
+	s := New()
+	base := time.Date(2019, 4, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 64; i++ {
+		s.AddControl(ControlRecord{ID: uint64(i + 1), UserID: "u1", CreatedAt: base, Lang: "en"})
+	}
+	view := s.Control()
+	var sink int
+	allocs := testing.AllocsPerRun(100, func() {
+		for i, n := 0, view.Len(); i < n; i++ {
+			c := view.At(i)
+			sink += c.Hashtags + len(c.Lang)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("ControlList.At allocated %.1f objects per scan, want 0", allocs)
+	}
+	_ = sink
+}

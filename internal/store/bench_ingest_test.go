@@ -1,0 +1,267 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"testing"
+	"time"
+
+	"msgscope/internal/platform"
+)
+
+// Ingest benchmarks for the hot record families. Each benchmark generates
+// records with a deterministic, paper-shaped vocabulary (bounded user,
+// group, and language pools; ~90-byte tweet texts) and reports two custom
+// metrics alongside ns/op:
+//
+//	ns/rec    — ingest cost per record (generation included; it is the
+//	            same cheap PCG arithmetic in every layout, so layout
+//	            changes dominate the diff)
+//	liveB/rec — live heap bytes per record retained by the store after a
+//	            GC, i.e. the resident cost of the layout. Record
+//	            generation is transient (one reused batch), so string
+//	            data survives the GC only if the store keeps it alive.
+//
+// `make bench-compare` gates liveB/rec like any other metric: a >20%
+// regression in bytes/record fails CI the same way ns/op growth does.
+//
+// MSGSCOPE_BENCH_SCALE multiplies the record counts (default 1.0 =
+// 100K tweets / 200K messages; the bench-scale target runs 10x = 1M
+// tweets at -benchtime=1x).
+
+// benchScale reads the scale multiplier for the ingest benchmarks.
+func benchScale() float64 {
+	s := os.Getenv("MSGSCOPE_BENCH_SCALE")
+	if s == "" {
+		return 1.0
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || v <= 0 {
+		return 1.0
+	}
+	return v
+}
+
+// benchPCG is a tiny deterministic generator so record synthesis costs the
+// same few ns in every layout under test.
+type benchPCG uint64
+
+func (p *benchPCG) next() uint64 {
+	*p = *p*6364136223846793005 + 1442695040888963407
+	return uint64(*p >> 17)
+}
+
+func (p *benchPCG) intn(n int) int { return int(p.next() % uint64(n)) }
+
+var benchLangs = []string{"en", "es", "pt", "hi", "id", "ar", "tr", "fr", "de", "und"}
+
+// benchText fills buf with a deterministic ~90-byte pseudo-tweet.
+func benchText(buf []byte, rng *benchPCG) []byte {
+	buf = buf[:0]
+	for w, n := 0, 12+rng.intn(6); w < n; w++ {
+		if w > 0 {
+			buf = append(buf, ' ')
+		}
+		buf = append(buf, "word"...)
+		buf = strconv.AppendUint(buf, rng.next()%5000, 10)
+	}
+	return buf
+}
+
+// fillTweetBatch regenerates batch[:n] in place, reusing backing storage
+// where it can. Strings still allocate per record — exactly like the
+// collector's decode path — which is what makes the live-bytes metric
+// honest: layouts that alias input strings keep them alive, layouts that
+// copy into arenas drop them.
+// The pools scale with the corpus so the vocabulary keeps the paper's
+// shape at every -scale: ~n/6 distinct tweeting users and ~n/5 distinct
+// platform-scoped groups (2.2M tweets carried ~450K distinct URLs), and
+// for messages ~n/100 groups (8.3M messages from ~5K joined groups).
+func poolFor(n, div int) int {
+	if p := n / div; p > 64 {
+		return p
+	}
+	return 64
+}
+
+func fillTweetBatch(batch []TweetIngest, rng *benchPCG, base time.Time, startID uint64, n int, textBuf []byte) []byte {
+	userPool, groupPool := poolFor(n, 6), poolFor(n, 15)
+	for i := range batch {
+		textBuf = benchText(textBuf, rng)
+		batch[i] = TweetIngest{Tweet: TweetRecord{
+			ID:        startID + uint64(i),
+			UserID:    "u" + strconv.Itoa(rng.intn(userPool)),
+			CreatedAt: base.Add(time.Duration(startID+uint64(i)) * time.Second),
+			Lang:      benchLangs[rng.intn(len(benchLangs))],
+			Hashtags:  rng.intn(3),
+			Mentions:  rng.intn(4),
+			Retweet:   rng.intn(2) == 0,
+			Text:      string(textBuf),
+			Platform:  platform.Platform(rng.intn(3) + 1),
+			GroupCode: "grp" + strconv.Itoa(rng.intn(groupPool)),
+			Source:    SourceSearch,
+		}}
+	}
+	return textBuf
+}
+
+func fillMessageBatch(batch []MessageRecord, rng *benchPCG, base time.Time, start uint64, n int) {
+	groupPool, authorPool := poolFor(n, 300), poolFor(n, 7)
+	for i := range batch {
+		batch[i] = MessageRecord{
+			Platform:  platform.Platform(rng.intn(3) + 1),
+			GroupCode: "grp" + strconv.Itoa(rng.intn(groupPool)),
+			AuthorKey: uint64(rng.intn(authorPool)),
+			SentAt:    base.Add(time.Duration(start+uint64(i)) * time.Second),
+			Type:      platform.MessageType(rng.intn(6)),
+		}
+	}
+}
+
+func fillUserBatch(batch []UserRecord, rng *benchPCG, n int) {
+	countries := []string{"BR", "NG", "ID", "IN", "SA", "MX", "AR", "US"}
+	keyPool := poolFor(n, 1)
+	for i := range batch {
+		batch[i] = UserRecord{
+			Platform:  platform.Platform(rng.intn(3) + 1),
+			Key:       uint64(rng.intn(keyPool) + 1),
+			PhoneHash: HashPhone("+55" + strconv.Itoa(rng.intn(keyPool))),
+			Country:   countries[rng.intn(len(countries))],
+		}
+	}
+}
+
+// liveBytes returns the live heap delta attributable to build(), which
+// must return the object to keep alive.
+func liveBytes(build func() any) (any, uint64) {
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	obj := build()
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	if after.HeapAlloc < before.HeapAlloc {
+		return obj, 0
+	}
+	return obj, after.HeapAlloc - before.HeapAlloc
+}
+
+const ingestBatchSize = 1024
+
+func BenchmarkStoreIngest(b *testing.B) {
+	base := time.Date(2020, 4, 8, 0, 0, 0, 0, time.UTC)
+	scale := benchScale()
+
+	b.Run("tweets", func(b *testing.B) {
+		n := int(100_000 * scale)
+		batch := make([]TweetIngest, ingestBatchSize)
+		var textBuf []byte
+		buildStore := func() any {
+			s := New()
+			rng := benchPCG(42)
+			for done := 0; done < n; done += len(batch) {
+				if rem := n - done; rem < len(batch) {
+					batch = batch[:rem]
+				}
+				textBuf = fillTweetBatch(batch, &rng, base, uint64(done+1), n, textBuf)
+				s.AddTweetBatch(batch)
+			}
+			return s
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = buildStore()
+		}
+		b.StopTimer()
+		obj, bytes := liveBytes(buildStore)
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(n), "ns/rec")
+		b.ReportMetric(float64(bytes)/float64(n), "liveB/rec")
+		runtime.KeepAlive(obj)
+	})
+
+	b.Run("messages", func(b *testing.B) {
+		n := int(200_000 * scale)
+		batch := make([]MessageRecord, ingestBatchSize)
+		buildStore := func() any {
+			s := New()
+			rng := benchPCG(43)
+			for done := 0; done < n; done += len(batch) {
+				if rem := n - done; rem < len(batch) {
+					batch = batch[:rem]
+				}
+				fillMessageBatch(batch, &rng, base, uint64(done), n)
+				s.AddMessageBatch(batch)
+			}
+			return s
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = buildStore()
+		}
+		b.StopTimer()
+		obj, bytes := liveBytes(buildStore)
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(n), "ns/rec")
+		b.ReportMetric(float64(bytes)/float64(n), "liveB/rec")
+		runtime.KeepAlive(obj)
+	})
+
+	b.Run("users", func(b *testing.B) {
+		n := int(50_000 * scale)
+		batch := make([]UserRecord, ingestBatchSize)
+		buildStore := func() any {
+			s := New()
+			rng := benchPCG(44)
+			for done := 0; done < n; done += len(batch) {
+				if rem := n - done; rem < len(batch) {
+					batch = batch[:rem]
+				}
+				fillUserBatch(batch, &rng, n)
+				s.UpsertUserBatch(batch)
+			}
+			return s
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = buildStore()
+		}
+		b.StopTimer()
+		obj, bytes := liveBytes(buildStore)
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(n), "ns/rec")
+		b.ReportMetric(float64(bytes)/float64(n), "liveB/rec")
+		runtime.KeepAlive(obj)
+	})
+}
+
+// BenchmarkStoreIngestParallel drives AddTweetBatch and UpsertUserBatch
+// from GOMAXPROCS goroutines at once — the shape of the parallel
+// search/collect fan-out — so the -cpus matrix can measure how ingest
+// scales with cores (the striped store's reason to exist).
+func BenchmarkStoreIngestParallel(b *testing.B) {
+	base := time.Date(2020, 4, 8, 0, 0, 0, 0, time.UTC)
+	n := int(20_000 * benchScale())
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		batch := make([]TweetIngest, ingestBatchSize)
+		users := make([]UserRecord, ingestBatchSize/4)
+		var textBuf []byte
+		seed := benchPCG(uint64(os.Getpid()))
+		for pb.Next() {
+			s := New()
+			rng := benchPCG(seed.next())
+			for done := 0; done < n; done += len(batch) {
+				textBuf = fillTweetBatch(batch, &rng, base, uint64(done+1), n, textBuf)
+				s.AddTweetBatch(batch)
+				fillUserBatch(users, &rng, n)
+				s.UpsertUserBatch(users)
+			}
+		}
+	})
+}
+
+var _ = fmt.Sprintf // keep fmt for debug printing during development

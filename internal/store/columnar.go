@@ -1,0 +1,413 @@
+package store
+
+import (
+	"slices"
+	"time"
+	"unsafe"
+
+	"msgscope/internal/ids"
+	"msgscope/internal/platform"
+)
+
+// Columnar (struct-of-arrays) layouts for the hot record families. The
+// paper-scale corpus is ~2.2M tweets and ~8.3M messages; storing each as a
+// separate heap struct with its own string allocations costs ~473 B/tweet
+// and ~97 B/message (BenchmarkStoreIngest against the former layout). The
+// columns below keep the same information in parallel slices — numeric
+// fields packed to their natural width, string fields interned to uint32
+// handles through ids.Table, tweet text appended to a byte arena — and
+// reconstruct TweetRecord/ControlRecord/MessageRecord values on demand.
+// Reconstruction allocates nothing: interned strings are shared, text is
+// an unsafe.String view into the arena, and times are rebuilt from
+// unixNano.
+//
+// Time encoding: CreatedAt/SentAt are stored as int64 unixNano and
+// restored with time.Unix(0, n).UTC(). Every timestamp the study produces
+// is UTC (simclock), so the round trip is byte-identical through
+// RFC 3339; non-UTC zones would be normalized, and instants outside the
+// unixNano range (years 1678–2262) are unrepresentable. The zero
+// time.Time is kept as a sentinel.
+
+const zeroTimeNano = int64(-1 << 63)
+
+func timeToNano(t time.Time) int64 {
+	if t.IsZero() {
+		return zeroTimeNano
+	}
+	return t.UnixNano()
+}
+
+func nanoToTime(n int64) time.Time {
+	if n == zeroTimeNano {
+		return time.Time{}
+	}
+	return time.Unix(0, n).UTC()
+}
+
+// textArena stores variable-length strings in fixed-size chunks (1 MiB),
+// addressed by record index through packed (chunk, offset) positions plus
+// a length column. Chunks are allocated at full capacity up front and
+// never reallocated, so unsafe.String views into them stay valid for the
+// life of the store and the arena carries no append-growth slack. A string
+// larger than a chunk gets a dedicated exact-size chunk.
+//
+// Families whose texts are all empty (messages, unless the toxicity
+// extension collects bodies) pay nothing: the position and length columns
+// stay nil until the first non-empty string, and at() treats missing rows
+// as "".
+const (
+	textChunkShift = 20
+	textChunkSize  = 1 << textChunkShift
+	textMaxChunks  = 1 << (32 - textChunkShift)
+)
+
+type textArena struct {
+	chunks [][]byte
+	pos    []uint32 // chunk<<textChunkShift | offset
+	ln     []uint32
+}
+
+// append stores row's text. Rows must be appended in order; empty leading
+// rows are backfilled when the first non-empty text arrives.
+func (a *textArena) append(row int, s string) {
+	if len(s) == 0 {
+		if a.ln == nil {
+			return
+		}
+		a.pos = append(a.pos, 0)
+		a.ln = append(a.ln, 0)
+		return
+	}
+	if a.ln == nil && row > 0 {
+		a.pos = make([]uint32, row)
+		a.ln = make([]uint32, row)
+	}
+	ci := len(a.chunks) - 1
+	if ci < 0 || len(a.chunks[ci])+len(s) > cap(a.chunks[ci]) {
+		if len(a.chunks) == textMaxChunks {
+			panic("store: text arena exceeds 4 GiB; shard the study window")
+		}
+		size := textChunkSize
+		if len(s) > size {
+			size = len(s)
+		}
+		a.chunks = append(a.chunks, make([]byte, 0, size))
+		ci = len(a.chunks) - 1
+	}
+	off := len(a.chunks[ci])
+	a.chunks[ci] = append(a.chunks[ci], s...)
+	a.pos = append(a.pos, uint32(ci)<<textChunkShift|uint32(off))
+	a.ln = append(a.ln, uint32(len(s)))
+}
+
+func (a *textArena) at(i int) string {
+	if i >= len(a.ln) {
+		return ""
+	}
+	n := a.ln[i]
+	if n == 0 {
+		return ""
+	}
+	p := a.pos[i]
+	return unsafe.String(&a.chunks[p>>textChunkShift][p&(textChunkSize-1)], int(n))
+}
+
+// view returns a length-trimmed copy of the arena's headers, immune to
+// later appends. The chunk directory is cloned (appends may reallocate
+// it); the chunk payloads are shared — rows the view covers were fully
+// written before the view was taken and are never rewritten.
+func (a *textArena) view(n int) textArena {
+	k := min(n, len(a.ln))
+	if k == 0 {
+		return textArena{}
+	}
+	return textArena{chunks: slices.Clone(a.chunks), pos: a.pos[:k], ln: a.ln[:k]}
+}
+
+// Tweet flag bits: the low two bits mirror TweetSource, the top bit marks
+// retweets.
+const (
+	flagSourceMask = uint8(SourceSearch | SourceStream)
+	flagRetweet    = uint8(0x80)
+)
+
+// tweetCols is the tweet family, one slice per field. userTab/langTab are
+// shared with the control family (both write under tweetMu); groupTab is
+// the tweet family's own.
+type tweetCols struct {
+	ids      []uint64
+	user     []uint32
+	created  []int64
+	lang     []uint32
+	hashtags []int32
+	mentions []int32
+	flags    []uint8
+	plat     []uint8
+	group    []uint32
+	text     textArena
+
+	userTab, langTab, groupTab *ids.Table
+}
+
+func newTweetCols(userTab, langTab *ids.Table) tweetCols {
+	return tweetCols{userTab: userTab, langTab: langTab, groupTab: ids.NewTable()}
+}
+
+func (c *tweetCols) len() int { return len(c.ids) }
+
+func (c *tweetCols) append(t *TweetRecord) {
+	c.ids = append(c.ids, t.ID)
+	c.user = append(c.user, c.userTab.Handle(t.UserID))
+	c.created = append(c.created, timeToNano(t.CreatedAt))
+	c.lang = append(c.lang, c.langTab.Handle(t.Lang))
+	c.hashtags = append(c.hashtags, int32(t.Hashtags))
+	c.mentions = append(c.mentions, int32(t.Mentions))
+	f := uint8(t.Source) & flagSourceMask
+	if t.Retweet {
+		f |= flagRetweet
+	}
+	c.flags = append(c.flags, f)
+	c.plat = append(c.plat, uint8(t.Platform))
+	c.group = append(c.group, c.groupTab.Handle(t.GroupCode))
+	c.text.append(len(c.ids)-1, t.Text)
+}
+
+func (c *tweetCols) at(i int) TweetRecord {
+	f := c.flags[i]
+	return TweetRecord{
+		ID:        c.ids[i],
+		UserID:    c.userTab.Lookup(c.user[i]),
+		CreatedAt: nanoToTime(c.created[i]),
+		Lang:      c.langTab.Lookup(c.lang[i]),
+		Hashtags:  int(c.hashtags[i]),
+		Mentions:  int(c.mentions[i]),
+		Retweet:   f&flagRetweet != 0,
+		Text:      c.text.at(i),
+		Platform:  platform.Platform(c.plat[i]),
+		GroupCode: c.groupTab.Lookup(c.group[i]),
+		Source:    TweetSource(f & flagSourceMask),
+	}
+}
+
+// view returns a copy of the column headers trimmed to the current length,
+// safe to read while writers keep appending (appends never move rows
+// [0, n); the interning tables allow lock-free lookups).
+func (c *tweetCols) view() tweetCols {
+	n := c.len()
+	return tweetCols{
+		ids: c.ids[:n], user: c.user[:n], created: c.created[:n],
+		lang: c.lang[:n], hashtags: c.hashtags[:n], mentions: c.mentions[:n],
+		flags: c.flags[:n], plat: c.plat[:n], group: c.group[:n],
+		text:    c.text.view(n),
+		userTab: c.userTab, langTab: c.langTab, groupTab: c.groupTab,
+	}
+}
+
+// controlCols is the control-tweet family (features only, no text).
+type controlCols struct {
+	ids      []uint64
+	user     []uint32
+	created  []int64
+	lang     []uint32
+	hashtags []int32
+	mentions []int32
+	flags    []uint8
+
+	userTab, langTab *ids.Table
+}
+
+func newControlCols(userTab, langTab *ids.Table) controlCols {
+	return controlCols{userTab: userTab, langTab: langTab}
+}
+
+func (c *controlCols) len() int { return len(c.ids) }
+
+func (c *controlCols) append(r *ControlRecord) {
+	c.ids = append(c.ids, r.ID)
+	c.user = append(c.user, c.userTab.Handle(r.UserID))
+	c.created = append(c.created, timeToNano(r.CreatedAt))
+	c.lang = append(c.lang, c.langTab.Handle(r.Lang))
+	c.hashtags = append(c.hashtags, int32(r.Hashtags))
+	c.mentions = append(c.mentions, int32(r.Mentions))
+	var f uint8
+	if r.Retweet {
+		f = flagRetweet
+	}
+	c.flags = append(c.flags, f)
+}
+
+func (c *controlCols) at(i int) ControlRecord {
+	return ControlRecord{
+		ID:        c.ids[i],
+		UserID:    c.userTab.Lookup(c.user[i]),
+		CreatedAt: nanoToTime(c.created[i]),
+		Lang:      c.langTab.Lookup(c.lang[i]),
+		Hashtags:  int(c.hashtags[i]),
+		Mentions:  int(c.mentions[i]),
+		Retweet:   c.flags[i]&flagRetweet != 0,
+	}
+}
+
+func (c *controlCols) view() controlCols {
+	n := c.len()
+	return controlCols{
+		ids: c.ids[:n], user: c.user[:n], created: c.created[:n],
+		lang: c.lang[:n], hashtags: c.hashtags[:n], mentions: c.mentions[:n],
+		flags: c.flags[:n], userTab: c.userTab, langTab: c.langTab,
+	}
+}
+
+// msgCols is the message family. Message bodies are usually absent (the
+// paper's figures never need them), so the text arena stays empty except
+// for the 4-byte offset column.
+type msgCols struct {
+	plat   []uint8
+	group  []uint32
+	author []uint64
+	sent   []int64
+	typ    []uint8
+	text   textArena
+
+	groupTab *ids.Table
+}
+
+func newMsgCols() msgCols {
+	return msgCols{groupTab: ids.NewTable()}
+}
+
+func (c *msgCols) len() int { return len(c.plat) }
+
+func (c *msgCols) append(m *MessageRecord) {
+	c.plat = append(c.plat, uint8(m.Platform))
+	c.group = append(c.group, c.groupTab.Handle(m.GroupCode))
+	c.author = append(c.author, m.AuthorKey)
+	c.sent = append(c.sent, timeToNano(m.SentAt))
+	c.typ = append(c.typ, uint8(m.Type))
+	c.text.append(len(c.plat)-1, m.Text)
+}
+
+func (c *msgCols) at(i int) MessageRecord {
+	return MessageRecord{
+		Platform:  platform.Platform(c.plat[i]),
+		GroupCode: c.groupTab.Lookup(c.group[i]),
+		AuthorKey: c.author[i],
+		SentAt:    nanoToTime(c.sent[i]),
+		Type:      platform.MessageType(c.typ[i]),
+		Text:      c.text.at(i),
+	}
+}
+
+func (c *msgCols) view() msgCols {
+	n := c.len()
+	return msgCols{
+		plat: c.plat[:n], group: c.group[:n], author: c.author[:n],
+		sent: c.sent[:n], typ: c.typ[:n], text: c.text.view(n),
+		groupTab: c.groupTab,
+	}
+}
+
+// TweetList is a read-only view of tweets: either a whole family or an
+// index-selected subset (one platform, one study day). At materializes a
+// TweetRecord without allocating — strings are interned or arena-backed
+// views — so `for i := 0; i < l.Len(); i++ { t := l.At(i) ... }` replaces
+// the former []TweetRecord loops at the same cost.
+type TweetList struct {
+	c   tweetCols
+	idx []uint32
+	all bool // view over every row; idx unused
+}
+
+// Len reports the number of tweets in the view.
+func (l TweetList) Len() int {
+	if l.all {
+		return l.c.len()
+	}
+	return len(l.idx)
+}
+
+// At returns the i'th tweet of the view. The record's strings alias
+// store-owned memory: share them freely, but treat them as immutable.
+func (l TweetList) At(i int) TweetRecord {
+	if !l.all {
+		i = int(l.idx[i])
+	}
+	return l.c.at(i)
+}
+
+// Where returns the sub-view of tweets satisfying keep, preserving order.
+func (l TweetList) Where(keep func(TweetRecord) bool) TweetList {
+	var idx []uint32
+	for i, n := 0, l.Len(); i < n; i++ {
+		if keep(l.At(i)) {
+			j := uint32(i)
+			if !l.all {
+				j = l.idx[i]
+			}
+			idx = append(idx, j)
+		}
+	}
+	return TweetList{c: l.c, idx: idx}
+}
+
+// ByDay partitions the view into zero-based study-day buckets; tweets
+// outside [start, start+days) appear in no bucket.
+func (l TweetList) ByDay(start time.Time, days int) []TweetList {
+	if days <= 0 {
+		return nil
+	}
+	idxs := make([][]uint32, days)
+	startNano := timeToNano(start)
+	const dayNanos = int64(24 * time.Hour)
+	for i, n := 0, l.Len(); i < n; i++ {
+		j := i
+		if !l.all {
+			j = int(l.idx[i])
+		}
+		c := l.c.created[j]
+		if c == zeroTimeNano {
+			continue
+		}
+		if d := int((c - startNano) / dayNanos); d >= 0 && d < days {
+			idxs[d] = append(idxs[d], uint32(j))
+		}
+	}
+	out := make([]TweetList, days)
+	for d := range out {
+		out[d] = TweetList{c: l.c, idx: idxs[d]}
+	}
+	return out
+}
+
+// ControlList is a read-only view of the control tweets.
+type ControlList struct {
+	c controlCols
+}
+
+// Len reports the number of control tweets.
+func (l ControlList) Len() int { return l.c.len() }
+
+// At returns the i'th control tweet.
+func (l ControlList) At(i int) ControlRecord { return l.c.at(i) }
+
+// MessageList is a read-only view of messages, optionally index-selected.
+type MessageList struct {
+	c   msgCols
+	idx []uint32
+	all bool
+}
+
+// Len reports the number of messages in the view.
+func (l MessageList) Len() int {
+	if l.all {
+		return l.c.len()
+	}
+	return len(l.idx)
+}
+
+// At returns the i'th message of the view.
+func (l MessageList) At(i int) MessageRecord {
+	if !l.all {
+		i = int(l.idx[i])
+	}
+	return l.c.at(i)
+}

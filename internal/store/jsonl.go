@@ -37,14 +37,50 @@ func WriteJSONL[T any](w io.Writer, items []T) error {
 	return bw.Flush()
 }
 
+// writeJSONLView streams n records through their jsonx codec without
+// materializing a []T: enc is handed each index and the reusable buffer.
+// Used by Save for the columnar families, whose list views reconstruct
+// records on demand.
+func writeJSONLView(w io.Writer, n int, enc func(i int, dst []byte) []byte) error {
+	bw := bufio.NewWriter(w)
+	buf := jsonx.GetBuf()
+	defer jsonx.PutBuf(buf)
+	for i := 0; i < n; i++ {
+		*buf = enc(i, (*buf)[:0])
+		*buf = append(*buf, '\n')
+		if _, err := bw.Write(*buf); err != nil {
+			return fmt.Errorf("store: encoding line %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
 // ReadJSONL reads newline-delimited JSON documents, using the streaming
 // jsonx parser for record types that carry a codec and encoding/json for
 // the rest. Unknown object keys are skipped on both paths.
 func ReadJSONL[T any](r io.Reader) ([]T, error) {
 	var out []T
+	err := streamJSONL(r, make([]T, jsonlBatchSize), func(batch []T) error {
+		out = append(out, batch...)
+		return nil
+	})
+	return out, err
+}
+
+// jsonlBatchSize is how many decoded records a streaming load buffers
+// before flushing them into the store: large enough to amortize per-batch
+// lock traffic, small enough that load memory stays O(batch), not O(file).
+const jsonlBatchSize = 4096
+
+// streamJSONL decodes newline-delimited JSON into the caller's batch
+// buffer, invoking flush each time it fills (and once at EOF for the
+// remainder). The batch backing array is reused across flushes — flush
+// must not retain it — so decoding an arbitrarily large file needs only
+// one batch of live decoder output at a time.
+func streamJSONL[T any](r io.Reader, batch []T, flush func([]T) error) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	line := 0
+	line, k := 0, 0
 	_, fast := any((*T)(nil)).(jsonlCodec)
 	var dec jsonx.Dec
 	for sc.Scan() {
@@ -63,29 +99,55 @@ func ReadJSONL[T any](r io.Reader) ([]T, error) {
 			err = json.Unmarshal(sc.Bytes(), &v)
 		}
 		if err != nil {
-			return out, fmt.Errorf("store: decoding line %d: %w", line, err)
+			return fmt.Errorf("store: decoding line %d: %w", line, err)
 		}
-		out = append(out, v)
+		batch[k] = v
+		k++
+		if k == len(batch) {
+			if err := flush(batch); err != nil {
+				return err
+			}
+			k = 0
+		}
 	}
-	return out, sc.Err()
+	if k > 0 {
+		if err := flush(batch[:k]); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
 }
 
 // Save persists the dataset as JSONL files under dir (created as needed):
-// tweets.jsonl, control.jsonl, groups.jsonl, messages.jsonl, users.jsonl.
+// tweets.jsonl, control.jsonl, groups.jsonl, messages.jsonl, posts.jsonl,
+// users.jsonl. The columnar families are encoded straight from their list
+// views, so Save never materializes a record slice.
 func (s *Store) Save(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	if err := saveFile(filepath.Join(dir, "tweets.jsonl"), s.Tweets()); err != nil {
+	tweets := s.Tweets()
+	if err := saveView(filepath.Join(dir, "tweets.jsonl"), tweets.Len(), func(i int, dst []byte) []byte {
+		t := tweets.At(i)
+		return t.appendJSON(dst)
+	}); err != nil {
 		return err
 	}
-	if err := saveFile(filepath.Join(dir, "control.jsonl"), s.Control()); err != nil {
+	control := s.Control()
+	if err := saveView(filepath.Join(dir, "control.jsonl"), control.Len(), func(i int, dst []byte) []byte {
+		c := control.At(i)
+		return c.appendJSON(dst)
+	}); err != nil {
 		return err
 	}
 	if err := saveFile(filepath.Join(dir, "groups.jsonl"), s.Groups()); err != nil {
 		return err
 	}
-	if err := saveFile(filepath.Join(dir, "messages.jsonl"), s.Messages()); err != nil {
+	msgs := s.Messages()
+	if err := saveView(filepath.Join(dir, "messages.jsonl"), msgs.Len(), func(i int, dst []byte) []byte {
+		m := msgs.At(i)
+		return m.appendJSON(dst)
+	}); err != nil {
 		return err
 	}
 	if err := saveFile(filepath.Join(dir, "posts.jsonl"), s.Posts()); err != nil {
@@ -106,59 +168,98 @@ func saveFile[T any](path string, items []T) error {
 	return f.Close()
 }
 
+func saveView(path string, n int, enc func(i int, dst []byte) []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := writeJSONLView(f, n, enc); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a dataset previously written by Save, streaming each file
+// into the columnar store in jsonlBatchSize batches instead of
+// materializing whole []T slices first.
+func (s *Store) loadStreaming(dir string) error {
+	// Tweets decode as TweetRecord (the on-disk type) and are wrapped into
+	// one reusable ingest batch; canonical URLs live on the group records.
+	ingest := make([]TweetIngest, jsonlBatchSize)
+	err := loadFileStream(filepath.Join(dir, "tweets.jsonl"), make([]TweetRecord, jsonlBatchSize), func(batch []TweetRecord) error {
+		for i := range batch {
+			ingest[i] = TweetIngest{Tweet: batch[i]}
+		}
+		s.AddTweetBatch(ingest[:len(batch)])
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	err = loadFileStream(filepath.Join(dir, "control.jsonl"), make([]ControlRecord, jsonlBatchSize), func(batch []ControlRecord) error {
+		s.AddControlBatch(batch)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	// Group records carry derived fields (observations, join data), so
+	// they replace the skeletons AddTweetBatch built.
+	err = loadFileStream(filepath.Join(dir, "groups.jsonl"), make([]*GroupRecord, jsonlBatchSize), func(batch []*GroupRecord) error {
+		for _, g := range batch {
+			s.groups.put(g)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	err = loadFileStream(filepath.Join(dir, "messages.jsonl"), make([]MessageRecord, jsonlBatchSize), func(batch []MessageRecord) error {
+		s.AddMessageBatch(batch)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	// Posts append verbatim: their group-side effects (SeenSocial,
+	// SocialPosts) are derived state the loaded group records already
+	// carry, so replaying AddPost would double-count them.
+	err = loadFileStream(filepath.Join(dir, "posts.jsonl"), make([]PostRecord, jsonlBatchSize), func(batch []PostRecord) error {
+		s.tweetMu.Lock()
+		s.posts = append(s.posts, batch...)
+		s.tweetMu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	// Each user appears once in the file, so upserting inserts verbatim
+	// (Creator-only flags survive: the merge only clears Creator on a
+	// second sighting).
+	return loadFileStream(filepath.Join(dir, "users.jsonl"), make([]UserRecord, jsonlBatchSize), func(batch []UserRecord) error {
+		s.UpsertUserBatch(batch)
+		return nil
+	})
+}
+
 // Load reads a dataset previously written by Save.
 func Load(dir string) (*Store, error) {
 	s := New()
-	tweets, err := loadFile[TweetRecord](filepath.Join(dir, "tweets.jsonl"))
-	if err != nil {
+	if err := s.loadStreaming(dir); err != nil {
 		return nil, err
-	}
-	for _, t := range tweets {
-		s.AddTweet(t)
-	}
-	control, err := loadFile[ControlRecord](filepath.Join(dir, "control.jsonl"))
-	if err != nil {
-		return nil, err
-	}
-	s.control = control
-	groups, err := loadFile[*GroupRecord](filepath.Join(dir, "groups.jsonl"))
-	if err != nil {
-		return nil, err
-	}
-	// Group records carry derived fields (observations, join data), so
-	// they replace the skeletons AddTweet built.
-	for _, g := range groups {
-		s.groups[groupKey{g.Platform, g.Code}] = g
-	}
-	msgs, err := loadFile[MessageRecord](filepath.Join(dir, "messages.jsonl"))
-	if err != nil {
-		return nil, err
-	}
-	s.msgs = msgs
-	posts, err := loadFile[PostRecord](filepath.Join(dir, "posts.jsonl"))
-	if err != nil {
-		return nil, err
-	}
-	s.posts = posts
-	users, err := loadFile[UserRecord](filepath.Join(dir, "users.jsonl"))
-	if err != nil {
-		return nil, err
-	}
-	for _, u := range users {
-		cp := u
-		s.users[userKey{u.Platform, u.Key}] = &cp
 	}
 	return s, nil
 }
 
-func loadFile[T any](path string) ([]T, error) {
+func loadFileStream[T any](path string, batch []T, flush func([]T) error) error {
 	f, err := os.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return nil, nil
+			return nil
 		}
-		return nil, err
+		return err
 	}
 	defer f.Close()
-	return ReadJSONL[T](f)
+	return streamJSONL(f, batch, flush)
 }

@@ -1,0 +1,250 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"msgscope/internal/platform"
+)
+
+// liveHeap forces a collection and reports the live heap size.
+func liveHeap() uint64 {
+	runtime.GC()
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return m.HeapAlloc
+}
+
+// Differential tests for the streaming JSONL load path: streaming a saved
+// dataset into the columnar store must reproduce, byte for byte, both the
+// files a materialize-then-ingest load would write and the files the
+// original store wrote. These pin the tentpole's "same bytes, new layout"
+// contract without regenerating any golden files.
+
+// buildDifferentialStore exercises every field the JSONL files carry:
+// merged tweet sources, canonical URLs, group observations and join data,
+// message types, posts, and users with linked accounts and creator flags.
+func buildDifferentialStore() *Store {
+	base := time.Date(2019, 4, 1, 0, 0, 0, 0, time.UTC)
+	s := New()
+	for i := 0; i < 300; i++ {
+		p := platform.All[i%len(platform.All)]
+		s.AddTweetBatch([]TweetIngest{{
+			Tweet: TweetRecord{
+				ID:        uint64(i + 1),
+				UserID:    "u" + strings.Repeat("x", i%5),
+				CreatedAt: base.Add(time.Duration(i) * time.Minute),
+				Lang:      []string{"en", "es", "pt"}[i%3],
+				Hashtags:  i % 4,
+				Mentions:  i % 3,
+				Retweet:   i%2 == 0,
+				Text:      "tweet body " + strings.Repeat("y", i%17),
+				Platform:  p,
+				GroupCode: "g" + string(rune('a'+i%7)),
+				Source:    SourceSearch,
+			},
+			Canonical: "https://example.invalid/g" + string(rune('a'+i%7)),
+		}})
+	}
+	// Re-ingest a few IDs from the other API so source bits merge.
+	for i := 0; i < 50; i++ {
+		s.AddTweet(TweetRecord{ID: uint64(i + 1), Platform: platform.All[i%len(platform.All)],
+			GroupCode: "g" + string(rune('a'+i%7)), CreatedAt: base, Source: SourceStream})
+	}
+	for i := 0; i < 40; i++ {
+		s.AddControl(ControlRecord{ID: uint64(1000 + i), UserID: "c1", CreatedAt: base.Add(time.Duration(i) * time.Hour),
+			Lang: "en", Hashtags: i % 2, Retweet: i%3 == 0})
+	}
+	s.MarkJoined(platform.WhatsApp, "ga", func(g *GroupRecord) {
+		g.MemberCount = 25
+		g.CreatorKey = "ck"
+	})
+	s.AddObservation(platform.WhatsApp, "ga", Observation{At: base, Alive: true, Members: 25, Title: "obs"})
+	s.MarkDeferred(platform.Telegram, "gb", "monitor")
+	for i := 0; i < 200; i++ {
+		s.AddMessage(MessageRecord{Platform: platform.All[i%len(platform.All)], GroupCode: "ga",
+			AuthorKey: uint64(i % 23), SentAt: base.Add(time.Duration(i) * time.Minute),
+			Type: platform.MessageType(i % 4), Text: map[bool]string{true: "msg body"}[i%5 == 0]})
+	}
+	s.AddPost(PostRecord{ID: 7, Author: "a", CreatedAt: base, Text: "post", Platform: platform.Discord, GroupCode: "gc"})
+	for i := 0; i < 30; i++ {
+		s.UpsertUser(UserRecord{Platform: platform.WhatsApp, Key: uint64(i + 1),
+			PhoneHash: HashPhone("+5511" + strings.Repeat("9", i%4)), Country: "BR",
+			Linked: map[bool][]string{true: {"tg:1", "dc:2"}}[i%6 == 0], Creator: i%7 == 0})
+	}
+	return s
+}
+
+var datasetFiles = []string{"tweets.jsonl", "control.jsonl", "groups.jsonl", "messages.jsonl", "posts.jsonl", "users.jsonl"}
+
+func compareDirs(t *testing.T, want, got string) {
+	t.Helper()
+	for _, f := range datasetFiles {
+		a, errA := os.ReadFile(filepath.Join(want, f))
+		b, errB := os.ReadFile(filepath.Join(got, f))
+		if os.IsNotExist(errA) && os.IsNotExist(errB) {
+			continue
+		}
+		if errA != nil || errB != nil {
+			t.Fatalf("%s: read: %v / %v", f, errA, errB)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s differs after round trip (%d vs %d bytes)", f, len(a), len(b))
+		}
+	}
+}
+
+// TestStreamingLoadMatchesMaterializedLoad loads the same saved dataset two
+// ways — the streaming batched path Load uses, and a reference path that
+// materializes whole []T slices with ReadJSONL and ingests them through the
+// public Add/Upsert calls — and asserts both stores re-save identical bytes.
+func TestStreamingLoadMatchesMaterializedLoad(t *testing.T) {
+	src := buildDifferentialStore()
+	dir := t.TempDir()
+	if err := src.Save(filepath.Join(dir, "orig")); err != nil {
+		t.Fatal(err)
+	}
+
+	streamed, err := Load(filepath.Join(dir, "orig"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := streamed.Save(filepath.Join(dir, "streamed")); err != nil {
+		t.Fatal(err)
+	}
+	compareDirs(t, filepath.Join(dir, "orig"), filepath.Join(dir, "streamed"))
+
+	// Reference: materialize every file, then ingest.
+	ref := New()
+	readAll := func(name string, into func([]byte) error) {
+		t.Helper()
+		raw, err := os.ReadFile(filepath.Join(dir, "orig", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := into(raw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	readAll("tweets.jsonl", func(raw []byte) error {
+		tweets, err := ReadJSONL[TweetRecord](bytes.NewReader(raw))
+		for _, tw := range tweets {
+			ref.AddTweet(tw)
+		}
+		return err
+	})
+	readAll("control.jsonl", func(raw []byte) error {
+		ctl, err := ReadJSONL[ControlRecord](bytes.NewReader(raw))
+		ref.AddControlBatch(ctl)
+		return err
+	})
+	readAll("groups.jsonl", func(raw []byte) error {
+		groups, err := ReadJSONL[*GroupRecord](bytes.NewReader(raw))
+		for _, g := range groups {
+			ref.groups.put(g)
+		}
+		return err
+	})
+	readAll("messages.jsonl", func(raw []byte) error {
+		msgs, err := ReadJSONL[MessageRecord](bytes.NewReader(raw))
+		ref.AddMessageBatch(msgs)
+		return err
+	})
+	readAll("posts.jsonl", func(raw []byte) error {
+		// Like Load, append verbatim: group records already carry the
+		// posts' derived side effects.
+		posts, err := ReadJSONL[PostRecord](bytes.NewReader(raw))
+		ref.posts = append(ref.posts, posts...)
+		return err
+	})
+	readAll("users.jsonl", func(raw []byte) error {
+		users, err := ReadJSONL[UserRecord](bytes.NewReader(raw))
+		ref.UpsertUserBatch(users)
+		return err
+	})
+	if err := ref.Save(filepath.Join(dir, "materialized")); err != nil {
+		t.Fatal(err)
+	}
+	compareDirs(t, filepath.Join(dir, "orig"), filepath.Join(dir, "materialized"))
+}
+
+// TestStreamJSONLReusesBatchBuffer pins the O(batch) memory contract of the
+// streaming decoder: every flush is handed the same backing array, so load
+// memory is one batch of decoded records regardless of file size.
+func TestStreamJSONLReusesBatchBuffer(t *testing.T) {
+	var buf bytes.Buffer
+	const total, batchLen = 41, 4
+	base := time.Date(2019, 4, 1, 0, 0, 0, 0, time.UTC)
+	recs := make([]MessageRecord, total)
+	for i := range recs {
+		recs[i] = MessageRecord{Platform: platform.Telegram, GroupCode: "g",
+			AuthorKey: uint64(i), SentAt: base, Type: platform.Text}
+	}
+	if err := WriteJSONL(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+
+	batch := make([]MessageRecord, batchLen)
+	first := &batch[0]
+	var flushes, seen int
+	err := streamJSONL(bytes.NewReader(buf.Bytes()), batch, func(got []MessageRecord) error {
+		flushes++
+		seen += len(got)
+		if &got[0] != first {
+			t.Fatalf("flush %d received a different backing array", flushes)
+		}
+		if len(got) > batchLen {
+			t.Fatalf("flush %d has %d records, batch is %d", flushes, len(got), batchLen)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != total {
+		t.Fatalf("streamed %d records, want %d", seen, total)
+	}
+	if want := (total + batchLen - 1) / batchLen; flushes != want {
+		t.Fatalf("%d flushes, want %d", flushes, want)
+	}
+}
+
+// TestLoadAllocationsStayBounded asserts the streaming load path's live
+// memory tracks the store, not the file: loading a dataset must not retain
+// a materialized []TweetRecord of the whole file on top of the columns.
+// The bound is generous — it fails only if someone reintroduces whole-file
+// materialization (which at this record count would at least double it).
+func TestLoadAllocationsStayBounded(t *testing.T) {
+	src := buildDifferentialStore()
+	dir := t.TempDir()
+	if err := src.Save(filepath.Join(dir, "d")); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Load(filepath.Join(dir, "d")) // warm path caches
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := liveHeap()
+	loaded, err := Load(filepath.Join(dir, "d"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := liveHeap()
+	runtime.KeepAlive(warm)
+	var live uint64
+	if after > before {
+		live = after - before
+	}
+	// The 300-tweet store is ~200KB columnar; a retained []TweetRecord +
+	// strings for the whole file would add well over 100KB.
+	const bound = 1 << 20
+	if live > bound {
+		t.Fatalf("streaming load retained %d live bytes, bound %d", live, bound)
+	}
+	_ = loaded
+}

@@ -9,10 +9,14 @@ import (
 // Snapshot is a frozen, indexed view of the dataset, taken once after a
 // study's collection completes. The paper derives every table and figure
 // from one immutable 38-day dataset, so the report engine can exploit
-// post-collection immutability aggressively: all slices here are shared
-// (never copied per call) and pre-partitioned, letting experiments do
-// O(their output) work instead of re-sorting the store's maps on each
-// call.
+// post-collection immutability aggressively: the column views and index
+// slices here are shared (never copied per call) and pre-partitioned,
+// letting experiments do O(their output) work instead of re-sorting the
+// store's maps on each call.
+//
+// The per-platform and per-day tweet/message partitions are []uint32 row
+// indexes into the columnar families — 4 bytes per entry where the former
+// layout kept an 8-byte pointer into a slice of structs.
 //
 // Contract: take the snapshot only after collection has stopped, and treat
 // everything it exposes as read-only.
@@ -20,85 +24,120 @@ type Snapshot struct {
 	Start time.Time
 	Days  int
 
-	// Flat record slices in collection order.
-	Tweets   []TweetRecord
-	Control  []ControlRecord
+	// Flat family views in collection order.
+	Tweets   TweetList
+	Control  ControlList
 	Posts    []PostRecord
-	Messages []MessageRecord
+	Messages MessageList
 
 	// Groups and Users are sorted by platform then code/key, matching the
-	// store's deterministic iteration order.
+	// store's deterministic iteration order. Group pointers are the same
+	// stable arena records Store.Groups hands out.
 	Groups []*GroupRecord
 	Users  []*UserRecord
 
-	tweetsByPlat map[platform.Platform][]*TweetRecord
-	msgsByPlat   map[platform.Platform][]*MessageRecord
+	tweetsByPlat map[platform.Platform]TweetList
+	msgsByPlat   map[platform.Platform]MessageList
 	groupsByPlat map[platform.Platform][]*GroupRecord
 	joinedByPlat map[platform.Platform][]*GroupRecord
-	tweetsByDay  [][]*TweetRecord
+	tweetsByDay  []TweetList
 	counts       map[platform.Platform]Counts
 }
 
 // Snapshot freezes the store into an indexed view of the study window
-// [start, start+days). It holds all four family locks for the duration,
-// so it sees a mutually consistent dataset even if stray writers linger;
-// no store method ever holds two family locks, so acquiring all four here
-// cannot deadlock.
+// [start, start+days). It sees a mutually consistent dataset even if stray
+// writers linger, by taking every lock in the store's documented total
+// order — tweetMu, msgMu, then each striped family's cacheMu followed by
+// its stripes in ascending index order — which no other multi-lock path
+// contradicts, so it cannot deadlock.
 func (s *Store) Snapshot(start time.Time, days int) *Snapshot {
 	s.tweetMu.Lock()
 	defer s.tweetMu.Unlock()
-	s.groupMu.Lock()
-	defer s.groupMu.Unlock()
-	s.userMu.Lock()
-	defer s.userMu.Unlock()
 	s.msgMu.Lock()
 	defer s.msgMu.Unlock()
-	s.rebuildGroupsLocked()
-	s.rebuildUsersLocked()
+	s.groups.lockAll()
+	defer s.groups.unlockAll()
+	s.users.lockAll()
+	defer s.users.unlockAll()
 
+	s.groups.rebuildLocked(true)
+	s.users.rebuildLocked(true)
+
+	tweets := TweetList{c: s.tweets.view(), all: true}
+	msgs := MessageList{c: s.msgs.view(), all: true}
 	sn := &Snapshot{
 		Start:        start,
 		Days:         days,
-		Tweets:       s.tweets,
-		Control:      s.control,
+		Tweets:       tweets,
+		Control:      ControlList{c: s.control.view()},
 		Posts:        s.posts,
-		Messages:     s.msgs,
-		Groups:       s.sortedGroups,
-		Users:        s.sortedUsers,
-		tweetsByPlat: map[platform.Platform][]*TweetRecord{},
-		msgsByPlat:   map[platform.Platform][]*MessageRecord{},
-		groupsByPlat: s.groupsByPlat,
+		Messages:     msgs,
+		Groups:       s.groups.materialize(s.groups.sorted),
+		Users:        s.users.materializeLocked(true),
+		tweetsByPlat: map[platform.Platform]TweetList{},
+		msgsByPlat:   map[platform.Platform]MessageList{},
+		groupsByPlat: map[platform.Platform][]*GroupRecord{},
 		joinedByPlat: map[platform.Platform][]*GroupRecord{},
 		counts:       map[platform.Platform]Counts{},
 	}
+
+	// Partition tweets by platform and study day in one pass over the
+	// packed columns, counting distinct users by interned handle.
+	platIdx := map[platform.Platform][]uint32{}
+	dayIdx := make([][]uint32, days)
+	tweetUsers := map[platform.Platform]map[uint32]struct{}{}
+	startNano := timeToNano(start)
+	const dayNanos = int64(24 * time.Hour)
+	for i := range s.tweets.plat {
+		p := platform.Platform(s.tweets.plat[i])
+		platIdx[p] = append(platIdx[p], uint32(i))
+		if c := s.tweets.created[i]; c != zeroTimeNano {
+			if d := int((c - startNano) / dayNanos); d >= 0 && d < days {
+				dayIdx[d] = append(dayIdx[d], uint32(i))
+			}
+		}
+		set := tweetUsers[p]
+		if set == nil {
+			set = map[uint32]struct{}{}
+			tweetUsers[p] = set
+		}
+		set[s.tweets.user[i]] = struct{}{}
+	}
+	for p, idx := range platIdx {
+		sn.tweetsByPlat[p] = TweetList{c: tweets.c, idx: idx}
+	}
 	if days > 0 {
-		sn.tweetsByDay = make([][]*TweetRecord, days)
+		sn.tweetsByDay = make([]TweetList, days)
+		for d := range dayIdx {
+			sn.tweetsByDay[d] = TweetList{c: tweets.c, idx: dayIdx[d]}
+		}
 	}
 
-	tweetUsers := map[platform.Platform]map[string]struct{}{}
-	for i := range s.tweets {
-		t := &s.tweets[i]
-		sn.tweetsByPlat[t.Platform] = append(sn.tweetsByPlat[t.Platform], t)
-		if d := int(t.CreatedAt.Sub(start) / (24 * time.Hour)); d >= 0 && d < days {
-			sn.tweetsByDay[d] = append(sn.tweetsByDay[d], t)
-		}
-		set := tweetUsers[t.Platform]
-		if set == nil {
-			set = map[string]struct{}{}
-			tweetUsers[t.Platform] = set
-		}
-		set[t.UserID] = struct{}{}
-	}
+	msgIdx := map[platform.Platform][]uint32{}
 	msgUsers := map[platform.Platform]map[uint64]struct{}{}
-	for i := range s.msgs {
-		m := &s.msgs[i]
-		sn.msgsByPlat[m.Platform] = append(sn.msgsByPlat[m.Platform], m)
-		set := msgUsers[m.Platform]
+	for i := range s.msgs.plat {
+		p := platform.Platform(s.msgs.plat[i])
+		msgIdx[p] = append(msgIdx[p], uint32(i))
+		set := msgUsers[p]
 		if set == nil {
 			set = map[uint64]struct{}{}
-			msgUsers[m.Platform] = set
+			msgUsers[p] = set
 		}
-		set[m.AuthorKey] = struct{}{}
+		set[s.msgs.author[i]] = struct{}{}
+	}
+	for p, idx := range msgIdx {
+		sn.msgsByPlat[p] = MessageList{c: msgs.c, idx: idx}
+	}
+
+	// Groups is sorted by (platform, code), so the per-platform partitions
+	// are contiguous subslices of it.
+	for lo := 0; lo < len(sn.Groups); {
+		hi := lo
+		for hi < len(sn.Groups) && sn.Groups[hi].Platform == sn.Groups[lo].Platform {
+			hi++
+		}
+		sn.groupsByPlat[sn.Groups[lo].Platform] = sn.Groups[lo:hi:hi]
+		lo = hi
 	}
 	for _, g := range sn.Groups {
 		if g.Joined {
@@ -106,27 +145,32 @@ func (s *Store) Snapshot(start time.Time, days int) *Snapshot {
 		}
 	}
 	for _, p := range platform.All {
-		c := Counts{
-			Tweets:       len(sn.tweetsByPlat[p]),
+		sn.counts[p] = Counts{
+			Tweets:       len(platIdx[p]),
 			TweetUsers:   len(tweetUsers[p]),
 			GroupURLs:    len(sn.groupsByPlat[p]),
 			JoinedGroups: len(sn.joinedByPlat[p]),
-			Messages:     len(sn.msgsByPlat[p]),
+			Messages:     len(msgIdx[p]),
 			MessageUsers: len(msgUsers[p]),
 		}
-		sn.counts[p] = c
 	}
 	return sn
 }
 
 // TweetsOf returns one platform's tweets, in collection order.
-func (sn *Snapshot) TweetsOf(p platform.Platform) []*TweetRecord {
-	return sn.tweetsByPlat[p]
+func (sn *Snapshot) TweetsOf(p platform.Platform) TweetList {
+	if l, ok := sn.tweetsByPlat[p]; ok {
+		return l
+	}
+	return TweetList{c: sn.Tweets.c, idx: []uint32{}}
 }
 
 // MessagesOf returns one platform's collected messages.
-func (sn *Snapshot) MessagesOf(p platform.Platform) []*MessageRecord {
-	return sn.msgsByPlat[p]
+func (sn *Snapshot) MessagesOf(p platform.Platform) MessageList {
+	if l, ok := sn.msgsByPlat[p]; ok {
+		return l
+	}
+	return MessageList{c: sn.Messages.c, idx: []uint32{}}
 }
 
 // GroupsOf returns one platform's groups, sorted by code.
@@ -141,7 +185,7 @@ func (sn *Snapshot) JoinedOf(p platform.Platform) []*GroupRecord {
 
 // TweetsByDay returns the tweets bucketed by zero-based study day; tweets
 // outside the window appear in no bucket.
-func (sn *Snapshot) TweetsByDay() [][]*TweetRecord { return sn.tweetsByDay }
+func (sn *Snapshot) TweetsByDay() []TweetList { return sn.tweetsByDay }
 
 // CountsFor returns the precomputed Table 2 row of one platform.
 func (sn *Snapshot) CountsFor(p platform.Platform) Counts { return sn.counts[p] }

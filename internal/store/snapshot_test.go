@@ -29,9 +29,9 @@ func TestSnapshotMatchesStore(t *testing.T) {
 	s := buildSnapshotStore()
 	sn := s.Snapshot(snapStart, 3)
 
-	if len(sn.Tweets) != 4 || len(sn.Control) != 1 || len(sn.Messages) != 2 {
+	if sn.Tweets.Len() != 4 || sn.Control.Len() != 1 || sn.Messages.Len() != 2 {
 		t.Fatalf("flat slices wrong: %d tweets %d control %d msgs",
-			len(sn.Tweets), len(sn.Control), len(sn.Messages))
+			sn.Tweets.Len(), sn.Control.Len(), sn.Messages.Len())
 	}
 	groups := s.Groups()
 	if len(sn.Groups) != len(groups) {
@@ -65,10 +65,10 @@ func TestSnapshotMatchesStore(t *testing.T) {
 	}
 	var inPlat int
 	for _, p := range platform.All {
-		inPlat += len(sn.TweetsOf(p))
+		inPlat += sn.TweetsOf(p).Len()
 	}
-	if inPlat != len(sn.Tweets) {
-		t.Fatalf("per-platform tweet partitions cover %d of %d", inPlat, len(sn.Tweets))
+	if inPlat != sn.Tweets.Len() {
+		t.Fatalf("per-platform tweet partitions cover %d of %d", inPlat, sn.Tweets.Len())
 	}
 }
 
@@ -78,15 +78,15 @@ func TestSnapshotDayBuckets(t *testing.T) {
 	if len(buckets) != 3 {
 		t.Fatalf("%d buckets, want 3", len(buckets))
 	}
-	if len(buckets[0]) != 1 || len(buckets[1]) != 2 || len(buckets[2]) != 0 {
+	if buckets[0].Len() != 1 || buckets[1].Len() != 2 || buckets[2].Len() != 0 {
 		t.Fatalf("bucket sizes %d/%d/%d, want 1/2/0",
-			len(buckets[0]), len(buckets[1]), len(buckets[2]))
+			buckets[0].Len(), buckets[1].Len(), buckets[2].Len())
 	}
 	// The day-9 Discord tweet is outside the window: present in the flat
-	// slice, absent from every bucket.
+	// view, absent from every bucket.
 	var bucketed int
 	for _, b := range buckets {
-		bucketed += len(b)
+		bucketed += b.Len()
 	}
 	if bucketed != 3 {
 		t.Fatalf("bucketed %d tweets, want 3 (one outside window)", bucketed)

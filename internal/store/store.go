@@ -2,15 +2,27 @@
 // group URLs, daily observations, joined-group data, messages, and observed
 // users. Following the paper's ethics statement, phone numbers are never
 // stored as such — only one-way SHA-256 hashes.
+//
+// Layout: the hot record families (tweets, control tweets, messages,
+// users) are stored columnar (struct-of-arrays, see columnar.go) with
+// string fields interned to uint32 handles and text in byte arenas, so the
+// paper-scale corpus (~2.2M tweets, ~8.3M messages) fits in a fraction of
+// the former slice-of-structs footprint. Groups keep addressable records,
+// allocated in chunked per-stripe arenas so handed-out pointers stay
+// stable. Readers get list views (TweetList, ControlList, MessageList)
+// that reconstruct record values on demand without allocating.
 package store
 
 import (
+	"cmp"
 	"crypto/sha256"
 	"encoding/hex"
+	"slices"
 	"sort"
 	"sync"
 	"time"
 
+	"msgscope/internal/ids"
 	"msgscope/internal/platform"
 )
 
@@ -151,64 +163,61 @@ type UserRecord struct {
 
 // Store is the in-memory dataset. It is safe for concurrent use.
 //
-// Concurrency model: instead of one global mutex, the dataset is split into
-// four independently locked families, so the pipeline's concurrent writers
-// — search workers appending tweets, stream drains appending control
-// records, the 16-worker daily sweep appending observations and upserting
-// users, and the join phase appending messages — never serialize on each
-// other's locks:
+// Concurrency model: the append-only log families each have one mutex
+// (tweetMu covers tweets, control, posts, and their dedup maps; msgMu
+// covers messages — an ordered log cannot be striped), while the keyed
+// families (groups, users) are lock-striped: each key hashes to one of 64
+// stripes with its own mutex, so the parallel search/collect fan-out and
+// the 16-worker daily sweep only contend when touching the same stripe.
 //
-//	tweetMu: tweets, control, posts, and their dedup maps
-//	groupMu: groups (incl. observations and join metadata) and the sorted
-//	         group indexes
-//	userMu:  users and the sorted user index
-//	msgMu:   msgs
+// Lock order: ordinary writers hold at most one stripe lock at a time and
+// never nest family locks (cross-family writes such as AddTweet release
+// tweetMu before touching group stripes), so they cannot deadlock. The
+// operations that do hold several locks — the sorted-cache rebuilds and
+// Snapshot — follow one total order:
 //
-// No method ever holds two family locks at once (cross-family writes such
-// as AddTweet release tweetMu before taking groupMu), so there is no lock
-// ordering to maintain and no deadlock potential. The price is that a
-// reader between the two phases of AddTweet can observe a tweet whose
-// group record has not landed yet; the report layer only reads after
-// collection has quiesced (Snapshot), where every write has completed.
+//	tweetMu → msgMu → groups.cacheMu → group stripes (ascending)
+//	        → users.cacheMu → user stripes (ascending)
+//
+// Every multi-lock path acquires a subsequence of that chain in that
+// order, which is what makes Snapshot's "freeze everything at once" safe;
+// the former claim that no method ever holds two family locks was wrong
+// precisely there. A reader between the two phases of AddTweet can still
+// observe a tweet whose group record has not landed yet; the report layer
+// only reads after collection has quiesced (Snapshot), where every write
+// has completed.
 type Store struct {
 	tweetMu sync.Mutex
-	tweets  []TweetRecord
-	control []ControlRecord
+	tweets  tweetCols
+	control controlCols
 	posts   []PostRecord
 
-	seenTweets map[uint64]int // tweet id -> index in tweets
+	seenTweets map[uint64]uint32 // tweet id -> row in tweets
 	seenPosts  map[uint64]struct{}
 
-	groupMu sync.Mutex
-	groups  map[groupKey]*GroupRecord
-	// Sorted read caches, rebuilt lazily when the group/user sets change.
-	// Groups, GroupsOf, and Users hand out copies of these so callers may
-	// reorder what they receive (the join phase shuffles its candidates).
-	sortedGroups []*GroupRecord
-	groupsByPlat map[platform.Platform][]*GroupRecord
-	groupsDirty  bool
-
-	userMu      sync.Mutex
-	users       map[userKey]*UserRecord
-	sortedUsers []*UserRecord
-	usersDirty  bool
-
 	msgMu sync.Mutex
-	msgs  []MessageRecord
+	msgs  msgCols
+
+	groups *groupTable
+	users  *userTable
 }
 
 // New returns an empty Store.
 func New() *Store {
+	userTab, langTab := ids.NewTable(), ids.NewTable()
 	return &Store{
-		groups:     map[groupKey]*GroupRecord{},
-		users:      map[userKey]*UserRecord{},
-		seenTweets: map[uint64]int{},
+		tweets:     newTweetCols(userTab, langTab),
+		control:    newControlCols(userTab, langTab),
+		msgs:       newMsgCols(),
+		seenTweets: map[uint64]uint32{},
+		groups:     newGroupTable(),
+		users:      newUserTable(),
 	}
 }
 
 // groupKey and userKey are comparable struct keys: building one is
-// allocation-free, unlike the former "platform/code" string concatenation
-// that allocated on every map probe of the hot ingest paths.
+// allocation-free, unlike a "platform/code" string concatenation would be
+// on every map probe of the hot ingest paths.
 type groupKey struct {
 	p    platform.Platform
 	code string
@@ -233,17 +242,19 @@ func (s *Store) AddTweet(t TweetRecord) (newGroup bool) {
 	return s.AddTweetBatch([]TweetIngest{{Tweet: t}}) == 1
 }
 
-// AddTweetBatch records a batch of tweets in order, taking each family lock
-// once instead of once per tweet. Duplicates (already seen by the other
-// API) get their source bits merged and are dropped. Canonical URLs are
-// recorded for groups discovered by this batch. It returns how many group
-// URLs were never seen before (discoveries).
+// AddTweetBatch records a batch of tweets in order, taking the tweet-family
+// lock once and each touched group stripe once instead of a lock pair per
+// tweet. Duplicates (already seen by the other API) get their source bits
+// merged and are dropped. Canonical URLs are recorded for groups discovered
+// by this batch. It returns how many group URLs were never seen before
+// (discoveries).
 func (s *Store) AddTweetBatch(batch []TweetIngest) (newGroups int) {
 	if len(batch) == 0 {
 		return 0
 	}
-	// Group updates to apply under groupMu after the tweet family is done.
+	// Group updates to apply per stripe after the tweet family is done.
 	type groupUpdate struct {
+		stripe    uint32
 		p         platform.Platform
 		code      string
 		at        time.Time
@@ -254,59 +265,54 @@ func (s *Store) AddTweetBatch(batch []TweetIngest) (newGroups int) {
 	s.tweetMu.Lock()
 	for i := range batch {
 		t := &batch[i].Tweet
-		if j, dup := s.seenTweets[t.ID]; dup {
-			s.tweets[j].Source |= t.Source
+		if row, dup := s.seenTweets[t.ID]; dup {
+			s.tweets.flags[row] |= uint8(t.Source) & flagSourceMask
 			continue
 		}
-		s.seenTweets[t.ID] = len(s.tweets)
-		s.tweets = append(s.tweets, *t)
+		s.seenTweets[t.ID] = uint32(s.tweets.len())
+		s.tweets.append(t)
 		if updates == nil {
 			// Allocated only once a non-duplicate shows up, so re-ingesting
 			// an already-seen batch stays allocation-free.
 			updates = make([]groupUpdate, 0, len(batch))
 		}
-		updates = append(updates, groupUpdate{t.Platform, t.GroupCode, t.CreatedAt, batch[i].Canonical})
+		st := stripeHash(t.GroupCode, t.Platform)
+		updates = append(updates, groupUpdate{st, t.Platform, t.GroupCode, t.CreatedAt, batch[i].Canonical})
 	}
 	s.tweetMu.Unlock()
 
 	if len(updates) == 0 {
 		return 0
 	}
-	s.groupMu.Lock()
-	for _, u := range updates {
-		g, isNew := s.groupForLocked(u.p, u.code, u.at)
-		g.SeenTwitter = true
-		g.Tweets++
-		if isNew {
-			newGroups++
-			if u.canonical != "" {
-				g.Canonical = u.canonical
+	// Visit each touched stripe once, in ascending order. The stable sort
+	// preserves batch order within a stripe, so a group first shared twice
+	// in one batch keeps the first occurrence's canonical URL, as before.
+	slices.SortStableFunc(updates, func(a, b groupUpdate) int {
+		return cmp.Compare(a.stripe, b.stripe)
+	})
+	for lo := 0; lo < len(updates); {
+		hi := lo
+		for hi < len(updates) && updates[hi].stripe == updates[lo].stripe {
+			hi++
+		}
+		st := &s.groups.stripes[updates[lo].stripe]
+		st.mu.Lock()
+		for i := lo; i < hi; i++ {
+			u := &updates[i]
+			g, isNew := s.groups.upsertLocked(st, u.p, u.code, u.at)
+			g.SeenTwitter = true
+			g.Tweets++
+			if isNew {
+				newGroups++
+				if u.canonical != "" {
+					g.Canonical = u.canonical
+				}
 			}
 		}
+		st.mu.Unlock()
+		lo = hi
 	}
-	s.groupMu.Unlock()
 	return newGroups
-}
-
-// groupForLocked returns the group record, creating it on first sight and
-// widening its first/last-seen window. Callers hold s.groupMu.
-func (s *Store) groupForLocked(p platform.Platform, code string, at time.Time) (*GroupRecord, bool) {
-	k := groupKey{p, code}
-	g, ok := s.groups[k]
-	isNew := false
-	if !ok {
-		g = &GroupRecord{Platform: p, Code: code, FirstSeen: at, LastSeen: at}
-		s.groups[k] = g
-		s.groupsDirty = true
-		isNew = true
-	}
-	if at.Before(g.FirstSeen) {
-		g.FirstSeen = at
-	}
-	if at.After(g.LastSeen) {
-		g.LastSeen = at
-	}
-	return g, isNew
 }
 
 // PostRecord is one collected secondary-network post carrying a group URL.
@@ -334,11 +340,12 @@ func (s *Store) AddPost(p PostRecord) (newGroup bool) {
 	s.posts = append(s.posts, p)
 	s.tweetMu.Unlock()
 
-	s.groupMu.Lock()
-	g, isNew := s.groupForLocked(p.Platform, p.GroupCode, p.CreatedAt)
+	_, st := s.groups.stripeFor(p.Platform, p.GroupCode)
+	st.mu.Lock()
+	g, isNew := s.groups.upsertLocked(st, p.Platform, p.GroupCode, p.CreatedAt)
 	g.SeenSocial = true
 	g.SocialPosts++
-	s.groupMu.Unlock()
+	st.mu.Unlock()
 	return isNew
 }
 
@@ -352,7 +359,7 @@ func (s *Store) Posts() []PostRecord {
 // AddControl records one control-stream tweet.
 func (s *Store) AddControl(c ControlRecord) {
 	s.tweetMu.Lock()
-	s.control = append(s.control, c)
+	s.control.append(&c)
 	s.tweetMu.Unlock()
 }
 
@@ -363,65 +370,59 @@ func (s *Store) AddControlBatch(batch []ControlRecord) {
 		return
 	}
 	s.tweetMu.Lock()
-	s.control = append(s.control, batch...)
+	for i := range batch {
+		s.control.append(&batch[i])
+	}
 	s.tweetMu.Unlock()
 }
 
-// Group returns the record for a discovered group (nil if unknown).
+// Group returns the record for a discovered group (nil if unknown). The
+// pointer stays valid for the life of the store: records live in chunked
+// stripe arenas and never move.
 func (s *Store) Group(p platform.Platform, code string) *GroupRecord {
-	s.groupMu.Lock()
-	defer s.groupMu.Unlock()
-	return s.groups[groupKey{p, code}]
+	return s.groups.get(p, code)
 }
 
 // SetCanonical records the canonical URL of a group.
 func (s *Store) SetCanonical(p platform.Platform, code, canonical string) {
-	s.groupMu.Lock()
-	if g := s.groups[groupKey{p, code}]; g != nil {
+	s.groups.with(p, code, func(g *GroupRecord) {
 		g.Canonical = canonical
-	}
-	s.groupMu.Unlock()
+	})
 }
 
 // AddObservation appends a daily probe to a group's series.
 func (s *Store) AddObservation(p platform.Platform, code string, o Observation) {
-	s.groupMu.Lock()
-	if g := s.groups[groupKey{p, code}]; g != nil {
+	s.groups.with(p, code, func(g *GroupRecord) {
 		g.Observations = append(g.Observations, o)
 		g.Deferred = false
 		g.DeferReason = ""
-	}
-	s.groupMu.Unlock()
+	})
 }
 
 // MarkJoined records join-phase metadata on a group.
 func (s *Store) MarkJoined(p platform.Platform, code string, update func(*GroupRecord)) {
-	s.groupMu.Lock()
-	if g := s.groups[groupKey{p, code}]; g != nil {
+	s.groups.with(p, code, func(g *GroupRecord) {
 		g.Joined = true
 		g.Deferred = false
 		g.DeferReason = ""
 		update(g)
-	}
-	s.groupMu.Unlock()
+	})
 }
 
 // MarkDeferred flags a group whose request exhausted its retry budget, so
 // it is retried on the next sweep rather than silently dropped. A later
 // successful observation or join clears the flag.
 func (s *Store) MarkDeferred(p platform.Platform, code, reason string) {
-	s.groupMu.Lock()
-	if g := s.groups[groupKey{p, code}]; g != nil {
+	s.groups.with(p, code, func(g *GroupRecord) {
 		g.Deferred = true
 		g.DeferReason = reason
-	}
-	s.groupMu.Unlock()
+	})
 }
 
 // AddMessage records one collected message.
 func (s *Store) AddMessage(m MessageRecord) {
 	s.msgMu.Lock()
-	s.msgs = append(s.msgs, m)
+	s.msgs.append(&m)
 	s.msgMu.Unlock()
 }
 
@@ -432,53 +433,25 @@ func (s *Store) AddMessageBatch(batch []MessageRecord) {
 		return
 	}
 	s.msgMu.Lock()
-	s.msgs = append(s.msgs, batch...)
+	for i := range batch {
+		s.msgs.append(&batch[i])
+	}
 	s.msgMu.Unlock()
 }
 
 // UpsertUser merges an observed user's PII into the dataset.
 func (s *Store) UpsertUser(u UserRecord) {
-	s.userMu.Lock()
-	s.upsertUserLocked(u)
-	s.userMu.Unlock()
+	s.users.upsert(&u)
 }
 
-// UpsertUserBatch merges a batch of observed users under one lock
-// acquisition. Merging is commutative across batches (fields fill in,
-// Linked accumulates as a set, Creator only ever clears), so concurrent
-// batches land in the same final state regardless of interleaving.
+// UpsertUserBatch merges a batch of observed users, locking each user's
+// stripe as it goes. Merging is commutative across batches (fields fill
+// in, Linked accumulates as a set, Creator only ever clears), so
+// concurrent batches land in the same final state regardless of
+// interleaving.
 func (s *Store) UpsertUserBatch(batch []UserRecord) {
-	if len(batch) == 0 {
-		return
-	}
-	s.userMu.Lock()
 	for i := range batch {
-		s.upsertUserLocked(batch[i])
-	}
-	s.userMu.Unlock()
-}
-
-func (s *Store) upsertUserLocked(u UserRecord) {
-	k := userKey{u.Platform, u.Key}
-	cur, ok := s.users[k]
-	if !ok {
-		cp := u
-		s.users[k] = &cp
-		s.usersDirty = true
-		return
-	}
-	if u.PhoneHash != "" {
-		cur.PhoneHash = u.PhoneHash
-	}
-	if u.Country != "" {
-		cur.Country = u.Country
-	}
-	if len(u.Linked) > 0 {
-		cur.Linked = mergeStrings(cur.Linked, u.Linked)
-	}
-	// A user seen as a member is no longer creator-only.
-	if !u.Creator {
-		cur.Creator = false
+		s.users.upsert(&batch[i])
 	}
 }
 
@@ -498,100 +471,47 @@ func mergeStrings(a, b []string) []string {
 	return out
 }
 
-// Tweets returns the collected platform tweets (shared slice; do not
-// mutate).
-func (s *Store) Tweets() []TweetRecord {
+// Tweets returns a read-only view of the collected platform tweets, in
+// collection order.
+func (s *Store) Tweets() TweetList {
 	s.tweetMu.Lock()
 	defer s.tweetMu.Unlock()
-	return s.tweets
+	return TweetList{c: s.tweets.view(), all: true}
 }
 
-// Control returns the control tweets.
-func (s *Store) Control() []ControlRecord {
+// Control returns a read-only view of the control tweets.
+func (s *Store) Control() ControlList {
 	s.tweetMu.Lock()
 	defer s.tweetMu.Unlock()
-	return s.control
-}
-
-// rebuildGroupsLocked refreshes the sorted slice and per-platform
-// partitions after the group set changed. Callers hold s.groupMu.
-func (s *Store) rebuildGroupsLocked() {
-	if !s.groupsDirty && s.sortedGroups != nil {
-		return
-	}
-	out := make([]*GroupRecord, 0, len(s.groups))
-	for _, g := range s.groups {
-		out = append(out, g)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Platform != out[j].Platform {
-			return out[i].Platform < out[j].Platform
-		}
-		return out[i].Code < out[j].Code
-	})
-	byPlat := map[platform.Platform][]*GroupRecord{}
-	for _, g := range out {
-		byPlat[g.Platform] = append(byPlat[g.Platform], g)
-	}
-	s.sortedGroups = out
-	s.groupsByPlat = byPlat
-	s.groupsDirty = false
+	return ControlList{c: s.control.view()}
 }
 
 // Groups returns all discovered groups, sorted by platform then code for
 // deterministic iteration. The slice is the caller's to reorder; it is
-// copied from an index kept sorted across calls, so repeated reads cost
-// O(N) instead of O(N log N).
+// materialized from an index of packed (stripe, row) refs kept sorted
+// across calls, so repeated reads cost O(N) instead of O(N log N).
 func (s *Store) Groups() []*GroupRecord {
-	s.groupMu.Lock()
-	defer s.groupMu.Unlock()
-	s.rebuildGroupsLocked()
-	return append([]*GroupRecord(nil), s.sortedGroups...)
+	return s.groups.groups()
 }
 
 // GroupsOf returns the discovered groups of one platform, sorted by code,
 // served from the per-platform partition of the group index.
 func (s *Store) GroupsOf(p platform.Platform) []*GroupRecord {
-	s.groupMu.Lock()
-	defer s.groupMu.Unlock()
-	s.rebuildGroupsLocked()
-	return append([]*GroupRecord(nil), s.groupsByPlat[p]...)
+	return s.groups.groupsOf(p)
 }
 
-// Messages returns all collected messages.
-func (s *Store) Messages() []MessageRecord {
+// Messages returns a read-only view of all collected messages.
+func (s *Store) Messages() MessageList {
 	s.msgMu.Lock()
 	defer s.msgMu.Unlock()
-	return s.msgs
+	return MessageList{c: s.msgs.view(), all: true}
 }
 
-// rebuildUsersLocked refreshes the sorted user index. Callers hold
-// s.userMu.
-func (s *Store) rebuildUsersLocked() {
-	if !s.usersDirty && s.sortedUsers != nil {
-		return
-	}
-	out := make([]*UserRecord, 0, len(s.users))
-	for _, u := range s.users {
-		out = append(out, u)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Platform != out[j].Platform {
-			return out[i].Platform < out[j].Platform
-		}
-		return out[i].Key < out[j].Key
-	})
-	s.sortedUsers = out
-	s.usersDirty = false
-}
-
-// Users returns all observed users, sorted by platform then key. As with
-// Groups, the returned slice is a copy of a persistent sorted index.
+// Users returns all observed users, sorted by platform then key. Each call
+// materializes fresh records from the columnar family (strings stay
+// shared), so callers must not expect pointer identity across calls.
 func (s *Store) Users() []*UserRecord {
-	s.userMu.Lock()
-	defer s.userMu.Unlock()
-	s.rebuildUsersLocked()
-	return append([]*UserRecord(nil), s.sortedUsers...)
+	return s.users.users()
 }
 
 // Counts summarizes the dataset per platform (the raw material of Table 2).
@@ -607,41 +527,33 @@ type Counts struct {
 // CountsFor computes the Table 2 row of one platform. Each record family
 // is read under its own lock; the counts are mutually consistent once
 // collection has quiesced (the only time the report layer reads them).
+// Distinct users are counted by interned handle, which is cheaper than
+// hashing strings and bijective with them.
 func (s *Store) CountsFor(p platform.Platform) Counts {
 	var c Counts
 
 	s.tweetMu.Lock()
-	tweetUsers := map[string]struct{}{}
-	for i := range s.tweets {
-		if s.tweets[i].Platform != p {
+	tweetUsers := map[uint32]struct{}{}
+	for i, tp := range s.tweets.plat {
+		if tp != uint8(p) {
 			continue
 		}
 		c.Tweets++
-		tweetUsers[s.tweets[i].UserID] = struct{}{}
+		tweetUsers[s.tweets.user[i]] = struct{}{}
 	}
 	s.tweetMu.Unlock()
 	c.TweetUsers = len(tweetUsers)
 
-	s.groupMu.Lock()
-	for _, g := range s.groups {
-		if g.Platform != p {
-			continue
-		}
-		c.GroupURLs++
-		if g.Joined {
-			c.JoinedGroups++
-		}
-	}
-	s.groupMu.Unlock()
+	c.GroupURLs, c.JoinedGroups = s.groups.countFor(p)
 
 	s.msgMu.Lock()
 	msgUsers := map[uint64]struct{}{}
-	for i := range s.msgs {
-		if s.msgs[i].Platform != p {
+	for i, mp := range s.msgs.plat {
+		if mp != uint8(p) {
 			continue
 		}
 		c.Messages++
-		msgUsers[s.msgs[i].AuthorKey] = struct{}{}
+		msgUsers[s.msgs.author[i]] = struct{}{}
 	}
 	s.msgMu.Unlock()
 	c.MessageUsers = len(msgUsers)

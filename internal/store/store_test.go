@@ -37,11 +37,11 @@ func TestAddTweetMergesSources(t *testing.T) {
 	s.AddTweet(tweet(1, platform.Discord, "g", SourceSearch))
 	s.AddTweet(tweet(1, platform.Discord, "g", SourceStream)) // duplicate ID
 	tweets := s.Tweets()
-	if len(tweets) != 1 {
-		t.Fatalf("%d tweets stored, want 1", len(tweets))
+	if tweets.Len() != 1 {
+		t.Fatalf("%d tweets stored, want 1", tweets.Len())
 	}
-	if tweets[0].Source != SourceSearch|SourceStream {
-		t.Fatalf("sources not merged: %v", tweets[0].Source)
+	if tweets.At(0).Source != SourceSearch|SourceStream {
+		t.Fatalf("sources not merged: %v", tweets.At(0).Source)
 	}
 	if g := s.Group(platform.Discord, "g"); g.Tweets != 1 {
 		t.Fatalf("duplicate inflated tweet count: %d", g.Tweets)
@@ -179,16 +179,16 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(loaded.Tweets()) != 2 || len(loaded.Control()) != 1 ||
-		len(loaded.Messages()) != 1 || len(loaded.Users()) != 1 {
-		t.Fatalf("loaded counts wrong: %d %d %d %d", len(loaded.Tweets()),
-			len(loaded.Control()), len(loaded.Messages()), len(loaded.Users()))
+	if loaded.Tweets().Len() != 2 || loaded.Control().Len() != 1 ||
+		loaded.Messages().Len() != 1 || len(loaded.Users()) != 1 {
+		t.Fatalf("loaded counts wrong: %d %d %d %d", loaded.Tweets().Len(),
+			loaded.Control().Len(), loaded.Messages().Len(), len(loaded.Users()))
 	}
 	g := loaded.Group(platform.WhatsApp, "g1")
 	if g == nil || !g.Joined || g.MemberCount != 7 || len(g.Observations) != 1 {
 		t.Fatalf("loaded group wrong: %+v", g)
 	}
-	if loaded.Messages()[0].Type != platform.Sticker {
+	if loaded.Messages().At(0).Type != platform.Sticker {
 		t.Fatal("message type lost")
 	}
 	if loaded.Users()[0].PhoneHash != "h" {
@@ -201,7 +201,7 @@ func TestLoadMissingDirIsEmpty(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(s.Tweets()) != 0 {
+	if s.Tweets().Len() != 0 {
 		t.Fatal("missing dir should load empty")
 	}
 }

@@ -1,0 +1,548 @@
+package store
+
+import (
+	"maps"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+	"unsafe"
+
+	"msgscope/internal/ids"
+	"msgscope/internal/platform"
+)
+
+// Lock striping for the keyed families (groups, users). The parallel
+// search/collect fan-out and the 16-worker daily sweep used to serialize
+// on one groupMu/userMu; hashing each key to one of 64 stripes lets
+// writers touching different keys proceed concurrently. 64 stripes is
+// comfortably past the pipeline's maximum writer parallelism (16 sweep
+// workers + search workers) while keeping the per-stripe fixed cost
+// (a mutex and an empty map) negligible.
+//
+// Lock order: a writer holds at most one stripe lock at a time; batch
+// operations visit stripes in ascending index order. The sorted-cache
+// rebuild and Snapshot take cacheMu first, then stripe locks in ascending
+// index order; see Store's doc comment for the total order across
+// families.
+const (
+	numStripes  = 64
+	stripeShift = 26 // packed ref layout: stripe<<26 | row
+	stripeMask  = 1<<stripeShift - 1
+)
+
+func stripeHash(code string, p platform.Platform) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(code); i++ {
+		h = (h ^ uint32(code[i])) * 16777619
+	}
+	return (h ^ uint32(p)*0x9e3779b9) & (numStripes - 1)
+}
+
+func userStripeHash(key uint64, p platform.Platform) uint32 {
+	h := key * 0x9e3779b97f4a7c15
+	return (uint32(h>>32) ^ uint32(p)) & (numStripes - 1)
+}
+
+// groupRef packs a group's location (stripe, row) into 32 bits, replacing
+// the former []*GroupRecord sorted caches.
+type groupRef uint32
+
+func makeGroupRef(stripe, row uint32) groupRef {
+	return groupRef(stripe<<stripeShift | row)
+}
+
+// groupBlockShift sizes the per-stripe record blocks (64 records, 16 KiB
+// at GroupRecord's 256 bytes). Blocks are fixed-size arrays so records
+// never move once created: Group() can hand out *GroupRecord pointers that
+// stay valid while the stripe keeps growing. Small blocks keep the tail
+// waste per stripe (at most one block minus one record) negligible even
+// multiplied by 64 stripes.
+const groupBlockShift = 6
+
+type groupBlock [1 << groupBlockShift]GroupRecord
+
+type groupStripe struct {
+	mu     sync.Mutex
+	m      map[groupKey]uint32 // key -> row within this stripe
+	n      uint32
+	blocks atomic.Pointer[[]*groupBlock] // atomic so refs resolve lock-free
+}
+
+// rowPtr resolves a row to its record. Safe without the stripe lock for
+// rows published before the caller learned about them (block slots are
+// written once, under the stripe lock, before the row is reachable).
+func (st *groupStripe) rowPtr(row uint32) *GroupRecord {
+	blocks := *st.blocks.Load()
+	return &blocks[row>>groupBlockShift][row&(1<<groupBlockShift-1)]
+}
+
+// appendLocked claims the next row. Caller holds st.mu.
+func (st *groupStripe) appendLocked() uint32 {
+	row := st.n
+	blocks := *st.blocks.Load()
+	if int(row)>>groupBlockShift == len(blocks) {
+		// Spare directory capacity is reused in place (the new slot is not
+		// visible to readers yet); a full directory is copied and doubled.
+		grown := blocks
+		if len(blocks) == cap(blocks) {
+			grown = make([]*groupBlock, len(blocks), cap(blocks)*2+1)
+			copy(grown, blocks)
+		}
+		grown = append(grown, new(groupBlock))
+		st.blocks.Store(&grown)
+	}
+	st.n = row + 1
+	return row
+}
+
+// groupTable is the striped group family.
+type groupTable struct {
+	stripes [numStripes]groupStripe
+
+	cacheMu sync.Mutex
+	dirty   atomic.Bool
+	sorted  []groupRef
+	// byPlat partitions sorted (which is ordered by platform, then code)
+	// into contiguous subslices, one per platform.
+	byPlat map[platform.Platform][]groupRef
+}
+
+func newGroupTable() *groupTable {
+	gt := &groupTable{}
+	for i := range gt.stripes {
+		st := &gt.stripes[i]
+		st.m = map[groupKey]uint32{}
+		blocks := make([]*groupBlock, 0)
+		st.blocks.Store(&blocks)
+	}
+	return gt
+}
+
+func (gt *groupTable) stripeFor(p platform.Platform, code string) (uint32, *groupStripe) {
+	i := stripeHash(code, p)
+	return i, &gt.stripes[i]
+}
+
+// upsertLocked returns the group record for (p, code), creating it on
+// first sight and widening its first/last-seen window. Caller holds
+// st.mu.
+func (gt *groupTable) upsertLocked(st *groupStripe, p platform.Platform, code string, at time.Time) (*GroupRecord, bool) {
+	k := groupKey{p, code}
+	row, ok := st.m[k]
+	isNew := false
+	if !ok {
+		row = st.appendLocked()
+		st.m[k] = row
+		*st.rowPtr(row) = GroupRecord{Platform: p, Code: code, FirstSeen: at, LastSeen: at}
+		gt.dirty.Store(true)
+		isNew = true
+	}
+	g := st.rowPtr(row)
+	if at.Before(g.FirstSeen) {
+		g.FirstSeen = at
+	}
+	if at.After(g.LastSeen) {
+		g.LastSeen = at
+	}
+	return g, isNew
+}
+
+// get returns the record for a key (nil if unknown). The returned pointer
+// is stable for the life of the store.
+func (gt *groupTable) get(p platform.Platform, code string) *GroupRecord {
+	_, st := gt.stripeFor(p, code)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if row, ok := st.m[groupKey{p, code}]; ok {
+		return st.rowPtr(row)
+	}
+	return nil
+}
+
+// with runs fn on the record for a key under its stripe lock; unknown keys
+// are a no-op.
+func (gt *groupTable) with(p platform.Platform, code string, fn func(*GroupRecord)) {
+	_, st := gt.stripeFor(p, code)
+	st.mu.Lock()
+	if row, ok := st.m[groupKey{p, code}]; ok {
+		fn(st.rowPtr(row))
+	}
+	st.mu.Unlock()
+}
+
+// put replaces (or creates) the record for g's key with *g — the Load path
+// installing authoritative saved records over tweet-built skeletons.
+func (gt *groupTable) put(g *GroupRecord) {
+	_, st := gt.stripeFor(g.Platform, g.Code)
+	st.mu.Lock()
+	k := groupKey{g.Platform, g.Code}
+	row, ok := st.m[k]
+	if !ok {
+		row = st.appendLocked()
+		st.m[k] = row
+		gt.dirty.Store(true)
+	}
+	*st.rowPtr(row) = *g
+	st.mu.Unlock()
+}
+
+// resolve maps a cached ref to its record; safe once the ref is published.
+func (gt *groupTable) resolve(r groupRef) *GroupRecord {
+	return gt.stripes[r>>stripeShift].rowPtr(uint32(r) & stripeMask)
+}
+
+// rebuildLocked refreshes the sorted ref cache and its per-platform
+// partitions. Caller holds cacheMu; stripesHeld says whether the caller
+// already holds every stripe lock (Snapshot does).
+func (gt *groupTable) rebuildLocked(stripesHeld bool) {
+	if !gt.dirty.Swap(false) && gt.sorted != nil {
+		return
+	}
+	type entry struct {
+		p    platform.Platform
+		code string
+		ref  groupRef
+	}
+	var all []entry
+	for i := range gt.stripes {
+		st := &gt.stripes[i]
+		if !stripesHeld {
+			st.mu.Lock()
+		}
+		for k, row := range st.m {
+			all = append(all, entry{k.p, k.code, makeGroupRef(uint32(i), row)})
+		}
+		if !stripesHeld {
+			st.mu.Unlock()
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].p != all[j].p {
+			return all[i].p < all[j].p
+		}
+		return all[i].code < all[j].code
+	})
+	sorted := make([]groupRef, len(all))
+	for i, e := range all {
+		sorted[i] = e.ref
+	}
+	byPlat := map[platform.Platform][]groupRef{}
+	for lo := 0; lo < len(all); {
+		hi := lo
+		for hi < len(all) && all[hi].p == all[lo].p {
+			hi++
+		}
+		byPlat[all[lo].p] = sorted[lo:hi:hi]
+		lo = hi
+	}
+	gt.sorted = sorted
+	gt.byPlat = byPlat
+}
+
+func (gt *groupTable) materialize(refs []groupRef) []*GroupRecord {
+	out := make([]*GroupRecord, len(refs))
+	for i, r := range refs {
+		out[i] = gt.resolve(r)
+	}
+	return out
+}
+
+// groups returns all records sorted by platform then code (fresh pointer
+// slice per call, as before — callers may reorder it).
+func (gt *groupTable) groups() []*GroupRecord {
+	gt.cacheMu.Lock()
+	defer gt.cacheMu.Unlock()
+	gt.rebuildLocked(false)
+	return gt.materialize(gt.sorted)
+}
+
+func (gt *groupTable) groupsOf(p platform.Platform) []*GroupRecord {
+	gt.cacheMu.Lock()
+	defer gt.cacheMu.Unlock()
+	gt.rebuildLocked(false)
+	return gt.materialize(gt.byPlat[p])
+}
+
+// countFor tallies one platform's Table 2 group counters.
+func (gt *groupTable) countFor(p platform.Platform) (urls, joined int) {
+	for i := range gt.stripes {
+		st := &gt.stripes[i]
+		st.mu.Lock()
+		for k, row := range st.m {
+			if k.p != p {
+				continue
+			}
+			urls++
+			if st.rowPtr(row).Joined {
+				joined++
+			}
+		}
+		st.mu.Unlock()
+	}
+	return urls, joined
+}
+
+// lockAll/unlockAll bracket Snapshot's consistent read: cacheMu first,
+// then every stripe in ascending index order.
+func (gt *groupTable) lockAll() {
+	gt.cacheMu.Lock()
+	for i := range gt.stripes {
+		gt.stripes[i].mu.Lock()
+	}
+}
+
+func (gt *groupTable) unlockAll() {
+	for i := range gt.stripes {
+		gt.stripes[i].mu.Unlock()
+	}
+	gt.cacheMu.Unlock()
+}
+
+// userRef packs a user's (stripe, row) like groupRef.
+type userRef uint32
+
+// userStripe holds one stripe's users in columnar form: packed numeric
+// columns, phone hashes in a byte arena, countries interned to handles.
+// Linked-account sets (rare; Discord only) live in a sparse side map.
+type userStripe struct {
+	mu      sync.Mutex
+	m       map[userKey]uint32 // key -> row
+	plat    []uint8
+	key     []uint64
+	phOff   []uint32
+	phLen   []uint32
+	country []uint32
+	creator []bool
+	linked  map[uint32][]string
+	arena   []byte
+}
+
+// phoneAt returns the stored phone hash as a zero-copy view.
+func (st *userStripe) phoneAt(row uint32) string {
+	if st.phLen[row] == 0 {
+		return ""
+	}
+	return unsafe.String(&st.arena[st.phOff[row]], int(st.phLen[row]))
+}
+
+// userStripeView is a header-copied snapshot of a stripe's columns, safe
+// to read after the stripe lock is released (appends never move rows the
+// view covers; linked is cloned because maps cannot be read during
+// concurrent insertion).
+type userStripeView struct {
+	plat    []uint8
+	key     []uint64
+	phOff   []uint32
+	phLen   []uint32
+	country []uint32
+	creator []bool
+	linked  map[uint32][]string
+	arena   []byte
+}
+
+func (st *userStripe) viewLocked() userStripeView {
+	n := len(st.key)
+	return userStripeView{
+		plat: st.plat[:n], key: st.key[:n],
+		phOff: st.phOff[:n], phLen: st.phLen[:n],
+		country: st.country[:n], creator: st.creator[:n],
+		linked: maps.Clone(st.linked), arena: st.arena,
+	}
+}
+
+func (v userStripeView) at(row uint32, countries *ids.Table) UserRecord {
+	var phone string
+	if v.phLen[row] > 0 {
+		phone = unsafe.String(&v.arena[v.phOff[row]], int(v.phLen[row]))
+	}
+	return UserRecord{
+		Platform:  platform.Platform(v.plat[row]),
+		Key:       v.key[row],
+		PhoneHash: phone,
+		Country:   countries.Lookup(v.country[row]),
+		Linked:    v.linked[row],
+		Creator:   v.creator[row],
+	}
+}
+
+// lockedTable serializes interning on an ids.Table shared by all user
+// stripes (countries); lookups stay lock-free.
+type lockedTable struct {
+	mu sync.Mutex
+	t  *ids.Table
+}
+
+func (lt *lockedTable) handle(s string) uint32 {
+	lt.mu.Lock()
+	h := lt.t.Handle(s)
+	lt.mu.Unlock()
+	return h
+}
+
+// userTable is the striped, columnar user family.
+type userTable struct {
+	stripes   [numStripes]userStripe
+	countries lockedTable
+
+	cacheMu sync.Mutex
+	dirty   atomic.Bool
+	sorted  []userRef
+}
+
+func newUserTable() *userTable {
+	ut := &userTable{countries: lockedTable{t: ids.NewTable()}}
+	ut.countries.t.Handle("") // handle 0 is the empty country
+	for i := range ut.stripes {
+		ut.stripes[i].m = map[userKey]uint32{}
+	}
+	return ut
+}
+
+// upsert merges one observed user under their stripe's lock, with the same
+// commutative semantics as before: fields fill in, Linked accumulates as a
+// set, Creator only ever clears.
+func (ut *userTable) upsert(u *UserRecord) {
+	si := userStripeHash(u.Key, u.Platform)
+	st := &ut.stripes[si]
+	st.mu.Lock()
+	ut.upsertLocked(st, u)
+	st.mu.Unlock()
+}
+
+func (ut *userTable) upsertLocked(st *userStripe, u *UserRecord) {
+	k := userKey{u.Platform, u.Key}
+	row, ok := st.m[k]
+	if !ok {
+		row = uint32(len(st.key))
+		st.m[k] = row
+		st.plat = append(st.plat, uint8(u.Platform))
+		st.key = append(st.key, u.Key)
+		st.phOff = append(st.phOff, uint32(len(st.arena)))
+		st.phLen = append(st.phLen, uint32(len(u.PhoneHash)))
+		st.arena = append(st.arena, u.PhoneHash...)
+		var country uint32
+		if u.Country != "" {
+			country = ut.countries.handle(u.Country)
+		}
+		st.country = append(st.country, country)
+		st.creator = append(st.creator, u.Creator)
+		if len(u.Linked) > 0 {
+			if st.linked == nil {
+				st.linked = map[uint32][]string{}
+			}
+			st.linked[row] = u.Linked
+		}
+		ut.dirty.Store(true)
+		return
+	}
+	if u.PhoneHash != "" && u.PhoneHash != st.phoneAt(row) {
+		if uint32(len(u.PhoneHash)) <= st.phLen[row] {
+			copy(st.arena[st.phOff[row]:], u.PhoneHash)
+		} else {
+			st.phOff[row] = uint32(len(st.arena))
+			st.arena = append(st.arena, u.PhoneHash...)
+		}
+		st.phLen[row] = uint32(len(u.PhoneHash))
+	}
+	if u.Country != "" {
+		st.country[row] = ut.countries.handle(u.Country)
+	}
+	if len(u.Linked) > 0 {
+		if st.linked == nil {
+			st.linked = map[uint32][]string{}
+		}
+		st.linked[row] = mergeStrings(st.linked[row], u.Linked)
+	}
+	// A user seen as a member is no longer creator-only.
+	if !u.Creator {
+		st.creator[row] = false
+	}
+}
+
+// rebuildLocked refreshes the sorted (platform, key) ref cache. Caller
+// holds cacheMu; stripesHeld as for groupTable.
+func (ut *userTable) rebuildLocked(stripesHeld bool) {
+	if !ut.dirty.Swap(false) && ut.sorted != nil {
+		return
+	}
+	type entry struct {
+		p   platform.Platform
+		key uint64
+		ref userRef
+	}
+	var all []entry
+	for i := range ut.stripes {
+		st := &ut.stripes[i]
+		if !stripesHeld {
+			st.mu.Lock()
+		}
+		for k, row := range st.m {
+			all = append(all, entry{k.p, k.key, userRef(uint32(i)<<stripeShift | row)})
+		}
+		if !stripesHeld {
+			st.mu.Unlock()
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].p != all[j].p {
+			return all[i].p < all[j].p
+		}
+		return all[i].key < all[j].key
+	})
+	ut.sorted = make([]userRef, len(all))
+	for i, e := range all {
+		ut.sorted[i] = e.ref
+	}
+}
+
+// users materializes the sorted user records. Unlike the former layout
+// there are no per-user heap records to point at, so each call builds a
+// fresh backing array; records share the store's interned strings and
+// arena-backed phone hashes.
+func (ut *userTable) users() []*UserRecord {
+	ut.cacheMu.Lock()
+	defer ut.cacheMu.Unlock()
+	ut.rebuildLocked(false)
+	return ut.materializeLocked(false)
+}
+
+// materializeLocked resolves the sorted refs into records. Caller holds
+// cacheMu; stripesHeld as for rebuildLocked.
+func (ut *userTable) materializeLocked(stripesHeld bool) []*UserRecord {
+	views := make([]userStripeView, numStripes)
+	seen := make([]bool, numStripes)
+	backing := make([]UserRecord, len(ut.sorted))
+	out := make([]*UserRecord, len(ut.sorted))
+	for i, r := range ut.sorted {
+		si := uint32(r) >> stripeShift
+		if !seen[si] {
+			st := &ut.stripes[si]
+			if !stripesHeld {
+				st.mu.Lock()
+			}
+			views[si] = st.viewLocked()
+			if !stripesHeld {
+				st.mu.Unlock()
+			}
+			seen[si] = true
+		}
+		backing[i] = views[si].at(uint32(r)&stripeMask, ut.countries.t)
+		out[i] = &backing[i]
+	}
+	return out
+}
+
+func (ut *userTable) lockAll() {
+	ut.cacheMu.Lock()
+	for i := range ut.stripes {
+		ut.stripes[i].mu.Lock()
+	}
+}
+
+func (ut *userTable) unlockAll() {
+	for i := range ut.stripes {
+		ut.stripes[i].mu.Unlock()
+	}
+	ut.cacheMu.Unlock()
+}

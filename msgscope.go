@@ -384,11 +384,12 @@ func (r *Result) SaveFigureSVGs(dir string) error {
 // seen by both — the discrepancy that makes the paper merge the two.
 func (r *Result) SourceRecall() (search, stream, both float64) {
 	tweets := r.ds.Tweets()
-	if len(tweets) == 0 {
+	if tweets.Len() == 0 {
 		return 0, 0, 0
 	}
 	var nSearch, nStream, nBoth int
-	for _, t := range tweets {
+	for i, n := 0, tweets.Len(); i < n; i++ {
+		t := tweets.At(i)
 		hasSearch := t.Source&store.SourceSearch != 0
 		hasStream := t.Source&store.SourceStream != 0
 		if hasSearch {
@@ -401,6 +402,6 @@ func (r *Result) SourceRecall() (search, stream, both float64) {
 			nBoth++
 		}
 	}
-	n := float64(len(tweets))
+	n := float64(tweets.Len())
 	return float64(nSearch) / n, float64(nStream) / n, float64(nBoth) / n
 }
