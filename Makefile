@@ -23,7 +23,7 @@ bench:
 
 # Pipeline + analysis + store benchmarks (full study, hourly search, daily
 # sweep, LDA fit, cold figure aggregation, columnar ingest; serial vs
-# parallel where both exist) rendered to BENCH_6.json, including the
+# parallel where both exist) rendered to BENCH_7.json, including the
 # derived speedups, custom per-record metrics (ns/rec, liveB/rec) and the
 # machine's core count. benchjson's -cpus mode runs the suite under each
 # GOMAXPROCS in BENCH_CPUS, so the document carries a per-CPU-count
@@ -35,8 +35,8 @@ BENCH_CPUS = 1,2
 
 bench-json:
 	$(GO) run ./cmd/benchjson -cpus '$(BENCH_CPUS)' -bench '$(BENCH_PATTERN)' \
-		-o BENCH_6.json $(BENCH_PKGS)
-	@cat BENCH_6.json
+		-o BENCH_7.json $(BENCH_PKGS)
+	@cat BENCH_7.json
 
 # Allocation-regression gate: rerun the pipeline benchmarks and diff them
 # against the newest checked-in BENCH_*.json, failing on >20% growth in
@@ -64,10 +64,16 @@ bench-smoke:
 # scale (1M tweets, 2M messages, 500K users through the columnar store).
 # The short timeout is the gate — it fails if ingest cost stops being
 # O(record) (e.g. a reallocation bug turns appends quadratic), not on
-# timing noise.
+# timing noise. The second pass is observation-heavy: 5x groups (100K)
+# probed over a doubled 76-sweep horizon (~6M observations through the
+# per-stripe append-only column sets), the shape a TeleScope-style
+# longitudinal study would put on the group family.
 bench-scale:
 	MSGSCOPE_BENCH_SCALE=10 $(GO) test -run='^$$' -bench='StoreIngest' \
 		-benchtime=1x -benchmem -timeout=300s ./internal/store
+	MSGSCOPE_BENCH_SCALE=5 MSGSCOPE_BENCH_SWEEPS=76 $(GO) test -run='^$$' \
+		-bench='StoreIngest/groups' -benchtime=1x -benchmem -timeout=300s \
+		./internal/store
 
 # Short fuzz bursts over the parsing surfaces the fault injector attacks
 # (URL extraction and the WhatsApp landing-page scraper) plus the sparse

@@ -125,11 +125,13 @@ func TestDiscoveryCountsGroups(t *testing.T) {
 	f := newFixture(t, perfect())
 	f.runDays(t, 1)
 	stats := f.col.Stats()
-	groups := len(f.st.Groups())
+	list := f.st.Groups()
+	groups := list.Len()
 	if groups == 0 || stats.NewGroups != groups {
 		t.Fatalf("NewGroups=%d, store has %d groups", stats.NewGroups, groups)
 	}
-	for _, g := range f.st.Groups() {
+	for i := 0; i < list.Len(); i++ {
+		g := list.At(i)
 		if g.Canonical == "" {
 			t.Fatalf("group %s has no canonical URL", g.Code)
 		}
@@ -199,8 +201,9 @@ func TestPollSocialDiscoversGroups(t *testing.T) {
 	}
 	// Social-only groups must be discoverable only via the feed.
 	socialOnly := 0
-	for _, g := range f.st.Groups() {
-		if g.SeenSocial && !g.SeenTwitter {
+	all := f.st.Groups()
+	for i := 0; i < all.Len(); i++ {
+		if g := all.At(i); g.SeenSocial && !g.SeenTwitter {
 			socialOnly++
 		}
 	}

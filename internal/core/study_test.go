@@ -9,6 +9,7 @@ import (
 	"msgscope/internal/platform"
 	"msgscope/internal/report"
 	"msgscope/internal/simworld"
+	"msgscope/internal/store"
 	"msgscope/internal/twitter"
 )
 
@@ -108,10 +109,10 @@ func TestStudyCollectedTweetsMatchWorld(t *testing.T) {
 func TestStudyObservationsRecorded(t *testing.T) {
 	s := runSmallStudy(t)
 	withObs := 0
-	var total int
-	for _, g := range s.Store.Groups() {
-		total++
-		if len(g.Observations) > 0 {
+	list := s.Store.Groups()
+	total := list.Len()
+	for i := 0; i < list.Len(); i++ {
+		if list.Obs(i).Len() > 0 {
 			withObs++
 		}
 	}
@@ -125,27 +126,27 @@ func TestStudyObservationsRecorded(t *testing.T) {
 
 func TestStudyObservationsStopAfterRevocation(t *testing.T) {
 	s := runSmallStudy(t)
-	for _, g := range s.Store.Groups() {
+	list := s.Store.Groups()
+	for i := 0; i < list.Len(); i++ {
+		g := list.At(i)
 		deadSeen := false
-		for _, o := range g.Observations {
+		list.Obs(i).Each(func(o store.Observation) bool {
 			if deadSeen {
 				t.Fatalf("%v %s probed after observed revoked", g.Platform, g.Code)
 			}
 			if !o.Alive {
 				deadSeen = true
 			}
-		}
+			return true
+		})
 	}
 }
 
 func TestStudyJoinRespectsDiscordCap(t *testing.T) {
 	s := runSmallStudy(t)
-	joined := 0
-	for _, g := range s.Store.GroupsOf(platform.Discord) {
-		if g.Joined {
-			joined++
-		}
-	}
+	joined := s.Store.GroupsOf(platform.Discord).Where(func(g store.GroupRecord) bool {
+		return g.Joined
+	}).Len()
 	if joined > 100 {
 		t.Errorf("joined %d Discord guilds, beyond the 100-guild cap", joined)
 	}
@@ -154,8 +155,9 @@ func TestStudyJoinRespectsDiscordCap(t *testing.T) {
 func TestStudyWhatsAppMessagesOnlyAfterJoin(t *testing.T) {
 	s := runSmallStudy(t)
 	joinAt := map[string]int64{}
-	for _, g := range s.Store.GroupsOf(platform.WhatsApp) {
-		if g.Joined {
+	wa := s.Store.GroupsOf(platform.WhatsApp)
+	for i := 0; i < wa.Len(); i++ {
+		if g := wa.At(i); g.Joined {
 			joinAt[g.Code] = g.JoinedAt.UnixMilli()
 		}
 	}
@@ -253,10 +255,11 @@ func TestStudyConfigOverrides(t *testing.T) {
 		t.Fatalf("perfect APIs collected %d of %d", got, published)
 	}
 	// Every-2-days probing: at most ceil(6/2)=3 observations per group.
-	for _, g := range s.Store.Groups() {
-		if len(g.Observations) > 3 {
+	gl := s.Store.Groups()
+	for i := 0; i < gl.Len(); i++ {
+		if n := gl.Obs(i).Len(); n > 3 {
 			t.Fatalf("group %s has %d observations with cadence 2 over 6 days",
-				g.Code, len(g.Observations))
+				gl.At(i).Code, n)
 		}
 	}
 }

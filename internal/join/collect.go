@@ -56,7 +56,7 @@ type gathered struct {
 func (j *Joiner) CollectMessages(ctx context.Context) error {
 	horizon := j.Clock.Now()
 
-	var waGroups []*store.GroupRecord
+	var waGroups []store.GroupRecord
 	var waAccounts []int
 	for _, g := range j.joined[platform.WhatsApp] {
 		ci, err := j.waClientFor(ctx, g.Code)
@@ -72,7 +72,7 @@ func (j *Joiner) CollectMessages(ctx context.Context) error {
 	}
 
 	type dcPrep struct {
-		g   *store.GroupRecord
+		g   store.GroupRecord
 		chs []discord.Channel
 	}
 	var dcPreps []dcPrep
@@ -175,7 +175,7 @@ func (j *Joiner) waClientFor(ctx context.Context, code string) (int, error) {
 	return 0, errors.New("no member account for group")
 }
 
-func (j *Joiner) fetchWhatsApp(ctx context.Context, g *store.GroupRecord, account int, horizon time.Time) (gathered, error) {
+func (j *Joiner) fetchWhatsApp(ctx context.Context, g store.GroupRecord, account int, horizon time.Time) (gathered, error) {
 	msgs, err := j.WAClients[account].MessagesUntil(ctx, g.Code, time.Time{}, horizon)
 	if err != nil {
 		return gathered{}, err
@@ -203,7 +203,7 @@ func (j *Joiner) fetchWhatsApp(ctx context.Context, g *store.GroupRecord, accoun
 	return out, nil
 }
 
-func (j *Joiner) fetchTelegram(ctx context.Context, g *store.GroupRecord, horizon time.Time) (gathered, error) {
+func (j *Joiner) fetchTelegram(ctx context.Context, g store.GroupRecord, horizon time.Time) (gathered, error) {
 	pager := j.TG.HistoryPagerAt(g.Code, horizon)
 	var out gathered
 	for !pager.Done() {
@@ -230,7 +230,7 @@ func (j *Joiner) fetchTelegram(ctx context.Context, g *store.GroupRecord, horizo
 	return out, nil
 }
 
-func (j *Joiner) fetchDiscord(ctx context.Context, g *store.GroupRecord, chs []discord.Channel, horizon time.Time) (gathered, error) {
+func (j *Joiner) fetchDiscord(ctx context.Context, g store.GroupRecord, chs []discord.Channel, horizon time.Time) (gathered, error) {
 	before := ids.Snowflake(ids.DiscordEpochMS, horizon, 0)
 	authors := map[uint64]struct{}{}
 	var out gathered

@@ -89,7 +89,10 @@ type Joiner struct {
 	waCursor  int // joins on the current WhatsApp account
 	waAccount int
 
-	joined map[platform.Platform][]*store.GroupRecord
+	// joined holds scalar value copies of the sampled records (the join
+	// flow only reads Platform and Code off them); the authoritative state
+	// lives in the store's columns.
+	joined map[platform.Platform][]store.GroupRecord
 	stats  counters
 }
 
@@ -115,12 +118,13 @@ func New(st *store.Store, wa []*whatsapp.Client, tg *telegram.Client, dc *discor
 		DC:        dc,
 		Clock:     clock,
 		Seed:      seed,
-		joined:    map[platform.Platform][]*store.GroupRecord{},
+		joined:    map[platform.Platform][]store.GroupRecord{},
 	}
 }
 
-// Joined returns the groups joined on a platform.
-func (j *Joiner) Joined(p platform.Platform) []*store.GroupRecord { return j.joined[p] }
+// Joined returns the groups joined on a platform (scalar records, in join
+// order).
+func (j *Joiner) Joined(p platform.Platform) []store.GroupRecord { return j.joined[p] }
 
 // Stats returns a snapshot of the join-phase counters; between pipeline
 // phases (the only places the driver reads them) the snapshot is exact.
@@ -186,38 +190,37 @@ func (j *Joiner) SelectAndJoin(ctx context.Context, t Targets) error {
 	return nil
 }
 
-func shuffle(rng *rand.Rand, gs []*store.GroupRecord) {
+func shuffle(rng *rand.Rand, gs []store.GroupRecord) {
 	rng.Shuffle(len(gs), func(a, b int) { gs[a], gs[b] = gs[b], gs[a] })
 }
 
-// filterByTitle keeps groups whose last observed title matches one of the
-// configured keywords; with no keywords it returns the input unchanged.
-func (j *Joiner) filterByTitle(gs []*store.GroupRecord) []*store.GroupRecord {
-	if len(j.TitleKeywords) == 0 {
-		return gs
-	}
-	var out []*store.GroupRecord
-	for _, g := range gs {
-		title := ""
-		for _, o := range g.Observations {
-			if o.Title != "" {
-				title = o.Title
+// filterByTitle materializes the candidate sample as scalar records,
+// keeping (with keywords configured) only groups whose last observed title
+// matches one of them.
+func (j *Joiner) filterByTitle(gs store.GroupList) []store.GroupRecord {
+	out := make([]store.GroupRecord, 0, gs.Len())
+	for i := 0; i < gs.Len(); i++ {
+		if len(j.TitleKeywords) > 0 {
+			low := strings.ToLower(gs.Obs(i).LastTitle())
+			match := false
+			for _, kw := range j.TitleKeywords {
+				if kw != "" && strings.Contains(low, strings.ToLower(kw)) {
+					match = true
+					break
+				}
+			}
+			if !match {
+				continue
 			}
 		}
-		low := strings.ToLower(title)
-		for _, kw := range j.TitleKeywords {
-			if kw != "" && strings.Contains(low, strings.ToLower(kw)) {
-				out = append(out, g)
-				break
-			}
-		}
+		out = append(out, gs.At(i))
 	}
 	return out
 }
 
 // joinOne attempts one join, returning ok=false for recoverable skips
 // (revoked invites, caps) and an error only for unexpected failures.
-func (j *Joiner) joinOne(ctx context.Context, g *store.GroupRecord) (bool, error) {
+func (j *Joiner) joinOne(ctx context.Context, g store.GroupRecord) (bool, error) {
 	switch g.Platform {
 	case platform.WhatsApp:
 		return j.joinWhatsApp(ctx, g)
@@ -239,7 +242,7 @@ func (j *Joiner) waClient() *whatsapp.Client {
 	return j.WAClients[j.waAccount]
 }
 
-func (j *Joiner) joinWhatsApp(ctx context.Context, g *store.GroupRecord) (bool, error) {
+func (j *Joiner) joinWhatsApp(ctx context.Context, g store.GroupRecord) (bool, error) {
 	if len(j.WAClients) == 0 {
 		return false, errors.New("no WhatsApp accounts")
 	}
@@ -286,7 +289,7 @@ func (j *Joiner) joinWhatsApp(ctx context.Context, g *store.GroupRecord) (bool, 
 	return true, nil
 }
 
-func (j *Joiner) joinTelegram(ctx context.Context, g *store.GroupRecord) (bool, error) {
+func (j *Joiner) joinTelegram(ctx context.Context, g store.GroupRecord) (bool, error) {
 	joinedAt, err := j.TG.Join(ctx, g.Code)
 	switch {
 	case errors.Is(err, telegram.ErrExpired), errors.Is(err, telegram.ErrNotFound):
@@ -328,7 +331,7 @@ func (j *Joiner) joinTelegram(ctx context.Context, g *store.GroupRecord) (bool, 
 	return true, nil
 }
 
-func (j *Joiner) joinDiscord(ctx context.Context, g *store.GroupRecord) (bool, error) {
+func (j *Joiner) joinDiscord(ctx context.Context, g store.GroupRecord) (bool, error) {
 	inv, err := j.DC.Join(ctx, g.Code)
 	switch {
 	case errors.Is(err, discord.ErrUnknownInvite):

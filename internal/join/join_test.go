@@ -75,7 +75,7 @@ func TestSelectAndJoinMeetsTargets(t *testing.T) {
 	// Join metadata recorded on the store.
 	for _, p := range platform.All {
 		for _, g := range f.joiner.Joined(p) {
-			rec := f.st.Group(p, g.Code)
+			rec, _ := f.st.Group(p, g.Code)
 			if !rec.Joined || rec.CreatedAt.IsZero() {
 				t.Fatalf("join metadata missing for %v/%s: %+v", p, g.Code, rec)
 			}
@@ -97,7 +97,7 @@ func TestJoinSkipsDeadInvites(t *testing.T) {
 		t.Fatal("no dead invites encountered on Discord after 13 days")
 	}
 	for _, g := range f.joiner.Joined(platform.Discord) {
-		rec := f.st.Group(platform.Discord, g.Code)
+		rec, _ := f.st.Group(platform.Discord, g.Code)
 		if !rec.Joined {
 			t.Fatal("joined group not marked")
 		}
@@ -128,7 +128,8 @@ func TestCollectMessagesAllPlatforms(t *testing.T) {
 	// WhatsApp messages never predate the join.
 	joinAt := map[string]time.Time{}
 	for _, g := range f.joiner.Joined(platform.WhatsApp) {
-		joinAt[g.Code] = f.st.Group(platform.WhatsApp, g.Code).JoinedAt
+		rec, _ := f.st.Group(platform.WhatsApp, g.Code)
+		joinAt[g.Code] = rec.JoinedAt
 	}
 	for i, n := 0, msgs.Len(); i < n; i++ {
 		m := msgs.At(i)

@@ -71,7 +71,8 @@ func (m *Monitor) DailySweep(ctx context.Context, now time.Time) error {
 	}
 	var jobs []job
 	m.mu.Lock()
-	for _, g := range groups {
+	for i := 0; i < groups.Len(); i++ {
+		g := groups.At(i)
 		key := g.Platform.String() + "/" + g.Code
 		if !m.dead[key] {
 			jobs = append(jobs, job{g.Platform, g.Code})

@@ -76,7 +76,9 @@ func TestDailySweepRecordsObservations(t *testing.T) {
 		}
 	}
 	var withObs, total int
-	for _, g := range f.st.Groups() {
+	list := f.st.Groups()
+	for gi := 0; gi < list.Len(); gi++ {
+		g := list.Record(gi)
 		total++
 		if len(g.Observations) == 0 {
 			t.Fatalf("group %v/%s has no observations", g.Platform, g.Code)
@@ -125,7 +127,9 @@ func TestProbingStopsAfterRevocation(t *testing.T) {
 		}
 	}
 	sawDead := false
-	for _, g := range f.st.Groups() {
+	list := f.st.Groups()
+	for gi := 0; gi < list.Len(); gi++ {
+		g := list.Record(gi)
 		deadAt := -1
 		for i, o := range g.Observations {
 			if !o.Alive {
@@ -199,8 +203,9 @@ func TestSweepIsIdempotentPerDay(t *testing.T) {
 
 func countObs(st *store.Store) int {
 	n := 0
-	for _, g := range st.Groups() {
-		n += len(g.Observations)
+	list := st.Groups()
+	for i := 0; i < list.Len(); i++ {
+		n += list.Obs(i).Len()
 	}
 	return n
 }
@@ -221,8 +226,9 @@ func TestSweepToleratesPartialFailures(t *testing.T) {
 		t.Fatal("no errors recorded for the dead platform")
 	}
 	obsWA := 0
-	for _, g := range f.st.Groups() {
-		if g.Platform == platform.WhatsApp && len(g.Observations) > 0 {
+	list := f.st.Groups()
+	for i := 0; i < list.Len(); i++ {
+		if list.At(i).Platform == platform.WhatsApp && list.Obs(i).Len() > 0 {
 			obsWA++
 		}
 	}
@@ -230,8 +236,8 @@ func TestSweepToleratesPartialFailures(t *testing.T) {
 		t.Fatal("healthy platforms yielded no observations")
 	}
 	// Telegram groups have no observation today but stay probeable.
-	for _, g := range f.st.Groups() {
-		if g.Platform == platform.Telegram && len(g.Observations) != 0 {
+	for i := 0; i < list.Len(); i++ {
+		if list.At(i).Platform == platform.Telegram && list.Obs(i).Len() != 0 {
 			t.Fatal("dead platform produced observations")
 		}
 	}
@@ -256,9 +262,11 @@ func TestSweepDefersOnSystematicFailure(t *testing.T) {
 		t.Fatalf("no errors/deferrals recorded: %+v", stats)
 	}
 	total := 0
-	for _, g := range f.st.Groups() {
+	list := f.st.Groups()
+	for i := 0; i < list.Len(); i++ {
+		g := list.At(i)
 		total++
-		if len(g.Observations) != 0 {
+		if list.Obs(i).Len() != 0 {
 			t.Fatalf("dead platforms produced observations: %v/%s", g.Platform, g.Code)
 		}
 		if !g.Deferred || g.DeferReason != "monitor" {

@@ -188,7 +188,11 @@ func (a *Aggregates) walkGroups(ds Dataset) {
 
 		spans := map[string]float64{}
 
-		for _, g := range ds.GroupsOf(p) {
+		list := ds.GroupsOf(p)
+		for gi, gn := 0, list.Len(); gi < gn; gi++ {
+			g := list.At(gi)
+			obs := list.Obs(gi)
+
 			// Figure 2: share multiplicity.
 			shareCDF.AddInt(g.Tweets)
 			nGroups++
@@ -196,8 +200,14 @@ func (a *Aggregates) walkGroups(ds Dataset) {
 				sharedOnce++
 			}
 
-			// Figure 5: staleness where a creation date is known.
-			if created := creationOf(g); !created.IsZero() {
+			// Figure 5: staleness where a creation date is known — the join
+			// metadata, or the first observation reporting one (Discord
+			// snowflakes).
+			created := g.CreatedAt
+			if created.IsZero() {
+				created = obs.FirstCreatedAt()
+			}
+			if !created.IsZero() {
 				stale := g.FirstSeen.Sub(created)
 				if stale < 0 {
 					stale = 0
@@ -220,21 +230,35 @@ func (a *Aggregates) walkGroups(ds Dataset) {
 				}
 			}
 
-			if len(g.Observations) == 0 {
+			if obs.Len() == 0 {
 				continue
 			}
 
-			// Figure 6: revocation from the daily observation series.
+			// Figures 6 and 7 in one fused pass over the series. Figure 6
+			// reads the series only up to the first revocation (lastAlive,
+			// revokedAt stop updating once revokedAt is set — the former
+			// loop's break); Figure 7 tracks the first and last alive
+			// observations over the whole series.
 			nObserved++
 			var lastAlive, revokedAt time.Time
-			for _, o := range g.Observations {
+			firstSeen := false
+			var firstMembers, firstOnline, lastMembers, aliveCount int
+			obs.Each(func(o store.Observation) bool {
 				if o.Alive {
-					lastAlive = o.At
-				} else {
+					if revokedAt.IsZero() {
+						lastAlive = o.At
+					}
+					if !firstSeen {
+						firstSeen = true
+						firstMembers, firstOnline = o.Members, o.Online
+					}
+					lastMembers = o.Members
+					aliveCount++
+				} else if revokedAt.IsZero() {
 					revokedAt = o.At
-					break
 				}
-			}
+				return true
+			})
 			if !revokedAt.IsZero() {
 				revoked++
 				perDay.Inc(ds.dayOf(revokedAt), 1)
@@ -248,25 +272,15 @@ func (a *Aggregates) walkGroups(ds Dataset) {
 
 			// Figure 7: membership at first alive observation and growth
 			// to the last.
-			first, last := -1, -1
-			for i, o := range g.Observations {
-				if o.Alive {
-					if first < 0 {
-						first = i
-					}
-					last = i
-				}
-			}
-			if first < 0 {
+			if !firstSeen {
 				continue
 			}
-			fo := g.Observations[first]
-			mem.AddInt(fo.Members)
-			if fo.Members > 0 && (p == platform.Telegram || p == platform.Discord) {
-				onl.Add(float64(fo.Online) / float64(fo.Members))
+			mem.AddInt(firstMembers)
+			if firstMembers > 0 && (p == platform.Telegram || p == platform.Discord) {
+				onl.Add(float64(firstOnline) / float64(firstMembers))
 			}
-			if last > first {
-				delta := g.Observations[last].Members - fo.Members
+			if aliveCount >= 2 {
+				delta := lastMembers - firstMembers
 				gro.AddInt(delta)
 				nGrowth++
 				if delta > 0 {
@@ -393,7 +407,7 @@ func (a *Aggregates) walkUsers(ds Dataset) {
 
 // messageSpanDays returns the window over which a joined group's messages
 // were collected: since the join for WhatsApp, since creation otherwise.
-func messageSpanDays(ds Dataset, g *store.GroupRecord) float64 {
+func messageSpanDays(ds Dataset, g store.GroupRecord) float64 {
 	end := ds.Start.Add(time.Duration(ds.Days) * 24 * time.Hour)
 	var from time.Time
 	if g.Platform == platform.WhatsApp {

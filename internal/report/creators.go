@@ -6,7 +6,6 @@ import (
 
 	"msgscope/internal/analysis/stats"
 	"msgscope/internal/platform"
-	"msgscope/internal/store"
 )
 
 // CreatorsResult reproduces Section 5's "Group Creators" analysis: how many
@@ -33,8 +32,14 @@ func Creators(ds Dataset) CreatorsResult {
 	}
 	for _, p := range platform.All {
 		perCreator := map[string]int{}
-		for _, g := range ds.GroupsOf(p) {
-			key := creatorOf(g)
+		list := ds.GroupsOf(p)
+		for i, n := 0, list.Len(); i < n; i++ {
+			// Creator identity from the best available surface: the join
+			// metadata, else the first observation exposing one.
+			key := list.At(i).CreatorKey
+			if key == "" {
+				key = list.Obs(i).FirstCreatorKey()
+			}
 			if key == "" {
 				continue
 			}
@@ -58,20 +63,6 @@ func Creators(ds Dataset) CreatorsResult {
 		res.MaxGroups[p] = max
 	}
 	return res
-}
-
-// creatorOf returns the group's creator key from the best available
-// surface.
-func creatorOf(g *store.GroupRecord) string {
-	if g.CreatorKey != "" {
-		return g.CreatorKey
-	}
-	for _, o := range g.Observations {
-		if o.CreatorKey != "" {
-			return o.CreatorKey
-		}
-	}
-	return ""
 }
 
 // Render prints the creator summary.
@@ -99,12 +90,11 @@ type CountriesResult struct {
 // Countries computes the creator-country histogram.
 func Countries(ds Dataset) CountriesResult {
 	h := stats.NewHistogram()
-	for _, g := range ds.GroupsOf(platform.WhatsApp) {
-		for _, o := range g.Observations {
-			if o.CreatorCountry != "" {
-				h.Inc(o.CreatorCountry)
-				break // one vote per group
-			}
+	list := ds.GroupsOf(platform.WhatsApp)
+	for i, n := 0, list.Len(); i < n; i++ {
+		// One vote per group: its first observed creator country.
+		if c := list.Obs(i).FirstCreatorCountry(); c != "" {
+			h.Inc(c)
 		}
 	}
 	return CountriesResult{Countries: h}

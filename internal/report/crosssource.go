@@ -29,7 +29,9 @@ func CrossSource(ds Dataset) CrossSourceResult {
 		Both:        map[platform.Platform]int{},
 		Gain:        map[platform.Platform]float64{},
 	}
-	for _, g := range ds.Groups() {
+	list := ds.Groups()
+	for i, n := 0, list.Len(); i < n; i++ {
+		g := list.At(i)
 		switch {
 		case g.SeenTwitter && g.SeenSocial:
 			res.Both[g.Platform]++

@@ -3,11 +3,9 @@ package report
 import (
 	"fmt"
 	"strings"
-	"time"
 
 	"msgscope/internal/analysis/stats"
 	"msgscope/internal/platform"
-	"msgscope/internal/store"
 )
 
 // The nine figure builders below all read the dataset through one shared
@@ -169,20 +167,6 @@ type Fig5Result struct {
 // Fig5 computes staleness where creation dates are known: all observed
 // Discord groups (snowflakes) and the joined WhatsApp/Telegram groups.
 func Fig5(ds Dataset) Fig5Result { return ds.aggregates().fig5 }
-
-// creationOf returns the best-known creation date of a group: the join-time
-// metadata if joined, else the Discord snowflake date from observations.
-func creationOf(g *store.GroupRecord) time.Time {
-	if !g.CreatedAt.IsZero() {
-		return g.CreatedAt
-	}
-	for _, o := range g.Observations {
-		if !o.CreatedAt.IsZero() {
-			return o.CreatedAt
-		}
-	}
-	return time.Time{}
-}
 
 // Render prints the staleness summary.
 func (f Fig5Result) Render() string {

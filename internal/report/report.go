@@ -62,34 +62,32 @@ func (d Dataset) Messages() store.MessageList {
 	return d.Store.Messages()
 }
 
-// Groups returns all discovered groups, sorted by platform then code.
-func (d Dataset) Groups() []*store.GroupRecord {
+// Groups returns the view of all discovered groups, sorted by platform
+// then code.
+func (d Dataset) Groups() store.GroupList {
 	if d.Snap != nil {
 		return d.Snap.Groups
 	}
 	return d.Store.Groups()
 }
 
-// GroupsOf returns one platform's groups, sorted by code.
-func (d Dataset) GroupsOf(p platform.Platform) []*store.GroupRecord {
+// GroupsOf returns the view of one platform's groups, sorted by code.
+func (d Dataset) GroupsOf(p platform.Platform) store.GroupList {
 	if d.Snap != nil {
 		return d.Snap.GroupsOf(p)
 	}
 	return d.Store.GroupsOf(p)
 }
 
-// JoinedOf returns one platform's joined groups, sorted by code.
-func (d Dataset) JoinedOf(p platform.Platform) []*store.GroupRecord {
+// JoinedOf returns the view of one platform's joined groups, sorted by
+// code.
+func (d Dataset) JoinedOf(p platform.Platform) store.GroupList {
 	if d.Snap != nil {
 		return d.Snap.JoinedOf(p)
 	}
-	var out []*store.GroupRecord
-	for _, g := range d.Store.GroupsOf(p) {
-		if g.Joined {
-			out = append(out, g)
-		}
-	}
-	return out
+	return d.Store.GroupsOf(p).Where(func(g store.GroupRecord) bool {
+		return g.Joined
+	})
 }
 
 // Users returns all observed users, sorted by platform then key.

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"msgscope/internal/ids"
 	"msgscope/internal/platform"
 )
 
@@ -72,14 +73,64 @@ func TestGroupLookupAllocFree(t *testing.T) {
 
 	// Group lookups and flag updates key the map with a struct, so the
 	// monitor/join phases probe without building a "platform/code" string.
+	// A record without observations materializes entirely on the stack.
 	allocs := testing.AllocsPerRun(100, func() {
-		if s.Group(platform.WhatsApp, "shared-group") == nil {
+		if _, ok := s.Group(platform.WhatsApp, "shared-group"); !ok {
 			t.Fatal("group missing")
 		}
 		s.MarkDeferred(platform.WhatsApp, "shared-group", "monitor")
 	})
 	if allocs > 0 {
 		t.Errorf("group lookup allocated %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestU64MapSteadyStateAllocFree gates the compact dedup index the tweet
+// and post paths key on: probing a resident table (hit or miss) and
+// overwriting existing keys must not allocate. Only an insert that trips
+// the 90% load factor allocates (the doubled backing array).
+func TestU64MapSteadyStateAllocFree(t *testing.T) {
+	m := ids.NewU64Map(0)
+	for i := uint64(1); i <= 4096; i++ {
+		m.Put(i, uint32(i))
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := uint64(1); i <= 4096; i++ {
+			if v, ok := m.Get(i); !ok || v != uint32(i) {
+				t.Fatal("resident key missing")
+			}
+			m.Put(i, uint32(i)) // in-place overwrite
+		}
+		if _, ok := m.Get(1 << 60); ok {
+			t.Fatal("phantom key")
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("U64Map steady-state probing allocated %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestGroupObservationAppendAllocFree gates the monitor's hottest write:
+// appending a daily probe to a warm group's observation columns. Sweep
+// fields are scalars or strings the interning table already holds (titles
+// repeat day over day), so past amortized column growth the append itself
+// must not allocate.
+func TestGroupObservationAppendAllocFree(t *testing.T) {
+	s := New()
+	s.AddTweetBatch(tweetBatchFor(4))
+	base := time.Date(2019, 4, 1, 0, 0, 0, 0, time.UTC)
+	o := Observation{
+		At: base, Alive: true, Title: "daily title", Members: 120, Online: 12,
+		CreatorPhoneH: "abcd", CreatorCountry: "BR", CreatorKey: "abcd",
+	}
+	for i := 0; i < 4096; i++ {
+		s.AddObservation(platform.WhatsApp, "shared-group", o)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		s.AddObservation(platform.WhatsApp, "shared-group", o)
+	})
+	if allocs > 0 {
+		t.Errorf("warm observation append allocated %.1f objects/op, want 0", allocs)
 	}
 }
 

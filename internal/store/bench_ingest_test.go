@@ -44,6 +44,22 @@ func benchScale() float64 {
 	return v
 }
 
+// benchSweeps reads the monitoring horizon for the groups benchmark
+// (default: the paper's 38 daily sweeps). MSGSCOPE_BENCH_SWEEPS stretches
+// it for the observation-heavy bench-scale smoke, standing in for the
+// multi-year collection horizons of TeleScope-style longitudinal studies.
+func benchSweeps() int {
+	s := os.Getenv("MSGSCOPE_BENCH_SWEEPS")
+	if s == "" {
+		return 38
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil || v <= 0 {
+		return 38
+	}
+	return v
+}
+
 // benchPCG is a tiny deterministic generator so record synthesis costs the
 // same few ns in every layout under test.
 type benchPCG uint64
@@ -207,6 +223,105 @@ func BenchmarkStoreIngest(b *testing.B) {
 		obj, bytes := liveBytes(buildStore)
 		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(n), "ns/rec")
 		b.ReportMetric(float64(bytes)/float64(n), "liveB/rec")
+		runtime.KeepAlive(obj)
+	})
+
+	// groups+observations: n discovered groups monitored over benchSweeps
+	// daily probes. The generator mirrors the paper's lifecycle shape:
+	// every group gets a stable title, ~40% die partway through the window
+	// (one revoked probe, then monitoring stops), WhatsApp landing pages
+	// leak a creator phone hash + country each probe, Discord invites carry
+	// the inviter key and snowflake creation date, and ~2% of groups are
+	// joined. Records = groups + observations appended.
+	b.Run("groups", func(b *testing.B) {
+		n := int(20_000 * scale)
+		sweeps := benchSweeps()
+		nRecs := 0
+		buildStore := func() any {
+			s := New()
+			rng := benchPCG(45)
+			nRecs = 0
+			base2 := base
+			type meta struct {
+				p        platform.Platform
+				code     string
+				lifespan int
+				phoneH   string
+				country  string
+			}
+			gs := make([]meta, n)
+			countries := []string{"BR", "NG", "ID", "IN", "SA", "MX", "AR", "US"}
+			for i := range gs {
+				p := platform.Platform(rng.intn(3) + 1)
+				code := "grp" + strconv.Itoa(i)
+				lifespan := sweeps
+				if rng.intn(100) < 40 {
+					lifespan = rng.intn(sweeps)
+				}
+				gs[i] = meta{p: p, code: code, lifespan: lifespan,
+					country: countries[rng.intn(len(countries))]}
+				if p == platform.WhatsApp {
+					gs[i].phoneH = HashPhone("+55" + strconv.Itoa(i))
+				}
+				s.groups.put(&GroupRecord{
+					Platform:    p,
+					Code:        code,
+					Canonical:   "https://chat.example/invite/" + code,
+					FirstSeen:   base2,
+					LastSeen:    base2,
+					Tweets:      1 + rng.intn(5),
+					SeenTwitter: true,
+				})
+				nRecs++
+				if rng.intn(50) == 0 {
+					s.MarkJoined(p, code, func(g *GroupRecord) {
+						g.JoinedAt = base2.Add(24 * time.Hour)
+						g.CreatedAt = base2.Add(-240 * time.Hour)
+						g.MemberCount = 20 + rng.intn(200)
+						g.Channels = 1
+					})
+				}
+			}
+			for sweep := 0; sweep < sweeps; sweep++ {
+				at := base2.Add(time.Duration(sweep*24) * time.Hour)
+				for i := range gs {
+					g := &gs[i]
+					if sweep > g.lifespan {
+						continue // observed revoked; monitoring stopped
+					}
+					o := Observation{At: at, Alive: sweep < g.lifespan}
+					if o.Alive {
+						o.Title = "Group Chat " + g.code
+						o.Members = 20 + rng.intn(480)
+						switch g.p {
+						case platform.WhatsApp:
+							o.CreatorPhoneH = g.phoneH
+							o.CreatorKey = g.phoneH
+							o.CreatorCountry = g.country
+						case platform.Telegram:
+							o.Online = rng.intn(o.Members)
+							o.IsChannel = i%8 == 0
+						case platform.Discord:
+							o.Online = rng.intn(o.Members)
+							o.CreatorKey = "dc-inviter-" + strconv.Itoa(i)
+							o.CreatedAt = base2.Add(-time.Duration(rng.intn(10000)) * time.Hour)
+						}
+					}
+					s.AddObservation(g.p, g.code, o)
+					nRecs++
+				}
+			}
+			return s
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = buildStore()
+		}
+		b.StopTimer()
+		obj, bytes := liveBytes(buildStore)
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(nRecs), "ns/rec")
+		b.ReportMetric(float64(bytes)/float64(nRecs), "liveB/rec")
 		runtime.KeepAlive(obj)
 	})
 

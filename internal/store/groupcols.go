@@ -1,0 +1,527 @@
+package store
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"msgscope/internal/ids"
+	"msgscope/internal/platform"
+)
+
+// Columnar (struct-of-arrays) layout for the group family and its daily
+// observation series — the last two heap-resident record shapes after the
+// tweet/message/user migration (columnar.go, stripes.go). A pointer-era
+// GroupRecord cost 256 bytes plus a per-group []Observation whose elements
+// weighed ~150 bytes each with their own string allocations; at a 38-day
+// horizon observations outnumber groups ~38:1, so they dominate retained
+// heap. Here each stripe keeps one set of group columns and one
+// append-only set of observation columns: strings interned to uint32
+// handles through a per-stripe ids.Table, times as int64 UnixNano with
+// the zero sentinel, bools packed into one flag byte.
+//
+// Observation addressing: probes arrive interleaved across a stripe's
+// groups (the daily sweep visits every group once per day), so a group's
+// observations are not naturally contiguous. Appends therefore chain rows
+// through a next column (each link set once, from the previous tail), and
+// Snapshot compacts every scattered stripe into group-major order — after
+// which each group's series is one dense (first, count) range and random
+// access is O(1). Chain indexes are stored +1 so zero means "none",
+// keeping the zero value of a fresh column row meaningful.
+const (
+	gfSeenTwitter = uint8(1 << iota)
+	gfSeenSocial
+	gfJoined
+	gfHiddenMembers
+	gfIsChannel
+	gfDeferred
+)
+
+// Observation flag bits.
+const (
+	ofAlive = uint8(1 << iota)
+	ofIsChannel
+)
+
+// obsCols holds one stripe's observations, one slice per Observation
+// field plus the intra-group chain. ~45 bytes/row against ~150 for the
+// former []Observation elements.
+type obsCols struct {
+	at        []int64
+	createdAt []int64
+	title     []uint32
+	phoneH    []uint32
+	country   []uint32
+	creator   []uint32
+	members   []int32
+	online    []int32
+	flags     []uint8
+	next      []uint32 // row+1 of the group's next observation; 0 = end
+}
+
+func (c *obsCols) append(o *Observation, tab *ids.Table) {
+	c.at = append(c.at, timeToNano(o.At))
+	c.createdAt = append(c.createdAt, timeToNano(o.CreatedAt))
+	c.title = append(c.title, tab.Handle(o.Title))
+	c.phoneH = append(c.phoneH, tab.Handle(o.CreatorPhoneH))
+	c.country = append(c.country, tab.Handle(o.CreatorCountry))
+	c.creator = append(c.creator, tab.Handle(o.CreatorKey))
+	c.members = append(c.members, int32(o.Members))
+	c.online = append(c.online, int32(o.Online))
+	var f uint8
+	if o.Alive {
+		f |= ofAlive
+	}
+	if o.IsChannel {
+		f |= ofIsChannel
+	}
+	c.flags = append(c.flags, f)
+	c.next = append(c.next, 0)
+}
+
+func (c *obsCols) recordAt(i uint32, tab *ids.Table) Observation {
+	f := c.flags[i]
+	return Observation{
+		At:             nanoToTime(c.at[i]),
+		Alive:          f&ofAlive != 0,
+		Title:          tab.Lookup(c.title[i]),
+		Members:        int(c.members[i]),
+		Online:         int(c.online[i]),
+		IsChannel:      f&ofIsChannel != 0,
+		CreatorPhoneH:  tab.Lookup(c.phoneH[i]),
+		CreatorCountry: tab.Lookup(c.country[i]),
+		CreatorKey:     tab.Lookup(c.creator[i]),
+		CreatedAt:      nanoToTime(c.createdAt[i]),
+	}
+}
+
+// view returns length-trimmed header copies, safe to read after the
+// stripe lock is released: rows [0, n) are fully written before n is
+// observed under the lock, and compaction swaps in fresh slices rather
+// than mutating the ones a view references. The one exception is the
+// next column — a later append sets the link on what was the tail row —
+// so chain walks from a view must treat links past n as end-of-chain.
+func (c *obsCols) view() obsCols {
+	n := len(c.at)
+	return obsCols{
+		at: c.at[:n], createdAt: c.createdAt[:n],
+		title: c.title[:n], phoneH: c.phoneH[:n],
+		country: c.country[:n], creator: c.creator[:n],
+		members: c.members[:n], online: c.online[:n],
+		flags: c.flags[:n], next: c.next[:n],
+	}
+}
+
+// groupStripe holds one stripe's groups and their observations in
+// columnar form. All handles resolve through the stripe's own tab
+// (handle 0 is ""); titles, creator keys, countries, and phone hashes
+// repeat heavily across a group's daily series, so interning them
+// collapses the series' string weight to one copy per distinct value.
+type groupStripe struct {
+	mu sync.Mutex
+	m  map[groupKey]uint32 // key -> row
+
+	plat        []uint8
+	flags       []uint8
+	code        []uint32
+	canonical   []uint32
+	creatorKey  []uint32
+	deferReason []uint32
+	firstSeen   []int64
+	lastSeen    []int64
+	joinedAt    []int64
+	createdAt   []int64
+	tweets      []int32
+	socialPosts []int32
+	members     []int32
+	channels    []int32
+
+	// Observation chain anchors, row+1 encoded (0 = no observations).
+	obsHead  []uint32
+	obsTail  []uint32
+	obsCount []uint32
+
+	obs obsCols
+	// obsScattered is set when an append lands away from its group's
+	// previous tail (an interleaving sweep); Snapshot compacts such
+	// stripes into group-major order.
+	obsScattered bool
+
+	tab *ids.Table
+}
+
+func (st *groupStripe) len() int { return len(st.plat) }
+
+// appendLocked claims the next row with zero-valued columns for (p, code).
+// Caller holds st.mu and fills first/last-seen afterwards.
+func (st *groupStripe) appendLocked(p platform.Platform, code string) uint32 {
+	row := uint32(st.len())
+	st.plat = append(st.plat, uint8(p))
+	st.flags = append(st.flags, 0)
+	st.code = append(st.code, st.tab.Handle(code))
+	st.canonical = append(st.canonical, 0)
+	st.creatorKey = append(st.creatorKey, 0)
+	st.deferReason = append(st.deferReason, 0)
+	st.firstSeen = append(st.firstSeen, zeroTimeNano)
+	st.lastSeen = append(st.lastSeen, zeroTimeNano)
+	st.joinedAt = append(st.joinedAt, zeroTimeNano)
+	st.createdAt = append(st.createdAt, zeroTimeNano)
+	st.tweets = append(st.tweets, 0)
+	st.socialPosts = append(st.socialPosts, 0)
+	st.members = append(st.members, 0)
+	st.channels = append(st.channels, 0)
+	st.obsHead = append(st.obsHead, 0)
+	st.obsTail = append(st.obsTail, 0)
+	st.obsCount = append(st.obsCount, 0)
+	return row
+}
+
+// appendObsLocked links one observation onto row's chain. Caller holds
+// st.mu.
+func (st *groupStripe) appendObsLocked(row uint32, o *Observation) {
+	n := uint32(len(st.obs.at))
+	st.obs.append(o, st.tab)
+	if st.obsHead[row] == 0 {
+		st.obsHead[row] = n + 1
+	} else {
+		if st.obsTail[row] != n {
+			st.obsScattered = true
+		}
+		st.obs.next[st.obsTail[row]-1] = n + 1
+	}
+	st.obsTail[row] = n + 1
+	st.obsCount[row]++
+}
+
+// scalarsLocked materializes row's GroupRecord without its observation
+// series (Observations stays nil); the series lives in the obs columns
+// and is read through ObsList. Caller holds st.mu (or a view does the
+// equivalent through groupStripeView.at).
+func (st *groupStripe) scalarsLocked(row uint32) GroupRecord {
+	f := st.flags[row]
+	return GroupRecord{
+		Platform:      platform.Platform(st.plat[row]),
+		Code:          st.tab.Lookup(st.code[row]),
+		Canonical:     st.tab.Lookup(st.canonical[row]),
+		FirstSeen:     nanoToTime(st.firstSeen[row]),
+		LastSeen:      nanoToTime(st.lastSeen[row]),
+		Tweets:        int(st.tweets[row]),
+		SeenTwitter:   f&gfSeenTwitter != 0,
+		SeenSocial:    f&gfSeenSocial != 0,
+		SocialPosts:   int(st.socialPosts[row]),
+		Joined:        f&gfJoined != 0,
+		JoinedAt:      nanoToTime(st.joinedAt[row]),
+		CreatedAt:     nanoToTime(st.createdAt[row]),
+		HiddenMembers: f&gfHiddenMembers != 0,
+		IsChannel:     f&gfIsChannel != 0,
+		Channels:      int(st.channels[row]),
+		MemberCount:   int(st.members[row]),
+		CreatorKey:    st.tab.Lookup(st.creatorKey[row]),
+		Deferred:      f&gfDeferred != 0,
+		DeferReason:   st.tab.Lookup(st.deferReason[row]),
+	}
+}
+
+// storeScalarsLocked writes g's scalar fields back into row's columns.
+// Platform and Code are identity (the map key) and are not rewritten;
+// Observations are not touched — mutation closures only ever set scalars,
+// and the observation path goes through appendObsLocked. Caller holds
+// st.mu.
+func (st *groupStripe) storeScalarsLocked(row uint32, g *GroupRecord) {
+	var f uint8
+	if g.SeenTwitter {
+		f |= gfSeenTwitter
+	}
+	if g.SeenSocial {
+		f |= gfSeenSocial
+	}
+	if g.Joined {
+		f |= gfJoined
+	}
+	if g.HiddenMembers {
+		f |= gfHiddenMembers
+	}
+	if g.IsChannel {
+		f |= gfIsChannel
+	}
+	if g.Deferred {
+		f |= gfDeferred
+	}
+	st.flags[row] = f
+	st.canonical[row] = st.tab.Handle(g.Canonical)
+	st.creatorKey[row] = st.tab.Handle(g.CreatorKey)
+	st.deferReason[row] = st.tab.Handle(g.DeferReason)
+	st.firstSeen[row] = timeToNano(g.FirstSeen)
+	st.lastSeen[row] = timeToNano(g.LastSeen)
+	st.joinedAt[row] = timeToNano(g.JoinedAt)
+	st.createdAt[row] = timeToNano(g.CreatedAt)
+	st.tweets[row] = int32(g.Tweets)
+	st.socialPosts[row] = int32(g.SocialPosts)
+	st.members[row] = int32(g.MemberCount)
+	st.channels[row] = int32(g.Channels)
+}
+
+// compactLocked rewrites the stripe's observation columns into group-major
+// order, making every group's series one dense (first, count) range, and
+// drops rows orphaned by put-replacement. Fresh slices are allocated so
+// views taken earlier keep reading their own consistent arrays. Caller
+// holds st.mu.
+func (st *groupStripe) compactLocked() {
+	if !st.obsScattered {
+		return
+	}
+	old := st.obs
+	n := len(old.at)
+	fresh := obsCols{
+		at:        make([]int64, 0, n),
+		createdAt: make([]int64, 0, n),
+		title:     make([]uint32, 0, n),
+		phoneH:    make([]uint32, 0, n),
+		country:   make([]uint32, 0, n),
+		creator:   make([]uint32, 0, n),
+		members:   make([]int32, 0, n),
+		online:    make([]int32, 0, n),
+		flags:     make([]uint8, 0, n),
+		next:      make([]uint32, 0, n),
+	}
+	for row := range st.obsHead {
+		if st.obsHead[row] == 0 {
+			continue
+		}
+		newHead := uint32(len(fresh.at)) + 1
+		for i := st.obsHead[row]; i != 0; i = old.next[i-1] {
+			j := i - 1
+			fresh.at = append(fresh.at, old.at[j])
+			fresh.createdAt = append(fresh.createdAt, old.createdAt[j])
+			fresh.title = append(fresh.title, old.title[j])
+			fresh.phoneH = append(fresh.phoneH, old.phoneH[j])
+			fresh.country = append(fresh.country, old.country[j])
+			fresh.creator = append(fresh.creator, old.creator[j])
+			fresh.members = append(fresh.members, old.members[j])
+			fresh.online = append(fresh.online, old.online[j])
+			fresh.flags = append(fresh.flags, old.flags[j])
+			fresh.next = append(fresh.next, uint32(len(fresh.next))+2)
+		}
+		fresh.next[len(fresh.next)-1] = 0
+		st.obsHead[row] = newHead
+		st.obsTail[row] = uint32(len(fresh.at))
+	}
+	st.obs = fresh
+	st.obsScattered = false
+}
+
+// groupTable is the striped, columnar group family.
+type groupTable struct {
+	stripes [numStripes]groupStripe
+
+	cacheMu sync.Mutex
+	dirty   atomic.Bool
+	sorted  []groupRef
+	// byPlat partitions sorted (which is ordered by platform, then code)
+	// into contiguous subslices, one per platform.
+	byPlat map[platform.Platform][]groupRef
+}
+
+func newGroupTable() *groupTable {
+	// Stripes initialize lazily on first insert: an eager 64-stripe setup
+	// costs ~1.2MB up front (each ids.Table's first intern claims a full
+	// 16KB string block), a fixed tax every store pays even when the
+	// group family stays empty — measurable against the message and user
+	// families' liveB/rec gates at test scale.
+	return &groupTable{}
+}
+
+// initLocked sets up a stripe's key map and interning table on first
+// insert. Caller holds st.mu. Read paths never need this: a nil key map
+// looks up as not-found, and the interning table is only dereferenced
+// for rows that exist.
+func (st *groupStripe) initLocked() {
+	if st.m == nil {
+		st.m = map[groupKey]uint32{}
+		st.tab = ids.NewTable()
+		st.tab.Handle("") // handle 0 is the empty string
+	}
+}
+
+func (gt *groupTable) stripeFor(p platform.Platform, code string) (uint32, *groupStripe) {
+	i := stripeHash(code, p)
+	return i, &gt.stripes[i]
+}
+
+// upsertLocked returns the row for (p, code), creating it on first sight
+// and widening its first/last-seen window. Caller holds st.mu.
+func (gt *groupTable) upsertLocked(st *groupStripe, p platform.Platform, code string, at time.Time) (row uint32, isNew bool) {
+	st.initLocked()
+	k := groupKey{p, code}
+	n := timeToNano(at)
+	row, ok := st.m[k]
+	if !ok {
+		row = st.appendLocked(p, code)
+		st.m[k] = row
+		st.firstSeen[row], st.lastSeen[row] = n, n
+		gt.dirty.Store(true)
+		return row, true
+	}
+	// The sentinel is MinInt64, so these compare exactly like
+	// at.Before(FirstSeen) / at.After(LastSeen) did, zero times included.
+	if n < st.firstSeen[row] {
+		st.firstSeen[row] = n
+	}
+	if n > st.lastSeen[row] {
+		st.lastSeen[row] = n
+	}
+	return row, isNew
+}
+
+// lookup returns the full record for a key, including its materialized
+// observation series.
+func (gt *groupTable) lookup(p platform.Platform, code string) (GroupRecord, bool) {
+	_, st := gt.stripeFor(p, code)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	row, ok := st.m[groupKey{p, code}]
+	if !ok {
+		return GroupRecord{}, false
+	}
+	g := st.scalarsLocked(row)
+	if c := st.obsCount[row]; c > 0 {
+		g.Observations = make([]Observation, 0, c)
+		for i := st.obsHead[row]; i != 0; i = st.obs.next[i-1] {
+			g.Observations = append(g.Observations, st.obs.recordAt(i-1, st.tab))
+		}
+	}
+	return g, true
+}
+
+// with materializes the scalar record for a key, runs fn on it under the
+// stripe lock, and writes the scalars back; unknown keys are a no-op. The
+// record handed to fn carries no Observations — series access and append
+// go through ObsList and appendObsLocked.
+func (gt *groupTable) with(p platform.Platform, code string, fn func(*GroupRecord)) {
+	_, st := gt.stripeFor(p, code)
+	st.mu.Lock()
+	if row, ok := st.m[groupKey{p, code}]; ok {
+		g := st.scalarsLocked(row)
+		fn(&g)
+		st.storeScalarsLocked(row, &g)
+	}
+	st.mu.Unlock()
+}
+
+// put replaces (or creates) the record for g's key with *g, including its
+// observation series — the Load path installing authoritative saved
+// records over tweet-built skeletons. Observations a previous put chained
+// for the same key are orphaned and reclaimed by the next compaction.
+func (gt *groupTable) put(g *GroupRecord) {
+	_, st := gt.stripeFor(g.Platform, g.Code)
+	st.mu.Lock()
+	st.initLocked()
+	k := groupKey{g.Platform, g.Code}
+	row, ok := st.m[k]
+	if !ok {
+		row = st.appendLocked(g.Platform, g.Code)
+		st.m[k] = row
+		gt.dirty.Store(true)
+	}
+	st.storeScalarsLocked(row, g)
+	if st.obsCount[row] > 0 {
+		st.obsScattered = true // old chain rows become garbage
+	}
+	st.obsHead[row], st.obsTail[row], st.obsCount[row] = 0, 0, 0
+	for i := range g.Observations {
+		st.appendObsLocked(row, &g.Observations[i])
+	}
+	st.mu.Unlock()
+}
+
+// rebuildLocked refreshes the sorted ref cache and its per-platform
+// partitions. Caller holds cacheMu; stripesHeld says whether the caller
+// already holds every stripe lock (Snapshot does).
+func (gt *groupTable) rebuildLocked(stripesHeld bool) {
+	if !gt.dirty.Swap(false) && gt.sorted != nil {
+		return
+	}
+	type entry struct {
+		p    platform.Platform
+		code string
+		ref  groupRef
+	}
+	var all []entry
+	for i := range gt.stripes {
+		st := &gt.stripes[i]
+		if !stripesHeld {
+			st.mu.Lock()
+		}
+		for k, row := range st.m {
+			all = append(all, entry{k.p, k.code, makeGroupRef(uint32(i), row)})
+		}
+		if !stripesHeld {
+			st.mu.Unlock()
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].p != all[j].p {
+			return all[i].p < all[j].p
+		}
+		return all[i].code < all[j].code
+	})
+	sorted := make([]groupRef, len(all))
+	for i, e := range all {
+		sorted[i] = e.ref
+	}
+	byPlat := map[platform.Platform][]groupRef{}
+	for lo := 0; lo < len(all); {
+		hi := lo
+		for hi < len(all) && all[hi].p == all[lo].p {
+			hi++
+		}
+		byPlat[all[lo].p] = sorted[lo:hi:hi]
+		lo = hi
+	}
+	gt.sorted = sorted
+	gt.byPlat = byPlat
+}
+
+// countFor tallies one platform's Table 2 group counters.
+func (gt *groupTable) countFor(p platform.Platform) (urls, joined int) {
+	for i := range gt.stripes {
+		st := &gt.stripes[i]
+		st.mu.Lock()
+		for _, row := range st.m {
+			if st.plat[row] != uint8(p) {
+				continue
+			}
+			urls++
+			if st.flags[row]&gfJoined != 0 {
+				joined++
+			}
+		}
+		st.mu.Unlock()
+	}
+	return urls, joined
+}
+
+// compactAllLocked compacts every scattered stripe's observation columns.
+// Caller holds every stripe lock (Snapshot's lockAll).
+func (gt *groupTable) compactAllLocked() {
+	for i := range gt.stripes {
+		gt.stripes[i].compactLocked()
+	}
+}
+
+// lockAll/unlockAll bracket Snapshot's consistent read: cacheMu first,
+// then every stripe in ascending index order.
+func (gt *groupTable) lockAll() {
+	gt.cacheMu.Lock()
+	for i := range gt.stripes {
+		gt.stripes[i].mu.Lock()
+	}
+}
+
+func (gt *groupTable) unlockAll() {
+	for i := range gt.stripes {
+		gt.stripes[i].mu.Unlock()
+	}
+	gt.cacheMu.Unlock()
+}

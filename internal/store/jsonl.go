@@ -140,8 +140,23 @@ func (s *Store) Save(dir string) error {
 	}); err != nil {
 		return err
 	}
-	if err := saveFile(filepath.Join(dir, "groups.jsonl"), s.Groups()); err != nil {
+	// Groups have no hand-written codec; each wire record is materialized
+	// from the columnar view and marshaled reflectively — the same
+	// encoding/json path (and bytes) the former []*GroupRecord took.
+	groups := s.Groups()
+	var groupErr error
+	if err := saveView(filepath.Join(dir, "groups.jsonl"), groups.Len(), func(i int, dst []byte) []byte {
+		rec := groups.Record(i)
+		b, err := json.Marshal(&rec)
+		if err != nil && groupErr == nil {
+			groupErr = err
+		}
+		return append(dst, b...)
+	}); err != nil {
 		return err
+	}
+	if groupErr != nil {
+		return fmt.Errorf("store: encoding groups.jsonl: %w", groupErr)
 	}
 	msgs := s.Messages()
 	if err := saveView(filepath.Join(dir, "messages.jsonl"), msgs.Len(), func(i int, dst []byte) []byte {

@@ -31,15 +31,17 @@ type Snapshot struct {
 	Messages MessageList
 
 	// Groups and Users are sorted by platform then code/key, matching the
-	// store's deterministic iteration order. Group pointers are the same
-	// stable arena records Store.Groups hands out.
-	Groups []*GroupRecord
+	// store's deterministic iteration order. Groups is a columnar view;
+	// every per-platform and joined partition below shares its stripe
+	// snapshots, so the whole group side of a Snapshot costs one set of
+	// column headers plus the ref slices.
+	Groups GroupList
 	Users  []*UserRecord
 
 	tweetsByPlat map[platform.Platform]TweetList
 	msgsByPlat   map[platform.Platform]MessageList
-	groupsByPlat map[platform.Platform][]*GroupRecord
-	joinedByPlat map[platform.Platform][]*GroupRecord
+	groupsByPlat map[platform.Platform]GroupList
+	joinedByPlat map[platform.Platform]GroupList
 	tweetsByDay  []TweetList
 	counts       map[platform.Platform]Counts
 }
@@ -62,6 +64,11 @@ func (s *Store) Snapshot(start time.Time, days int) *Snapshot {
 
 	s.groups.rebuildLocked(true)
 	s.users.rebuildLocked(true)
+	// Compact scattered observation chains into group-major order while
+	// every stripe is held, so the views below (and any later ones) serve
+	// dense O(1)-addressable series.
+	s.groups.compactAllLocked()
+	groupViews := s.groups.viewsLocked(true)
 
 	tweets := TweetList{c: s.tweets.view(), all: true}
 	msgs := MessageList{c: s.msgs.view(), all: true}
@@ -72,12 +79,12 @@ func (s *Store) Snapshot(start time.Time, days int) *Snapshot {
 		Control:      ControlList{c: s.control.view()},
 		Posts:        s.posts,
 		Messages:     msgs,
-		Groups:       s.groups.materialize(s.groups.sorted),
+		Groups:       GroupList{views: groupViews, refs: s.groups.sorted},
 		Users:        s.users.materializeLocked(true),
 		tweetsByPlat: map[platform.Platform]TweetList{},
 		msgsByPlat:   map[platform.Platform]MessageList{},
-		groupsByPlat: map[platform.Platform][]*GroupRecord{},
-		joinedByPlat: map[platform.Platform][]*GroupRecord{},
+		groupsByPlat: map[platform.Platform]GroupList{},
+		joinedByPlat: map[platform.Platform]GroupList{},
 		counts:       map[platform.Platform]Counts{},
 	}
 
@@ -129,27 +136,28 @@ func (s *Store) Snapshot(start time.Time, days int) *Snapshot {
 		sn.msgsByPlat[p] = MessageList{c: msgs.c, idx: idx}
 	}
 
-	// Groups is sorted by (platform, code), so the per-platform partitions
-	// are contiguous subslices of it.
-	for lo := 0; lo < len(sn.Groups); {
-		hi := lo
-		for hi < len(sn.Groups) && sn.Groups[hi].Platform == sn.Groups[lo].Platform {
-			hi++
+	// The rebuild already partitioned the sorted refs by platform; the
+	// partitions share groupViews with sn.Groups. Joined refs are gathered
+	// off the flag column directly — no record materialization.
+	joinedRefs := map[platform.Platform][]groupRef{}
+	for p, refs := range s.groups.byPlat {
+		sn.groupsByPlat[p] = GroupList{views: groupViews, refs: refs}
+		for _, r := range refs {
+			v := &groupViews[r>>stripeShift]
+			if v.flags[uint32(r)&stripeMask]&gfJoined != 0 {
+				joinedRefs[p] = append(joinedRefs[p], r)
+			}
 		}
-		sn.groupsByPlat[sn.Groups[lo].Platform] = sn.Groups[lo:hi:hi]
-		lo = hi
 	}
-	for _, g := range sn.Groups {
-		if g.Joined {
-			sn.joinedByPlat[g.Platform] = append(sn.joinedByPlat[g.Platform], g)
-		}
+	for p, refs := range joinedRefs {
+		sn.joinedByPlat[p] = GroupList{views: groupViews, refs: refs}
 	}
 	for _, p := range platform.All {
 		sn.counts[p] = Counts{
 			Tweets:       len(platIdx[p]),
 			TweetUsers:   len(tweetUsers[p]),
-			GroupURLs:    len(sn.groupsByPlat[p]),
-			JoinedGroups: len(sn.joinedByPlat[p]),
+			GroupURLs:    sn.groupsByPlat[p].Len(),
+			JoinedGroups: sn.joinedByPlat[p].Len(),
 			Messages:     len(msgIdx[p]),
 			MessageUsers: len(msgUsers[p]),
 		}
@@ -173,13 +181,14 @@ func (sn *Snapshot) MessagesOf(p platform.Platform) MessageList {
 	return MessageList{c: sn.Messages.c, idx: []uint32{}}
 }
 
-// GroupsOf returns one platform's groups, sorted by code.
-func (sn *Snapshot) GroupsOf(p platform.Platform) []*GroupRecord {
+// GroupsOf returns one platform's groups, sorted by code. The zero
+// GroupList of an absent platform has Len 0.
+func (sn *Snapshot) GroupsOf(p platform.Platform) GroupList {
 	return sn.groupsByPlat[p]
 }
 
 // JoinedOf returns the joined groups of one platform, sorted by code.
-func (sn *Snapshot) JoinedOf(p platform.Platform) []*GroupRecord {
+func (sn *Snapshot) JoinedOf(p platform.Platform) GroupList {
 	return sn.joinedByPlat[p]
 }
 

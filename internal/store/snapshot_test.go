@@ -1,6 +1,7 @@
 package store
 
 import (
+	"reflect"
 	"testing"
 	"time"
 
@@ -34,22 +35,22 @@ func TestSnapshotMatchesStore(t *testing.T) {
 			sn.Tweets.Len(), sn.Control.Len(), sn.Messages.Len())
 	}
 	groups := s.Groups()
-	if len(sn.Groups) != len(groups) {
-		t.Fatalf("snapshot has %d groups, store %d", len(sn.Groups), len(groups))
+	if sn.Groups.Len() != groups.Len() {
+		t.Fatalf("snapshot has %d groups, store %d", sn.Groups.Len(), groups.Len())
 	}
-	for i := range groups {
-		if sn.Groups[i] != groups[i] {
+	for i := 0; i < groups.Len(); i++ {
+		if !reflect.DeepEqual(sn.Groups.Record(i), groups.Record(i)) {
 			t.Fatalf("group order diverges at %d", i)
 		}
 	}
 	for _, p := range platform.All {
 		want := s.GroupsOf(p)
 		got := sn.GroupsOf(p)
-		if len(want) != len(got) {
-			t.Fatalf("%v: GroupsOf %d vs %d", p, len(got), len(want))
+		if want.Len() != got.Len() {
+			t.Fatalf("%v: GroupsOf %d vs %d", p, got.Len(), want.Len())
 		}
-		for i := range want {
-			if want[i] != got[i] {
+		for i := 0; i < want.Len(); i++ {
+			if !reflect.DeepEqual(want.Record(i), got.Record(i)) {
 				t.Fatalf("%v: GroupsOf order diverges at %d", p, i)
 			}
 		}
@@ -57,10 +58,10 @@ func TestSnapshotMatchesStore(t *testing.T) {
 			t.Fatalf("%v: counts %+v vs %+v", p, sn.CountsFor(p), s.CountsFor(p))
 		}
 	}
-	if n := len(sn.JoinedOf(platform.WhatsApp)); n != 1 {
+	if n := sn.JoinedOf(platform.WhatsApp).Len(); n != 1 {
 		t.Fatalf("joined WhatsApp groups = %d, want 1", n)
 	}
-	if n := len(sn.JoinedOf(platform.Discord)); n != 0 {
+	if n := sn.JoinedOf(platform.Discord).Len(); n != 0 {
 		t.Fatalf("joined Discord groups = %d, want 0", n)
 	}
 	var inPlat int
@@ -93,38 +94,55 @@ func TestSnapshotDayBuckets(t *testing.T) {
 	}
 }
 
-func TestGroupsReturnsCallerOwnedCopy(t *testing.T) {
+func TestGroupRecordsAreCallerOwned(t *testing.T) {
 	s := buildSnapshotStore()
-	a := s.Groups()
-	if len(a) < 2 {
-		t.Fatal("need at least 2 groups")
+	s.AddObservation(platform.WhatsApp, "wa1", Observation{At: snapStart, Alive: true, Members: 5})
+
+	// Record materializes a fresh observation slice each call: a caller may
+	// scribble on it without disturbing the store.
+	list := s.GroupsOf(platform.WhatsApp)
+	var idx = -1
+	for i := 0; i < list.Len(); i++ {
+		if list.At(i).Code == "wa1" {
+			idx = i
+		}
 	}
-	// A caller (the join phase) may shuffle what it gets back...
-	a[0], a[1] = a[1], a[0]
-	// ...without disturbing the store's deterministic order.
-	b := s.Groups()
-	if b[0] != a[1] || b[1] != a[0] {
-		t.Fatal("caller mutation leaked into the store's group index")
+	if idx < 0 {
+		t.Fatal("wa1 missing")
 	}
-	// Same for the per-platform partition.
-	wa := s.GroupsOf(platform.WhatsApp)
-	if len(wa) != 2 {
-		t.Fatalf("%d WhatsApp groups, want 2", len(wa))
+	rec := list.Record(idx)
+	if len(rec.Observations) != 1 {
+		t.Fatalf("wa1 has %d observations, want 1", len(rec.Observations))
 	}
-	wa[0], wa[1] = wa[1], wa[0]
-	wa2 := s.GroupsOf(platform.WhatsApp)
-	if wa2[0] != wa[1] {
-		t.Fatal("caller mutation leaked into the per-platform index")
+	rec.Observations[0].Members = 999
+	if again := list.Record(idx); again.Observations[0].Members != 5 {
+		t.Fatalf("caller mutation leaked into the store: %+v", again.Observations[0])
+	}
+	if g, _ := s.Group(platform.WhatsApp, "wa1"); g.Observations[0].Members != 5 {
+		t.Fatalf("caller mutation leaked into the store: %+v", g.Observations[0])
+	}
+
+	// Where carves a sub-view with its own ref slice; reordering the source
+	// list's records is impossible (views are read-only), and a second
+	// Groups() call serves the same deterministic order.
+	a, b := s.Groups(), s.Groups()
+	if a.Len() != b.Len() {
+		t.Fatal("group view length unstable")
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.At(i).Code != b.At(i).Code {
+			t.Fatalf("group view order unstable at %d", i)
+		}
 	}
 }
 
 func TestGroupIndexInvalidation(t *testing.T) {
 	s := buildSnapshotStore()
-	before := len(s.GroupsOf(platform.Telegram))
+	before := s.GroupsOf(platform.Telegram).Len()
 	s.AddTweet(TweetRecord{ID: 99, UserID: "u9", CreatedAt: snapStart, Platform: platform.Telegram, GroupCode: "tg-new"})
 	after := s.GroupsOf(platform.Telegram)
-	if len(after) != before+1 {
-		t.Fatalf("index stale after new group: %d, want %d", len(after), before+1)
+	if after.Len() != before+1 {
+		t.Fatalf("index stale after new group: %d, want %d", after.Len(), before+1)
 	}
 	u := len(s.Users())
 	s.UpsertUser(UserRecord{Platform: platform.Discord, Key: 42})

@@ -3,14 +3,16 @@
 // users. Following the paper's ethics statement, phone numbers are never
 // stored as such — only one-way SHA-256 hashes.
 //
-// Layout: the hot record families (tweets, control tweets, messages,
-// users) are stored columnar (struct-of-arrays, see columnar.go) with
-// string fields interned to uint32 handles and text in byte arenas, so the
-// paper-scale corpus (~2.2M tweets, ~8.3M messages) fits in a fraction of
-// the former slice-of-structs footprint. Groups keep addressable records,
-// allocated in chunked per-stripe arenas so handed-out pointers stay
-// stable. Readers get list views (TweetList, ControlList, MessageList)
-// that reconstruct record values on demand without allocating.
+// Layout: every record family is stored columnar (struct-of-arrays; see
+// columnar.go for tweets/control/messages, groupcols.go for groups and
+// their observation series) with string fields interned to uint32 handles
+// and high-cardinality text in byte arenas, so the paper-scale corpus
+// (~2.2M tweets, ~8.3M messages, ~56K groups × 38 daily observations)
+// fits in a fraction of the former slice-of-structs footprint. The tweet
+// and post dedup indexes are compact open-addressing tables (ids.U64Map)
+// instead of Go maps. Readers get list views (TweetList, ControlList,
+// MessageList, GroupList, ObsList) that reconstruct record values on
+// demand without allocating.
 package store
 
 import (
@@ -192,8 +194,8 @@ type Store struct {
 	control controlCols
 	posts   []PostRecord
 
-	seenTweets map[uint64]uint32 // tweet id -> row in tweets
-	seenPosts  map[uint64]struct{}
+	seenTweets *ids.U64Map // tweet id -> row in tweets
+	seenPosts  *ids.U64Map // post id -> seen (value unused)
 
 	msgMu sync.Mutex
 	msgs  msgCols
@@ -209,7 +211,8 @@ func New() *Store {
 		tweets:     newTweetCols(userTab, langTab),
 		control:    newControlCols(userTab, langTab),
 		msgs:       newMsgCols(),
-		seenTweets: map[uint64]uint32{},
+		seenTweets: ids.NewU64Map(0),
+		seenPosts:  ids.NewU64Map(0),
 		groups:     newGroupTable(),
 		users:      newUserTable(),
 	}
@@ -265,11 +268,11 @@ func (s *Store) AddTweetBatch(batch []TweetIngest) (newGroups int) {
 	s.tweetMu.Lock()
 	for i := range batch {
 		t := &batch[i].Tweet
-		if row, dup := s.seenTweets[t.ID]; dup {
+		if row, dup := s.seenTweets.Get(t.ID); dup {
 			s.tweets.flags[row] |= uint8(t.Source) & flagSourceMask
 			continue
 		}
-		s.seenTweets[t.ID] = uint32(s.tweets.len())
+		s.seenTweets.Put(t.ID, uint32(s.tweets.len()))
 		s.tweets.append(t)
 		if updates == nil {
 			// Allocated only once a non-duplicate shows up, so re-ingesting
@@ -299,13 +302,13 @@ func (s *Store) AddTweetBatch(batch []TweetIngest) (newGroups int) {
 		st.mu.Lock()
 		for i := lo; i < hi; i++ {
 			u := &updates[i]
-			g, isNew := s.groups.upsertLocked(st, u.p, u.code, u.at)
-			g.SeenTwitter = true
-			g.Tweets++
+			row, isNew := s.groups.upsertLocked(st, u.p, u.code, u.at)
+			st.flags[row] |= gfSeenTwitter
+			st.tweets[row]++
 			if isNew {
 				newGroups++
 				if u.canonical != "" {
-					g.Canonical = u.canonical
+					st.canonical[row] = st.tab.Handle(u.canonical)
 				}
 			}
 		}
@@ -326,25 +329,24 @@ type PostRecord struct {
 }
 
 // AddPost records a secondary-network post; it returns true when the group
-// URL was never seen before on ANY source.
+// URL was never seen before on ANY source. Unlike the former lazy map, the
+// dedup index is allocated in New alongside seenTweets, so both paths
+// share one construction story.
 func (s *Store) AddPost(p PostRecord) (newGroup bool) {
 	s.tweetMu.Lock()
-	if s.seenPosts == nil {
-		s.seenPosts = map[uint64]struct{}{}
-	}
-	if _, dup := s.seenPosts[p.ID]; dup {
+	if _, dup := s.seenPosts.Get(p.ID); dup {
 		s.tweetMu.Unlock()
 		return false
 	}
-	s.seenPosts[p.ID] = struct{}{}
+	s.seenPosts.Put(p.ID, 0)
 	s.posts = append(s.posts, p)
 	s.tweetMu.Unlock()
 
 	_, st := s.groups.stripeFor(p.Platform, p.GroupCode)
 	st.mu.Lock()
-	g, isNew := s.groups.upsertLocked(st, p.Platform, p.GroupCode, p.CreatedAt)
-	g.SeenSocial = true
-	g.SocialPosts++
+	row, isNew := s.groups.upsertLocked(st, p.Platform, p.GroupCode, p.CreatedAt)
+	st.flags[row] |= gfSeenSocial
+	st.socialPosts[row]++
 	st.mu.Unlock()
 	return isNew
 }
@@ -376,27 +378,35 @@ func (s *Store) AddControlBatch(batch []ControlRecord) {
 	s.tweetMu.Unlock()
 }
 
-// Group returns the record for a discovered group (nil if unknown). The
-// pointer stays valid for the life of the store: records live in chunked
-// stripe arenas and never move.
-func (s *Store) Group(p platform.Platform, code string) *GroupRecord {
-	return s.groups.get(p, code)
+// Group returns the record for a discovered group, with its observation
+// series materialized (ok=false if unknown). The record is a value copy:
+// mutating it does not touch the store, and its strings alias the store's
+// interned memory.
+func (s *Store) Group(p platform.Platform, code string) (GroupRecord, bool) {
+	return s.groups.lookup(p, code)
 }
 
 // SetCanonical records the canonical URL of a group.
 func (s *Store) SetCanonical(p platform.Platform, code, canonical string) {
-	s.groups.with(p, code, func(g *GroupRecord) {
-		g.Canonical = canonical
-	})
+	_, st := s.groups.stripeFor(p, code)
+	st.mu.Lock()
+	if row, ok := st.m[groupKey{p, code}]; ok {
+		st.canonical[row] = st.tab.Handle(canonical)
+	}
+	st.mu.Unlock()
 }
 
-// AddObservation appends a daily probe to a group's series.
+// AddObservation appends a daily probe to a group's series and clears any
+// deferral. Unknown keys are a no-op, as with the mutation closures.
 func (s *Store) AddObservation(p platform.Platform, code string, o Observation) {
-	s.groups.with(p, code, func(g *GroupRecord) {
-		g.Observations = append(g.Observations, o)
-		g.Deferred = false
-		g.DeferReason = ""
-	})
+	_, st := s.groups.stripeFor(p, code)
+	st.mu.Lock()
+	if row, ok := st.m[groupKey{p, code}]; ok {
+		st.appendObsLocked(row, &o)
+		st.flags[row] &^= gfDeferred
+		st.deferReason[row] = 0
+	}
+	st.mu.Unlock()
 }
 
 // MarkJoined records join-phase metadata on a group.
@@ -411,12 +421,17 @@ func (s *Store) MarkJoined(p platform.Platform, code string, update func(*GroupR
 
 // MarkDeferred flags a group whose request exhausted its retry budget, so
 // it is retried on the next sweep rather than silently dropped. A later
-// successful observation or join clears the flag.
+// successful observation or join clears the flag. Written straight to the
+// flag and reason columns: the sweep calls this on every fault, so it must
+// stay allocation-free (reasons are short stable constants, interned once).
 func (s *Store) MarkDeferred(p platform.Platform, code, reason string) {
-	s.groups.with(p, code, func(g *GroupRecord) {
-		g.Deferred = true
-		g.DeferReason = reason
-	})
+	_, st := s.groups.stripeFor(p, code)
+	st.mu.Lock()
+	if row, ok := st.m[groupKey{p, code}]; ok {
+		st.flags[row] |= gfDeferred
+		st.deferReason[row] = st.tab.Handle(reason)
+	}
+	st.mu.Unlock()
 }
 
 // AddMessage records one collected message.
@@ -486,17 +501,17 @@ func (s *Store) Control() ControlList {
 	return ControlList{c: s.control.view()}
 }
 
-// Groups returns all discovered groups, sorted by platform then code for
-// deterministic iteration. The slice is the caller's to reorder; it is
-// materialized from an index of packed (stripe, row) refs kept sorted
-// across calls, so repeated reads cost O(N) instead of O(N log N).
-func (s *Store) Groups() []*GroupRecord {
+// Groups returns a view of all discovered groups, sorted by platform then
+// code for deterministic iteration. The view resolves a packed (stripe,
+// row) ref index against per-stripe column snapshots, so taking one is
+// O(stripes), not O(N).
+func (s *Store) Groups() GroupList {
 	return s.groups.groups()
 }
 
-// GroupsOf returns the discovered groups of one platform, sorted by code,
-// served from the per-platform partition of the group index.
-func (s *Store) GroupsOf(p platform.Platform) []*GroupRecord {
+// GroupsOf returns the view of one platform's discovered groups, sorted by
+// code, served from the per-platform partition of the group index.
+func (s *Store) GroupsOf(p platform.Platform) GroupList {
 	return s.groups.groupsOf(p)
 }
 

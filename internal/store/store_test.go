@@ -26,8 +26,8 @@ func TestAddTweetDiscoversGroupsOnce(t *testing.T) {
 	if s.AddTweet(tweet(2, platform.WhatsApp, "g1", SourceSearch)) {
 		t.Fatal("second tweet should not rediscover")
 	}
-	g := s.Group(platform.WhatsApp, "g1")
-	if g == nil || g.Tweets != 2 {
+	g, ok := s.Group(platform.WhatsApp, "g1")
+	if !ok || g.Tweets != 2 {
 		t.Fatalf("group record wrong: %+v", g)
 	}
 }
@@ -43,7 +43,7 @@ func TestAddTweetMergesSources(t *testing.T) {
 	if tweets.At(0).Source != SourceSearch|SourceStream {
 		t.Fatalf("sources not merged: %v", tweets.At(0).Source)
 	}
-	if g := s.Group(platform.Discord, "g"); g.Tweets != 1 {
+	if g, _ := s.Group(platform.Discord, "g"); g.Tweets != 1 {
 		t.Fatalf("duplicate inflated tweet count: %d", g.Tweets)
 	}
 }
@@ -55,7 +55,7 @@ func TestFirstLastSeen(t *testing.T) {
 	s.AddTweet(later)
 	earlier := tweet(1, platform.Telegram, "g", SourceSearch)
 	s.AddTweet(earlier)
-	g := s.Group(platform.Telegram, "g")
+	g, _ := s.Group(platform.Telegram, "g")
 	if !g.FirstSeen.Equal(t0) || !g.LastSeen.Equal(t0.Add(time.Hour)) {
 		t.Fatalf("first/last wrong: %+v", g)
 	}
@@ -69,7 +69,7 @@ func TestObservationsAndJoin(t *testing.T) {
 		g.JoinedAt = t0.Add(time.Hour)
 		g.MemberCount = 5
 	})
-	g := s.Group(platform.WhatsApp, "g")
+	g, _ := s.Group(platform.WhatsApp, "g")
 	if len(g.Observations) != 1 || !g.Joined || g.MemberCount != 5 {
 		t.Fatalf("group record wrong: %+v", g)
 	}
@@ -126,11 +126,11 @@ func TestGroupsSortedDeterministically(t *testing.T) {
 	s.AddTweet(tweet(2, platform.WhatsApp, "aa", SourceSearch))
 	s.AddTweet(tweet(3, platform.Discord, "aa", SourceSearch))
 	gs := s.Groups()
-	if len(gs) != 3 {
-		t.Fatalf("%d groups", len(gs))
+	if gs.Len() != 3 {
+		t.Fatalf("%d groups", gs.Len())
 	}
-	if gs[0].Platform != platform.WhatsApp || gs[1].Code != "aa" || gs[2].Code != "zz" {
-		t.Fatalf("order wrong: %v %v %v", gs[0], gs[1], gs[2])
+	if gs.At(0).Platform != platform.WhatsApp || gs.At(1).Code != "aa" || gs.At(2).Code != "zz" {
+		t.Fatalf("order wrong: %v %v %v", gs.At(0), gs.At(1), gs.At(2))
 	}
 }
 
@@ -184,8 +184,8 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 		t.Fatalf("loaded counts wrong: %d %d %d %d", loaded.Tweets().Len(),
 			loaded.Control().Len(), loaded.Messages().Len(), len(loaded.Users()))
 	}
-	g := loaded.Group(platform.WhatsApp, "g1")
-	if g == nil || !g.Joined || g.MemberCount != 7 || len(g.Observations) != 1 {
+	g, ok := loaded.Group(platform.WhatsApp, "g1")
+	if !ok || !g.Joined || g.MemberCount != 7 || len(g.Observations) != 1 {
 		t.Fatalf("loaded group wrong: %+v", g)
 	}
 	if loaded.Messages().At(0).Type != platform.Sticker {
@@ -218,7 +218,7 @@ func TestAddPostDiscoveryAndDedup(t *testing.T) {
 	if s.AddPost(PostRecord{ID: 2, Author: "b", CreatedAt: t0, Platform: platform.Discord, GroupCode: "g"}) {
 		t.Fatal("second post on same group should not rediscover")
 	}
-	g := s.Group(platform.Discord, "g")
+	g, _ := s.Group(platform.Discord, "g")
 	if !g.SeenSocial || g.SeenTwitter || g.SocialPosts != 2 {
 		t.Fatalf("group bookkeeping wrong: %+v", g)
 	}
@@ -226,7 +226,7 @@ func TestAddPostDiscoveryAndDedup(t *testing.T) {
 	if s.AddTweet(tweet(9, platform.Discord, "g", SourceSearch)) {
 		t.Fatal("tweet on social-discovered group counted as new")
 	}
-	if g := s.Group(platform.Discord, "g"); !g.SeenTwitter || !g.SeenSocial {
+	if g, _ := s.Group(platform.Discord, "g"); !g.SeenTwitter || !g.SeenSocial {
 		t.Fatalf("cross-source flags wrong: %+v", g)
 	}
 }

@@ -5,7 +5,6 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
-	"time"
 	"unsafe"
 
 	"msgscope/internal/ids"
@@ -45,258 +44,12 @@ func userStripeHash(key uint64, p platform.Platform) uint32 {
 }
 
 // groupRef packs a group's location (stripe, row) into 32 bits, replacing
-// the former []*GroupRecord sorted caches.
+// the former []*GroupRecord sorted caches. The columnar group family
+// itself lives in groupcols.go (columns, table) and grouplist.go (views).
 type groupRef uint32
 
 func makeGroupRef(stripe, row uint32) groupRef {
 	return groupRef(stripe<<stripeShift | row)
-}
-
-// groupBlockShift sizes the per-stripe record blocks (64 records, 16 KiB
-// at GroupRecord's 256 bytes). Blocks are fixed-size arrays so records
-// never move once created: Group() can hand out *GroupRecord pointers that
-// stay valid while the stripe keeps growing. Small blocks keep the tail
-// waste per stripe (at most one block minus one record) negligible even
-// multiplied by 64 stripes.
-const groupBlockShift = 6
-
-type groupBlock [1 << groupBlockShift]GroupRecord
-
-type groupStripe struct {
-	mu     sync.Mutex
-	m      map[groupKey]uint32 // key -> row within this stripe
-	n      uint32
-	blocks atomic.Pointer[[]*groupBlock] // atomic so refs resolve lock-free
-}
-
-// rowPtr resolves a row to its record. Safe without the stripe lock for
-// rows published before the caller learned about them (block slots are
-// written once, under the stripe lock, before the row is reachable).
-func (st *groupStripe) rowPtr(row uint32) *GroupRecord {
-	blocks := *st.blocks.Load()
-	return &blocks[row>>groupBlockShift][row&(1<<groupBlockShift-1)]
-}
-
-// appendLocked claims the next row. Caller holds st.mu.
-func (st *groupStripe) appendLocked() uint32 {
-	row := st.n
-	blocks := *st.blocks.Load()
-	if int(row)>>groupBlockShift == len(blocks) {
-		// Spare directory capacity is reused in place (the new slot is not
-		// visible to readers yet); a full directory is copied and doubled.
-		grown := blocks
-		if len(blocks) == cap(blocks) {
-			grown = make([]*groupBlock, len(blocks), cap(blocks)*2+1)
-			copy(grown, blocks)
-		}
-		grown = append(grown, new(groupBlock))
-		st.blocks.Store(&grown)
-	}
-	st.n = row + 1
-	return row
-}
-
-// groupTable is the striped group family.
-type groupTable struct {
-	stripes [numStripes]groupStripe
-
-	cacheMu sync.Mutex
-	dirty   atomic.Bool
-	sorted  []groupRef
-	// byPlat partitions sorted (which is ordered by platform, then code)
-	// into contiguous subslices, one per platform.
-	byPlat map[platform.Platform][]groupRef
-}
-
-func newGroupTable() *groupTable {
-	gt := &groupTable{}
-	for i := range gt.stripes {
-		st := &gt.stripes[i]
-		st.m = map[groupKey]uint32{}
-		blocks := make([]*groupBlock, 0)
-		st.blocks.Store(&blocks)
-	}
-	return gt
-}
-
-func (gt *groupTable) stripeFor(p platform.Platform, code string) (uint32, *groupStripe) {
-	i := stripeHash(code, p)
-	return i, &gt.stripes[i]
-}
-
-// upsertLocked returns the group record for (p, code), creating it on
-// first sight and widening its first/last-seen window. Caller holds
-// st.mu.
-func (gt *groupTable) upsertLocked(st *groupStripe, p platform.Platform, code string, at time.Time) (*GroupRecord, bool) {
-	k := groupKey{p, code}
-	row, ok := st.m[k]
-	isNew := false
-	if !ok {
-		row = st.appendLocked()
-		st.m[k] = row
-		*st.rowPtr(row) = GroupRecord{Platform: p, Code: code, FirstSeen: at, LastSeen: at}
-		gt.dirty.Store(true)
-		isNew = true
-	}
-	g := st.rowPtr(row)
-	if at.Before(g.FirstSeen) {
-		g.FirstSeen = at
-	}
-	if at.After(g.LastSeen) {
-		g.LastSeen = at
-	}
-	return g, isNew
-}
-
-// get returns the record for a key (nil if unknown). The returned pointer
-// is stable for the life of the store.
-func (gt *groupTable) get(p platform.Platform, code string) *GroupRecord {
-	_, st := gt.stripeFor(p, code)
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	if row, ok := st.m[groupKey{p, code}]; ok {
-		return st.rowPtr(row)
-	}
-	return nil
-}
-
-// with runs fn on the record for a key under its stripe lock; unknown keys
-// are a no-op.
-func (gt *groupTable) with(p platform.Platform, code string, fn func(*GroupRecord)) {
-	_, st := gt.stripeFor(p, code)
-	st.mu.Lock()
-	if row, ok := st.m[groupKey{p, code}]; ok {
-		fn(st.rowPtr(row))
-	}
-	st.mu.Unlock()
-}
-
-// put replaces (or creates) the record for g's key with *g — the Load path
-// installing authoritative saved records over tweet-built skeletons.
-func (gt *groupTable) put(g *GroupRecord) {
-	_, st := gt.stripeFor(g.Platform, g.Code)
-	st.mu.Lock()
-	k := groupKey{g.Platform, g.Code}
-	row, ok := st.m[k]
-	if !ok {
-		row = st.appendLocked()
-		st.m[k] = row
-		gt.dirty.Store(true)
-	}
-	*st.rowPtr(row) = *g
-	st.mu.Unlock()
-}
-
-// resolve maps a cached ref to its record; safe once the ref is published.
-func (gt *groupTable) resolve(r groupRef) *GroupRecord {
-	return gt.stripes[r>>stripeShift].rowPtr(uint32(r) & stripeMask)
-}
-
-// rebuildLocked refreshes the sorted ref cache and its per-platform
-// partitions. Caller holds cacheMu; stripesHeld says whether the caller
-// already holds every stripe lock (Snapshot does).
-func (gt *groupTable) rebuildLocked(stripesHeld bool) {
-	if !gt.dirty.Swap(false) && gt.sorted != nil {
-		return
-	}
-	type entry struct {
-		p    platform.Platform
-		code string
-		ref  groupRef
-	}
-	var all []entry
-	for i := range gt.stripes {
-		st := &gt.stripes[i]
-		if !stripesHeld {
-			st.mu.Lock()
-		}
-		for k, row := range st.m {
-			all = append(all, entry{k.p, k.code, makeGroupRef(uint32(i), row)})
-		}
-		if !stripesHeld {
-			st.mu.Unlock()
-		}
-	}
-	sort.Slice(all, func(i, j int) bool {
-		if all[i].p != all[j].p {
-			return all[i].p < all[j].p
-		}
-		return all[i].code < all[j].code
-	})
-	sorted := make([]groupRef, len(all))
-	for i, e := range all {
-		sorted[i] = e.ref
-	}
-	byPlat := map[platform.Platform][]groupRef{}
-	for lo := 0; lo < len(all); {
-		hi := lo
-		for hi < len(all) && all[hi].p == all[lo].p {
-			hi++
-		}
-		byPlat[all[lo].p] = sorted[lo:hi:hi]
-		lo = hi
-	}
-	gt.sorted = sorted
-	gt.byPlat = byPlat
-}
-
-func (gt *groupTable) materialize(refs []groupRef) []*GroupRecord {
-	out := make([]*GroupRecord, len(refs))
-	for i, r := range refs {
-		out[i] = gt.resolve(r)
-	}
-	return out
-}
-
-// groups returns all records sorted by platform then code (fresh pointer
-// slice per call, as before — callers may reorder it).
-func (gt *groupTable) groups() []*GroupRecord {
-	gt.cacheMu.Lock()
-	defer gt.cacheMu.Unlock()
-	gt.rebuildLocked(false)
-	return gt.materialize(gt.sorted)
-}
-
-func (gt *groupTable) groupsOf(p platform.Platform) []*GroupRecord {
-	gt.cacheMu.Lock()
-	defer gt.cacheMu.Unlock()
-	gt.rebuildLocked(false)
-	return gt.materialize(gt.byPlat[p])
-}
-
-// countFor tallies one platform's Table 2 group counters.
-func (gt *groupTable) countFor(p platform.Platform) (urls, joined int) {
-	for i := range gt.stripes {
-		st := &gt.stripes[i]
-		st.mu.Lock()
-		for k, row := range st.m {
-			if k.p != p {
-				continue
-			}
-			urls++
-			if st.rowPtr(row).Joined {
-				joined++
-			}
-		}
-		st.mu.Unlock()
-	}
-	return urls, joined
-}
-
-// lockAll/unlockAll bracket Snapshot's consistent read: cacheMu first,
-// then every stripe in ascending index order.
-func (gt *groupTable) lockAll() {
-	gt.cacheMu.Lock()
-	for i := range gt.stripes {
-		gt.stripes[i].mu.Lock()
-	}
-}
-
-func (gt *groupTable) unlockAll() {
-	for i := range gt.stripes {
-		gt.stripes[i].mu.Unlock()
-	}
-	gt.cacheMu.Unlock()
 }
 
 // userRef packs a user's (stripe, row) like groupRef.

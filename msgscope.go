@@ -314,13 +314,16 @@ type GroupOutcomes struct {
 // GroupOutcomes tallies the final state of every discovered group.
 func (r *Result) GroupOutcomes() GroupOutcomes {
 	var out GroupOutcomes
-	for _, g := range r.ds.Store.Groups() {
+	list := r.ds.Store.Groups()
+	for i, n := 0, list.Len(); i < n; i++ {
+		g := list.At(i)
 		out.Discovered++
+		obs := list.Obs(i)
 		switch {
 		case g.Deferred:
 			out.Deferred++
-		case len(g.Observations) > 0:
-			if g.Observations[len(g.Observations)-1].Alive {
+		case obs.Len() > 0:
+			if last, _ := obs.Last(); last.Alive {
 				out.Alive++
 			} else {
 				out.Revoked++

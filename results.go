@@ -6,6 +6,7 @@ import (
 
 	"msgscope/internal/platform"
 	"msgscope/internal/report"
+	"msgscope/internal/store"
 )
 
 // Platforms lists the messaging platforms in the paper's order.
@@ -70,8 +71,10 @@ func (r *Result) Groups(platformName string) ([]GroupSummary, error) {
 	if err != nil {
 		return nil, err
 	}
+	list := r.ds.GroupsOf(p)
 	var out []GroupSummary
-	for _, g := range r.ds.GroupsOf(p) {
+	for i, n := 0, list.Len(); i < n; i++ {
+		g := list.At(i)
 		gs := GroupSummary{
 			Platform:   g.Platform.String(),
 			Code:       g.Code,
@@ -81,18 +84,18 @@ func (r *Result) Groups(platformName string) ([]GroupSummary, error) {
 			Joined:     g.Joined,
 		}
 		var lastAlive time.Time
-		for _, o := range g.Observations {
-			if o.Alive {
-				if gs.Members == 0 {
-					gs.Members = o.Members
-					gs.Title = o.Title
-				}
-				lastAlive = o.At
-			} else {
+		list.Obs(i).Each(func(o store.Observation) bool {
+			if !o.Alive {
 				gs.Revoked = true
-				break
+				return false
 			}
-		}
+			if gs.Members == 0 {
+				gs.Members = o.Members
+				gs.Title = o.Title
+			}
+			lastAlive = o.At
+			return true
+		})
 		if gs.Revoked && !lastAlive.IsZero() {
 			gs.LifetimeDays = lastAlive.Sub(g.FirstSeen).Hours() / 24
 		}
