@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench bench-json bench-compare bench-smoke bench-scale profile fuzz-smoke cover ci
+.PHONY: all build test vet race bench bench-json bench-compare bench-smoke bench-scale profile fuzz-smoke resume-smoke cover ci
 
 all: build
 
@@ -23,7 +23,9 @@ bench:
 
 # Pipeline + analysis + store benchmarks (full study, hourly search, daily
 # sweep, LDA fit, cold figure aggregation, columnar ingest; serial vs
-# parallel where both exist) rendered to BENCH_7.json, including the
+# parallel where both exist, plus the checkpointed study variant whose
+# delta over plain parallel is the cost of crash-resumability) rendered to
+# BENCH_8.json, including the
 # derived speedups, custom per-record metrics (ns/rec, liveB/rec) and the
 # machine's core count. benchjson's -cpus mode runs the suite under each
 # GOMAXPROCS in BENCH_CPUS, so the document carries a per-CPU-count
@@ -35,8 +37,8 @@ BENCH_CPUS = 1,2
 
 bench-json:
 	$(GO) run ./cmd/benchjson -cpus '$(BENCH_CPUS)' -bench '$(BENCH_PATTERN)' \
-		-o BENCH_7.json $(BENCH_PKGS)
-	@cat BENCH_7.json
+		-o BENCH_8.json $(BENCH_PKGS)
+	@cat BENCH_8.json
 
 # Allocation-regression gate: rerun the pipeline benchmarks and diff them
 # against the newest checked-in BENCH_*.json, failing on >20% growth in
@@ -85,6 +87,15 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzExtract$$' -fuzztime=10s ./internal/urlpat
 	$(GO) test -run='^$$' -fuzz='^FuzzScrapeLanding$$' -fuzztime=10s ./internal/platform/whatsapp
 	$(GO) test -run='^$$' -fuzz='^FuzzSparseBucket$$' -fuzztime=10s ./internal/analysis/lda
+	$(GO) test -run='^$$' -fuzz='^FuzzManifestDecode$$' -fuzztime=10s ./internal/checkpoint
+
+# Checkpoint-resume gate: kill a checkpointed study at a day boundary and
+# mid-phase, resume each from disk, and require byte-identical dataset and
+# report output versus the uninterrupted run. The full kill matrix (every
+# boundary, both worker widths, under fault plans) runs with `make test`
+# as TestCrashKillResumeMatrix / TestChaosKillResumeByteIdentity.
+resume-smoke:
+	$(GO) test -count=1 -run='^TestResumeSmoke$$' .
 
 # Coverage floor for the fault/retry layer: the rest of the repo is covered
 # by end-to-end pipeline tests, but these two packages are the safety net
@@ -94,4 +105,4 @@ cover:
 	@$(GO) tool cover -func=cover.out | tail -1
 	@$(GO) tool cover -func=cover.out | awk '/^total:/ { sub(/%/, "", $$3); if ($$3+0 < 70) { printf "coverage %.1f%% below the 70%% floor for internal/retry + internal/faults\n", $$3; exit 1 } }'
 
-ci: vet build race cover fuzz-smoke bench-smoke bench-scale bench bench-compare
+ci: vet build race cover fuzz-smoke resume-smoke bench-smoke bench-scale bench bench-compare

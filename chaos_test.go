@@ -2,6 +2,8 @@ package msgscope_test
 
 import (
 	"context"
+	"errors"
+	"reflect"
 	"testing"
 	"time"
 
@@ -83,6 +85,69 @@ func TestChaosMatrixDeterministicAndLossless(t *testing.T) {
 					t.Errorf("%s run outcome accounting broken: %d+%d+%d+%d != %d",
 						mode, o.Alive, o.Revoked, o.Deferred, o.Lost, o.Discovered)
 				}
+			}
+		})
+	}
+}
+
+// TestChaosKillResumeByteIdentity crosses the fault matrix with the
+// crash-kill matrix: runs under the light and heavy plans are killed at
+// boundaries inside the trouble — the daily sweep that falls inside the
+// heavy plan's outage window (hour 47:30–48:30), the search hour in the
+// middle of it, the day boundary before the join phase, and the join
+// boundary right after the flood burst — then resumed and required to be
+// byte-identical to the uninterrupted run.
+//
+// Beyond the output bytes, the test asserts the restored *mechanism*
+// state: the fault injector's epoch (which decides every future fault
+// draw) and the per-host circuit-breaker open/close counters must end at
+// the uninterrupted run's exact values. The runs are serial (workers=1)
+// so breaker transitions are deterministic and exact equality is fair.
+func TestChaosKillResumeByteIdentity(t *testing.T) {
+	ctx := context.Background()
+	kills := []killPoint{{1, "search-24"}, {1, "monitor"}, {2, "drain"}, {2, "join"}}
+	for _, name := range []string{"light", "heavy"} {
+		plan := chaosPlans()[name]
+		t.Run(name, func(t *testing.T) {
+			opts := msgscope.Options{
+				Seed: 7, Scale: 0.01, Days: 4, Faults: plan,
+				SearchWorkers: 1, CollectWorkers: 1,
+			}
+			baseline, err := msgscope.Run(ctx, opts)
+			if err != nil {
+				t.Fatalf("baseline run: %v", err)
+			}
+			base := collectArtifacts(t, baseline)
+			baseOutcomes := baseline.GroupOutcomes()
+			baseEpoch := msgscope.FaultEpoch(baseline)
+			baseBreakers := msgscope.BreakerStats(baseline)
+			if baseEpoch == 0 {
+				t.Fatal("fault plan never advanced the injector epoch")
+			}
+
+			for _, kp := range kills {
+				t.Run(kp.String(), func(t *testing.T) {
+					dir := t.TempDir()
+					kopts := opts
+					kopts.CheckpointDir = dir
+					if _, err := msgscope.RunWithHook(ctx, kopts, killAt(kp)); !errors.Is(err, msgscope.ErrHalted) {
+						t.Fatalf("killed run at %s: err = %v, want ErrHalted", kp, err)
+					}
+					res, err := msgscope.Resume(ctx, dir)
+					if err != nil {
+						t.Fatalf("resuming from kill at %s: %v", kp, err)
+					}
+					compareArtifacts(t, "resumed-vs-uninterrupted", base, collectArtifacts(t, res))
+					if got := res.GroupOutcomes(); got != baseOutcomes {
+						t.Errorf("group outcomes diverge after resume: %+v, want %+v", got, baseOutcomes)
+					}
+					if got := msgscope.FaultEpoch(res); got != baseEpoch {
+						t.Errorf("fault epoch after resume = %d, want %d", got, baseEpoch)
+					}
+					if got := msgscope.BreakerStats(res); !reflect.DeepEqual(got, baseBreakers) {
+						t.Errorf("breaker counters after resume = %v, want %v", got, baseBreakers)
+					}
+				})
 			}
 		})
 	}

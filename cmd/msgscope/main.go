@@ -58,6 +58,7 @@ func run(args []string) error {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   msgscope run    [-seed N] [-scale F] [-days N] [-fault-rate F] [-out DIR] [-exp id,...] [-summary]
+  msgscope run    [-checkpoint DIR | -resume DIR] ...
   msgscope report [-seed N] [-scale F] -exp table2,fig1,...
   msgscope serve  [-seed N] [-scale F] [-speedup X] [-addr HOST:PORT]
   msgscope gen    [-seed N] [-scale F] -out DIR
@@ -86,8 +87,13 @@ func runStudy(args []string) error {
 	memProfile := fs.String("memprofile", "", "write a pprof allocs/heap profile to this file at exit")
 	traceFile := fs.String("trace", "", "write a runtime execution trace to this file")
 	profPhases := fs.Bool("prof-phases", false, "record and print per-phase allocation stats")
+	ckptDir := fs.String("checkpoint", "", "directory to checkpoint the run into at every phase boundary (makes it resumable)")
+	resumeDir := fs.String("resume", "", "resume an interrupted run from this checkpoint directory (run options come from its manifest; other study flags are ignored)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *resumeDir != "" && *ckptDir != "" {
+		return fmt.Errorf("-resume and -checkpoint are mutually exclusive (a resumed run keeps checkpointing into its own directory)")
 	}
 
 	profFiles, err := prof.StartFiles(prof.FileConfig{
@@ -127,7 +133,13 @@ func runStudy(args []string) error {
 			MalformedRate: *faultRate / 4,
 		}
 	}
-	res, err := msgscope.Run(context.Background(), opts)
+	opts.CheckpointDir = *ckptDir
+	var res *msgscope.Result
+	if *resumeDir != "" {
+		res, err = msgscope.Resume(context.Background(), *resumeDir)
+	} else {
+		res, err = msgscope.Run(context.Background(), opts)
+	}
 	if err != nil {
 		return err
 	}

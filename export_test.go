@@ -1,0 +1,20 @@
+package msgscope
+
+import "msgscope/internal/core"
+
+// Test-only exports: the resume matrix drives runs through step hooks to
+// kill them at precise pipeline boundaries.
+var (
+	RunWithHook    = runWithHook
+	ResumeWithHook = resumeWithHook
+	HashOptions    = hashOptions
+)
+
+// ErrHalted is what a step hook returns to abort a run at a boundary.
+var ErrHalted = core.ErrHalted
+
+// FaultEpoch and BreakerStats read checkpointed-and-restored pipeline
+// state off a result, so the chaos kill/resume tests can assert it matches
+// the uninterrupted run exactly.
+func FaultEpoch(r *Result) uint64                         { return r.study.FaultEpoch() }
+func BreakerStats(r *Result) map[string]core.BreakerStats { return r.study.BreakerStats() }

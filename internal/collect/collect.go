@@ -13,6 +13,7 @@ import (
 	"runtime"
 	"sync/atomic"
 
+	"msgscope/internal/checkpoint"
 	"msgscope/internal/par"
 	"msgscope/internal/social"
 	"msgscope/internal/store"
@@ -326,6 +327,51 @@ func (c *Collector) PollSocial(ctx context.Context) error {
 		c.socialID.Store(cursor)
 	}
 	return nil
+}
+
+// State snapshots the collector's cursors and counters for a checkpoint.
+// Only called between phases, where the atomics are quiescent.
+func (c *Collector) State() checkpoint.CollectorState {
+	st := checkpoint.CollectorState{
+		SinceIDs: make(map[string]uint64, len(c.sinceID)),
+		SocialID: c.socialID.Load(),
+		Stats: map[string]int64{
+			"search_tweets":   c.stats.searchTweets.Load(),
+			"stream_tweets":   c.stats.streamTweets.Load(),
+			"control_tweets":  c.stats.controlTweets.Load(),
+			"rate_limit_hits": c.stats.rateLimitHits.Load(),
+			"no_url_tweets":   c.stats.noURLTweets.Load(),
+			"new_groups":      c.stats.newGroups.Load(),
+			"social_posts":    c.stats.socialPosts.Load(),
+			"social_new":      c.stats.socialNew.Load(),
+			"search_deferred": c.stats.searchDeferred.Load(),
+		},
+	}
+	for term, cur := range c.sinceID {
+		st.SinceIDs[term] = cur.Load()
+	}
+	return st
+}
+
+// Restore reinstates cursors and counters from a checkpoint. Cursors for
+// terms the current build does not track are dropped — the options hash
+// upstream guarantees the term set matches in practice.
+func (c *Collector) Restore(st checkpoint.CollectorState) {
+	for term, v := range st.SinceIDs {
+		if cur, ok := c.sinceID[term]; ok {
+			cur.Store(v)
+		}
+	}
+	c.socialID.Store(st.SocialID)
+	c.stats.searchTweets.Store(st.Stats["search_tweets"])
+	c.stats.streamTweets.Store(st.Stats["stream_tweets"])
+	c.stats.controlTweets.Store(st.Stats["control_tweets"])
+	c.stats.rateLimitHits.Store(st.Stats["rate_limit_hits"])
+	c.stats.noURLTweets.Store(st.Stats["no_url_tweets"])
+	c.stats.newGroups.Store(st.Stats["new_groups"])
+	c.stats.socialPosts.Store(st.Stats["social_posts"])
+	c.stats.socialNew.Store(st.Stats["social_new"])
+	c.stats.searchDeferred.Store(st.Stats["search_deferred"])
 }
 
 // Stats returns a snapshot of collection counters. Counters are monotonic

@@ -38,19 +38,37 @@ var benchModes = []struct {
 
 // BenchmarkStudyRun measures a full study — world generation, loopback
 // services, hourly searches, stream drains, daily sweeps, join phase, and
-// message collection — at 2% of paper volume over a shortened window.
+// message collection — at 2% of paper volume over a shortened window. The
+// checkpoint mode reruns the parallel configuration with a checkpoint
+// directory, so `make bench-compare` gates the cost of persisting a
+// manifest plus the record-log deltas at every boundary (target: under 5%
+// over the plain parallel run).
 func BenchmarkStudyRun(b *testing.B) {
-	for _, mode := range benchModes {
+	modes := []struct {
+		name           string
+		searchWorkers  int
+		collectWorkers int
+		checkpoint     bool
+	}{
+		{"serial", 1, 1, false},
+		{"parallel", 0, 0, false},
+		{"checkpoint", 0, 0, true},
+	}
+	for _, mode := range modes {
 		b.Run(mode.name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				s, err := NewStudy(Config{
+				cfg := Config{
 					Seed:           42,
 					Scale:          0.02,
 					Days:           8,
 					SearchWorkers:  mode.searchWorkers,
 					CollectWorkers: mode.collectWorkers,
-				})
+				}
+				if mode.checkpoint {
+					cfg.CheckpointDir = b.TempDir()
+				}
+				s, err := NewStudy(cfg)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -24,7 +24,7 @@ func TestPipelineRaceHammer(t *testing.T) {
 	}
 	// Two serial discovery days first, so the sweep has groups to probe.
 	for day := 0; day < 2; day++ {
-		if err := s.runDay(ctx, day); err != nil {
+		if err := s.runDay(ctx, day, ""); err != nil {
 			t.Fatal(err)
 		}
 	}

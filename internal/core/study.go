@@ -8,6 +8,8 @@ package core
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"net/http/httptest"
@@ -92,7 +94,28 @@ type Config struct {
 	// calls Prof.Capture at each phase boundary. Nil (the default) adds
 	// zero overhead to the pipeline.
 	Prof *prof.Recorder
+	// CheckpointDir, when non-empty, persists a resumable checkpoint there
+	// at every pipeline boundary: append-only record logs plus an
+	// atomically replaced manifest. ResumeStudy picks a killed run back up
+	// from the last durable boundary with byte-identical final output.
+	CheckpointDir string
+	// OptionsHash fingerprints the caller's determinism-relevant options;
+	// it is stored in the manifest and must match on resume.
+	OptionsHash string
+	// OptionsPayload is the caller's serialized options, stored verbatim
+	// in the manifest (opaque to core) so a resume needs no other input.
+	OptionsPayload json.RawMessage
+	// StepHook, when set, runs after every completed pipeline step —
+	// each hourly search ("search-NN") and each checkpointed boundary
+	// ("init", "drain", "monitor", "join", "done"). A non-nil return
+	// aborts the run with that error; the crash-kill tests return
+	// ErrHalted to stop a study at an exact step.
+	StepHook func(day int, step string) error
 }
+
+// ErrHalted is the conventional error a StepHook returns to stop a run at
+// a chosen step; Run surfaces it unchanged.
+var ErrHalted = errors.New("core: halted by step hook")
 
 func (c Config) withDefaults() Config {
 	if c.Scale <= 0 {
@@ -145,6 +168,21 @@ type Study struct {
 	monitor   *monitor.Monitor
 	joiner    *join.Joiner
 
+	// The messaging services, kept for checkpointing their account state.
+	waSvc *whatsapp.Service
+	tgSvc *telegram.Service
+	dcSvc *discord.Service
+
+	// Checkpointing state (all zero when Cfg.CheckpointDir is empty).
+	// pubHorizon is the time through which tweets have been published and
+	// fanned out to the streams; resumeDay/resumeStep locate the boundary
+	// a restored study continues from.
+	ckpt       *store.CheckpointWriter
+	ckSeq      int
+	pubHorizon time.Time
+	resumeDay  int
+	resumeStep string
+
 	// injector is shared by all four services (nil when Cfg.Faults is nil);
 	// breakers holds one circuit breaker per platform host, shared by every
 	// client of that host. Both are reset at phase boundaries so each
@@ -195,6 +233,10 @@ func NewStudy(cfg Config) (*Study, error) {
 		Clock:      clock,
 		Store:      st,
 		TwitterSvc: twSvc,
+		waSvc:      waSvc,
+		tgSvc:      tgSvc,
+		dcSvc:      dcSvc,
+		pubHorizon: clock.Now(),
 		injector:   injector,
 		breakers: map[string]*retry.Breaker{
 			"twitter":  retry.NewBreaker(5, 30*time.Second),
@@ -257,6 +299,10 @@ func NewStudy(cfg Config) (*Study, error) {
 
 // Close shuts the services down.
 func (s *Study) Close() {
+	if s.ckpt != nil {
+		s.ckpt.Close()
+		s.ckpt = nil
+	}
 	if s.collector != nil {
 		s.collector.Close()
 	}
@@ -266,21 +312,51 @@ func (s *Study) Close() {
 }
 
 // Run executes the whole study: discovery, daily monitoring, joining, and
-// message collection.
+// message collection. On a study restored by ResumeStudy, Run continues
+// from the checkpointed boundary instead of day zero.
 func (s *Study) Run(ctx context.Context) error {
 	if s.ran {
 		return fmt.Errorf("core: study already ran")
 	}
 	s.ran = true
 	s.Cfg.Prof.Reset()
+	if s.resumeStep == "done" {
+		// The checkpoint covers the complete run: everything is already
+		// replayed into the store, nothing is left to execute.
+		return nil
+	}
 	if err := s.collector.Open(ctx); err != nil {
 		return err
 	}
 	s.Cfg.Prof.Capture("setup")
-	for day := 0; day < s.Cfg.Days; day++ {
-		if err := s.runDay(ctx, day); err != nil {
+	startDay, skip := 0, ""
+	switch s.resumeStep {
+	case "", "init":
+		// Fresh run (or a resume from the pre-day-zero checkpoint): open
+		// the checkpoint writer and make the empty state durable, so a
+		// kill at any later point has a boundary to resume from.
+		if s.resumeStep == "" && s.Cfg.CheckpointDir != "" {
+			w, err := s.Store.OpenCheckpointWriter(s.Cfg.CheckpointDir)
+			if err != nil {
+				return fmt.Errorf("core: opening checkpoint: %w", err)
+			}
+			s.ckpt = w
+			if err := s.checkpoint(0, "init"); err != nil {
+				return err
+			}
+		}
+	case "drain", "monitor":
+		startDay, skip = s.resumeDay, s.resumeStep
+	case "join":
+		startDay = s.resumeDay + 1
+	default:
+		return fmt.Errorf("core: unknown resume step %q", s.resumeStep)
+	}
+	for day := startDay; day < s.Cfg.Days; day++ {
+		if err := s.runDay(ctx, day, skip); err != nil {
 			return fmt.Errorf("core: day %d: %w", day, err)
 		}
+		skip = ""
 	}
 	// Final message collection over the joined groups.
 	s.phaseBoundary()
@@ -288,7 +364,7 @@ func (s *Study) Run(ctx context.Context) error {
 		return err
 	}
 	s.Cfg.Prof.Capture("collect")
-	return nil
+	return s.checkpoint(s.Cfg.Days-1, "done")
 }
 
 // phaseBoundary marks the start of a pipeline phase: the fault injector
@@ -303,33 +379,49 @@ func (s *Study) phaseBoundary() {
 	}
 }
 
-func (s *Study) runDay(ctx context.Context, day int) error {
-	for hour := 1; hour <= 24; hour++ {
-		s.Clock.Advance(time.Hour)
-		s.TwitterSvc.PublishUpTo(s.Clock.Now())
-		if hour%s.Cfg.SearchEveryHours == 0 {
-			s.phaseBoundary()
-			if err := s.collector.HourlySearch(ctx); err != nil {
-				return err
+// runDay executes one study day. resumeFrom names the last step of this
+// day a checkpoint already covers ("" on the normal path): "drain" skips
+// the hour loop and stream drain, "monitor" additionally skips the sweep —
+// the replayed store and restored cursors stand in for the skipped work.
+func (s *Study) runDay(ctx context.Context, day int, resumeFrom string) error {
+	if resumeFrom == "" {
+		for hour := 1; hour <= 24; hour++ {
+			s.Clock.Advance(time.Hour)
+			s.TwitterSvc.PublishUpTo(s.Clock.Now())
+			s.pubHorizon = s.Clock.Now()
+			if hour%s.Cfg.SearchEveryHours == 0 {
+				s.phaseBoundary()
+				if err := s.collector.HourlySearch(ctx); err != nil {
+					return err
+				}
+				if err := s.collector.PollSocial(ctx); err != nil {
+					return err
+				}
+				s.Cfg.Prof.Capture("search")
+				if err := s.hook(day, fmt.Sprintf("search-%02d", hour)); err != nil {
+					return err
+				}
 			}
-			if err := s.collector.PollSocial(ctx); err != nil {
-				return err
-			}
-			s.Cfg.Prof.Capture("search")
+		}
+		if err := s.quiesceStreams(); err != nil {
+			return err
+		}
+		s.collector.DrainStreams()
+		s.Cfg.Prof.Capture("stream")
+		if err := s.checkpoint(day, "drain"); err != nil {
+			return err
 		}
 	}
-	if err := s.quiesceStreams(); err != nil {
-		return err
-	}
-	s.collector.DrainStreams()
-	s.Cfg.Prof.Capture("stream")
 
-	if (day+1)%s.Cfg.MonitorEveryDays == 0 {
+	if resumeFrom != "monitor" && (day+1)%s.Cfg.MonitorEveryDays == 0 {
 		s.phaseBoundary()
 		if err := s.monitor.DailySweep(ctx, s.Clock.Now()); err != nil {
 			return err
 		}
 		s.Cfg.Prof.Capture("monitor")
+		if err := s.checkpoint(day, "monitor"); err != nil {
+			return err
+		}
 	}
 	if day == s.Cfg.JoinDay {
 		s.phaseBoundary()
@@ -337,6 +429,9 @@ func (s *Study) runDay(ctx context.Context, day int) error {
 			return err
 		}
 		s.Cfg.Prof.Capture("join")
+		if err := s.checkpoint(day, "join"); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -441,6 +536,12 @@ func (s *Study) JoinStats() join.Stats { return s.joiner.Stats() }
 // (the duplicate draw is identical), but the totals can differ between
 // otherwise identical runs; don't assert exact values.
 func (s *Study) FaultCounts() faults.Counts { return s.injector.Counts() }
+
+// FaultEpoch exposes the injector's phase epoch (zero when no fault plan
+// is configured). Unlike the raw counts it is exact: the epoch advances
+// once per phase boundary, so an uninterrupted run and a resumed run must
+// end on the same value.
+func (s *Study) FaultEpoch() uint64 { return s.injector.Epoch() }
 
 // BreakerStats reports circuit-breaker open/close transitions per platform
 // host. Reset at phase boundaries does not zero these counters, so they

@@ -134,6 +134,41 @@ func (in *Injector) NextEpoch() {
 	in.epoch.Add(1)
 }
 
+// Epoch returns the current phase epoch, for checkpointing.
+func (in *Injector) Epoch() uint64 {
+	if in == nil {
+		return 0
+	}
+	return in.epoch.Load()
+}
+
+// CountsMap snapshots the injection counters under stable names for a
+// checkpoint.
+func (in *Injector) CountsMap() map[string]int64 {
+	if in == nil {
+		return nil
+	}
+	m := make(map[string]int64, int(numKinds)-1)
+	for k := None + 1; k < numKinds; k++ {
+		m[k.String()] = in.n[k].Load()
+	}
+	return m
+}
+
+// Restore reinstates the phase epoch and injection counters from a
+// checkpoint. The epoch is the only injector state that shapes future
+// draws, so restoring it makes post-resume fault decisions identical to
+// the uninterrupted run's.
+func (in *Injector) Restore(epoch uint64, counts map[string]int64) {
+	if in == nil {
+		return
+	}
+	in.epoch.Store(epoch)
+	for k := None + 1; k < numKinds; k++ {
+		in.n[k].Store(counts[k.String()])
+	}
+}
+
 // Counts returns how many faults have been injected so far.
 func (in *Injector) Counts() Counts {
 	if in == nil {

@@ -14,6 +14,7 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"msgscope/internal/checkpoint"
 	"msgscope/internal/ids"
 	"msgscope/internal/platform"
 	"msgscope/internal/platform/discord"
@@ -150,6 +151,64 @@ func (j *Joiner) Stats() Stats {
 		Deferred:     int(j.stats.deferred.Load()),
 		MessagesRead: int(j.stats.messagesRead.Load()),
 	}
+}
+
+// State snapshots the joined sample (per-platform codes in join order), the
+// WhatsApp account rotation, and the counters for a checkpoint.
+func (j *Joiner) State() checkpoint.JoinerState {
+	st := checkpoint.JoinerState{
+		Joined:    map[string][]string{},
+		WACursor:  j.waCursor,
+		WAAccount: j.waAccount,
+		Stats: map[string]int64{
+			"attempted":     j.stats.attempted.Load(),
+			"joined":        j.stats.joined.Load(),
+			"dead_invites":  j.stats.deadInvites.Load(),
+			"hidden_lists":  j.stats.hiddenLists.Load(),
+			"deferred":      j.stats.deferred.Load(),
+			"messages_read": j.stats.messagesRead.Load(),
+		},
+	}
+	for p, gs := range j.joined {
+		codes := make([]string, len(gs))
+		for i, g := range gs {
+			codes[i] = g.Code
+		}
+		st.Joined[p.String()] = codes
+	}
+	return st
+}
+
+// Restore reinstates the joined sample from a checkpoint, re-resolving each
+// code against the store (which the caller has already replayed). Only
+// Platform and Code are read off these scalar copies downstream, so the
+// post-replay records are interchangeable with the ones SelectAndJoin kept.
+// Join order is preserved — CollectMessages ingests results in that order.
+func (j *Joiner) Restore(st checkpoint.JoinerState) error {
+	j.waCursor = st.WACursor
+	j.waAccount = st.WAAccount
+	j.stats.attempted.Store(st.Stats["attempted"])
+	j.stats.joined.Store(st.Stats["joined"])
+	j.stats.deadInvites.Store(st.Stats["dead_invites"])
+	j.stats.hiddenLists.Store(st.Stats["hidden_lists"])
+	j.stats.deferred.Store(st.Stats["deferred"])
+	j.stats.messagesRead.Store(st.Stats["messages_read"])
+	for ps, codes := range st.Joined {
+		p, err := platform.ParsePlatform(ps)
+		if err != nil {
+			return fmt.Errorf("join: restoring sample: %w", err)
+		}
+		gs := make([]store.GroupRecord, len(codes))
+		for i, code := range codes {
+			g, ok := j.Store.Group(p, code)
+			if !ok {
+				return fmt.Errorf("join: restoring sample: %s/%s not in store", ps, code)
+			}
+			gs[i] = g
+		}
+		j.joined[p] = gs
+	}
+	return nil
 }
 
 // SelectAndJoin samples discovered groups uniformly at random per platform

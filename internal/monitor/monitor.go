@@ -238,6 +238,38 @@ func (m *Monitor) probeDiscord(ctx context.Context, code string, obs *store.Obse
 	return nil
 }
 
+// StatsMap snapshots the counters under stable names for a checkpoint.
+func (m *Monitor) StatsMap() map[string]int64 {
+	return map[string]int64{
+		"probes":         m.stats.probes.Load(),
+		"alive_probes":   m.stats.aliveProbes.Load(),
+		"revoked_probes": m.stats.revokedProbes.Load(),
+		"errors":         m.stats.errors.Load(),
+		"deferred":       m.stats.deferred.Load(),
+	}
+}
+
+// Restore reinstates counters from a checkpoint and re-derives the dead
+// set from the store: a group whose latest observation reported it revoked
+// is never probed again. The set is derived, not checkpointed — the
+// observation log is the durable record.
+func (m *Monitor) Restore(stats map[string]int64) {
+	m.stats.probes.Store(stats["probes"])
+	m.stats.aliveProbes.Store(stats["alive_probes"])
+	m.stats.revokedProbes.Store(stats["revoked_probes"])
+	m.stats.errors.Store(stats["errors"])
+	m.stats.deferred.Store(stats["deferred"])
+	groups := m.Store.Groups()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := 0; i < groups.Len(); i++ {
+		if last, ok := groups.Obs(i).Last(); ok && !last.Alive {
+			g := groups.At(i)
+			m.dead[g.Platform.String()+"/"+g.Code] = true
+		}
+	}
+}
+
 // Stats returns a snapshot of the counters. They are monotonic atomics;
 // between sweeps (the only places the driver reads them) the snapshot is
 // exact.

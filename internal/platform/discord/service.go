@@ -12,10 +12,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
 
+	"msgscope/internal/checkpoint"
 	"msgscope/internal/faults"
 	"msgscope/internal/ids"
 	"msgscope/internal/jsonx"
@@ -84,6 +86,50 @@ func NewService(world *simworld.World, clock simclock.Clock, cfg ServiceConfig) 
 	s.rateBody, _ = json.Marshal(map[string]any{"message": "You are being rate limited.", "retry_after": 1.5, "global": false})
 	s.rateBody = append(s.rateBody, '\n')
 	return s
+}
+
+// AccountStates snapshots every account's rate bucket and guild memberships
+// for a checkpoint, sorted by name (and joins by code) for stable output.
+// The channel and user-index caches are not captured: both are lazily
+// repopulated by the same deterministic requests that filled them.
+func (s *Service) AccountStates() []checkpoint.AccountState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]checkpoint.AccountState, 0, len(s.accounts))
+	for name, a := range s.accounts {
+		st := checkpoint.AccountState{
+			Name:               name,
+			Budget:             a.budget,
+			LastRefillUnixNano: a.lastRefill.UnixNano(),
+			Joined:             make([]checkpoint.AccountJoin, 0, len(a.joined)),
+		}
+		for code, at := range a.joined {
+			st.Joined = append(st.Joined, checkpoint.AccountJoin{Code: code, AtUnixNano: at.UnixNano()})
+		}
+		sort.Slice(st.Joined, func(i, j int) bool { return st.Joined[i].Code < st.Joined[j].Code })
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// RestoreAccounts rebuilds account state from a checkpoint. Accounts are
+// otherwise lazily created with a full budget on first sighting, so restore
+// must pre-create them with their exact bucket position.
+func (s *Service) RestoreAccounts(states []checkpoint.AccountState) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, st := range states {
+		a := &account{
+			joined:     make(map[string]time.Time, len(st.Joined)),
+			budget:     st.Budget,
+			lastRefill: time.Unix(0, st.LastRefillUnixNano).UTC(),
+		}
+		for _, j := range st.Joined {
+			a.joined[j.Code] = time.Unix(0, j.AtUnixNano).UTC()
+		}
+		s.accounts[st.Name] = a
+	}
 }
 
 // Handler returns the HTTP mux (API v9 paths; account via X-DC-Account).

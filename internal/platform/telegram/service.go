@@ -11,10 +11,12 @@ import (
 	"fmt"
 	"html"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
 
+	"msgscope/internal/checkpoint"
 	"msgscope/internal/faults"
 	"msgscope/internal/jsonx"
 	"msgscope/internal/platform"
@@ -69,6 +71,48 @@ func NewService(world *simworld.World, clock simclock.Clock, cfg ServiceConfig) 
 	})
 	flood = append(flood, '\n')
 	return &Service{cfg: cfg, world: world, clock: clock, accounts: map[string]*account{}, floodBody: flood}
+}
+
+// AccountStates snapshots every account's flood budget and memberships for
+// a checkpoint, sorted by name (and joins by code) for stable output.
+func (s *Service) AccountStates() []checkpoint.AccountState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]checkpoint.AccountState, 0, len(s.accounts))
+	for name, a := range s.accounts {
+		st := checkpoint.AccountState{
+			Name:               name,
+			Budget:             a.budget,
+			LastRefillUnixNano: a.lastRefill.UnixNano(),
+			Joined:             make([]checkpoint.AccountJoin, 0, len(a.joined)),
+		}
+		for code, at := range a.joined {
+			st.Joined = append(st.Joined, checkpoint.AccountJoin{Code: code, AtUnixNano: at.UnixNano()})
+		}
+		sort.Slice(st.Joined, func(i, j int) bool { return st.Joined[i].Code < st.Joined[j].Code })
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// RestoreAccounts rebuilds account state from a checkpoint. Accounts are
+// otherwise lazily created with a full budget on first sighting, so restore
+// must pre-create them with their exact budget position.
+func (s *Service) RestoreAccounts(states []checkpoint.AccountState) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, st := range states {
+		a := &account{
+			joined:     make(map[string]time.Time, len(st.Joined)),
+			budget:     st.Budget,
+			lastRefill: time.Unix(0, st.LastRefillUnixNano).UTC(),
+		}
+		for _, j := range st.Joined {
+			a.joined[j.Code] = time.Unix(0, j.AtUnixNano).UTC()
+		}
+		s.accounts[st.Name] = a
+	}
 }
 
 // Handler returns the HTTP mux. GET /web/{code...} serves the public

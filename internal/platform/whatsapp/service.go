@@ -11,10 +11,12 @@ import (
 	"fmt"
 	"html"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
 
+	"msgscope/internal/checkpoint"
 	"msgscope/internal/faults"
 	"msgscope/internal/jsonx"
 	"msgscope/internal/platform"
@@ -127,6 +129,40 @@ func (s *Service) accountState(name string) *account {
 		s.accounts[name] = a
 	}
 	return a
+}
+
+// AccountStates snapshots every account's mutable state for a study
+// checkpoint, sorted by account name (join entries by code). The join cap
+// is not carried: it is a pure function of the account name.
+func (s *Service) AccountStates() []checkpoint.AccountState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]checkpoint.AccountState, 0, len(s.accounts))
+	for name, a := range s.accounts {
+		st := checkpoint.AccountState{Name: name, Banned: a.banned}
+		for code, at := range a.joined {
+			st.Joined = append(st.Joined, checkpoint.AccountJoin{Code: code, AtUnixNano: at.UnixNano()})
+		}
+		sort.Slice(st.Joined, func(i, j int) bool { return st.Joined[i].Code < st.Joined[j].Code })
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// RestoreAccounts installs checkpointed account states; accounts absent
+// from the snapshot stay lazily default-initialized, exactly as a fresh
+// run would first see them.
+func (s *Service) RestoreAccounts(states []checkpoint.AccountState) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, st := range states {
+		a := s.accountState(st.Name)
+		a.banned = st.Banned
+		for _, j := range st.Joined {
+			a.joined[j.Code] = time.Unix(0, j.AtUnixNano).UTC()
+		}
+	}
 }
 
 func jsonError(w http.ResponseWriter, status int, msg string) {

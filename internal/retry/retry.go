@@ -198,6 +198,26 @@ func (b *Breaker) Closes() int64 {
 	return b.closes.Load()
 }
 
+// CountersMap snapshots the breaker's cumulative counters for a
+// checkpoint. The open/consec streak is deliberately not captured: the
+// driver resets it at every phase boundary, and checkpoints are only
+// taken at boundaries, so the streak is always zero there.
+func (b *Breaker) CountersMap() map[string]int64 {
+	if b == nil {
+		return nil
+	}
+	return map[string]int64{"opens": b.opens.Load(), "closes": b.closes.Load()}
+}
+
+// RestoreCounters reinstates the cumulative counters from a checkpoint.
+func (b *Breaker) RestoreCounters(m map[string]int64) {
+	if b == nil {
+		return
+	}
+	b.opens.Store(m["opens"])
+	b.closes.Store(m["closes"])
+}
+
 // Stats is a snapshot of one policy's counters.
 type Stats struct {
 	Attempts  int64 // operations attempted (including retries)
@@ -253,6 +273,25 @@ func (p *Policy) Stats() Stats {
 		Throttles: p.throttles.Load(),
 		Exhausted: p.exhausted.Load(),
 	}
+}
+
+// StatsMap snapshots the policy's counters under stable names for a
+// checkpoint.
+func (p *Policy) StatsMap() map[string]int64 {
+	return map[string]int64{
+		"attempts":  p.attempts.Load(),
+		"retries":   p.retries.Load(),
+		"throttles": p.throttles.Load(),
+		"exhausted": p.exhausted.Load(),
+	}
+}
+
+// RestoreStats reinstates the counters from a checkpoint.
+func (p *Policy) RestoreStats(m map[string]int64) {
+	p.attempts.Store(m["attempts"])
+	p.retries.Store(m["retries"])
+	p.throttles.Store(m["throttles"])
+	p.exhausted.Store(m["exhausted"])
 }
 
 func (p *Policy) wait(d time.Duration) {

@@ -171,28 +171,39 @@ func (s *Store) Save(dir string) error {
 	return saveFile(filepath.Join(dir, "users.jsonl"), s.Users())
 }
 
+// saveFile and saveView write through a temp file renamed into place, so
+// a crash mid-save (or mid-analysis rewrite) can never leave a torn
+// snapshot behind — readers see the old complete file or the new one.
 func saveFile[T any](path string, items []T) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := WriteJSONL(f, items); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return saveAtomic(path, func(f *os.File) error {
+		return WriteJSONL(f, items)
+	})
 }
 
 func saveView(path string, n int, enc func(i int, dst []byte) []byte) error {
-	f, err := os.Create(path)
+	return saveAtomic(path, func(f *os.File) error {
+		return writeJSONLView(f, n, enc)
+	})
+}
+
+func saveAtomic(path string, write func(*os.File) error) error {
+	f, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
-	if err := writeJSONLView(f, n, enc); err != nil {
-		f.Close()
-		return err
+	tmp := f.Name()
+	werr := write(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
 	}
-	return f.Close()
+	if werr == nil {
+		werr = os.Rename(tmp, path)
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return werr
+	}
+	return nil
 }
 
 // Load reads a dataset previously written by Save, streaming each file
@@ -239,9 +250,14 @@ func (s *Store) loadStreaming(dir string) error {
 	}
 	// Posts append verbatim: their group-side effects (SeenSocial,
 	// SocialPosts) are derived state the loaded group records already
-	// carry, so replaying AddPost would double-count them.
+	// carry, so replaying AddPost would double-count them. The dedup
+	// index is still registered so post-load polling cannot re-ingest
+	// an already-collected post.
 	err = loadFileStream(filepath.Join(dir, "posts.jsonl"), make([]PostRecord, jsonlBatchSize), func(batch []PostRecord) error {
 		s.tweetMu.Lock()
+		for i := range batch {
+			s.seenPosts.Put(batch[i].ID, 0)
+		}
 		s.posts = append(s.posts, batch...)
 		s.tweetMu.Unlock()
 		return nil

@@ -197,6 +197,13 @@ type Store struct {
 	seenTweets *ids.U64Map // tweet id -> row in tweets
 	seenPosts  *ids.U64Map // post id -> seen (value unused)
 
+	// Checkpoint dirty tracking (armed by OpenCheckpointWriter, both
+	// guarded by tweetMu): rows below ckTweetMark were already written to
+	// the checkpoint log, so a later source-bit merge records them in
+	// ckDirtyTweets for re-emission. Nil when checkpointing is off.
+	ckTweetMark   int
+	ckDirtyTweets map[uint32]struct{}
+
 	msgMu sync.Mutex
 	msgs  msgCols
 
@@ -269,7 +276,13 @@ func (s *Store) AddTweetBatch(batch []TweetIngest) (newGroups int) {
 	for i := range batch {
 		t := &batch[i].Tweet
 		if row, dup := s.seenTweets.Get(t.ID); dup {
-			s.tweets.flags[row] |= uint8(t.Source) & flagSourceMask
+			old := s.tweets.flags[row]
+			if nf := old | uint8(t.Source)&flagSourceMask; nf != old {
+				s.tweets.flags[row] = nf
+				if s.ckDirtyTweets != nil && int(row) < s.ckTweetMark {
+					s.ckDirtyTweets[row] = struct{}{}
+				}
+			}
 			continue
 		}
 		s.seenTweets.Put(t.ID, uint32(s.tweets.len()))

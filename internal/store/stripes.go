@@ -69,6 +69,13 @@ type userStripe struct {
 	creator []bool
 	linked  map[uint32][]string
 	arena   []byte
+
+	// Checkpoint dirty tracking (armed by OpenCheckpointWriter): rows
+	// below ckMark were already captured, so a merge that actually
+	// changes one records it in ckDirty for re-emission. Nil when
+	// checkpointing is off.
+	ckMark  uint32
+	ckDirty map[uint32]struct{}
 }
 
 // phoneAt returns the stored phone hash as a zero-copy view.
@@ -189,6 +196,7 @@ func (ut *userTable) upsertLocked(st *userStripe, u *UserRecord) {
 		ut.dirty.Store(true)
 		return
 	}
+	changed := false
 	if u.PhoneHash != "" && u.PhoneHash != st.phoneAt(row) {
 		if uint32(len(u.PhoneHash)) <= st.phLen[row] {
 			copy(st.arena[st.phOff[row]:], u.PhoneHash)
@@ -197,19 +205,32 @@ func (ut *userTable) upsertLocked(st *userStripe, u *UserRecord) {
 			st.arena = append(st.arena, u.PhoneHash...)
 		}
 		st.phLen[row] = uint32(len(u.PhoneHash))
+		changed = true
 	}
 	if u.Country != "" {
-		st.country[row] = ut.countries.handle(u.Country)
+		if h := ut.countries.handle(u.Country); st.country[row] != h {
+			st.country[row] = h
+			changed = true
+		}
 	}
 	if len(u.Linked) > 0 {
-		if st.linked == nil {
-			st.linked = map[uint32][]string{}
+		// The merge is a set union, so growth ⇔ change.
+		old := st.linked[row]
+		if merged := mergeStrings(old, u.Linked); len(merged) != len(old) {
+			if st.linked == nil {
+				st.linked = map[uint32][]string{}
+			}
+			st.linked[row] = merged
+			changed = true
 		}
-		st.linked[row] = mergeStrings(st.linked[row], u.Linked)
 	}
 	// A user seen as a member is no longer creator-only.
-	if !u.Creator {
+	if !u.Creator && st.creator[row] {
 		st.creator[row] = false
+		changed = true
+	}
+	if changed && st.ckDirty != nil && row < st.ckMark {
+		st.ckDirty[row] = struct{}{}
 	}
 }
 

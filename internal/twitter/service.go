@@ -205,6 +205,33 @@ func (s *Service) DroppedFor(subID int) int {
 	return 0
 }
 
+// RequestState is the service's mutable request-side state, carried by a
+// study checkpoint. The published-tweet cursors and stream subscriptions
+// are not part of it: a resume re-derives the former by replaying
+// PublishUpTo to the checkpoint clock before any stream opens, and fresh
+// stream connections re-claim the same subscriber IDs a fresh run would.
+type RequestState struct {
+	RateTokens   float64
+	RateLastFill time.Time
+	ReqSeq       uint64
+}
+
+// RequestState snapshots the search rate limiter and request sequence.
+func (s *Service) RequestState() RequestState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return RequestState{RateTokens: s.rlTokens, RateLastFill: s.rlLastFill, ReqSeq: s.reqSeq}
+}
+
+// RestoreRequestState installs a checkpointed request state.
+func (s *Service) RestoreRequestState(st RequestState) {
+	s.mu.Lock()
+	s.rlTokens = st.RateTokens
+	s.rlLastFill = st.RateLastFill
+	s.reqSeq = st.ReqSeq
+	s.mu.Unlock()
+}
+
 // PublishedCounts returns (platform tweets, control tweets) published.
 func (s *Service) PublishedCounts() (int, int) {
 	s.mu.Lock()

@@ -20,12 +20,16 @@ package msgscope
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 
+	"msgscope/internal/checkpoint"
 	"msgscope/internal/core"
 	"msgscope/internal/faults"
 	"msgscope/internal/join"
@@ -89,6 +93,12 @@ type Options struct {
 	// Result.ProfilePhases. Off by default: the recorder costs a few
 	// microseconds per phase boundary when enabled and nothing when not.
 	ProfilePhases bool
+	// CheckpointDir, when non-empty, makes the run resumable: a manifest
+	// plus append-only record logs are persisted there at every pipeline
+	// boundary, and Resume continues a killed run from the last boundary
+	// with byte-identical final output. The directory also stores the
+	// serialized options, so Resume needs no other input.
+	CheckpointDir string
 }
 
 // FaultPlan configures deterministic fault injection for a run. Rates are
@@ -124,6 +134,24 @@ type Result struct {
 
 // Run executes the full methodology and returns the collected dataset.
 func Run(ctx context.Context, opts Options) (*Result, error) {
+	return runWithHook(ctx, opts, nil)
+}
+
+// Resume continues a study previously started with Options.CheckpointDir
+// and killed before completion. The run's options are reconstructed from
+// the checkpoint manifest (validated against its options hash), the
+// dataset collected so far is replayed from the record logs, and the
+// pipeline continues from the last durable boundary. The returned result
+// is byte-identical — dataset JSONL, figures, tables — to the one an
+// uninterrupted run would have produced.
+func Resume(ctx context.Context, dir string) (*Result, error) {
+	return resumeWithHook(ctx, dir, nil)
+}
+
+// buildConfig maps Options onto the core configuration, computing the
+// checkpoint options hash and payload when checkpointing is on. Run and
+// Resume share it so a resumed study is wired exactly like the original.
+func buildConfig(opts Options) (core.Config, error) {
 	cfg := core.Config{
 		Seed:                  opts.Seed,
 		Scale:                 opts.Scale,
@@ -137,6 +165,7 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 		SearchWorkers:         opts.SearchWorkers,
 		CollectWorkers:        opts.CollectWorkers,
 		Faults:                opts.Faults,
+		CheckpointDir:         opts.CheckpointDir,
 		Join: join.Targets{
 			WhatsApp: opts.JoinWhatsApp,
 			Telegram: opts.JoinTelegram,
@@ -146,7 +175,82 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 	if opts.ProfilePhases {
 		cfg.Prof = prof.NewRecorder()
 	}
+	if opts.CheckpointDir != "" {
+		hash, err := hashOptions(opts)
+		if err != nil {
+			return core.Config{}, err
+		}
+		payload, err := json.Marshal(opts)
+		if err != nil {
+			return core.Config{}, fmt.Errorf("msgscope: encoding options: %w", err)
+		}
+		cfg.OptionsHash = hash
+		cfg.OptionsPayload = payload
+	}
+	return cfg, nil
+}
+
+// hashOptions fingerprints the determinism-relevant options: fields that
+// cannot change a run's data — worker counts, profiling, the checkpoint
+// location itself — are excluded, so a resume may move the directory or
+// adjust parallelism without invalidating the checkpoint.
+func hashOptions(opts Options) (string, error) {
+	opts.CheckpointDir = ""
+	opts.SearchWorkers = 0
+	opts.CollectWorkers = 0
+	opts.ProfilePhases = false
+	b, err := json.Marshal(opts)
+	if err != nil {
+		return "", fmt.Errorf("msgscope: hashing options: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+func runWithHook(ctx context.Context, opts Options, hook func(day int, step string) error) (*Result, error) {
+	cfg, err := buildConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	cfg.StepHook = hook
 	s, err := core.NewStudy(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	if err := s.Run(ctx); err != nil {
+		return nil, err
+	}
+	return &Result{study: s, ds: s.Dataset()}, nil
+}
+
+func resumeWithHook(ctx context.Context, dir string, hook func(day int, step string) error) (*Result, error) {
+	m, err := checkpoint.Read(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(m.Options) == 0 {
+		return nil, fmt.Errorf("%w: manifest carries no options", checkpoint.ErrCorrupt)
+	}
+	var opts Options
+	if err := json.Unmarshal(m.Options, &opts); err != nil {
+		return nil, fmt.Errorf("%w: decoding options: %v", checkpoint.ErrCorrupt, err)
+	}
+	hash, err := hashOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	if hash != m.OptionsHash {
+		return nil, fmt.Errorf("%w: manifest records %q, stored options hash to %q",
+			checkpoint.ErrOptionsMismatch, m.OptionsHash, hash)
+	}
+	opts.CheckpointDir = dir
+	cfg, err := buildConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	cfg.StepHook = hook
+	s, err := core.ResumeStudy(cfg, dir, m)
 	if err != nil {
 		return nil, err
 	}

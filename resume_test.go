@@ -1,0 +1,284 @@
+package msgscope_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"msgscope"
+)
+
+// killPoint names one step hook firing: a checkpointed boundary ("init",
+// "drain", "monitor", "join", "done") or a mid-phase point ("search-NN",
+// where no checkpoint is taken and a resume must redo the day).
+type killPoint struct {
+	day  int
+	step string
+}
+
+func (k killPoint) String() string { return fmt.Sprintf("day%d-%s", k.day, k.step) }
+
+// killAt returns a step hook that aborts the run at exactly kp, simulating
+// a crash there.
+func killAt(kp killPoint) func(int, string) error {
+	return func(day int, step string) error {
+		if day == kp.day && step == kp.step {
+			return msgscope.ErrHalted
+		}
+		return nil
+	}
+}
+
+// resumeRenderIDs are the order-sensitive experiments compared at every
+// kill point (Figures 8/9 walk the message slice in collection order,
+// Figure 1/6 and Table 2 aggregate the full dataset). The raw dataset
+// bytes are compared too, which subsumes the rest.
+var resumeRenderIDs = []string{"table2", "fig1", "fig6", "fig8", "fig9"}
+
+// artifacts is everything compared for byte-identity between a resumed and
+// an uninterrupted run.
+type artifacts struct {
+	renders map[string]string
+	summary string
+	files   map[string]string // dataset JSONL name -> contents
+}
+
+func collectArtifacts(t *testing.T, res *msgscope.Result) artifacts {
+	t.Helper()
+	dir := t.TempDir()
+	if err := res.SaveDataset(dir); err != nil {
+		t.Fatal(err)
+	}
+	a := artifacts{
+		renders: map[string]string{},
+		summary: res.Summary(),
+		files:   map[string]string{},
+	}
+	for _, id := range resumeRenderIDs {
+		a.renders[id] = res.Render(id)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.files[e.Name()] = string(data)
+	}
+	return a
+}
+
+func compareArtifacts(t *testing.T, label string, want, got artifacts) {
+	t.Helper()
+	if got.summary != want.summary {
+		t.Errorf("%s: summary diverges:\n--- want ---\n%s\n--- got ---\n%s", label, want.summary, got.summary)
+	}
+	for id, w := range want.renders {
+		if g := got.renders[id]; g != w {
+			t.Errorf("%s: %s diverges:\n--- want ---\n%s\n--- got ---\n%s", label, id, w, g)
+		}
+	}
+	if len(got.files) != len(want.files) {
+		t.Errorf("%s: dataset file count %d, want %d", label, len(got.files), len(want.files))
+	}
+	for name, w := range want.files {
+		g, ok := got.files[name]
+		if !ok {
+			t.Errorf("%s: dataset file %s missing", label, name)
+			continue
+		}
+		if g != w {
+			t.Errorf("%s: dataset file %s is not byte-identical (%d vs %d bytes)",
+				label, name, len(g), len(w))
+		}
+	}
+}
+
+// TestCrashKillResumeMatrix is the checkpoint-resume correctness proof: a
+// seed-42 study is killed at every checkpoint boundary and at every
+// mid-phase search point, resumed from disk, and required to end with
+// byte-identical output — every dataset JSONL file, the order-sensitive
+// figures and tables, the pipeline summary — versus the uninterrupted run.
+// The matrix runs at worker counts 1 (serial) and 4 (parallel fan-outs),
+// because a resume replays serially what the original run may have
+// collected in parallel.
+func TestCrashKillResumeMatrix(t *testing.T) {
+	ctx := context.Background()
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers-%d", workers), func(t *testing.T) {
+			opts := msgscope.Options{
+				Seed: 42, Scale: 0.01, Days: 3,
+				// Every 6 hours keeps the mid-phase kill set dense (4 per
+				// day) without making the matrix quadratic in run length.
+				SearchEveryHours: 6,
+				SearchWorkers:    workers,
+				CollectWorkers:   workers,
+			}
+
+			// Uninterrupted checkpointed baseline; the hook records every
+			// kill point the matrix will replay.
+			var points []killPoint
+			bopts := opts
+			bopts.CheckpointDir = t.TempDir()
+			baseline, err := msgscope.RunWithHook(ctx, bopts, func(day int, step string) error {
+				points = append(points, killPoint{day, step})
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("baseline run: %v", err)
+			}
+			base := collectArtifacts(t, baseline)
+
+			// Checkpointing must not perturb the run it checkpoints.
+			plain, err := msgscope.Run(ctx, opts)
+			if err != nil {
+				t.Fatalf("plain run: %v", err)
+			}
+			compareArtifacts(t, "checkpointed-vs-plain", base, collectArtifacts(t, plain))
+
+			// The recorded points must cover every boundary kind.
+			seen := map[string]bool{}
+			for _, kp := range points {
+				seen[kp.step] = true
+			}
+			for _, step := range []string{"init", "search-06", "drain", "monitor", "join", "done"} {
+				if !seen[step] {
+					t.Fatalf("recorded kill points miss step %q (got %v)", step, points)
+				}
+			}
+
+			for _, kp := range points {
+				t.Run(kp.String(), func(t *testing.T) {
+					dir := t.TempDir()
+					kopts := opts
+					kopts.CheckpointDir = dir
+					if _, err := msgscope.RunWithHook(ctx, kopts, killAt(kp)); !errors.Is(err, msgscope.ErrHalted) {
+						t.Fatalf("killed run at %s: err = %v, want ErrHalted", kp, err)
+					}
+					res, err := msgscope.Resume(ctx, dir)
+					if err != nil {
+						t.Fatalf("resuming from kill at %s: %v", kp, err)
+					}
+					compareArtifacts(t, "resumed-vs-uninterrupted", base, collectArtifacts(t, res))
+				})
+			}
+		})
+	}
+}
+
+// TestResumeProducesIdenticalFigureFiles kills one run mid-phase, resumes
+// it, and byte-compares the rendered figure CSV and SVG files — the
+// on-disk artifacts `msgscope run -csv/-svg` ships — against the
+// uninterrupted run's.
+func TestResumeProducesIdenticalFigureFiles(t *testing.T) {
+	ctx := context.Background()
+	opts := msgscope.Options{Seed: 42, Scale: 0.01, Days: 3, SearchEveryHours: 6}
+
+	full, err := msgscope.Run(ctx, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	kopts := opts
+	kopts.CheckpointDir = dir
+	if _, err := msgscope.RunWithHook(ctx, kopts, killAt(killPoint{1, "search-12"})); !errors.Is(err, msgscope.ErrHalted) {
+		t.Fatalf("killed run: err = %v, want ErrHalted", err)
+	}
+	resumed, err := msgscope.Resume(ctx, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for kind, save := range map[string]func(*msgscope.Result, string) error{
+		"csv": (*msgscope.Result).SaveFigureCSVs,
+		"svg": (*msgscope.Result).SaveFigureSVGs,
+	} {
+		wantDir, gotDir := t.TempDir(), t.TempDir()
+		if err := save(full, wantDir); err != nil {
+			t.Fatal(err)
+		}
+		if err := save(resumed, gotDir); err != nil {
+			t.Fatal(err)
+		}
+		entries, err := os.ReadDir(wantDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			want, err := os.ReadFile(filepath.Join(wantDir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := os.ReadFile(filepath.Join(gotDir, e.Name()))
+			if err != nil {
+				t.Fatalf("resumed run did not produce %s %s: %v", kind, e.Name(), err)
+			}
+			if string(got) != string(want) {
+				t.Errorf("%s %s is not byte-identical after resume", kind, e.Name())
+			}
+		}
+	}
+}
+
+// TestGoldenResumeMatchesGoldenFiles kills the golden-configuration study
+// (the one testdata/golden pins) at a mid-run boundary, resumes it, and
+// checks the resumed renders against the checked-in golden files — the
+// resume path must land on the exact bytes the uninterrupted pipeline is
+// pinned to.
+func TestGoldenResumeMatchesGoldenFiles(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	opts := msgscope.Options{Seed: 42, Scale: 0.01, Days: 10, CheckpointDir: dir}
+	if _, err := msgscope.RunWithHook(ctx, opts, killAt(killPoint{5, "monitor"})); !errors.Is(err, msgscope.ErrHalted) {
+		t.Fatalf("killed run: err = %v, want ErrHalted", err)
+	}
+	res, err := msgscope.Resume(ctx, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []string{
+		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+		"table2", "table4", "table5",
+	}
+	for _, id := range ids {
+		want, err := os.ReadFile(filepath.Join("testdata", "golden", id+".txt"))
+		if err != nil {
+			t.Fatalf("missing golden file: %v", err)
+		}
+		if got := res.Render(id); got != string(want) {
+			t.Errorf("resumed %s diverges from the golden file:\n--- got ---\n%s\n--- want ---\n%s", id, got, want)
+		}
+	}
+}
+
+// TestResumeSmoke is the cheap CI gate (`make resume-smoke`): one kill at
+// a day boundary, one mid-phase, resumed and compared against the
+// uninterrupted dataset.
+func TestResumeSmoke(t *testing.T) {
+	ctx := context.Background()
+	opts := msgscope.Options{Seed: 42, Scale: 0.01, Days: 3, SearchEveryHours: 6}
+	full, err := msgscope.Run(ctx, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := collectArtifacts(t, full)
+	for _, kp := range []killPoint{{0, "drain"}, {2, "search-18"}} {
+		dir := t.TempDir()
+		kopts := opts
+		kopts.CheckpointDir = dir
+		if _, err := msgscope.RunWithHook(ctx, kopts, killAt(kp)); !errors.Is(err, msgscope.ErrHalted) {
+			t.Fatalf("killed run at %s: err = %v, want ErrHalted", kp, err)
+		}
+		res, err := msgscope.Resume(ctx, dir)
+		if err != nil {
+			t.Fatalf("resuming from kill at %s: %v", kp, err)
+		}
+		compareArtifacts(t, "resumed-vs-uninterrupted "+kp.String(), base, collectArtifacts(t, res))
+	}
+}
