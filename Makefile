@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench bench-json bench-compare bench-smoke bench-scale profile fuzz-smoke resume-smoke cover ci
+.PHONY: all build test vet race bench bench-json bench-compare bench-smoke bench-scale bench-lda profile fuzz-smoke resume-smoke cover ci
 
 all: build
 
@@ -22,23 +22,24 @@ bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem ./...
 
 # Pipeline + analysis + store benchmarks (full study, hourly search, daily
-# sweep, LDA fit, cold figure aggregation, columnar ingest; serial vs
-# parallel where both exist, plus the checkpointed study variant whose
-# delta over plain parallel is the cost of crash-resumability) rendered to
-# BENCH_8.json, including the
-# derived speedups, custom per-record metrics (ns/rec, liveB/rec) and the
-# machine's core count. benchjson's -cpus mode runs the suite under each
-# GOMAXPROCS in BENCH_CPUS, so the document carries a per-CPU-count
-# matrix — the measurements behind the SearchWorkers/CollectWorkers
-# defaults.
-BENCH_PATTERN = StudyRun|HourlySearch|DailySweep|LDAFit|RenderAll|StoreIngest
+# sweep, LDA fit + K×vocab kernel sweep, cold figure aggregation, columnar
+# ingest; serial vs parallel where both exist, plus the checkpointed study
+# variant whose delta over plain parallel is the cost of
+# crash-resumability) rendered to BENCH_9.json, including the derived
+# speedups, custom metrics (ns/rec, liveB/rec, tok/s) and the machine's
+# core count. benchjson's -cpus mode runs the suite under each GOMAXPROCS
+# in BENCH_CPUS, so the document carries a per-CPU-count matrix — the
+# measurements behind the SearchWorkers/CollectWorkers defaults and the
+# LDA chunk-merge speedup (BenchmarkLDAFit/parallel per CPU count),
+# measured rather than assumed.
+BENCH_PATTERN = StudyRun|HourlySearch|DailySweep|LDAFit|LDASweep|RenderAll|StoreIngest
 BENCH_PKGS = ./internal/core ./internal/analysis/lda ./internal/store
 BENCH_CPUS = 1,2
 
 bench-json:
 	$(GO) run ./cmd/benchjson -cpus '$(BENCH_CPUS)' -bench '$(BENCH_PATTERN)' \
-		-o BENCH_8.json $(BENCH_PKGS)
-	@cat BENCH_8.json
+		-count 3 -o BENCH_9.json $(BENCH_PKGS)
+	@cat BENCH_9.json
 
 # Allocation-regression gate: rerun the pipeline benchmarks and diff them
 # against the newest checked-in BENCH_*.json, failing on >20% growth in
@@ -87,7 +88,16 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzExtract$$' -fuzztime=10s ./internal/urlpat
 	$(GO) test -run='^$$' -fuzz='^FuzzScrapeLanding$$' -fuzztime=10s ./internal/platform/whatsapp
 	$(GO) test -run='^$$' -fuzz='^FuzzSparseBucket$$' -fuzztime=10s ./internal/analysis/lda
+	$(GO) test -run='^$$' -fuzz='^FuzzAliasTable$$' -fuzztime=10s ./internal/analysis/lda
 	$(GO) test -run='^$$' -fuzz='^FuzzManifestDecode$$' -fuzztime=10s ./internal/checkpoint
+
+# Topic-kernel smoke: fit all three Gibbs kernels (dense, sparse, alias)
+# on a tiny corpus and assert converged perplexity parity, then one pass
+# of the LDA benchmarks under the harness. Cheap proof in CI that a
+# sampler change cannot silently diverge the chains' topic quality.
+bench-lda:
+	$(GO) test -count=1 -run='^TestLDASamplerParitySmoke$$' ./internal/analysis/lda
+	$(GO) test -run='^$$' -bench='LDAFit|LDASweep' -benchtime=1x ./internal/analysis/lda
 
 # Checkpoint-resume gate: kill a checkpointed study at a day boundary and
 # mid-phase, resume each from disk, and require byte-identical dataset and
@@ -105,4 +115,4 @@ cover:
 	@$(GO) tool cover -func=cover.out | tail -1
 	@$(GO) tool cover -func=cover.out | awk '/^total:/ { sub(/%/, "", $$3); if ($$3+0 < 70) { printf "coverage %.1f%% below the 70%% floor for internal/retry + internal/faults\n", $$3; exit 1 } }'
 
-ci: vet build race cover fuzz-smoke resume-smoke bench-smoke bench-scale bench bench-compare
+ci: vet build race cover fuzz-smoke resume-smoke bench-smoke bench-scale bench-lda bench bench-compare

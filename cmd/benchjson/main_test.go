@@ -84,6 +84,31 @@ func TestParseBenchMatrix(t *testing.T) {
 	}
 }
 
+func TestBestOfKeepsFastestRun(t *testing.T) {
+	// go test -count=3 repeats every benchmark; the recorded row must be
+	// the fastest repetition, whole-row (its metrics come along with it).
+	in := `BenchmarkLDAFit/alias/serial	 6	 180000000 ns/op	 60.0 tok/s
+BenchmarkLDAFit/alias/serial	 6	 160000000 ns/op	 67.5 tok/s
+BenchmarkLDAFit/alias/serial-2	 6	 175000000 ns/op	 61.7 tok/s
+BenchmarkLDAFit/alias/serial	 6	 170000000 ns/op	 63.5 tok/s
+PASS
+`
+	doc, err := parseBench(strings.NewReader(in), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks, want 2 (cpu=1 collapsed, cpu=2 kept)", len(doc.Benchmarks))
+	}
+	b := doc.Benchmarks[0]
+	if b.CPUs != 0 || b.NsPerOp != 160000000 || b.Metrics["tok/s"] != 67.5 {
+		t.Errorf("best cpu=1 row = %+v, want the 160ms/67.5tok/s repetition", b)
+	}
+	if b2 := doc.Benchmarks[1]; b2.CPUs != 2 || b2.NsPerOp != 175000000 {
+		t.Errorf("cpu=2 row = %+v, want untouched 175ms", b2)
+	}
+}
+
 func TestRegressionsGate(t *testing.T) {
 	base := []benchmark{
 		{Name: "BenchmarkStudyRun/serial", NsPerOp: 1e9, AllocsPerOp: 1_000_000},
@@ -143,6 +168,33 @@ func TestRegressionsGateCustomMetrics(t *testing.T) {
 	regs := regressions(base, bad, 0.20)
 	if len(regs) != 1 || !strings.Contains(regs[0], "liveB/rec") {
 		t.Fatalf("got %v, want one liveB/rec regression", regs)
+	}
+}
+
+func TestRegressionsGateThroughputMetrics(t *testing.T) {
+	base := []benchmark{
+		{Name: "BenchmarkLDAFit/alias/serial", NsPerOp: 1e8,
+			Metrics: map[string]float64{"tok/s": 70e6}},
+	}
+
+	// A "/s" metric is higher-is-better: growth is an improvement, not a
+	// regression.
+	faster := []benchmark{
+		{Name: "BenchmarkLDAFit/alias/serial", NsPerOp: 1e8,
+			Metrics: map[string]float64{"tok/s": 100e6}},
+	}
+	if regs := regressions(base, faster, 0.20); len(regs) != 0 {
+		t.Errorf("throughput improvement flagged: %v", regs)
+	}
+
+	// A >20% throughput drop must be caught.
+	slower := []benchmark{
+		{Name: "BenchmarkLDAFit/alias/serial", NsPerOp: 1e8,
+			Metrics: map[string]float64{"tok/s": 50e6}},
+	}
+	regs := regressions(base, slower, 0.20)
+	if len(regs) != 1 || !strings.Contains(regs[0], "tok/s") {
+		t.Fatalf("got %v, want one tok/s regression", regs)
 	}
 }
 

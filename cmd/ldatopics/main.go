@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	ldatopics -k 10 -iters 200 [-lang en] [-jsonl] [-platform WhatsApp] FILE
+//	ldatopics -k 10 -iters 200 [-sampler alias] [-lang en] [-jsonl] [-platform WhatsApp] FILE
 package main
 
 import (
@@ -34,9 +34,14 @@ func run() error {
 	jsonl := flag.Bool("jsonl", false, "input is a tweets.jsonl dataset file")
 	lang := flag.String("lang", "en", "language filter for -jsonl input (empty = all)")
 	plat := flag.String("platform", "", "platform filter for -jsonl input (WhatsApp/Telegram/Discord)")
+	samplerName := flag.String("sampler", "", "Gibbs kernel: dense, sparse or alias (default: package routing)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		return fmt.Errorf("expected exactly one input file, got %d", flag.NArg())
+	}
+	sampler, err := lda.ParseSampler(*samplerName)
+	if err != nil {
+		return err
 	}
 
 	texts, err := loadTexts(flag.Arg(0), *jsonl, *lang, *plat)
@@ -47,7 +52,7 @@ func run() error {
 		return fmt.Errorf("no documents after filtering")
 	}
 	corpus := textproc.NewCorpus(textproc.NewTokenizer(), texts)
-	model := lda.Fit(corpus, lda.Config{Topics: *k, Iterations: *iters, Seed: *seed})
+	model := lda.Fit(corpus, lda.Config{Topics: *k, Iterations: *iters, Seed: *seed, Sampler: sampler})
 	fmt.Printf("%d documents, %d vocabulary, %d topics, perplexity %.1f\n",
 		len(corpus.Docs), corpus.Vocab.Size(), *k, model.Perplexity())
 	for _, s := range model.Summaries(*topN) {

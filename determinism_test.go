@@ -44,10 +44,11 @@ func TestSerialAndParallelRunsRenderIdentically(t *testing.T) {
 }
 
 // TestLDAWorkerCountInvariance is the analysis-phase half of the
-// determinism contract: the sparse Gibbs sampler must produce a
-// byte-identical fitted model at any worker count, because Table 3's
-// topics must not depend on the machine it ran on. The corpus goes
-// through the production tokenizer path so the test pins the whole
+// determinism contract: both parallel Gibbs samplers — the sparse s/r/q
+// decomposition and the alias-table Metropolis–Hastings chain — must
+// produce a byte-identical fitted model at any worker count, because
+// Table 3's topics must not depend on the machine it ran on. The corpus
+// goes through the production tokenizer path so the test pins the whole
 // text→topics chain, not just the sampler.
 func TestLDAWorkerCountInvariance(t *testing.T) {
 	words := []string{
@@ -75,9 +76,9 @@ func TestLDAWorkerCountInvariance(t *testing.T) {
 	// ranked word summaries. (The Model struct itself records the worker
 	// count in its config, so models fitted at different widths are
 	// compared by their observable state.)
-	fingerprint := func(workers int) any {
+	fingerprint := func(sampler lda.Sampler, workers int) any {
 		m := lda.Fit(corpus, lda.Config{
-			Topics: 10, Iterations: 60, Seed: 42, Workers: workers,
+			Topics: 10, Iterations: 60, Seed: 42, Workers: workers, Sampler: sampler,
 		})
 		docs := make([]int, 600)
 		for d := range docs {
@@ -85,10 +86,12 @@ func TestLDAWorkerCountInvariance(t *testing.T) {
 		}
 		return []any{docs, m.TopicShares(), m.Summaries(10), m.Perplexity()}
 	}
-	want := fingerprint(1)
-	for _, workers := range []int{4, 16} {
-		if got := fingerprint(workers); !reflect.DeepEqual(got, want) {
-			t.Errorf("lda.Fit with %d workers diverges from the serial fit", workers)
+	for _, sampler := range []lda.Sampler{lda.SamplerSparse, lda.SamplerAlias} {
+		want := fingerprint(sampler, 1)
+		for _, workers := range []int{4, 16} {
+			if got := fingerprint(sampler, workers); !reflect.DeepEqual(got, want) {
+				t.Errorf("lda.Fit(%s) with %d workers diverges from the serial fit", sampler, workers)
+			}
 		}
 	}
 }

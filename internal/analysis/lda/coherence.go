@@ -27,10 +27,85 @@ func (m *Model) Coherence(c *textproc.Corpus, k, n int) float64 {
 	if len(ids) < 2 {
 		return 0
 	}
+	df, codf := docCooccur(c, ids)
 
-	// Document-frequency and co-document-frequency over the top words.
-	df := make(map[int]int, len(ids))
-	codf := make(map[[2]int]int)
+	var score float64
+	var pairs int
+	for i := 1; i < len(ids); i++ {
+		for j := 0; j < i; j++ {
+			dj := df[ids[j]]
+			if dj == 0 {
+				continue
+			}
+			co := codf[[2]int{ids[j], ids[i]}] + codf[[2]int{ids[i], ids[j]}]
+			score += math.Log(float64(co+1) / float64(dj))
+			pairs++
+		}
+	}
+	if pairs == 0 {
+		return 0
+	}
+	return score / float64(pairs)
+}
+
+// NPMICoherence computes the normalized-PMI coherence of topic k over its
+// top-n words (Bouma 2009; Lau et al. 2014): the average over unordered
+// word pairs of NPMI(wi,wj) = PMI(wi,wj) / −log p(wi,wj), with all
+// probabilities estimated from document (co-)occurrence counts over the
+// training corpus. Unlike UMass, the score is bounded: −1 for a pair that
+// never co-occurs, +1 as two words approach perfect co-occurrence, so
+// scores are comparable across corpora of different sizes.
+func (m *Model) NPMICoherence(c *textproc.Corpus, k, n int) float64 {
+	words := m.TopWords(k, n)
+	if len(words) < 2 || len(c.Docs) == 0 {
+		return 0
+	}
+	ids := make([]int, 0, len(words))
+	for _, w := range words {
+		if id, ok := c.Vocab.Lookup(w); ok {
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) < 2 {
+		return 0
+	}
+	df, codf := docCooccur(c, ids)
+
+	nDocs := float64(len(c.Docs))
+	var score float64
+	var pairs int
+	for i := 1; i < len(ids); i++ {
+		for j := 0; j < i; j++ {
+			di, dj := df[ids[i]], df[ids[j]]
+			if di == 0 || dj == 0 {
+				continue
+			}
+			co := codf[[2]int{ids[j], ids[i]}] + codf[[2]int{ids[i], ids[j]}]
+			pairs++
+			switch co {
+			case 0:
+				score-- // the never-co-occur limit of NPMI
+			case len(c.Docs):
+				// p(wi,wj)=1 forces p(wi)=p(wj)=1: PMI and its normalizer
+				// both vanish, and the pair carries no information.
+			default:
+				pij := float64(co) / nDocs
+				pmi := math.Log(pij * nDocs * nDocs / (float64(di) * float64(dj)))
+				score += pmi / -math.Log(pij)
+			}
+		}
+	}
+	if pairs == 0 {
+		return 0
+	}
+	return score / float64(pairs)
+}
+
+// docCooccur counts, over the corpus, the documents containing each of
+// ids (df) and each unordered pair of ids (codf, keyed by ids order).
+func docCooccur(c *textproc.Corpus, ids []int) (df map[int]int, codf map[[2]int]int) {
+	df = make(map[int]int, len(ids))
+	codf = make(map[[2]int]int)
 	want := make(map[int]bool, len(ids))
 	for _, id := range ids {
 		want[id] = true
@@ -53,24 +128,7 @@ func (m *Model) Coherence(c *textproc.Corpus, k, n int) float64 {
 			}
 		}
 	}
-
-	var score float64
-	var pairs int
-	for i := 1; i < len(ids); i++ {
-		for j := 0; j < i; j++ {
-			dj := df[ids[j]]
-			if dj == 0 {
-				continue
-			}
-			co := codf[[2]int{ids[j], ids[i]}] + codf[[2]int{ids[i], ids[j]}]
-			score += math.Log(float64(co+1) / float64(dj))
-			pairs++
-		}
-	}
-	if pairs == 0 {
-		return 0
-	}
-	return score / float64(pairs)
+	return df, codf
 }
 
 // MeanCoherence averages Coherence over all topics.
@@ -81,6 +139,18 @@ func (m *Model) MeanCoherence(c *textproc.Corpus, topN int) float64 {
 	var sum float64
 	for k := 0; k < m.cfg.Topics; k++ {
 		sum += m.Coherence(c, k, topN)
+	}
+	return sum / float64(m.cfg.Topics)
+}
+
+// MeanNPMICoherence averages NPMICoherence over all topics.
+func (m *Model) MeanNPMICoherence(c *textproc.Corpus, topN int) float64 {
+	if m.cfg.Topics == 0 {
+		return 0
+	}
+	var sum float64
+	for k := 0; k < m.cfg.Topics; k++ {
+		sum += m.NPMICoherence(c, k, topN)
 	}
 	return sum / float64(m.cfg.Topics)
 }

@@ -248,15 +248,21 @@ func (st *sparse) initAssignments() {
 			}
 		}
 	}
-	for w := 0; w < st.V; w++ {
+	buildRowsFromNWT(st.wtRow, m.nwt, st.V, K)
+}
+
+// buildRowsFromNWT packs a dense [w*K+k] count table into the sparse row
+// index (slot 0 = entry count, slots 1..n = count<<wtShift|topic).
+func buildRowsFromNWT(wtRow []uint32, nwt []int, V, K int) {
+	for w := 0; w < V; w++ {
 		n := 0
-		for k, cnt := range m.nwt[w*K : w*K+K] {
+		for k, cnt := range nwt[w*K : w*K+K] {
 			if cnt > 0 {
 				n++
-				st.wtRow[w*sparsePad+n] = uint32(cnt)<<wtShift | uint32(k)
+				wtRow[w*sparsePad+n] = uint32(cnt)<<wtShift | uint32(k)
 			}
 		}
-		st.wtRow[w*sparsePad] = uint32(n)
+		wtRow[w*sparsePad] = uint32(n)
 	}
 }
 
@@ -282,23 +288,29 @@ func (st *sparse) refresh() {
 }
 
 // merge folds every chunk's recorded transitions into the per-topic
+// totals and the packed word rows. m.nwt is deliberately not touched
+// here: nothing reads it during the fit, and skipping it halves the
+// merge's random memory traffic (finish rebuilds it from the packed
+// rows).
+func (st *sparse) merge() {
+	mergePacked(st.chunks, st.m.nt, st.wtRow)
+}
+
+// mergePacked folds every chunk's recorded transitions into the per-topic
 // totals and the packed word rows. Integer count updates commute, so any
 // application order yields the same counts; the row entry order does
-// depend on application order (zeroed entries swap-remove), so merge runs
-// serially in fixed chunk order — part of the determinism contract.
-// m.nwt is deliberately not touched here: nothing reads it during the
-// fit, and skipping it halves the merge's random memory traffic (finish
-// rebuilds it from the packed rows).
-func (st *sparse) merge() {
+// depend on application order (zeroed entries swap-remove), so the merge
+// runs serially in fixed chunk order — part of the determinism contract.
+func mergePacked(chunks []chunkState, nt []int, wtRow []uint32) {
 	mask := uint32(1<<wtShift - 1)
 	one := uint32(1) << wtShift
-	for ci := range st.chunks {
-		ck := &st.chunks[ci]
+	for ci := range chunks {
+		ck := &chunks[ci]
 		for _, dl := range ck.deltas {
-			st.m.nt[dl.from]--
-			st.m.nt[dl.to]++
+			nt[dl.from]--
+			nt[dl.to]++
 
-			row := (*[sparsePad]uint32)(st.wtRow[int(dl.w)*sparsePad:])
+			row := (*[sparsePad]uint32)(wtRow[int(dl.w)*sparsePad:])
 			n := int(row[0])
 			from, to := uint32(dl.from), uint32(dl.to)
 			j := int(dl.pos)
@@ -679,13 +691,17 @@ func fitSparse(c *textproc.Corpus, cfg Config) *Model {
 // syncNWT rebuilds the Model's dense word-topic table from the packed
 // rows (the authoritative word-topic counts once the fit is running).
 func (st *sparse) syncNWT() {
-	K := st.K
-	nwt := st.m.nwt
+	syncNWTFromRows(st.m.nwt, st.wtRow, st.V, st.K)
+}
+
+// syncNWTFromRows expands packed word rows back into a dense [w*K+k]
+// count table at the end of a sparse fit.
+func syncNWTFromRows(nwt []int, wtRow []uint32, V, K int) {
 	for i := range nwt {
 		nwt[i] = 0
 	}
-	for w := 0; w < st.V; w++ {
-		wRow := st.wtRow[w*sparsePad:]
+	for w := 0; w < V; w++ {
+		wRow := wtRow[w*sparsePad:]
 		for _, v := range wRow[1 : 1+wRow[0]] {
 			nwt[w*K+int(v&(1<<wtShift-1))] = int(v >> wtShift)
 		}
