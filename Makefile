@@ -25,8 +25,9 @@ bench:
 # sweep, LDA fit + K×vocab kernel sweep, cold figure aggregation, columnar
 # ingest; serial vs parallel where both exist, plus the checkpointed study
 # variant whose delta over plain parallel is the cost of
-# crash-resumability) rendered to BENCH_9.json, including the derived
-# speedups, custom metrics (ns/rec, liveB/rec, tok/s) and the machine's
+# crash-resumability) rendered to BENCH_10.json, including the derived
+# speedups, custom metrics (ns/rec, liveB/rec, tok/s, and the spill
+# benchmark's peakRSS-MB / heapLive-MB / segDisk-MB) and the machine's
 # core count. benchjson's -cpus mode runs the suite under each GOMAXPROCS
 # in BENCH_CPUS, so the document carries a per-CPU-count matrix — the
 # measurements behind the SearchWorkers/CollectWorkers defaults and the
@@ -38,8 +39,8 @@ BENCH_CPUS = 1,2
 
 bench-json:
 	$(GO) run ./cmd/benchjson -cpus '$(BENCH_CPUS)' -bench '$(BENCH_PATTERN)' \
-		-count 3 -o BENCH_9.json $(BENCH_PKGS)
-	@cat BENCH_9.json
+		-count 3 -o BENCH_10.json $(BENCH_PKGS)
+	@cat BENCH_10.json
 
 # Allocation-regression gate: rerun the pipeline benchmarks and diff them
 # against the newest checked-in BENCH_*.json, failing on >20% growth in
@@ -76,6 +77,16 @@ bench-scale:
 		-benchtime=1x -benchmem -timeout=300s ./internal/store
 	MSGSCOPE_BENCH_SCALE=5 MSGSCOPE_BENCH_SWEEPS=76 $(GO) test -run='^$$' \
 		-bench='StoreIngest/groups' -benchtime=1x -benchmem -timeout=300s \
+		./internal/store
+	# Memory-budget gate: the same 10x corpus (1M tweets, 2M messages)
+	# ingested under a 32 MiB spill budget with the Go heap pinned by
+	# GOMEMLIMIT. An unbudgeted store holds ~200 MB of rows live at this
+	# scale; the budgeted pass must finish under a 384 MiB peak-RSS
+	# ceiling (segments on disk, live heap near zero) or the benchmark
+	# itself fails via MSGSCOPE_BENCH_RSS_MAX.
+	GOMEMLIMIT=256MiB MSGSCOPE_BENCH_SCALE=10 MSGSCOPE_SPILL_BUDGET=33554432 \
+		MSGSCOPE_BENCH_RSS_MAX=402653184 $(GO) test -run='^$$' \
+		-bench='StoreIngestSpill' -benchtime=1x -benchmem -timeout=300s \
 		./internal/store
 
 # Short fuzz bursts over the parsing surfaces the fault injector attacks

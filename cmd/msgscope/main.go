@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"msgscope"
@@ -58,11 +59,36 @@ func run(args []string) error {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   msgscope run    [-seed N] [-scale F] [-days N] [-fault-rate F] [-lda-sampler NAME] [-out DIR] [-exp id,...] [-summary]
-  msgscope run    [-checkpoint DIR | -resume DIR] ...
+  msgscope run    [-checkpoint DIR | -resume DIR] [-mem-budget SIZE] ...
   msgscope report [-seed N] [-scale F] -exp table2,fig1,...
   msgscope serve  [-seed N] [-scale F] [-speedup X] [-addr HOST:PORT]
   msgscope gen    [-seed N] [-scale F] -out DIR
   msgscope list`)
+}
+
+// parseBytes parses a byte size with an optional k/m/g/t suffix (binary
+// units), e.g. "8g", "512m", "1048576".
+func parseBytes(s string) (int64, error) {
+	t := strings.ToLower(strings.TrimSpace(s))
+	shift := 0
+	switch {
+	case strings.HasSuffix(t, "k"):
+		shift, t = 10, t[:len(t)-1]
+	case strings.HasSuffix(t, "m"):
+		shift, t = 20, t[:len(t)-1]
+	case strings.HasSuffix(t, "g"):
+		shift, t = 30, t[:len(t)-1]
+	case strings.HasSuffix(t, "t"):
+		shift, t = 40, t[:len(t)-1]
+	}
+	n, err := strconv.ParseInt(t, 10, 64)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("invalid size %q (want e.g. 8g, 512m, or a byte count)", s)
+	}
+	if n > (1<<62)>>shift {
+		return 0, fmt.Errorf("size %q overflows", s)
+	}
+	return n << shift, nil
 }
 
 func runStudy(args []string) error {
@@ -90,6 +116,8 @@ func runStudy(args []string) error {
 	profPhases := fs.Bool("prof-phases", false, "record and print per-phase allocation stats")
 	ckptDir := fs.String("checkpoint", "", "directory to checkpoint the run into at every phase boundary (makes it resumable)")
 	resumeDir := fs.String("resume", "", "resume an interrupted run from this checkpoint directory (run options come from its manifest; other study flags are ignored)")
+	memBudget := fs.String("mem-budget", "", "live-heap byte budget for the column store, e.g. 8g or 512m; cold rows spill to mmap-backed segment files (empty = never spill)")
+	spillDir := fs.String("spill-dir", "", "directory for spilled segment files (default: under -checkpoint, else a temp dir)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -136,6 +164,14 @@ func runStudy(args []string) error {
 		}
 	}
 	opts.CheckpointDir = *ckptDir
+	opts.SpillDir = *spillDir
+	if *memBudget != "" {
+		b, err := parseBytes(*memBudget)
+		if err != nil {
+			return fmt.Errorf("-mem-budget: %w", err)
+		}
+		opts.MemBudget = b
+	}
 	var res *msgscope.Result
 	if *resumeDir != "" {
 		res, err = msgscope.Resume(context.Background(), *resumeDir)

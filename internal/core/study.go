@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"math"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -105,6 +107,16 @@ type Config struct {
 	// atomically replaced manifest. ResumeStudy picks a killed run back up
 	// from the last durable boundary with byte-identical final output.
 	CheckpointDir string
+	// MemBudget, when positive, caps the spillable column families' live
+	// heap bytes: once the measured total crosses it, the store seals older
+	// rows into immutable mmap-backed segment files and drops the heap
+	// copies (DESIGN.md §16). The final output is byte-identical with or
+	// without a budget — only the storage tier of cold rows changes.
+	MemBudget int64
+	// SpillDir overrides where segment files live. Empty means
+	// CheckpointDir/segments for a checkpointed run (segments and manifest
+	// share a filesystem and crash story), else a fresh temp directory.
+	SpillDir string
 	// OptionsHash fingerprints the caller's determinism-relevant options;
 	// it is stored in the manifest and must match on resume.
 	OptionsHash string
@@ -158,6 +170,20 @@ func scaleTarget(full int, scale float64) int {
 		n = 3
 	}
 	return n
+}
+
+// spillDir resolves where a budgeted run's segment files live: the explicit
+// override, the checkpoint directory (so segments and manifest share a
+// filesystem and crash story), or a fresh temp directory for an
+// uncheckpointed run.
+func spillDir(cfg Config) (string, error) {
+	if cfg.SpillDir != "" {
+		return cfg.SpillDir, nil
+	}
+	if cfg.CheckpointDir != "" {
+		return filepath.Join(cfg.CheckpointDir, "segments"), nil
+	}
+	return os.MkdirTemp("", "msgscope-spill-")
 }
 
 // Study is one fully wired simulation run.
@@ -217,6 +243,15 @@ func NewStudy(cfg Config) (*Study, error) {
 	world := simworld.New(wcfg)
 	clock := simclock.New(wcfg.Start)
 	st := store.New()
+	if cfg.MemBudget > 0 {
+		dir, err := spillDir(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: resolving spill dir: %w", err)
+		}
+		if err := st.EnableSpill(store.SpillConfig{Dir: dir, Budget: cfg.MemBudget}); err != nil {
+			return nil, fmt.Errorf("core: enabling spill: %w", err)
+		}
+	}
 
 	tcfg := twitter.DefaultServiceConfig()
 	if cfg.Twitter != nil {
@@ -338,17 +373,24 @@ func (s *Study) Run(ctx context.Context) error {
 	startDay, skip := 0, ""
 	switch s.resumeStep {
 	case "", "init":
-		// Fresh run (or a resume from the pre-day-zero checkpoint): open
-		// the checkpoint writer and make the empty state durable, so a
-		// kill at any later point has a boundary to resume from.
-		if s.resumeStep == "" && s.Cfg.CheckpointDir != "" {
-			w, err := s.Store.OpenCheckpointWriter(s.Cfg.CheckpointDir)
-			if err != nil {
-				return fmt.Errorf("core: opening checkpoint: %w", err)
+		// Fresh run (or a resume from the pre-day-zero checkpoint): clear
+		// any previous run's segment files, then open the checkpoint writer
+		// and make the empty state durable, so a kill at any later point has
+		// a boundary to resume from. A resume never resets the spill dir —
+		// restore already re-mapped the manifest's pinned segments from it.
+		if s.resumeStep == "" {
+			if err := s.Store.ResetSpillDir(); err != nil {
+				return fmt.Errorf("core: resetting spill dir: %w", err)
 			}
-			s.ckpt = w
-			if err := s.checkpoint(0, "init"); err != nil {
-				return err
+			if s.Cfg.CheckpointDir != "" {
+				w, err := s.Store.OpenCheckpointWriter(s.Cfg.CheckpointDir)
+				if err != nil {
+					return fmt.Errorf("core: opening checkpoint: %w", err)
+				}
+				s.ckpt = w
+				if err := s.checkpoint(0, "init"); err != nil {
+					return err
+				}
 			}
 		}
 	case "drain", "monitor":
@@ -403,6 +445,13 @@ func (s *Study) runDay(ctx context.Context, day int, resumeFrom string) error {
 				if err := s.collector.PollSocial(ctx); err != nil {
 					return err
 				}
+				// Hourly budget check: waiting for the day boundary would
+				// let a busy discovery day overshoot the budget by a full
+				// day's ingest. Sealing never renumbers rows, so the live
+				// streams keep appending unaffected.
+				if err := s.Store.SpillCheck(); err != nil {
+					return err
+				}
 				s.Cfg.Prof.Capture("search")
 				if err := s.hook(day, fmt.Sprintf("search-%02d", hour)); err != nil {
 					return err
@@ -422,6 +471,12 @@ func (s *Study) runDay(ctx context.Context, day int, resumeFrom string) error {
 	if resumeFrom != "monitor" && (day+1)%s.Cfg.MonitorEveryDays == 0 {
 		s.phaseBoundary()
 		if err := s.monitor.DailySweep(ctx, s.Clock.Now()); err != nil {
+			return err
+		}
+		// Observation pruning: groups that ended dead more than two sweeps
+		// ago will never grow their series again, so their chains can be
+		// sealed eagerly instead of waiting for the budget to force it.
+		if err := s.Store.PruneObservations(s.Clock.Now().Add(-2 * 24 * time.Hour)); err != nil {
 			return err
 		}
 		s.Cfg.Prof.Capture("monitor")

@@ -1,0 +1,30 @@
+package prof
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestRSSMetrics(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("RSS metrics read /proc; linux only")
+	}
+	rss := RSSBytes()
+	peak := PeakRSSBytes()
+	if rss <= 0 {
+		t.Fatalf("RSSBytes() = %d, want > 0", rss)
+	}
+	if peak < rss {
+		t.Fatalf("PeakRSSBytes() = %d below current RSS %d", peak, rss)
+	}
+	if live := HeapLiveBytes(); live <= 0 {
+		t.Fatalf("HeapLiveBytes() = %d, want > 0", live)
+	}
+	// ResetPeakRSS may be denied (e.g. sandboxed); both outcomes are
+	// valid — only a successful reset must leave a sane watermark.
+	if ResetPeakRSS() {
+		if p := PeakRSSBytes(); p <= 0 {
+			t.Fatalf("PeakRSSBytes() = %d after reset, want > 0", p)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"msgscope/internal/platform"
+	"msgscope/internal/prof"
 )
 
 // Ingest benchmarks for the hot record families. Each benchmark generates
@@ -351,6 +352,96 @@ func BenchmarkStoreIngest(b *testing.B) {
 		b.ReportMetric(float64(bytes)/float64(n), "liveB/rec")
 		runtime.KeepAlive(obj)
 	})
+}
+
+// BenchmarkStoreIngestSpill is the memory-budget acceptance gate: the same
+// tweet+message corpus as BenchmarkStoreIngest, ingested under a spill
+// budget with periodic SpillCheck sweeps (the engine's hourly cadence,
+// compressed). Alongside ns/rec it reports the kernel's peak RSS and the
+// runtime's live heap in MB — the two numbers the budget is supposed to
+// hold down — and `make bench-compare` gates both like any other
+// lower-is-better metric. Knobs:
+//
+//	MSGSCOPE_SPILL_BUDGET   — spill budget in bytes (default 8 MiB, small
+//	                          enough that the default corpus seals often)
+//	MSGSCOPE_BENCH_RSS_MAX  — hard ceiling in bytes; the benchmark FAILS
+//	                          if peak RSS exceeds it (bench-scale sets it)
+func BenchmarkStoreIngestSpill(b *testing.B) {
+	base := time.Date(2020, 4, 8, 0, 0, 0, 0, time.UTC)
+	scale := benchScale()
+	budget := int64(8 << 20)
+	if s := os.Getenv("MSGSCOPE_SPILL_BUDGET"); s != "" {
+		if v, err := strconv.ParseInt(s, 10, 64); err == nil && v > 0 {
+			budget = v
+		}
+	}
+	var rssMax int64
+	if s := os.Getenv("MSGSCOPE_BENCH_RSS_MAX"); s != "" {
+		if v, err := strconv.ParseInt(s, 10, 64); err == nil && v > 0 {
+			rssMax = v
+		}
+	}
+
+	nT := int(100_000 * scale)
+	nM := int(200_000 * scale)
+	tweetBatch := make([]TweetIngest, ingestBatchSize)
+	msgBatch := make([]MessageRecord, ingestBatchSize)
+	var textBuf []byte
+	var stats SpillStats
+
+	// Reset the kernel watermark so peak RSS measures this benchmark, not
+	// whatever ran before it in the same process. Best-effort: when the
+	// write is denied the whole-process peak still bounds ours from above,
+	// which keeps the RSS_MAX gate conservative.
+	prof.ResetPeakRSS()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := New()
+		if err := s.EnableSpill(SpillConfig{Dir: b.TempDir(), Budget: budget}); err != nil {
+			b.Fatal(err)
+		}
+		rng := benchPCG(42)
+		for done, sweep := 0, 0; done < nT; done += len(tweetBatch) {
+			if rem := nT - done; rem < len(tweetBatch) {
+				tweetBatch = tweetBatch[:rem]
+			}
+			textBuf = fillTweetBatch(tweetBatch, &rng, base, uint64(done+1), nT, textBuf)
+			s.AddTweetBatch(tweetBatch)
+			if sweep++; sweep%8 == 0 {
+				if err := s.SpillCheck(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		rng = benchPCG(43)
+		for done := 0; done < nM; done += len(msgBatch) {
+			if rem := nM - done; rem < len(msgBatch) {
+				msgBatch = msgBatch[:rem]
+			}
+			fillMessageBatch(msgBatch, &rng, base, uint64(done), nM)
+			s.AddMessageBatch(msgBatch) // self-seals past budget/2 on its own
+		}
+		if err := s.SpillCheck(); err != nil {
+			b.Fatal(err)
+		}
+		stats = s.SpillStats()
+	}
+	b.StopTimer()
+	if stats.Segments == 0 {
+		b.Fatalf("budget %d sealed no segments over %d+%d records; the gate is vacuous", budget, nT, nM)
+	}
+	runtime.GC()
+	peak := prof.PeakRSSBytes()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(nT+nM), "ns/rec")
+	if peak > 0 {
+		b.ReportMetric(float64(peak)/float64(1<<20), "peakRSS-MB")
+	}
+	b.ReportMetric(float64(prof.HeapLiveBytes())/float64(1<<20), "heapLive-MB")
+	b.ReportMetric(float64(stats.SegBytes)/float64(1<<20), "segDisk-MB")
+	if rssMax > 0 && peak > rssMax {
+		b.Fatalf("peak RSS %d bytes exceeds MSGSCOPE_BENCH_RSS_MAX %d", peak, rssMax)
+	}
 }
 
 // BenchmarkStoreIngestParallel drives AddTweetBatch and UpsertUserBatch

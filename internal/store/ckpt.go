@@ -377,10 +377,10 @@ func (w *CheckpointWriter) captureGroups(emit bool) error {
 					// new groups) and emit the rows appended since.
 					next := st.obsHead[r]
 					if tail != 0 {
-						next = st.obs.next[tail-1]
+						next = st.obs.nextAt(int(tail - 1))
 					}
 					p, code := platform.Platform(st.plat[r]), st.tab.Lookup(st.code[r])
-					for i := next; i != 0; i = st.obs.next[i-1] {
+					for i := next; i != 0; i = st.obs.nextAt(int(i - 1)) {
 						o := st.obs.recordAt(i-1, st.tab)
 						if err := w.appendEvent(events, &ckEvent{Kind: "obs", Plat: p, Code: code, Obs: &o}); err != nil {
 							return err
@@ -542,11 +542,21 @@ func (s *Store) LoadCheckpoint(dir string, logs map[string]checkpoint.LogState) 
 	}); err != nil {
 		return err
 	}
+	// Control and message rows restored from pinned segments (RestoreSpill)
+	// occupy the first `frozen` rows of their families and are exactly the
+	// first `frozen` log records: both families are plain appends with no
+	// dedup and no cross-checkpoint re-emission, so log order equals row
+	// order. Skip that prefix instead of re-appending it. The skipped
+	// records still count toward the manifest's record total.
+	ctlSkip := int64(s.control.frozen)
 	if err := replay(logControl, func(path string) (int64, error) {
 		var n int64
 		err := loadFileStream(path, make([]ControlRecord, jsonlBatchSize), func(batch []ControlRecord) error {
-			s.AddControlBatch(batch)
-			n += int64(len(batch))
+			b := skipPrefix(batch, &n, ctlSkip)
+			if len(b) > 0 {
+				s.AddControlBatch(b)
+			}
+			n += int64(len(b))
 			return nil
 		})
 		return n, err
@@ -569,11 +579,15 @@ func (s *Store) LoadCheckpoint(dir string, logs map[string]checkpoint.LogState) 
 	}); err != nil {
 		return err
 	}
+	msgSkip := int64(s.msgs.frozen)
 	if err := replay(logMessages, func(path string) (int64, error) {
 		var n int64
 		err := loadFileStream(path, make([]MessageRecord, jsonlBatchSize), func(batch []MessageRecord) error {
-			s.AddMessageBatch(batch)
-			n += int64(len(batch))
+			b := skipPrefix(batch, &n, msgSkip)
+			if len(b) > 0 {
+				s.AddMessageBatch(b)
+			}
+			n += int64(len(b))
 			return nil
 		})
 		return n, err
@@ -593,6 +607,22 @@ func (s *Store) LoadCheckpoint(dir string, logs map[string]checkpoint.LogState) 
 		})
 		return n, err
 	})
+}
+
+// skipPrefix trims the leading records of one replay batch that fall
+// inside the already-restored prefix [0, skip), advancing *n past the
+// trimmed records so the caller's total still counts them.
+func skipPrefix[T any](batch []T, n *int64, skip int64) []T {
+	if *n >= skip {
+		return batch
+	}
+	drop := skip - *n
+	if drop >= int64(len(batch)) {
+		*n += int64(len(batch))
+		return nil
+	}
+	*n = skip
+	return batch[drop:]
 }
 
 // applyEvent replays one keyed-family delta.

@@ -21,6 +21,15 @@ import (
 // an unsafe.String view into the arena, and times are rebuilt from
 // unixNano.
 //
+// Spilling (DESIGN.md §16): each family is a chain of immutable mmap-backed
+// segments holding rows [0, frozen) plus the in-heap columns holding the
+// hot tail [frozen, len()). Row numbering is global and stable — sealing
+// moves rows out of the heap without renumbering them, so dedup indexes,
+// checkpoint marks, and index-selected views stay valid across a seal.
+// Accessors branch on frozen; hot-path loops that touch only the heap tail
+// (append, capture from a mark past frozen) never pay the branch's cold
+// side.
+//
 // Time encoding: CreatedAt/SentAt are stored as int64 unixNano and
 // restored with time.Unix(0, n).UTC(). Every timestamp the study produces
 // is UTC (simclock), so the round trip is byte-identical through
@@ -44,12 +53,22 @@ func nanoToTime(n int64) time.Time {
 	return time.Unix(0, n).UTC()
 }
 
+// sliceBytes is the retained-heap cost of one column (capacity, not
+// length: append slack is real memory).
+func sliceBytes[T any](s []T) int64 {
+	var z T
+	return int64(cap(s)) * int64(unsafe.Sizeof(z))
+}
+
 // textArena stores variable-length strings in fixed-size chunks (1 MiB),
 // addressed by record index through packed (chunk, offset) positions plus
 // a length column. Chunks are allocated at full capacity up front and
 // never reallocated, so unsafe.String views into them stay valid for the
 // life of the store and the arena carries no append-growth slack. A string
-// larger than a chunk gets a dedicated exact-size chunk.
+// larger than a chunk gets a dedicated exact-size chunk. Positions are
+// 64-bit — chunk<<20 | offset — so capacity scales with the corpus
+// instead of aborting at the former 4 GiB directory limit; a family whose
+// text outgrows its budget spills to segments rather than panicking.
 //
 // Families whose texts are all empty (messages, unless the toxicity
 // extension collects bodies) pay nothing: the position and length columns
@@ -58,12 +77,11 @@ func nanoToTime(n int64) time.Time {
 const (
 	textChunkShift = 20
 	textChunkSize  = 1 << textChunkShift
-	textMaxChunks  = 1 << (32 - textChunkShift)
 )
 
 type textArena struct {
 	chunks [][]byte
-	pos    []uint32 // chunk<<textChunkShift | offset
+	pos    []uint64 // chunk<<textChunkShift | offset
 	ln     []uint32
 }
 
@@ -79,14 +97,11 @@ func (a *textArena) append(row int, s string) {
 		return
 	}
 	if a.ln == nil && row > 0 {
-		a.pos = make([]uint32, row)
+		a.pos = make([]uint64, row)
 		a.ln = make([]uint32, row)
 	}
 	ci := len(a.chunks) - 1
 	if ci < 0 || len(a.chunks[ci])+len(s) > cap(a.chunks[ci]) {
-		if len(a.chunks) == textMaxChunks {
-			panic("store: text arena exceeds 4 GiB; shard the study window")
-		}
 		size := textChunkSize
 		if len(s) > size {
 			size = len(s)
@@ -96,7 +111,7 @@ func (a *textArena) append(row int, s string) {
 	}
 	off := len(a.chunks[ci])
 	a.chunks[ci] = append(a.chunks[ci], s...)
-	a.pos = append(a.pos, uint32(ci)<<textChunkShift|uint32(off))
+	a.pos = append(a.pos, uint64(ci)<<textChunkShift|uint64(off))
 	a.ln = append(a.ln, uint32(len(s)))
 }
 
@@ -110,6 +125,14 @@ func (a *textArena) at(i int) string {
 	}
 	p := a.pos[i]
 	return unsafe.String(&a.chunks[p>>textChunkShift][p&(textChunkSize-1)], int(n))
+}
+
+func (a *textArena) heapBytes() int64 {
+	b := sliceBytes(a.pos) + sliceBytes(a.ln)
+	for _, ch := range a.chunks {
+		b += int64(cap(ch))
+	}
+	return b
 }
 
 // view returns a length-trimmed copy of the arena's headers, immune to
@@ -131,10 +154,29 @@ const (
 	flagRetweet    = uint8(0x80)
 )
 
-// tweetCols is the tweet family, one slice per field. userTab/langTab are
-// shared with the control family (both write under tweetMu); groupTab is
-// the tweet family's own.
+// segLocate finds the segment covering global row i in a slice ordered by
+// start. Callers guarantee i < frozen, so the search always lands.
+func segLocate(n int, end func(k int) int, i int) int {
+	lo, hi := 0, n
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if i >= end(mid) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// tweetCols is the tweet family: mmap-backed segments for rows
+// [0, frozen), heap columns for the hot tail. userTab/langTab are shared
+// with the control family (both write under tweetMu); groupTab is the
+// tweet family's own. Heap slices are indexed by i-frozen.
 type tweetCols struct {
+	segs   []tweetSeg
+	frozen int
+
 	ids      []uint64
 	user     []uint32
 	created  []int64
@@ -153,7 +195,13 @@ func newTweetCols(userTab, langTab *ids.Table) tweetCols {
 	return tweetCols{userTab: userTab, langTab: langTab, groupTab: ids.NewTable()}
 }
 
-func (c *tweetCols) len() int { return len(c.ids) }
+func (c *tweetCols) len() int { return c.frozen + len(c.ids) }
+
+func (c *tweetCols) seg(i int) (*tweetSeg, int) {
+	k := segLocate(len(c.segs), func(k int) int { return c.segs[k].start + c.segs[k].n }, i)
+	s := &c.segs[k]
+	return s, i - s.start
+}
 
 func (c *tweetCols) append(t *TweetRecord) {
 	c.ids = append(c.ids, t.ID)
@@ -173,28 +221,102 @@ func (c *tweetCols) append(t *TweetRecord) {
 }
 
 func (c *tweetCols) at(i int) TweetRecord {
-	f := c.flags[i]
+	if i >= c.frozen {
+		j := i - c.frozen
+		f := c.flags[j]
+		return TweetRecord{
+			ID:        c.ids[j],
+			UserID:    c.userTab.Lookup(c.user[j]),
+			CreatedAt: nanoToTime(c.created[j]),
+			Lang:      c.langTab.Lookup(c.lang[j]),
+			Hashtags:  int(c.hashtags[j]),
+			Mentions:  int(c.mentions[j]),
+			Retweet:   f&flagRetweet != 0,
+			Text:      c.text.at(j),
+			Platform:  platform.Platform(c.plat[j]),
+			GroupCode: c.groupTab.Lookup(c.group[j]),
+			Source:    TweetSource(f & flagSourceMask),
+		}
+	}
+	s, j := c.seg(i)
+	f := s.flags[j]
 	return TweetRecord{
-		ID:        c.ids[i],
-		UserID:    c.userTab.Lookup(c.user[i]),
-		CreatedAt: nanoToTime(c.created[i]),
-		Lang:      c.langTab.Lookup(c.lang[i]),
-		Hashtags:  int(c.hashtags[i]),
-		Mentions:  int(c.mentions[i]),
+		ID:        s.ids[j],
+		UserID:    s.users.str(s.user[j]),
+		CreatedAt: nanoToTime(s.created[j]),
+		Lang:      s.langs.str(s.lang[j]),
+		Hashtags:  int(s.hashtags[j]),
+		Mentions:  int(s.mentions[j]),
 		Retweet:   f&flagRetweet != 0,
-		Text:      c.text.at(i),
-		Platform:  platform.Platform(c.plat[i]),
-		GroupCode: c.groupTab.Lookup(c.group[i]),
+		Text:      s.text(j),
+		Platform:  platform.Platform(s.plat[j]),
+		GroupCode: s.groups.str(s.group[j]),
 		Source:    TweetSource(f & flagSourceMask),
 	}
 }
 
+func (c *tweetCols) platAt(i int) uint8 {
+	if i >= c.frozen {
+		return c.plat[i-c.frozen]
+	}
+	s, j := c.seg(i)
+	return s.plat[j]
+}
+
+func (c *tweetCols) createdNano(i int) int64 {
+	if i >= c.frozen {
+		return c.created[i-c.frozen]
+	}
+	s, j := c.seg(i)
+	return s.created[j]
+}
+
+// userHandle returns the live userTab handle of row i's author, the shared
+// handle space distinct-user counts key on.
+func (c *tweetCols) userHandle(i int) uint32 {
+	if i >= c.frozen {
+		return c.user[i-c.frozen]
+	}
+	s, j := c.seg(i)
+	return s.userMap[s.user[j]]
+}
+
+// orFlags merges bits into row i's flags, reporting whether they changed.
+// Frozen rows mutate their private (copy-on-write) mapping — the file is
+// untouched, which is why segments pinned by a checkpoint stay valid: a
+// resume re-merges from the replayed log instead.
+func (c *tweetCols) orFlags(i int, bits uint8) bool {
+	if i >= c.frozen {
+		j := i - c.frozen
+		if nf := c.flags[j] | bits; nf != c.flags[j] {
+			c.flags[j] = nf
+			return true
+		}
+		return false
+	}
+	s, j := c.seg(i)
+	if nf := s.flags[j] | bits; nf != s.flags[j] {
+		s.flags[j] = nf
+		return true
+	}
+	return false
+}
+
+func (c *tweetCols) heapBytes() int64 {
+	return sliceBytes(c.ids) + sliceBytes(c.user) + sliceBytes(c.created) +
+		sliceBytes(c.lang) + sliceBytes(c.hashtags) + sliceBytes(c.mentions) +
+		sliceBytes(c.flags) + sliceBytes(c.plat) + sliceBytes(c.group) +
+		c.text.heapBytes()
+}
+
 // view returns a copy of the column headers trimmed to the current length,
 // safe to read while writers keep appending (appends never move rows
-// [0, n); the interning tables allow lock-free lookups).
+// [0, n); the interning tables allow lock-free lookups; the segment
+// directory is cloned because a seal appends to it).
 func (c *tweetCols) view() tweetCols {
-	n := c.len()
+	n := len(c.ids)
 	return tweetCols{
+		segs: slices.Clone(c.segs), frozen: c.frozen,
 		ids: c.ids[:n], user: c.user[:n], created: c.created[:n],
 		lang: c.lang[:n], hashtags: c.hashtags[:n], mentions: c.mentions[:n],
 		flags: c.flags[:n], plat: c.plat[:n], group: c.group[:n],
@@ -205,6 +327,9 @@ func (c *tweetCols) view() tweetCols {
 
 // controlCols is the control-tweet family (features only, no text).
 type controlCols struct {
+	segs   []controlSeg
+	frozen int
+
 	ids      []uint64
 	user     []uint32
 	created  []int64
@@ -220,7 +345,13 @@ func newControlCols(userTab, langTab *ids.Table) controlCols {
 	return controlCols{userTab: userTab, langTab: langTab}
 }
 
-func (c *controlCols) len() int { return len(c.ids) }
+func (c *controlCols) len() int { return c.frozen + len(c.ids) }
+
+func (c *controlCols) seg(i int) (*controlSeg, int) {
+	k := segLocate(len(c.segs), func(k int) int { return c.segs[k].start + c.segs[k].n }, i)
+	s := &c.segs[k]
+	return s, i - s.start
+}
 
 func (c *controlCols) append(r *ControlRecord) {
 	c.ids = append(c.ids, r.ID)
@@ -237,20 +368,40 @@ func (c *controlCols) append(r *ControlRecord) {
 }
 
 func (c *controlCols) at(i int) ControlRecord {
+	if i >= c.frozen {
+		j := i - c.frozen
+		return ControlRecord{
+			ID:        c.ids[j],
+			UserID:    c.userTab.Lookup(c.user[j]),
+			CreatedAt: nanoToTime(c.created[j]),
+			Lang:      c.langTab.Lookup(c.lang[j]),
+			Hashtags:  int(c.hashtags[j]),
+			Mentions:  int(c.mentions[j]),
+			Retweet:   c.flags[j]&flagRetweet != 0,
+		}
+	}
+	s, j := c.seg(i)
 	return ControlRecord{
-		ID:        c.ids[i],
-		UserID:    c.userTab.Lookup(c.user[i]),
-		CreatedAt: nanoToTime(c.created[i]),
-		Lang:      c.langTab.Lookup(c.lang[i]),
-		Hashtags:  int(c.hashtags[i]),
-		Mentions:  int(c.mentions[i]),
-		Retweet:   c.flags[i]&flagRetweet != 0,
+		ID:        s.ids[j],
+		UserID:    s.users.str(s.user[j]),
+		CreatedAt: nanoToTime(s.created[j]),
+		Lang:      s.langs.str(s.lang[j]),
+		Hashtags:  int(s.hashtags[j]),
+		Mentions:  int(s.mentions[j]),
+		Retweet:   s.flags[j]&flagRetweet != 0,
 	}
 }
 
+func (c *controlCols) heapBytes() int64 {
+	return sliceBytes(c.ids) + sliceBytes(c.user) + sliceBytes(c.created) +
+		sliceBytes(c.lang) + sliceBytes(c.hashtags) + sliceBytes(c.mentions) +
+		sliceBytes(c.flags)
+}
+
 func (c *controlCols) view() controlCols {
-	n := c.len()
+	n := len(c.ids)
 	return controlCols{
+		segs: slices.Clone(c.segs), frozen: c.frozen,
 		ids: c.ids[:n], user: c.user[:n], created: c.created[:n],
 		lang: c.lang[:n], hashtags: c.hashtags[:n], mentions: c.mentions[:n],
 		flags: c.flags[:n], userTab: c.userTab, langTab: c.langTab,
@@ -259,8 +410,11 @@ func (c *controlCols) view() controlCols {
 
 // msgCols is the message family. Message bodies are usually absent (the
 // paper's figures never need them), so the text arena stays empty except
-// for the 4-byte offset column.
+// for the offset column.
 type msgCols struct {
+	segs   []msgSeg
+	frozen int
+
 	plat   []uint8
 	group  []uint32
 	author []uint64
@@ -275,7 +429,13 @@ func newMsgCols() msgCols {
 	return msgCols{groupTab: ids.NewTable()}
 }
 
-func (c *msgCols) len() int { return len(c.plat) }
+func (c *msgCols) len() int { return c.frozen + len(c.plat) }
+
+func (c *msgCols) seg(i int) (*msgSeg, int) {
+	k := segLocate(len(c.segs), func(k int) int { return c.segs[k].start + c.segs[k].n }, i)
+	s := &c.segs[k]
+	return s, i - s.start
+}
 
 func (c *msgCols) append(m *MessageRecord) {
 	c.plat = append(c.plat, uint8(m.Platform))
@@ -287,19 +447,53 @@ func (c *msgCols) append(m *MessageRecord) {
 }
 
 func (c *msgCols) at(i int) MessageRecord {
+	if i >= c.frozen {
+		j := i - c.frozen
+		return MessageRecord{
+			Platform:  platform.Platform(c.plat[j]),
+			GroupCode: c.groupTab.Lookup(c.group[j]),
+			AuthorKey: c.author[j],
+			SentAt:    nanoToTime(c.sent[j]),
+			Type:      platform.MessageType(c.typ[j]),
+			Text:      c.text.at(j),
+		}
+	}
+	s, j := c.seg(i)
 	return MessageRecord{
-		Platform:  platform.Platform(c.plat[i]),
-		GroupCode: c.groupTab.Lookup(c.group[i]),
-		AuthorKey: c.author[i],
-		SentAt:    nanoToTime(c.sent[i]),
-		Type:      platform.MessageType(c.typ[i]),
-		Text:      c.text.at(i),
+		Platform:  platform.Platform(s.plat[j]),
+		GroupCode: s.groups.str(s.group[j]),
+		AuthorKey: s.author[j],
+		SentAt:    nanoToTime(s.sent[j]),
+		Type:      platform.MessageType(s.typ[j]),
+		Text:      s.text(j),
 	}
 }
 
+func (c *msgCols) platAt(i int) uint8 {
+	if i >= c.frozen {
+		return c.plat[i-c.frozen]
+	}
+	s, j := c.seg(i)
+	return s.plat[j]
+}
+
+func (c *msgCols) authorKey(i int) uint64 {
+	if i >= c.frozen {
+		return c.author[i-c.frozen]
+	}
+	s, j := c.seg(i)
+	return s.author[j]
+}
+
+func (c *msgCols) heapBytes() int64 {
+	return sliceBytes(c.plat) + sliceBytes(c.group) + sliceBytes(c.author) +
+		sliceBytes(c.sent) + sliceBytes(c.typ) + c.text.heapBytes()
+}
+
 func (c *msgCols) view() msgCols {
-	n := c.len()
+	n := len(c.plat)
 	return msgCols{
+		segs: slices.Clone(c.segs), frozen: c.frozen,
 		plat: c.plat[:n], group: c.group[:n], author: c.author[:n],
 		sent: c.sent[:n], typ: c.typ[:n], text: c.text.view(n),
 		groupTab: c.groupTab,
@@ -308,9 +502,9 @@ func (c *msgCols) view() msgCols {
 
 // TweetList is a read-only view of tweets: either a whole family or an
 // index-selected subset (one platform, one study day). At materializes a
-// TweetRecord without allocating — strings are interned or arena-backed
-// views — so `for i := 0; i < l.Len(); i++ { t := l.At(i) ... }` replaces
-// the former []TweetRecord loops at the same cost.
+// TweetRecord without allocating — strings are interned, arena-backed, or
+// mmap-backed views — so `for i := 0; i < l.Len(); i++ { t := l.At(i) }`
+// replaces the former []TweetRecord loops at the same cost.
 type TweetList struct {
 	c   tweetCols
 	idx []uint32
@@ -363,7 +557,7 @@ func (l TweetList) ByDay(start time.Time, days int) []TweetList {
 		if !l.all {
 			j = int(l.idx[i])
 		}
-		c := l.c.created[j]
+		c := l.c.createdNano(j)
 		if c == zeroTimeNano {
 			continue
 		}

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -46,8 +47,15 @@ const (
 
 // obsCols holds one stripe's observations, one slice per Observation
 // field plus the intra-group chain. ~45 bytes/row against ~150 for the
-// former []Observation elements.
+// former []Observation elements. Like the tweet/message families
+// (columnar.go), rows [0, frozen) live in sealed mmap-backed segments and
+// the heap slices hold the hot tail, indexed by i-frozen; row numbering is
+// global and chain links keep working across a seal because links are
+// row+1 regardless of which tier the row lives in.
 type obsCols struct {
+	segs   []obsSeg
+	frozen int
+
 	at        []int64
 	createdAt []int64
 	title     []uint32
@@ -58,6 +66,89 @@ type obsCols struct {
 	online    []int32
 	flags     []uint8
 	next      []uint32 // row+1 of the group's next observation; 0 = end
+}
+
+func (c *obsCols) total() int { return c.frozen + len(c.at) }
+
+func (c *obsCols) seg(i int) (*obsSeg, int) {
+	k := segLocate(len(c.segs), func(k int) int { return c.segs[k].start + c.segs[k].n }, i)
+	s := &c.segs[k]
+	return s, i - s.start
+}
+
+func (c *obsCols) nextAt(i int) uint32 {
+	if i >= c.frozen {
+		return c.next[i-c.frozen]
+	}
+	s, j := c.seg(i)
+	return s.next[j]
+}
+
+// setNext welds row i's chain link. Frozen rows write their private
+// (copy-on-write) mapping: a chain whose tail was sealed keeps growing
+// into the heap without touching the file.
+func (c *obsCols) setNext(i int, v uint32) {
+	if i >= c.frozen {
+		c.next[i-c.frozen] = v
+		return
+	}
+	s, j := c.seg(i)
+	s.next[j] = v
+}
+
+func (c *obsCols) atNano(i int) int64 {
+	if i >= c.frozen {
+		return c.at[i-c.frozen]
+	}
+	s, j := c.seg(i)
+	return s.at[j]
+}
+
+func (c *obsCols) createdNanoAt(i int) int64 {
+	if i >= c.frozen {
+		return c.createdAt[i-c.frozen]
+	}
+	s, j := c.seg(i)
+	return s.createdAt[j]
+}
+
+func (c *obsCols) titleAt(i int) uint32 {
+	if i >= c.frozen {
+		return c.title[i-c.frozen]
+	}
+	s, j := c.seg(i)
+	return s.title[j]
+}
+
+func (c *obsCols) creatorAt(i int) uint32 {
+	if i >= c.frozen {
+		return c.creator[i-c.frozen]
+	}
+	s, j := c.seg(i)
+	return s.creator[j]
+}
+
+func (c *obsCols) countryAt(i int) uint32 {
+	if i >= c.frozen {
+		return c.country[i-c.frozen]
+	}
+	s, j := c.seg(i)
+	return s.country[j]
+}
+
+func (c *obsCols) flagsAt(i int) uint8 {
+	if i >= c.frozen {
+		return c.flags[i-c.frozen]
+	}
+	s, j := c.seg(i)
+	return s.flags[j]
+}
+
+func (c *obsCols) heapBytes() int64 {
+	return sliceBytes(c.at) + sliceBytes(c.createdAt) + sliceBytes(c.title) +
+		sliceBytes(c.phoneH) + sliceBytes(c.country) + sliceBytes(c.creator) +
+		sliceBytes(c.members) + sliceBytes(c.online) + sliceBytes(c.flags) +
+		sliceBytes(c.next)
 }
 
 func (c *obsCols) append(o *Observation, tab *ids.Table) {
@@ -81,18 +172,35 @@ func (c *obsCols) append(o *Observation, tab *ids.Table) {
 }
 
 func (c *obsCols) recordAt(i uint32, tab *ids.Table) Observation {
-	f := c.flags[i]
+	if int(i) >= c.frozen {
+		j := int(i) - c.frozen
+		f := c.flags[j]
+		return Observation{
+			At:             nanoToTime(c.at[j]),
+			Alive:          f&ofAlive != 0,
+			Title:          tab.Lookup(c.title[j]),
+			Members:        int(c.members[j]),
+			Online:         int(c.online[j]),
+			IsChannel:      f&ofIsChannel != 0,
+			CreatorPhoneH:  tab.Lookup(c.phoneH[j]),
+			CreatorCountry: tab.Lookup(c.country[j]),
+			CreatorKey:     tab.Lookup(c.creator[j]),
+			CreatedAt:      nanoToTime(c.createdAt[j]),
+		}
+	}
+	s, j := c.seg(int(i))
+	f := s.flags[j]
 	return Observation{
-		At:             nanoToTime(c.at[i]),
+		At:             nanoToTime(s.at[j]),
 		Alive:          f&ofAlive != 0,
-		Title:          tab.Lookup(c.title[i]),
-		Members:        int(c.members[i]),
-		Online:         int(c.online[i]),
+		Title:          tab.Lookup(s.title[j]),
+		Members:        int(s.members[j]),
+		Online:         int(s.online[j]),
 		IsChannel:      f&ofIsChannel != 0,
-		CreatorPhoneH:  tab.Lookup(c.phoneH[i]),
-		CreatorCountry: tab.Lookup(c.country[i]),
-		CreatorKey:     tab.Lookup(c.creator[i]),
-		CreatedAt:      nanoToTime(c.createdAt[i]),
+		CreatorPhoneH:  tab.Lookup(s.phoneH[j]),
+		CreatorCountry: tab.Lookup(s.country[j]),
+		CreatorKey:     tab.Lookup(s.creator[j]),
+		CreatedAt:      nanoToTime(s.createdAt[j]),
 	}
 }
 
@@ -105,6 +213,7 @@ func (c *obsCols) recordAt(i uint32, tab *ids.Table) Observation {
 func (c *obsCols) view() obsCols {
 	n := len(c.at)
 	return obsCols{
+		segs: slices.Clone(c.segs), frozen: c.frozen,
 		at: c.at[:n], createdAt: c.createdAt[:n],
 		title: c.title[:n], phoneH: c.phoneH[:n],
 		country: c.country[:n], creator: c.creator[:n],
@@ -180,7 +289,7 @@ func (st *groupStripe) appendLocked(p platform.Platform, code string) uint32 {
 // appendObsLocked links one observation onto row's chain. Caller holds
 // st.mu.
 func (st *groupStripe) appendObsLocked(row uint32, o *Observation) {
-	n := uint32(len(st.obs.at))
+	n := uint32(st.obs.total())
 	st.obs.append(o, st.tab)
 	if st.obsHead[row] == 0 {
 		st.obsHead[row] = n + 1
@@ -188,7 +297,7 @@ func (st *groupStripe) appendObsLocked(row uint32, o *Observation) {
 		if st.obsTail[row] != n {
 			st.obsScattered = true
 		}
-		st.obs.next[st.obsTail[row]-1] = n + 1
+		st.obs.setNext(int(st.obsTail[row]-1), n+1)
 	}
 	st.obsTail[row] = n + 1
 	st.obsCount[row]++
@@ -262,6 +371,18 @@ func (st *groupStripe) storeScalarsLocked(row uint32, g *GroupRecord) {
 	st.channels[row] = int32(g.Channels)
 }
 
+// scalarHeapBytes is the stripe's group scalar-column footprint — part of
+// the resident floor SpillStats reports (every sweep touches every group,
+// so these never spill). Caller holds st.mu.
+func (st *groupStripe) scalarHeapBytes() int64 {
+	return sliceBytes(st.plat) + sliceBytes(st.flags) + sliceBytes(st.code) +
+		sliceBytes(st.canonical) + sliceBytes(st.creatorKey) + sliceBytes(st.deferReason) +
+		sliceBytes(st.firstSeen) + sliceBytes(st.lastSeen) + sliceBytes(st.joinedAt) +
+		sliceBytes(st.createdAt) + sliceBytes(st.tweets) + sliceBytes(st.socialPosts) +
+		sliceBytes(st.members) + sliceBytes(st.channels) +
+		sliceBytes(st.obsHead) + sliceBytes(st.obsTail) + sliceBytes(st.obsCount)
+}
+
 // compactLocked rewrites the stripe's observation columns into group-major
 // order, making every group's series one dense (first, count) range, and
 // drops rows orphaned by put-replacement. Fresh slices are allocated so
@@ -269,6 +390,14 @@ func (st *groupStripe) storeScalarsLocked(row uint32, g *GroupRecord) {
 // holds st.mu.
 func (st *groupStripe) compactLocked() {
 	if !st.obsScattered {
+		return
+	}
+	// Sealed rows cannot be renumbered: chain links from other frozen rows
+	// point at them by global row, dedup-free anchors (obsHead/obsTail)
+	// span both tiers, and the segment file is immutable. A spilled stripe
+	// therefore keeps its scattered chains and ObsList serves them by walk
+	// — the random-access upgrade is a heap-only luxury.
+	if len(st.obs.segs) > 0 {
 		return
 	}
 	old := st.obs
@@ -387,7 +516,7 @@ func (gt *groupTable) lookup(p platform.Platform, code string) (GroupRecord, boo
 	g := st.scalarsLocked(row)
 	if c := st.obsCount[row]; c > 0 {
 		g.Observations = make([]Observation, 0, c)
-		for i := st.obsHead[row]; i != 0; i = st.obs.next[i-1] {
+		for i := st.obsHead[row]; i != 0; i = st.obs.nextAt(int(i - 1)) {
 			g.Observations = append(g.Observations, st.obs.recordAt(i-1, st.tab))
 		}
 	}

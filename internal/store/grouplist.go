@@ -199,8 +199,8 @@ func (l ObsList) At(i int) Observation {
 // nextOf follows one chain link, treating links past the view's horizon
 // as end-of-chain (an append after the view was taken).
 func (l ObsList) nextOf(j uint32) uint32 {
-	n := l.v.obs.next[j-1]
-	if int(n) > len(l.v.obs.at) {
+	n := l.v.obs.nextAt(int(j - 1))
+	if int(n) > l.v.obs.total() {
 		return 0
 	}
 	return n
@@ -247,7 +247,7 @@ func (l ObsList) Last() (Observation, bool) {
 func (l ObsList) FirstCreatedAt() time.Time {
 	out := time.Time{}
 	l.eachRow(func(j uint32) bool {
-		if n := l.v.obs.createdAt[j]; n != zeroTimeNano {
+		if n := l.v.obs.createdNanoAt(int(j)); n != zeroTimeNano {
 			out = nanoToTime(n)
 			return false
 		}
@@ -261,7 +261,7 @@ func (l ObsList) FirstCreatedAt() time.Time {
 func (l ObsList) FirstCreatorKey() string {
 	out := ""
 	l.eachRow(func(j uint32) bool {
-		if h := l.v.obs.creator[j]; h != 0 {
+		if h := l.v.obs.creatorAt(int(j)); h != 0 {
 			out = l.v.tab.Lookup(h)
 			return false
 		}
@@ -275,7 +275,7 @@ func (l ObsList) FirstCreatorKey() string {
 func (l ObsList) FirstCreatorCountry() string {
 	out := ""
 	l.eachRow(func(j uint32) bool {
-		if h := l.v.obs.country[j]; h != 0 {
+		if h := l.v.obs.countryAt(int(j)); h != 0 {
 			out = l.v.tab.Lookup(h)
 			return false
 		}
@@ -289,7 +289,7 @@ func (l ObsList) FirstCreatorCountry() string {
 func (l ObsList) LastTitle() string {
 	h := uint32(0)
 	l.eachRow(func(j uint32) bool {
-		if t := l.v.obs.title[j]; t != 0 {
+		if t := l.v.obs.titleAt(int(j)); t != 0 {
 			h = t
 		}
 		return true

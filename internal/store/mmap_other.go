@@ -1,0 +1,22 @@
+//go:build !unix
+
+package store
+
+import (
+	"io"
+	"os"
+)
+
+// mapFile on platforms without syscall.Mmap reads the file into the heap.
+// Spilling then bounds nothing (the "mapping" is resident), but the
+// segment machinery keeps working so studies stay portable; the memory
+// budget is only honored on unix.
+func mapFile(f *os.File, size int64) ([]byte, error) {
+	data := make([]byte, size)
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+func unmapFile(data []byte) error { return nil }

@@ -1,0 +1,27 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps size bytes of f read-write PRIVATE. Reads serve from the
+// page cache under kernel eviction (this is the whole point of the spill
+// tier: cold columns cost page cache, not heap), while the rare in-place
+// mutations of frozen rows — tweet source-flag merges, observation
+// next-pointer welds — copy-on-write the touched page instead of dirtying
+// the file, so segments on disk stay immutable after the rename that
+// published them.
+func mapFile(f *os.File, size int64) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, int(size),
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_PRIVATE)
+}
+
+func unmapFile(data []byte) error {
+	if data == nil {
+		return nil
+	}
+	return syscall.Munmap(data)
+}

@@ -1,0 +1,565 @@
+package store
+
+// Immutable on-disk column segments — the spill tier's file format and the
+// typed views the columnar families serve frozen rows from (DESIGN.md §16).
+//
+// A segment file holds one sealed batch of rows for one family, columns
+// written contiguously as raw slice memory:
+//
+//	[8]   magic "MSGSEG01"
+//	[...] sections, each 8-byte aligned: one column (or dictionary part)
+//	      dumped as native-endian memory
+//	[...] JSON footer (segFooter): family, row count, section directory
+//	[24]  trailer: footerOff u64 | footerLen u64 | crc32(footer) u32 | "MSEG"
+//
+// Readers locate the footer from the fixed-size trailer, then bind each
+// section as a typed slice pointing straight into the mapping — no decode
+// step, no per-row allocation. Because columns are raw memory, segment
+// files are only portable across processes of the same GOARCH; that is
+// fine for a spill tier whose files never outlive the checkpoint directory
+// that pins them.
+//
+// String columns are segment-local: handle columns index a per-segment
+// dictionary (a prefix-offset column plus a contiguous blob), so a segment
+// is self-contained and can be re-mapped by a resumed process whose live
+// interning tables assign different handles. unsafe.String views into the
+// blob serve reads zero-copy, exactly as the textArena does for hot rows.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"unsafe"
+
+	"msgscope/internal/ids"
+)
+
+const (
+	segMagic        = "MSGSEG01"
+	segTrailerMagic = "MSEG"
+	segTrailerLen   = 24
+)
+
+type segSection struct {
+	Name string `json:"n"`
+	Off  int64  `json:"o"`
+	Len  int64  `json:"l"`
+}
+
+type segFooter struct {
+	Family   string       `json:"family"`
+	Rows     int64        `json:"rows"`
+	Sections []segSection `json:"sections"`
+	// StripeRows is set for the observation family only: rows per stripe,
+	// in stripe order (the stripes' sections share one file).
+	StripeRows []int64 `json:"stripeRows,omitempty"`
+}
+
+// castBytes reinterprets a typed column as its raw memory.
+func castBytes[T any](s []T) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*int(unsafe.Sizeof(s[0])))
+}
+
+// castSlice reinterprets a mapped section as a typed column. The writer
+// 8-byte aligns every section, so the cast never misaligns.
+func castSlice[T any](b []byte) []T {
+	if len(b) == 0 {
+		return nil
+	}
+	var z T
+	return unsafe.Slice((*T)(unsafe.Pointer(&b[0])), len(b)/int(unsafe.Sizeof(z)))
+}
+
+var segPad [8]byte
+
+// segWriter streams one segment file: sections in order, then footer and
+// trailer, written to a temp name and renamed into place so a crash
+// mid-seal never leaves a half-written .seg behind.
+type segWriter struct {
+	dir, name string
+	tmp       string
+	f         *os.File
+	bw        *bufio.Writer
+	off       int64
+	foot      segFooter
+	err       error
+}
+
+func newSegWriter(dir, name, family string) (*segWriter, error) {
+	tmp := filepath.Join(dir, name+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return nil, err
+	}
+	w := &segWriter{
+		dir: dir, name: name, tmp: tmp, f: f,
+		bw:   bufio.NewWriterSize(f, 1<<20),
+		foot: segFooter{Family: family},
+	}
+	w.writeRaw([]byte(segMagic))
+	return w, nil
+}
+
+func (w *segWriter) writeRaw(p []byte) {
+	if w.err != nil {
+		return
+	}
+	n, err := w.bw.Write(p)
+	w.off += int64(n)
+	w.err = err
+}
+
+func (w *segWriter) writeString(s string) {
+	if w.err != nil {
+		return
+	}
+	n, err := w.bw.WriteString(s)
+	w.off += int64(n)
+	w.err = err
+}
+
+// begin opens a named section at the next 8-byte boundary.
+func (w *segWriter) begin(name string) {
+	if pad := int(-w.off & 7); pad > 0 {
+		w.writeRaw(segPad[:pad])
+	}
+	w.foot.Sections = append(w.foot.Sections, segSection{Name: name, Off: w.off})
+}
+
+func (w *segWriter) end() {
+	s := &w.foot.Sections[len(w.foot.Sections)-1]
+	s.Len = w.off - s.Off
+}
+
+func (w *segWriter) section(name string, p []byte) {
+	w.begin(name)
+	w.writeRaw(p)
+	w.end()
+}
+
+// finish writes the footer and trailer, syncs, and renames the temp file
+// to its final name, returning the final path and the file size.
+func (w *segWriter) finish(rows int64, stripeRows []int64) (string, int64, error) {
+	w.foot.Rows = rows
+	w.foot.StripeRows = stripeRows
+	fj, err := json.Marshal(&w.foot)
+	if err != nil {
+		w.abort()
+		return "", 0, err
+	}
+	footOff := w.off
+	w.writeRaw(fj)
+	var tr [segTrailerLen]byte
+	binary.LittleEndian.PutUint64(tr[0:], uint64(footOff))
+	binary.LittleEndian.PutUint64(tr[8:], uint64(len(fj)))
+	binary.LittleEndian.PutUint32(tr[16:], crc32.ChecksumIEEE(fj))
+	copy(tr[20:], segTrailerMagic)
+	w.writeRaw(tr[:])
+	if w.err == nil {
+		w.err = w.bw.Flush()
+	}
+	if w.err == nil {
+		w.err = w.f.Sync()
+	}
+	if cerr := w.f.Close(); w.err == nil {
+		w.err = cerr
+	}
+	if w.err != nil {
+		os.Remove(w.tmp)
+		return "", 0, fmt.Errorf("store: writing segment %s: %w", w.name, w.err)
+	}
+	final := filepath.Join(w.dir, w.name)
+	if err := os.Rename(w.tmp, final); err != nil {
+		os.Remove(w.tmp)
+		return "", 0, err
+	}
+	if err := syncSegDir(w.dir); err != nil {
+		return "", 0, err
+	}
+	return final, w.off, nil
+}
+
+func (w *segWriter) abort() {
+	w.f.Close()
+	os.Remove(w.tmp)
+}
+
+func syncSegDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// segFile is one mapped segment: the raw mapping plus the parsed section
+// directory. The mapping lives as long as the owning store does — views
+// handed out by the lists alias it, so it is never unmapped mid-run.
+type segFile struct {
+	path string
+	data []byte
+	foot segFooter
+	sect map[string][]byte
+}
+
+func openSegFile(path, family string) (*segFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size < int64(len(segMagic))+segTrailerLen {
+		return nil, fmt.Errorf("store: segment %s: truncated (%d bytes)", path, size)
+	}
+	data, err := mapFile(f, size)
+	if err != nil {
+		return nil, fmt.Errorf("store: mapping segment %s: %w", path, err)
+	}
+	corrupt := func(what string) error {
+		unmapFile(data)
+		return fmt.Errorf("store: segment %s: %s", path, what)
+	}
+	if string(data[:len(segMagic)]) != segMagic {
+		return nil, corrupt("bad magic")
+	}
+	tr := data[size-segTrailerLen:]
+	if string(tr[20:24]) != segTrailerMagic {
+		return nil, corrupt("bad trailer magic")
+	}
+	footOff := int64(binary.LittleEndian.Uint64(tr[0:]))
+	footLen := int64(binary.LittleEndian.Uint64(tr[8:]))
+	if footOff < int64(len(segMagic)) || footLen <= 0 || footOff+footLen > size-segTrailerLen {
+		return nil, corrupt("footer out of bounds")
+	}
+	fj := data[footOff : footOff+footLen]
+	if crc32.ChecksumIEEE(fj) != binary.LittleEndian.Uint32(tr[16:]) {
+		return nil, corrupt("footer checksum mismatch")
+	}
+	sf := &segFile{path: path, data: data}
+	if err := json.Unmarshal(fj, &sf.foot); err != nil {
+		return nil, corrupt("footer: " + err.Error())
+	}
+	if sf.foot.Family != family {
+		return nil, corrupt(fmt.Sprintf("family %q, want %q", sf.foot.Family, family))
+	}
+	sf.sect = make(map[string][]byte, len(sf.foot.Sections))
+	for _, s := range sf.foot.Sections {
+		if s.Off < 0 || s.Len < 0 || s.Off+s.Len > footOff || s.Off&7 != 0 {
+			return nil, corrupt("section " + s.Name + " out of bounds")
+		}
+		sf.sect[s.Name] = data[s.Off : s.Off : s.Off+s.Len][:s.Len]
+	}
+	return sf, nil
+}
+
+func (f *segFile) sec(name string) []byte { return f.sect[name] }
+
+// segStrs is a segment-local string dictionary: dense handles index a
+// prefix-offset column over a contiguous blob, both mmap-backed.
+type segStrs struct {
+	off  []uint64 // len = entries+1
+	blob []byte
+}
+
+func (d segStrs) count() int {
+	if len(d.off) == 0 {
+		return 0
+	}
+	return len(d.off) - 1
+}
+
+func (d segStrs) str(h uint32) string {
+	lo, hi := d.off[h], d.off[h+1]
+	if lo == hi {
+		return ""
+	}
+	return unsafe.String(&d.blob[lo], int(hi-lo))
+}
+
+// remap interns every dictionary string into tab and returns the
+// local-handle → live-handle map, used on resume when the live tables'
+// numbering no longer matches the one the segment was sealed under. The
+// caller holds whatever lock guards writes to tab.
+func (d segStrs) remap(tab *ids.Table) []uint32 {
+	m := make([]uint32, d.count())
+	for i := range m {
+		m[i] = tab.Handle(d.str(uint32(i)))
+	}
+	return m
+}
+
+func bindStrs(f *segFile, name string) segStrs {
+	return segStrs{off: castSlice[uint64](f.sec(name + ".off")), blob: f.sec(name + ".blob")}
+}
+
+// dictBuilder assigns segment-local handles in first-use order while a
+// seal walks a live handle column.
+type dictBuilder struct {
+	tab     *ids.Table
+	localOf []uint32 // live handle -> local+1 (0 = unseen)
+	globals []uint32 // local -> live handle
+}
+
+func newDictBuilder(tab *ids.Table) *dictBuilder {
+	return &dictBuilder{tab: tab, localOf: make([]uint32, tab.Len())}
+}
+
+func (d *dictBuilder) local(h uint32) uint32 {
+	if v := d.localOf[h]; v != 0 {
+		return v - 1
+	}
+	l := uint32(len(d.globals))
+	d.globals = append(d.globals, h)
+	d.localOf[h] = l + 1
+	return l
+}
+
+func (d *dictBuilder) writeTo(w *segWriter, name string) {
+	off := make([]uint64, len(d.globals)+1)
+	for i, h := range d.globals {
+		off[i+1] = off[i] + uint64(len(d.tab.Lookup(h)))
+	}
+	w.section(name+".off", castBytes(off))
+	w.begin(name + ".blob")
+	for _, h := range d.globals {
+		w.writeString(d.tab.Lookup(h))
+	}
+	w.end()
+}
+
+// segCheck accumulates column-length validation when binding a segment.
+type segCheck struct {
+	f   *segFile
+	err error
+}
+
+func (c *segCheck) want(name string, got, n int) {
+	if c.err == nil && got != n {
+		c.err = fmt.Errorf("store: segment %s: column %s has %d rows, want %d",
+			c.f.path, name, got, n)
+	}
+}
+
+// tweetSeg serves one sealed run of tweet rows [start, start+n).
+type tweetSeg struct {
+	start, n int
+	file     *segFile
+
+	ids      []uint64
+	user     []uint32 // handle into users
+	created  []int64
+	lang     []uint32 // handle into langs
+	hashtags []int32
+	mentions []int32
+	flags    []uint8 // COW-mutable: late source-bit merges land here
+	plat     []uint8
+	group    []uint32 // handle into groups
+	textOff  []uint64 // n+1 prefix offsets into textBlob
+	textBlob []byte
+
+	users, langs, groups segStrs
+
+	// Local handle → live-table handle, heap-resident: identity joins
+	// (distinct-user counts) need frozen and hot rows to agree on one
+	// handle space.
+	userMap, langMap, groupMap []uint32
+}
+
+func (s *tweetSeg) text(j int) string {
+	lo, hi := s.textOff[j], s.textOff[j+1]
+	if lo == hi {
+		return ""
+	}
+	return unsafe.String(&s.textBlob[lo], int(hi-lo))
+}
+
+func bindTweetSeg(f *segFile, start int) (tweetSeg, error) {
+	n := int(f.foot.Rows)
+	s := tweetSeg{
+		start: start, n: n, file: f,
+		ids:      castSlice[uint64](f.sec("ids")),
+		user:     castSlice[uint32](f.sec("user")),
+		created:  castSlice[int64](f.sec("created")),
+		lang:     castSlice[uint32](f.sec("lang")),
+		hashtags: castSlice[int32](f.sec("hashtags")),
+		mentions: castSlice[int32](f.sec("mentions")),
+		flags:    f.sec("flags"),
+		plat:     f.sec("plat"),
+		group:    castSlice[uint32](f.sec("group")),
+		textOff:  castSlice[uint64](f.sec("text.off")),
+		textBlob: f.sec("text.blob"),
+		users:    bindStrs(f, "users"),
+		langs:    bindStrs(f, "langs"),
+		groups:   bindStrs(f, "groups"),
+	}
+	c := segCheck{f: f}
+	c.want("ids", len(s.ids), n)
+	c.want("user", len(s.user), n)
+	c.want("created", len(s.created), n)
+	c.want("lang", len(s.lang), n)
+	c.want("hashtags", len(s.hashtags), n)
+	c.want("mentions", len(s.mentions), n)
+	c.want("flags", len(s.flags), n)
+	c.want("plat", len(s.plat), n)
+	c.want("group", len(s.group), n)
+	c.want("text.off", len(s.textOff), n+1)
+	return s, c.err
+}
+
+// controlSeg serves sealed control-tweet rows.
+type controlSeg struct {
+	start, n int
+	file     *segFile
+
+	ids      []uint64
+	user     []uint32
+	created  []int64
+	lang     []uint32
+	hashtags []int32
+	mentions []int32
+	flags    []uint8
+
+	users, langs segStrs
+
+	userMap, langMap []uint32
+}
+
+func bindControlSeg(f *segFile, start int) (controlSeg, error) {
+	n := int(f.foot.Rows)
+	s := controlSeg{
+		start: start, n: n, file: f,
+		ids:      castSlice[uint64](f.sec("ids")),
+		user:     castSlice[uint32](f.sec("user")),
+		created:  castSlice[int64](f.sec("created")),
+		lang:     castSlice[uint32](f.sec("lang")),
+		hashtags: castSlice[int32](f.sec("hashtags")),
+		mentions: castSlice[int32](f.sec("mentions")),
+		flags:    f.sec("flags"),
+		users:    bindStrs(f, "users"),
+		langs:    bindStrs(f, "langs"),
+	}
+	c := segCheck{f: f}
+	c.want("ids", len(s.ids), n)
+	c.want("user", len(s.user), n)
+	c.want("created", len(s.created), n)
+	c.want("lang", len(s.lang), n)
+	c.want("hashtags", len(s.hashtags), n)
+	c.want("mentions", len(s.mentions), n)
+	c.want("flags", len(s.flags), n)
+	return s, c.err
+}
+
+// msgSeg serves sealed message rows.
+type msgSeg struct {
+	start, n int
+	file     *segFile
+
+	plat     []uint8
+	group    []uint32
+	author   []uint64
+	sent     []int64
+	typ      []uint8
+	textOff  []uint64
+	textBlob []byte
+
+	groups segStrs
+
+	groupMap []uint32
+}
+
+func (s *msgSeg) text(j int) string {
+	lo, hi := s.textOff[j], s.textOff[j+1]
+	if lo == hi {
+		return ""
+	}
+	return unsafe.String(&s.textBlob[lo], int(hi-lo))
+}
+
+func bindMsgSeg(f *segFile, start int) (msgSeg, error) {
+	n := int(f.foot.Rows)
+	s := msgSeg{
+		start: start, n: n, file: f,
+		plat:     f.sec("plat"),
+		group:    castSlice[uint32](f.sec("group")),
+		author:   castSlice[uint64](f.sec("author")),
+		sent:     castSlice[int64](f.sec("sent")),
+		typ:      f.sec("typ"),
+		textOff:  castSlice[uint64](f.sec("text.off")),
+		textBlob: f.sec("text.blob"),
+		groups:   bindStrs(f, "groups"),
+	}
+	c := segCheck{f: f}
+	c.want("plat", len(s.plat), n)
+	c.want("group", len(s.group), n)
+	c.want("author", len(s.author), n)
+	c.want("sent", len(s.sent), n)
+	c.want("typ", len(s.typ), n)
+	c.want("text.off", len(s.textOff), n+1)
+	return s, c.err
+}
+
+// obsSeg serves one stripe's sealed observation rows. Handle columns
+// (title/phoneH/country/creator) keep the stripe's live-table handles —
+// observation segments are rebuilt rather than pinned across a resume
+// (DESIGN.md §16), so the stripe table is always the one they were sealed
+// under. next is COW-mutable: a chain whose tail was sealed is extended by
+// welding the frozen tail's next pointer to the new heap row.
+type obsSeg struct {
+	start, n int
+
+	at        []int64
+	createdAt []int64
+	title     []uint32
+	phoneH    []uint32
+	country   []uint32
+	creator   []uint32
+	members   []int32
+	online    []int32
+	flags     []uint8
+	next      []uint32
+}
+
+func bindObsSeg(f *segFile, stripe, start, n int) (obsSeg, error) {
+	pre := fmt.Sprintf("s%02d.", stripe)
+	s := obsSeg{
+		start: start, n: n,
+		at:        castSlice[int64](f.sec(pre + "at")),
+		createdAt: castSlice[int64](f.sec(pre + "createdAt")),
+		title:     castSlice[uint32](f.sec(pre + "title")),
+		phoneH:    castSlice[uint32](f.sec(pre + "phoneH")),
+		country:   castSlice[uint32](f.sec(pre + "country")),
+		creator:   castSlice[uint32](f.sec(pre + "creator")),
+		members:   castSlice[int32](f.sec(pre + "members")),
+		online:    castSlice[int32](f.sec(pre + "online")),
+		flags:     f.sec(pre + "flags"),
+		next:      castSlice[uint32](f.sec(pre + "next")),
+	}
+	c := segCheck{f: f}
+	c.want(pre+"at", len(s.at), n)
+	c.want(pre+"createdAt", len(s.createdAt), n)
+	c.want(pre+"title", len(s.title), n)
+	c.want(pre+"phoneH", len(s.phoneH), n)
+	c.want(pre+"country", len(s.country), n)
+	c.want(pre+"creator", len(s.creator), n)
+	c.want(pre+"members", len(s.members), n)
+	c.want(pre+"online", len(s.online), n)
+	c.want(pre+"flags", len(s.flags), n)
+	c.want(pre+"next", len(s.next), n)
+	return s, c.err
+}

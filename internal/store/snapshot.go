@@ -95,10 +95,10 @@ func (s *Store) Snapshot(start time.Time, days int) *Snapshot {
 	tweetUsers := map[platform.Platform]map[uint32]struct{}{}
 	startNano := timeToNano(start)
 	const dayNanos = int64(24 * time.Hour)
-	for i := range s.tweets.plat {
-		p := platform.Platform(s.tweets.plat[i])
+	for i, n := 0, s.tweets.len(); i < n; i++ {
+		p := platform.Platform(s.tweets.platAt(i))
 		platIdx[p] = append(platIdx[p], uint32(i))
-		if c := s.tweets.created[i]; c != zeroTimeNano {
+		if c := s.tweets.createdNano(i); c != zeroTimeNano {
 			if d := int((c - startNano) / dayNanos); d >= 0 && d < days {
 				dayIdx[d] = append(dayIdx[d], uint32(i))
 			}
@@ -108,7 +108,7 @@ func (s *Store) Snapshot(start time.Time, days int) *Snapshot {
 			set = map[uint32]struct{}{}
 			tweetUsers[p] = set
 		}
-		set[s.tweets.user[i]] = struct{}{}
+		set[s.tweets.userHandle(i)] = struct{}{}
 	}
 	for p, idx := range platIdx {
 		sn.tweetsByPlat[p] = TweetList{c: tweets.c, idx: idx}
@@ -122,15 +122,15 @@ func (s *Store) Snapshot(start time.Time, days int) *Snapshot {
 
 	msgIdx := map[platform.Platform][]uint32{}
 	msgUsers := map[platform.Platform]map[uint64]struct{}{}
-	for i := range s.msgs.plat {
-		p := platform.Platform(s.msgs.plat[i])
+	for i, n := 0, s.msgs.len(); i < n; i++ {
+		p := platform.Platform(s.msgs.platAt(i))
 		msgIdx[p] = append(msgIdx[p], uint32(i))
 		set := msgUsers[p]
 		if set == nil {
 			set = map[uint64]struct{}{}
 			msgUsers[p] = set
 		}
-		set[s.msgs.author[i]] = struct{}{}
+		set[s.msgs.authorKey(i)] = struct{}{}
 	}
 	for p, idx := range msgIdx {
 		sn.msgsByPlat[p] = MessageList{c: msgs.c, idx: idx}

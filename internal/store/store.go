@@ -209,6 +209,10 @@ type Store struct {
 
 	groups *groupTable
 	users  *userTable
+
+	// spill is the segment-spilling driver (nil when no memory budget is
+	// set); see spill.go and DESIGN.md §16.
+	spill *spillState
 }
 
 // New returns an empty Store.
@@ -276,9 +280,7 @@ func (s *Store) AddTweetBatch(batch []TweetIngest) (newGroups int) {
 	for i := range batch {
 		t := &batch[i].Tweet
 		if row, dup := s.seenTweets.Get(t.ID); dup {
-			old := s.tweets.flags[row]
-			if nf := old | uint8(t.Source)&flagSourceMask; nf != old {
-				s.tweets.flags[row] = nf
+			if s.tweets.orFlags(int(row), uint8(t.Source)&flagSourceMask) {
 				if s.ckDirtyTweets != nil && int(row) < s.ckTweetMark {
 					s.ckDirtyTweets[row] = struct{}{}
 				}
@@ -464,6 +466,16 @@ func (s *Store) AddMessageBatch(batch []MessageRecord) {
 	for i := range batch {
 		s.msgs.append(&batch[i])
 	}
+	// Message collection ingests an entire phase's worth of history in one
+	// engine call, so waiting for the next boundary SpillCheck would let the
+	// heap blow far past the budget; seal mid-ingest once this family alone
+	// holds half of it. Segment boundaries never affect row content or
+	// order, so output determinism is untouched by when this fires.
+	if sp := s.spill; sp != nil && sp.cfg.Budget > 0 && s.msgs.heapBytes() > sp.cfg.Budget/2 {
+		if err := s.sealMessagesLocked(); err != nil {
+			sp.fail(err)
+		}
+	}
 	s.msgMu.Unlock()
 }
 
@@ -562,12 +574,12 @@ func (s *Store) CountsFor(p platform.Platform) Counts {
 
 	s.tweetMu.Lock()
 	tweetUsers := map[uint32]struct{}{}
-	for i, tp := range s.tweets.plat {
-		if tp != uint8(p) {
+	for i, n := 0, s.tweets.len(); i < n; i++ {
+		if s.tweets.platAt(i) != uint8(p) {
 			continue
 		}
 		c.Tweets++
-		tweetUsers[s.tweets.user[i]] = struct{}{}
+		tweetUsers[s.tweets.userHandle(i)] = struct{}{}
 	}
 	s.tweetMu.Unlock()
 	c.TweetUsers = len(tweetUsers)
@@ -576,12 +588,12 @@ func (s *Store) CountsFor(p platform.Platform) Counts {
 
 	s.msgMu.Lock()
 	msgUsers := map[uint64]struct{}{}
-	for i, mp := range s.msgs.plat {
-		if mp != uint8(p) {
+	for i, n := 0, s.msgs.len(); i < n; i++ {
+		if s.msgs.platAt(i) != uint8(p) {
 			continue
 		}
 		c.Messages++
-		msgUsers[s.msgs.author[i]] = struct{}{}
+		msgUsers[s.msgs.authorKey(i)] = struct{}{}
 	}
 	s.msgMu.Unlock()
 	c.MessageUsers = len(msgUsers)

@@ -86,6 +86,15 @@ func (st *userStripe) phoneAt(row uint32) string {
 	return unsafe.String(&st.arena[st.phOff[row]], int(st.phLen[row]))
 }
 
+// heapBytes is the stripe's column footprint — part of the resident floor
+// SpillStats reports (merges rewrite rows in place, so the user family
+// never spills). Caller holds st.mu.
+func (st *userStripe) heapBytes() int64 {
+	return sliceBytes(st.plat) + sliceBytes(st.key) + sliceBytes(st.phOff) +
+		sliceBytes(st.phLen) + sliceBytes(st.country) + sliceBytes(st.creator) +
+		int64(cap(st.arena))
+}
+
 // userStripeView is a header-copied snapshot of a stripe's columns, safe
 // to read after the stripe lock is released (appends never move rows the
 // view covers; linked is cloned because maps cannot be read during

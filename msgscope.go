@@ -108,6 +108,17 @@ type Options struct {
 	// with byte-identical final output. The directory also stores the
 	// serialized options, so Resume needs no other input.
 	CheckpointDir string
+	// MemBudget, when positive, caps the live heap bytes of the spillable
+	// column families: cold rows are sealed into immutable mmap-backed
+	// segment files and served from the page cache instead of the heap.
+	// Output is byte-identical at any budget — only peak memory changes —
+	// so the field is excluded from the checkpoint options hash (it cannot
+	// change a run's data).
+	MemBudget int64
+	// SpillDir overrides where a budgeted run keeps its segment files
+	// (default: CheckpointDir/segments when checkpointing, else a temp
+	// directory).
+	SpillDir string
 }
 
 // FaultPlan configures deterministic fault injection for a run. Rates are
@@ -180,6 +191,8 @@ func buildConfig(opts Options) (core.Config, error) {
 		CollectWorkers:        opts.CollectWorkers,
 		Faults:                opts.Faults,
 		CheckpointDir:         opts.CheckpointDir,
+		MemBudget:             opts.MemBudget,
+		SpillDir:              opts.SpillDir,
 		Join: join.Targets{
 			WhatsApp: opts.JoinWhatsApp,
 			Telegram: opts.JoinTelegram,
@@ -213,6 +226,8 @@ func hashOptions(opts Options) (string, error) {
 	opts.SearchWorkers = 0
 	opts.CollectWorkers = 0
 	opts.ProfilePhases = false
+	opts.MemBudget = 0
+	opts.SpillDir = ""
 	b, err := json.Marshal(opts)
 	if err != nil {
 		return "", fmt.Errorf("msgscope: hashing options: %w", err)

@@ -1,0 +1,94 @@
+package msgscope_test
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"msgscope"
+)
+
+// Study-level spill gates: a memory budget must never change what a run
+// collects or reports — only where cold rows live — including across a
+// crash and resume that re-maps pinned segments from the manifest.
+
+// countSegFiles returns how many sealed segment files dir holds.
+func countSegFiles(t *testing.T, dir string) int {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading spill dir: %v", err)
+	}
+	n := 0
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".seg") {
+			n++
+		}
+	}
+	return n
+}
+
+// TestMemBudgetRunMatchesUnbudgeted runs the same study with no budget and
+// with a budget small enough that every family spills repeatedly, and
+// requires byte-identical artifacts: dataset JSONL, order-sensitive
+// figures, summary.
+func TestMemBudgetRunMatchesUnbudgeted(t *testing.T) {
+	ctx := context.Background()
+	opts := msgscope.Options{Seed: 42, Scale: 0.01, Days: 3, SearchEveryHours: 6}
+
+	plain, err := msgscope.Run(ctx, opts)
+	if err != nil {
+		t.Fatalf("unbudgeted run: %v", err)
+	}
+	base := collectArtifacts(t, plain)
+
+	bopts := opts
+	bopts.MemBudget = 1 << 16 // 64 KiB: far below the corpus, spills constantly
+	bopts.SpillDir = t.TempDir()
+	budgeted, err := msgscope.Run(ctx, bopts)
+	if err != nil {
+		t.Fatalf("budgeted run: %v", err)
+	}
+	if n := countSegFiles(t, bopts.SpillDir); n == 0 {
+		t.Fatal("budgeted run sealed no segments; the differential is vacuous")
+	}
+	compareArtifacts(t, "budgeted-vs-unbudgeted", base, collectArtifacts(t, budgeted))
+}
+
+// TestMemBudgetCrashResume kills a budgeted, checkpointed run at boundary
+// and mid-phase points, resumes it (the manifest's pinned segments re-map
+// instead of re-ingesting), and requires the final artifacts to match an
+// uninterrupted unbudgeted run.
+func TestMemBudgetCrashResume(t *testing.T) {
+	ctx := context.Background()
+	opts := msgscope.Options{Seed: 42, Scale: 0.01, Days: 3, SearchEveryHours: 6}
+
+	plain, err := msgscope.Run(ctx, opts)
+	if err != nil {
+		t.Fatalf("baseline run: %v", err)
+	}
+	base := collectArtifacts(t, plain)
+
+	for _, kp := range []killPoint{{0, "drain"}, {1, "monitor"}, {2, "search-12"}, {2, "join"}} {
+		t.Run(kp.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			kopts := opts
+			kopts.MemBudget = 1 << 16
+			kopts.CheckpointDir = dir
+			if _, err := msgscope.RunWithHook(ctx, kopts, killAt(kp)); !errors.Is(err, msgscope.ErrHalted) {
+				t.Fatalf("killed run at %s: err = %v, want ErrHalted", kp, err)
+			}
+			res, err := msgscope.Resume(ctx, dir)
+			if err != nil {
+				t.Fatalf("resuming from kill at %s: %v", kp, err)
+			}
+			compareArtifacts(t, "budget-resumed-vs-plain", base, collectArtifacts(t, res))
+			if n := countSegFiles(t, filepath.Join(dir, "segments")); n == 0 {
+				t.Errorf("resumed run left no segments in %s", filepath.Join(dir, "segments"))
+			}
+		})
+	}
+}
